@@ -1,0 +1,109 @@
+//! The brute-force scan.
+//!
+//! Computes the similarity between the query and *every* set. The paper
+//! includes it because "for realistically low similarity thresholds or
+//! large result sizes, the brute-force approach may perform much better"
+//! than heavy indexes — verification of Jaccard over sorted token arrays
+//! is a cheap merge.
+
+use crate::SetSimSearch;
+use les3_core::index::SearchResult;
+use les3_core::{SearchStats, Similarity};
+use les3_data::{SetDatabase, SetId, TokenId};
+
+/// Brute-force searcher over a database.
+#[derive(Debug, Clone)]
+pub struct BruteForce<S: Similarity> {
+    db: SetDatabase,
+    sim: S,
+}
+
+impl<S: Similarity> BruteForce<S> {
+    /// Wraps a database.
+    pub fn new(db: SetDatabase, sim: S) -> Self {
+        Self { db, sim }
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &SetDatabase {
+        &self.db
+    }
+
+    fn scan(&self, query: &[TokenId]) -> (Vec<(SetId, f64)>, SearchStats) {
+        let mut stats = SearchStats::default();
+        let mut sims = Vec::with_capacity(self.db.len());
+        for (id, set) in self.db.iter() {
+            sims.push((id, self.sim.eval(query, set)));
+            stats.candidates += 1;
+            stats.sims_computed += 1;
+        }
+        (sims, stats)
+    }
+}
+
+impl<S: Similarity> SetSimSearch for BruteForce<S> {
+    fn name(&self) -> &'static str {
+        "Brute-force"
+    }
+
+    fn knn(&self, query: &[TokenId], k: usize) -> SearchResult {
+        let (mut sims, stats) = self.scan(query);
+        sims.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        sims.truncate(k);
+        SearchResult { hits: sims, stats }
+    }
+
+    fn range(&self, query: &[TokenId], delta: f64) -> SearchResult {
+        let (sims, stats) = self.scan(query);
+        let mut hits: Vec<(SetId, f64)> =
+            sims.into_iter().filter(|&(_, s)| s >= delta).collect();
+        hits.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        SearchResult { hits, stats }
+    }
+
+    fn index_size_in_bytes(&self) -> usize {
+        0 // no index at all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use les3_core::Jaccard;
+
+    fn db() -> SetDatabase {
+        SetDatabase::from_sets(vec![
+            vec![0u32, 1, 2],
+            vec![0, 1, 3],
+            vec![9, 10],
+            vec![0, 1, 2, 3],
+        ])
+    }
+
+    #[test]
+    fn knn_orders_by_similarity() {
+        let bf = BruteForce::new(db(), Jaccard);
+        let res = bf.knn(&[0, 1, 2], 2);
+        assert_eq!(res.hits[0].0, 0);
+        assert_eq!(res.hits[0].1, 1.0);
+        assert_eq!(res.hits[1].0, 3);
+        assert_eq!(res.stats.candidates, 4);
+    }
+
+    #[test]
+    fn range_filters_by_threshold() {
+        let bf = BruteForce::new(db(), Jaccard);
+        let res = bf.range(&[0, 1, 2], 0.5);
+        let ids: Vec<SetId> = res.hits.iter().map(|h| h.0).collect();
+        assert_eq!(ids, vec![0, 3, 1]);
+    }
+
+    #[test]
+    fn zero_index_size() {
+        assert_eq!(BruteForce::new(db(), Jaccard).index_size_in_bytes(), 0);
+    }
+}

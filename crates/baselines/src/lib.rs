@@ -1,0 +1,86 @@
+//! Baselines compared against LES3 (paper §7.6).
+//!
+//! * [`BruteForce`] — scan everything; surprisingly competitive at low
+//!   thresholds / large k, which the paper stresses;
+//! * [`InvIdx`] — inverted index with prefix + length filtering (the
+//!   state-of-the-art filter stack of Wang et al. \[67\]); kNN support via
+//!   the decreasing-δ adaptation described in §7.6;
+//! * [`DualTrans`] — the transformation-based framework of Zhang et al.
+//!   \[73\]: sets become d-dimensional frequency-bucket vectors indexed in
+//!   an R-tree, searched branch-and-bound with admissible bounds;
+//! * [`ScalarTrans`] — a B+-tree over a scalar image of each set in the
+//!   spirit of Zhang et al. \[72\]; the scalar used here is the set size,
+//!   whose length filter (`|S| ∈ [δ|Q|, |Q|/δ]`) is the admissible core
+//!   of that method (documented simplification).
+//!
+//! Every baseline implements [`SetSimSearch`], answers **exactly** the
+//! same queries as LES3 (verified by cross-checking tests), and reports
+//! index size plus per-query [`les3_core::SearchStats`]. Disk variants with
+//! simulated I/O live in [`disk`].
+
+pub mod brute;
+pub mod disk;
+pub mod dualtrans;
+pub mod invidx;
+pub mod scalartrans;
+
+pub use brute::BruteForce;
+pub use dualtrans::DualTrans;
+pub use invidx::InvIdx;
+pub use scalartrans::ScalarTrans;
+
+use les3_core::index::SearchResult;
+use les3_data::TokenId;
+
+/// Common interface over all exact set-similarity search methods.
+pub trait SetSimSearch {
+    /// Method name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Exact kNN query (Definition 2.1).
+    fn knn(&self, query: &[TokenId], k: usize) -> SearchResult;
+
+    /// Exact range query (Definition 2.2).
+    fn range(&self, query: &[TokenId], delta: f64) -> SearchResult;
+
+    /// Heap bytes of the index structure (Figure 11).
+    fn index_size_in_bytes(&self) -> usize;
+}
+
+impl<S: les3_core::Similarity> SetSimSearch for les3_core::Les3Index<S> {
+    fn name(&self) -> &'static str {
+        "LES3"
+    }
+
+    fn knn(&self, query: &[TokenId], k: usize) -> SearchResult {
+        Les3Index_knn(self, query, k)
+    }
+
+    fn range(&self, query: &[TokenId], delta: f64) -> SearchResult {
+        Les3Index_range(self, query, delta)
+    }
+
+    fn index_size_in_bytes(&self) -> usize {
+        les3_core::Les3Index::index_size_in_bytes(self)
+    }
+}
+
+// Free-function shims avoid infinite recursion between the inherent
+// methods and the trait methods of the same name.
+#[allow(non_snake_case)]
+fn Les3Index_knn<S: les3_core::Similarity>(
+    idx: &les3_core::Les3Index<S>,
+    query: &[TokenId],
+    k: usize,
+) -> SearchResult {
+    les3_core::Les3Index::knn(idx, query, k)
+}
+
+#[allow(non_snake_case)]
+fn Les3Index_range<S: les3_core::Similarity>(
+    idx: &les3_core::Les3Index<S>,
+    query: &[TokenId],
+    delta: f64,
+) -> SearchResult {
+    les3_core::Les3Index::range(idx, query, delta)
+}

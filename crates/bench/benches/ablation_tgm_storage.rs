@@ -1,0 +1,43 @@
+//! Ablation: compressed (Roaring-style) vs uncompressed TGM storage.
+//!
+//! The paper compresses the TGM with Roaring [41]. This ablation measures
+//! how much the container-based compression saves against a dense
+//! `n_groups × |T|` bit matrix, and what the column-scan (upper-bound
+//! computation) costs on the compressed form.
+
+use les3_bench::{bench_queries, bench_sets, header, l2p_partition, per_query_us, time, workload};
+use les3_core::{Jaccard, Les3Index};
+use les3_data::realistic::DatasetSpec;
+
+fn main() {
+    header("Ablation", "TGM compression: compressed vs dense bit-matrix size");
+    let n = bench_sets(4_000);
+    println!(
+        "{:<9} {:>8} {:>10} {:>14} {:>14} {:>12}",
+        "dataset", "groups", "|T|", "compressed", "dense bits", "UB µs/query"
+    );
+    for spec in DatasetSpec::memory_datasets() {
+        let db = spec.with_sets(n).generate(3);
+        let n_groups = (db.len() / 40).max(16);
+        let part = l2p_partition(&db, n_groups);
+        let index = Les3Index::build(db.clone(), part.finest().clone(), Jaccard);
+        let tgm = index.tgm();
+        let dense_bytes = tgm.n_groups() * tgm.n_tokens() / 8;
+        let queries = workload(&db, bench_queries(50), 1);
+        let (_, t) = time(|| {
+            for q in &queries {
+                std::hint::black_box(tgm.group_overlaps(q));
+            }
+        });
+        println!(
+            "{:<9} {:>8} {:>10} {:>14} {:>14} {:>12.2}",
+            spec.name,
+            tgm.n_groups(),
+            tgm.n_tokens(),
+            format!("{:.1} KiB", tgm.size_in_bytes() as f64 / 1024.0),
+            format!("{:.1} KiB", dense_bytes as f64 / 1024.0),
+            per_query_us(t, queries.len())
+        );
+    }
+    println!("(compression wins once |T| is large and columns are sparse)");
+}

@@ -1,0 +1,58 @@
+//! Figure 11: index size and construction time for LES3 (TGM), DualTrans,
+//! and InvIdx on the four memory-based datasets (+ ScalarTrans, an
+//! extension baseline).
+//!
+//! Expected shape: the TGM is the smallest index by a wide margin (the
+//! paper reports up to 90 % less space); LES3's construction time is
+//! dominated by (one-off) model training.
+
+use les3_bench::{bench_sets, header, l2p_partition, time};
+use les3_baselines::{DualTrans, InvIdx, ScalarTrans, SetSimSearch};
+use les3_core::{Jaccard, Les3Index};
+use les3_data::realistic::DatasetSpec;
+
+fn main() {
+    header("Figure 11", "index size and construction time");
+    let n = bench_sets(4_000);
+    println!(
+        "{:<9} {:<12} {:>12} {:>14} {:>12}",
+        "dataset", "method", "index size", "build time", "data size"
+    );
+    for spec in DatasetSpec::memory_datasets() {
+        let db = spec.with_sets(n).generate(23);
+        let data_kib = db.size_in_bytes() as f64 / 1024.0;
+        let n_groups = (db.len() / 40).max(16);
+
+        let ((index, train), t_les3) = time(|| {
+            let (part, train) = {
+                let (r, t) = les3_bench::time(|| l2p_partition(&db, n_groups));
+                (r, t)
+            };
+            (Les3Index::build(db.clone(), part.finest().clone(), Jaccard), train)
+        });
+        let (dual, t_dual) = time(|| DualTrans::build(db.clone(), Jaccard, 8, 16));
+        let (inv, t_inv) = time(|| InvIdx::build(db.clone(), Jaccard));
+        let (scalar, t_scalar) = time(|| ScalarTrans::build(db.clone(), Jaccard));
+
+        let row = |method: &str, bytes: usize, t: std::time::Duration, extra: &str| {
+            println!(
+                "{:<9} {:<12} {:>12} {:>14.2?} {:>11.0}K {extra}",
+                spec.name,
+                method,
+                format!("{:.1} KiB", bytes as f64 / 1024.0),
+                t,
+                data_kib
+            );
+        };
+        row(
+            "LES3/TGM",
+            index.index_size_in_bytes(),
+            t_les3,
+            &format!("(incl. {train:.2?} training)"),
+        );
+        row("DualTrans", dual.index_size_in_bytes(), t_dual, "");
+        row("InvIdx", inv.index_size_in_bytes(), t_inv, "");
+        row("ScalarTr.", scalar.index_size_in_bytes(), t_scalar, "");
+        println!();
+    }
+}

@@ -1,0 +1,96 @@
+//! Figure 15: pruning-efficiency decrease under insertions, closed vs
+//! open token universe (KOSARAK-like, kNN k = 10).
+//!
+//! For each insertion ratio, PE after streaming inserts into a live index
+//! is compared with PE after re-running L2P from scratch on the grown
+//! database; the plotted quantity is the relative decrease. Expected
+//! shape (paper §7.8): mild degradation, at most ~8 %, with the open
+//! universe somewhat worse than the closed one.
+
+use les3_bench::{bench_queries, bench_sets, header, l2p_partition, workload};
+use les3_core::{Jaccard, Les3Index};
+use les3_data::realistic::DatasetSpec;
+use les3_data::TokenId;
+
+const K: usize = 10;
+
+fn avg_pe(index: &Les3Index<Jaccard>, queries: &[Vec<TokenId>]) -> f64 {
+    let mut total = 0.0;
+    for q in queries {
+        total += index.knn(q, K).stats.pruning_efficiency_knn(index.db().len(), K);
+    }
+    total / queries.len() as f64
+}
+
+/// New sets to insert; `open` draws half the tokens from beyond `T`
+/// (paper §7.8: "half of the tokens in D_open are from D and half are
+/// new"). Tokens are drawn directly (no compaction) so new ids really lie
+/// outside the original universe.
+fn new_sets(spec: &DatasetSpec, count: usize, universe: u32, open: bool, seed: u64) -> Vec<Vec<TokenId>> {
+    use rand::Rng;
+    let mut rng = les3_data::rand_util::rng(seed);
+    let old_tokens = les3_data::rand_util::Zipf::new(universe as usize, spec.alpha);
+    let new_tokens = les3_data::rand_util::Zipf::new((universe as usize / 2).max(1), spec.alpha);
+    (0..count)
+        .map(|_| {
+            let size = les3_data::rand_util::set_size(&mut rng, spec.avg_size, spec.min_size, 200);
+            let mut tokens: Vec<TokenId> = (0..size)
+                .map(|_| {
+                    if open && rng.gen_bool(0.5) {
+                        universe + new_tokens.sample(&mut rng) as u32
+                    } else {
+                        old_tokens.sample(&mut rng) as u32
+                    }
+                })
+                .collect();
+            tokens.sort_unstable();
+            tokens.dedup();
+            tokens
+        })
+        .collect()
+}
+
+fn main() {
+    header("Figure 15", "PE decrease vs insertion ratio (kNN k=10, KOSARAK-like)");
+    let n = bench_sets(4_000) / 2;
+    let spec = DatasetSpec::kosarak().with_sets(n);
+    let base = spec.generate(3);
+    let universe = base.universe_size();
+    let n_groups = (base.len() / 40).max(16);
+    println!("base: {}", base.stats());
+    println!("{:>7} {:>16} {:>16}", "ratio", "closed ΔPE %", "open ΔPE %");
+
+    for ratio in [0.25f64, 0.5, 0.75, 1.0] {
+        let count = (base.len() as f64 * ratio) as usize;
+        let mut row = Vec::new();
+        for open in [false, true] {
+            let inserts = new_sets(&spec, count, universe, open, 91);
+            // Incremental: stream into a live index.
+            let part = l2p_partition(&base, n_groups);
+            let mut incremental =
+                Les3Index::build(base.clone(), part.finest().clone(), Jaccard);
+            for s in &inserts {
+                incremental.insert(&mut s.clone());
+            }
+            // Rebuild: L2P from scratch on the grown database.
+            let mut grown = base.clone();
+            if open {
+                grown.extend_universe(universe + universe / 2);
+            }
+            for s in &inserts {
+                let mut s = s.clone();
+                s.sort_unstable();
+                grown.push_sorted(&s);
+            }
+            let part = l2p_partition(&grown, n_groups);
+            let rebuilt = Les3Index::build(grown.clone(), part.finest().clone(), Jaccard);
+
+            let queries = workload(&grown, bench_queries(50), 5);
+            let pe_inc = avg_pe(&incremental, &queries);
+            let pe_reb = avg_pe(&rebuilt, &queries);
+            row.push((pe_reb - pe_inc) / pe_reb.max(1e-12) * 100.0);
+        }
+        println!("{:>7.2} {:>16.2} {:>16.2}", ratio, row[0], row[1]);
+    }
+    println!("(expected: open universe degrades more than closed; closed stays within the paper's ~8% band)");
+}

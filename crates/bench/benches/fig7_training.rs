@@ -1,0 +1,58 @@
+//! Figure 7: (a) training-loss curves of a level-0 model per dataset;
+//! (b) training cost vs number of groups (expected: linear growth).
+
+use les3_bench::{bench_sets, header, ptr_reps, time};
+use les3_data::realistic::DatasetSpec;
+use les3_nn::PairLoss;
+use les3_partition::l2p::{L2p, L2pConfig};
+
+fn main() {
+    header("Figure 7(a)", "training loss per epoch (first trained model per dataset)");
+    let n = bench_sets(4_000);
+    let epochs = 10; // the paper trains longer here to show convergence
+    println!("{:<9} loss per epoch", "Dataset");
+    for spec in DatasetSpec::memory_datasets() {
+        let db = spec.with_sets(n).generate(1);
+        let reps = ptr_reps(&db);
+        let mut cfg = L2pConfig {
+            target_groups: 2,
+            init_groups: 1,
+            min_group_size: 10,
+            pairs_per_model: (db.len() * 4).min(40_000),
+            ..Default::default()
+        };
+        cfg.siamese.epochs = epochs;
+        cfg.siamese.loss = PairLoss::Surrogate;
+        let result = L2p::new(cfg).partition(&db, &reps);
+        let curve: Vec<String> = result.reports[0]
+            .epoch_losses
+            .iter()
+            .map(|l| format!("{l:.4}"))
+            .collect();
+        println!("{:<9} [{}]", spec.name, curve.join(", "));
+        let first = result.reports[0].epoch_losses[0];
+        let last = *result.reports[0].epoch_losses.last().unwrap();
+        println!(
+            "{:<9}   loss drop {:.1}% (converges within ~2 epochs: {})",
+            "", (first - last) / first.max(1e-12) * 100.0,
+            result.reports[0].epoch_losses.get(1).map(|l2| l2 <= &(first * 1.05)).unwrap_or(false)
+        );
+    }
+
+    header("Figure 7(b)", "training cost vs number of groups (KOSARAK-like)");
+    let db = DatasetSpec::kosarak().with_sets(n).generate(2);
+    let reps = ptr_reps(&db);
+    println!("{:>8} {:>12} {:>8}", "groups", "train time", "models");
+    for target in [16usize, 32, 64, 128, 256] {
+        let cfg = L2pConfig {
+            target_groups: target,
+            init_groups: (target / 8).max(1),
+            min_group_size: 4,
+            pairs_per_model: 2_000,
+            ..Default::default()
+        };
+        let (result, elapsed) = time(|| L2p::new(cfg.clone()).partition(&db, &reps));
+        println!("{:>8} {:>12.2?} {:>8}", target, elapsed, result.models_trained);
+    }
+    println!("(cost grows ~linearly with groups — Figure 7(b)'s shape)");
+}

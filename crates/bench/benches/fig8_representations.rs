@@ -1,0 +1,74 @@
+//! Figure 8: PTR vs other set-representation techniques on a sampled
+//! KOSARAK-like database (the paper samples KOSARAK at 5 %).
+//!
+//! Reports, per representation: construction (embedding) time, and query
+//! time for kNN (k = 10) and range (δ = 0.7) using the partitioning
+//! trained on that representation. Expected shape: PTR's embedding is
+//! orders of magnitude cheaper than PCA/MDS with equal-or-better query
+//! time; Binary Encoding and PTR-half trail on query time.
+
+use les3_bench::{bench_queries, bench_sets, embed_timed, header, per_query_us, time, workload};
+use les3_core::{Jaccard, Les3Index};
+use les3_data::realistic::DatasetSpec;
+use les3_partition::l2p::{L2p, L2pConfig};
+use les3_partition::rep::{BinaryEncoding, Mds, Pca, Ptr, PtrHalf, RepMatrix};
+
+fn evaluate(name: &str, db: &les3_data::SetDatabase, reps: RepMatrix, embed: std::time::Duration) {
+    let target_groups = (db.len() / 40).max(8);
+    let cfg = L2pConfig {
+        target_groups,
+        init_groups: (target_groups / 8).max(1),
+        min_group_size: 8,
+        pairs_per_model: 2_000,
+        ..Default::default()
+    };
+    let result = L2p::new(cfg).partition(db, &reps);
+    let index = Les3Index::build(db.clone(), result.finest().clone(), Jaccard);
+    let queries = workload(db, bench_queries(50), 9);
+    let (_, knn_t) = time(|| {
+        for q in &queries {
+            std::hint::black_box(index.knn(q, 10));
+        }
+    });
+    let (_, rng_t) = time(|| {
+        for q in &queries {
+            std::hint::black_box(index.range(q, 0.7));
+        }
+    });
+    println!(
+        "{:<10} {:>12.2?} {:>14.1} {:>14.1}",
+        name,
+        embed,
+        per_query_us(knn_t, queries.len()),
+        per_query_us(rng_t, queries.len()),
+    );
+}
+
+fn main() {
+    header("Figure 8", "representation techniques: embed cost + query time");
+    // 5 % sample of the bench-scale KOSARAK emulation.
+    let n = (bench_sets(4_000) / 4).max(500);
+    let db = DatasetSpec::kosarak().with_sets(n).generate(7);
+    println!("sampled database: {}", db.stats());
+    println!(
+        "{:<10} {:>12} {:>14} {:>14}",
+        "method", "embed time", "kNN µs/query", "range µs/query"
+    );
+
+    let (reps, t) = embed_timed(&db, &Ptr::new(db.universe_size()));
+    evaluate("PTR", &db, reps, t);
+
+    let (reps, t) = embed_timed(&db, &PtrHalf::new(db.universe_size()));
+    evaluate("PTR-half", &db, reps, t);
+
+    let (reps, t) = embed_timed(&db, &BinaryEncoding::for_database_size(db.len()));
+    evaluate("BinaryEnc", &db, reps, t);
+
+    let dim = 2 * Ptr::new(db.universe_size()).height();
+    let (pca, fit_t) = time(|| Pca::fit(&db, dim.min(16), 25, 3));
+    let (reps, embed_t) = embed_timed(&db, &pca);
+    evaluate("PCA", &db, reps, fit_t + embed_t);
+
+    let (reps, t) = time(|| Mds::new(dim.min(16)).fit(&db));
+    evaluate("MDS", &db, reps, t);
+}

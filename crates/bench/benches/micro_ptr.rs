@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks of set-representation construction,
+//! underpinning the Figure 8 claim that PTR embedding is orders of
+//! magnitude cheaper than PCA/MDS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use les3_data::realistic::DatasetSpec;
+use les3_partition::rep::{BinaryEncoding, Pca, Ptr, RepMatrix, SetRepresentation};
+use std::hint::black_box;
+
+fn bench_ptr(c: &mut Criterion) {
+    let db = DatasetSpec::kosarak().with_sets(2_000).generate(1);
+    let ptr = Ptr::new(db.universe_size());
+    let bin = BinaryEncoding::for_database_size(db.len());
+
+    let mut group = c.benchmark_group("embed_one_set");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    let set = db.set(9).to_vec();
+    let mut out = vec![0.0; ptr.dim()];
+    group.bench_function("ptr", |b| {
+        b.iter(|| {
+            ptr.rep_into(black_box(&set), &mut out);
+            black_box(&out);
+        })
+    });
+    let mut out_bin = vec![0.0; bin.dim()];
+    group.bench_function("binary", |b| {
+        b.iter(|| {
+            bin.rep_into(black_box(&set), &mut out_bin);
+            black_box(&out_bin);
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("embed_database_2k");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.bench_function("ptr", |b| {
+        b.iter(|| black_box(RepMatrix::from_representation(&db, &ptr)))
+    });
+    group.bench_function("pca_fit_and_embed", |b| {
+        b.iter(|| {
+            let pca = Pca::fit(&db, 16, 20, 3);
+            black_box(RepMatrix::from_representation(&db, &pca))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_ptr
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks of similarity verification — the paper's
+//! premise that verification "incurs a cost linear in the size of the
+//! set" and is cheap relative to index scans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use les3_core::{Cosine, Dice, Jaccard, Similarity};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_set(len: usize, range: u32, rng: &mut StdRng) -> Vec<u32> {
+    let mut v: Vec<u32> = (0..len).map(|_| rng.gen_range(0..range)).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut group = c.benchmark_group("verify_jaccard");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for size in [8usize, 64, 512] {
+        let a = random_set(size, size as u32 * 4, &mut rng);
+        let b = random_set(size, size as u32 * 4, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bch, _| {
+            bch.iter(|| black_box(Jaccard.eval(black_box(&a), black_box(&b))))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("verify_measures_size64");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    let a = random_set(64, 256, &mut rng);
+    let b = random_set(64, 256, &mut rng);
+    group.bench_function("jaccard", |bch| bch.iter(|| black_box(Jaccard.eval(&a, &b))));
+    group.bench_function("dice", |bch| bch.iter(|| black_box(Dice.eval(&a, &b))));
+    group.bench_function("cosine", |bch| bch.iter(|| black_box(Cosine.eval(&a, &b))));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_verify
+}
+criterion_main!(benches);

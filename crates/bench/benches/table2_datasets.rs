@@ -1,0 +1,30 @@
+//! Table 2: dataset statistics of the six emulated datasets.
+//!
+//! Prints the same columns as the paper (|D|, max/min/avg set size, |T|)
+//! for the scaled-down emulations used throughout the bench suite, next
+//! to the paper's full-scale values.
+
+use les3_bench::{bench_sets, header};
+use les3_data::realistic::DatasetSpec;
+
+fn main() {
+    header("Table 2", "dataset statistics (emulated at bench scale)");
+    let n = bench_sets(4_000);
+    println!(
+        "{:<9} {:>10} {:>8} {:>5} {:>7} {:>10}   (paper-scale |D|, |T|)",
+        "Dataset", "|D|", "Max", "Min", "Avg", "|T|"
+    );
+    for spec in DatasetSpec::memory_datasets()
+        .into_iter()
+        .chain(DatasetSpec::disk_datasets())
+    {
+        let scaled = spec.with_sets(n);
+        let db = scaled.generate(42);
+        let s = db.stats();
+        println!(
+            "{:<9} {:>10} {:>8} {:>5} {:>7.1} {:>10}   ({}, {})",
+            spec.name, s.n_sets, s.max_size, s.min_size, s.avg_size, s.distinct_tokens,
+            spec.n_sets, spec.universe
+        );
+    }
+}

@@ -1,0 +1,398 @@
+//! The top-level chunked bitmap.
+
+use crate::container::Container;
+use crate::iter::BitmapIter;
+
+/// A compressed bitmap over `u32` values.
+///
+/// Values are partitioned by their high 16 bits into chunks; each chunk is a
+/// [`Container`] choosing the cheapest of three representations. See the
+/// crate docs for the role this plays in the LES3 token-group matrix.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bitmap {
+    /// `(high_bits, container)` pairs sorted by `high_bits`.
+    chunks: Vec<(u16, Container)>,
+}
+
+#[inline]
+fn split(value: u32) -> (u16, u16) {
+    ((value >> 16) as u16, value as u16)
+}
+
+#[inline]
+fn join(high: u16, low: u16) -> u32 {
+    ((high as u32) << 16) | low as u32
+}
+
+impl Bitmap {
+    /// Creates an empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a bitmap from a sorted slice (fast path: appends containers).
+    pub fn from_sorted(values: &[u32]) -> Self {
+        debug_assert!(values.windows(2).all(|w| w[0] <= w[1]));
+        let mut bm = Self::new();
+        for &v in values {
+            let (high, low) = split(v);
+            match bm.chunks.last_mut() {
+                Some((h, c)) if *h == high => {
+                    c.insert(low);
+                }
+                _ => {
+                    let mut c = Container::default();
+                    c.insert(low);
+                    bm.chunks.push((high, c));
+                }
+            }
+        }
+        bm
+    }
+
+    fn chunk_index(&self, high: u16) -> Result<usize, usize> {
+        self.chunks.binary_search_by(|(h, _)| h.cmp(&high))
+    }
+
+    /// Number of stored values.
+    pub fn len(&self) -> usize {
+        self.chunks.iter().map(|(_, c)| c.len()).sum()
+    }
+
+    /// Whether the bitmap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.iter().all(|(_, c)| c.is_empty())
+    }
+
+    /// Membership test.
+    pub fn contains(&self, value: u32) -> bool {
+        let (high, low) = split(value);
+        match self.chunk_index(high) {
+            Ok(i) => self.chunks[i].1.contains(low),
+            Err(_) => false,
+        }
+    }
+
+    /// Inserts `value`; returns `true` if it was new.
+    pub fn insert(&mut self, value: u32) -> bool {
+        let (high, low) = split(value);
+        match self.chunk_index(high) {
+            Ok(i) => self.chunks[i].1.insert(low),
+            Err(i) => {
+                let mut c = Container::default();
+                c.insert(low);
+                self.chunks.insert(i, (high, c));
+                true
+            }
+        }
+    }
+
+    /// Removes `value`; returns `true` if it was present.
+    pub fn remove(&mut self, value: u32) -> bool {
+        let (high, low) = split(value);
+        match self.chunk_index(high) {
+            Ok(i) => {
+                let removed = self.chunks[i].1.remove(low);
+                if removed && self.chunks[i].1.is_empty() {
+                    self.chunks.remove(i);
+                }
+                removed
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Number of stored values `< value`.
+    pub fn rank(&self, value: u32) -> usize {
+        let (high, low) = split(value);
+        let mut rank = 0usize;
+        for (h, c) in &self.chunks {
+            if *h < high {
+                rank += c.len();
+            } else if *h == high {
+                rank += c.rank(low);
+                break;
+            } else {
+                break;
+            }
+        }
+        rank
+    }
+
+    /// Smallest stored value, if any.
+    pub fn min(&self) -> Option<u32> {
+        let (h, c) = self.chunks.iter().find(|(_, c)| !c.is_empty())?;
+        c.to_vec().first().map(|&low| join(*h, low))
+    }
+
+    /// Largest stored value, if any.
+    pub fn max(&self) -> Option<u32> {
+        let (h, c) = self.chunks.iter().rev().find(|(_, c)| !c.is_empty())?;
+        c.to_vec().last().map(|&low| join(*h, low))
+    }
+
+    /// Iterates over stored values in increasing order.
+    pub fn iter(&self) -> BitmapIter<'_> {
+        BitmapIter::new(&self.chunks)
+    }
+
+    /// Materializes values into a sorted vector.
+    pub fn to_vec(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.len());
+        out.extend(self.iter());
+        out
+    }
+
+    /// Union of two bitmaps.
+    pub fn union(&self, other: &Self) -> Self {
+        let mut chunks = Vec::with_capacity(self.chunks.len().max(other.chunks.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < self.chunks.len() && j < other.chunks.len() {
+            let (ha, ca) = &self.chunks[i];
+            let (hb, cb) = &other.chunks[j];
+            match ha.cmp(hb) {
+                std::cmp::Ordering::Less => {
+                    chunks.push((*ha, ca.clone()));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    chunks.push((*hb, cb.clone()));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    chunks.push((*ha, ca.union(cb)));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        chunks.extend_from_slice(&self.chunks[i..]);
+        chunks.extend_from_slice(&other.chunks[j..]);
+        Self { chunks }
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &Self) {
+        *self = self.union(other);
+    }
+
+    /// Intersection of two bitmaps.
+    pub fn intersect(&self, other: &Self) -> Self {
+        let mut chunks = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.chunks.len() && j < other.chunks.len() {
+            let (ha, ca) = &self.chunks[i];
+            let (hb, cb) = &other.chunks[j];
+            match ha.cmp(hb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let c = ca.intersect(cb);
+                    if !c.is_empty() {
+                        chunks.push((*ha, c));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Self { chunks }
+    }
+
+    /// Cardinality of the intersection without materializing it.
+    pub fn intersect_len(&self, other: &Self) -> usize {
+        let mut n = 0usize;
+        let (mut i, mut j) = (0, 0);
+        while i < self.chunks.len() && j < other.chunks.len() {
+            let (ha, ca) = &self.chunks[i];
+            let (hb, cb) = &other.chunks[j];
+            match ha.cmp(hb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += ca.intersect_len(cb);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Difference `self - other`.
+    pub fn difference(&self, other: &Self) -> Self {
+        let mut chunks = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.chunks.len() && j < other.chunks.len() {
+            let (ha, ca) = &self.chunks[i];
+            let (hb, cb) = &other.chunks[j];
+            match ha.cmp(hb) {
+                std::cmp::Ordering::Less => {
+                    chunks.push((*ha, ca.clone()));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let c = ca.difference(cb);
+                    if !c.is_empty() {
+                        chunks.push((*ha, c));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        chunks.extend_from_slice(&self.chunks[i..]);
+        Self { chunks }
+    }
+
+    /// Whether the two bitmaps share at least one value.
+    pub fn intersects(&self, other: &Self) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.chunks.len() && j < other.chunks.len() {
+            let (ha, ca) = &self.chunks[i];
+            let (hb, cb) = &other.chunks[j];
+            match ha.cmp(hb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if ca.intersect_len(cb) > 0 {
+                        return true;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        false
+    }
+
+    /// Converts every chunk to its smallest representation.
+    pub fn run_optimize(&mut self) {
+        for (_, c) in &mut self.chunks {
+            let taken = std::mem::take(c);
+            *c = taken.optimized();
+        }
+    }
+
+    /// Chunk table accessor for the serializer.
+    pub(crate) fn chunks_for_serialization(&self) -> &[(u16, Container)] {
+        &self.chunks
+    }
+
+    /// Appends a parsed chunk (serializer internal); keys must arrive in
+    /// strictly increasing order.
+    pub(crate) fn push_chunk(
+        &mut self,
+        high: u16,
+        container: Container,
+    ) -> Result<(), crate::serialize::DeserializeError> {
+        if let Some((last, _)) = self.chunks.last() {
+            if *last >= high {
+                return Err(crate::serialize::DeserializeError::UnsortedChunks);
+            }
+        }
+        self.chunks.push((high, container));
+        Ok(())
+    }
+
+    /// Heap bytes used (containers + chunk table).
+    pub fn size_in_bytes(&self) -> usize {
+        let table = self.chunks.capacity() * std::mem::size_of::<(u16, Container)>();
+        table + self.chunks.iter().map(|(_, c)| c.size_in_bytes()).sum::<usize>()
+    }
+
+    /// Bytes of the portable serialized form (Roaring-style): a 4-byte
+    /// chunk header (key, type, cardinality) plus the container payload.
+    /// This is the quantity index-size comparisons report (Figure 11 of
+    /// the paper), matching how Roaring files are measured.
+    pub fn serialized_size_in_bytes(&self) -> usize {
+        self.chunks
+            .iter()
+            .filter(|(_, c)| !c.is_empty())
+            .map(|(_, c)| 4 + c.size_in_bytes())
+            .sum()
+    }
+}
+
+impl FromIterator<u32> for Bitmap {
+    fn from_iter<I: IntoIterator<Item = u32>>(values: I) -> Self {
+        let mut bm = Bitmap::new();
+        for v in values {
+            bm.insert(v);
+        }
+        bm
+    }
+}
+
+impl<'a> IntoIterator for &'a Bitmap {
+    type Item = u32;
+    type IntoIter = BitmapIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_chunk_insert_iter() {
+        let vals = [0u32, 1, 65_535, 65_536, 131_072, u32::MAX];
+        let bm = Bitmap::from_iter(vals.iter().copied());
+        assert_eq!(bm.len(), vals.len());
+        assert_eq!(bm.to_vec(), vals);
+        assert_eq!(bm.min(), Some(0));
+        assert_eq!(bm.max(), Some(u32::MAX));
+    }
+
+    #[test]
+    fn from_sorted_matches_from_iter() {
+        let vals: Vec<u32> = (0..100_000).step_by(37).collect();
+        assert_eq!(Bitmap::from_sorted(&vals), Bitmap::from_iter(vals.iter().copied()));
+    }
+
+    #[test]
+    fn rank_across_chunks() {
+        let bm = Bitmap::from_iter([10u32, 70_000, 70_001, 200_000]);
+        assert_eq!(bm.rank(10), 0);
+        assert_eq!(bm.rank(11), 1);
+        assert_eq!(bm.rank(70_001), 2);
+        assert_eq!(bm.rank(1_000_000), 4);
+    }
+
+    #[test]
+    fn remove_drops_empty_chunks() {
+        let mut bm = Bitmap::from_iter([65_536u32]);
+        assert!(bm.remove(65_536));
+        assert!(bm.is_empty());
+        assert_eq!(bm.to_vec(), Vec::<u32>::new());
+        assert!(!bm.remove(65_536));
+    }
+
+    #[test]
+    fn set_algebra_across_chunks() {
+        let a = Bitmap::from_iter([1u32, 2, 65_536, 65_540]);
+        let b = Bitmap::from_iter([2u32, 65_540, 131_072]);
+        assert_eq!(a.union(&b).to_vec(), vec![1, 2, 65_536, 65_540, 131_072]);
+        assert_eq!(a.intersect(&b).to_vec(), vec![2, 65_540]);
+        assert_eq!(a.intersect_len(&b), 2);
+        assert_eq!(a.difference(&b).to_vec(), vec![1, 65_536]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&Bitmap::from_iter([7u32])));
+    }
+
+    #[test]
+    fn run_optimize_shrinks_dense_ranges() {
+        let mut bm = Bitmap::from_iter(0u32..100_000);
+        let before = bm.size_in_bytes();
+        bm.run_optimize();
+        let after = bm.size_in_bytes();
+        assert!(after < before / 50, "before={before} after={after}");
+        assert_eq!(bm.len(), 100_000);
+        assert!(bm.contains(99_999));
+        assert_eq!(bm.rank(50_000), 50_000);
+    }
+}

@@ -1,0 +1,250 @@
+//! Dense fixed-size bitset container.
+
+/// Number of 64-bit words in a dense container (covers the full u16 space).
+pub const WORDS: usize = 1 << 10;
+
+/// A dense bitset over the 2^16 values of a chunk: 8 KiB regardless of
+/// cardinality. Used once a chunk exceeds
+/// [`crate::ARRAY_TO_BITS_THRESHOLD`] values.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitsContainer {
+    words: Box<[u64; WORDS]>,
+    len: u32,
+}
+
+impl std::fmt::Debug for BitsContainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BitsContainer").field("len", &self.len).finish()
+    }
+}
+
+impl Default for BitsContainer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BitsContainer {
+    /// Creates an empty container.
+    pub fn new() -> Self {
+        Self { words: Box::new([0; WORDS]), len: 0 }
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn index(value: u16) -> (usize, u64) {
+        ((value >> 6) as usize, 1u64 << (value & 63))
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, value: u16) -> bool {
+        let (w, mask) = Self::index(value);
+        self.words[w] & mask != 0
+    }
+
+    /// Sets the bit for `value`; returns `true` if it was clear.
+    #[inline]
+    pub fn insert(&mut self, value: u16) -> bool {
+        let (w, mask) = Self::index(value);
+        let absent = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        if absent {
+            self.len += 1;
+        }
+        absent
+    }
+
+    /// Clears the bit for `value`; returns `true` if it was set.
+    pub fn remove(&mut self, value: u16) -> bool {
+        let (w, mask) = Self::index(value);
+        let present = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        if present {
+            self.len -= 1;
+        }
+        present
+    }
+
+    /// Number of set bits `< value`.
+    pub fn rank(&self, value: u16) -> usize {
+        let (w, _) = Self::index(value);
+        let mut rank: usize = self.words[..w].iter().map(|x| x.count_ones() as usize).sum();
+        let low = value & 63;
+        if low > 0 {
+            rank += (self.words[w] & ((1u64 << low) - 1)).count_ones() as usize;
+        }
+        rank
+    }
+
+    /// In-place union with `other`.
+    pub fn union_with(&mut self, other: &Self) {
+        let mut len = 0u32;
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+            len += a.count_ones();
+        }
+        self.len = len;
+    }
+
+    /// In-place intersection with `other`.
+    pub fn intersect_with(&mut self, other: &Self) {
+        let mut len = 0u32;
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= *b;
+            len += a.count_ones();
+        }
+        self.len = len;
+    }
+
+    /// In-place difference (`self - other`).
+    pub fn difference_with(&mut self, other: &Self) {
+        let mut len = 0u32;
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !*b;
+            len += a.count_ones();
+        }
+        self.len = len;
+    }
+
+    /// Cardinality of the intersection without materializing it.
+    pub fn intersect_len(&self, other: &Self) -> usize {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over set bits in increasing order.
+    pub fn iter(&self) -> BitsIter<'_> {
+        BitsIter { words: &self.words, word_idx: 0, current: self.words[0] }
+    }
+
+    /// Materializes the set bits into a sorted vector.
+    pub fn to_vec(&self) -> Vec<u16> {
+        let mut out = Vec::with_capacity(self.len());
+        out.extend(self.iter());
+        out
+    }
+
+    /// Heap bytes used by this container.
+    pub fn size_in_bytes(&self) -> usize {
+        WORDS * std::mem::size_of::<u64>()
+    }
+
+    /// Number of runs of consecutive set bits (used to decide RLE conversion).
+    pub fn run_count(&self) -> usize {
+        // A run starts at every set bit whose predecessor is clear.
+        let mut runs = 0usize;
+        let mut prev_msb = 0u64; // bit 63 of the previous word, shifted to bit 0
+        for &w in self.words.iter() {
+            // starts = bits set in w whose previous bit (within w, or carried) is clear
+            let shifted = (w << 1) | prev_msb;
+            runs += (w & !shifted).count_ones() as usize;
+            prev_msb = w >> 63;
+        }
+        runs
+    }
+}
+
+/// Iterator over the set bits of a [`BitsContainer`].
+pub struct BitsIter<'a> {
+    words: &'a [u64; WORDS],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for BitsIter<'_> {
+    type Item = u16;
+
+    fn next(&mut self) -> Option<u16> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros();
+                self.current &= self.current - 1;
+                return Some(((self.word_idx << 6) as u32 + bit) as u16);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= WORDS {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_and_len() {
+        let mut b = BitsContainer::new();
+        assert!(b.insert(0));
+        assert!(b.insert(63));
+        assert!(b.insert(64));
+        assert!(b.insert(u16::MAX));
+        assert!(!b.insert(64));
+        assert_eq!(b.len(), 4);
+        assert!(b.remove(63));
+        assert!(!b.remove(63));
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.to_vec(), vec![0, 64, u16::MAX]);
+    }
+
+    #[test]
+    fn rank_matches_linear_count() {
+        let mut b = BitsContainer::new();
+        for v in [3u16, 64, 65, 128, 1000, 40_000] {
+            b.insert(v);
+        }
+        assert_eq!(b.rank(0), 0);
+        assert_eq!(b.rank(3), 0);
+        assert_eq!(b.rank(4), 1);
+        assert_eq!(b.rank(65), 2);
+        assert_eq!(b.rank(40_001), 6);
+    }
+
+    #[test]
+    fn set_ops() {
+        let mut a = BitsContainer::new();
+        let mut b = BitsContainer::new();
+        for v in 0..100u16 {
+            a.insert(v * 2);
+            b.insert(v * 3);
+        }
+        assert_eq!(a.intersect_len(&b), (0..100 * 2).step_by(6).count());
+        let mut u = a.clone();
+        u.union_with(&b);
+        for v in 0..100u16 {
+            assert!(u.contains(v * 2) && u.contains(v * 3));
+        }
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert!(d.contains(2) && !d.contains(6));
+    }
+
+    #[test]
+    fn run_count_detects_runs() {
+        let mut b = BitsContainer::new();
+        for v in 10..20u16 {
+            b.insert(v);
+        }
+        for v in 100..105u16 {
+            b.insert(v);
+        }
+        b.insert(63);
+        b.insert(64); // run crossing a word boundary
+        assert_eq!(b.run_count(), 3);
+    }
+}

@@ -1,0 +1,91 @@
+//! Value iterator over a chunked bitmap.
+
+use crate::container::Container;
+
+/// Iterator over the values of a [`crate::Bitmap`] in increasing order.
+///
+/// Materializes one chunk at a time (a chunk covers 2^16 values), so memory
+/// stays bounded while iteration remains a simple buffered walk. The
+/// per-token "column scan" of the TGM uses this iterator.
+pub struct BitmapIter<'a> {
+    chunks: &'a [(u16, Container)],
+    chunk_idx: usize,
+    buffer: Vec<u16>,
+    buffer_pos: usize,
+}
+
+impl<'a> BitmapIter<'a> {
+    pub(crate) fn new(chunks: &'a [(u16, Container)]) -> Self {
+        let mut it = Self { chunks, chunk_idx: 0, buffer: Vec::new(), buffer_pos: 0 };
+        it.fill();
+        it
+    }
+
+    fn fill(&mut self) {
+        while self.chunk_idx < self.chunks.len() {
+            let (_, c) = &self.chunks[self.chunk_idx];
+            if !c.is_empty() {
+                self.buffer = c.to_vec();
+                self.buffer_pos = 0;
+                return;
+            }
+            self.chunk_idx += 1;
+        }
+        self.buffer.clear();
+        self.buffer_pos = 0;
+    }
+}
+
+impl Iterator for BitmapIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.buffer_pos >= self.buffer.len() {
+            if self.chunk_idx >= self.chunks.len() {
+                return None;
+            }
+            self.chunk_idx += 1;
+            self.fill();
+            if self.buffer_pos >= self.buffer.len() {
+                return None;
+            }
+        }
+        let high = self.chunks[self.chunk_idx].0 as u32;
+        let low = self.buffer[self.buffer_pos] as u32;
+        self.buffer_pos += 1;
+        Some((high << 16) | low)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining_here = self.buffer.len() - self.buffer_pos;
+        let rest: usize = self.chunks[(self.chunk_idx + 1).min(self.chunks.len())..]
+            .iter()
+            .map(|(_, c)| c.len())
+            .sum();
+        let total = remaining_here + rest;
+        (total, Some(total))
+    }
+}
+
+impl ExactSizeIterator for BitmapIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use crate::Bitmap;
+
+    #[test]
+    fn exact_size_hint() {
+        let bm = Bitmap::from_iter([1u32, 2, 70_000, 140_000]);
+        let mut it = bm.iter();
+        assert_eq!(it.len(), 4);
+        it.next();
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.collect::<Vec<_>>(), vec![2, 70_000, 140_000]);
+    }
+
+    #[test]
+    fn empty_iterator() {
+        let bm = Bitmap::new();
+        assert_eq!(bm.iter().count(), 0);
+    }
+}

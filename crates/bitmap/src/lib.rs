@@ -1,0 +1,55 @@
+//! Roaring-style compressed bitmap.
+//!
+//! The LES3 paper stores its token-group matrix (TGM) as "essentially a
+//! bitmap index" and compresses it with Roaring (Lemire et al., 2018,
+//! reference \[41\] of the paper). This crate is a from-scratch Rust
+//! implementation of the same container-based design:
+//!
+//! * the `u32` key space is split into 2^16 *chunks* keyed by the high
+//!   16 bits of each value;
+//! * each chunk holds one of three container kinds:
+//!   a sorted [`ArrayContainer`](array::ArrayContainer) (≤ 4096 values),
+//!   a fixed 8 KiB [`BitsContainer`](bits::BitsContainer), or a run-length
+//!   encoded [`RunContainer`](run::RunContainer);
+//! * containers convert between representations automatically on mutation
+//!   and explicitly via [`Bitmap::run_optimize`].
+//!
+//! The operations exercised by the TGM are dense: membership tests,
+//! insertion, iteration (the per-token "column scan" during upper-bound
+//! computation), unions (building group token signatures), intersection
+//! cardinality, and byte-accurate size accounting (Figure 11 of the paper
+//! reports index sizes).
+//!
+//! # Example
+//!
+//! ```
+//! use les3_bitmap::Bitmap;
+//!
+//! let mut groups_with_token = Bitmap::new();
+//! groups_with_token.insert(3);
+//! groups_with_token.insert(17);
+//! groups_with_token.insert(65_536);
+//! assert!(groups_with_token.contains(17));
+//! assert_eq!(groups_with_token.len(), 3);
+//! assert_eq!(groups_with_token.iter().collect::<Vec<_>>(), vec![3, 17, 65_536]);
+//! ```
+
+pub mod array;
+pub mod bits;
+pub mod container;
+pub mod iter;
+pub mod run;
+pub mod serialize;
+
+mod bitmap;
+
+pub use bitmap::Bitmap;
+pub use container::Container;
+pub use iter::BitmapIter;
+pub use serialize::DeserializeError;
+
+/// Maximum cardinality at which a chunk stays an array container.
+///
+/// Above this a dense `BitsContainer` (fixed 8 KiB) is smaller than a sorted
+/// `u16` array (2 bytes per element), matching the classic Roaring threshold.
+pub const ARRAY_TO_BITS_THRESHOLD: usize = 4096;

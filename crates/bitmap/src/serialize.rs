@@ -1,0 +1,274 @@
+//! Portable serialization of bitmaps.
+//!
+//! The disk-resident TGM stores one serialized bitmap per token column.
+//! The format follows the spirit of the Roaring interchange format:
+//!
+//! ```text
+//! u32  magic "LB01"
+//! u32  chunk count
+//! per chunk:
+//!   u16  high bits (chunk key)
+//!   u8   container type (0 = array, 1 = bits, 2 = runs)
+//!   u8   reserved
+//!   u32  cardinality (array: #values, bits: #set bits, runs: #runs)
+//!   payload (array: u16 LE each; bits: 8 KiB words LE; runs: u16 pairs)
+//! ```
+//!
+//! All integers are little-endian. [`Bitmap::serialize`] always emits the
+//! current representation; use [`Bitmap::run_optimize`] first for the
+//! smallest output.
+
+use crate::array::ArrayContainer;
+use crate::bits::BitsContainer;
+use crate::container::Container;
+use crate::run::RunContainer;
+use crate::Bitmap;
+
+const MAGIC: u32 = 0x4c42_3031; // "LB01"
+
+/// Errors produced by [`Bitmap::deserialize`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeserializeError {
+    /// The buffer is shorter than its headers claim.
+    Truncated,
+    /// The magic number does not match.
+    BadMagic,
+    /// An unknown container type byte was encountered.
+    UnknownContainer(u8),
+    /// Chunk keys are not strictly increasing.
+    UnsortedChunks,
+    /// A container payload violates its invariants (unsorted array,
+    /// overlapping runs, cardinality mismatch).
+    CorruptPayload,
+}
+
+impl std::fmt::Display for DeserializeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeserializeError::Truncated => write!(f, "buffer truncated"),
+            DeserializeError::BadMagic => write!(f, "bad magic number"),
+            DeserializeError::UnknownContainer(t) => write!(f, "unknown container type {t}"),
+            DeserializeError::UnsortedChunks => write!(f, "chunk keys not strictly increasing"),
+            DeserializeError::CorruptPayload => write!(f, "corrupt container payload"),
+        }
+    }
+}
+
+impl std::error::Error for DeserializeError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DeserializeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DeserializeError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, DeserializeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DeserializeError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, DeserializeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+impl Bitmap {
+    /// Serializes to a portable byte buffer.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.serialized_size_in_bytes());
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        let chunks: Vec<&(u16, Container)> =
+            self.chunks_for_serialization().iter().filter(|(_, c)| !c.is_empty()).collect();
+        out.extend_from_slice(&(chunks.len() as u32).to_le_bytes());
+        for (high, container) in chunks {
+            out.extend_from_slice(&high.to_le_bytes());
+            match container {
+                Container::Array(a) => {
+                    out.push(0);
+                    out.push(0);
+                    out.extend_from_slice(&(a.len() as u32).to_le_bytes());
+                    for &v in a.as_slice() {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                Container::Bits(b) => {
+                    out.push(1);
+                    out.push(0);
+                    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                    // Reconstruct words from values to avoid exposing the
+                    // internal word array; 8 KiB either way.
+                    let mut words = [0u64; crate::bits::WORDS];
+                    for v in b.iter() {
+                        words[(v >> 6) as usize] |= 1u64 << (v & 63);
+                    }
+                    for w in words {
+                        out.extend_from_slice(&w.to_le_bytes());
+                    }
+                }
+                Container::Runs(r) => {
+                    out.push(2);
+                    out.push(0);
+                    out.extend_from_slice(&(r.run_count() as u32).to_le_bytes());
+                    for run in r.runs() {
+                        out.extend_from_slice(&run.start.to_le_bytes());
+                        out.extend_from_slice(&run.len_minus_one.to_le_bytes());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a buffer produced by [`Bitmap::serialize`], validating all
+    /// structural invariants.
+    pub fn deserialize(buf: &[u8]) -> Result<Bitmap, DeserializeError> {
+        let mut r = Reader { buf, pos: 0 };
+        if r.u32()? != MAGIC {
+            return Err(DeserializeError::BadMagic);
+        }
+        let n_chunks = r.u32()? as usize;
+        let mut bm = Bitmap::new();
+        let mut prev_high: Option<u16> = None;
+        for _ in 0..n_chunks {
+            let high = r.u16()?;
+            if let Some(p) = prev_high {
+                if high <= p {
+                    return Err(DeserializeError::UnsortedChunks);
+                }
+            }
+            prev_high = Some(high);
+            let kind = r.u8()?;
+            let _reserved = r.u8()?;
+            let card = r.u32()? as usize;
+            let container = match kind {
+                0 => {
+                    let mut values = Vec::with_capacity(card);
+                    for _ in 0..card {
+                        values.push(r.u16()?);
+                    }
+                    if values.windows(2).any(|w| w[0] >= w[1]) {
+                        return Err(DeserializeError::CorruptPayload);
+                    }
+                    Container::Array(ArrayContainer::from_sorted(values))
+                }
+                1 => {
+                    let mut bits = BitsContainer::new();
+                    for w in 0..crate::bits::WORDS {
+                        let bytes = r.take(8)?;
+                        let word = u64::from_le_bytes(bytes.try_into().unwrap());
+                        for bit in 0..64 {
+                            if word & (1 << bit) != 0 {
+                                bits.insert(((w << 6) + bit) as u16);
+                            }
+                        }
+                    }
+                    if bits.len() != card {
+                        return Err(DeserializeError::CorruptPayload);
+                    }
+                    Container::Bits(bits)
+                }
+                2 => {
+                    let mut values = Vec::new();
+                    let mut prev_end: Option<u16> = None;
+                    for _ in 0..card {
+                        let start = r.u16()?;
+                        let len_minus_one = r.u16()?;
+                        if let Some(pe) = prev_end {
+                            // Runs must be sorted and non-adjacent.
+                            if start <= pe || start - pe < 2 {
+                                return Err(DeserializeError::CorruptPayload);
+                            }
+                        }
+                        let end = start.checked_add(len_minus_one).ok_or(DeserializeError::CorruptPayload)?;
+                        values.extend(start..=end);
+                        prev_end = Some(end);
+                    }
+                    Container::Runs(RunContainer::from_sorted_values(values))
+                }
+                t => return Err(DeserializeError::UnknownContainer(t)),
+            };
+            if container.is_empty() {
+                return Err(DeserializeError::CorruptPayload);
+            }
+            bm.push_chunk(high, container)?;
+        }
+        Ok(bm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(bm: &Bitmap) {
+        let bytes = bm.serialize();
+        let back = Bitmap::deserialize(&bytes).expect("deserialize");
+        assert_eq!(&back, bm);
+    }
+
+    #[test]
+    fn round_trips_each_container_kind() {
+        // Array.
+        round_trip(&Bitmap::from_iter([1u32, 5, 70_000]));
+        // Bits (force dense).
+        round_trip(&Bitmap::from_iter((0..10_000u32).map(|v| v * 3)));
+        // Runs.
+        let mut dense = Bitmap::from_iter(100u32..30_000);
+        dense.run_optimize();
+        round_trip(&dense);
+        // Empty.
+        round_trip(&Bitmap::new());
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let bytes = Bitmap::from_iter([1u32, 2, 3]).serialize();
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert_eq!(Bitmap::deserialize(&bad), Err(DeserializeError::BadMagic));
+        assert_eq!(
+            Bitmap::deserialize(&bytes[..bytes.len() - 1]),
+            Err(DeserializeError::Truncated)
+        );
+    }
+
+    #[test]
+    fn rejects_unsorted_array_payload() {
+        let mut bytes = Bitmap::from_iter([1u32, 2]).serialize();
+        // Swap the two u16 values at the end of the buffer.
+        let n = bytes.len();
+        bytes.swap(n - 4, n - 2);
+        bytes.swap(n - 3, n - 1);
+        assert_eq!(Bitmap::deserialize(&bytes), Err(DeserializeError::CorruptPayload));
+    }
+
+    #[test]
+    fn serialized_size_estimate_matches_reality() {
+        let mut bm = Bitmap::from_iter((0..5_000u32).map(|v| v * 7));
+        bm.run_optimize();
+        let bytes = bm.serialize();
+        let estimate = bm.serialized_size_in_bytes();
+        // Header is 8 bytes; per-chunk header 4 is included in the
+        // estimate. Allow small slack.
+        assert!(
+            (bytes.len() as i64 - estimate as i64).unsigned_abs() <= 8 + 4 * 4,
+            "bytes {} vs estimate {}",
+            bytes.len(),
+            estimate
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests: the compressed bitmap must agree with `BTreeSet` on every
+//! operation, across container representations and chunk boundaries.
+
+use les3_bitmap::Bitmap;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Values biased to straddle chunk boundaries and density thresholds.
+fn value_strategy() -> impl Strategy<Value = u32> {
+    prop_oneof![
+        0u32..200_000,               // a few chunks
+        65_500u32..65_600,           // chunk boundary
+        any::<u32>(),                // anywhere
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matches_btreeset_semantics(values in prop::collection::vec(value_strategy(), 0..2000)) {
+        let mut bm = Bitmap::new();
+        let mut reference = BTreeSet::new();
+        for &v in &values {
+            prop_assert_eq!(bm.insert(v), reference.insert(v));
+        }
+        prop_assert_eq!(bm.len(), reference.len());
+        prop_assert_eq!(bm.to_vec(), reference.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(bm.min(), reference.iter().next().copied());
+        prop_assert_eq!(bm.max(), reference.iter().next_back().copied());
+        for &v in values.iter().take(50) {
+            prop_assert!(bm.contains(v));
+            prop_assert_eq!(bm.rank(v), reference.range(..v).count());
+        }
+    }
+
+    #[test]
+    fn remove_matches_btreeset(
+        values in prop::collection::vec(value_strategy(), 0..1000),
+        removals in prop::collection::vec(value_strategy(), 0..500),
+    ) {
+        let mut bm = Bitmap::from_iter(values.iter().copied());
+        let mut reference: BTreeSet<u32> = values.iter().copied().collect();
+        for &v in &removals {
+            prop_assert_eq!(bm.remove(v), reference.remove(&v));
+        }
+        prop_assert_eq!(bm.to_vec(), reference.iter().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn set_algebra_matches_btreeset(
+        a in prop::collection::btree_set(value_strategy(), 0..800),
+        b in prop::collection::btree_set(value_strategy(), 0..800),
+    ) {
+        let ba = Bitmap::from_iter(a.iter().copied());
+        let bb = Bitmap::from_iter(b.iter().copied());
+        let union: Vec<u32> = a.union(&b).copied().collect();
+        let inter: Vec<u32> = a.intersection(&b).copied().collect();
+        let diff: Vec<u32> = a.difference(&b).copied().collect();
+        prop_assert_eq!(ba.union(&bb).to_vec(), union);
+        prop_assert_eq!(ba.intersect(&bb).to_vec(), inter.clone());
+        prop_assert_eq!(ba.intersect_len(&bb), inter.len());
+        prop_assert_eq!(ba.difference(&bb).to_vec(), diff);
+        prop_assert_eq!(ba.intersects(&bb), !inter.is_empty());
+    }
+
+    #[test]
+    fn run_optimize_preserves_contents(values in prop::collection::btree_set(value_strategy(), 0..1500)) {
+        let mut bm = Bitmap::from_iter(values.iter().copied());
+        bm.run_optimize();
+        prop_assert_eq!(bm.to_vec(), values.iter().copied().collect::<Vec<_>>());
+        for &v in values.iter().take(30) {
+            prop_assert!(bm.contains(v));
+            prop_assert_eq!(bm.rank(v), values.range(..v).count());
+        }
+    }
+
+    #[test]
+    fn serialization_round_trips(values in prop::collection::btree_set(value_strategy(), 0..2000)) {
+        let mut bm = Bitmap::from_iter(values.iter().copied());
+        let bytes = bm.serialize();
+        prop_assert_eq!(&Bitmap::deserialize(&bytes).unwrap(), &bm);
+        // Also after run optimization (different container mix).
+        bm.run_optimize();
+        let bytes = bm.serialize();
+        prop_assert_eq!(&Bitmap::deserialize(&bytes).unwrap(), &bm);
+    }
+
+    #[test]
+    fn deserialize_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        // Arbitrary input must yield Ok or Err, never panic.
+        let _ = Bitmap::deserialize(&bytes);
+    }
+
+    #[test]
+    fn dense_ranges_survive_optimization(start in 0u32..100_000, len in 1u32..20_000) {
+        let mut bm = Bitmap::from_iter(start..start + len);
+        bm.run_optimize();
+        prop_assert_eq!(bm.len(), len as usize);
+        prop_assert!(bm.contains(start));
+        prop_assert!(bm.contains(start + len - 1));
+        prop_assert!(!bm.contains(start + len));
+    }
+}

@@ -1,0 +1,372 @@
+//! In-memory B+-tree with linked leaves.
+//!
+//! Substrate for the scalar-transform baseline: Zhang et al. (\[72\] in the
+//! LES3 paper) map each set to a scalar and organize the scalars in a
+//! B+-tree, answering similarity queries with range scans over the
+//! transformed domain. The tree tracks node visits so the disk-cost
+//! simulation can charge page reads per node.
+//!
+//! Keys are generic `Ord + Copy`; duplicates are allowed (several sets can
+//! share one scalar image), which the search handles by scanning the
+//! linked leaf chain.
+//!
+//! # Example
+//!
+//! ```
+//! use les3_bptree::BPlusTree;
+//!
+//! let mut t = BPlusTree::new(4);
+//! for (k, v) in [(10u64, 0u32), (20, 1), (15, 2), (10, 3)] {
+//!     t.insert(k, v);
+//! }
+//! let (hits, _stats) = t.range(10..=15);
+//! let mut values: Vec<u32> = hits.iter().map(|&(_, v)| v).collect();
+//! values.sort_unstable();
+//! assert_eq!(values, vec![0, 2, 3]);
+//! ```
+
+use std::ops::RangeInclusive;
+
+/// Node-visit accounting (each node ≈ one page read on disk).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Internal + leaf nodes visited.
+    pub nodes_visited: usize,
+    /// Key/value entries examined.
+    pub entries_examined: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Node<K, V> {
+    Internal {
+        /// `keys[i]` separates `children[i]` (< key) from `children[i+1]` (≥ key).
+        keys: Vec<K>,
+        children: Vec<usize>,
+    },
+    Leaf {
+        keys: Vec<K>,
+        values: Vec<V>,
+        next: Option<usize>,
+    },
+}
+
+/// A B+-tree of order `order` (maximum keys per node).
+#[derive(Debug, Clone)]
+pub struct BPlusTree<K, V> {
+    nodes: Vec<Node<K, V>>,
+    root: usize,
+    order: usize,
+    len: usize,
+}
+
+impl<K: Ord + Copy, V: Copy> BPlusTree<K, V> {
+    /// Creates an empty tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order < 3`.
+    pub fn new(order: usize) -> Self {
+        assert!(order >= 3, "order must be at least 3");
+        Self {
+            nodes: vec![Node::Leaf { keys: Vec::new(), values: Vec::new(), next: None }],
+            root: 0,
+            order,
+            len: 0,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of nodes (≈ index pages).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree height.
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut cur = self.root;
+        loop {
+            match &self.nodes[cur] {
+                Node::Internal { children, .. } => {
+                    h += 1;
+                    cur = children[0];
+                }
+                Node::Leaf { .. } => return h,
+            }
+        }
+    }
+
+    /// Estimated heap bytes of the index.
+    pub fn size_in_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                Node::Internal { keys, children } => {
+                    keys.len() * std::mem::size_of::<K>()
+                        + children.len() * std::mem::size_of::<usize>()
+                }
+                Node::Leaf { keys, values, .. } => {
+                    keys.len() * std::mem::size_of::<K>()
+                        + values.len() * std::mem::size_of::<V>()
+                        + std::mem::size_of::<Option<usize>>()
+                }
+            })
+            .sum()
+    }
+
+    /// Inserts a key/value pair (duplicates allowed).
+    pub fn insert(&mut self, key: K, value: V) {
+        self.len += 1;
+        if let Some((sep, right)) = self.insert_rec(self.root, key, value) {
+            let old_root = self.root;
+            self.nodes.push(Node::Internal { keys: vec![sep], children: vec![old_root, right] });
+            self.root = self.nodes.len() - 1;
+        }
+    }
+
+    /// Returns `Some((separator, new_right_id))` when the child splits.
+    fn insert_rec(&mut self, node_id: usize, key: K, value: V) -> Option<(K, usize)> {
+        match &mut self.nodes[node_id] {
+            Node::Leaf { keys, values, .. } => {
+                let pos = keys.partition_point(|&k| k <= key);
+                keys.insert(pos, key);
+                values.insert(pos, value);
+                if keys.len() > self.order {
+                    return Some(self.split_leaf(node_id));
+                }
+                None
+            }
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|&k| k <= key);
+                let child = children[idx];
+                if let Some((sep, right)) = self.insert_rec(child, key, value) {
+                    if let Node::Internal { keys, children } = &mut self.nodes[node_id] {
+                        let pos = keys.partition_point(|&k| k <= sep);
+                        keys.insert(pos, sep);
+                        children.insert(pos + 1, right);
+                        if keys.len() > self.order {
+                            return Some(self.split_internal(node_id));
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn split_leaf(&mut self, node_id: usize) -> (K, usize) {
+        let new_id = self.nodes.len();
+        if let Node::Leaf { keys, values, next } = &mut self.nodes[node_id] {
+            let mid = keys.len() / 2;
+            let right_keys = keys.split_off(mid);
+            let right_values = values.split_off(mid);
+            let right_next = *next;
+            let sep = right_keys[0];
+            *next = Some(new_id);
+            self.nodes.push(Node::Leaf { keys: right_keys, values: right_values, next: right_next });
+            (sep, new_id)
+        } else {
+            unreachable!("split_leaf on internal node")
+        }
+    }
+
+    fn split_internal(&mut self, node_id: usize) -> (K, usize) {
+        let new_id = self.nodes.len();
+        if let Node::Internal { keys, children } = &mut self.nodes[node_id] {
+            let mid = keys.len() / 2;
+            // The middle key moves up; right node gets keys after it.
+            let sep = keys[mid];
+            let right_keys = keys.split_off(mid + 1);
+            keys.pop();
+            let right_children = children.split_off(mid + 1);
+            self.nodes.push(Node::Internal { keys: right_keys, children: right_children });
+            (sep, new_id)
+        } else {
+            unreachable!("split_internal on leaf")
+        }
+    }
+
+    /// All `(key, value)` pairs with keys in `range`, in key order, plus
+    /// node-visit statistics.
+    pub fn range(&self, range: RangeInclusive<K>) -> (Vec<(K, V)>, ScanStats) {
+        let (lo, hi) = (*range.start(), *range.end());
+        let mut stats = ScanStats::default();
+        let mut out = Vec::new();
+        if lo > hi {
+            return (out, stats);
+        }
+        // Descend to the leftmost leaf that may contain `lo`. Equality must
+        // go LEFT: duplicates of a separator key can live in the left
+        // sibling after a split.
+        let mut cur = self.root;
+        loop {
+            stats.nodes_visited += 1;
+            match &self.nodes[cur] {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|&k| k < lo);
+                    cur = children[idx];
+                }
+                Node::Leaf { .. } => break,
+            }
+        }
+        // Walk the leaf chain.
+        let mut leaf = Some(cur);
+        let mut first = true;
+        while let Some(id) = leaf {
+            if !first {
+                stats.nodes_visited += 1;
+            }
+            first = false;
+            if let Node::Leaf { keys, values, next } = &self.nodes[id] {
+                for (k, v) in keys.iter().zip(values) {
+                    stats.entries_examined += 1;
+                    if *k > hi {
+                        return (out, stats);
+                    }
+                    if *k >= lo {
+                        out.push((*k, *v));
+                    }
+                }
+                leaf = *next;
+            } else {
+                unreachable!("leaf chain reached internal node")
+            }
+        }
+        (out, stats)
+    }
+
+    /// Checks structural invariants: sorted keys everywhere, separator
+    /// consistency, and that the leaf chain enumerates exactly `len`
+    /// entries in order. Test helper.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        // Collect all entries via the leaf chain starting at the leftmost leaf.
+        let mut cur = self.root;
+        loop {
+            match &self.nodes[cur] {
+                Node::Internal { keys, children } => {
+                    if keys.len() + 1 != children.len() {
+                        return Err(format!("node {cur}: keys/children arity mismatch"));
+                    }
+                    if keys.windows(2).any(|w| w[0] > w[1]) {
+                        return Err(format!("node {cur}: unsorted keys"));
+                    }
+                    cur = children[0];
+                }
+                Node::Leaf { .. } => break,
+            }
+        }
+        let mut count = 0usize;
+        let mut prev: Option<K> = None;
+        let mut leaf = Some(cur);
+        while let Some(id) = leaf {
+            if let Node::Leaf { keys, next, .. } = &self.nodes[id] {
+                for &k in keys {
+                    if let Some(p) = prev {
+                        if p > k {
+                            return Err("leaf chain out of order".into());
+                        }
+                    }
+                    prev = Some(k);
+                    count += 1;
+                }
+                leaf = *next;
+            }
+        }
+        if count != self.len {
+            return Err(format!("leaf chain has {count} entries, expected {}", self.len));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn insert_and_range_small() {
+        let mut t = BPlusTree::new(4);
+        for k in [5u64, 1, 9, 3, 7, 1] {
+            t.insert(k, k as u32 * 10);
+        }
+        t.check_invariants().unwrap();
+        let (hits, _) = t.range(1..=5);
+        let keys: Vec<u64> = hits.iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys, vec![1, 1, 3, 5]);
+    }
+
+    #[test]
+    fn large_random_matches_sorted_reference() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut t = BPlusTree::new(8);
+        let mut reference: Vec<(u64, u32)> = Vec::new();
+        for i in 0..5000u32 {
+            let k = rng.gen_range(0..2000u64);
+            t.insert(k, i);
+            reference.push((k, i));
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.len(), 5000);
+        assert!(t.height() >= 3);
+        for (lo, hi) in [(0u64, 1999), (100, 100), (500, 700), (1999, 1999), (700, 500)] {
+            let (hits, _) = t.range(lo..=hi);
+            let mut expected: Vec<(u64, u32)> =
+                reference.iter().copied().filter(|&(k, _)| k >= lo && k <= hi).collect();
+            expected.sort_unstable();
+            let mut got = hits.clone();
+            got.sort_unstable();
+            assert_eq!(got, expected, "range {lo}..={hi}");
+            let keys: Vec<u64> = hits.iter().map(|&(k, _)| k).collect();
+            assert!(keys.windows(2).all(|w| w[0] <= w[1]), "result in key order");
+        }
+    }
+
+    #[test]
+    fn heavy_duplicates_are_all_found() {
+        // Regression test: duplicates of a separator key stranded in a
+        // left sibling after splits must still be returned.
+        let mut t = BPlusTree::new(4);
+        for i in 0..500u32 {
+            t.insert((i % 7) as u64, i); // only 7 distinct keys
+        }
+        t.check_invariants().unwrap();
+        for key in 0..7u64 {
+            let (hits, _) = t.range(key..=key);
+            let expected = if key < 500 % 7 { 500 / 7 + 1 } else { 500 / 7 };
+            assert_eq!(hits.len(), expected, "key {key}");
+            assert!(hits.iter().all(|&(k, _)| k == key));
+        }
+    }
+
+    #[test]
+    fn narrow_range_visits_few_nodes() {
+        let mut t = BPlusTree::new(16);
+        for k in 0..20_000u64 {
+            t.insert(k, k as u32);
+        }
+        let (_, full) = t.range(0..=19_999);
+        let (_, narrow) = t.range(10_000..=10_005);
+        assert!(narrow.nodes_visited < 8, "narrow visits {}", narrow.nodes_visited);
+        assert!(full.nodes_visited > 100 * narrow.nodes_visited / 8);
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let t: BPlusTree<u64, u32> = BPlusTree::new(4);
+        assert!(t.is_empty());
+        let (hits, _) = t.range(0..=100);
+        assert!(hits.is_empty());
+        t.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests: the B+-tree must agree with a sorted reference vector
+//! on every range scan, for arbitrary insert orders, duplicate densities,
+//! and node orders.
+
+use les3_bptree::BPlusTree;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn range_scans_match_sorted_reference(
+        entries in prop::collection::vec((0u64..500, 0u32..10_000), 0..800),
+        ranges in prop::collection::vec((0u64..500, 0u64..500), 1..12),
+        order in 3usize..32,
+    ) {
+        let mut tree = BPlusTree::new(order);
+        for &(k, v) in &entries {
+            tree.insert(k, v);
+        }
+        tree.check_invariants().unwrap();
+        prop_assert_eq!(tree.len(), entries.len());
+
+        let mut reference = entries.clone();
+        reference.sort_unstable();
+        for &(a, b) in &ranges {
+            let (lo, hi) = (a.min(b), a.max(b));
+            let (hits, stats) = tree.range(lo..=hi);
+            let expected: Vec<(u64, u32)> =
+                reference.iter().copied().filter(|&(k, _)| k >= lo && k <= hi).collect();
+            // Same multiset; the tree may order equal keys differently.
+            let mut got = hits.clone();
+            got.sort_unstable();
+            prop_assert_eq!(got, expected);
+            // Keys come out sorted.
+            prop_assert!(hits.windows(2).all(|w| w[0].0 <= w[1].0));
+            prop_assert!(stats.nodes_visited >= 1);
+        }
+    }
+
+    #[test]
+    fn heavy_duplicates_never_lost(
+        n in 1usize..600,
+        distinct in 1u64..8,
+        order in 3usize..12,
+    ) {
+        let mut tree = BPlusTree::new(order);
+        for i in 0..n {
+            tree.insert(i as u64 % distinct, i as u32);
+        }
+        tree.check_invariants().unwrap();
+        for key in 0..distinct {
+            let (hits, _) = tree.range(key..=key);
+            let expected = n / distinct as usize
+                + if key < (n as u64 % distinct) { 1 } else { 0 };
+            prop_assert_eq!(hits.len(), expected, "key {}", key);
+        }
+    }
+
+    #[test]
+    fn height_stays_logarithmic(n in 1usize..2000) {
+        let mut tree = BPlusTree::new(8);
+        for i in 0..n {
+            tree.insert(i as u64, i as u32);
+        }
+        // Height ≤ log_{order/2}(n) + 2 with generous slack.
+        let bound = ((n as f64).log2() / 2.0).ceil() as usize + 2;
+        prop_assert!(tree.height() <= bound, "n {} height {}", n, tree.height());
+    }
+}

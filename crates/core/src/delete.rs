@@ -1,0 +1,196 @@
+//! Deletions (extension beyond the paper).
+//!
+//! §6 of the paper covers insertions only. Deletions need one extra piece
+//! of state: a TGM bit `M[g, t]` may only be cleared when *no* remaining
+//! set of group `g` contains `t`, so the index keeps per-group token
+//! reference counts. A deleted set becomes a tombstone: it stays in the
+//! database arrays (ids are stable) but is skipped during verification
+//! and excluded from group membership.
+//!
+//! Exactness is unaffected: bounds only ever shrink when bits are
+//! cleared, and verification filters tombstones.
+
+use les3_data::{SetId, TokenId};
+use std::collections::HashMap;
+
+use crate::index::Les3Index;
+use crate::sim::Similarity;
+
+/// Per-group token reference counts enabling exact TGM bit clearing.
+///
+/// Optional companion to [`Les3Index`]: build once with
+/// [`DeletionLog::build`], then route deletions through
+/// [`DeletionLog::delete`].
+#[derive(Debug, Clone, Default)]
+pub struct DeletionLog {
+    /// `(group, token) → number of live member sets containing token`.
+    counts: HashMap<(u32, TokenId), u32>,
+    /// Tombstoned set ids.
+    deleted: Vec<bool>,
+    live: usize,
+}
+
+impl DeletionLog {
+    /// Scans the index and counts token occurrences per group.
+    pub fn build<S: Similarity>(index: &Les3Index<S>) -> Self {
+        let mut counts: HashMap<(u32, TokenId), u32> = HashMap::new();
+        for (id, set) in index.db().iter() {
+            let g = index.partitioning().group_of(id);
+            let mut prev = None;
+            for &t in set {
+                if prev == Some(t) {
+                    continue;
+                }
+                prev = Some(t);
+                *counts.entry((g, t)).or_insert(0) += 1;
+            }
+        }
+        Self { counts, deleted: vec![false; index.db().len()], live: index.db().len() }
+    }
+
+    /// Whether `id` has been deleted.
+    pub fn is_deleted(&self, id: SetId) -> bool {
+        self.deleted.get(id as usize).copied().unwrap_or(false)
+    }
+
+    /// Number of live (non-tombstoned) sets.
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// Registers an insertion performed through
+    /// [`Les3Index::insert`] so reference counts stay in sync.
+    pub fn note_insert(&mut self, index: &Les3Index<impl Similarity>, id: SetId) {
+        let g = index.partitioning().group_of(id);
+        let mut prev = None;
+        for &t in index.db().set(id) {
+            if prev == Some(t) {
+                continue;
+            }
+            prev = Some(t);
+            *self.counts.entry((g, t)).or_insert(0) += 1;
+        }
+        if self.deleted.len() <= id as usize {
+            self.deleted.resize(id as usize + 1, false);
+        }
+        self.live += 1;
+    }
+
+    /// Tombstones set `id` and clears every TGM bit whose reference count
+    /// drops to zero. Returns `false` if the set was already deleted.
+    pub fn delete<S: Similarity>(&mut self, index: &mut Les3Index<S>, id: SetId) -> bool {
+        assert!((id as usize) < index.db().len(), "set id out of range");
+        if self.deleted.len() < index.db().len() {
+            self.deleted.resize(index.db().len(), false);
+        }
+        if std::mem::replace(&mut self.deleted[id as usize], true) {
+            return false;
+        }
+        self.live -= 1;
+        let g = index.partitioning().group_of(id);
+        let tokens: Vec<TokenId> = {
+            let mut v = index.db().set(id).to_vec();
+            v.dedup();
+            v
+        };
+        let (_, _, tgm) = index.parts_mut();
+        for t in tokens {
+            let entry = self.counts.get_mut(&(g, t)).expect("refcount must exist");
+            *entry -= 1;
+            if *entry == 0 {
+                self.counts.remove(&(g, t));
+                tgm.clear_bit(g, t);
+            }
+        }
+        true
+    }
+
+    /// Filters a search result's hits, dropping tombstoned sets. The
+    /// cheap way to keep query results exact after deletions: run the
+    /// query with `k + deleted_count` head-room or re-query if too few
+    /// hits survive.
+    pub fn filter_hits(&self, hits: &mut Vec<(SetId, f64)>) {
+        hits.retain(|&(id, _)| !self.is_deleted(id));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioning::Partitioning;
+    use crate::sim::Jaccard;
+    use les3_data::SetDatabase;
+
+    fn index() -> Les3Index<Jaccard> {
+        let db = SetDatabase::from_sets(vec![
+            vec![0u32, 1, 2],
+            vec![0, 1, 3],
+            vec![10, 11],
+            vec![10, 12],
+        ]);
+        Les3Index::build(db, Partitioning::from_assignment(vec![0, 0, 1, 1], 2), Jaccard)
+    }
+
+    #[test]
+    fn delete_clears_bits_only_when_last_reference_goes() {
+        let mut idx = index();
+        let mut log = DeletionLog::build(&idx);
+        assert!(idx.tgm().bit(0, 0));
+        // Token 0 appears in sets 0 and 1 (both group 0).
+        assert!(log.delete(&mut idx, 0));
+        assert!(idx.tgm().bit(0, 0), "set 1 still holds token 0");
+        assert!(!idx.tgm().bit(0, 2), "token 2 was only in set 0");
+        assert!(log.delete(&mut idx, 1));
+        assert!(!idx.tgm().bit(0, 0), "last reference gone");
+        assert_eq!(log.live_count(), 2);
+    }
+
+    #[test]
+    fn double_delete_is_rejected() {
+        let mut idx = index();
+        let mut log = DeletionLog::build(&idx);
+        assert!(log.delete(&mut idx, 2));
+        assert!(!log.delete(&mut idx, 2));
+        assert_eq!(log.live_count(), 3);
+    }
+
+    #[test]
+    fn queries_stay_exact_with_tombstone_filtering() {
+        let mut idx = index();
+        let mut log = DeletionLog::build(&idx);
+        log.delete(&mut idx, 0);
+        let mut res = idx.knn(&[0, 1, 2], 4);
+        log.filter_hits(&mut res.hits);
+        // Set 0 (exact match) is gone; set 1 leads.
+        assert_eq!(res.hits[0].0, 1);
+        assert!(res.hits.iter().all(|&(id, _)| id != 0));
+    }
+
+    #[test]
+    fn deleting_a_whole_group_prunes_it_entirely() {
+        let mut idx = index();
+        let mut log = DeletionLog::build(&idx);
+        log.delete(&mut idx, 2);
+        log.delete(&mut idx, 3);
+        // Every group-1 column is now clear: the group's UB is 0.
+        let res = idx.range(&[10, 11, 12], 0.01);
+        let mut hits = res.hits.clone();
+        log.filter_hits(&mut hits);
+        assert!(hits.is_empty());
+        assert!(!idx.tgm().bit(1, 10));
+        assert!(!idx.tgm().bit(1, 11));
+    }
+
+    #[test]
+    fn insert_after_delete_keeps_counts_in_sync() {
+        let mut idx = index();
+        let mut log = DeletionLog::build(&idx);
+        log.delete(&mut idx, 0);
+        let (id, _) = idx.insert(&mut vec![0, 1, 2]);
+        log.note_insert(&idx, id);
+        assert_eq!(log.live_count(), 4);
+        // Deleting the replacement clears bits again only when warranted.
+        log.delete(&mut idx, id);
+        assert!(idx.tgm().bit(0, 0), "set 1 still references token 0");
+    }
+}

@@ -1,0 +1,375 @@
+//! The memory-resident LES3 index and its query algorithms (paper §6).
+
+use les3_data::{SetDatabase, SetId, TokenId};
+
+use crate::partitioning::Partitioning;
+use crate::sim::{distinct_len, Similarity};
+use crate::stats::SearchStats;
+use crate::tgm::Tgm;
+
+/// Result of a kNN or range query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// `(set id, similarity)` sorted by descending similarity, ties by id.
+    pub hits: Vec<(SetId, f64)>,
+    /// Cost counters.
+    pub stats: SearchStats,
+}
+
+/// The LES3 index: database + partitioning + TGM + similarity measure.
+#[derive(Debug, Clone)]
+pub struct Les3Index<S: Similarity> {
+    db: SetDatabase,
+    partitioning: Partitioning,
+    tgm: Tgm,
+    sim: S,
+}
+
+impl<S: Similarity> Les3Index<S> {
+    /// Builds the index. The partitioning must cover the database.
+    pub fn build(db: SetDatabase, partitioning: Partitioning, sim: S) -> Self {
+        let tgm = Tgm::build(&db, &partitioning);
+        Self { db, partitioning, tgm, sim }
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &SetDatabase {
+        &self.db
+    }
+
+    /// The partitioning in use.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// The token-group matrix.
+    pub fn tgm(&self) -> &Tgm {
+        &self.tgm
+    }
+
+    /// Mutable TGM access (used by the update path).
+    pub(crate) fn parts_mut(&mut self) -> (&mut SetDatabase, &mut Partitioning, &mut Tgm) {
+        (&mut self.db, &mut self.partitioning, &mut self.tgm)
+    }
+
+    /// The similarity measure.
+    pub fn sim(&self) -> S {
+        self.sim
+    }
+
+    /// Index size in bytes (TGM only — the quantity of Figure 11; the
+    /// partitioning assignment itself is part of data placement).
+    pub fn index_size_in_bytes(&self) -> usize {
+        self.tgm.size_in_bytes()
+    }
+
+    /// Upper bounds `UB(Q, G_g)` for every group, sorted descending
+    /// (Eq. 2 via [`Similarity::ub_from_overlap`]). Also records the
+    /// column-scan cost into `stats`.
+    pub fn group_upper_bounds(&self, query: &[TokenId], stats: &mut SearchStats) -> Vec<(u32, f64)> {
+        let q_len = distinct_len(query);
+        let counts = self.tgm.group_overlaps(query);
+        stats.columns_checked += q_len * self.tgm.n_groups();
+        let mut bounds: Vec<(u32, f64)> = counts
+            .iter()
+            .enumerate()
+            .map(|(g, &r)| (g as u32, self.sim.ub_from_overlap(q_len, r as usize)))
+            .collect();
+        bounds.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        bounds
+    }
+
+    /// Verifies every set of group `g` against the query, invoking
+    /// `on_hit(id, sim)` for each member, and updating `stats`.
+    pub fn verify_group(
+        &self,
+        query: &[TokenId],
+        g: u32,
+        stats: &mut SearchStats,
+        mut on_hit: impl FnMut(SetId, f64),
+    ) {
+        stats.groups_verified += 1;
+        for &id in self.partitioning.members(g) {
+            let s = self.sim.eval(query, self.db.set(id));
+            stats.candidates += 1;
+            stats.sims_computed += 1;
+            on_hit(id, s);
+        }
+    }
+
+    /// Exact kNN search (Definition 2.1).
+    ///
+    /// Groups are verified in decreasing upper-bound order; the search
+    /// stops at the first group whose bound cannot improve the current
+    /// k-th best similarity, which preserves exactness (Theorem 3.1).
+    pub fn knn(&self, query: &[TokenId], k: usize) -> SearchResult {
+        let mut stats = SearchStats::default();
+        if k == 0 || self.db.is_empty() {
+            return SearchResult { hits: Vec::new(), stats };
+        }
+        let bounds = self.group_upper_bounds(query, &mut stats);
+        let mut top = TopK::new(k);
+        for &(g, ub) in &bounds {
+            if top.is_full() && ub <= top.kth() {
+                stats.groups_pruned += 1;
+                continue; // bounds are sorted: everything after is pruned too
+            }
+            self.verify_group(query, g, &mut stats, |id, s| top.offer(id, s));
+        }
+        SearchResult { hits: top.into_sorted(), stats }
+    }
+
+    /// Exact range search (Definition 2.2): all sets with
+    /// `Sim(Q, S) ≥ delta`.
+    pub fn range(&self, query: &[TokenId], delta: f64) -> SearchResult {
+        let mut stats = SearchStats::default();
+        let bounds = self.group_upper_bounds(query, &mut stats);
+        let mut hits: Vec<(SetId, f64)> = Vec::new();
+        for &(g, ub) in &bounds {
+            if ub < delta {
+                stats.groups_pruned += 1;
+                continue;
+            }
+            self.verify_group(query, g, &mut stats, |id, s| {
+                if s >= delta {
+                    hits.push((id, s));
+                }
+            });
+        }
+        sort_hits(&mut hits);
+        SearchResult { hits, stats }
+    }
+}
+
+/// Sorts hits by descending similarity, ties by ascending id.
+pub(crate) fn sort_hits(hits: &mut [(SetId, f64)]) {
+    hits.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
+}
+
+/// A bounded top-k accumulator over `(id, similarity)` pairs.
+///
+/// Keeps the k largest similarities; ties broken toward smaller ids so
+/// results are deterministic.
+pub(crate) struct TopK {
+    k: usize,
+    /// Min-heap via reverse ordering on (sim, Reverse(id)).
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<HeapEntry>>,
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    sim: f64,
+    /// Reversed id ordering: larger ids are "smaller", so they get evicted
+    /// first among equal similarities.
+    id: SetId,
+}
+
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.sim
+            .partial_cmp(&other.sim)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(other.id.cmp(&self.id))
+    }
+}
+
+impl TopK {
+    pub(crate) fn new(k: usize) -> Self {
+        Self { k, heap: std::collections::BinaryHeap::with_capacity(k + 1) }
+    }
+
+    pub(crate) fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// Current k-th best similarity (−∞ until full).
+    pub(crate) fn kth(&self) -> f64 {
+        if self.is_full() {
+            self.heap.peek().map(|e| e.0.sim).unwrap_or(f64::NEG_INFINITY)
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+
+    pub(crate) fn offer(&mut self, id: SetId, sim: f64) {
+        self.heap.push(std::cmp::Reverse(HeapEntry { sim, id }));
+        if self.heap.len() > self.k {
+            self.heap.pop();
+        }
+    }
+
+    pub(crate) fn into_sorted(self) -> Vec<(SetId, f64)> {
+        let mut out: Vec<(SetId, f64)> =
+            self.heap.into_iter().map(|e| (e.0.id, e.0.sim)).collect();
+        sort_hits(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{Cosine, Jaccard};
+    use les3_data::zipfian::ZipfianGenerator;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn brute_knn<S: Similarity>(db: &SetDatabase, sim: S, q: &[TokenId], k: usize) -> Vec<(SetId, f64)> {
+        let mut all: Vec<(SetId, f64)> =
+            db.iter().map(|(id, s)| (id, sim.eval(q, s))).collect();
+        sort_hits(&mut all);
+        all.truncate(k);
+        all
+    }
+
+    fn brute_range<S: Similarity>(db: &SetDatabase, sim: S, q: &[TokenId], d: f64) -> Vec<(SetId, f64)> {
+        let mut all: Vec<(SetId, f64)> = db
+            .iter()
+            .map(|(id, s)| (id, sim.eval(q, s)))
+            .filter(|&(_, s)| s >= d)
+            .collect();
+        sort_hits(&mut all);
+        all
+    }
+
+    fn random_partitioning(n: usize, groups: usize, seed: u64) -> Partitioning {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Partitioning::from_assignment(
+            (0..n).map(|_| rng.gen_range(0..groups as u32)).collect(),
+            groups,
+        )
+    }
+
+    #[test]
+    fn knn_matches_brute_force_on_zipf_data() {
+        let db = ZipfianGenerator::new(600, 300, 8.0, 1.1).generate(3);
+        let part = random_partitioning(db.len(), 16, 1);
+        let index = Les3Index::build(db.clone(), part, Jaccard);
+        for qid in [0u32, 10, 99, 400] {
+            let q = db.set(qid).to_vec();
+            for k in [1usize, 5, 20] {
+                let got = index.knn(&q, k);
+                let expected = brute_knn(&db, Jaccard, &q, k);
+                // Similarity multiset must match exactly (ids may tie-swap).
+                let gs: Vec<f64> = got.hits.iter().map(|h| h.1).collect();
+                let es: Vec<f64> = expected.iter().map(|h| h.1).collect();
+                assert_eq!(gs, es, "qid {qid} k {k}");
+                assert_eq!(got.hits.len(), k);
+            }
+        }
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let db = ZipfianGenerator::new(500, 250, 6.0, 1.2).generate(7);
+        let part = random_partitioning(db.len(), 12, 2);
+        let index = Les3Index::build(db.clone(), part, Jaccard);
+        for qid in [3u32, 77, 250] {
+            let q = db.set(qid).to_vec();
+            for delta in [0.3, 0.5, 0.8, 1.0] {
+                let got = index.range(&q, delta);
+                let expected = brute_range(&db, Jaccard, &q, delta);
+                assert_eq!(got.hits, expected, "qid {qid} δ {delta}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_with_cosine_is_exact_too() {
+        let db = ZipfianGenerator::new(300, 200, 7.0, 1.0).generate(11);
+        let part = random_partitioning(db.len(), 8, 3);
+        let index = Les3Index::build(db.clone(), part, Cosine);
+        let q = db.set(42).to_vec();
+        let got = index.knn(&q, 10);
+        let expected = brute_knn(&db, Cosine, &q, 10);
+        let gs: Vec<f64> = got.hits.iter().map(|h| h.1).collect();
+        let es: Vec<f64> = expected.iter().map(|h| h.1).collect();
+        assert_eq!(gs, es);
+    }
+
+    #[test]
+    fn grouping_by_similarity_prunes_more_than_random() {
+        // Sets fall into 4 disjoint token regions; a region-aligned
+        // partitioning should prune ~3/4 of the database.
+        let mut sets = Vec::new();
+        for region in 0..4u32 {
+            for i in 0..50u32 {
+                sets.push(vec![region * 100 + i, region * 100 + i + 1, region * 100 + i + 2]);
+            }
+        }
+        let db = SetDatabase::from_sets(sets);
+        let aligned =
+            Partitioning::from_assignment((0..200).map(|i| (i / 50) as u32).collect(), 4);
+        let index = Les3Index::build(db.clone(), aligned, Jaccard);
+        let q = db.set(10).to_vec();
+        let res = index.knn(&q, 5);
+        let pe = res.stats.pruning_efficiency_knn(200, 5);
+        assert!(pe >= 0.75, "aligned partitioning PE {pe}");
+
+        let random = random_partitioning(200, 4, 5);
+        let index_r = Les3Index::build(db, random, Jaccard);
+        let res_r = index_r.knn(&q, 5);
+        assert!(
+            res.stats.candidates < res_r.stats.candidates,
+            "aligned {} vs random {}",
+            res.stats.candidates,
+            res_r.stats.candidates
+        );
+    }
+
+    #[test]
+    fn knn_handles_small_and_degenerate_inputs() {
+        let db = SetDatabase::from_sets(vec![vec![0u32, 1], vec![2, 3]]);
+        let index = Les3Index::build(db, Partitioning::round_robin(2, 2), Jaccard);
+        assert!(index.knn(&[0, 1], 0).hits.is_empty());
+        // k larger than |D| returns everything.
+        let res = index.knn(&[0, 1], 10);
+        assert_eq!(res.hits.len(), 2);
+        // Query with only unseen tokens: similarities are 0 but k results
+        // are still returned (Definition 2.1 wants exactly k).
+        let res = index.knn(&[100, 200], 1);
+        assert_eq!(res.hits.len(), 1);
+        assert_eq!(res.hits[0].1, 0.0);
+    }
+
+    #[test]
+    fn range_delta_one_and_above() {
+        let db = SetDatabase::from_sets(vec![vec![0u32, 1], vec![0, 1], vec![0, 2]]);
+        let index = Les3Index::build(db, Partitioning::round_robin(3, 2), Jaccard);
+        let res = index.range(&[0, 1], 1.0);
+        let ids: Vec<SetId> = res.hits.iter().map(|h| h.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let db = ZipfianGenerator::new(400, 200, 6.0, 1.1).generate(5);
+        let part = random_partitioning(db.len(), 10, 6);
+        let index = Les3Index::build(db.clone(), part, Jaccard);
+        let q = db.set(0).to_vec();
+        let res = index.range(&q, 0.6);
+        assert_eq!(res.stats.candidates, res.stats.sims_computed);
+        assert_eq!(res.stats.groups_pruned + res.stats.groups_verified, 10);
+        assert!(res.stats.columns_checked > 0);
+        let pe = res.stats.pruning_efficiency_range(db.len(), res.hits.len());
+        assert!((0.0..=1.0).contains(&pe));
+    }
+
+    #[test]
+    fn topk_tie_breaking_prefers_small_ids() {
+        let mut top = TopK::new(2);
+        top.offer(5, 0.5);
+        top.offer(1, 0.5);
+        top.offer(3, 0.5);
+        let hits = top.into_sorted();
+        assert_eq!(hits.iter().map(|h| h.0).collect::<Vec<_>>(), vec![1, 3]);
+    }
+}

@@ -1,0 +1,61 @@
+//! LES3: learning-based exact set similarity search — core index and
+//! query processing (paper §2, §3, §6).
+//!
+//! LES3 answers exact kNN and range set-similarity queries with a
+//! filter-and-verify strategy: the database is partitioned into
+//! non-overlapping groups, and a light-weight bitmap index — the
+//! *token-group matrix* ([`Tgm`]) — records which tokens appear in which
+//! groups. For a query `Q`, a single pass over `Q`'s token columns yields a
+//! similarity **upper bound** for every group (Theorem 3.1); groups whose
+//! bound cannot beat the threshold (range) or the current k-th result
+//! (kNN) are pruned wholesale, and only surviving groups are verified
+//! set-by-set.
+//!
+//! Entry points:
+//!
+//! * [`Les3Index`] — memory-resident index over a
+//!   [`SetDatabase`](les3_data::SetDatabase) and a [`Partitioning`];
+//! * [`Htgm`] — the hierarchical variant (§5.2, evaluated in Figure 14);
+//! * [`DiskLes3`] — disk-resident variant with group-contiguous layout
+//!   (§7.6, Figure 13);
+//! * [`sim`] — the similarity measures (Jaccard, Dice, Cosine, overlap
+//!   coefficient) and the TGM applicability property they satisfy.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use les3_core::{Les3Index, Partitioning};
+//! use les3_core::sim::Jaccard;
+//! use les3_data::SetDatabase;
+//!
+//! let db = SetDatabase::from_sets(vec![
+//!     vec![0u32, 1, 2],
+//!     vec![0, 1, 3],
+//!     vec![7, 8, 9],
+//! ]);
+//! // Any partitioning works; L2P (les3-partition) learns a good one.
+//! let part = Partitioning::from_assignment(vec![0, 0, 1], 2);
+//! let index = Les3Index::build(db, part, Jaccard);
+//! let res = index.knn(&[0, 1, 2], 2);
+//! assert_eq!(res.hits[0].0, 0); // exact match first
+//! ```
+
+pub mod batch;
+pub mod delete;
+pub mod disk;
+pub mod htgm;
+pub mod index;
+pub mod partitioning;
+pub mod sim;
+pub mod stats;
+pub mod tgm;
+pub mod update;
+
+pub use delete::DeletionLog;
+pub use disk::DiskLes3;
+pub use htgm::{HierarchicalPartitioning, Htgm};
+pub use index::{Les3Index, SearchResult};
+pub use partitioning::Partitioning;
+pub use sim::{Cosine, Dice, Jaccard, OverlapCoefficient, Similarity};
+pub use stats::SearchStats;
+pub use tgm::Tgm;

@@ -1,0 +1,139 @@
+//! Group assignments of database sets.
+
+use les3_data::SetId;
+
+/// A partitioning of the database into `n` non-overlapping groups
+/// `G_1 … G_n` (paper §3.1). Produced by the partitioners in
+/// `les3-partition` (L2P, PAR-C/D/A/G) or constructed directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning {
+    assignment: Vec<u32>,
+    n_groups: usize,
+    members: Vec<Vec<SetId>>,
+}
+
+impl Partitioning {
+    /// Builds from a per-set group assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any assignment is `>= n_groups`.
+    pub fn from_assignment(assignment: Vec<u32>, n_groups: usize) -> Self {
+        let mut members = vec![Vec::new(); n_groups];
+        for (id, &g) in assignment.iter().enumerate() {
+            assert!((g as usize) < n_groups, "group {g} out of range (n={n_groups})");
+            members[g as usize].push(id as SetId);
+        }
+        Self { assignment, n_groups, members }
+    }
+
+    /// The trivial partitioning: everything in one group.
+    pub fn single_group(n_sets: usize) -> Self {
+        Self::from_assignment(vec![0; n_sets], 1)
+    }
+
+    /// Round-robin partitioning into `n_groups` (a weak but valid default).
+    pub fn round_robin(n_sets: usize, n_groups: usize) -> Self {
+        assert!(n_groups > 0);
+        Self::from_assignment(
+            (0..n_sets).map(|i| (i % n_groups) as u32).collect(),
+            n_groups,
+        )
+    }
+
+    /// Number of groups.
+    pub fn n_groups(&self) -> usize {
+        self.n_groups
+    }
+
+    /// Number of sets covered.
+    pub fn n_sets(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Group of set `id`.
+    #[inline]
+    pub fn group_of(&self, id: SetId) -> u32 {
+        self.assignment[id as usize]
+    }
+
+    /// Members of group `g`.
+    pub fn members(&self, g: u32) -> &[SetId] {
+        &self.members[g as usize]
+    }
+
+    /// Size of each group.
+    pub fn group_sizes(&self) -> Vec<usize> {
+        self.members.iter().map(Vec::len).collect()
+    }
+
+    /// The raw assignment vector.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Adds a set to group `g`, growing the assignment (used by updates).
+    pub fn push(&mut self, g: u32) -> SetId {
+        assert!((g as usize) < self.n_groups);
+        let id = self.assignment.len() as SetId;
+        self.assignment.push(g);
+        self.members[g as usize].push(id);
+        id
+    }
+
+    /// Imbalance measure: max group size / mean group size (1.0 = perfectly
+    /// balanced). Theorem 4.2 says optimal partitionings are balanced.
+    pub fn imbalance(&self) -> f64 {
+        if self.n_sets() == 0 {
+            return 1.0;
+        }
+        let max = self.members.iter().map(Vec::len).max().unwrap_or(0);
+        let mean = self.n_sets() as f64 / self.n_groups as f64;
+        max as f64 / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_assignment_groups_members() {
+        let p = Partitioning::from_assignment(vec![1, 0, 1, 1], 2);
+        assert_eq!(p.n_groups(), 2);
+        assert_eq!(p.members(0), &[1]);
+        assert_eq!(p.members(1), &[0, 2, 3]);
+        assert_eq!(p.group_of(2), 1);
+        assert_eq!(p.group_sizes(), vec![1, 3]);
+    }
+
+    #[test]
+    fn round_robin_is_balanced() {
+        let p = Partitioning::round_robin(100, 8);
+        assert!(p.imbalance() <= 13.0 / 12.5);
+        assert_eq!(p.group_sizes().iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn push_appends() {
+        let mut p = Partitioning::round_robin(4, 2);
+        let id = p.push(1);
+        assert_eq!(id, 4);
+        assert_eq!(p.group_of(4), 1);
+        assert!(p.members(1).contains(&4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_groups() {
+        Partitioning::from_assignment(vec![0, 2], 2);
+    }
+
+    #[test]
+    fn imbalance_detects_skew() {
+        let balanced = Partitioning::from_assignment(vec![0, 1, 0, 1], 2);
+        let skewed = Partitioning::from_assignment(vec![0, 0, 0, 1], 2);
+        assert!(balanced.imbalance() < skewed.imbalance());
+        assert_eq!(skewed.imbalance(), 1.5);
+    }
+}

@@ -1,0 +1,250 @@
+//! Set similarity measures and the TGM applicability property (§3.2).
+//!
+//! Theorem 3.1: the TGM can prune for any measure `Sim` such that, with
+//! `R = Q ∩ S`,
+//!
+//! 1. `Sim(Q, R) ≥ Sim(Q, S)`, and
+//! 2. `Sim(Q, R) ≥ Sim(Q, R′)` for every `R′ ⊂ R`.
+//!
+//! Under these conditions `Sim(Q, R)` — a function of `|Q|` and
+//! `r = |Q ∩ GS_g|` only — upper-bounds the similarity between `Q` and any
+//! set in group `g`. Each measure here implements that bound in
+//! [`Similarity::ub_from_overlap`]; a property test in this module verifies
+//! admissibility against random sets.
+
+use les3_data::TokenId;
+
+/// A set similarity measure usable with the TGM.
+///
+/// Implementations must satisfy the TGM applicability property; the
+/// crate's tests check this empirically for all provided measures.
+#[allow(clippy::wrong_self_convention)] // `from_overlap` converts data, not Self
+pub trait Similarity: Copy + Send + Sync + 'static {
+    /// Human-readable name (used in benchmark output).
+    fn name(&self) -> &'static str;
+
+    /// Similarity from the overlap and both set sizes.
+    fn from_overlap(&self, overlap: usize, a_len: usize, b_len: usize) -> f64;
+
+    /// Theorem 3.1 upper bound: the largest similarity any set can have to
+    /// a query of size `q_len` when their overlap is at most `r`.
+    ///
+    /// Equals `Sim(Q, R)` with `|R| = r`, `R ⊆ Q`.
+    fn ub_from_overlap(&self, q_len: usize, r: usize) -> f64;
+
+    /// Evaluates the measure on two sorted token slices.
+    fn eval(&self, a: &[TokenId], b: &[TokenId]) -> f64 {
+        let o = les3_data::SetDatabase::overlap(a, b);
+        self.from_overlap(o, distinct_len(a), distinct_len(b))
+    }
+}
+
+/// Number of distinct tokens in a sorted slice (multisets store dups).
+#[inline]
+pub fn distinct_len(a: &[TokenId]) -> usize {
+    let mut n = 0;
+    let mut prev: Option<TokenId> = None;
+    for &t in a {
+        if prev != Some(t) {
+            n += 1;
+            prev = Some(t);
+        }
+    }
+    n
+}
+
+/// Jaccard similarity `|A∩B| / |A∪B|` — the paper's primary measure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Jaccard;
+
+impl Similarity for Jaccard {
+    fn name(&self) -> &'static str {
+        "jaccard"
+    }
+
+    fn from_overlap(&self, overlap: usize, a_len: usize, b_len: usize) -> f64 {
+        let union = a_len + b_len - overlap;
+        if union == 0 {
+            return 1.0; // both empty
+        }
+        overlap as f64 / union as f64
+    }
+
+    fn ub_from_overlap(&self, q_len: usize, r: usize) -> f64 {
+        // Best case S = R ⊆ Q: J = r / |Q| (Eq. 2).
+        if q_len == 0 {
+            return 1.0;
+        }
+        r as f64 / q_len as f64
+    }
+}
+
+/// Dice coefficient `2|A∩B| / (|A| + |B|)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Dice;
+
+impl Similarity for Dice {
+    fn name(&self) -> &'static str {
+        "dice"
+    }
+
+    fn from_overlap(&self, overlap: usize, a_len: usize, b_len: usize) -> f64 {
+        if a_len + b_len == 0 {
+            return 1.0;
+        }
+        2.0 * overlap as f64 / (a_len + b_len) as f64
+    }
+
+    fn ub_from_overlap(&self, q_len: usize, r: usize) -> f64 {
+        // Best case S = R: 2r / (|Q| + r).
+        if q_len + r == 0 {
+            return 1.0;
+        }
+        2.0 * r as f64 / (q_len + r) as f64
+    }
+}
+
+/// Cosine similarity `|A∩B| / sqrt(|A|·|B|)`. Does not obey the triangle
+/// inequality, yet satisfies the TGM applicability property — the paper's
+/// §3.2 example: `Q = {t1,t2,t3}`, `R = {t1,t2}` gives bound
+/// `2/√6 ≈ 0.82`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cosine;
+
+impl Similarity for Cosine {
+    fn name(&self) -> &'static str {
+        "cosine"
+    }
+
+    fn from_overlap(&self, overlap: usize, a_len: usize, b_len: usize) -> f64 {
+        if a_len == 0 || b_len == 0 {
+            return if a_len == b_len { 1.0 } else { 0.0 };
+        }
+        overlap as f64 / ((a_len * b_len) as f64).sqrt()
+    }
+
+    fn ub_from_overlap(&self, q_len: usize, r: usize) -> f64 {
+        // Best case S = R: r / sqrt(|Q|·r) = sqrt(r / |Q|).
+        if q_len == 0 {
+            return 1.0;
+        }
+        (r as f64 / q_len as f64).sqrt()
+    }
+}
+
+/// Overlap (Szymkiewicz–Simpson) coefficient `|A∩B| / min(|A|, |B|)`.
+///
+/// Its TGM bound is weak — any shared token makes the bound 1.0 because a
+/// singleton subset `S = {t} ⊆ R` reaches the maximum — but it remains
+/// *admissible*, so search stays exact (just with less pruning).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverlapCoefficient;
+
+impl Similarity for OverlapCoefficient {
+    fn name(&self) -> &'static str {
+        "overlap-coefficient"
+    }
+
+    fn from_overlap(&self, overlap: usize, a_len: usize, b_len: usize) -> f64 {
+        let denom = a_len.min(b_len);
+        if denom == 0 {
+            return 1.0;
+        }
+        overlap as f64 / denom as f64
+    }
+
+    fn ub_from_overlap(&self, _q_len: usize, r: usize) -> f64 {
+        if r == 0 {
+            0.0
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(Jaccard.eval(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(Jaccard.eval(&[1, 2], &[3, 4]), 0.0);
+        assert!((Jaccard.eval(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
+        assert_eq!(Jaccard.eval(&[], &[]), 1.0);
+        assert_eq!(Jaccard.eval(&[], &[1]), 0.0);
+    }
+
+    #[test]
+    fn cosine_matches_paper_example() {
+        // Q = {t1,t2,t3}, overlap 2 → bound 2/sqrt(3*2) ≈ 0.8165.
+        let ub = Cosine.ub_from_overlap(3, 2);
+        assert!((ub - 2.0 / 6.0_f64.sqrt()).abs() < 1e-12, "ub {ub}");
+        // And the Jaccard bound for the same example is 2/3 (paper §3.2).
+        assert!((Jaccard.ub_from_overlap(3, 2) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dice_and_overlap_basics() {
+        assert!((Dice.eval(&[1, 2, 3], &[2, 3, 4]) - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(OverlapCoefficient.eval(&[1, 2], &[1, 2, 3, 4]), 1.0);
+        assert_eq!(OverlapCoefficient.ub_from_overlap(5, 0), 0.0);
+        assert_eq!(OverlapCoefficient.ub_from_overlap(5, 1), 1.0);
+    }
+
+    #[test]
+    fn multiset_duplicates_count_once_in_eval() {
+        // {1,1,2} vs {1,2}: distinct lens 2 and 2, overlap 2 → J = 1.
+        assert_eq!(Jaccard.eval(&[1, 1, 2], &[1, 2]), 1.0);
+        assert_eq!(distinct_len(&[1, 1, 2, 2, 2, 9]), 3);
+        assert_eq!(distinct_len(&[]), 0);
+    }
+
+    /// Admissibility (Theorem 3.1): for every query Q and set S, the bound
+    /// computed from `r = |Q ∩ S|` must dominate the true similarity —
+    /// and more generally from any r' ≥ |Q ∩ S| (the TGM may overcount
+    /// because GS_g is a union over the group).
+    fn check_admissible<M: Similarity>(m: M, q: &[TokenId], s: &[TokenId]) {
+        let o = les3_data::SetDatabase::overlap(q, s);
+        let true_sim = m.eval(q, s);
+        let q_len = distinct_len(q);
+        for r in o..=q_len {
+            let ub = m.ub_from_overlap(q_len, r);
+            assert!(
+                ub >= true_sim - 1e-12,
+                "{}: ub({q_len},{r})={ub} < sim={true_sim} for q={q:?} s={s:?}",
+                m.name()
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn bounds_are_admissible(
+            q in prop::collection::btree_set(0u32..60, 1..15),
+            s in prop::collection::btree_set(0u32..60, 1..15),
+        ) {
+            let q: Vec<u32> = q.into_iter().collect();
+            let s: Vec<u32> = s.into_iter().collect();
+            check_admissible(Jaccard, &q, &s);
+            check_admissible(Dice, &q, &s);
+            check_admissible(Cosine, &q, &s);
+            check_admissible(OverlapCoefficient, &q, &s);
+        }
+
+        #[test]
+        fn bounds_are_monotone_in_overlap(q_len in 1usize..40, r in 0usize..40) {
+            let r = r.min(q_len);
+            if r < q_len {
+                prop_assert!(Jaccard.ub_from_overlap(q_len, r) <= Jaccard.ub_from_overlap(q_len, r + 1));
+                prop_assert!(Dice.ub_from_overlap(q_len, r) <= Dice.ub_from_overlap(q_len, r + 1));
+                prop_assert!(Cosine.ub_from_overlap(q_len, r) <= Cosine.ub_from_overlap(q_len, r + 1));
+            }
+            // Full overlap bound is exact similarity of Q with itself: 1.
+            prop_assert!((Jaccard.ub_from_overlap(q_len, q_len) - 1.0).abs() < 1e-12);
+        }
+    }
+}

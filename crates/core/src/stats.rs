@@ -1,0 +1,86 @@
+//! Search cost accounting.
+
+/// Per-query cost counters.
+///
+/// These are the quantities the paper's evaluation plots: pruning
+/// efficiency (Definition 2.3, Figures 10/15), similarity-computation
+/// counts, and index access cost measured in TGM columns (Figure 14).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Sets whose similarity to the query was actually computed
+    /// (the candidate set `S_Q` of Definition 2.3).
+    pub candidates: usize,
+    /// Exact similarity evaluations performed (== `candidates` for TGM
+    /// search; may differ for baselines with cheaper partial filters).
+    pub sims_computed: usize,
+    /// TGM columns examined: one unit per (query token, group) bit
+    /// inspected, summed across hierarchy levels.
+    pub columns_checked: usize,
+    /// Groups eliminated without verification.
+    pub groups_pruned: usize,
+    /// Groups verified.
+    pub groups_verified: usize,
+}
+
+impl SearchStats {
+    /// Pruning efficiency for a kNN query (Definition 2.3):
+    /// `(|D| − (|S_Q| − k)) / |D|`.
+    pub fn pruning_efficiency_knn(&self, db_size: usize, k: usize) -> f64 {
+        if db_size == 0 {
+            return 1.0;
+        }
+        let extra = self.candidates.saturating_sub(k);
+        (db_size - extra.min(db_size)) as f64 / db_size as f64
+    }
+
+    /// Pruning efficiency for a range query (Definition 2.3):
+    /// `(|D| − (|S_Q| − |R|)) / |D|`.
+    pub fn pruning_efficiency_range(&self, db_size: usize, result_size: usize) -> f64 {
+        if db_size == 0 {
+            return 1.0;
+        }
+        let extra = self.candidates.saturating_sub(result_size);
+        (db_size - extra.min(db_size)) as f64 / db_size as f64
+    }
+
+    /// Adds another stats record.
+    pub fn accumulate(&mut self, other: &SearchStats) {
+        self.candidates += other.candidates;
+        self.sims_computed += other.sims_computed;
+        self.columns_checked += other.columns_checked;
+        self.groups_pruned += other.groups_pruned;
+        self.groups_verified += other.groups_verified;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pe_formulas_match_definition() {
+        let stats = SearchStats { candidates: 120, ..Default::default() };
+        // kNN, k = 20: PE = (1000 - (120-20)) / 1000 = 0.9
+        assert!((stats.pruning_efficiency_knn(1000, 20) - 0.9).abs() < 1e-12);
+        // Range with 30 true results: PE = (1000 - 90)/1000 = 0.91
+        assert!((stats.pruning_efficiency_range(1000, 30) - 0.91).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pe_edge_cases() {
+        let s = SearchStats { candidates: 5, ..Default::default() };
+        assert_eq!(s.pruning_efficiency_knn(0, 3), 1.0);
+        // Candidates fewer than k: PE caps at 1.
+        assert_eq!(s.pruning_efficiency_knn(100, 10), 1.0);
+    }
+
+    #[test]
+    fn accumulate_sums_fields() {
+        let mut a = SearchStats { candidates: 1, sims_computed: 2, columns_checked: 3, groups_pruned: 4, groups_verified: 5 };
+        let b = a;
+        a.accumulate(&b);
+        assert_eq!(a.candidates, 2);
+        assert_eq!(a.columns_checked, 6);
+        assert_eq!(a.groups_verified, 10);
+    }
+}

@@ -1,0 +1,281 @@
+//! The set database: a flattened, token-sorted collection of sets.
+
+use crate::stats::DatasetStats;
+
+/// Identifier of a token in the universe `T` (paper §2).
+pub type TokenId = u32;
+
+/// Identifier of a set in the database `D`.
+pub type SetId = u32;
+
+/// A database of sets stored CSR-style: one flat token array plus per-set
+/// offsets. Every set is sorted by token id, which makes merge-based
+/// similarity verification O(|A| + |B|).
+///
+/// Duplicate tokens inside one set are allowed (multisets, paper §2); the
+/// generators in this crate produce plain sets, and the multiset-aware
+/// similarity lives in `les3-core`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SetDatabase {
+    tokens: Vec<TokenId>,
+    offsets: Vec<usize>,
+    universe_size: u32,
+}
+
+impl SetDatabase {
+    /// Creates an empty database over a universe of `universe_size` tokens
+    /// (token ids `0..universe_size`).
+    pub fn new(universe_size: u32) -> Self {
+        Self { tokens: Vec::new(), offsets: vec![0], universe_size }
+    }
+
+    /// Builds a database from unsorted sets; each set is sorted (duplicates
+    /// are kept so multisets round-trip). The universe size is the maximum
+    /// token id + 1.
+    pub fn from_sets<I, S>(sets: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: IntoIterator<Item = TokenId>,
+    {
+        let mut db = Self::new(0);
+        for set in sets {
+            let mut tokens: Vec<TokenId> = set.into_iter().collect();
+            tokens.sort_unstable();
+            db.push_sorted(&tokens);
+        }
+        db
+    }
+
+    /// Appends a set whose tokens are already sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `tokens` is not sorted.
+    pub fn push_sorted(&mut self, tokens: &[TokenId]) -> SetId {
+        debug_assert!(tokens.windows(2).all(|w| w[0] <= w[1]), "tokens must be sorted");
+        if let Some(&max) = tokens.last() {
+            if max >= self.universe_size {
+                self.universe_size = max + 1;
+            }
+        }
+        self.tokens.extend_from_slice(tokens);
+        self.offsets.push(self.tokens.len());
+        (self.offsets.len() - 2) as SetId
+    }
+
+    /// Appends a possibly unsorted set.
+    pub fn push(&mut self, tokens: &mut Vec<TokenId>) -> SetId {
+        tokens.sort_unstable();
+        self.push_sorted(tokens)
+    }
+
+    /// Number of sets.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the database has no sets.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of the token universe `|T|` (max token id + 1 over all sets, or
+    /// the size given at construction, whichever is larger).
+    pub fn universe_size(&self) -> u32 {
+        self.universe_size
+    }
+
+    /// Grows the declared universe (used by open-universe updates, §6).
+    pub fn extend_universe(&mut self, universe_size: u32) {
+        self.universe_size = self.universe_size.max(universe_size);
+    }
+
+    /// The sorted token slice of set `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn set(&self, id: SetId) -> &[TokenId] {
+        let i = id as usize;
+        &self.tokens[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Iterates over `(id, tokens)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SetId, &[TokenId])> {
+        (0..self.len() as SetId).map(move |id| (id, self.set(id)))
+    }
+
+    /// Total number of stored tokens (sum of set sizes).
+    pub fn total_tokens(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Heap bytes used by the raw data (the paper compares index sizes
+    /// against the data size).
+    pub fn size_in_bytes(&self) -> usize {
+        self.tokens.len() * std::mem::size_of::<TokenId>()
+            + self.offsets.len() * std::mem::size_of::<usize>()
+    }
+
+    /// Computes the Table-2 style statistics of this database.
+    pub fn stats(&self) -> DatasetStats {
+        let mut max_size = 0usize;
+        let mut min_size = usize::MAX;
+        let mut distinct = std::collections::HashSet::new();
+        for (_, set) in self.iter() {
+            max_size = max_size.max(set.len());
+            min_size = min_size.min(set.len());
+            distinct.extend(set.iter().copied());
+        }
+        if self.is_empty() {
+            min_size = 0;
+        }
+        DatasetStats {
+            n_sets: self.len(),
+            max_size,
+            min_size,
+            avg_size: if self.is_empty() {
+                0.0
+            } else {
+                self.total_tokens() as f64 / self.len() as f64
+            },
+            distinct_tokens: distinct.len(),
+            universe_size: self.universe_size as usize,
+        }
+    }
+
+    /// Returns a new database containing the sets whose ids are in `ids`
+    /// (used for the 5 % KOSARAK sample of §7.3).
+    pub fn subset(&self, ids: &[SetId]) -> SetDatabase {
+        let mut out = SetDatabase::new(self.universe_size);
+        for &id in ids {
+            out.push_sorted(self.set(id));
+        }
+        out
+    }
+
+    /// Renumbers tokens densely to `0..distinct`, preserving their
+    /// relative order (so Zipf rank structure and per-set sortedness
+    /// survive). Returns the old→new mapping as a sorted list of old ids
+    /// (`mapping[new] = old`). After compaction `universe_size()` equals
+    /// the number of distinct tokens, matching how the paper's Table 2
+    /// defines |T| (tokens actually occurring in the data).
+    pub fn compact_tokens(&mut self) -> Vec<TokenId> {
+        let mut old_ids: Vec<TokenId> = {
+            let distinct: std::collections::HashSet<TokenId> =
+                self.tokens.iter().copied().collect();
+            distinct.into_iter().collect()
+        };
+        old_ids.sort_unstable();
+        let mut new_of = std::collections::HashMap::with_capacity(old_ids.len());
+        for (new, &old) in old_ids.iter().enumerate() {
+            new_of.insert(old, new as TokenId);
+        }
+        for t in &mut self.tokens {
+            *t = new_of[t];
+        }
+        self.universe_size = old_ids.len() as u32;
+        old_ids
+    }
+
+    /// Merge-join overlap `|A ∩ B|` of two sorted token slices
+    /// (set semantics: duplicates count once).
+    pub fn overlap(a: &[TokenId], b: &[TokenId]) -> usize {
+        let (mut i, mut j, mut n) = (0, 0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    let t = a[i];
+                    while i < a.len() && a[i] == t {
+                        i += 1;
+                    }
+                    while j < b.len() && b[j] == t {
+                        j += 1;
+                    }
+                }
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_retrieve() {
+        let mut db = SetDatabase::new(10);
+        let a = db.push(&mut vec![3, 1, 2]);
+        let b = db.push_sorted(&[5, 7]);
+        assert_eq!(db.set(a), &[1, 2, 3]);
+        assert_eq!(db.set(b), &[5, 7]);
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.total_tokens(), 5);
+    }
+
+    #[test]
+    fn universe_grows_with_tokens() {
+        let mut db = SetDatabase::new(4);
+        db.push_sorted(&[9]);
+        assert_eq!(db.universe_size(), 10);
+        db.extend_universe(20);
+        assert_eq!(db.universe_size(), 20);
+        db.extend_universe(5);
+        assert_eq!(db.universe_size(), 20);
+    }
+
+    #[test]
+    fn from_sets_sorts() {
+        let db = SetDatabase::from_sets(vec![vec![4u32, 2, 9], vec![1, 1, 0]]);
+        assert_eq!(db.set(0), &[2, 4, 9]);
+        assert_eq!(db.set(1), &[0, 1, 1]); // multiset duplicates preserved
+        assert_eq!(db.universe_size(), 10);
+    }
+
+    #[test]
+    fn stats_basics() {
+        let db = SetDatabase::from_sets(vec![vec![0u32, 1], vec![1, 2, 3], vec![4]]);
+        let s = db.stats();
+        assert_eq!(s.n_sets, 3);
+        assert_eq!(s.max_size, 3);
+        assert_eq!(s.min_size, 1);
+        assert!((s.avg_size - 2.0).abs() < 1e-12);
+        assert_eq!(s.distinct_tokens, 5);
+    }
+
+    #[test]
+    fn overlap_set_semantics_with_duplicates() {
+        assert_eq!(SetDatabase::overlap(&[1, 2, 2, 3], &[2, 2, 4]), 1);
+        assert_eq!(SetDatabase::overlap(&[1, 2, 3], &[4, 5]), 0);
+        assert_eq!(SetDatabase::overlap(&[], &[1]), 0);
+        assert_eq!(SetDatabase::overlap(&[1, 5, 9], &[1, 5, 9]), 3);
+    }
+
+    #[test]
+    fn compact_tokens_preserves_structure() {
+        let mut db = SetDatabase::from_sets(vec![vec![5u32, 100], vec![100, 7000], vec![5]]);
+        assert_eq!(db.universe_size(), 7001);
+        let mapping = db.compact_tokens();
+        assert_eq!(mapping, vec![5, 100, 7000]);
+        assert_eq!(db.universe_size(), 3);
+        assert_eq!(db.set(0), &[0, 1]);
+        assert_eq!(db.set(1), &[1, 2]);
+        assert_eq!(db.set(2), &[0]);
+        // Overlap structure is unchanged.
+        assert_eq!(SetDatabase::overlap(db.set(0), db.set(1)), 1);
+    }
+
+    #[test]
+    fn subset_preserves_sets() {
+        let db = SetDatabase::from_sets(vec![vec![0u32], vec![1, 2], vec![3]]);
+        let sub = db.subset(&[2, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.set(0), &[3]);
+        assert_eq!(sub.set(1), &[0]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Databases whose pairwise similarity follows a power law (§7.7).
+//!
+//! The TGM-vs-HTGM experiment (Figure 14) models the similarity between
+//! sets as `P[sim = v] ∼ v^(−α)`, `v ∈ [0, 1]`, `α ∈ [1, ∞)`: large α means
+//! almost all pairs are dissimilar; small α leaves substantial mass at high
+//! similarities.
+//!
+//! The generator realizes that distribution constructively: each new set
+//! picks a random *parent* among the existing sets, draws a target
+//! similarity `v` from the power law, and copies exactly the number of
+//! parent tokens that produces Jaccard ≈ `v`, filling the rest with fresh
+//! uniform tokens.
+
+use crate::db::SetDatabase;
+use crate::rand_util::{distinct_uniform, power_law_unit, rng};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Generator for power-law-similarity databases.
+#[derive(Debug, Clone)]
+pub struct PowerLawSimGenerator {
+    /// Number of sets (the paper uses 20 000).
+    pub n_sets: usize,
+    /// Universe size (the paper uses 20 000).
+    pub universe: u32,
+    /// Fixed set size; equal sizes make target similarity exact.
+    pub set_size: usize,
+    /// Power-law exponent α.
+    pub alpha: f64,
+    /// Smallest similarity the power law is truncated at (avoids the
+    /// non-normalizable singularity at 0).
+    pub v_min: f64,
+    /// Number of *hub* sets new sets derive from. `0` = chain mode (derive
+    /// from any earlier set: high similarity stays within small families).
+    /// `h > 0` = hub mode (derive from one of the first `h` sets): at
+    /// small α a constant fraction of *all* pairs is similar, the regime
+    /// where the paper finds coarse HTGM levels "may provide no pruning
+    /// efficiency at all" (§7.7).
+    pub hubs: usize,
+}
+
+impl PowerLawSimGenerator {
+    /// Creates a generator with the paper's database shape (chain mode).
+    pub fn new(n_sets: usize, universe: u32, set_size: usize, alpha: f64) -> Self {
+        Self { n_sets, universe, set_size, alpha, v_min: 0.05, hubs: 0 }
+    }
+
+    /// Switches to hub mode with `h` hub sets (see [`Self::hubs`]).
+    pub fn with_hubs(mut self, h: usize) -> Self {
+        self.hubs = h;
+        self
+    }
+
+    /// Overlap needed for two size-`l` sets to have Jaccard `v`:
+    /// `J = o / (2l − o)  ⇒  o = 2lv / (1 + v)`.
+    fn overlap_for(l: usize, v: f64) -> usize {
+        ((2.0 * l as f64 * v) / (1.0 + v)).round() as usize
+    }
+
+    /// Generates the database with a deterministic seed.
+    pub fn generate(&self, seed: u64) -> SetDatabase {
+        let mut r = rng(seed);
+        let mut db = SetDatabase::new(self.universe);
+        let mut first = distinct_uniform(&mut r, self.universe as usize, self.set_size);
+        db.push(&mut first);
+        for i in 1..self.n_sets {
+            let parent_pool = if self.hubs > 0 { self.hubs.min(i) } else { i };
+            let parent_id = r.gen_range(0..parent_pool) as u32;
+            let v = power_law_unit(&mut r, self.alpha, self.v_min);
+            let keep = Self::overlap_for(self.set_size, v).min(self.set_size);
+            let mut parent: Vec<u32> = db.set(parent_id).to_vec();
+            parent.shuffle(&mut r);
+            let mut tokens: Vec<u32> = parent[..keep].to_vec();
+            // Fill the remainder with fresh tokens outside the parent.
+            while tokens.len() < self.set_size {
+                let t = r.gen_range(0..self.universe);
+                if !tokens.contains(&t) && !parent[..keep].contains(&t) {
+                    tokens.push(t);
+                }
+            }
+            db.push(&mut tokens);
+        }
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::SetDatabase as Db;
+
+    fn jaccard(a: &[u32], b: &[u32]) -> f64 {
+        let o = Db::overlap(a, b);
+        o as f64 / (a.len() + b.len() - o) as f64
+    }
+
+    #[test]
+    fn overlap_formula_is_exact() {
+        // l=10, v=0.25 → o = 2*10*0.25/1.25 = 4; J = 4/(20-4) = 0.25.
+        assert_eq!(PowerLawSimGenerator::overlap_for(10, 0.25), 4);
+        assert_eq!(PowerLawSimGenerator::overlap_for(10, 1.0), 10);
+        assert_eq!(PowerLawSimGenerator::overlap_for(10, 0.0), 0);
+    }
+
+    #[test]
+    fn high_alpha_means_mostly_dissimilar() {
+        let mean_sim = |alpha: f64| {
+            let db = PowerLawSimGenerator::new(300, 5000, 10, alpha).generate(13);
+            let mut total = 0.0;
+            let mut n = 0usize;
+            for i in 0..db.len() as u32 {
+                for j in (i + 1)..db.len() as u32 {
+                    total += jaccard(db.set(i), db.set(j));
+                    n += 1;
+                }
+            }
+            total / n as f64
+        };
+        let low = mean_sim(1.0);
+        let high = mean_sim(6.0);
+        assert!(high < low, "α=6 mean sim {high} should be below α=1 mean sim {low}");
+    }
+
+    #[test]
+    fn sets_have_fixed_size_and_distinct_tokens() {
+        let db = PowerLawSimGenerator::new(100, 2000, 12, 2.0).generate(3);
+        assert_eq!(db.len(), 100);
+        for (_, s) in db.iter() {
+            assert_eq!(s.len(), 12);
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Query workload sampling.
+//!
+//! The paper evaluates every experiment by "randomly select\[ing\] 10K sets
+//! in the corresponding dataset as the queries" (§7.1). At bench scale we
+//! sample proportionally fewer.
+
+use crate::db::{SetDatabase, SetId, TokenId};
+use crate::rand_util::rng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Draws `count` distinct set ids uniformly from the database to serve as
+/// queries (without replacement; clamped to `|D|`).
+pub fn sample_query_ids(db: &SetDatabase, count: usize, seed: u64) -> Vec<SetId> {
+    let mut ids: Vec<SetId> = (0..db.len() as SetId).collect();
+    ids.shuffle(&mut rng(seed));
+    ids.truncate(count.min(db.len()));
+    ids
+}
+
+/// Materializes query token-vectors from ids.
+pub fn materialize(db: &SetDatabase, ids: &[SetId]) -> Vec<Vec<TokenId>> {
+    ids.iter().map(|&id| db.set(id).to_vec()).collect()
+}
+
+/// Perturbs each query by replacing `mutations` random tokens with tokens
+/// outside the set, yielding near-duplicate queries (data-cleaning style
+/// workloads where the query is not an exact database member).
+pub fn perturb(
+    db: &SetDatabase,
+    queries: &[Vec<TokenId>],
+    mutations: usize,
+    seed: u64,
+) -> Vec<Vec<TokenId>> {
+    let mut r = rng(seed);
+    queries
+        .iter()
+        .map(|q| {
+            let mut q = q.clone();
+            for _ in 0..mutations.min(q.len()) {
+                let pos = r.gen_range(0..q.len());
+                // Find a replacement not already present.
+                loop {
+                    let t = r.gen_range(0..db.universe_size().max(1));
+                    if !q.contains(&t) {
+                        q[pos] = t;
+                        break;
+                    }
+                }
+            }
+            q.sort_unstable();
+            q.dedup();
+            q
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_db() -> SetDatabase {
+        SetDatabase::from_sets((0..50u32).map(|i| vec![i, i + 1, i + 2, 100 + i]))
+    }
+
+    #[test]
+    fn sampling_is_distinct_and_bounded() {
+        let db = toy_db();
+        let ids = sample_query_ids(&db, 20, 5);
+        assert_eq!(ids.len(), 20);
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20, "ids must be distinct");
+        assert_eq!(sample_query_ids(&db, 1000, 5).len(), 50, "clamped to |D|");
+    }
+
+    #[test]
+    fn materialize_returns_tokens() {
+        let db = toy_db();
+        let qs = materialize(&db, &[0, 3]);
+        assert_eq!(qs[0], db.set(0));
+        assert_eq!(qs[1], db.set(3));
+    }
+
+    #[test]
+    fn perturb_changes_but_preserves_shape() {
+        let db = toy_db();
+        let qs = materialize(&db, &sample_query_ids(&db, 10, 1));
+        let mutated = perturb(&db, &qs, 1, 2);
+        assert_eq!(mutated.len(), qs.len());
+        let changed = qs.iter().zip(&mutated).filter(|(a, b)| a != b).count();
+        assert!(changed >= 8, "most queries should change: {changed}");
+        for q in &mutated {
+            assert!(q.windows(2).all(|w| w[0] < w[1]), "sorted + distinct");
+        }
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let db = toy_db();
+        assert_eq!(sample_query_ids(&db, 10, 9), sample_query_ids(&db, 10, 9));
+        assert_ne!(sample_query_ids(&db, 10, 9), sample_query_ids(&db, 10, 10));
+    }
+}

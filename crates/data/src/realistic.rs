@@ -1,0 +1,203 @@
+//! Scaled-down emulators of the paper's datasets (Table 2).
+//!
+//! The six datasets are external downloads (frequent-itemset and social
+//! network dumps). We reproduce their *shape*: number of sets, universe
+//! size, and min/avg/max set sizes — scaled down by a configurable factor
+//! so experiments run at bench scale. Token popularity is Zipfian, which
+//! matches the heavy-tailed frequency distributions of all six sources.
+
+use crate::db::SetDatabase;
+use crate::zipfian::ZipfianGenerator;
+
+/// Shape specification of one emulated dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Dataset name as used in the paper.
+    pub name: &'static str,
+    /// Number of sets at full (paper) scale.
+    pub n_sets: usize,
+    /// Universe size at full scale.
+    pub universe: u32,
+    /// Mean set size (scale-invariant).
+    pub avg_size: f64,
+    /// Smallest set size.
+    pub min_size: usize,
+    /// Largest set size at full scale.
+    pub max_size: usize,
+    /// Zipf exponent of token popularity.
+    pub alpha: f64,
+}
+
+impl DatasetSpec {
+    /// KOSARAK click-stream: 990 002 sets, |T| = 41 270, sizes 1–2 498, avg 8.1.
+    pub fn kosarak() -> Self {
+        Self {
+            name: "KOSARAK",
+            n_sets: 990_002,
+            universe: 41_270,
+            avg_size: 8.1,
+            min_size: 1,
+            max_size: 2_498,
+            alpha: 1.15,
+        }
+    }
+
+    /// LiveJournal: 3 201 202 sets, |T| = 7 489 073, sizes 1–300, avg 35.1.
+    pub fn livej() -> Self {
+        Self {
+            name: "LIVEJ",
+            n_sets: 3_201_202,
+            universe: 7_489_073,
+            avg_size: 35.1,
+            min_size: 1,
+            max_size: 300,
+            alpha: 1.05,
+        }
+    }
+
+    /// DBLP author lists: 5 875 251 sets, |T| = 3 720 067, sizes 2–462, avg 8.7.
+    pub fn dblp() -> Self {
+        Self {
+            name: "DBLP",
+            n_sets: 5_875_251,
+            universe: 3_720_067,
+            avg_size: 8.7,
+            min_size: 2,
+            max_size: 462,
+            alpha: 1.1,
+        }
+    }
+
+    /// AOL query log: 10 154 742 sets, |T| = 3 849 555, sizes 1–245, avg 3.0.
+    pub fn aol() -> Self {
+        Self {
+            name: "AOL",
+            n_sets: 10_154_742,
+            universe: 3_849_555,
+            avg_size: 3.0,
+            min_size: 1,
+            max_size: 245,
+            alpha: 1.2,
+        }
+    }
+
+    /// Friendster social network: 65 608 366 sets, |T| = 65 608 366,
+    /// sizes 1–3 615, avg 27.5. Used for disk-based evaluation (§7.6).
+    pub fn fs() -> Self {
+        Self {
+            name: "FS",
+            n_sets: 65_608_366,
+            universe: 65_608_366,
+            avg_size: 27.5,
+            min_size: 1,
+            max_size: 3_615,
+            alpha: 1.0,
+        }
+    }
+
+    /// PubMed Central sentences: 787 220 474 sets, |T| = 22 923 401,
+    /// sizes 1–2 597, avg 8.8. Used for disk-based evaluation (§7.6).
+    pub fn pmc() -> Self {
+        Self {
+            name: "PMC",
+            n_sets: 787_220_474,
+            universe: 22_923_401,
+            avg_size: 8.8,
+            min_size: 1,
+            max_size: 2_597,
+            alpha: 1.25,
+        }
+    }
+
+    /// All four memory-based datasets in paper order.
+    pub fn memory_datasets() -> Vec<Self> {
+        vec![Self::kosarak(), Self::livej(), Self::dblp(), Self::aol()]
+    }
+
+    /// The two disk-based datasets.
+    pub fn disk_datasets() -> Vec<Self> {
+        vec![Self::fs(), Self::pmc()]
+    }
+
+    /// Scales |D| down by `factor`. |T| and the maximum set size shrink by
+    /// `∛factor` only: scaling the universe linearly would make every
+    /// group signature cover all of `T` and destroy the pruning behaviour
+    /// the experiments measure (group signatures must stay a small
+    /// fraction of the universe, as they are at paper scale), while not
+    /// scaling it at all would make posting lists unrealistically sparse
+    /// for the inverted-index baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor <= 0`.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let mut s = self.clone();
+        s.n_sets = ((self.n_sets as f64 / factor).round() as usize).max(10);
+        s.universe = ((self.universe as f64 / factor.cbrt()).round() as u32).max(16);
+        // Never clamp the maximum below ~3× the average, or the size
+        // distribution's mean collapses (log-normal tail truncation).
+        s.max_size = ((self.max_size as f64 / factor.cbrt()).round() as usize)
+            .max((3.0 * s.avg_size).ceil() as usize)
+            .max(s.min_size + 1)
+            .min(s.universe as usize);
+        s
+    }
+
+    /// Scales so the emulated database has approximately `n_sets` sets.
+    pub fn with_sets(&self, n_sets: usize) -> Self {
+        self.scaled(self.n_sets as f64 / n_sets.max(1) as f64)
+    }
+
+    /// Generates the emulated database.
+    pub fn generate(&self, seed: u64) -> SetDatabase {
+        ZipfianGenerator {
+            n_sets: self.n_sets,
+            universe: self.universe,
+            avg_size: self.avg_size,
+            alpha: self.alpha,
+            min_size: self.min_size,
+            max_size: self.max_size.min(self.universe as usize),
+            near_dup_fraction: 0.3,
+        }
+        .generate(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_kosarak_matches_shape() {
+        let spec = DatasetSpec::kosarak().with_sets(2_000);
+        let db = spec.generate(1);
+        let stats = db.stats();
+        assert_eq!(stats.n_sets, spec.n_sets);
+        assert!((stats.avg_size - 8.1).abs() < 1.5, "avg {}", stats.avg_size);
+        assert!(stats.min_size >= 1);
+        assert!(stats.max_size <= spec.max_size);
+    }
+
+    #[test]
+    fn dblp_respects_min_size_two() {
+        let db = DatasetSpec::dblp().with_sets(1_000).generate(2);
+        assert!(db.iter().all(|(_, s)| s.len() >= 2));
+    }
+
+    #[test]
+    fn all_specs_are_generatable_at_small_scale() {
+        for spec in DatasetSpec::memory_datasets().iter().chain(DatasetSpec::disk_datasets().iter())
+        {
+            let db = spec.with_sets(200).generate(3);
+            assert_eq!(db.len(), spec.with_sets(200).n_sets, "{}", spec.name);
+            assert!(!db.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        DatasetSpec::kosarak().scaled(0.0);
+    }
+}

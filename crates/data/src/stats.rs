@@ -1,0 +1,54 @@
+//! Dataset statistics (the quantities of Table 2).
+
+/// Shape statistics of a [`crate::SetDatabase`], matching the columns of
+/// Table 2 in the paper: |D|, max/min/avg set size, and |T|.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Number of sets `|D|`.
+    pub n_sets: usize,
+    /// Largest set size.
+    pub max_size: usize,
+    /// Smallest set size.
+    pub min_size: usize,
+    /// Mean set size.
+    pub avg_size: f64,
+    /// Number of distinct tokens actually appearing in the data.
+    pub distinct_tokens: usize,
+    /// Declared universe size `|T|`.
+    pub universe_size: usize,
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|D|={} sizes(max={}, min={}, avg={:.1}) |T|={} (distinct={})",
+            self.n_sets,
+            self.max_size,
+            self.min_size,
+            self.avg_size,
+            self.universe_size,
+            self.distinct_tokens
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact() {
+        let s = DatasetStats {
+            n_sets: 100,
+            max_size: 20,
+            min_size: 1,
+            avg_size: 8.125,
+            distinct_tokens: 40,
+            universe_size: 64,
+        };
+        let text = s.to_string();
+        assert!(text.contains("|D|=100"));
+        assert!(text.contains("avg=8.1"));
+    }
+}

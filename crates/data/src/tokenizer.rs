@@ -1,0 +1,141 @@
+//! String → token-set conversion.
+//!
+//! Supports the data-cleaning motivation of the paper's introduction:
+//! "when strings are tokenized, the task of approximate string matching
+//! becomes a set similarity search problem."
+
+use crate::db::TokenId;
+use std::collections::HashMap;
+
+/// A growing bidirectional dictionary from string tokens to dense ids.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    ids: HashMap<String, TokenId>,
+    names: Vec<String>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Id for `token`, allocating a new one on first sight.
+    pub fn intern(&mut self, token: &str) -> TokenId {
+        if let Some(&id) = self.ids.get(token) {
+            return id;
+        }
+        let id = self.names.len() as TokenId;
+        self.ids.insert(token.to_owned(), id);
+        self.names.push(token.to_owned());
+        id
+    }
+
+    /// Id for `token` if already known.
+    pub fn get(&self, token: &str) -> Option<TokenId> {
+        self.ids.get(token).copied()
+    }
+
+    /// String for an id.
+    pub fn name(&self, id: TokenId) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct tokens seen.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no tokens were interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Tokenizes by lower-cased whitespace/punctuation-separated words and
+    /// returns the sorted, deduplicated token-id set.
+    pub fn tokenize_words(&mut self, text: &str) -> Vec<TokenId> {
+        let mut out: Vec<TokenId> = text
+            .split(|c: char| !c.is_alphanumeric())
+            .filter(|w| !w.is_empty())
+            .map(|w| {
+                let lower = w.to_lowercase();
+                self.intern(&lower)
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Tokenizes into overlapping character q-grams (classic approximate
+    /// string matching), returning the sorted, deduplicated id set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`.
+    pub fn tokenize_qgrams(&mut self, text: &str, q: usize) -> Vec<TokenId> {
+        assert!(q > 0, "q must be positive");
+        let chars: Vec<char> = text.to_lowercase().chars().collect();
+        let mut out: Vec<TokenId> = if chars.len() < q {
+            if chars.is_empty() {
+                Vec::new()
+            } else {
+                vec![self.intern(&chars.iter().collect::<String>())]
+            }
+        } else {
+            (0..=chars.len() - q)
+                .map(|i| {
+                    let gram: String = chars[i..i + q].iter().collect();
+                    self.intern(&gram)
+                })
+                .collect()
+        };
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut d = Dictionary::new();
+        let a = d.intern("hello");
+        let b = d.intern("world");
+        assert_ne!(a, b);
+        assert_eq!(d.intern("hello"), a);
+        assert_eq!(d.name(a), Some("hello"));
+        assert_eq!(d.get("world"), Some(b));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn word_tokenization_normalizes() {
+        let mut d = Dictionary::new();
+        let a = d.tokenize_words("The quick, brown FOX!");
+        let b = d.tokenize_words("fox the Quick brown");
+        assert_eq!(a, b, "same word set regardless of order/case/punct");
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn qgrams_overlap_for_near_duplicates() {
+        let mut d = Dictionary::new();
+        let a = d.tokenize_qgrams("jaccard", 3);
+        let b = d.tokenize_qgrams("jacard", 3); // one deletion
+        let overlap = crate::db::SetDatabase::overlap(&a, &b);
+        assert!(overlap >= 2, "near-duplicates share grams: {overlap}");
+        let c = d.tokenize_qgrams("zzzzzz", 3);
+        assert_eq!(crate::db::SetDatabase::overlap(&a, &c), 0);
+    }
+
+    #[test]
+    fn qgrams_short_string_edge_cases() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.tokenize_qgrams("", 3), Vec::<TokenId>::new());
+        assert_eq!(d.tokenize_qgrams("ab", 3).len(), 1, "whole short string is one token");
+    }
+}

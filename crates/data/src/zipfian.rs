@@ -1,0 +1,159 @@
+//! Zipf-distributed token popularity — the realistic workload shape.
+
+use crate::db::SetDatabase;
+use crate::rand_util::{rng, set_size, Zipf};
+use std::collections::HashSet;
+
+/// Generates databases with Zipf-distributed token popularity and
+/// log-normal set sizes, the shape real set-similarity benchmarks
+/// (KOSARAK, DBLP, AOL, …) exhibit.
+#[derive(Debug, Clone)]
+pub struct ZipfianGenerator {
+    /// Number of sets.
+    pub n_sets: usize,
+    /// Universe size |T|.
+    pub universe: u32,
+    /// Mean set size (log-normal shaped, clamped to `[min_size, max_size]`).
+    pub avg_size: f64,
+    /// Zipf exponent for token popularity (≈1.0–1.3 for real data).
+    pub alpha: f64,
+    /// Minimum set size.
+    pub min_size: usize,
+    /// Maximum set size.
+    pub max_size: usize,
+    /// Fraction of sets generated as near-duplicates of an earlier set
+    /// (~20 % of tokens mutated). Real set-similarity benchmarks are full
+    /// of near-duplicate records (repeated click sessions, reposted
+    /// sentences); without them kNN queries have no close neighbours and
+    /// every exact method degenerates to a scan.
+    pub near_dup_fraction: f64,
+}
+
+impl ZipfianGenerator {
+    /// Creates a generator with sizes clamped to `[1, universe]`.
+    pub fn new(n_sets: usize, universe: u32, avg_size: f64, alpha: f64) -> Self {
+        Self {
+            n_sets,
+            universe,
+            avg_size,
+            alpha,
+            min_size: 1,
+            max_size: universe as usize,
+            near_dup_fraction: 0.3,
+        }
+    }
+
+    /// Restricts set sizes to `[min, max]` (Table 2 reports both per dataset).
+    pub fn with_size_bounds(mut self, min: usize, max: usize) -> Self {
+        self.min_size = min.max(1);
+        self.max_size = max.max(self.min_size);
+        self
+    }
+
+    /// Sets the near-duplicate fraction (0 disables duplicates).
+    pub fn with_near_dups(mut self, fraction: f64) -> Self {
+        self.near_dup_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Generates the database with a deterministic seed.
+    pub fn generate(&self, seed: u64) -> SetDatabase {
+        use rand::Rng;
+        let mut r = rng(seed);
+        let zipf = Zipf::new(self.universe as usize, self.alpha);
+        let mut db = SetDatabase::new(self.universe);
+        let mut seen: HashSet<u32> = HashSet::new();
+        for i in 0..self.n_sets {
+            // Near-duplicate path: copy an earlier set, mutate ~20 %.
+            if i > 0 && r.gen_bool(self.near_dup_fraction) {
+                let parent: Vec<u32> = db.set(r.gen_range(0..i) as u32).to_vec();
+                let mutations = (parent.len() / 5).max(1);
+                seen.clear();
+                seen.extend(parent.iter().copied());
+                let mut tokens = parent;
+                for _ in 0..mutations {
+                    let pos = r.gen_range(0..tokens.len());
+                    for _ in 0..64 {
+                        let t = zipf.sample(&mut r) as u32;
+                        if seen.insert(t) {
+                            seen.remove(&tokens[pos]);
+                            tokens[pos] = t;
+                            break;
+                        }
+                    }
+                }
+                db.push(&mut tokens);
+                continue;
+            }
+            let size = set_size(&mut r, self.avg_size, self.min_size, self.max_size)
+                .min(self.universe as usize);
+            seen.clear();
+            let mut tokens = Vec::with_capacity(size);
+            // Rejection-sample distinct tokens; for sizes near |T| fall back
+            // to taking the most popular remaining ranks to bound the loop.
+            let mut attempts = 0usize;
+            while tokens.len() < size {
+                let t = zipf.sample(&mut r) as u32;
+                attempts += 1;
+                if seen.insert(t) {
+                    tokens.push(t);
+                } else if attempts > 50 * size {
+                    for cand in 0..self.universe {
+                        if tokens.len() >= size {
+                            break;
+                        }
+                        if seen.insert(cand) {
+                            tokens.push(cand);
+                        }
+                    }
+                }
+            }
+            db.push(&mut tokens);
+        }
+        // Dense token ids: |T| becomes the number of distinct tokens, the
+        // way the paper's Table 2 counts it. Order-preserving, so Zipf
+        // rank structure survives (small ids stay the popular ones).
+        db.compact_tokens();
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_skewed_token_popularity() {
+        let db = ZipfianGenerator::new(3000, 2000, 10.0, 1.2).generate(5);
+        let mut counts = vec![0usize; 2000];
+        for (_, s) in db.iter() {
+            for &t in s {
+                counts[t as usize] += 1;
+            }
+        }
+        // Popular ranks should dwarf tail ranks.
+        let head: usize = counts[..20].iter().sum();
+        let tail: usize = counts[1000..1020].iter().sum();
+        assert!(head > 10 * tail.max(1), "head {head} tail {tail}");
+    }
+
+    #[test]
+    fn respects_size_bounds() {
+        let db =
+            ZipfianGenerator::new(500, 1000, 6.0, 1.1).with_size_bounds(2, 40).generate(9);
+        for (_, s) in db.iter() {
+            assert!((2..=40).contains(&s.len()), "size {}", s.len());
+            let distinct: HashSet<_> = s.iter().collect();
+            assert_eq!(distinct.len(), s.len(), "tokens must be distinct");
+        }
+    }
+
+    #[test]
+    fn large_sets_near_universe_terminate() {
+        let db = ZipfianGenerator::new(5, 30, 28.0, 1.5).with_size_bounds(25, 30).generate(1);
+        assert_eq!(db.len(), 5);
+        for (_, s) in db.iter() {
+            assert!(s.len() >= 25);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Element-wise activation functions.
+
+/// Activation applied after a dense layer's affine transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Logistic sigmoid `1 / (1 + e^-x)` — the paper's choice (§7.1).
+    Sigmoid,
+    /// Rectified linear unit `max(0, x)`.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// No activation (affine output).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to a pre-activation value.
+    #[inline]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* `y = apply(x)`.
+    ///
+    /// Sigmoid and tanh have cheap output-form derivatives; ReLU uses the
+    /// convention `relu'(0) = 0`.
+    #[inline]
+    pub fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_range_and_midpoint() {
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-12);
+        assert!(Activation::Sigmoid.apply(100.0) > 0.999);
+        assert!(Activation::Sigmoid.apply(-100.0) < 0.001);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-6;
+        for act in [Activation::Sigmoid, Activation::Tanh, Activation::Identity] {
+            for &x in &[-2.0, -0.5, 0.3, 1.7] {
+                let y = act.apply(x);
+                let numeric = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                let analytic = act.derivative_from_output(y);
+                assert!(
+                    (numeric - analytic).abs() < 1e-5,
+                    "{act:?} at {x}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_derivative_piecewise() {
+        assert_eq!(Activation::Relu.derivative_from_output(Activation::Relu.apply(2.0)), 1.0);
+        assert_eq!(Activation::Relu.derivative_from_output(Activation::Relu.apply(-2.0)), 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Minimal neural-network library for LES3's learning-to-partition (L2P).
+//!
+//! The paper trains its Siamese networks with PyTorch: a multi-layer
+//! perceptron with *two hidden layers of eight neurons each*, sigmoid
+//! activations, a single sigmoid output neuron, the Adam optimizer, batch
+//! size 256, and three epochs (paper §7.1, "Network and Loss Function" and
+//! "Training"). A model that small needs no tensor framework, so this crate
+//! implements exactly the required pieces from scratch:
+//!
+//! * [`Mlp`] — dense feed-forward network with configurable layer sizes and
+//!   activations, forward pass and reverse-mode gradients;
+//! * [`Adam`] — the Adam optimizer (Kingma & Ba) over the MLP parameters;
+//! * [`siamese`] — pair training with the paper's surrogate loss
+//!   (Eq. 18), plus the non-differentiable "hard" loss (Eq. 15) kept for the
+//!   ablation benchmark;
+//! * [`init`] — seeded Xavier/Glorot initialization so every training run is
+//!   reproducible.
+//!
+//! All arithmetic is `f64`: the models are tiny, so the extra width costs
+//! nothing and keeps the finite-difference gradient tests tight.
+//!
+//! # Example
+//!
+//! ```
+//! use les3_nn::{Activation, Mlp};
+//!
+//! // The paper's network: input -> 8 -> 8 -> 1, all sigmoid.
+//! let mlp = Mlp::new(&[32, 8, 8, 1], Activation::Sigmoid, 42);
+//! let x = vec![0.5; 32];
+//! let out = mlp.forward(&x);
+//! assert_eq!(out.len(), 1);
+//! assert!(out[0] > 0.0 && out[0] < 1.0);
+//! ```
+
+pub mod activation;
+pub mod adam;
+pub mod init;
+pub mod layer;
+pub mod mlp;
+pub mod siamese;
+
+pub use activation::Activation;
+pub use adam::Adam;
+pub use layer::Dense;
+pub use mlp::{Mlp, MlpGradients};
+pub use siamese::{PairBatch, PairLoss, SiameseConfig, SiameseTrainer, TrainReport};

@@ -1,0 +1,295 @@
+//! Siamese pair training (paper §5.1, §7.1).
+//!
+//! A Siamese network is a single [`Mlp`] applied to both elements of a pair;
+//! the loss couples the two outputs. The paper's learning objective
+//! (Eq. 15) is piecewise constant in the outputs, so it trains with the
+//! surrogate (Eq. 18):
+//!
+//! ```text
+//! loss'(Sx, Sy) = W(Ox, Oy) · (1 − Sim(Sx, Sy))   if V(Ox, Oy)
+//!              = 0                                 otherwise
+//! W(Ox, Oy) = 0.5 − |Ox − Oy|
+//! V(Ox, Oy) = both outputs on the same side of 0.5
+//! ```
+//!
+//! Minimizing pushes *dissimilar* same-side pairs to opposite sides of the
+//! 0.5 decision boundary, weighted by their dissimilarity, while similar
+//! pairs (dissimilarity ≈ 0) generate no force — exactly the grouping
+//! pressure Eq. 15 expresses, but with useful gradients.
+
+use crate::adam::Adam;
+use crate::mlp::{Mlp, Trace};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Which pair loss to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairLoss {
+    /// The trainable surrogate of Eq. (18).
+    Surrogate,
+    /// The original hard loss of Eq. (15). Its gradient is zero almost
+    /// everywhere; retained for the `ablation_l2p_loss` benchmark, which
+    /// demonstrates why the surrogate is necessary.
+    Hard,
+}
+
+impl PairLoss {
+    /// Returns `(loss, dL/dOx, dL/dOy)` for outputs `ox`, `oy` and pair
+    /// dissimilarity `d = 1 − Sim`.
+    pub fn eval(self, ox: f64, oy: f64, d: f64) -> (f64, f64, f64) {
+        let same_side = (ox >= 0.5) == (oy >= 0.5);
+        if !same_side {
+            return (0.0, 0.0, 0.0);
+        }
+        match self {
+            PairLoss::Hard => (d, 0.0, 0.0),
+            PairLoss::Surrogate => {
+                let w = 0.5 - (ox - oy).abs();
+                let loss = w * d;
+                // d/dox [−|ox−oy|·d] = −sign(ox−oy)·d
+                let s = if ox > oy {
+                    1.0
+                } else if ox < oy {
+                    -1.0
+                } else {
+                    0.0
+                };
+                (loss, -s * d, s * d)
+            }
+        }
+    }
+}
+
+/// A borrowed batch of training pairs over a flat representation matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct PairBatch<'a> {
+    /// Row-major `n × dim` representation matrix.
+    pub reps: &'a [f64],
+    /// Representation dimensionality.
+    pub dim: usize,
+    /// `(row_a, row_b, dissimilarity)` triples.
+    pub pairs: &'a [(u32, u32, f64)],
+}
+
+impl<'a> PairBatch<'a> {
+    /// Representation of row `idx`.
+    #[inline]
+    pub fn rep(&self, idx: u32) -> &'a [f64] {
+        let start = idx as usize * self.dim;
+        &self.reps[start..start + self.dim]
+    }
+}
+
+/// Training hyperparameters. Defaults follow the paper (§7.1): batch size
+/// 256, 3 epochs, Adam, surrogate loss.
+#[derive(Debug, Clone)]
+pub struct SiameseConfig {
+    /// Number of passes over the sampled pairs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Shuffle seed.
+    pub seed: u64,
+    /// Loss variant.
+    pub loss: PairLoss,
+}
+
+impl Default for SiameseConfig {
+    fn default() -> Self {
+        Self { epochs: 3, batch_size: 256, lr: 0.01, seed: 0, loss: PairLoss::Surrogate }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean loss per epoch (the learning curve of Figure 7a).
+    pub epoch_losses: Vec<f64>,
+    /// Total pairs processed.
+    pub pairs_seen: usize,
+}
+
+/// Trains one Siamese model over sampled pairs.
+#[derive(Debug, Clone, Default)]
+pub struct SiameseTrainer {
+    /// Hyperparameters.
+    pub cfg: SiameseConfig,
+}
+
+impl SiameseTrainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(cfg: SiameseConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Runs mini-batch training of `mlp` on `batch`, mutating the network
+    /// in place and returning the learning curve.
+    pub fn train(&self, mlp: &mut Mlp, batch: PairBatch<'_>) -> TrainReport {
+        assert_eq!(mlp.out_dim(), 1, "Siamese networks here have one output neuron");
+        assert_eq!(mlp.in_dim(), batch.dim, "representation dim must match network input");
+        let mut adam = Adam::new(mlp, self.cfg.lr);
+        let mut grads = mlp.new_gradients();
+        let mut trace_x = Trace::default();
+        let mut trace_y = Trace::default();
+        let mut order: Vec<usize> = (0..batch.pairs.len()).collect();
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut epoch_losses = Vec::with_capacity(self.cfg.epochs);
+        let mut pairs_seen = 0usize;
+
+        for _ in 0..self.cfg.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            for chunk in order.chunks(self.cfg.batch_size.max(1)) {
+                grads.zero();
+                for &p in chunk {
+                    let (a, b, d) = batch.pairs[p];
+                    let xa = batch.rep(a);
+                    let xb = batch.rep(b);
+                    mlp.forward_traced(xa, &mut trace_x);
+                    let ox = mlp.traced_output(&trace_x)[0];
+                    mlp.forward_traced(xb, &mut trace_y);
+                    let oy = mlp.traced_output(&trace_y)[0];
+                    let (loss, gx, gy) = self.cfg.loss.eval(ox, oy, d);
+                    epoch_loss += loss;
+                    if gx != 0.0 {
+                        mlp.backward(xa, &trace_x, &[gx], &mut grads);
+                    }
+                    if gy != 0.0 {
+                        mlp.backward(xb, &trace_y, &[gy], &mut grads);
+                    }
+                    pairs_seen += 1;
+                }
+                grads.scale(1.0 / chunk.len() as f64);
+                adam.step(mlp, &grads);
+            }
+            epoch_losses.push(epoch_loss / batch.pairs.len().max(1) as f64);
+        }
+        TrainReport { epoch_losses, pairs_seen }
+    }
+}
+
+/// Side of the 0.5 decision boundary a representation falls on:
+/// `false` = first sub-group (`O < 0.5`), `true` = second (`O ≥ 0.5`).
+pub fn assign_side(mlp: &Mlp, rep: &[f64]) -> bool {
+    mlp.forward_scalar(rep) >= 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+
+    #[test]
+    fn surrogate_loss_values_and_gradients() {
+        // Same side, ox > oy: loss = (0.5 - 0.1) * 0.8 = 0.32
+        let (l, gx, gy) = PairLoss::Surrogate.eval(0.7, 0.6, 0.8);
+        assert!((l - 0.32).abs() < 1e-12);
+        assert_eq!((gx, gy), (-0.8, 0.8));
+        // Opposite sides: no loss, no gradient.
+        let (l, gx, gy) = PairLoss::Surrogate.eval(0.7, 0.3, 0.8);
+        assert_eq!((l, gx, gy), (0.0, 0.0, 0.0));
+        // Equal outputs: zero (sub)gradient but max weight.
+        let (l, gx, gy) = PairLoss::Surrogate.eval(0.6, 0.6, 1.0);
+        assert!((l - 0.5).abs() < 1e-12);
+        assert_eq!((gx, gy), (0.0, 0.0));
+    }
+
+    #[test]
+    fn surrogate_gradient_matches_finite_difference() {
+        let eps = 1e-7;
+        for &(ox, oy, d) in &[(0.7, 0.62, 0.9), (0.2, 0.45, 0.5), (0.9, 0.55, 1.0)] {
+            let (_, gx, gy) = PairLoss::Surrogate.eval(ox, oy, d);
+            let num_gx = (PairLoss::Surrogate.eval(ox + eps, oy, d).0
+                - PairLoss::Surrogate.eval(ox - eps, oy, d).0)
+                / (2.0 * eps);
+            let num_gy = (PairLoss::Surrogate.eval(ox, oy + eps, d).0
+                - PairLoss::Surrogate.eval(ox, oy - eps, d).0)
+                / (2.0 * eps);
+            assert!((gx - num_gx).abs() < 1e-5, "gx {gx} vs {num_gx}");
+            assert!((gy - num_gy).abs() < 1e-5, "gy {gy} vs {num_gy}");
+        }
+    }
+
+    #[test]
+    fn hard_loss_has_zero_gradient_and_freezes_training() {
+        let mut mlp = Mlp::new(&[2, 4, 1], Activation::Sigmoid, 1);
+        let before = mlp.layers()[0].w.clone();
+        let reps = vec![0.0, 0.0, 1.0, 1.0];
+        let pairs = vec![(0u32, 1u32, 1.0)];
+        let trainer = SiameseTrainer::new(SiameseConfig {
+            loss: PairLoss::Hard,
+            epochs: 5,
+            ..Default::default()
+        });
+        let report = trainer.train(&mut mlp, PairBatch { reps: &reps, dim: 2, pairs: &pairs });
+        assert_eq!(mlp.layers()[0].w, before, "hard loss must not move parameters");
+        assert!(report.epoch_losses.iter().all(|&l| l > 0.0));
+    }
+
+    #[test]
+    fn learns_to_separate_two_clusters() {
+        // Two clusters in 4-d space; cross-cluster pairs are dissimilar.
+        let n_per = 40usize;
+        let dim = 4usize;
+        let mut reps = Vec::with_capacity(2 * n_per * dim);
+        let mut rng = crate::init::seeded_rng(33);
+        use rand::Rng;
+        for _ in 0..n_per {
+            for _ in 0..dim {
+                reps.push(rng.gen_range(-0.1..0.1) - 1.0);
+            }
+        }
+        for _ in 0..n_per {
+            for _ in 0..dim {
+                reps.push(rng.gen_range(-0.1..0.1) + 1.0);
+            }
+        }
+        let mut pairs = Vec::new();
+        for _ in 0..3000 {
+            let a = rng.gen_range(0..2 * n_per) as u32;
+            let b = rng.gen_range(0..2 * n_per) as u32;
+            if a == b {
+                continue;
+            }
+            let cluster_a = a as usize >= n_per;
+            let cluster_b = b as usize >= n_per;
+            let d = if cluster_a == cluster_b { 0.05 } else { 1.0 };
+            pairs.push((a, b, d));
+        }
+        let mut mlp = Mlp::new(&[dim, 8, 8, 1], Activation::Sigmoid, 7);
+        let trainer = SiameseTrainer::new(SiameseConfig {
+            epochs: 20,
+            batch_size: 64,
+            lr: 0.05,
+            seed: 9,
+            loss: PairLoss::Surrogate,
+        });
+        let report = trainer.train(&mut mlp, PairBatch { reps: &reps, dim, pairs: &pairs });
+        assert!(
+            report.epoch_losses.last().unwrap() < &report.epoch_losses[0],
+            "loss should decrease: {:?}",
+            report.epoch_losses
+        );
+        // The two clusters should land on opposite sides of the boundary.
+        let side_of = |i: usize| assign_side(&mlp, &reps[i * dim..(i + 1) * dim]);
+        let first: usize = (0..n_per).filter(|&i| side_of(i)).count();
+        let second: usize = (n_per..2 * n_per).filter(|&i| side_of(i)).count();
+        let separated = (first <= n_per / 8 && second >= n_per * 7 / 8)
+            || (first >= n_per * 7 / 8 && second <= n_per / 8);
+        assert!(separated, "clusters not separated: {first}/{n_per} vs {second}/{n_per}");
+    }
+
+    #[test]
+    fn report_counts_pairs() {
+        let reps = vec![0.0, 1.0, 1.0, 0.0];
+        let pairs = vec![(0u32, 1u32, 0.5); 10];
+        let mut mlp = Mlp::new(&[2, 4, 1], Activation::Sigmoid, 3);
+        let trainer = SiameseTrainer::new(SiameseConfig { epochs: 2, ..Default::default() });
+        let report = trainer.train(&mut mlp, PairBatch { reps: &reps, dim: 2, pairs: &pairs });
+        assert_eq!(report.pairs_seen, 20);
+        assert_eq!(report.epoch_losses.len(), 2);
+    }
+}

@@ -1,0 +1,447 @@
+//! L2P: learning to partition (paper §5).
+//!
+//! Training one network to place sets into thousands of groups is
+//! infeasible (§5.2), so L2P trains a *cascade*: each level trains one
+//! Siamese MLP per current group, splitting it in two. Level `i` therefore
+//! holds up to `2^i · init_groups` groups; splitting stops below
+//! `min_group_size` sets (the paper uses 50) or once `target_groups` is
+//! reached.
+//!
+//! Paper-faithful details reproduced here:
+//!
+//! * **Initialization** (§7.1): sets are sorted by their minimal token and
+//!   chunked into `init_groups` (paper: 128) equal consecutive groups,
+//!   replacing the first ⌈log₂ 128⌉ cascade levels;
+//! * **Network** (§7.1): MLP with two hidden layers of eight sigmoid
+//!   neurons and a single sigmoid output; `O < 0.5` → first sub-group;
+//! * **Training** (§7.1): 40 000 random pairs per model, batch 256,
+//!   3 epochs, Adam, surrogate loss Eq. 18;
+//! * **Inference**: every member is pushed through the trained model; if a
+//!   split leaves one side empty the median output is used as the
+//!   threshold instead (not specified by the paper; guarantees progress).
+//!
+//! Models at the same level are independent and train in parallel
+//! (`parallel: true`), the direction the paper flags as future work.
+
+use crate::rep::RepMatrix;
+use les3_core::{HierarchicalPartitioning, Jaccard, Partitioning, Similarity};
+use les3_data::{SetDatabase, SetId};
+use les3_nn::{Activation, Mlp, PairBatch, SiameseConfig, SiameseTrainer, TrainReport};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the cascade.
+#[derive(Debug, Clone)]
+pub struct L2pConfig {
+    /// Stop once at least this many leaf groups exist.
+    pub target_groups: usize,
+    /// Groups formed by the min-token initialization (paper: 128).
+    pub init_groups: usize,
+    /// Groups smaller than this are not split further (paper: 50).
+    pub min_group_size: usize,
+    /// Pairs sampled per model (paper: 40 000).
+    pub pairs_per_model: usize,
+    /// Hidden layer widths (paper: `[8, 8]`).
+    pub hidden: Vec<usize>,
+    /// Siamese training hyperparameters (epochs, batch, lr, loss).
+    pub siamese: SiameseConfig,
+    /// Scale representations by `1 / mean set size` before training, which
+    /// keeps sigmoid pre-activations in a trainable range.
+    pub normalize_reps: bool,
+    /// Train same-level models on multiple threads.
+    pub parallel: bool,
+    /// Master seed (every model derives a deterministic sub-seed).
+    pub seed: u64,
+}
+
+impl Default for L2pConfig {
+    fn default() -> Self {
+        Self {
+            target_groups: 1024,
+            init_groups: 128,
+            min_group_size: 50,
+            pairs_per_model: 40_000,
+            hidden: vec![8, 8],
+            siamese: SiameseConfig::default(),
+            normalize_reps: true,
+            parallel: true,
+            seed: 0,
+        }
+    }
+}
+
+/// Output of the cascade: the per-level hierarchy plus training telemetry.
+#[derive(Debug, Clone)]
+pub struct L2pResult {
+    /// Nested partitionings, coarsest (initialization) first.
+    pub levels: Vec<Partitioning>,
+    /// One learning curve per trained model, in training order
+    /// (level-major). Level-0 curves are what Figure 7(a) plots.
+    pub reports: Vec<TrainReport>,
+    /// Number of Siamese models trained.
+    pub models_trained: usize,
+    /// Peak memory the method needs: model parameters + one mini-batch
+    /// (the paper credits L2P's tiny footprint in Figure 9).
+    pub model_bytes: usize,
+}
+
+impl L2pResult {
+    /// The finest partitioning (what the TGM is built on).
+    pub fn finest(&self) -> &Partitioning {
+        self.levels.last().unwrap()
+    }
+
+    /// Converts the per-level partitionings into the nested hierarchy the
+    /// HTGM consumes.
+    pub fn hierarchy(&self) -> HierarchicalPartitioning {
+        HierarchicalPartitioning::new(self.levels.clone())
+    }
+}
+
+/// The L2P partitioner.
+#[derive(Debug, Clone, Default)]
+pub struct L2p {
+    /// Configuration.
+    pub cfg: L2pConfig,
+}
+
+/// One group's worth of work at the current cascade level.
+struct GroupTask {
+    members: Vec<SetId>,
+}
+
+impl L2p {
+    /// Creates the partitioner.
+    pub fn new(cfg: L2pConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Runs the cascade over the database using precomputed
+    /// representations (`reps.len() == db.len()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reps` does not cover the database or the database is
+    /// empty.
+    pub fn partition(&self, db: &SetDatabase, reps: &RepMatrix) -> L2pResult {
+        assert_eq!(reps.len(), db.len(), "one representation per set");
+        assert!(!db.is_empty(), "cannot partition an empty database");
+        let cfg = &self.cfg;
+        // Optional normalization for trainability.
+        let scaled;
+        let reps = if cfg.normalize_reps {
+            let mean_size = db.total_tokens() as f64 / db.len() as f64;
+            let mut m = reps.clone();
+            m.scale(1.0 / mean_size.max(1.0));
+            scaled = m;
+            &scaled
+        } else {
+            reps
+        };
+
+        // --- Initialization: sort by minimal token, chunk evenly (§7.1).
+        let mut levels: Vec<Partitioning> = Vec::new();
+        let init_groups = cfg.init_groups.clamp(1, db.len());
+        let mut order: Vec<SetId> = (0..db.len() as SetId).collect();
+        order.sort_by_key(|&id| db.set(id).first().copied().unwrap_or(u32::MAX));
+        let chunk = db.len().div_ceil(init_groups);
+        let mut groups: Vec<Vec<SetId>> = order
+            .chunks(chunk)
+            .map(|c| c.to_vec())
+            .collect();
+        levels.push(groups_to_partitioning(db.len(), &groups));
+
+        let mut reports: Vec<TrainReport> = Vec::new();
+        let mut models_trained = 0usize;
+        let mut model_bytes = 0usize;
+        let max_levels = 24; // safety bound: 2^24 groups is beyond any use
+
+        for level in 0..max_levels {
+            if groups.len() >= cfg.target_groups {
+                break;
+            }
+            let splittable: Vec<bool> = groups
+                .iter()
+                .map(|g| g.len() >= cfg.min_group_size.max(2))
+                .collect();
+            if !splittable.iter().any(|&s| s) {
+                break;
+            }
+            // Train one model per splittable group (possibly in parallel).
+            let tasks: Vec<(usize, GroupTask)> = groups
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| splittable[i])
+                .map(|(i, g)| (i, GroupTask { members: g.clone() }))
+                .collect();
+            let outcomes = if cfg.parallel && tasks.len() > 1 {
+                self.train_parallel(db, reps, level, &tasks)
+            } else {
+                tasks
+                    .iter()
+                    .map(|(i, t)| (*i, self.train_one(db, reps, level, *i, t)))
+                    .collect()
+            };
+            // Apply the splits in deterministic (group index) order.
+            let mut next_groups: Vec<Vec<SetId>> = Vec::with_capacity(groups.len() * 2);
+            let mut outcome_iter = outcomes.into_iter().peekable();
+            for (i, group) in groups.iter().enumerate() {
+                match outcome_iter.peek() {
+                    Some((gi, _)) if *gi == i => {
+                        let (_, outcome) = outcome_iter.next().unwrap();
+                        reports.push(outcome.report);
+                        models_trained += 1;
+                        model_bytes = model_bytes.max(outcome.model_bytes);
+                        next_groups.push(outcome.left);
+                        next_groups.push(outcome.right);
+                    }
+                    _ => next_groups.push(group.clone()), // passes through
+                }
+            }
+            groups = next_groups;
+            levels.push(groups_to_partitioning(db.len(), &groups));
+        }
+
+        // Mini-batch memory: batch_size pairs × 2 reps × dim × 8 bytes.
+        let batch_bytes =
+            cfg.siamese.batch_size * 2 * reps.dim() * std::mem::size_of::<f64>();
+        L2pResult {
+            levels,
+            reports,
+            models_trained,
+            model_bytes: model_bytes + batch_bytes,
+        }
+    }
+
+    fn train_parallel(
+        &self,
+        db: &SetDatabase,
+        reps: &RepMatrix,
+        level: usize,
+        tasks: &[(usize, GroupTask)],
+    ) -> Vec<(usize, SplitOutcome)> {
+        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let threads = threads.min(tasks.len()).max(1);
+        let chunks: Vec<&[(usize, GroupTask)]> =
+            tasks.chunks(tasks.len().div_ceil(threads)).collect();
+        let mut out: Vec<(usize, SplitOutcome)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|(i, t)| (*i, self.train_one(db, reps, level, *i, t)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("trainer panicked")).collect()
+        });
+        out.sort_by_key(|(i, _)| *i);
+        out
+    }
+
+    /// Trains one Siamese model on a group and splits it.
+    fn train_one(
+        &self,
+        db: &SetDatabase,
+        reps: &RepMatrix,
+        level: usize,
+        group_idx: usize,
+        task: &GroupTask,
+    ) -> SplitOutcome {
+        let cfg = &self.cfg;
+        let members = &task.members;
+        let model_seed = derive_seed(cfg.seed, level as u64, group_idx as u64);
+        let mut rng = StdRng::seed_from_u64(model_seed);
+
+        // Sample training pairs with replacement (paper: 40 000 random
+        // pairs per group).
+        let mut pairs: Vec<(u32, u32, f64)> = Vec::with_capacity(cfg.pairs_per_model);
+        for _ in 0..cfg.pairs_per_model {
+            let a = members[rng.gen_range(0..members.len())];
+            let b = members[rng.gen_range(0..members.len())];
+            if a == b {
+                continue;
+            }
+            let d = 1.0 - Jaccard.eval(db.set(a), db.set(b));
+            pairs.push((a, b, d));
+        }
+
+        let mut widths = Vec::with_capacity(cfg.hidden.len() + 2);
+        widths.push(reps.dim());
+        widths.extend_from_slice(&cfg.hidden);
+        widths.push(1);
+        let mut mlp = Mlp::new(&widths, Activation::Sigmoid, model_seed);
+        let trainer = SiameseTrainer::new(SiameseConfig {
+            seed: model_seed ^ 0x9e37_79b9,
+            ..cfg.siamese.clone()
+        });
+        let report = trainer.train(
+            &mut mlp,
+            PairBatch { reps: reps.as_slice(), dim: reps.dim(), pairs: &pairs },
+        );
+
+        // Inference: assign each member by output side.
+        let outputs: Vec<f64> =
+            members.iter().map(|&id| mlp.forward_scalar(reps.row(id as usize))).collect();
+        let (mut left, mut right) = (Vec::new(), Vec::new());
+        for (&id, &o) in members.iter().zip(&outputs) {
+            if o < 0.5 {
+                left.push(id);
+            } else {
+                right.push(id);
+            }
+        }
+        if left.is_empty() || right.is_empty() {
+            // Median-output fallback (guarantees both sides non-empty).
+            let mut indexed: Vec<(f64, SetId)> =
+                outputs.iter().copied().zip(members.iter().copied()).collect();
+            indexed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            let mid = indexed.len() / 2;
+            left = indexed[..mid].iter().map(|&(_, id)| id).collect();
+            right = indexed[mid..].iter().map(|&(_, id)| id).collect();
+        }
+        SplitOutcome { left, right, report, model_bytes: mlp.size_in_bytes() }
+    }
+}
+
+struct SplitOutcome {
+    left: Vec<SetId>,
+    right: Vec<SetId>,
+    report: TrainReport,
+    model_bytes: usize,
+}
+
+fn groups_to_partitioning(n_sets: usize, groups: &[Vec<SetId>]) -> Partitioning {
+    let mut assignment = vec![0u32; n_sets];
+    for (g, members) in groups.iter().enumerate() {
+        for &id in members {
+            assignment[id as usize] = g as u32;
+        }
+    }
+    Partitioning::from_assignment(assignment, groups.len())
+}
+
+/// SplitMix64-style seed derivation so every (level, group) model is
+/// deterministic yet decorrelated.
+fn derive_seed(seed: u64, level: u64, group: u64) -> u64 {
+    let mut z = seed ^ level.wrapping_mul(0xbf58_476d_1ce4_e5b9) ^ group.wrapping_mul(0x94d0_49bb_1331_11eb);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::gpo;
+    use crate::rep::{Ptr, RepMatrix};
+    use les3_data::zipfian::ZipfianGenerator;
+
+    fn small_cfg(target: usize) -> L2pConfig {
+        L2pConfig {
+            target_groups: target,
+            init_groups: 2,
+            min_group_size: 4,
+            pairs_per_model: 400,
+            parallel: false,
+            ..Default::default()
+        }
+    }
+
+    fn clustered_db(clusters: usize, per_cluster: usize) -> SetDatabase {
+        let mut sets = Vec::new();
+        for c in 0..clusters as u32 {
+            for i in 0..per_cluster as u32 {
+                let base = c * 64;
+                sets.push(vec![base, base + 1, base + 2 + i % 4, base + 7]);
+            }
+        }
+        SetDatabase::from_sets(sets)
+    }
+
+    #[test]
+    fn cascade_reaches_target_and_is_nested() {
+        let db = clustered_db(4, 30);
+        let reps = RepMatrix::from_representation(&db, &Ptr::new(db.universe_size()));
+        let result = L2p::new(small_cfg(8)).partition(&db, &reps);
+        assert!(result.finest().n_groups() >= 8);
+        assert!(result.models_trained > 0);
+        // Hierarchy construction validates nesting internally.
+        let h = result.hierarchy();
+        assert_eq!(h.finest().n_groups(), result.finest().n_groups());
+    }
+
+    #[test]
+    fn training_reports_are_recorded() {
+        let db = clustered_db(2, 40);
+        let reps = RepMatrix::from_representation(&db, &Ptr::new(db.universe_size()));
+        let result = L2p::new(small_cfg(4)).partition(&db, &reps);
+        assert_eq!(result.reports.len(), result.models_trained);
+        for r in &result.reports {
+            assert_eq!(r.epoch_losses.len(), 3, "3 epochs by default");
+        }
+        assert!(result.model_bytes > 0);
+    }
+
+    #[test]
+    fn l2p_beats_round_robin_on_gpo() {
+        let db = clustered_db(4, 25);
+        let reps = RepMatrix::from_representation(&db, &Ptr::new(db.universe_size()));
+        let result = L2p::new(small_cfg(4)).partition(&db, &reps);
+        let rr = Partitioning::round_robin(db.len(), result.finest().n_groups());
+        let l2p_gpo = gpo(&db, result.finest(), Jaccard);
+        let rr_gpo = gpo(&db, &rr, Jaccard);
+        assert!(l2p_gpo < rr_gpo, "L2P {l2p_gpo} vs round-robin {rr_gpo}");
+    }
+
+    #[test]
+    fn min_group_size_stops_splitting() {
+        let db = clustered_db(1, 10);
+        let reps = RepMatrix::from_representation(&db, &Ptr::new(db.universe_size()));
+        let cfg = L2pConfig {
+            target_groups: 64,
+            init_groups: 1,
+            min_group_size: 8,
+            pairs_per_model: 100,
+            parallel: false,
+            ..Default::default()
+        };
+        let result = L2p::new(cfg).partition(&db, &reps);
+        // 10 sets, min size 8: one split into (5,5), then both stop.
+        assert!(result.finest().n_groups() <= 2);
+        assert!(result.finest().group_sizes().iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let db = ZipfianGenerator::new(150, 100, 5.0, 1.0).generate(9);
+        let reps = RepMatrix::from_representation(&db, &Ptr::new(db.universe_size()));
+        let mut cfg = small_cfg(8);
+        cfg.init_groups = 4;
+        let serial = L2p::new(cfg.clone()).partition(&db, &reps);
+        cfg.parallel = true;
+        let parallel = L2p::new(cfg).partition(&db, &reps);
+        assert_eq!(serial.finest().assignment(), parallel.finest().assignment());
+    }
+
+    #[test]
+    fn works_on_realistic_zipf_data() {
+        let db = ZipfianGenerator::new(400, 300, 7.0, 1.1).generate(2);
+        let reps = RepMatrix::from_representation(&db, &Ptr::new(db.universe_size()));
+        let cfg = L2pConfig {
+            target_groups: 16,
+            init_groups: 4,
+            min_group_size: 4,
+            pairs_per_model: 600,
+            ..Default::default()
+        };
+        let result = L2p::new(cfg).partition(&db, &reps);
+        assert!(result.finest().n_groups() >= 16);
+        assert_eq!(result.finest().n_sets(), 400);
+        // All levels nested (validated by constructor).
+        let _ = result.hierarchy();
+    }
+}

@@ -1,0 +1,46 @@
+//! Partitioning the database into groups (paper §4, §5).
+//!
+//! The pruning power of the token-group matrix depends entirely on how the
+//! database is partitioned. The paper:
+//!
+//! 1. derives the desired properties of a partitioning under the uniform
+//!    token distribution assumption — *balance* (Thm 4.2) and *minimal
+//!    summed group signatures* (Thm 4.3) — and folds both into the
+//!    general partitioning objective **GPO** (Eq. 13), minimizing
+//!    intra-group pairwise distance ([`objective`]);
+//! 2. shows minimizing GPO is NP-complete (Thm 4.4);
+//! 3. proposes algorithmic baselines: centroid-based [`ParC`], divisive
+//!    [`ParD`], agglomerative [`ParA`], and graph-cut [`ParG`] (§4.3);
+//! 4. proposes **L2P** ([`l2p::L2p`]): a cascade of Siamese networks that
+//!    hierarchically bisects the database, trained on the PTR set
+//!    representation ([`rep::Ptr`], §5.3).
+//!
+//! # Example: learn a partitioning and build the index
+//!
+//! ```
+//! use les3_data::zipfian::ZipfianGenerator;
+//! use les3_partition::l2p::{L2p, L2pConfig};
+//! use les3_partition::rep::{Ptr, RepMatrix};
+//! use les3_core::{Les3Index, sim::Jaccard};
+//!
+//! let db = ZipfianGenerator::new(400, 200, 6.0, 1.1).generate(7);
+//! let reps = RepMatrix::from_representation(&db, &Ptr::new(db.universe_size()));
+//! let cfg = L2pConfig { target_groups: 8, init_groups: 2, pairs_per_model: 500, ..Default::default() };
+//! let result = L2p::new(cfg).partition(&db, &reps);
+//! let index = Les3Index::build(db, result.finest().clone(), Jaccard);
+//! assert!(index.partitioning().n_groups() >= 8);
+//! ```
+
+pub mod graph;
+pub mod l2p;
+pub mod objective;
+pub mod par_a;
+pub mod par_c;
+pub mod par_d;
+pub mod rep;
+
+pub use graph::ParG;
+pub use l2p::{L2p, L2pConfig, L2pResult};
+pub use par_a::ParA;
+pub use par_c::ParC;
+pub use par_d::ParD;

@@ -1,0 +1,102 @@
+//! Binary Encoding (Figure 8 baseline).
+//!
+//! The classic categorical encoding (Han et al., reference \[28\] of the
+//! paper): each *set* gets a unique integer id, represented by its binary
+//! expansion. As the paper notes, this "assigns unique representations to
+//! different sets without considering set characteristics (e.g., tokens
+//! contained therein), and thus can hardly achieve any Set
+//! Separation-Friendly Property" — it exists to demonstrate that uniqueness
+//! alone is not enough.
+//!
+//! Binary Encoding is transductive over an enumeration of sets; to fit the
+//! inductive [`SetRepresentation`] interface it hashes the token content
+//! into a stable id, so identical sets always encode identically.
+
+use super::SetRepresentation;
+use les3_data::TokenId;
+
+/// Binary encoding of a content hash of the set.
+#[derive(Debug, Clone)]
+pub struct BinaryEncoding {
+    bits: usize,
+}
+
+impl BinaryEncoding {
+    /// `bits`-dimensional encoding (the paper sizes it like `⌈log₂ |D|⌉`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0` or `bits > 64`.
+    pub fn new(bits: usize) -> Self {
+        assert!(bits > 0 && bits <= 64, "bits must be in 1..=64");
+        Self { bits }
+    }
+
+    /// Sized for a database of `n` sets.
+    pub fn for_database_size(n: usize) -> Self {
+        Self::new((usize::BITS - n.max(2).next_power_of_two().leading_zeros()) as usize - 1)
+    }
+
+    fn content_hash(set: &[TokenId]) -> u64 {
+        // FNV-1a over the token stream: deterministic and
+        // content-sensitive, mirroring "a unique id per distinct set".
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &t in set {
+            for b in t.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+impl SetRepresentation for BinaryEncoding {
+    fn dim(&self) -> usize {
+        self.bits
+    }
+
+    fn rep_into(&self, set: &[TokenId], out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.bits);
+        let h = Self::content_hash(set);
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = ((h >> i) & 1) as f64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets_encode_identically() {
+        let enc = BinaryEncoding::new(16);
+        assert_eq!(enc.rep(&[1, 2, 3]), enc.rep(&[1, 2, 3]));
+        assert_ne!(enc.rep(&[1, 2, 3]), enc.rep(&[1, 2, 4]));
+    }
+
+    #[test]
+    fn encoding_ignores_similarity_structure() {
+        // Near-identical sets get unrelated codes — the representation is
+        // *not* separation friendly, by design of the baseline.
+        let enc = BinaryEncoding::new(32);
+        let a = enc.rep(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let b = enc.rep(&[0, 1, 2, 3, 4, 5, 6, 8]); // 7/9 Jaccard
+        let hamming: usize = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+        assert!(hamming >= 8, "codes should differ in many bits: {hamming}");
+    }
+
+    #[test]
+    fn for_database_size_picks_enough_bits() {
+        assert_eq!(BinaryEncoding::for_database_size(1000).dim(), 10);
+        assert_eq!(BinaryEncoding::for_database_size(1024).dim(), 10);
+        assert_eq!(BinaryEncoding::for_database_size(1025).dim(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in")]
+    fn rejects_zero_bits() {
+        BinaryEncoding::new(0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Classical multidimensional scaling (Figure 8 baseline).
+//!
+//! MDS embeds the sets so that Euclidean distances approximate the
+//! Jaccard distances `1 − Sim`. Classical (Torgerson) MDS double-centers
+//! the squared-distance matrix, `B = −½ J D² J`, and uses the top-`d`
+//! eigenpairs `rep_j = √λ_j · v_j`, extracted here by power iteration with
+//! deflation.
+//!
+//! MDS is transductive — it embeds the training sets directly and needs
+//! the full `n × n` distance matrix — which is exactly why the paper finds
+//! it "can hardly be applied to the target setting where millions or
+//! billions of sets are involved". [`Mds::fit`] therefore returns a
+//! [`RepMatrix`] for the given database rather than implementing the
+//! inductive [`super::SetRepresentation`] trait.
+
+use super::RepMatrix;
+use les3_core::{Jaccard, Similarity};
+use les3_data::SetDatabase;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Classical MDS embedder.
+#[derive(Debug, Clone)]
+pub struct Mds {
+    /// Output dimensionality.
+    pub dim: usize,
+    /// Power-iteration rounds per component.
+    pub iterations: usize,
+    /// RNG seed for power-iteration starts.
+    pub seed: u64,
+}
+
+impl Mds {
+    /// Creates an embedder producing `dim`-dimensional coordinates.
+    pub fn new(dim: usize) -> Self {
+        Self { dim, iterations: 50, seed: 0 }
+    }
+
+    /// Embeds every set of `db`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the database is empty. Cost is `O(n²)` memory and time —
+    /// cap `n` at a few thousand (the paper samples KOSARAK at 5 % for the
+    /// same reason).
+    pub fn fit(&self, db: &SetDatabase) -> RepMatrix {
+        let n = db.len();
+        assert!(n > 0, "cannot embed an empty database");
+        // Squared distance matrix D².
+        let mut d2 = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dist = 1.0 - Jaccard.eval(db.set(i as u32), db.set(j as u32));
+                let v = dist * dist;
+                d2[i * n + j] = v;
+                d2[j * n + i] = v;
+            }
+        }
+        // Double centering: B = -1/2 (D² - row - col + grand).
+        let mut row_mean = vec![0.0; n];
+        for i in 0..n {
+            row_mean[i] = d2[i * n..(i + 1) * n].iter().sum::<f64>() / n as f64;
+        }
+        let grand = row_mean.iter().sum::<f64>() / n as f64;
+        let mut b = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                b[i * n + j] = -0.5 * (d2[i * n + j] - row_mean[i] - row_mean[j] + grand);
+            }
+        }
+        // Top-d eigenpairs by power iteration with deflation.
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut coords = vec![0.0f64; n * self.dim];
+        let mut basis: Vec<Vec<f64>> = Vec::new();
+        for j in 0..self.dim {
+            let mut v: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            normalize(&mut v);
+            let mut lambda = 0.0;
+            for _ in 0..self.iterations {
+                let mut next = mat_vec(&b, &v, n);
+                for u in &basis {
+                    let d = dot(&next, u);
+                    for (x, y) in next.iter_mut().zip(u) {
+                        *x -= d * y;
+                    }
+                }
+                lambda = normalize(&mut next);
+                if lambda < 1e-12 {
+                    break;
+                }
+                v = next;
+            }
+            let scale = lambda.max(0.0).sqrt();
+            for i in 0..n {
+                coords[i * self.dim + j] = scale * v[i];
+            }
+            basis.push(v);
+        }
+        RepMatrix::from_raw(coords, self.dim)
+    }
+}
+
+fn mat_vec(m: &[f64], v: &[f64], n: usize) -> Vec<f64> {
+    let mut out = vec![0.0; n];
+    for i in 0..n {
+        out[i] = dot(&m[i * n..(i + 1) * n], v);
+    }
+    out
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm = dot(v, v).sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn euclid(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    }
+
+    #[test]
+    fn preserves_cluster_structure() {
+        // Two tight clusters: intra-cluster embedded distance must be
+        // smaller than inter-cluster.
+        let mut sets = Vec::new();
+        for i in 0..10u32 {
+            sets.push(vec![0, 1, 2, 3, i % 4]); // near-identical
+        }
+        for i in 0..10u32 {
+            sets.push(vec![100, 101, 102, 103, 100 + i % 4]);
+        }
+        let db = SetDatabase::from_sets(sets);
+        let reps = Mds::new(2).fit(&db);
+        let mut intra = 0.0;
+        let mut inter = 0.0;
+        let mut n_intra = 0;
+        let mut n_inter = 0;
+        for i in 0..20 {
+            for j in (i + 1)..20 {
+                let d = euclid(reps.row(i), reps.row(j));
+                if (i < 10) == (j < 10) {
+                    intra += d;
+                    n_intra += 1;
+                } else {
+                    inter += d;
+                    n_inter += 1;
+                }
+            }
+        }
+        let intra = intra / n_intra as f64;
+        let inter = inter / n_inter as f64;
+        assert!(inter > 2.0 * intra, "inter {inter} vs intra {intra}");
+    }
+
+    #[test]
+    fn identical_sets_embed_identically() {
+        let db = SetDatabase::from_sets(vec![vec![0u32, 1], vec![0, 1], vec![5, 6]]);
+        let reps = Mds::new(2).fit(&db);
+        assert!(euclid(reps.row(0), reps.row(1)) < 1e-6);
+        assert!(euclid(reps.row(0), reps.row(2)) > 0.1);
+    }
+
+    #[test]
+    fn output_shape() {
+        let db = SetDatabase::from_sets((0..7u32).map(|i| vec![i, i + 1]));
+        let reps = Mds::new(3).fit(&db);
+        assert_eq!(reps.len(), 7);
+        assert_eq!(reps.dim(), 3);
+        assert!(reps.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

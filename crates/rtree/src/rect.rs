@@ -1,0 +1,141 @@
+//! Axis-aligned minimum bounding rectangles.
+
+/// A d-dimensional axis-aligned bounding box.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rect {
+    /// Lower corner.
+    pub min: Vec<f64>,
+    /// Upper corner.
+    pub max: Vec<f64>,
+}
+
+impl Rect {
+    /// Degenerate rectangle covering a single point.
+    pub fn point(p: &[f64]) -> Self {
+        Self { min: p.to_vec(), max: p.to_vec() }
+    }
+
+    /// The "empty" rectangle that unions as the identity.
+    pub fn empty(dim: usize) -> Self {
+        Self { min: vec![f64::INFINITY; dim], max: vec![f64::NEG_INFINITY; dim] }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.min.len()
+    }
+
+    /// Expands in place to cover `p`.
+    pub fn extend_point(&mut self, p: &[f64]) {
+        for i in 0..self.min.len() {
+            self.min[i] = self.min[i].min(p[i]);
+            self.max[i] = self.max[i].max(p[i]);
+        }
+    }
+
+    /// Expands in place to cover `other`.
+    pub fn extend_rect(&mut self, other: &Rect) {
+        for i in 0..self.min.len() {
+            self.min[i] = self.min[i].min(other.min[i]);
+            self.max[i] = self.max[i].max(other.max[i]);
+        }
+    }
+
+    /// Whether `p` lies inside (inclusive).
+    pub fn contains_point(&self, p: &[f64]) -> bool {
+        self.min.iter().zip(p).all(|(lo, x)| lo <= x)
+            && self.max.iter().zip(p).all(|(hi, x)| hi >= x)
+    }
+
+    /// Whether `other` is fully inside (inclusive).
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.contains_point(&other.min) && self.contains_point(&other.max)
+    }
+
+    /// Whether the two rectangles overlap (inclusive).
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min
+            .iter()
+            .zip(&self.max)
+            .zip(other.min.iter().zip(&other.max))
+            .all(|((alo, ahi), (blo, bhi))| alo <= bhi && blo <= ahi)
+    }
+
+    /// Hyper-volume (0 for degenerate boxes).
+    pub fn area(&self) -> f64 {
+        self.min
+            .iter()
+            .zip(&self.max)
+            .map(|(lo, hi)| (hi - lo).max(0.0))
+            .product()
+    }
+
+    /// Increase in area if extended to cover `p`.
+    pub fn enlargement_for_point(&self, p: &[f64]) -> f64 {
+        let mut grown = self.clone();
+        grown.extend_point(p);
+        grown.area() - self.area()
+    }
+
+    /// Squared Euclidean distance from `p` to the nearest point of the box
+    /// (0 if inside) — the classic `MINDIST` of R-tree kNN search.
+    pub fn min_dist2(&self, p: &[f64]) -> f64 {
+        self.min
+            .iter()
+            .zip(&self.max)
+            .zip(p)
+            .map(|((lo, hi), x)| {
+                let d = if x < lo {
+                    lo - x
+                } else if x > hi {
+                    x - hi
+                } else {
+                    0.0
+                };
+                d * d
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extend_and_contain() {
+        let mut r = Rect::empty(2);
+        r.extend_point(&[1.0, 2.0]);
+        r.extend_point(&[3.0, 0.0]);
+        assert_eq!(r.min, vec![1.0, 0.0]);
+        assert_eq!(r.max, vec![3.0, 2.0]);
+        assert!(r.contains_point(&[2.0, 1.0]));
+        assert!(!r.contains_point(&[0.0, 1.0]));
+        assert!(r.contains_rect(&Rect::point(&[1.5, 0.5])));
+    }
+
+    #[test]
+    fn intersections() {
+        let a = Rect { min: vec![0.0, 0.0], max: vec![2.0, 2.0] };
+        let b = Rect { min: vec![2.0, 2.0], max: vec![3.0, 3.0] };
+        let c = Rect { min: vec![2.1, 0.0], max: vec![3.0, 1.0] };
+        assert!(a.intersects(&b), "touching boxes intersect");
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn area_and_enlargement() {
+        let r = Rect { min: vec![0.0, 0.0], max: vec![2.0, 3.0] };
+        assert_eq!(r.area(), 6.0);
+        assert_eq!(r.enlargement_for_point(&[2.0, 3.0]), 0.0);
+        assert_eq!(r.enlargement_for_point(&[4.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn min_dist_inside_is_zero() {
+        let r = Rect { min: vec![0.0, 0.0], max: vec![2.0, 2.0] };
+        assert_eq!(r.min_dist2(&[1.0, 1.0]), 0.0);
+        assert_eq!(r.min_dist2(&[3.0, 1.0]), 1.0);
+        assert_eq!(r.min_dist2(&[3.0, 3.0]), 2.0);
+    }
+}

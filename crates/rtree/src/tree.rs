@@ -1,0 +1,497 @@
+//! The R-tree proper: STR bulk loading, insertion, guided traversal.
+
+use crate::node::{Children, Node, NodeId};
+use crate::rect::Rect;
+
+/// Node-visit accounting for the disk-cost experiments (each visited node
+/// is one page read in the Figure 13 simulation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraversalStats {
+    /// Internal + leaf nodes visited.
+    pub nodes_visited: usize,
+    /// Leaf entries examined.
+    pub entries_examined: usize,
+}
+
+/// An R-tree over `n` points of fixed dimensionality.
+///
+/// Points are stored row-major in a flat array; leaf entries reference
+/// rows. Items are the caller's `u32` payloads (one per point).
+#[derive(Debug, Clone)]
+pub struct RTree {
+    dim: usize,
+    max_entries: usize,
+    points: Vec<f64>,
+    items: Vec<u32>,
+    nodes: Vec<Node>,
+    root: Option<NodeId>,
+}
+
+impl RTree {
+    /// Creates an empty tree for `dim`-dimensional points with the given
+    /// node capacity (a typical page-sized fanout is 32–64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `max_entries < 2`.
+    pub fn new(dim: usize, max_entries: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(max_entries >= 2, "need at least binary fanout");
+        Self { dim, max_entries, points: Vec::new(), items: Vec::new(), nodes: Vec::new(), root: None }
+    }
+
+    /// Bulk-loads with Sort-Tile-Recursive packing: sort by dim 0, slice,
+    /// sort slices by dim 1, etc., then pack full leaves bottom-up.
+    pub fn bulk_load(dim: usize, max_entries: usize, points: &[f64], items: &[u32]) -> Self {
+        assert_eq!(points.len(), items.len() * dim, "points must be items.len() × dim");
+        let mut tree = Self::new(dim, max_entries);
+        tree.points = points.to_vec();
+        tree.items = items.to_vec();
+        let n = items.len();
+        if n == 0 {
+            return tree;
+        }
+        // Recursive tiling over row indices.
+        let mut rows: Vec<u32> = (0..n as u32).collect();
+        let leaf_groups = tree.str_tile(&mut rows, 0);
+        let mut level: Vec<NodeId> = leaf_groups
+            .into_iter()
+            .map(|rows| {
+                let rect = tree.mbr_of_rows(&rows);
+                tree.push_node(Node { rect, children: Children::Leaf(rows) })
+            })
+            .collect();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(max_entries));
+            for chunk in level.chunks(max_entries) {
+                let mut rect = Rect::empty(dim);
+                for &c in chunk {
+                    rect.extend_rect(self_rect(&tree.nodes, c));
+                }
+                next.push(tree.push_node(Node { rect, children: Children::Internal(chunk.to_vec()) }));
+            }
+            level = next;
+        }
+        tree.root = Some(level[0]);
+        tree
+    }
+
+    /// STR tiling: recursively sorts `rows` by successive dimensions and
+    /// slices into √-balanced groups of ≤ `max_entries` rows.
+    fn str_tile(&self, rows: &mut [u32], axis: usize) -> Vec<Vec<u32>> {
+        let n = rows.len();
+        if n <= self.max_entries {
+            return vec![rows.to_vec()];
+        }
+        rows.sort_by(|&a, &b| {
+            let pa = self.point(a)[axis % self.dim];
+            let pb = self.point(b)[axis % self.dim];
+            pa.partial_cmp(&pb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let leaves_needed = n.div_ceil(self.max_entries);
+        let slices = (leaves_needed as f64).sqrt().ceil() as usize;
+        let slice_len = n.div_ceil(slices);
+        let mut out = Vec::new();
+        for chunk in rows.chunks_mut(slice_len.max(self.max_entries)) {
+            out.extend(self.str_tile_inner(chunk, axis + 1));
+        }
+        out
+    }
+
+    fn str_tile_inner(&self, rows: &mut [u32], axis: usize) -> Vec<Vec<u32>> {
+        let n = rows.len();
+        if n <= self.max_entries {
+            return vec![rows.to_vec()];
+        }
+        rows.sort_by(|&a, &b| {
+            let pa = self.point(a)[axis % self.dim];
+            let pb = self.point(b)[axis % self.dim];
+            pa.partial_cmp(&pb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        rows.chunks(self.max_entries).map(|c| c.to_vec()).collect()
+    }
+
+    fn push_node(&mut self, node: Node) -> NodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    fn mbr_of_rows(&self, rows: &[u32]) -> Rect {
+        let mut rect = Rect::empty(self.dim);
+        for &r in rows {
+            rect.extend_point(self.point(r));
+        }
+        rect
+    }
+
+    /// The point of leaf row `row`.
+    #[inline]
+    pub fn point(&self, row: u32) -> &[f64] {
+        let start = row as usize * self.dim;
+        &self.points[start..start + self.dim]
+    }
+
+    /// The item payload of leaf row `row`.
+    #[inline]
+    pub fn item(&self, row: u32) -> u32 {
+        self.items[row as usize]
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of nodes (≈ pages of the disk-resident index).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree height (0 for empty).
+    pub fn height(&self) -> usize {
+        let mut h = 0;
+        let mut cur = self.root;
+        while let Some(id) = cur {
+            h += 1;
+            cur = match &self.nodes[id].children {
+                Children::Internal(c) => Some(c[0]),
+                Children::Leaf(_) => None,
+            };
+        }
+        h
+    }
+
+    /// Estimated heap bytes (index size for Figure 11): rectangles plus
+    /// child tables plus the point/item arrays the leaves reference.
+    pub fn size_in_bytes(&self) -> usize {
+        let node_bytes: usize = self
+            .nodes
+            .iter()
+            .map(|n| {
+                2 * self.dim * std::mem::size_of::<f64>()
+                    + n.fanout() * std::mem::size_of::<u32>()
+            })
+            .sum();
+        node_bytes
+            + self.points.len() * std::mem::size_of::<f64>()
+            + self.items.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Inserts a point with classic least-enlargement descent and linear
+    /// splits on overflow.
+    pub fn insert(&mut self, point: &[f64], item: u32) {
+        assert_eq!(point.len(), self.dim, "dimension mismatch");
+        let row = self.items.len() as u32;
+        self.points.extend_from_slice(point);
+        self.items.push(item);
+        let Some(root) = self.root else {
+            let rect = Rect::point(point);
+            let id = self.push_node(Node { rect, children: Children::Leaf(vec![row]) });
+            self.root = Some(id);
+            return;
+        };
+        if let Some((a, b)) = self.insert_rec(root, row) {
+            // Root split: grow the tree.
+            let mut rect = self_rect(&self.nodes, a).clone();
+            rect.extend_rect(self_rect(&self.nodes, b));
+            let new_root = self.push_node(Node { rect, children: Children::Internal(vec![a, b]) });
+            self.root = Some(new_root);
+        }
+    }
+
+    /// Returns `Some((left, right))` if the child split.
+    fn insert_rec(&mut self, node_id: NodeId, row: u32) -> Option<(NodeId, NodeId)> {
+        let point = {
+            let start = row as usize * self.dim;
+            self.points[start..start + self.dim].to_vec()
+        };
+        self.nodes[node_id].rect.extend_point(&point);
+        match &self.nodes[node_id].children {
+            Children::Leaf(_) => {
+                if let Children::Leaf(rows) = &mut self.nodes[node_id].children {
+                    rows.push(row);
+                }
+                if self.nodes[node_id].fanout() > self.max_entries {
+                    Some(self.split_leaf(node_id))
+                } else {
+                    None
+                }
+            }
+            Children::Internal(children) => {
+                // Least-enlargement child.
+                let mut best = children[0];
+                let mut best_enl = f64::INFINITY;
+                let mut best_area = f64::INFINITY;
+                for &c in children {
+                    let r = &self.nodes[c].rect;
+                    let enl = r.enlargement_for_point(&point);
+                    let area = r.area();
+                    if enl < best_enl || (enl == best_enl && area < best_area) {
+                        best = c;
+                        best_enl = enl;
+                        best_area = area;
+                    }
+                }
+                let split = self.insert_rec(best, row);
+                if let Some((_, right)) = split {
+                    if let Children::Internal(children) = &mut self.nodes[node_id].children {
+                        children.push(right);
+                    }
+                    if self.nodes[node_id].fanout() > self.max_entries {
+                        return Some(self.split_internal(node_id));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Linear split of an overfull leaf along its widest dimension.
+    fn split_leaf(&mut self, node_id: NodeId) -> (NodeId, NodeId) {
+        let rows = match &self.nodes[node_id].children {
+            Children::Leaf(rows) => rows.clone(),
+            _ => unreachable!("split_leaf on internal node"),
+        };
+        let axis = self.widest_axis(&self.nodes[node_id].rect);
+        let mut sorted = rows;
+        sorted.sort_by(|&a, &b| {
+            self.point(a)[axis]
+                .partial_cmp(&self.point(b)[axis])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mid = sorted.len() / 2;
+        let right_rows = sorted.split_off(mid);
+        let left_rect = self.mbr_of_rows(&sorted);
+        let right_rect = self.mbr_of_rows(&right_rows);
+        self.nodes[node_id] = Node { rect: left_rect, children: Children::Leaf(sorted) };
+        let right = self.push_node(Node { rect: right_rect, children: Children::Leaf(right_rows) });
+        (node_id, right)
+    }
+
+    /// Linear split of an overfull internal node along its widest dimension.
+    fn split_internal(&mut self, node_id: NodeId) -> (NodeId, NodeId) {
+        let children = match &self.nodes[node_id].children {
+            Children::Internal(c) => c.clone(),
+            _ => unreachable!("split_internal on leaf"),
+        };
+        let axis = self.widest_axis(&self.nodes[node_id].rect);
+        let mut sorted = children;
+        sorted.sort_by(|&a, &b| {
+            self.nodes[a].rect.min[axis]
+                .partial_cmp(&self.nodes[b].rect.min[axis])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mid = sorted.len() / 2;
+        let right_children = sorted.split_off(mid);
+        let mut left_rect = Rect::empty(self.dim);
+        for &c in &sorted {
+            left_rect.extend_rect(self_rect(&self.nodes, c));
+        }
+        let mut right_rect = Rect::empty(self.dim);
+        for &c in &right_children {
+            right_rect.extend_rect(self_rect(&self.nodes, c));
+        }
+        self.nodes[node_id] = Node { rect: left_rect, children: Children::Internal(sorted) };
+        let right =
+            self.push_node(Node { rect: right_rect, children: Children::Internal(right_children) });
+        (node_id, right)
+    }
+
+    fn widest_axis(&self, rect: &Rect) -> usize {
+        let mut best = 0;
+        let mut width = f64::NEG_INFINITY;
+        for i in 0..self.dim {
+            let w = rect.max[i] - rect.min[i];
+            if w > width {
+                width = w;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Guided depth-first traversal.
+    ///
+    /// `descend` decides from a node MBR whether to enter it; `visit`
+    /// receives `(point, item)` for every leaf entry under entered nodes.
+    /// Returns node-visit stats for I/O accounting.
+    pub fn search(
+        &self,
+        mut descend: impl FnMut(&Rect) -> bool,
+        mut visit: impl FnMut(&[f64], u32),
+    ) -> TraversalStats {
+        let mut stats = TraversalStats::default();
+        let Some(root) = self.root else {
+            return stats;
+        };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            stats.nodes_visited += 1;
+            if !descend(&node.rect) {
+                continue;
+            }
+            match &node.children {
+                Children::Internal(children) => stack.extend(children.iter().copied()),
+                Children::Leaf(rows) => {
+                    for &row in rows {
+                        stats.entries_examined += 1;
+                        visit(self.point(row), self.item(row));
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    /// Root node id (for the best-first search machinery).
+    pub(crate) fn root(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    /// Node accessor (for the best-first search machinery).
+    pub(crate) fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Checks the structural invariants (every node's MBR contains its
+    /// children; every row appears exactly once). Test helper.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let Some(root) = self.root else {
+            return if self.items.is_empty() { Ok(()) } else { Err("items without root".into()) };
+        };
+        let mut seen = vec![false; self.items.len()];
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            match &node.children {
+                Children::Internal(children) => {
+                    if children.is_empty() {
+                        return Err(format!("internal node {id} has no children"));
+                    }
+                    for &c in children {
+                        if !node.rect.contains_rect(&self.nodes[c].rect) {
+                            return Err(format!("node {id} MBR does not contain child {c}"));
+                        }
+                        stack.push(c);
+                    }
+                }
+                Children::Leaf(rows) => {
+                    for &row in rows {
+                        if !node.rect.contains_point(self.point(row)) {
+                            return Err(format!("leaf {id} MBR does not contain row {row}"));
+                        }
+                        if seen[row as usize] {
+                            return Err(format!("row {row} appears twice"));
+                        }
+                        seen[row as usize] = true;
+                    }
+                }
+            }
+        }
+        if seen.iter().all(|&s| s) {
+            Ok(())
+        } else {
+            Err("some rows unreachable".into())
+        }
+    }
+}
+
+fn self_rect(nodes: &[Node], id: NodeId) -> &Rect {
+    &nodes[id].rect
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n * dim).map(|_| rng.gen_range(0.0..100.0)).collect()
+    }
+
+    #[test]
+    fn bulk_load_invariants_and_visit_all() {
+        let n = 500;
+        let points = random_points(n, 3, 1);
+        let items: Vec<u32> = (0..n as u32).collect();
+        let tree = RTree::bulk_load(3, 16, &points, &items);
+        tree.check_invariants().unwrap();
+        assert_eq!(tree.len(), n);
+        let mut visited = vec![false; n];
+        tree.search(|_| true, |_, item| visited[item as usize] = true);
+        assert!(visited.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn incremental_insert_invariants() {
+        let n = 300;
+        let points = random_points(n, 2, 2);
+        let mut tree = RTree::new(2, 8);
+        for i in 0..n {
+            tree.insert(&points[i * 2..(i + 1) * 2], i as u32);
+        }
+        tree.check_invariants().unwrap();
+        assert_eq!(tree.len(), n);
+        assert!(tree.height() >= 2);
+    }
+
+    #[test]
+    fn range_search_matches_brute_force() {
+        let n = 400;
+        let dim = 2;
+        let points = random_points(n, dim, 3);
+        let items: Vec<u32> = (0..n as u32).collect();
+        let tree = RTree::bulk_load(dim, 12, &points, &items);
+        let query = Rect { min: vec![20.0, 30.0], max: vec![60.0, 70.0] };
+        let mut found = Vec::new();
+        tree.search(
+            |rect| rect.intersects(&query),
+            |p, item| {
+                if query.contains_point(p) {
+                    found.push(item);
+                }
+            },
+        );
+        found.sort_unstable();
+        let mut expected: Vec<u32> = (0..n as u32)
+            .filter(|&i| query.contains_point(&points[i as usize * dim..(i as usize + 1) * dim]))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(found, expected);
+    }
+
+    #[test]
+    fn pruned_search_visits_fewer_nodes() {
+        let n = 2000;
+        let points = random_points(n, 2, 4);
+        let items: Vec<u32> = (0..n as u32).collect();
+        let tree = RTree::bulk_load(2, 16, &points, &items);
+        let full = tree.search(|_| true, |_, _| {});
+        let query = Rect { min: vec![0.0, 0.0], max: vec![10.0, 10.0] };
+        let pruned = tree.search(|r| r.intersects(&query), |_, _| {});
+        assert!(
+            pruned.nodes_visited < full.nodes_visited / 2,
+            "pruned {} vs full {}",
+            pruned.nodes_visited,
+            full.nodes_visited
+        );
+    }
+
+    #[test]
+    fn empty_tree_is_fine() {
+        let tree = RTree::bulk_load(2, 8, &[], &[]);
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 0);
+        let stats = tree.search(|_| true, |_, _| panic!("no entries"));
+        assert_eq!(stats.nodes_visited, 0);
+        tree.check_invariants().unwrap();
+    }
+}

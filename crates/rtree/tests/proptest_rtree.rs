@@ -1,0 +1,99 @@
+//! Property tests: R-tree queries must agree with linear scans for
+//! arbitrary point sets, under both bulk loading and incremental inserts.
+
+use les3_rtree::{BestFirst, RTree, Rect};
+use proptest::prelude::*;
+
+fn points_strategy(dim: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, dim * 3..dim * 120)
+        .prop_map(move |mut v| {
+            v.truncate(v.len() / dim * dim);
+            v
+        })
+}
+
+fn brute_range(points: &[f64], dim: usize, query: &Rect) -> Vec<u32> {
+    (0..(points.len() / dim) as u32)
+        .filter(|&i| query.contains_point(&points[i as usize * dim..(i as usize + 1) * dim]))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bulk_load_range_matches_scan(
+        points in points_strategy(2),
+        (x0, y0, w, h) in (-100.0f64..100.0, -100.0f64..100.0, 0.0f64..120.0, 0.0f64..120.0),
+        fanout in 2usize..24,
+    ) {
+        let dim = 2;
+        let n = points.len() / dim;
+        let items: Vec<u32> = (0..n as u32).collect();
+        let tree = RTree::bulk_load(dim, fanout, &points, &items);
+        tree.check_invariants().unwrap();
+        let query = Rect { min: vec![x0, y0], max: vec![x0 + w, y0 + h] };
+        let mut found = Vec::new();
+        tree.search(
+            |rect| rect.intersects(&query),
+            |p, item| {
+                if query.contains_point(p) {
+                    found.push(item);
+                }
+            },
+        );
+        found.sort_unstable();
+        prop_assert_eq!(found, brute_range(&points, dim, &query));
+    }
+
+    #[test]
+    fn incremental_insert_matches_scan(
+        points in points_strategy(3),
+        fanout in 3usize..16,
+    ) {
+        let dim = 3;
+        let n = points.len() / dim;
+        let mut tree = RTree::new(dim, fanout);
+        for i in 0..n {
+            tree.insert(&points[i * dim..(i + 1) * dim], i as u32);
+        }
+        tree.check_invariants().unwrap();
+        prop_assert_eq!(tree.len(), n);
+        // Everything is reachable.
+        let mut seen = vec![false; n];
+        tree.search(|_| true, |_, item| seen[item as usize] = true);
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn best_first_knn_matches_scan(
+        points in points_strategy(2),
+        qx in -100.0f64..100.0,
+        qy in -100.0f64..100.0,
+        k in 1usize..8,
+    ) {
+        let dim = 2;
+        let n = points.len() / dim;
+        let items: Vec<u32> = (0..n as u32).collect();
+        let tree = RTree::bulk_load(dim, 8, &points, &items);
+        let q = [qx, qy];
+        let dist2 = |i: u32| -> f64 {
+            let p = &points[i as usize * dim..(i as usize + 1) * dim];
+            p.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum()
+        };
+        let got: Vec<f64> = BestFirst::new(
+            &tree,
+            |rect| -rect.min_dist2(&q),
+            |p, _| -p.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum::<f64>(),
+        )
+        .take(k.min(n))
+        .map(|s| -s.score)
+        .collect();
+        let mut expected: Vec<f64> = (0..n as u32).map(dist2).collect();
+        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        expected.truncate(k.min(n));
+        for (g, e) in got.iter().zip(&expected) {
+            prop_assert!((g - e).abs() < 1e-9, "got {g} expected {e}");
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Disk cost model and simulated device.
+
+/// Cost parameters of a simulated block device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskModel {
+    /// Average seek time in milliseconds (head movement).
+    pub seek_ms: f64,
+    /// Average rotational latency in milliseconds (half a revolution).
+    pub rotational_ms: f64,
+    /// Sequential transfer rate in MB/s.
+    pub transfer_mb_per_s: f64,
+    /// Page (block) size in bytes.
+    pub page_size: usize,
+}
+
+impl DiskModel {
+    /// The paper's testbed: 500 GB, 5400 RPM HDD with ≈ 80 MB/s reads.
+    /// 5400 RPM ⇒ 11.1 ms/rev ⇒ 5.56 ms average rotational latency; 9 ms
+    /// average seek is typical for that drive class.
+    pub fn hdd_5400() -> Self {
+        Self { seek_ms: 9.0, rotational_ms: 5.56, transfer_mb_per_s: 80.0, page_size: 4096 }
+    }
+
+    /// A SATA SSD: negligible seek, no rotation, 500 MB/s. The paper notes
+    /// "one could expect better performance of LES3 when running on SSD as
+    /// it incurs random access of the data by skipping some groups".
+    pub fn ssd() -> Self {
+        Self { seek_ms: 0.05, rotational_ms: 0.0, transfer_mb_per_s: 500.0, page_size: 4096 }
+    }
+
+    /// Emulates running against a `factor`-times larger dataset on the
+    /// same device: positioning costs are divided by `factor`, preserving
+    /// the paper-scale ratio between random accesses and a full scan when
+    /// experiments run on `factor`-times smaller data. (One seek on a
+    /// 28 GB PMC file "costs" as much scan time as 1/factor of a seek on
+    /// the scaled-down file.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor <= 0`.
+    pub fn scaled_for_emulation(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        self.seek_ms /= factor;
+        self.rotational_ms /= factor;
+        self
+    }
+
+    /// Time to transfer one page, in milliseconds.
+    pub fn transfer_ms_per_page(&self) -> f64 {
+        (self.page_size as f64 / (self.transfer_mb_per_s * 1_000_000.0)) * 1_000.0
+    }
+
+    /// Cost of a random positioning (seek + rotation), in milliseconds.
+    pub fn positioning_ms(&self) -> f64 {
+        self.seek_ms + self.rotational_ms
+    }
+
+    /// Pages needed to store `bytes`.
+    pub fn pages_for_bytes(&self, bytes: usize) -> u64 {
+        (bytes as u64).div_ceil(self.page_size as u64).max(1)
+    }
+}
+
+/// Accumulated I/O statistics, including the simulated elapsed time.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IoStats {
+    /// Pages read.
+    pub pages_read: u64,
+    /// Random positionings performed (seeks).
+    pub seeks: u64,
+    /// Total simulated time in milliseconds.
+    pub elapsed_ms: f64,
+}
+
+impl IoStats {
+    /// Adds another stats record.
+    pub fn accumulate(&mut self, other: &IoStats) {
+        self.pages_read += other.pages_read;
+        self.seeks += other.seeks;
+        self.elapsed_ms += other.elapsed_ms;
+    }
+}
+
+/// A simulated disk: tracks the head position and charges page reads
+/// according to the [`DiskModel`].
+#[derive(Debug, Clone)]
+pub struct SimDisk {
+    model: DiskModel,
+    last_page: Option<u64>,
+    stats: IoStats,
+}
+
+impl SimDisk {
+    /// Creates a disk with the given cost model.
+    pub fn new(model: DiskModel) -> Self {
+        Self { model, last_page: None, stats: IoStats::default() }
+    }
+
+    /// The cost model.
+    pub fn model(&self) -> &DiskModel {
+        &self.model
+    }
+
+    /// Reads one page; sequential if it directly follows the last read.
+    pub fn read_page(&mut self, page: u64) {
+        let sequential = self.last_page == Some(page.wrapping_sub(1)) || self.last_page == Some(page);
+        if !sequential {
+            self.stats.seeks += 1;
+            self.stats.elapsed_ms += self.model.positioning_ms();
+        }
+        if self.last_page != Some(page) {
+            self.stats.pages_read += 1;
+            self.stats.elapsed_ms += self.model.transfer_ms_per_page();
+        }
+        self.last_page = Some(page);
+    }
+
+    /// Reads `count` consecutive pages starting at `start`: at most one
+    /// positioning plus `count` transfers.
+    pub fn read_run(&mut self, start: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.read_page(start);
+        for p in start + 1..start + count {
+            self.read_page(p);
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Resets statistics and head position (per-query accounting).
+    pub fn reset(&mut self) {
+        self.last_page = None;
+        self.stats = IoStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_run_costs_one_seek() {
+        let mut d = SimDisk::new(DiskModel::hdd_5400());
+        d.read_run(100, 50);
+        let s = d.stats();
+        assert_eq!(s.pages_read, 50);
+        assert_eq!(s.seeks, 1);
+        let expected =
+            DiskModel::hdd_5400().positioning_ms() + 50.0 * d.model().transfer_ms_per_page();
+        assert!((s.elapsed_ms - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_reads_cost_a_seek_each() {
+        let mut d = SimDisk::new(DiskModel::hdd_5400());
+        for p in [10u64, 500, 3, 999] {
+            d.read_page(p);
+        }
+        assert_eq!(d.stats().seeks, 4);
+        assert_eq!(d.stats().pages_read, 4);
+    }
+
+    #[test]
+    fn rereading_same_page_is_free_transfer() {
+        let mut d = SimDisk::new(DiskModel::hdd_5400());
+        d.read_page(7);
+        let after_first = d.stats();
+        d.read_page(7);
+        assert_eq!(d.stats(), after_first, "same-page reread costs nothing new");
+    }
+
+    #[test]
+    fn hdd_random_much_slower_than_sequential_for_same_bytes() {
+        let model = DiskModel::hdd_5400();
+        let mut seq = SimDisk::new(model);
+        seq.read_run(0, 1000);
+        let mut rnd = SimDisk::new(model);
+        for i in 0..1000u64 {
+            rnd.read_page(i * 7919 % 100_000); // scattered
+        }
+        assert!(
+            rnd.stats().elapsed_ms > 50.0 * seq.stats().elapsed_ms,
+            "random {:.1}ms vs sequential {:.1}ms",
+            rnd.stats().elapsed_ms,
+            seq.stats().elapsed_ms
+        );
+    }
+
+    #[test]
+    fn ssd_narrows_the_gap() {
+        let mut hdd_rnd = SimDisk::new(DiskModel::hdd_5400());
+        let mut ssd_rnd = SimDisk::new(DiskModel::ssd());
+        for i in 0..100u64 {
+            hdd_rnd.read_page(i * 1000);
+            ssd_rnd.read_page(i * 1000);
+        }
+        assert!(ssd_rnd.stats().elapsed_ms < hdd_rnd.stats().elapsed_ms / 20.0);
+    }
+
+    #[test]
+    fn transfer_rate_matches_80mb_per_s() {
+        let model = DiskModel::hdd_5400();
+        // 80 MB/s ⇒ one 4 KiB page ≈ 0.0512 ms
+        assert!((model.transfer_ms_per_page() - 0.0512).abs() < 1e-3);
+        assert_eq!(model.pages_for_bytes(1), 1);
+        assert_eq!(model.pages_for_bytes(4096), 1);
+        assert_eq!(model.pages_for_bytes(4097), 2);
+    }
+}

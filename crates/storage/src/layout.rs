@@ -1,0 +1,178 @@
+//! On-disk layouts of a set database.
+//!
+//! Each set is serialized as a 4-byte length header plus 4 bytes per token.
+//! Two layouts:
+//!
+//! * [`SequentialLayout`] — sets stored in id order (what the baselines
+//!   operate on);
+//! * [`GroupedLayout`] — sets reordered so every partition group occupies
+//!   one contiguous page run (LES3's layout; the paper credits it for the
+//!   low data-transfer delay in §7.6).
+
+use les3_data::{SetDatabase, SetId};
+
+/// Bytes a set occupies on disk: 4-byte header + 4 bytes/token.
+fn set_bytes(len: usize) -> u64 {
+    4 + 4 * len as u64
+}
+
+/// A contiguous run of pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageRun {
+    /// First page.
+    pub start: u64,
+    /// Number of pages.
+    pub count: u64,
+}
+
+/// Sets laid out in id order; several sets may share a page.
+#[derive(Debug, Clone)]
+pub struct SequentialLayout {
+    page_size: u64,
+    /// Byte offset of each set (last entry = total bytes).
+    offsets: Vec<u64>,
+}
+
+impl SequentialLayout {
+    /// Computes the layout of `db` for the given page size.
+    pub fn new(db: &SetDatabase, page_size: usize) -> Self {
+        let mut offsets = Vec::with_capacity(db.len() + 1);
+        let mut cursor = 0u64;
+        offsets.push(0);
+        for (_, set) in db.iter() {
+            cursor += set_bytes(set.len());
+            offsets.push(cursor);
+        }
+        Self { page_size: page_size as u64, offsets }
+    }
+
+    /// Pages occupied by set `id`.
+    pub fn pages_of(&self, id: SetId) -> PageRun {
+        let lo = self.offsets[id as usize] / self.page_size;
+        let hi = (self.offsets[id as usize + 1].max(1) - 1) / self.page_size;
+        PageRun { start: lo, count: hi - lo + 1 }
+    }
+
+    /// Total pages of the data file.
+    pub fn total_pages(&self) -> u64 {
+        self.offsets.last().unwrap().div_ceil(self.page_size).max(1)
+    }
+
+    /// Total bytes of the data file.
+    pub fn total_bytes(&self) -> u64 {
+        *self.offsets.last().unwrap()
+    }
+}
+
+/// Sets reordered by group; each group occupies a contiguous page run
+/// beginning on a page boundary (so group reads never drag in neighbours).
+#[derive(Debug, Clone)]
+pub struct GroupedLayout {
+    /// Page run per group.
+    runs: Vec<PageRun>,
+    total_pages: u64,
+}
+
+impl GroupedLayout {
+    /// Computes the layout given each set's group assignment and the number
+    /// of groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assignment is `>= n_groups` or `assignment.len()`
+    /// differs from `db.len()`.
+    pub fn new(db: &SetDatabase, assignment: &[u32], n_groups: usize, page_size: usize) -> Self {
+        assert_eq!(assignment.len(), db.len(), "one assignment per set");
+        let page = page_size as u64;
+        let mut group_bytes = vec![0u64; n_groups];
+        for (id, set) in db.iter() {
+            let g = assignment[id as usize] as usize;
+            assert!(g < n_groups, "group {g} out of range");
+            group_bytes[g] += set_bytes(set.len());
+        }
+        let mut runs = Vec::with_capacity(n_groups);
+        let mut cursor = 0u64;
+        for &bytes in &group_bytes {
+            let count = bytes.div_ceil(page).max(1);
+            runs.push(PageRun { start: cursor, count });
+            cursor += count;
+        }
+        Self { runs, total_pages: cursor }
+    }
+
+    /// The contiguous page run of group `g`.
+    pub fn group_run(&self, g: usize) -> PageRun {
+        self.runs[g]
+    }
+
+    /// Total pages of the grouped data file.
+    pub fn total_pages(&self) -> u64 {
+        self.total_pages
+    }
+
+    /// Number of groups.
+    pub fn n_groups(&self) -> usize {
+        self.runs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_db() -> SetDatabase {
+        // Sizes 1, 2, 3, 1000, 5 tokens.
+        SetDatabase::from_sets(vec![
+            (0..1u32).collect::<Vec<_>>(),
+            (0..2u32).collect(),
+            (0..3u32).collect(),
+            (0..1000u32).collect(),
+            (0..5u32).collect(),
+        ])
+    }
+
+    #[test]
+    fn sequential_offsets_and_pages() {
+        let db = toy_db();
+        let layout = SequentialLayout::new(&db, 4096);
+        // Bytes: 8, 12, 16, 4004, 24 → total 4064 ⇒ 1 page.
+        assert_eq!(layout.total_bytes(), 8 + 12 + 16 + 4004 + 24);
+        assert_eq!(layout.total_pages(), 1);
+        assert_eq!(layout.pages_of(0), PageRun { start: 0, count: 1 });
+        // The 1000-token set crosses no boundary here, but with small pages:
+        let small = SequentialLayout::new(&db, 512);
+        let run = small.pages_of(3);
+        assert!(run.count >= 7, "4004 bytes over 512-byte pages: {run:?}");
+    }
+
+    #[test]
+    fn grouped_layout_is_contiguous_and_disjoint() {
+        let db = toy_db();
+        let assignment = vec![0, 1, 0, 1, 0];
+        let layout = GroupedLayout::new(&db, &assignment, 2, 512);
+        let a = layout.group_run(0);
+        let b = layout.group_run(1);
+        assert_eq!(a.start, 0);
+        assert_eq!(b.start, a.count);
+        assert_eq!(layout.total_pages(), a.count + b.count);
+        // Group 1 holds the 1000-token set: it must dominate.
+        assert!(b.count > a.count);
+    }
+
+    #[test]
+    fn empty_groups_still_get_a_page() {
+        let db = toy_db();
+        let assignment = vec![0, 0, 0, 0, 0];
+        let layout = GroupedLayout::new(&db, &assignment, 3, 4096);
+        assert_eq!(layout.n_groups(), 3);
+        assert_eq!(layout.group_run(1).count, 1);
+        assert_eq!(layout.group_run(2).count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one assignment per set")]
+    fn mismatched_assignment_rejected() {
+        let db = toy_db();
+        GroupedLayout::new(&db, &[0, 1], 2, 4096);
+    }
+}

@@ -1,0 +1,108 @@
+//! Disk-variant consistency: simulated-disk searches must return exactly
+//! the memory results, and the I/O cost ordering must reproduce the
+//! paper's §7.6 observations.
+
+use les3::baselines::disk::{DiskBruteForce, DiskDualTrans, DiskInvIdx};
+use les3::prelude::*;
+
+fn setup() -> (SetDatabase, Partitioning) {
+    let db = DatasetSpec::kosarak().with_sets(1_500).generate(17);
+    let reps = RepMatrix::from_representation(&db, &Ptr::new(db.universe_size()));
+    let l2p = les3::partition::l2p::L2p::new(L2pConfig {
+        target_groups: 24,
+        init_groups: 4,
+        min_group_size: 10,
+        pairs_per_model: 600,
+        ..Default::default()
+    })
+    .partition(&db, &reps);
+    (db, l2p.finest().clone())
+}
+
+#[test]
+fn disk_hits_equal_memory_hits_for_all_methods() {
+    let (db, part) = setup();
+    let model = DiskModel::hdd_5400();
+    let les3 = DiskLes3::new(Les3Index::build(db.clone(), part, Jaccard), model);
+    let brute = DiskBruteForce::new(db.clone(), Jaccard, model);
+    let invidx = DiskInvIdx::new(db.clone(), Jaccard, model);
+    let dual = DiskDualTrans::new(db.clone(), Jaccard, model, 8, 16);
+
+    for qid in [0u32, 700] {
+        let q = db.set(qid).to_vec();
+        let (l, _) = les3.range(&q, 0.6);
+        let (b, _) = brute.range(&q, 0.6);
+        let (i, _) = invidx.range(&q, 0.6);
+        let (d, _) = dual.range(&q, 0.6);
+        assert_eq!(l.hits, b.hits, "LES3 vs brute");
+        assert_eq!(i.hits, b.hits, "InvIdx vs brute");
+        assert_eq!(d.hits, b.hits, "DualTrans vs brute");
+
+        let sims = |r: &SearchResult| r.hits.iter().map(|h| h.1).collect::<Vec<_>>();
+        let (l, _) = les3.knn(&q, 10);
+        let (b, _) = brute.knn(&q, 10);
+        let (i, _) = invidx.knn(&q, 10);
+        let (d, _) = dual.knn(&q, 10);
+        assert_eq!(sims(&l), sims(&b));
+        assert_eq!(sims(&i), sims(&b));
+        assert_eq!(sims(&d), sims(&b));
+    }
+}
+
+#[test]
+fn les3_reads_fewer_pages_than_full_scan() {
+    let (db, part) = setup();
+    let model = DiskModel::hdd_5400();
+    let les3 = DiskLes3::new(Les3Index::build(db.clone(), part, Jaccard), model);
+    let brute = DiskBruteForce::new(db.clone(), Jaccard, model);
+    let mut les3_pages = 0u64;
+    let mut brute_pages = 0u64;
+    for qid in (0..100u32).step_by(10) {
+        let q = db.set(qid).to_vec();
+        les3_pages += les3.range(&q, 0.7).1.pages_read;
+        brute_pages += brute.range(&q, 0.7).1.pages_read;
+    }
+    assert!(
+        les3_pages < brute_pages,
+        "LES3 {les3_pages} pages vs scan {brute_pages}"
+    );
+}
+
+#[test]
+fn brute_force_beats_random_access_baselines_at_low_threshold() {
+    // The paper's §7.6 headline: on disk with low δ, baselines doing
+    // random access lose to one sequential scan.
+    let (db, _) = setup();
+    let model = DiskModel { page_size: 128, ..DiskModel::hdd_5400() };
+    let brute = DiskBruteForce::new(db.clone(), Jaccard, model);
+    let invidx = DiskInvIdx::new(db.clone(), Jaccard, model);
+    let q = db.set(3).to_vec();
+    let (_, io_b) = brute.range(&q, 0.1);
+    let (_, io_i) = invidx.range(&q, 0.1);
+    assert!(
+        io_i.elapsed_ms > io_b.elapsed_ms,
+        "InvIdx {:.2}ms should lose to scan {:.2}ms at δ=0.1",
+        io_i.elapsed_ms,
+        io_b.elapsed_ms
+    );
+}
+
+#[test]
+fn ssd_reduces_les3_penalty_for_group_skips() {
+    let (db, part) = setup();
+    let hdd = DiskLes3::new(
+        Les3Index::build(db.clone(), part.clone(), Jaccard),
+        DiskModel::hdd_5400(),
+    );
+    let ssd = DiskLes3::new(Les3Index::build(db.clone(), part, Jaccard), DiskModel::ssd());
+    let q = db.set(8).to_vec();
+    let (_, io_h) = hdd.knn(&q, 10);
+    let (_, io_s) = ssd.knn(&q, 10);
+    assert_eq!(io_h.pages_read, io_s.pages_read, "same access pattern");
+    assert!(
+        io_s.elapsed_ms < io_h.elapsed_ms / 5.0,
+        "SSD {:.3}ms vs HDD {:.3}ms",
+        io_s.elapsed_ms,
+        io_h.elapsed_ms
+    );
+}

@@ -1,0 +1,121 @@
+//! Property tests: LES3 must be *exact* — identical result similarities to
+//! a brute-force scan — for arbitrary databases, partitionings, queries,
+//! thresholds and k, under every supported similarity measure.
+
+use les3::prelude::*;
+use proptest::prelude::*;
+
+/// A random database of 2–60 sets over a 0..80 token universe.
+fn db_strategy() -> impl Strategy<Value = SetDatabase> {
+    prop::collection::vec(prop::collection::btree_set(0u32..80, 1..12), 2..60)
+        .prop_map(|sets| SetDatabase::from_sets(sets.into_iter().map(|s| s.into_iter().collect::<Vec<_>>())))
+}
+
+fn arbitrary_partitioning(n_sets: usize, n_groups: usize, seed: u64) -> Partitioning {
+    // Simple deterministic pseudo-random assignment.
+    let assignment: Vec<u32> = (0..n_sets)
+        .map(|i| {
+            let mut h = seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            h ^= h >> 33;
+            (h % n_groups as u64) as u32
+        })
+        .collect();
+    Partitioning::from_assignment(assignment, n_groups)
+}
+
+fn sims_of(hits: &[(SetId, f64)]) -> Vec<f64> {
+    hits.iter().map(|h| h.1).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn knn_is_exact_for_all_measures(
+        db in db_strategy(),
+        query in prop::collection::btree_set(0u32..90, 1..10),
+        k in 1usize..12,
+        n_groups in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let query: Vec<u32> = query.into_iter().collect();
+        let part = arbitrary_partitioning(db.len(), n_groups, seed);
+
+        fn check<S: Similarity>(db: &SetDatabase, part: &Partitioning, sim: S, q: &[u32], k: usize) {
+            let index = Les3Index::build(db.clone(), part.clone(), sim);
+            let brute = BruteForce::new(db.clone(), sim);
+            let a = sims_of(&index.knn(q, k).hits);
+            let b = sims_of(&SetSimSearch::knn(&brute, q, k).hits);
+            assert_eq!(a, b, "{} k={k}", sim.name());
+        }
+        check(&db, &part, Jaccard, &query, k);
+        check(&db, &part, Dice, &query, k);
+        check(&db, &part, Cosine, &query, k);
+        check(&db, &part, OverlapCoefficient, &query, k);
+    }
+
+    #[test]
+    fn range_is_exact_and_pe_is_valid(
+        db in db_strategy(),
+        query in prop::collection::btree_set(0u32..90, 1..10),
+        delta in 0.05f64..1.0,
+        n_groups in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let query: Vec<u32> = query.into_iter().collect();
+        let part = arbitrary_partitioning(db.len(), n_groups, seed);
+        let index = Les3Index::build(db.clone(), part, Jaccard);
+        let brute = BruteForce::new(db.clone(), Jaccard);
+        let a = index.range(&query, delta);
+        let b = SetSimSearch::range(&brute, &query, delta);
+        prop_assert_eq!(&a.hits, &b.hits);
+        let pe = a.stats.pruning_efficiency_range(db.len(), a.hits.len());
+        prop_assert!((0.0..=1.0).contains(&pe), "PE {pe}");
+        // Brute force verifies everything; TGM never verifies more.
+        prop_assert!(a.stats.candidates <= b.stats.candidates);
+    }
+
+    #[test]
+    fn baselines_agree_with_each_other(
+        db in db_strategy(),
+        qidx in 0usize..60,
+        k in 1usize..8,
+        delta in 0.1f64..1.0,
+    ) {
+        let qid = (qidx % db.len()) as SetId;
+        let query = db.set(qid).to_vec();
+        let brute = BruteForce::new(db.clone(), Jaccard);
+        let invidx = InvIdx::build(db.clone(), Jaccard);
+        let dual = DualTrans::build(db.clone(), Jaccard, 4, 8);
+        let scalar = ScalarTrans::build(db.clone(), Jaccard);
+
+        let reference = sims_of(&SetSimSearch::knn(&brute, &query, k).hits);
+        prop_assert_eq!(&sims_of(&SetSimSearch::knn(&invidx, &query, k).hits), &reference, "InvIdx kNN");
+        prop_assert_eq!(&sims_of(&SetSimSearch::knn(&dual, &query, k).hits), &reference, "DualTrans kNN");
+        prop_assert_eq!(&sims_of(&SetSimSearch::knn(&scalar, &query, k).hits), &reference, "ScalarTrans kNN");
+
+        let reference = SetSimSearch::range(&brute, &query, delta).hits;
+        prop_assert_eq!(&SetSimSearch::range(&invidx, &query, delta).hits, &reference, "InvIdx range");
+        prop_assert_eq!(&SetSimSearch::range(&dual, &query, delta).hits, &reference, "DualTrans range");
+        prop_assert_eq!(&SetSimSearch::range(&scalar, &query, delta).hits, &reference, "ScalarTrans range");
+    }
+
+    #[test]
+    fn updates_preserve_exactness(
+        db in db_strategy(),
+        inserts in prop::collection::vec(prop::collection::btree_set(0u32..120, 1..10), 1..10),
+        k in 1usize..6,
+    ) {
+        let part = arbitrary_partitioning(db.len(), 4.min(db.len()), 3);
+        let mut index = Les3Index::build(db, part, Jaccard);
+        for s in inserts {
+            let mut tokens: Vec<u32> = s.into_iter().collect();
+            index.insert(&mut tokens);
+        }
+        let brute = BruteForce::new(index.db().clone(), Jaccard);
+        let query = index.db().set(0).to_vec();
+        let a = sims_of(&index.knn(&query, k).hits);
+        let b = sims_of(&SetSimSearch::knn(&brute, &query, k).hits);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,110 @@
+//! Cross-crate comparison of the five partitioning methods (paper §4.3,
+//! §5, Figure 9): all must produce valid partitionings; the learned and
+//! graph-cut methods should lead the GPO ranking on clustered data.
+
+use les3::partition::objective::{expected_pe, gpo, signature_cost};
+use les3::prelude::*;
+
+/// A database with clear cluster structure (8 token regions).
+fn clustered_db() -> SetDatabase {
+    let mut sets = Vec::new();
+    for c in 0..8u32 {
+        for i in 0..25u32 {
+            let base = c * 512;
+            sets.push(vec![base, base + 1, base + 2 + i % 5, base + 9 + i % 3]);
+        }
+    }
+    SetDatabase::from_sets(sets)
+}
+
+fn run_all(db: &SetDatabase, n_groups: usize) -> Vec<(&'static str, Partitioning)> {
+    let reps = RepMatrix::from_representation(db, &Ptr::new(db.universe_size()));
+    let l2p = les3::partition::l2p::L2p::new(L2pConfig {
+        target_groups: n_groups,
+        init_groups: 2,
+        min_group_size: 8,
+        pairs_per_model: 800,
+        ..Default::default()
+    })
+    .partition(db, &reps);
+    vec![
+        ("L2P", l2p.finest().clone()),
+        ("PAR-G", ParG::new(n_groups).partition(db, Jaccard)),
+        ("PAR-C", ParC::new(n_groups).partition(db, Jaccard)),
+        ("PAR-D", ParD::new(n_groups).partition(db, Jaccard)),
+        ("PAR-A", ParA::new(n_groups).partition(db, Jaccard)),
+    ]
+}
+
+#[test]
+fn every_partitioner_produces_a_valid_cover() {
+    let db = clustered_db();
+    for (name, part) in run_all(&db, 8) {
+        assert_eq!(part.n_sets(), db.len(), "{name}");
+        assert!(part.n_groups() >= 2, "{name}");
+        assert_eq!(
+            part.group_sizes().iter().sum::<usize>(),
+            db.len(),
+            "{name} loses sets"
+        );
+    }
+}
+
+#[test]
+fn learned_and_graph_methods_beat_random_on_gpo() {
+    let db = clustered_db();
+    let results = run_all(&db, 8);
+    let random = Partitioning::round_robin(db.len(), 8);
+    let random_gpo = gpo(&db, &random, Jaccard);
+    for (name, part) in &results {
+        if *name == "L2P" || *name == "PAR-G" {
+            let g = gpo(&db, part, Jaccard);
+            assert!(g < random_gpo, "{name} GPO {g} vs random {random_gpo}");
+        }
+    }
+}
+
+#[test]
+fn better_gpo_means_better_expected_pe() {
+    // The §4 theory: lower GPO / signature cost ⇒ higher pruning
+    // efficiency. Compare the GPO-best partitioner against round-robin.
+    let db = clustered_db();
+    let results = run_all(&db, 8);
+    let (best_name, best) = results
+        .iter()
+        .min_by(|a, b| {
+            gpo(&db, &a.1, Jaccard)
+                .partial_cmp(&gpo(&db, &b.1, Jaccard))
+                .unwrap()
+        })
+        .unwrap();
+    let random = Partitioning::round_robin(db.len(), 8);
+    let queries: Vec<Vec<TokenId>> = (0..40u32).map(|i| db.set(i * 5).to_vec()).collect();
+    let pe_best = expected_pe(&db, best, Jaccard, &queries);
+    let pe_random = expected_pe(&db, &random, Jaccard, &queries);
+    assert!(
+        pe_best > pe_random,
+        "{best_name} PE {pe_best} should beat round-robin {pe_random}"
+    );
+    assert!(
+        signature_cost(&db, best) < signature_cost(&db, &random),
+        "{best_name} signature cost should be lower too"
+    );
+}
+
+#[test]
+fn partitionings_translate_to_fewer_candidates() {
+    // End to end: GPO-optimized partitionings verify fewer candidates.
+    let db = clustered_db();
+    let l2p = run_all(&db, 8).remove(0).1;
+    let learned = Les3Index::build(db.clone(), l2p, Jaccard);
+    let random = Les3Index::build(db.clone(), Partitioning::round_robin(db.len(), 8), Jaccard);
+    let mut learned_c = 0usize;
+    let mut random_c = 0usize;
+    for qid in (0..db.len() as u32).step_by(10) {
+        let q = db.set(qid);
+        learned_c += learned.knn(q, 5).stats.candidates;
+        random_c += random.knn(q, 5).stats.candidates;
+    }
+    assert!(learned_c < random_c, "learned {learned_c} vs random {random_c}");
+}
