@@ -35,7 +35,11 @@ impl<S: Similarity> DiskBruteForce<S> {
     /// Lays the database out in id order.
     pub fn new(db: SetDatabase, sim: S, model: DiskModel) -> Self {
         let layout = SequentialLayout::new(&db, model.page_size);
-        Self { inner: BruteForce::new(db, sim), layout, model }
+        Self {
+            inner: BruteForce::new(db, sim),
+            layout,
+            model,
+        }
     }
 
     fn scan_io(&self) -> IoStats {
@@ -70,7 +74,12 @@ impl<S: Similarity> DiskInvIdx<S> {
     pub fn new(db: SetDatabase, sim: S, model: DiskModel) -> Self {
         let layout = SequentialLayout::new(&db, model.page_size);
         let postings_base = layout.total_pages();
-        Self { inner: InvIdx::build(db, sim), layout, model, postings_base }
+        Self {
+            inner: InvIdx::build(db, sim),
+            layout,
+            model,
+            postings_base,
+        }
     }
 
     /// The wrapped memory index.
@@ -128,8 +137,11 @@ impl<S: Similarity> DiskInvIdx<S> {
         loop {
             self.charge_postings(&mut disk, &ordered, delta);
             let (cands, _) = self.inner.candidates(&ordered, delta);
-            let new: Vec<SetId> =
-                cands.iter().copied().filter(|id| !seen.contains(id)).collect();
+            let new: Vec<SetId> = cands
+                .iter()
+                .copied()
+                .filter(|id| !seen.contains(id))
+                .collect();
             self.charge_candidates(&mut disk, &new);
             seen.extend(new);
             let kth = kth_similarity(&result, k);
@@ -157,7 +169,12 @@ impl<S: Similarity> DiskDualTrans<S> {
     pub fn new(db: SetDatabase, sim: S, model: DiskModel, dim: usize, fanout: usize) -> Self {
         let layout = SequentialLayout::new(&db, model.page_size);
         let nodes_base = layout.total_pages();
-        Self { inner: DualTrans::build(db, sim, dim, fanout), layout, model, nodes_base }
+        Self {
+            inner: DualTrans::build(db, sim, dim, fanout),
+            layout,
+            model,
+            nodes_base,
+        }
     }
 
     /// The wrapped memory index.
@@ -182,11 +199,9 @@ impl<S: Similarity> DiskDualTrans<S> {
             disk.read_run(run.start, run.count);
         }
         let extra = result.stats.candidates.saturating_sub(result.hits.len());
-        let mut cursor = 1u64;
-        for _ in 0..extra {
+        for cursor in 1..=extra as u64 {
             let run_len = 1;
             disk.read_run(cursor * 3 % self.layout.total_pages().max(1), run_len);
-            cursor += 1;
         }
     }
 
@@ -245,7 +260,10 @@ mod tests {
     fn invidx_random_io_exceeds_brute_at_low_delta() {
         // Small pages stand in for paper-scale data: candidates scatter
         // across many pages instead of all landing on one.
-        let model = DiskModel { page_size: 64, ..DiskModel::hdd_5400() };
+        let model = DiskModel {
+            page_size: 64,
+            ..DiskModel::hdd_5400()
+        };
         let data = db();
         let dbf = DiskBruteForce::new(data.clone(), Jaccard, model);
         let dinv = DiskInvIdx::new(data.clone(), Jaccard, model);
@@ -295,10 +313,7 @@ mod tests {
             }
         }
         let data = SetDatabase::from_sets(sets);
-        let part = Partitioning::from_assignment(
-            (0..800).map(|i| (i / 50) as u32).collect(),
-            16,
-        );
+        let part = Partitioning::from_assignment((0..800).map(|i| (i / 50) as u32).collect(), 16);
         let les3 = DiskLes3::new(
             Les3Index::build(data.clone(), part, Jaccard),
             DiskModel::hdd_5400(),

@@ -65,7 +65,13 @@ impl<S: Similarity> DualTrans<S> {
         }
         let items: Vec<u32> = (0..db.len() as u32).collect();
         let tree = RTree::bulk_load(d, max_entries, &vectors, &items);
-        Self { db, sim, bucket, dim: d, tree }
+        Self {
+            db,
+            sim,
+            bucket,
+            dim: d,
+            tree,
+        }
     }
 
     /// The underlying database.
@@ -132,7 +138,10 @@ impl<S: Similarity> SetSimSearch for DualTrans<S> {
     fn knn(&self, query: &[TokenId], k: usize) -> SearchResult {
         let mut stats = SearchStats::default();
         if k == 0 || self.db.is_empty() {
-            return SearchResult { hits: Vec::new(), stats };
+            return SearchResult {
+                hits: Vec::new(),
+                stats,
+            };
         }
         let qv = self.transform(query);
         let q_len = les3_core::sim::distinct_len({
@@ -208,7 +217,9 @@ impl<S: Similarity> SetSimSearch for DualTrans<S> {
 
 fn sort_hits(hits: &mut [(SetId, f64)]) {
     hits.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
     });
 }
 

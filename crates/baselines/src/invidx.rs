@@ -55,7 +55,13 @@ impl<S: Similarity> InvIdx<S> {
         for (r, &tok) in by_freq.iter().enumerate() {
             rank[tok as usize] = r as u32;
         }
-        Self { db, sim, postings, rank, knn_step: 0.05 }
+        Self {
+            db,
+            sim,
+            postings,
+            rank,
+            knn_step: 0.05,
+        }
     }
 
     /// The underlying database.
@@ -157,7 +163,10 @@ impl<S: Similarity> SetSimSearch for InvIdx<S> {
     fn knn(&self, query: &[TokenId], k: usize) -> SearchResult {
         let mut stats = SearchStats::default();
         if k == 0 || self.db.is_empty() {
-            return SearchResult { hits: Vec::new(), stats };
+            return SearchResult {
+                hits: Vec::new(),
+                stats,
+            };
         }
         let ordered = self.ordered_query(query);
         let mut verified = vec![false; self.db.len()];
@@ -177,7 +186,11 @@ impl<S: Similarity> SetSimSearch for InvIdx<S> {
             }
             sort_hits(&mut top);
             top.truncate(k.max(64)); // keep a margin beyond k for ties
-            let kth = if top.len() >= k { top[k - 1].1 } else { f64::NEG_INFINITY };
+            let kth = if top.len() >= k {
+                top[k - 1].1
+            } else {
+                f64::NEG_INFINITY
+            };
             if kth >= delta {
                 break;
             }
@@ -217,7 +230,9 @@ impl<S: Similarity> SetSimSearch for InvIdx<S> {
 
 fn sort_hits(hits: &mut [(SetId, f64)]) {
     hits.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
     });
 }
 

@@ -33,7 +33,12 @@ impl<S: Similarity> ScalarTrans<S> {
         for (id, set) in db.iter() {
             tree.insert(les3_core::sim::distinct_len(set) as u64, id);
         }
-        Self { db, sim, tree, knn_step: 0.05 }
+        Self {
+            db,
+            sim,
+            tree,
+            knn_step: 0.05,
+        }
     }
 
     /// The underlying database.
@@ -87,7 +92,10 @@ impl<S: Similarity> SetSimSearch for ScalarTrans<S> {
     fn knn(&self, query: &[TokenId], k: usize) -> SearchResult {
         let mut stats = SearchStats::default();
         if k == 0 || self.db.is_empty() {
-            return SearchResult { hits: Vec::new(), stats };
+            return SearchResult {
+                hits: Vec::new(),
+                stats,
+            };
         }
         let q_len = les3_core::sim::distinct_len(&{
             let mut q = query.to_vec();
@@ -111,7 +119,11 @@ impl<S: Similarity> SetSimSearch for ScalarTrans<S> {
                 top.push((id, s));
             }
             sort_hits(&mut top);
-            let kth = if top.len() >= k { top[k - 1].1 } else { f64::NEG_INFINITY };
+            let kth = if top.len() >= k {
+                top[k - 1].1
+            } else {
+                f64::NEG_INFINITY
+            };
             if kth >= delta {
                 break;
             }
@@ -131,7 +143,9 @@ impl<S: Similarity> SetSimSearch for ScalarTrans<S> {
 
 fn sort_hits(hits: &mut [(SetId, f64)]) {
     hits.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
     });
 }
 
@@ -177,6 +191,10 @@ mod tests {
         let db = SetDatabase::from_sets(sets);
         let st = ScalarTrans::build(db.clone(), Jaccard);
         let res = st.range(&[0, 1], 0.5);
-        assert!(res.stats.candidates <= 50, "candidates {}", res.stats.candidates);
+        assert!(
+            res.stats.candidates <= 50,
+            "candidates {}",
+            res.stats.candidates
+        );
     }
 }

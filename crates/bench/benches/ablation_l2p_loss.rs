@@ -15,7 +15,10 @@ use les3_partition::l2p::{L2p, L2pConfig};
 use les3_partition::objective::gpo_sampled;
 
 fn main() {
-    header("Ablation", "L2P loss function: surrogate (Eq.18) vs hard (Eq.15)");
+    header(
+        "Ablation",
+        "L2P loss function: surrogate (Eq.18) vs hard (Eq.15)",
+    );
     let n = bench_sets(4_000) / 2;
     let db = DatasetSpec::kosarak().with_sets(n).generate(9);
     let reps = ptr_reps(&db);

@@ -10,7 +10,10 @@ use les3_core::{Jaccard, Les3Index};
 use les3_data::realistic::DatasetSpec;
 
 fn main() {
-    header("Ablation", "TGM compression: compressed vs dense bit-matrix size");
+    header(
+        "Ablation",
+        "TGM compression: compressed vs dense bit-matrix size",
+    );
     let n = bench_sets(4_000);
     println!(
         "{:<9} {:>8} {:>10} {:>14} {:>14} {:>12}",

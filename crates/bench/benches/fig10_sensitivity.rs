@@ -13,7 +13,10 @@ use les3_data::realistic::DatasetSpec;
 use les3_partition::l2p::{L2p, L2pConfig};
 
 fn main() {
-    header("Figure 10", "query time vs number of groups n and result size k");
+    header(
+        "Figure 10",
+        "query time vs number of groups n and result size k",
+    );
     let n = bench_sets(4_000);
     let db = DatasetSpec::kosarak().with_sets(n).generate(11);
     println!("database: {}", db.stats());

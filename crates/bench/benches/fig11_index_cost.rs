@@ -6,8 +6,8 @@
 //! paper reports up to 90 % less space); LES3's construction time is
 //! dominated by (one-off) model training.
 
-use les3_bench::{bench_sets, header, l2p_partition, time};
 use les3_baselines::{DualTrans, InvIdx, ScalarTrans, SetSimSearch};
+use les3_bench::{bench_sets, header, l2p_partition, time};
 use les3_core::{Jaccard, Les3Index};
 use les3_data::realistic::DatasetSpec;
 
@@ -28,7 +28,10 @@ fn main() {
                 let (r, t) = les3_bench::time(|| l2p_partition(&db, n_groups));
                 (r, t)
             };
-            (Les3Index::build(db.clone(), part.finest().clone(), Jaccard), train)
+            (
+                Les3Index::build(db.clone(), part.finest().clone(), Jaccard),
+                train,
+            )
         });
         let (dual, t_dual) = time(|| DualTrans::build(db.clone(), Jaccard, 8, 16));
         let (inv, t_inv) = time(|| InvIdx::build(db.clone(), Jaccard));

@@ -6,17 +6,16 @@
 //! (R-tree scans are expensive); brute force is surprisingly strong at
 //! low δ / large k.
 
-use les3_bench::{bench_queries, bench_sets, header, per_query_us, time, workload};
 use les3_baselines::{BruteForce, DualTrans, InvIdx, SetSimSearch};
+use les3_bench::{bench_queries, bench_sets, header, per_query_us, time, workload};
 use les3_core::{Jaccard, Les3Index};
 use les3_data::realistic::DatasetSpec;
 use les3_data::TokenId;
 
-fn sweep(
-    label: &str,
-    queries: &[Vec<TokenId>],
-    methods: &[(&str, &dyn Fn(&[TokenId]) -> les3_core::SearchResult)],
-) {
+/// A named query runner (method label, query → result closure).
+type Method<'a> = (&'a str, &'a dyn Fn(&[TokenId]) -> les3_core::SearchResult);
+
+fn sweep(label: &str, queries: &[Vec<TokenId>], methods: &[Method<'_>]) {
     print!("{label:>10}");
     for (_, f) in methods {
         let (_, t) = time(|| {
@@ -30,7 +29,10 @@ fn sweep(
 }
 
 fn main() {
-    header("Figure 12", "memory-based range (δ sweep) and kNN (k sweep) vs baselines");
+    header(
+        "Figure 12",
+        "memory-based range (δ sweep) and kNN (k sweep) vs baselines",
+    );
     // Larger default than the other harnesses: posting-list density (the
     // quantity InvIdx's cost tracks) approaches paper conditions only as
     // |D| grows against the ∛-scaled universe.
@@ -62,7 +64,7 @@ fn main() {
             let f_brute = |q: &[TokenId]| SetSimSearch::range(&brute, q, delta);
             let f_inv = |q: &[TokenId]| SetSimSearch::range(&inv, q, delta);
             let f_dual = |q: &[TokenId]| SetSimSearch::range(&dual, q, delta);
-            let methods: Vec<(&str, &dyn Fn(&[TokenId]) -> les3_core::SearchResult)> = vec![
+            let methods: Vec<Method<'_>> = vec![
                 ("LES3", &f_les3),
                 ("Brute", &f_brute),
                 ("InvIdx", &f_inv),
@@ -76,7 +78,7 @@ fn main() {
             let f_brute = |q: &[TokenId]| SetSimSearch::knn(&brute, q, k);
             let f_inv = |q: &[TokenId]| SetSimSearch::knn(&inv, q, k);
             let f_dual = |q: &[TokenId]| SetSimSearch::knn(&dual, q, k);
-            let methods: Vec<(&str, &dyn Fn(&[TokenId]) -> les3_core::SearchResult)> = vec![
+            let methods: Vec<Method<'_>> = vec![
                 ("LES3", &f_les3),
                 ("Brute", &f_brute),
                 ("InvIdx", &f_inv),

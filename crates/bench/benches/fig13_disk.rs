@@ -7,14 +7,17 @@
 //! random access per candidate; LES3's group-contiguous layout keeps its
 //! I/O sequential.
 
-use les3_bench::{bench_queries, bench_sets, header, workload};
 use les3_baselines::disk::{DiskBruteForce, DiskDualTrans, DiskInvIdx};
+use les3_bench::{bench_queries, bench_sets, header, workload};
 use les3_core::{DiskLes3, Jaccard, Les3Index};
 use les3_data::realistic::DatasetSpec;
 use les3_storage::DiskModel;
 
 fn main() {
-    header("Figure 13", "disk-based range & kNN (simulated HDD ms/query)");
+    header(
+        "Figure 13",
+        "disk-based range & kNN (simulated HDD ms/query)",
+    );
     let n = bench_sets(16_000); // disk datasets are the big ones
     let n_queries = bench_queries(50).min(50);
     for spec in DatasetSpec::disk_datasets() {
@@ -38,7 +41,11 @@ fn main() {
         let dual = DiskDualTrans::new(db.clone(), Jaccard, model, 8, 16);
         let queries = workload(&db, n_queries, 41);
 
-        println!("\n--- {} ({}) --- (simulated I/O ms/query)", spec.name, db.stats());
+        println!(
+            "\n--- {} ({}) --- (simulated I/O ms/query)",
+            spec.name,
+            db.stats()
+        );
         println!(
             "{:>10} {:>12} {:>12} {:>12} {:>12}",
             "", "LES3", "Brute", "InvIdx", "DualTrans"

@@ -24,7 +24,9 @@ fn main() {
         "α", "index-access ratio", "computation ratio"
     );
     for alpha in [1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0] {
-        let db = PowerLawSimGenerator::new(n, n as u32, 10, alpha).with_hubs(1).generate(17);
+        let db = PowerLawSimGenerator::new(n, n as u32, 10, alpha)
+            .with_hubs(1)
+            .generate(17);
         // Train the cascade; the TGM uses the finest level, the HTGM adds
         // a coarse level three splits higher (32 vs 256 at paper scale).
         let reps = ptr_reps(&db);

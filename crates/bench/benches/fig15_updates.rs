@@ -17,7 +17,10 @@ const K: usize = 10;
 fn avg_pe(index: &Les3Index<Jaccard>, queries: &[Vec<TokenId>]) -> f64 {
     let mut total = 0.0;
     for q in queries {
-        total += index.knn(q, K).stats.pruning_efficiency_knn(index.db().len(), K);
+        total += index
+            .knn(q, K)
+            .stats
+            .pruning_efficiency_knn(index.db().len(), K);
     }
     total / queries.len() as f64
 }
@@ -26,7 +29,13 @@ fn avg_pe(index: &Les3Index<Jaccard>, queries: &[Vec<TokenId>]) -> f64 {
 /// (paper §7.8: "half of the tokens in D_open are from D and half are
 /// new"). Tokens are drawn directly (no compaction) so new ids really lie
 /// outside the original universe.
-fn new_sets(spec: &DatasetSpec, count: usize, universe: u32, open: bool, seed: u64) -> Vec<Vec<TokenId>> {
+fn new_sets(
+    spec: &DatasetSpec,
+    count: usize,
+    universe: u32,
+    open: bool,
+    seed: u64,
+) -> Vec<Vec<TokenId>> {
     use rand::Rng;
     let mut rng = les3_data::rand_util::rng(seed);
     let old_tokens = les3_data::rand_util::Zipf::new(universe as usize, spec.alpha);
@@ -51,7 +60,10 @@ fn new_sets(spec: &DatasetSpec, count: usize, universe: u32, open: bool, seed: u
 }
 
 fn main() {
-    header("Figure 15", "PE decrease vs insertion ratio (kNN k=10, KOSARAK-like)");
+    header(
+        "Figure 15",
+        "PE decrease vs insertion ratio (kNN k=10, KOSARAK-like)",
+    );
     let n = bench_sets(4_000) / 2;
     let spec = DatasetSpec::kosarak().with_sets(n);
     let base = spec.generate(3);
@@ -67,8 +79,7 @@ fn main() {
             let inserts = new_sets(&spec, count, universe, open, 91);
             // Incremental: stream into a live index.
             let part = l2p_partition(&base, n_groups);
-            let mut incremental =
-                Les3Index::build(base.clone(), part.finest().clone(), Jaccard);
+            let mut incremental = Les3Index::build(base.clone(), part.finest().clone(), Jaccard);
             for s in &inserts {
                 incremental.insert(&mut s.clone());
             }

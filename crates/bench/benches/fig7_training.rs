@@ -7,7 +7,10 @@ use les3_nn::PairLoss;
 use les3_partition::l2p::{L2p, L2pConfig};
 
 fn main() {
-    header("Figure 7(a)", "training loss per epoch (first trained model per dataset)");
+    header(
+        "Figure 7(a)",
+        "training loss per epoch (first trained model per dataset)",
+    );
     let n = bench_sets(4_000);
     let epochs = 10; // the paper trains longer here to show convergence
     println!("{:<9} loss per epoch", "Dataset");
@@ -34,12 +37,20 @@ fn main() {
         let last = *result.reports[0].epoch_losses.last().unwrap();
         println!(
             "{:<9}   loss drop {:.1}% (converges within ~2 epochs: {})",
-            "", (first - last) / first.max(1e-12) * 100.0,
-            result.reports[0].epoch_losses.get(1).map(|l2| l2 <= &(first * 1.05)).unwrap_or(false)
+            "",
+            (first - last) / first.max(1e-12) * 100.0,
+            result.reports[0]
+                .epoch_losses
+                .get(1)
+                .map(|l2| l2 <= &(first * 1.05))
+                .unwrap_or(false)
         );
     }
 
-    header("Figure 7(b)", "training cost vs number of groups (KOSARAK-like)");
+    header(
+        "Figure 7(b)",
+        "training cost vs number of groups (KOSARAK-like)",
+    );
     let db = DatasetSpec::kosarak().with_sets(n).generate(2);
     let reps = ptr_reps(&db);
     println!("{:>8} {:>12} {:>8}", "groups", "train time", "models");
@@ -52,7 +63,10 @@ fn main() {
             ..Default::default()
         };
         let (result, elapsed) = time(|| L2p::new(cfg.clone()).partition(&db, &reps));
-        println!("{:>8} {:>12.2?} {:>8}", target, elapsed, result.models_trained);
+        println!(
+            "{:>8} {:>12.2?} {:>8}",
+            target, elapsed, result.models_trained
+        );
     }
     println!("(cost grows ~linearly with groups — Figure 7(b)'s shape)");
 }

@@ -45,7 +45,10 @@ fn evaluate(name: &str, db: &les3_data::SetDatabase, reps: RepMatrix, embed: std
 }
 
 fn main() {
-    header("Figure 8", "representation techniques: embed cost + query time");
+    header(
+        "Figure 8",
+        "representation techniques: embed cost + query time",
+    );
     // 5 % sample of the bench-scale KOSARAK emulation.
     let n = (bench_sets(4_000) / 4).max(500);
     let db = DatasetSpec::kosarak().with_sets(n).generate(7);

@@ -14,7 +14,13 @@ use les3_partition::graph::knn_graph;
 use les3_partition::l2p::{L2p, L2pConfig};
 use les3_partition::{ParA, ParC, ParD, ParG};
 
-fn report(name: &str, db: &SetDatabase, part: Partitioning, ptime: std::time::Duration, bytes: usize) {
+fn report(
+    name: &str,
+    db: &SetDatabase,
+    part: Partitioning,
+    ptime: std::time::Duration,
+    bytes: usize,
+) {
     let index = Les3Index::build(db.clone(), part, Jaccard);
     let queries = workload(db, bench_queries(50), 3);
     let (_, qt) = time(|| {
@@ -32,14 +38,20 @@ fn report(name: &str, db: &SetDatabase, part: Partitioning, ptime: std::time::Du
 }
 
 fn main() {
-    header("Figure 9", "partitioning methods: time, space, query time (kNN k=10)");
+    header(
+        "Figure 9",
+        "partitioning methods: time, space, query time (kNN k=10)",
+    );
     let n = bench_sets(4_000);
     // Paper: 1024 groups on 990K sets ≈ 0.1 %; same ratio at bench scale,
     // floored so groups stay meaningful.
     let n_groups = (n / 967).max(32);
     let db = DatasetSpec::kosarak().with_sets(n).generate(5);
     println!("database: {} → {n_groups} groups", db.stats());
-    println!("{:<7} {:>12} {:>12} {:>14}", "method", "part. time", "memory", "kNN µs/query");
+    println!(
+        "{:<7} {:>12} {:>12} {:>14}",
+        "method", "part. time", "memory", "kNN µs/query"
+    );
 
     // L2P: memory = model parameters + one mini-batch (paper §7.4).
     let reps = ptr_reps(&db);

@@ -30,9 +30,13 @@ fn bench_tgm(c: &mut Criterion) {
     let tgm = Tgm::build(&db, &part);
     for survivors in [8usize, 64, 256] {
         let groups: Vec<u32> = (0..survivors as u32).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(survivors), &groups, |b, groups| {
-            b.iter(|| black_box(tgm.group_overlaps_restricted(black_box(&query), groups)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(survivors),
+            &groups,
+            |b, groups| {
+                b.iter(|| black_box(tgm.group_overlaps_restricted(black_box(&query), groups)))
+            },
+        );
     }
     group.finish();
 }

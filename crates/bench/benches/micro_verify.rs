@@ -36,7 +36,9 @@ fn bench_verify(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(1200));
     let a = random_set(64, 256, &mut rng);
     let b = random_set(64, 256, &mut rng);
-    group.bench_function("jaccard", |bch| bch.iter(|| black_box(Jaccard.eval(&a, &b))));
+    group.bench_function("jaccard", |bch| {
+        bch.iter(|| black_box(Jaccard.eval(&a, &b)))
+    });
     group.bench_function("dice", |bch| bch.iter(|| black_box(Dice.eval(&a, &b))));
     group.bench_function("cosine", |bch| bch.iter(|| black_box(Cosine.eval(&a, &b))));
     group.finish();

@@ -7,13 +7,20 @@ fn main() {
     let ptr = Ptr::new(4);
     println!("{:<9} {:>3} {:>3} {:>3} {:>3}", "Position", 1, 2, 3, 4);
     for (name, token) in [("A", 0u32), ("B", 1), ("C", 2), ("D", 3)] {
-        let row: Vec<String> =
-            (0..4).map(|i| ptr.path_table(token, i).to_string()).collect();
-        println!("{:<9} {:>3} {:>3} {:>3} {:>3}", name, row[0], row[1], row[2], row[3]);
+        let row: Vec<String> = (0..4)
+            .map(|i| ptr.path_table(token, i).to_string())
+            .collect();
+        println!(
+            "{:<9} {:>3} {:>3} {:>3} {:>3}",
+            name, row[0], row[1], row[2], row[3]
+        );
     }
     // The §5.3 example representations.
     println!("\nRep({{A,B,C}}) = {:?}", ptr.rep(&[0, 1, 2]));
     println!("Rep({{B,D}})   = {:?}", ptr.rep(&[1, 3]));
     println!("Rep({{A}})     = {:?}", ptr.rep(&[0]));
-    println!("Rep({{A,A}})   = {:?} (multisets differentiated)", ptr.rep(&[0, 0]));
+    println!(
+        "Rep({{A,A}})   = {:?} (multisets differentiated)",
+        ptr.rep(&[0, 0])
+    );
 }

@@ -23,8 +23,14 @@ fn main() {
         let s = db.stats();
         println!(
             "{:<9} {:>10} {:>8} {:>5} {:>7.1} {:>10}   ({}, {})",
-            spec.name, s.n_sets, s.max_size, s.min_size, s.avg_size, s.distinct_tokens,
-            spec.n_sets, spec.universe
+            spec.name,
+            s.n_sets,
+            s.max_size,
+            s.min_size,
+            s.avg_size,
+            s.distinct_tokens,
+            spec.n_sets,
+            spec.universe
         );
     }
 }

@@ -18,7 +18,10 @@ use std::time::{Duration, Instant};
 
 /// Reads a `usize` env override.
 pub fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Dataset size for a harness (`LES3_BENCH_N`).

@@ -299,7 +299,12 @@ impl Bitmap {
     /// Heap bytes used (containers + chunk table).
     pub fn size_in_bytes(&self) -> usize {
         let table = self.chunks.capacity() * std::mem::size_of::<(u16, Container)>();
-        table + self.chunks.iter().map(|(_, c)| c.size_in_bytes()).sum::<usize>()
+        table
+            + self
+                .chunks
+                .iter()
+                .map(|(_, c)| c.size_in_bytes())
+                .sum::<usize>()
     }
 
     /// Bytes of the portable serialized form (Roaring-style): a 4-byte
@@ -351,7 +356,10 @@ mod tests {
     #[test]
     fn from_sorted_matches_from_iter() {
         let vals: Vec<u32> = (0..100_000).step_by(37).collect();
-        assert_eq!(Bitmap::from_sorted(&vals), Bitmap::from_iter(vals.iter().copied()));
+        assert_eq!(
+            Bitmap::from_sorted(&vals),
+            Bitmap::from_iter(vals.iter().copied())
+        );
     }
 
     #[test]

@@ -14,7 +14,9 @@ pub struct BitsContainer {
 
 impl std::fmt::Debug for BitsContainer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BitsContainer").field("len", &self.len).finish()
+        f.debug_struct("BitsContainer")
+            .field("len", &self.len)
+            .finish()
     }
 }
 
@@ -27,7 +29,10 @@ impl Default for BitsContainer {
 impl BitsContainer {
     /// Creates an empty container.
     pub fn new() -> Self {
-        Self { words: Box::new([0; WORDS]), len: 0 }
+        Self {
+            words: Box::new([0; WORDS]),
+            len: 0,
+        }
     }
 
     /// Number of set bits.
@@ -78,7 +83,10 @@ impl BitsContainer {
     /// Number of set bits `< value`.
     pub fn rank(&self, value: u16) -> usize {
         let (w, _) = Self::index(value);
-        let mut rank: usize = self.words[..w].iter().map(|x| x.count_ones() as usize).sum();
+        let mut rank: usize = self.words[..w]
+            .iter()
+            .map(|x| x.count_ones() as usize)
+            .sum();
         let low = value & 63;
         if low > 0 {
             rank += (self.words[w] & ((1u64 << low) - 1)).count_ones() as usize;
@@ -127,7 +135,11 @@ impl BitsContainer {
 
     /// Iterates over set bits in increasing order.
     pub fn iter(&self) -> BitsIter<'_> {
-        BitsIter { words: &self.words, word_idx: 0, current: self.words[0] }
+        BitsIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words[0],
+        }
     }
 
     /// Materializes the set bits into a sorted vector.
@@ -140,6 +152,13 @@ impl BitsContainer {
     /// Heap bytes used by this container.
     pub fn size_in_bytes(&self) -> usize {
         WORDS * std::mem::size_of::<u64>()
+    }
+
+    /// The raw 64-bit words (bit `i` of word `w` ⇔ value `w·64 + i`).
+    /// Exposed for the word-parallel counting kernels.
+    #[inline]
+    pub fn words(&self) -> &[u64; WORDS] {
+        &self.words
     }
 
     /// Number of runs of consecutive set bits (used to decide RLE conversion).

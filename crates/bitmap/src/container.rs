@@ -120,8 +120,12 @@ impl Container {
         match (self, other) {
             (Container::Array(a), Container::Array(b)) => Container::Array(a.intersect(b)),
             (Container::Array(a), b) | (b, Container::Array(a)) => {
-                let vals: Vec<u16> =
-                    a.as_slice().iter().copied().filter(|&v| b.contains(v)).collect();
+                let vals: Vec<u16> = a
+                    .as_slice()
+                    .iter()
+                    .copied()
+                    .filter(|&v| b.contains(v))
+                    .collect();
                 Container::Array(ArrayContainer::from_sorted(vals))
             }
             _ => {
@@ -149,8 +153,12 @@ impl Container {
         match (self, other) {
             (Container::Array(a), Container::Array(b)) => Container::Array(a.difference(b)),
             (Container::Array(a), b) => {
-                let vals: Vec<u16> =
-                    a.as_slice().iter().copied().filter(|&v| !b.contains(v)).collect();
+                let vals: Vec<u16> = a
+                    .as_slice()
+                    .iter()
+                    .copied()
+                    .filter(|&v| !b.contains(v))
+                    .collect();
                 Container::Array(ArrayContainer::from_sorted(vals))
             }
             _ => {

@@ -16,7 +16,12 @@ pub struct BitmapIter<'a> {
 
 impl<'a> BitmapIter<'a> {
     pub(crate) fn new(chunks: &'a [(u16, Container)]) -> Self {
-        let mut it = Self { chunks, chunk_idx: 0, buffer: Vec::new(), buffer_pos: 0 };
+        let mut it = Self {
+            chunks,
+            chunk_idx: 0,
+            buffer: Vec::new(),
+            buffer_pos: 0,
+        };
         it.fill();
         it
     }

@@ -20,6 +20,13 @@
 //! cardinality, and byte-accurate size accounting (Figure 11 of the paper
 //! reports index sizes).
 //!
+//! The query hot path does not iterate values one by one: the
+//! [`kernel`] module provides word-parallel counting kernels
+//! ([`Bitmap::count_into`], [`Bitmap::count_into_masked`]) that stream
+//! 64-bit container words and decode them with `trailing_zeros`, plus the
+//! reusable [`DenseBitSet`] candidate mask, so the per-query filter pass
+//! is allocation-free and touches each word once.
+//!
 //! # Example
 //!
 //! ```
@@ -38,6 +45,7 @@ pub mod array;
 pub mod bits;
 pub mod container;
 pub mod iter;
+pub mod kernel;
 pub mod run;
 pub mod serialize;
 
@@ -46,6 +54,7 @@ mod bitmap;
 pub use bitmap::Bitmap;
 pub use container::Container;
 pub use iter::BitmapIter;
+pub use kernel::DenseBitSet;
 pub use serialize::DeserializeError;
 
 /// Maximum cardinality at which a chunk stays an array container.

@@ -55,7 +55,10 @@ impl RunContainer {
                 Some(run) if run.end() != u16::MAX && run.end() + 1 == v => {
                     run.len_minus_one += 1;
                 }
-                _ => runs.push(Run { start: v, len_minus_one: 0 }),
+                _ => runs.push(Run {
+                    start: v,
+                    len_minus_one: 0,
+                }),
             }
         }
         Self { runs, len }

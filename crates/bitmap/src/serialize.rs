@@ -91,8 +91,11 @@ impl Bitmap {
     pub fn serialize(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(16 + self.serialized_size_in_bytes());
         out.extend_from_slice(&MAGIC.to_le_bytes());
-        let chunks: Vec<&(u16, Container)> =
-            self.chunks_for_serialization().iter().filter(|(_, c)| !c.is_empty()).collect();
+        let chunks: Vec<&(u16, Container)> = self
+            .chunks_for_serialization()
+            .iter()
+            .filter(|(_, c)| !c.is_empty())
+            .collect();
         out.extend_from_slice(&(chunks.len() as u32).to_le_bytes());
         for (high, container) in chunks {
             out.extend_from_slice(&high.to_le_bytes());
@@ -193,7 +196,9 @@ impl Bitmap {
                                 return Err(DeserializeError::CorruptPayload);
                             }
                         }
-                        let end = start.checked_add(len_minus_one).ok_or(DeserializeError::CorruptPayload)?;
+                        let end = start
+                            .checked_add(len_minus_one)
+                            .ok_or(DeserializeError::CorruptPayload)?;
                         values.extend(start..=end);
                         prev_end = Some(end);
                     }
@@ -253,7 +258,10 @@ mod tests {
         let n = bytes.len();
         bytes.swap(n - 4, n - 2);
         bytes.swap(n - 3, n - 1);
-        assert_eq!(Bitmap::deserialize(&bytes), Err(DeserializeError::CorruptPayload));
+        assert_eq!(
+            Bitmap::deserialize(&bytes),
+            Err(DeserializeError::CorruptPayload)
+        );
     }
 
     #[test]

@@ -8,9 +8,9 @@ use std::collections::BTreeSet;
 /// Values biased to straddle chunk boundaries and density thresholds.
 fn value_strategy() -> impl Strategy<Value = u32> {
     prop_oneof![
-        0u32..200_000,               // a few chunks
-        65_500u32..65_600,           // chunk boundary
-        any::<u32>(),                // anywhere
+        0u32..200_000,     // a few chunks
+        65_500u32..65_600, // chunk boundary
+        any::<u32>(),      // anywhere
     ]
 }
 
@@ -101,4 +101,66 @@ proptest! {
         prop_assert!(bm.contains(start + len - 1));
         prop_assert!(!bm.contains(start + len));
     }
+
+    #[test]
+    fn count_kernel_matches_scalar_reference(
+        values in prop::collection::vec(counting_value_strategy(), 0..3000),
+        mask_values in prop::collection::btree_set(counting_value_strategy(), 0..400),
+        optimize in any::<bool>(),
+    ) {
+        // The word-parallel kernel must agree with the trivial per-value
+        // reference on arbitrary container mixes (array/bits/runs).
+        let mut bm = Bitmap::from_iter(values.iter().copied());
+        if optimize {
+            bm.run_optimize();
+        }
+        let n = COUNTING_UNIVERSE as usize;
+        let mut expected = vec![0u32; n];
+        for v in bm.iter() {
+            expected[v as usize] += 1;
+        }
+        let mut got = vec![0u32; n];
+        let visited = bm.count_into(&mut got);
+        prop_assert_eq!(&got, &expected);
+        prop_assert_eq!(visited, bm.len() as u64);
+
+        // Masked variant: equals the reference restricted to the mask.
+        let mut mask = les3_bitmap::DenseBitSet::new();
+        mask.reset(n);
+        for &v in &mask_values {
+            mask.insert(v);
+        }
+        let mut expected_masked = vec![0u32; n];
+        for v in bm.iter().filter(|v| mask_values.contains(v)) {
+            expected_masked[v as usize] += 1;
+        }
+        let mut got_masked = vec![0u32; n];
+        let visited = bm.count_into_masked(&mask, &mut got_masked);
+        prop_assert_eq!(&got_masked, &expected_masked);
+        prop_assert_eq!(visited, expected_masked.iter().map(|&c| c as u64).sum::<u64>());
+
+        // Word visitation re-enumerates the exact member sequence.
+        let mut seen = Vec::new();
+        bm.visit_words(|base, word| {
+            for bit in 0..64u32 {
+                if word & (1u64 << bit) != 0 {
+                    seen.push(base + bit);
+                }
+            }
+        });
+        prop_assert_eq!(seen, bm.to_vec());
+    }
+}
+
+/// Bounded universe for the counting kernels (count arrays are dense).
+const COUNTING_UNIVERSE: u32 = 140_000;
+
+/// Values spanning several chunks, with boundary bias, within the dense
+/// counting universe.
+fn counting_value_strategy() -> impl Strategy<Value = u32> {
+    prop_oneof![
+        0u32..COUNTING_UNIVERSE,
+        65_500u32..65_600,
+        131_000u32..131_200,
+    ]
 }

@@ -68,7 +68,11 @@ impl<K: Ord + Copy, V: Copy> BPlusTree<K, V> {
     pub fn new(order: usize) -> Self {
         assert!(order >= 3, "order must be at least 3");
         Self {
-            nodes: vec![Node::Leaf { keys: Vec::new(), values: Vec::new(), next: None }],
+            nodes: vec![Node::Leaf {
+                keys: Vec::new(),
+                values: Vec::new(),
+                next: None,
+            }],
             root: 0,
             order,
             len: 0,
@@ -128,7 +132,10 @@ impl<K: Ord + Copy, V: Copy> BPlusTree<K, V> {
         self.len += 1;
         if let Some((sep, right)) = self.insert_rec(self.root, key, value) {
             let old_root = self.root;
-            self.nodes.push(Node::Internal { keys: vec![sep], children: vec![old_root, right] });
+            self.nodes.push(Node::Internal {
+                keys: vec![sep],
+                children: vec![old_root, right],
+            });
             self.root = self.nodes.len() - 1;
         }
     }
@@ -172,7 +179,11 @@ impl<K: Ord + Copy, V: Copy> BPlusTree<K, V> {
             let right_next = *next;
             let sep = right_keys[0];
             *next = Some(new_id);
-            self.nodes.push(Node::Leaf { keys: right_keys, values: right_values, next: right_next });
+            self.nodes.push(Node::Leaf {
+                keys: right_keys,
+                values: right_values,
+                next: right_next,
+            });
             (sep, new_id)
         } else {
             unreachable!("split_leaf on internal node")
@@ -188,7 +199,10 @@ impl<K: Ord + Copy, V: Copy> BPlusTree<K, V> {
             let right_keys = keys.split_off(mid + 1);
             keys.pop();
             let right_children = children.split_off(mid + 1);
-            self.nodes.push(Node::Internal { keys: right_keys, children: right_children });
+            self.nodes.push(Node::Internal {
+                keys: right_keys,
+                children: right_children,
+            });
             (sep, new_id)
         } else {
             unreachable!("split_internal on leaf")
@@ -250,19 +264,14 @@ impl<K: Ord + Copy, V: Copy> BPlusTree<K, V> {
     pub fn check_invariants(&self) -> Result<(), String> {
         // Collect all entries via the leaf chain starting at the leftmost leaf.
         let mut cur = self.root;
-        loop {
-            match &self.nodes[cur] {
-                Node::Internal { keys, children } => {
-                    if keys.len() + 1 != children.len() {
-                        return Err(format!("node {cur}: keys/children arity mismatch"));
-                    }
-                    if keys.windows(2).any(|w| w[0] > w[1]) {
-                        return Err(format!("node {cur}: unsorted keys"));
-                    }
-                    cur = children[0];
-                }
-                Node::Leaf { .. } => break,
+        while let Node::Internal { keys, children } = &self.nodes[cur] {
+            if keys.len() + 1 != children.len() {
+                return Err(format!("node {cur}: keys/children arity mismatch"));
             }
+            if keys.windows(2).any(|w| w[0] > w[1]) {
+                return Err(format!("node {cur}: unsorted keys"));
+            }
+            cur = children[0];
         }
         let mut count = 0usize;
         let mut prev: Option<K> = None;
@@ -282,7 +291,10 @@ impl<K: Ord + Copy, V: Copy> BPlusTree<K, V> {
             }
         }
         if count != self.len {
-            return Err(format!("leaf chain has {count} entries, expected {}", self.len));
+            return Err(format!(
+                "leaf chain has {count} entries, expected {}",
+                self.len
+            ));
         }
         Ok(())
     }
@@ -319,10 +331,19 @@ mod tests {
         t.check_invariants().unwrap();
         assert_eq!(t.len(), 5000);
         assert!(t.height() >= 3);
-        for (lo, hi) in [(0u64, 1999), (100, 100), (500, 700), (1999, 1999), (700, 500)] {
+        for (lo, hi) in [
+            (0u64, 1999),
+            (100, 100),
+            (500, 700),
+            (1999, 1999),
+            (700, 500),
+        ] {
             let (hits, _) = t.range(lo..=hi);
-            let mut expected: Vec<(u64, u32)> =
-                reference.iter().copied().filter(|&(k, _)| k >= lo && k <= hi).collect();
+            let mut expected: Vec<(u64, u32)> = reference
+                .iter()
+                .copied()
+                .filter(|&(k, _)| k >= lo && k <= hi)
+                .collect();
             expected.sort_unstable();
             let mut got = hits.clone();
             got.sort_unstable();
@@ -357,7 +378,11 @@ mod tests {
         }
         let (_, full) = t.range(0..=19_999);
         let (_, narrow) = t.range(10_000..=10_005);
-        assert!(narrow.nodes_visited < 8, "narrow visits {}", narrow.nodes_visited);
+        assert!(
+            narrow.nodes_visited < 8,
+            "narrow visits {}",
+            narrow.nodes_visited
+        );
         assert!(full.nodes_visited > 100 * narrow.nodes_visited / 8);
     }
 

@@ -1,97 +1,92 @@
 //! Batched query execution.
 //!
-//! Search services rarely see one query at a time. Batching improves on
-//! per-query execution two ways:
+//! Search services rarely see one query at a time. The batch entry points
+//! parallelize over queries with rayon scoped workers: the batch is split
+//! into one contiguous chunk per worker, each worker owns a
+//! [`QueryScratch`] for its whole chunk (zero steady-state allocation)
+//! and writes results into its disjoint slice of the output. Results are
+//! bit-for-bit identical to running the queries one by one — workers
+//! share nothing but the read-only index.
 //!
-//! * **Group-locality.** Queries are verified group by group: all queries
-//!   needing group `g` are processed while its sets are hot in cache (and,
-//!   on disk, while its pages are in the buffer pool — the same effect the
-//!   paper exploits by storing groups contiguously).
-//! * **Shared bound pass.** Each query still gets its own TGM column
-//!   scan, but sorting/bookkeeping allocations are reused.
-//!
-//! Results are bit-for-bit identical to running the queries one by one.
+//! Single-threaded throughput still benefits: the per-worker scratch
+//! amortizes every buffer the hot path needs across the whole chunk.
 
-use les3_data::{SetId, TokenId};
+use les3_data::TokenId;
 
-use crate::index::{Les3Index, SearchResult, TopK};
-use crate::index::sort_hits;
+use crate::index::{Les3Index, SearchResult};
+use crate::scratch::QueryScratch;
 use crate::sim::Similarity;
-use crate::stats::SearchStats;
+
+/// Smallest batch worth spinning up worker threads for: below this the
+/// spawn overhead dominates the work.
+const MIN_QUERIES_PER_WORKER: usize = 8;
 
 impl<S: Similarity> Les3Index<S> {
-    /// Answers many range queries, verifying each group at most once per
-    /// batch "wave". Returns one result per query, in input order.
+    /// Answers many range queries in parallel. Returns one result per
+    /// query, in input order.
     pub fn range_batch(&self, queries: &[Vec<TokenId>], delta: f64) -> Vec<SearchResult> {
-        let n_groups = self.partitioning().n_groups();
-        // Per-query candidate groups.
-        let mut per_query_stats: Vec<SearchStats> = vec![SearchStats::default(); queries.len()];
-        let mut hits: Vec<Vec<(SetId, f64)>> = vec![Vec::new(); queries.len()];
-        // group → list of query indices that need it.
-        let mut wanted: Vec<Vec<u32>> = vec![Vec::new(); n_groups];
-        for (qi, q) in queries.iter().enumerate() {
-            let bounds = self.group_upper_bounds(q, &mut per_query_stats[qi]);
-            for &(g, ub) in &bounds {
-                if ub >= delta {
-                    wanted[g as usize].push(qi as u32);
-                } else {
-                    per_query_stats[qi].groups_pruned += 1;
-                }
-            }
-        }
-        // Verify group-major: every member set is read once per group wave.
-        for (g, queries_here) in wanted.iter().enumerate() {
-            if queries_here.is_empty() {
-                continue;
-            }
-            for &id in self.partitioning().members(g as u32) {
-                let set = self.db().set(id);
-                for &qi in queries_here {
-                    let s = self.sim().eval(&queries[qi as usize], set);
-                    let stats = &mut per_query_stats[qi as usize];
-                    stats.candidates += 1;
-                    stats.sims_computed += 1;
-                    if s >= delta {
-                        hits[qi as usize].push((id, s));
-                    }
-                }
-            }
-            for &qi in queries_here {
-                per_query_stats[qi as usize].groups_verified += 1;
-            }
-        }
-        hits.into_iter()
-            .zip(per_query_stats)
-            .map(|(mut h, stats)| {
-                sort_hits(&mut h);
-                SearchResult { hits: h, stats }
-            })
-            .collect()
+        self.run_batch(queries, |index, query, scratch| {
+            index.range_with(query, delta, scratch)
+        })
     }
 
-    /// Answers many kNN queries. Queries cannot share early-termination
-    /// state, so this batches only the allocation/bookkeeping; results
-    /// equal per-query [`Les3Index::knn`].
+    /// Answers many kNN queries in parallel. Returns one result per
+    /// query, in input order; results equal per-query
+    /// [`Les3Index::knn`].
     pub fn knn_batch(&self, queries: &[Vec<TokenId>], k: usize) -> Vec<SearchResult> {
-        let mut out = Vec::with_capacity(queries.len());
-        for q in queries {
-            let mut stats = SearchStats::default();
-            if k == 0 || self.db().is_empty() {
-                out.push(SearchResult { hits: Vec::new(), stats });
-                continue;
-            }
-            let bounds = self.group_upper_bounds(q, &mut stats);
-            let mut top = TopK::new(k);
-            for &(g, ub) in &bounds {
-                if top.is_full() && ub <= top.kth() {
-                    stats.groups_pruned += 1;
-                    continue;
-                }
-                self.verify_group(q, g, &mut stats, |id, s| top.offer(id, s));
-            }
-            out.push(SearchResult { hits: top.into_sorted(), stats });
+        self.run_batch(queries, |index, query, scratch| {
+            index.knn_with(query, k, scratch)
+        })
+    }
+
+    /// Chunked parallel executor shared by the batch entry points.
+    fn run_batch(
+        &self,
+        queries: &[Vec<TokenId>],
+        run_one: impl Fn(&Self, &[TokenId], &mut QueryScratch) -> SearchResult + Sync,
+    ) -> Vec<SearchResult> {
+        let workers = rayon::current_num_threads()
+            .min(queries.len().div_ceil(MIN_QUERIES_PER_WORKER))
+            .max(1);
+        self.run_batch_on(workers, queries, run_one)
+    }
+
+    /// [`Les3Index::run_batch`] with an explicit worker count (tests force
+    /// the multi-worker path regardless of the host's core count).
+    fn run_batch_on(
+        &self,
+        workers: usize,
+        queries: &[Vec<TokenId>],
+        run_one: impl Fn(&Self, &[TokenId], &mut QueryScratch) -> SearchResult + Sync,
+    ) -> Vec<SearchResult> {
+        let n = queries.len();
+        if n == 0 {
+            return Vec::new();
         }
-        out
+        if workers == 1 {
+            let mut scratch = QueryScratch::new();
+            return queries
+                .iter()
+                .map(|q| run_one(self, q, &mut scratch))
+                .collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let mut slots: Vec<Option<SearchResult>> = (0..n).map(|_| None).collect();
+        rayon::scope(|scope| {
+            for (q_chunk, out_chunk) in queries.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                let run_one = &run_one;
+                scope.spawn(move |_| {
+                    let mut scratch = QueryScratch::new();
+                    for (q, slot) in q_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *slot = Some(run_one(self, q, &mut scratch));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|r| r.expect("worker filled its slice"))
+            .collect()
     }
 }
 
@@ -131,6 +126,33 @@ mod tests {
         for (q, b) in queries.iter().zip(&batch) {
             let single = index.knn(q, 7);
             assert_eq!(b.hits, single.hits);
+        }
+    }
+
+    #[test]
+    fn multi_worker_batch_preserves_order_and_results() {
+        let (index, _) = setup();
+        // Force the spawning path regardless of the host's core count;
+        // results must land in input order with identical contents.
+        let queries: Vec<Vec<TokenId>> = (0..100u32)
+            .map(|i| index.db().set(i * 3 % 400).to_vec())
+            .collect();
+        for workers in [2usize, 4, 7] {
+            let batch = index.run_batch_on(workers, &queries, |ix, q, scratch| {
+                ix.knn_with(q, 5, scratch)
+            });
+            assert_eq!(batch.len(), queries.len());
+            for (q, b) in queries.iter().zip(&batch) {
+                let single = index.knn(q, 5);
+                assert_eq!(b.hits, single.hits, "workers {workers}");
+                assert_eq!(b.stats, single.stats, "workers {workers}");
+            }
+            let batch = index.run_batch_on(workers, &queries, |ix, q, scratch| {
+                ix.range_with(q, 0.5, scratch)
+            });
+            for (q, b) in queries.iter().zip(&batch) {
+                assert_eq!(b.hits, index.range(q, 0.5).hits, "workers {workers}");
+            }
         }
     }
 

@@ -45,7 +45,11 @@ impl DeletionLog {
                 *counts.entry((g, t)).or_insert(0) += 1;
             }
         }
-        Self { counts, deleted: vec![false; index.db().len()], live: index.db().len() }
+        Self {
+            counts,
+            deleted: vec![false; index.db().len()],
+            live: index.db().len(),
+        }
     }
 
     /// Whether `id` has been deleted.
@@ -128,7 +132,11 @@ mod tests {
             vec![10, 11],
             vec![10, 12],
         ]);
-        Les3Index::build(db, Partitioning::from_assignment(vec![0, 0, 1, 1], 2), Jaccard)
+        Les3Index::build(
+            db,
+            Partitioning::from_assignment(vec![0, 0, 1, 1], 2),
+            Jaccard,
+        )
     }
 
     #[test]
@@ -186,7 +194,7 @@ mod tests {
         let mut idx = index();
         let mut log = DeletionLog::build(&idx);
         log.delete(&mut idx, 0);
-        let (id, _) = idx.insert(&mut vec![0, 1, 2]);
+        let (id, _) = idx.insert(&mut [0, 1, 2]);
         log.note_insert(&idx, id);
         assert_eq!(log.live_count(), 4);
         // Deleting the replacement clears bits again only when warranted.

@@ -9,8 +9,8 @@
 use les3_data::TokenId;
 use les3_storage::{DiskModel, GroupedLayout, IoStats, SimDisk};
 
-use crate::index::{Les3Index, SearchResult, TopK};
 use crate::index::sort_hits;
+use crate::index::{Les3Index, SearchResult, TopK};
 use crate::sim::Similarity;
 use crate::stats::SearchStats;
 
@@ -31,7 +31,11 @@ impl<S: Similarity> DiskLes3<S> {
             index.partitioning().n_groups(),
             model.page_size,
         );
-        Self { index, layout, model }
+        Self {
+            index,
+            layout,
+            model,
+        }
     }
 
     /// The wrapped memory index.
@@ -50,7 +54,13 @@ impl<S: Similarity> DiskLes3<S> {
         let mut disk = SimDisk::new(self.model);
         let mut stats = SearchStats::default();
         if k == 0 || self.index.db().is_empty() {
-            return (SearchResult { hits: Vec::new(), stats }, disk.stats());
+            return (
+                SearchResult {
+                    hits: Vec::new(),
+                    stats,
+                },
+                disk.stats(),
+            );
         }
         let bounds = self.index.group_upper_bounds(query, &mut stats);
         let mut top = TopK::new(k);
@@ -61,9 +71,16 @@ impl<S: Similarity> DiskLes3<S> {
             }
             let run = self.layout.group_run(g as usize);
             disk.read_run(run.start, run.count);
-            self.index.verify_group(query, g, &mut stats, |id, s| top.offer(id, s));
+            self.index
+                .verify_group(query, g, &mut stats, |id, s| top.offer(id, s));
         }
-        (SearchResult { hits: top.into_sorted(), stats }, disk.stats())
+        (
+            SearchResult {
+                hits: top.into_sorted(),
+                stats,
+            },
+            disk.stats(),
+        )
     }
 
     /// Range search with I/O accounting.
@@ -133,14 +150,15 @@ mod tests {
             }
         }
         let db = les3_data::SetDatabase::from_sets(sets);
-        let part = Partitioning::from_assignment(
-            (0..320).map(|i| (i / 40) as u32).collect(),
-            8,
-        );
+        let part = Partitioning::from_assignment((0..320).map(|i| (i / 40) as u32).collect(), 8);
         let disk = DiskLes3::new(Les3Index::build(db, part, Jaccard), DiskModel::hdd_5400());
         let q = disk.index().db().set(0).to_vec();
         let (res, io) = disk.range(&q, 0.5);
-        assert!(res.stats.groups_pruned >= 7, "pruned {}", res.stats.groups_pruned);
+        assert!(
+            res.stats.groups_pruned >= 7,
+            "pruned {}",
+            res.stats.groups_pruned
+        );
         // Only verified groups were read: seeks ≤ verified groups.
         assert!(io.seeks as usize <= res.stats.groups_verified.max(1));
         // Reading the whole file would cost ≥ total pages.

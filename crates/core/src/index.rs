@@ -1,9 +1,28 @@
 //! The memory-resident LES3 index and its query algorithms (paper §6).
+//!
+//! The query hot path is built for throughput:
+//!
+//! * the filter step runs the word-parallel counting kernels of
+//!   `les3-bitmap` over the query's token columns;
+//! * groups are ordered for verification by **bucketed descending
+//!   selection** — `ub_from_overlap` is monotone in the overlap count
+//!   `r ∈ 0..=|Q|`, so bucketing groups by `r` yields the same order as
+//!   sorting by bound in `O(G + |Q|)` instead of `O(G log G)`;
+//! * verification is **threshold-aware**: members are stored
+//!   length-sorted per group so a similarity-specific length window
+//!   excludes most of a group with two binary searches, and each
+//!   surviving merge abandons as soon as its residual-overlap bound
+//!   cannot reach the current threshold
+//!   ([`Similarity::eval_with_threshold`]);
+//! * all working memory lives in a reusable [`QueryScratch`]
+//!   ([`Les3Index::knn_with`] / [`Les3Index::range_with`]), so
+//!   steady-state queries allocate nothing but their result vector.
 
 use les3_data::{SetDatabase, SetId, TokenId};
 
 use crate::partitioning::Partitioning;
-use crate::sim::{distinct_len, Similarity};
+use crate::scratch::QueryScratch;
+use crate::sim::{distinct_len, Similarity, ThresholdedEval};
 use crate::stats::SearchStats;
 use crate::tgm::Tgm;
 
@@ -23,13 +42,22 @@ pub struct Les3Index<S: Similarity> {
     partitioning: Partitioning,
     tgm: Tgm,
     sim: S,
+    /// Length-sorted member order per group (the verify-step scan order).
+    verify: VerifyOrder,
 }
 
 impl<S: Similarity> Les3Index<S> {
     /// Builds the index. The partitioning must cover the database.
     pub fn build(db: SetDatabase, partitioning: Partitioning, sim: S) -> Self {
         let tgm = Tgm::build(&db, &partitioning);
-        Self { db, partitioning, tgm, sim }
+        let verify = VerifyOrder::build(&db, &partitioning);
+        Self {
+            db,
+            partitioning,
+            tgm,
+            sim,
+            verify,
+        }
     }
 
     /// The underlying database.
@@ -52,6 +80,13 @@ impl<S: Similarity> Les3Index<S> {
         (&mut self.db, &mut self.partitioning, &mut self.tgm)
     }
 
+    /// Registers a newly inserted member of group `g` in the
+    /// length-sorted verification order (update path).
+    pub(crate) fn note_new_member(&mut self, g: u32, id: SetId) {
+        let len = distinct_len(self.db.set(id)) as u32;
+        self.verify.push(g, len, id);
+    }
+
     /// The similarity measure.
     pub fn sim(&self) -> S {
         self.sim
@@ -63,24 +98,69 @@ impl<S: Similarity> Les3Index<S> {
         self.tgm.size_in_bytes()
     }
 
-    /// Upper bounds `UB(Q, G_g)` for every group, sorted descending
-    /// (Eq. 2 via [`Similarity::ub_from_overlap`]). Also records the
-    /// column-scan cost into `stats`.
-    pub fn group_upper_bounds(&self, query: &[TokenId], stats: &mut SearchStats) -> Vec<(u32, f64)> {
+    /// Upper bounds `UB(Q, G_g)` for every group, in verification order
+    /// (descending bound, Eq. 2 via [`Similarity::ub_from_overlap`]),
+    /// written into `scratch.bounds`. Records the true column-scan cost
+    /// (`Σ_{t∈Q} |groups(t)|` bits visited) into `stats`.
+    ///
+    /// The order is produced without sorting: overlap counts are bucketed
+    /// (`r ∈ 0..=|Q|`) and buckets are emitted from `r = |Q|` down, group
+    /// ids ascending within a bucket — exactly the order a stable
+    /// descending sort on the (monotone in `r`) bounds would give, in
+    /// `O(G + |Q|)`.
+    pub fn group_upper_bounds_with(
+        &self,
+        query: &[TokenId],
+        stats: &mut SearchStats,
+        scratch: &mut QueryScratch,
+    ) {
         let q_len = distinct_len(query);
-        let counts = self.tgm.group_overlaps(query);
-        stats.columns_checked += q_len * self.tgm.n_groups();
-        let mut bounds: Vec<(u32, f64)> = counts
-            .iter()
-            .enumerate()
-            .map(|(g, &r)| (g as u32, self.sim.ub_from_overlap(q_len, r as usize)))
-            .collect();
-        bounds.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        bounds
+        let touched = self.tgm.group_overlaps_into(query, &mut scratch.counts);
+        stats.columns_checked += touched as usize;
+        let n_groups = self.tgm.n_groups();
+
+        // Histogram of overlap counts.
+        let n_buckets = q_len + 1;
+        scratch.offsets.clear();
+        scratch.offsets.resize(n_buckets, 0);
+        for &r in scratch.counts.iter() {
+            debug_assert!((r as usize) < n_buckets, "overlap exceeds |Q|");
+            scratch.offsets[r as usize] += 1;
+        }
+        // Descending start offsets (bucket |Q| first), then scatter.
+        let mut acc = 0u32;
+        for r in (0..n_buckets).rev() {
+            let here = scratch.offsets[r];
+            scratch.offsets[r] = acc;
+            acc += here;
+        }
+        scratch.bounds.clear();
+        scratch.bounds.resize(n_groups, (0, 0.0));
+        // One bound value per distinct overlap count, computed lazily.
+        for (g, &r) in scratch.counts.iter().enumerate() {
+            let pos = scratch.offsets[r as usize];
+            scratch.offsets[r as usize] += 1;
+            scratch.bounds[pos as usize] = (g as u32, self.sim.ub_from_overlap(q_len, r as usize));
+        }
+    }
+
+    /// Allocating wrapper around [`Les3Index::group_upper_bounds_with`].
+    pub fn group_upper_bounds(
+        &self,
+        query: &[TokenId],
+        stats: &mut SearchStats,
+    ) -> Vec<(u32, f64)> {
+        let mut scratch = QueryScratch::new();
+        self.group_upper_bounds_with(query, stats, &mut scratch);
+        scratch.bounds
     }
 
     /// Verifies every set of group `g` against the query, invoking
     /// `on_hit(id, sim)` for each member, and updating `stats`.
+    ///
+    /// This is the exhaustive path (no length window, no early
+    /// termination) used where every member must be touched anyway, e.g.
+    /// the disk-resident variant after its pages are read.
     pub fn verify_group(
         &self,
         query: &[TokenId],
@@ -103,49 +183,182 @@ impl<S: Similarity> Les3Index<S> {
     /// stops at the first group whose bound cannot improve the current
     /// k-th best similarity, which preserves exactness (Theorem 3.1).
     pub fn knn(&self, query: &[TokenId], k: usize) -> SearchResult {
+        self.knn_with(query, k, &mut QueryScratch::new())
+    }
+
+    /// [`Les3Index::knn`] with caller-provided scratch (allocation-free
+    /// in steady state; the batch executors keep one scratch per worker).
+    pub fn knn_with(
+        &self,
+        query: &[TokenId],
+        k: usize,
+        scratch: &mut QueryScratch,
+    ) -> SearchResult {
         let mut stats = SearchStats::default();
         if k == 0 || self.db.is_empty() {
-            return SearchResult { hits: Vec::new(), stats };
+            return SearchResult {
+                hits: Vec::new(),
+                stats,
+            };
         }
-        let bounds = self.group_upper_bounds(query, &mut stats);
+        self.group_upper_bounds_with(query, &mut stats, scratch);
+        let q_len = distinct_len(query);
         let mut top = TopK::new(k);
-        for &(g, ub) in &bounds {
+        for i in 0..scratch.bounds.len() {
+            let (g, ub) = scratch.bounds[i];
             if top.is_full() && ub <= top.kth() {
-                stats.groups_pruned += 1;
-                continue; // bounds are sorted: everything after is pruned too
+                // Bounds are in descending order: everything after is
+                // pruned too.
+                stats.groups_pruned += scratch.bounds.len() - i;
+                break;
             }
-            self.verify_group(query, g, &mut stats, |id, s| top.offer(id, s));
+            stats.groups_verified += 1;
+            let (lo, hi) = self.verify.window(self.sim, g, q_len, top.kth());
+            let ids = self.verify.ids(g);
+            stats.size_skipped += ids.len() - (hi - lo);
+            for &id in &ids[lo..hi] {
+                stats.candidates += 1;
+                stats.sims_computed += 1;
+                // The threshold tightens as the heap fills, member by
+                // member.
+                match self
+                    .sim
+                    .eval_with_threshold(query, self.db.set(id), top.kth())
+                {
+                    ThresholdedEval::Hit(s) => top.offer(id, s),
+                    ThresholdedEval::Rejected { early } => {
+                        if early {
+                            stats.early_exits += 1;
+                        }
+                    }
+                }
+            }
         }
-        SearchResult { hits: top.into_sorted(), stats }
+        SearchResult {
+            hits: top.into_sorted(),
+            stats,
+        }
     }
 
     /// Exact range search (Definition 2.2): all sets with
     /// `Sim(Q, S) ≥ delta`.
     pub fn range(&self, query: &[TokenId], delta: f64) -> SearchResult {
+        self.range_with(query, delta, &mut QueryScratch::new())
+    }
+
+    /// [`Les3Index::range`] with caller-provided scratch.
+    pub fn range_with(
+        &self,
+        query: &[TokenId],
+        delta: f64,
+        scratch: &mut QueryScratch,
+    ) -> SearchResult {
         let mut stats = SearchStats::default();
-        let bounds = self.group_upper_bounds(query, &mut stats);
+        self.group_upper_bounds_with(query, &mut stats, scratch);
+        let q_len = distinct_len(query);
         let mut hits: Vec<(SetId, f64)> = Vec::new();
-        for &(g, ub) in &bounds {
+        for i in 0..scratch.bounds.len() {
+            let (g, ub) = scratch.bounds[i];
             if ub < delta {
-                stats.groups_pruned += 1;
-                continue;
+                stats.groups_pruned += scratch.bounds.len() - i;
+                break;
             }
-            self.verify_group(query, g, &mut stats, |id, s| {
-                if s >= delta {
-                    hits.push((id, s));
+            stats.groups_verified += 1;
+            let (lo, hi) = self.verify.window(self.sim, g, q_len, delta);
+            let ids = self.verify.ids(g);
+            stats.size_skipped += ids.len() - (hi - lo);
+            for &id in &ids[lo..hi] {
+                stats.candidates += 1;
+                stats.sims_computed += 1;
+                match self.sim.eval_with_threshold(query, self.db.set(id), delta) {
+                    ThresholdedEval::Hit(s) => hits.push((id, s)),
+                    ThresholdedEval::Rejected { early } => {
+                        if early {
+                            stats.early_exits += 1;
+                        }
+                    }
                 }
-            });
+            }
         }
         sort_hits(&mut hits);
         SearchResult { hits, stats }
     }
 }
 
+/// Per-group member ids sorted by (distinct length, id), with the lengths
+/// alongside — the order the verify step scans, shared by the flat index
+/// and the HTGM's finest level.
+#[derive(Debug, Clone)]
+pub(crate) struct VerifyOrder {
+    ids: Vec<Vec<SetId>>,
+    lens: Vec<Vec<u32>>,
+}
+
+impl VerifyOrder {
+    /// Builds the per-group length-sorted order.
+    pub(crate) fn build(db: &SetDatabase, partitioning: &Partitioning) -> Self {
+        let n_groups = partitioning.n_groups();
+        let mut ids: Vec<Vec<SetId>> = Vec::with_capacity(n_groups);
+        let mut lens: Vec<Vec<u32>> = Vec::with_capacity(n_groups);
+        for g in 0..n_groups as u32 {
+            let members = partitioning.members(g);
+            let mut pairs: Vec<(u32, SetId)> = members
+                .iter()
+                .map(|&id| (distinct_len(db.set(id)) as u32, id))
+                .collect();
+            // Members arrive in ascending id order; stable sort by length
+            // keeps ids ascending within equal lengths.
+            pairs.sort_by_key(|&(len, _)| len);
+            ids.push(pairs.iter().map(|&(_, id)| id).collect());
+            lens.push(pairs.iter().map(|&(len, _)| len).collect());
+        }
+        Self { ids, lens }
+    }
+
+    /// Registers a newly inserted member (update path). Costs an
+    /// `O(|group|)` tail shift — fine at current group sizes; a lazy
+    /// unsorted tail merged on next query is the planned upgrade if
+    /// insert-heavy workloads make this hot (see ROADMAP).
+    pub(crate) fn push(&mut self, g: u32, len: u32, id: SetId) {
+        let lens = &mut self.lens[g as usize];
+        // New ids are the largest so far: inserting after every `≤ len`
+        // entry keeps the (length, id) order.
+        let pos = lens.partition_point(|&l| l <= len);
+        lens.insert(pos, len);
+        self.ids[g as usize].insert(pos, id);
+    }
+
+    /// Group `g`'s member ids in (length, id) order.
+    pub(crate) fn ids(&self, g: u32) -> &[SetId] {
+        &self.ids[g as usize]
+    }
+
+    /// Index range `[lo, hi)` of group `g`'s members whose length alone
+    /// permits `sim ≥ threshold`: a set of distinct length `L` has
+    /// similarity at most `from_overlap(min(|Q|, L), |Q|, L)`, which is
+    /// unimodal in `L` with its peak at `L = |Q|`, so the admissible
+    /// region is one contiguous window found by two binary searches.
+    pub(crate) fn window<S: Similarity>(
+        &self,
+        sim: S,
+        g: u32,
+        q_len: usize,
+        threshold: f64,
+    ) -> (usize, usize) {
+        let lens = &self.lens[g as usize];
+        let split = lens.partition_point(|&l| (l as usize) < q_len);
+        let lo = lens[..split]
+            .partition_point(|&l| sim.from_overlap(l as usize, q_len, l as usize) < threshold);
+        let hi = split
+            + lens[split..]
+                .partition_point(|&l| sim.from_overlap(q_len, q_len, l as usize) >= threshold);
+        (lo, hi)
+    }
+}
+
 /// Sorts hits by descending similarity, ties by ascending id.
 pub(crate) fn sort_hits(hits: &mut [(SetId, f64)]) {
-    hits.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
-    });
+    hits.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
 }
 
 /// A bounded top-k accumulator over `(id, similarity)` pairs.
@@ -174,16 +387,16 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.sim
-            .partial_cmp(&other.sim)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(other.id.cmp(&self.id))
+        self.sim.total_cmp(&other.sim).then(other.id.cmp(&self.id))
     }
 }
 
 impl TopK {
     pub(crate) fn new(k: usize) -> Self {
-        Self { k, heap: std::collections::BinaryHeap::with_capacity(k + 1) }
+        Self {
+            k,
+            heap: std::collections::BinaryHeap::with_capacity(k + 1),
+        }
     }
 
     pub(crate) fn is_full(&self) -> bool {
@@ -193,7 +406,10 @@ impl TopK {
     /// Current k-th best similarity (−∞ until full).
     pub(crate) fn kth(&self) -> f64 {
         if self.is_full() {
-            self.heap.peek().map(|e| e.0.sim).unwrap_or(f64::NEG_INFINITY)
+            self.heap
+                .peek()
+                .map(|e| e.0.sim)
+                .unwrap_or(f64::NEG_INFINITY)
         } else {
             f64::NEG_INFINITY
         }
@@ -207,8 +423,7 @@ impl TopK {
     }
 
     pub(crate) fn into_sorted(self) -> Vec<(SetId, f64)> {
-        let mut out: Vec<(SetId, f64)> =
-            self.heap.into_iter().map(|e| (e.0.id, e.0.sim)).collect();
+        let mut out: Vec<(SetId, f64)> = self.heap.into_iter().map(|e| (e.0.id, e.0.sim)).collect();
         sort_hits(&mut out);
         out
     }
@@ -222,15 +437,24 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn brute_knn<S: Similarity>(db: &SetDatabase, sim: S, q: &[TokenId], k: usize) -> Vec<(SetId, f64)> {
-        let mut all: Vec<(SetId, f64)> =
-            db.iter().map(|(id, s)| (id, sim.eval(q, s))).collect();
+    fn brute_knn<S: Similarity>(
+        db: &SetDatabase,
+        sim: S,
+        q: &[TokenId],
+        k: usize,
+    ) -> Vec<(SetId, f64)> {
+        let mut all: Vec<(SetId, f64)> = db.iter().map(|(id, s)| (id, sim.eval(q, s))).collect();
         sort_hits(&mut all);
         all.truncate(k);
         all
     }
 
-    fn brute_range<S: Similarity>(db: &SetDatabase, sim: S, q: &[TokenId], d: f64) -> Vec<(SetId, f64)> {
+    fn brute_range<S: Similarity>(
+        db: &SetDatabase,
+        sim: S,
+        q: &[TokenId],
+        d: f64,
+    ) -> Vec<(SetId, f64)> {
         let mut all: Vec<(SetId, f64)> = db
             .iter()
             .map(|(id, s)| (id, sim.eval(q, s)))
@@ -296,18 +520,63 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_is_equivalent_to_fresh_scratch() {
+        let db = ZipfianGenerator::new(400, 220, 7.0, 1.1).generate(23);
+        let part = random_partitioning(db.len(), 12, 9);
+        let index = Les3Index::build(db.clone(), part, Jaccard);
+        let mut scratch = QueryScratch::new();
+        for qid in [0u32, 13, 77, 200, 399] {
+            let q = db.set(qid).to_vec();
+            let reused = index.knn_with(&q, 8, &mut scratch);
+            let fresh = index.knn(&q, 8);
+            assert_eq!(reused.hits, fresh.hits, "qid {qid}");
+            assert_eq!(reused.stats, fresh.stats, "qid {qid}");
+            let reused = index.range_with(&q, 0.4, &mut scratch);
+            let fresh = index.range(&q, 0.4);
+            assert_eq!(reused.hits, fresh.hits, "qid {qid}");
+            assert_eq!(reused.stats, fresh.stats, "qid {qid}");
+        }
+    }
+
+    #[test]
+    fn bucketed_bounds_are_descending_with_ascending_id_ties() {
+        let db = ZipfianGenerator::new(300, 150, 6.0, 1.0).generate(5);
+        let part = random_partitioning(db.len(), 24, 4);
+        let index = Les3Index::build(db.clone(), part, Jaccard);
+        let q = db.set(11).to_vec();
+        let mut stats = SearchStats::default();
+        let bounds = index.group_upper_bounds(&q, &mut stats);
+        assert_eq!(bounds.len(), 24);
+        for w in bounds.windows(2) {
+            assert!(
+                w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0),
+                "order violated: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        // Every group appears exactly once.
+        let mut seen: Vec<u32> = bounds.iter().map(|b| b.0).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..24).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn grouping_by_similarity_prunes_more_than_random() {
         // Sets fall into 4 disjoint token regions; a region-aligned
         // partitioning should prune ~3/4 of the database.
         let mut sets = Vec::new();
         for region in 0..4u32 {
             for i in 0..50u32 {
-                sets.push(vec![region * 100 + i, region * 100 + i + 1, region * 100 + i + 2]);
+                sets.push(vec![
+                    region * 100 + i,
+                    region * 100 + i + 1,
+                    region * 100 + i + 2,
+                ]);
             }
         }
         let db = SetDatabase::from_sets(sets);
-        let aligned =
-            Partitioning::from_assignment((0..200).map(|i| (i / 50) as u32).collect(), 4);
+        let aligned = Partitioning::from_assignment((0..200).map(|i| (i / 50) as u32).collect(), 4);
         let index = Les3Index::build(db.clone(), aligned, Jaccard);
         let q = db.set(10).to_vec();
         let res = index.knn(&q, 5);
@@ -361,6 +630,28 @@ mod tests {
         assert!(res.stats.columns_checked > 0);
         let pe = res.stats.pruning_efficiency_range(db.len(), res.hits.len());
         assert!((0.0..=1.0).contains(&pe));
+    }
+
+    #[test]
+    fn length_window_skips_without_losing_hits() {
+        // Sets of wildly different sizes sharing a token: the window must
+        // cut the extremes at a high threshold yet lose no true hit.
+        let mut sets: Vec<Vec<u32>> = Vec::new();
+        for len in 1..=60u32 {
+            sets.push((0..len).collect());
+        }
+        let db = SetDatabase::from_sets(sets);
+        let index = Les3Index::build(db.clone(), Partitioning::single_group(60), Jaccard);
+        let q: Vec<u32> = (0..30).collect();
+        let res = index.range(&q, 0.8);
+        let expected = brute_range(&db, Jaccard, &q, 0.8);
+        assert_eq!(res.hits, expected);
+        assert!(res.stats.size_skipped > 0, "window should cut extremes");
+        assert!(
+            res.stats.candidates < 60,
+            "candidates {} should be well below the group size",
+            res.stats.candidates
+        );
     }
 
     #[test]

@@ -21,6 +21,29 @@
 //! * [`sim`] — the similarity measures (Jaccard, Dice, Cosine, overlap
 //!   coefficient) and the TGM applicability property they satisfy.
 //!
+//! # The query hot path
+//!
+//! Queries are engineered to be allocation-free and word-parallel in
+//! steady state:
+//!
+//! * the filter pass counts group overlaps with the word-level kernels of
+//!   `les3-bitmap` ([`Tgm::group_overlaps_into`]), visiting each TGM word
+//!   once instead of iterating bits;
+//! * candidate groups are ordered by **bucketed descending selection** in
+//!   `O(G + |Q|)` — no sort on the hot path;
+//! * verification stores each group's members length-sorted, cuts the
+//!   inadmissible length range with two binary searches, and abandons
+//!   each merge as soon as its residual-overlap bound cannot reach the
+//!   threshold ([`Similarity::eval_with_threshold`]) — all exact, per
+//!   Theorem 3.1;
+//! * callers that issue many queries reuse a [`QueryScratch`]
+//!   ([`Les3Index::knn_with`] / [`Les3Index::range_with`]), and the batch
+//!   entry points ([`Les3Index::knn_batch`] / [`Les3Index::range_batch`])
+//!   fan the batch out over rayon workers with one scratch per worker.
+//! * [`SearchStats`] reports the true work performed, including
+//!   `early_exits` (abandoned merges) and `size_skipped` (members cut by
+//!   the length window).
+//!
 //! # Quickstart
 //!
 //! ```
@@ -46,6 +69,7 @@ pub mod disk;
 pub mod htgm;
 pub mod index;
 pub mod partitioning;
+pub mod scratch;
 pub mod sim;
 pub mod stats;
 pub mod tgm;
@@ -56,6 +80,7 @@ pub use disk::DiskLes3;
 pub use htgm::{HierarchicalPartitioning, Htgm};
 pub use index::{Les3Index, SearchResult};
 pub use partitioning::Partitioning;
-pub use sim::{Cosine, Dice, Jaccard, OverlapCoefficient, Similarity};
+pub use scratch::QueryScratch;
+pub use sim::{Cosine, Dice, Jaccard, OverlapCoefficient, Similarity, ThresholdedEval};
 pub use stats::SearchStats;
 pub use tgm::Tgm;

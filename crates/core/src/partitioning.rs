@@ -21,10 +21,17 @@ impl Partitioning {
     pub fn from_assignment(assignment: Vec<u32>, n_groups: usize) -> Self {
         let mut members = vec![Vec::new(); n_groups];
         for (id, &g) in assignment.iter().enumerate() {
-            assert!((g as usize) < n_groups, "group {g} out of range (n={n_groups})");
+            assert!(
+                (g as usize) < n_groups,
+                "group {g} out of range (n={n_groups})"
+            );
             members[g as usize].push(id as SetId);
         }
-        Self { assignment, n_groups, members }
+        Self {
+            assignment,
+            n_groups,
+            members,
+        }
     }
 
     /// The trivial partitioning: everything in one group.

@@ -1,0 +1,39 @@
+//! Reusable per-query working memory.
+//!
+//! Every buffer the query hot path needs — overlap counters, the
+//! candidate-group mask, the bucket histogram and the verification order —
+//! lives in one [`QueryScratch`] that callers (and the batch executors,
+//! one per worker thread) reuse across queries, so steady-state query
+//! execution performs no heap allocation.
+
+use les3_bitmap::DenseBitSet;
+
+/// Working memory for one in-flight query.
+///
+/// Create once (e.g. per thread) and pass to
+/// [`crate::Les3Index::knn_with`] / [`crate::Les3Index::range_with`];
+/// buffers grow to the high-water mark of the workload and stay there.
+#[derive(Debug, Clone, Default)]
+pub struct QueryScratch {
+    /// Dense per-group overlap counts (full filter pass).
+    pub(crate) counts: Vec<u32>,
+    /// Dense counts for candidate-restricted passes. Invariant: all-zero
+    /// between uses (restored by the restricted kernel).
+    pub(crate) restricted: Vec<u32>,
+    /// Candidate-group mask for restricted passes.
+    pub(crate) mask: DenseBitSet,
+    /// Counts parallel to a candidate list (restricted pass output).
+    pub(crate) restricted_out: Vec<u32>,
+    /// Bucket histogram / offsets for the `O(G + |Q|)` descending
+    /// selection (indexed by overlap count `r ∈ 0..=|Q|`).
+    pub(crate) offsets: Vec<u32>,
+    /// Groups in verification order with their upper bounds.
+    pub(crate) bounds: Vec<(u32, f64)>,
+}
+
+impl QueryScratch {
+    /// Creates empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

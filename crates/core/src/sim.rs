@@ -37,6 +37,93 @@ pub trait Similarity: Copy + Send + Sync + 'static {
         let o = les3_data::SetDatabase::overlap(a, b);
         self.from_overlap(o, distinct_len(a), distinct_len(b))
     }
+
+    /// Smallest overlap `o ∈ 0..=max_overlap` with
+    /// `from_overlap(o, a_len, b_len) ≥ threshold`, or `max_overlap + 1`
+    /// if even a full overlap falls short. Well-defined because every
+    /// admissible measure is monotone non-decreasing in the overlap for
+    /// fixed set sizes.
+    fn min_overlap_for(&self, threshold: f64, a_len: usize, b_len: usize) -> usize {
+        let max_o = a_len.min(b_len);
+        if self.from_overlap(max_o, a_len, b_len) < threshold {
+            return max_o + 1;
+        }
+        // Binary search the monotone predicate.
+        let (mut lo, mut hi) = (0usize, max_o);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.from_overlap(mid, a_len, b_len) >= threshold {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+
+    /// Threshold-aware evaluation: returns the exact similarity when it is
+    /// `≥ threshold`, or the reason it cannot be.
+    ///
+    /// The merge intersection maintains the residual-overlap bound
+    /// `o + min(remaining_a, remaining_b)` and abandons as soon as the
+    /// bound drops below the minimal overlap the threshold requires — an
+    /// integer comparison per merge step, no floating point in the loop.
+    /// For any `Some`/`Hit` outcome the value equals [`Similarity::eval`]
+    /// bit for bit (same `from_overlap` arithmetic on the same counts), so
+    /// replacing `eval` with this in the verify step preserves exactness
+    /// (Theorem 3.1 pruning is untouched; only sub-threshold candidates
+    /// are cut short).
+    fn eval_with_threshold(&self, a: &[TokenId], b: &[TokenId], threshold: f64) -> ThresholdedEval {
+        let a_len = distinct_len(a);
+        let b_len = distinct_len(b);
+        let needed = self.min_overlap_for(threshold, a_len, b_len);
+        if needed > a_len.min(b_len) {
+            // The length filter should normally have caught this.
+            return ThresholdedEval::Rejected { early: true };
+        }
+        let (mut i, mut j, mut o) = (0usize, 0usize, 0usize);
+        // Remaining raw lengths upper-bound the remaining distinct
+        // overlap (duplicates only loosen the bound, never tighten it).
+        while i < a.len() && j < b.len() {
+            if o + (a.len() - i).min(b.len() - j) < needed {
+                return ThresholdedEval::Rejected { early: true };
+            }
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    o += 1;
+                    let t = a[i];
+                    while i < a.len() && a[i] == t {
+                        i += 1;
+                    }
+                    while j < b.len() && b[j] == t {
+                        j += 1;
+                    }
+                }
+            }
+        }
+        let sim = self.from_overlap(o, a_len, b_len);
+        if sim >= threshold {
+            ThresholdedEval::Hit(sim)
+        } else {
+            ThresholdedEval::Rejected { early: false }
+        }
+    }
+}
+
+/// Outcome of [`Similarity::eval_with_threshold`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThresholdedEval {
+    /// Similarity is `≥ threshold`; the exact value.
+    Hit(f64),
+    /// Similarity is `< threshold`. `early` is `true` when the merge was
+    /// abandoned before completing (the residual bound ruled the pair
+    /// out), `false` when the full intersection was computed.
+    Rejected {
+        /// Whether the merge terminated before scanning both sets.
+        early: bool,
+    },
 }
 
 /// Number of distinct tokens in a sorted slice (multisets store dups).
@@ -233,6 +320,37 @@ mod tests {
             check_admissible(Dice, &q, &s);
             check_admissible(Cosine, &q, &s);
             check_admissible(OverlapCoefficient, &q, &s);
+        }
+
+        #[test]
+        fn thresholded_eval_agrees_with_full_eval(
+            q in prop::collection::vec(0u32..40, 0..18),
+            s in prop::collection::vec(0u32..40, 0..18),
+            threshold in -0.1f64..1.1,
+        ) {
+            let mut q = q; q.sort_unstable();
+            let mut s = s; s.sort_unstable();
+            fn check<M: Similarity>(m: M, q: &[u32], s: &[u32], t: f64) {
+                let exact = m.eval(q, s);
+                match m.eval_with_threshold(q, s, t) {
+                    ThresholdedEval::Hit(v) => {
+                        assert!(v >= t, "{}: hit {v} below threshold {t}", m.name());
+                        assert_eq!(v, exact, "{}: hit value must equal eval", m.name());
+                    }
+                    ThresholdedEval::Rejected { .. } => {
+                        assert!(exact < t, "{}: rejected but eval {exact} ≥ {t}", m.name());
+                    }
+                }
+            }
+            check(Jaccard, &q, &s, threshold);
+            check(Dice, &q, &s, threshold);
+            check(Cosine, &q, &s, threshold);
+            check(OverlapCoefficient, &q, &s, threshold);
+            // −∞ threshold (kNN heap not yet full) must always hit.
+            assert!(matches!(
+                Jaccard.eval_with_threshold(&q, &s, f64::NEG_INFINITY),
+                ThresholdedEval::Hit(_)
+            ));
         }
 
         #[test]

@@ -13,13 +13,23 @@ pub struct SearchStats {
     /// Exact similarity evaluations performed (== `candidates` for TGM
     /// search; may differ for baselines with cheaper partial filters).
     pub sims_computed: usize,
-    /// TGM columns examined: one unit per (query token, group) bit
-    /// inspected, summed across hierarchy levels.
+    /// TGM work performed by the filter step: the number of set bits the
+    /// counting kernels actually visited — `Σ_{t∈Q} |groups(t)|` for a
+    /// full pass, `Σ_{t∈Q} |groups(t) ∩ C|` for a candidate-restricted
+    /// pass — summed across hierarchy levels. (Earlier revisions charged
+    /// the dense-matrix cost `|Q|·n_groups` regardless of how sparse the
+    /// columns were; this is the honest figure benches should plot.)
     pub columns_checked: usize,
     /// Groups eliminated without verification.
     pub groups_pruned: usize,
     /// Groups verified.
     pub groups_verified: usize,
+    /// Verification merges abandoned early because the residual-overlap
+    /// bound could no longer reach the threshold / current k-th best.
+    pub early_exits: usize,
+    /// Group members skipped by the similarity-specific length filter
+    /// without touching their token lists.
+    pub size_skipped: usize,
 }
 
 impl SearchStats {
@@ -50,6 +60,8 @@ impl SearchStats {
         self.columns_checked += other.columns_checked;
         self.groups_pruned += other.groups_pruned;
         self.groups_verified += other.groups_verified;
+        self.early_exits += other.early_exits;
+        self.size_skipped += other.size_skipped;
     }
 }
 
@@ -59,7 +71,10 @@ mod tests {
 
     #[test]
     fn pe_formulas_match_definition() {
-        let stats = SearchStats { candidates: 120, ..Default::default() };
+        let stats = SearchStats {
+            candidates: 120,
+            ..Default::default()
+        };
         // kNN, k = 20: PE = (1000 - (120-20)) / 1000 = 0.9
         assert!((stats.pruning_efficiency_knn(1000, 20) - 0.9).abs() < 1e-12);
         // Range with 30 true results: PE = (1000 - 90)/1000 = 0.91
@@ -68,7 +83,10 @@ mod tests {
 
     #[test]
     fn pe_edge_cases() {
-        let s = SearchStats { candidates: 5, ..Default::default() };
+        let s = SearchStats {
+            candidates: 5,
+            ..Default::default()
+        };
         assert_eq!(s.pruning_efficiency_knn(0, 3), 1.0);
         // Candidates fewer than k: PE caps at 1.
         assert_eq!(s.pruning_efficiency_knn(100, 10), 1.0);
@@ -76,11 +94,21 @@ mod tests {
 
     #[test]
     fn accumulate_sums_fields() {
-        let mut a = SearchStats { candidates: 1, sims_computed: 2, columns_checked: 3, groups_pruned: 4, groups_verified: 5 };
+        let mut a = SearchStats {
+            candidates: 1,
+            sims_computed: 2,
+            columns_checked: 3,
+            groups_pruned: 4,
+            groups_verified: 5,
+            early_exits: 6,
+            size_skipped: 7,
+        };
         let b = a;
         a.accumulate(&b);
         assert_eq!(a.candidates, 2);
         assert_eq!(a.columns_checked, 6);
         assert_eq!(a.groups_verified, 10);
+        assert_eq!(a.early_exits, 12);
+        assert_eq!(a.size_skipped, 14);
     }
 }

@@ -23,7 +23,11 @@ pub struct Tgm {
 impl Tgm {
     /// Builds the TGM for a partitioned database.
     pub fn build(db: &SetDatabase, partitioning: &Partitioning) -> Self {
-        assert_eq!(db.len(), partitioning.n_sets(), "partitioning must cover the database");
+        assert_eq!(
+            db.len(),
+            partitioning.n_sets(),
+            "partitioning must cover the database"
+        );
         let mut token_groups = vec![Bitmap::new(); db.universe_size() as usize];
         for (id, set) in db.iter() {
             let g = partitioning.group_of(id);
@@ -31,7 +35,10 @@ impl Tgm {
                 token_groups[t as usize].insert(g);
             }
         }
-        let mut tgm = Self { n_groups: partitioning.n_groups(), token_groups };
+        let mut tgm = Self {
+            n_groups: partitioning.n_groups(),
+            token_groups,
+        };
         tgm.run_optimize();
         tgm
     }
@@ -74,10 +81,15 @@ impl Tgm {
     }
 
     /// Per-group overlap counts `r_g = |GS_g ∩ Q|` for all groups in one
-    /// pass. `query` must be sorted; duplicate tokens count once.
-    /// Returns the counts and the number of token columns that existed.
-    pub fn group_overlaps(&self, query: &[TokenId]) -> Vec<u32> {
-        let mut counts = vec![0u32; self.n_groups];
+    /// word-parallel counting pass into caller-provided storage (resized
+    /// and zeroed here; reusing one buffer across queries makes the filter
+    /// step allocation-free). `query` must be sorted; duplicate tokens
+    /// count once. Returns the number of TGM bits visited —
+    /// `Σ_{t∈Q} |groups(t)|`, the honest filter cost.
+    pub fn group_overlaps_into(&self, query: &[TokenId], counts: &mut Vec<u32>) -> u64 {
+        counts.clear();
+        counts.resize(self.n_groups, 0);
+        let mut touched = 0u64;
         let mut prev: Option<TokenId> = None;
         for &t in query {
             if prev == Some(t) {
@@ -85,20 +97,50 @@ impl Tgm {
             }
             prev = Some(t);
             if let Some(bm) = self.token_groups.get(t as usize) {
-                for g in bm.iter() {
-                    counts[g as usize] += 1;
-                }
+                touched += bm.count_into(counts);
             }
             // Tokens outside T contribute 0 (paper §3.1: M[*, t'] = 0).
         }
+        touched
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`Tgm::group_overlaps_into`].
+    pub fn group_overlaps(&self, query: &[TokenId]) -> Vec<u32> {
+        let mut counts = Vec::new();
+        self.group_overlaps_into(query, &mut counts);
         counts
     }
 
     /// Overlap counts restricted to `groups` (used by the hierarchical
     /// descent, where only surviving parents' children are examined).
-    /// Output is parallel to `groups`.
-    pub fn group_overlaps_restricted(&self, query: &[TokenId], groups: &[u32]) -> Vec<u32> {
-        let mut counts = vec![0u32; groups.len()];
+    /// Each query-token column is intersected against a dense bitset of
+    /// the candidate groups — `O(Σ_t words(groups(t)))` instead of the
+    /// former `O(|Q|·|groups|)` per-group `contains` probing.
+    ///
+    /// `mask` and `dense` are caller-provided scratch: `dense` must either
+    /// be empty or all-zero with `len ≥ n_groups` (the invariant this
+    /// method re-establishes before returning). `out` is overwritten with
+    /// counts parallel to `groups`. Returns the number of TGM bits
+    /// visited (`Σ_{t∈Q} |groups(t) ∩ C|`).
+    pub fn group_overlaps_restricted_into(
+        &self,
+        query: &[TokenId],
+        groups: &[u32],
+        mask: &mut les3_bitmap::DenseBitSet,
+        dense: &mut Vec<u32>,
+        out: &mut Vec<u32>,
+    ) -> u64 {
+        mask.reset(self.n_groups);
+        for &g in groups {
+            debug_assert!((g as usize) < self.n_groups);
+            mask.insert(g);
+        }
+        if dense.len() < self.n_groups {
+            dense.resize(self.n_groups, 0);
+        }
+        debug_assert!(dense.iter().all(|&c| c == 0), "scratch must be zeroed");
+        let mut touched = 0u64;
         let mut prev: Option<TokenId> = None;
         for &t in query {
             if prev == Some(t) {
@@ -106,14 +148,30 @@ impl Tgm {
             }
             prev = Some(t);
             if let Some(bm) = self.token_groups.get(t as usize) {
-                for (i, &g) in groups.iter().enumerate() {
-                    if bm.contains(g) {
-                        counts[i] += 1;
-                    }
-                }
+                touched += bm.count_into_masked(mask, dense);
             }
         }
-        counts
+        out.clear();
+        out.reserve(groups.len());
+        // Gather before zeroing so duplicate group ids (allowed, if
+        // unusual) each receive the true count.
+        for &g in groups {
+            out.push(dense[g as usize]);
+        }
+        for &g in groups {
+            dense[g as usize] = 0; // restore the all-zero invariant
+        }
+        touched
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`Tgm::group_overlaps_restricted_into`].
+    pub fn group_overlaps_restricted(&self, query: &[TokenId], groups: &[u32]) -> Vec<u32> {
+        let mut mask = les3_bitmap::DenseBitSet::new();
+        let mut dense = Vec::new();
+        let mut out = Vec::new();
+        self.group_overlaps_restricted_into(query, groups, &mut mask, &mut dense, &mut out);
+        out
     }
 
     /// Recompresses every column to its smallest representation.
@@ -199,6 +257,9 @@ mod tests {
         let full = tgm.group_overlaps(&[1, 2, 3]);
         let restricted = tgm.group_overlaps_restricted(&[1, 2, 3], &[1, 0]);
         assert_eq!(restricted, vec![full[1], full[0]]);
+        // Duplicate candidate ids each get the true count.
+        let dup = tgm.group_overlaps_restricted(&[1, 2, 3], &[0, 1, 0]);
+        assert_eq!(dup, vec![full[0], full[1], full[0]]);
     }
 
     #[test]

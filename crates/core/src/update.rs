@@ -18,7 +18,7 @@ use crate::sim::{distinct_len, Similarity};
 impl<S: Similarity> Les3Index<S> {
     /// Inserts a new set, handling unseen tokens per §6. Returns the new
     /// set's id and the group it joined.
-    pub fn insert(&mut self, tokens: &mut Vec<TokenId>) -> (SetId, u32) {
+    pub fn insert(&mut self, tokens: &mut [TokenId]) -> (SetId, u32) {
         tokens.sort_unstable();
         let universe = self.db().universe_size();
         // PS = previously seen tokens (§6 step 1).
@@ -31,6 +31,7 @@ impl<S: Similarity> Les3Index<S> {
         for &t in tokens.iter() {
             tgm.set_bit(g, t);
         }
+        self.note_new_member(g, id);
         (id, g)
     }
 
@@ -85,13 +86,17 @@ mod tests {
             vec![100, 101, 102],
             vec![103, 104, 105],
         ]);
-        Les3Index::build(db, Partitioning::from_assignment(vec![0, 0, 1, 1], 2), Jaccard)
+        Les3Index::build(
+            db,
+            Partitioning::from_assignment(vec![0, 0, 1, 1], 2),
+            Jaccard,
+        )
     }
 
     #[test]
     fn closed_universe_insert_joins_most_similar_group() {
         let mut index = two_region_index();
-        let (id, g) = index.insert(&mut vec![1, 2, 3]);
+        let (id, g) = index.insert(&mut [1, 2, 3]);
         assert_eq!(g, 0, "tokens overlap group 0's signature");
         assert_eq!(index.db().set(id), &[1, 2, 3]);
         // The set is immediately findable.
@@ -106,7 +111,7 @@ mod tests {
         let db = SetDatabase::from_sets(vec![vec![0u32], vec![1], vec![2]]);
         let mut index =
             Les3Index::build(db, Partitioning::from_assignment(vec![0, 0, 1], 2), Jaccard);
-        let (_, g) = index.insert(&mut vec![50, 51]);
+        let (_, g) = index.insert(&mut [50, 51]);
         assert_eq!(g, 1, "all-zero UBs tie; group 1 is smaller");
     }
 
@@ -115,7 +120,7 @@ mod tests {
         let mut index = two_region_index();
         let before_tokens = index.tgm().n_tokens();
         // 101 is known; 9999 is new.
-        let (id, g) = index.insert(&mut vec![101, 9_999]);
+        let (id, g) = index.insert(&mut [101, 9_999]);
         assert_eq!(g, 1, "group selection uses PS = {{101}} only");
         assert!(index.tgm().n_tokens() > before_tokens);
         assert!(index.tgm().bit(g, 9_999));
@@ -129,7 +134,7 @@ mod tests {
         let db = SetDatabase::from_sets(vec![vec![0u32], vec![1], vec![2]]);
         let mut index =
             Les3Index::build(db, Partitioning::from_assignment(vec![0, 0, 1], 2), Jaccard);
-        let (_, g) = index.insert(&mut vec![7_000, 7_001]);
+        let (_, g) = index.insert(&mut [7_000, 7_001]);
         assert_eq!(g, 1);
         // Query with a mix of old and new tokens still exact.
         let res = index.knn(&[7_000], 1);
@@ -141,7 +146,7 @@ mod tests {
     fn repeated_inserts_keep_search_exact() {
         let mut index = two_region_index();
         for i in 0..20u32 {
-            index.insert(&mut vec![i % 7, i % 11 + 100, 200 + i]);
+            index.insert(&mut [i % 7, i % 11 + 100, 200 + i]);
         }
         assert_eq!(index.db().len(), 24);
         // Brute-force check on a query.

@@ -26,7 +26,11 @@ impl SetDatabase {
     /// Creates an empty database over a universe of `universe_size` tokens
     /// (token ids `0..universe_size`).
     pub fn new(universe_size: u32) -> Self {
-        Self { tokens: Vec::new(), offsets: vec![0], universe_size }
+        Self {
+            tokens: Vec::new(),
+            offsets: vec![0],
+            universe_size,
+        }
     }
 
     /// Builds a database from unsorted sets; each set is sorted (duplicates
@@ -52,7 +56,10 @@ impl SetDatabase {
     ///
     /// Panics in debug builds if `tokens` is not sorted.
     pub fn push_sorted(&mut self, tokens: &[TokenId]) -> SetId {
-        debug_assert!(tokens.windows(2).all(|w| w[0] <= w[1]), "tokens must be sorted");
+        debug_assert!(
+            tokens.windows(2).all(|w| w[0] <= w[1]),
+            "tokens must be sorted"
+        );
         if let Some(&max) = tokens.last() {
             if max >= self.universe_size {
                 self.universe_size = max + 1;
@@ -64,7 +71,7 @@ impl SetDatabase {
     }
 
     /// Appends a possibly unsorted set.
-    pub fn push(&mut self, tokens: &mut Vec<TokenId>) -> SetId {
+    pub fn push(&mut self, tokens: &mut [TokenId]) -> SetId {
         tokens.sort_unstable();
         self.push_sorted(tokens)
     }
@@ -210,7 +217,7 @@ mod tests {
     #[test]
     fn push_and_retrieve() {
         let mut db = SetDatabase::new(10);
-        let a = db.push(&mut vec![3, 1, 2]);
+        let a = db.push(&mut [3, 1, 2]);
         let b = db.push_sorted(&[5, 7]);
         assert_eq!(db.set(a), &[1, 2, 3]);
         assert_eq!(db.set(b), &[5, 7]);

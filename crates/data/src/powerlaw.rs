@@ -42,7 +42,14 @@ pub struct PowerLawSimGenerator {
 impl PowerLawSimGenerator {
     /// Creates a generator with the paper's database shape (chain mode).
     pub fn new(n_sets: usize, universe: u32, set_size: usize, alpha: f64) -> Self {
-        Self { n_sets, universe, set_size, alpha, v_min: 0.05, hubs: 0 }
+        Self {
+            n_sets,
+            universe,
+            set_size,
+            alpha,
+            v_min: 0.05,
+            hubs: 0,
+        }
     }
 
     /// Switches to hub mode with `h` hub sets (see [`Self::hubs`]).
@@ -118,7 +125,10 @@ mod tests {
         };
         let low = mean_sim(1.0);
         let high = mean_sim(6.0);
-        assert!(high < low, "α=6 mean sim {high} should be below α=1 mean sim {low}");
+        assert!(
+            high < low,
+            "α=6 mean sim {high} should be below α=1 mean sim {low}"
+        );
     }
 
     #[test]

@@ -164,11 +164,18 @@ mod tests {
     #[test]
     fn power_law_mass_concentrates_low_for_large_alpha() {
         let mut r = rng(5);
-        let low_alpha: f64 =
-            (0..5000).map(|_| power_law_unit(&mut r, 1.0, 0.05)).sum::<f64>() / 5000.0;
-        let high_alpha: f64 =
-            (0..5000).map(|_| power_law_unit(&mut r, 4.0, 0.05)).sum::<f64>() / 5000.0;
-        assert!(high_alpha < low_alpha, "α=4 mean {high_alpha} vs α=1 mean {low_alpha}");
+        let low_alpha: f64 = (0..5000)
+            .map(|_| power_law_unit(&mut r, 1.0, 0.05))
+            .sum::<f64>()
+            / 5000.0;
+        let high_alpha: f64 = (0..5000)
+            .map(|_| power_law_unit(&mut r, 4.0, 0.05))
+            .sum::<f64>()
+            / 5000.0;
+        assert!(
+            high_alpha < low_alpha,
+            "α=4 mean {high_alpha} vs α=1 mean {low_alpha}"
+        );
         let mut all_in_range = true;
         for _ in 0..1000 {
             let v = power_law_unit(&mut r, 2.0, 0.05);

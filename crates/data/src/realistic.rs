@@ -187,7 +187,9 @@ mod tests {
 
     #[test]
     fn all_specs_are_generatable_at_small_scale() {
-        for spec in DatasetSpec::memory_datasets().iter().chain(DatasetSpec::disk_datasets().iter())
+        for spec in DatasetSpec::memory_datasets()
+            .iter()
+            .chain(DatasetSpec::disk_datasets().iter())
         {
             let db = spec.with_sets(200).generate(3);
             assert_eq!(db.len(), spec.with_sets(200).n_sets, "{}", spec.name);

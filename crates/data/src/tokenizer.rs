@@ -136,6 +136,10 @@ mod tests {
     fn qgrams_short_string_edge_cases() {
         let mut d = Dictionary::new();
         assert_eq!(d.tokenize_qgrams("", 3), Vec::<TokenId>::new());
-        assert_eq!(d.tokenize_qgrams("ab", 3).len(), 1, "whole short string is one token");
+        assert_eq!(
+            d.tokenize_qgrams("ab", 3).len(),
+            1,
+            "whole short string is one token"
+        );
     }
 }

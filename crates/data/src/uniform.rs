@@ -22,7 +22,11 @@ pub struct UniformGenerator {
 impl UniformGenerator {
     /// Creates a generator.
     pub fn new(n_sets: usize, universe: u32, set_size: usize) -> Self {
-        Self { n_sets, universe, set_size }
+        Self {
+            n_sets,
+            universe,
+            set_size,
+        }
     }
 
     /// Generates the database with a deterministic seed.
@@ -64,7 +68,10 @@ mod tests {
         let expected = 5000.0 * 10.0 / universe as f64;
         let max = *counts.iter().max().unwrap() as f64;
         let min = *counts.iter().min().unwrap() as f64;
-        assert!(max / expected < 1.3 && min / expected > 0.7, "min {min} max {max} exp {expected}");
+        assert!(
+            max / expected < 1.3 && min / expected > 0.7,
+            "min {min} max {max} exp {expected}"
+        );
     }
 
     #[test]

@@ -139,8 +139,9 @@ mod tests {
 
     #[test]
     fn respects_size_bounds() {
-        let db =
-            ZipfianGenerator::new(500, 1000, 6.0, 1.1).with_size_bounds(2, 40).generate(9);
+        let db = ZipfianGenerator::new(500, 1000, 6.0, 1.1)
+            .with_size_bounds(2, 40)
+            .generate(9);
         for (_, s) in db.iter() {
             assert!((2..=40).contains(&s.len()), "size {}", s.len());
             let distinct: HashSet<_> = s.iter().collect();
@@ -150,7 +151,9 @@ mod tests {
 
     #[test]
     fn large_sets_near_universe_terminate() {
-        let db = ZipfianGenerator::new(5, 30, 28.0, 1.5).with_size_bounds(25, 30).generate(1);
+        let db = ZipfianGenerator::new(5, 30, 28.0, 1.5)
+            .with_size_bounds(25, 30)
+            .generate(1);
         assert_eq!(db.len(), 5);
         for (_, s) in db.iter() {
             assert!(s.len() >= 25);

@@ -75,7 +75,13 @@ mod tests {
 
     #[test]
     fn relu_derivative_piecewise() {
-        assert_eq!(Activation::Relu.derivative_from_output(Activation::Relu.apply(2.0)), 1.0);
-        assert_eq!(Activation::Relu.derivative_from_output(Activation::Relu.apply(-2.0)), 0.0);
+        assert_eq!(
+            Activation::Relu.derivative_from_output(Activation::Relu.apply(2.0)),
+            1.0
+        );
+        assert_eq!(
+            Activation::Relu.derivative_from_output(Activation::Relu.apply(-2.0)),
+            0.0
+        );
     }
 }

@@ -40,7 +40,14 @@ impl Adam {
                 )
             })
             .collect();
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, moments }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            moments,
+        }
     }
 
     /// Applies one update step from accumulated gradients.
@@ -49,7 +56,11 @@ impl Adam {
     ///
     /// Panics if `grads` was not created from the same network shape.
     pub fn step(&mut self, mlp: &mut Mlp, grads: &MlpGradients) {
-        assert_eq!(grads.layers.len(), self.moments.len(), "gradient shape mismatch");
+        assert_eq!(
+            grads.layers.len(),
+            self.moments.len(),
+            "gradient shape mismatch"
+        );
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
@@ -150,7 +161,9 @@ mod tests {
         assert_eq!(adam.steps(), 500);
         let w = &mlp.layers()[0].w;
         let b = &mlp.layers()[0].b;
-        assert!((w[0] - 2.0).abs() < 0.05 && (w[1] + 1.0).abs() < 0.05 && (b[0] - 1.0).abs() < 0.05);
+        assert!(
+            (w[0] - 2.0).abs() < 0.05 && (w[1] + 1.0).abs() < 0.05 && (b[0] - 1.0).abs() < 0.05
+        );
     }
 
     /// Bias correction should make the very first step have magnitude ≈ lr.

@@ -27,7 +27,13 @@ impl Dense {
     pub fn new(in_dim: usize, out_dim: usize, act: Activation, rng: &mut StdRng) -> Self {
         let mut w = vec![0.0; in_dim * out_dim];
         init::xavier_uniform(rng, in_dim, out_dim, &mut w);
-        Self { in_dim, out_dim, w, b: vec![0.0; out_dim], act }
+        Self {
+            in_dim,
+            out_dim,
+            w,
+            b: vec![0.0; out_dim],
+            act,
+        }
     }
 
     /// Forward pass: writes the activated outputs into `out`.
@@ -133,13 +139,13 @@ mod tests {
             l.forward(x, &mut out);
             out.iter().sum::<f64>()
         };
-        for k in 0..6 {
+        for (k, &g) in gw.iter().enumerate() {
             let mut lp = layer.clone();
             lp.w[k] += eps;
             let mut lm = layer.clone();
             lm.w[k] -= eps;
             let numeric = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * eps);
-            assert!((numeric - gw[k]).abs() < 1e-6, "w[{k}]: {numeric} vs {}", gw[k]);
+            assert!((numeric - g).abs() < 1e-6, "w[{k}]: {numeric} vs {g}");
         }
         for k in 0..3 {
             let mut xp = x;
@@ -147,7 +153,11 @@ mod tests {
             let mut xm = x;
             xm[k] -= eps;
             let numeric = (loss(&layer, &xp) - loss(&layer, &xm)) / (2.0 * eps);
-            assert!((numeric - dx[k]).abs() < 1e-6, "x[{k}]: {numeric} vs {}", dx[k]);
+            assert!(
+                (numeric - dx[k]).abs() < 1e-6,
+                "x[{k}]: {numeric} vs {}",
+                dx[k]
+            );
         }
     }
 

@@ -243,6 +243,9 @@ mod tests {
     fn deterministic_construction() {
         let a = Mlp::new(&[4, 4, 1], Activation::Sigmoid, 9);
         let b = Mlp::new(&[4, 4, 1], Activation::Sigmoid, 9);
-        assert_eq!(a.forward(&[0.1, 0.2, 0.3, 0.4]), b.forward(&[0.1, 0.2, 0.3, 0.4]));
+        assert_eq!(
+            a.forward(&[0.1, 0.2, 0.3, 0.4]),
+            b.forward(&[0.1, 0.2, 0.3, 0.4])
+        );
     }
 }

@@ -99,7 +99,13 @@ pub struct SiameseConfig {
 
 impl Default for SiameseConfig {
     fn default() -> Self {
-        Self { epochs: 3, batch_size: 256, lr: 0.01, seed: 0, loss: PairLoss::Surrogate }
+        Self {
+            epochs: 3,
+            batch_size: 256,
+            lr: 0.01,
+            seed: 0,
+            loss: PairLoss::Surrogate,
+        }
     }
 }
 
@@ -128,8 +134,16 @@ impl SiameseTrainer {
     /// Runs mini-batch training of `mlp` on `batch`, mutating the network
     /// in place and returning the learning curve.
     pub fn train(&self, mlp: &mut Mlp, batch: PairBatch<'_>) -> TrainReport {
-        assert_eq!(mlp.out_dim(), 1, "Siamese networks here have one output neuron");
-        assert_eq!(mlp.in_dim(), batch.dim, "representation dim must match network input");
+        assert_eq!(
+            mlp.out_dim(),
+            1,
+            "Siamese networks here have one output neuron"
+        );
+        assert_eq!(
+            mlp.in_dim(),
+            batch.dim,
+            "representation dim must match network input"
+        );
         let mut adam = Adam::new(mlp, self.cfg.lr);
         let mut grads = mlp.new_gradients();
         let mut trace_x = Trace::default();
@@ -167,7 +181,10 @@ impl SiameseTrainer {
             }
             epoch_losses.push(epoch_loss / batch.pairs.len().max(1) as f64);
         }
-        TrainReport { epoch_losses, pairs_seen }
+        TrainReport {
+            epoch_losses,
+            pairs_seen,
+        }
     }
 }
 
@@ -224,8 +241,19 @@ mod tests {
             epochs: 5,
             ..Default::default()
         });
-        let report = trainer.train(&mut mlp, PairBatch { reps: &reps, dim: 2, pairs: &pairs });
-        assert_eq!(mlp.layers()[0].w, before, "hard loss must not move parameters");
+        let report = trainer.train(
+            &mut mlp,
+            PairBatch {
+                reps: &reps,
+                dim: 2,
+                pairs: &pairs,
+            },
+        );
+        assert_eq!(
+            mlp.layers()[0].w,
+            before,
+            "hard loss must not move parameters"
+        );
         assert!(report.epoch_losses.iter().all(|&l| l > 0.0));
     }
 
@@ -267,7 +295,14 @@ mod tests {
             seed: 9,
             loss: PairLoss::Surrogate,
         });
-        let report = trainer.train(&mut mlp, PairBatch { reps: &reps, dim, pairs: &pairs });
+        let report = trainer.train(
+            &mut mlp,
+            PairBatch {
+                reps: &reps,
+                dim,
+                pairs: &pairs,
+            },
+        );
         assert!(
             report.epoch_losses.last().unwrap() < &report.epoch_losses[0],
             "loss should decrease: {:?}",
@@ -279,7 +314,10 @@ mod tests {
         let second: usize = (n_per..2 * n_per).filter(|&i| side_of(i)).count();
         let separated = (first <= n_per / 8 && second >= n_per * 7 / 8)
             || (first >= n_per * 7 / 8 && second <= n_per / 8);
-        assert!(separated, "clusters not separated: {first}/{n_per} vs {second}/{n_per}");
+        assert!(
+            separated,
+            "clusters not separated: {first}/{n_per} vs {second}/{n_per}"
+        );
     }
 
     #[test]
@@ -287,8 +325,18 @@ mod tests {
         let reps = vec![0.0, 1.0, 1.0, 0.0];
         let pairs = vec![(0u32, 1u32, 0.5); 10];
         let mut mlp = Mlp::new(&[2, 4, 1], Activation::Sigmoid, 3);
-        let trainer = SiameseTrainer::new(SiameseConfig { epochs: 2, ..Default::default() });
-        let report = trainer.train(&mut mlp, PairBatch { reps: &reps, dim: 2, pairs: &pairs });
+        let trainer = SiameseTrainer::new(SiameseConfig {
+            epochs: 2,
+            ..Default::default()
+        });
+        let report = trainer.train(
+            &mut mlp,
+            PairBatch {
+                reps: &reps,
+                dim: 2,
+                pairs: &pairs,
+            },
+        );
         assert_eq!(report.pairs_seen, 20);
         assert_eq!(report.epoch_losses.len(), 2);
     }

@@ -64,7 +64,11 @@ impl SimilarityGraph {
                 if v as u32 == u {
                     continue;
                 }
-                let key = if (v as u32) < u { (v as u32, u) } else { (u, v as u32) };
+                let key = if (v as u32) < u {
+                    (v as u32, u)
+                } else {
+                    (u, v as u32)
+                };
                 let entry = pair_set.entry(key).or_insert(w);
                 if w > *entry {
                     *entry = w;
@@ -103,8 +107,7 @@ pub fn knn_graph<S: Similarity>(db: &SetDatabase, k: usize, sim: S) -> Similarit
             })
             .collect();
         cands.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
-        directed[id as usize] =
-            cands.iter().take(k).map(|&(s, other)| (other, s)).collect();
+        directed[id as usize] = cands.iter().take(k).map(|&(s, other)| (other, s)).collect();
         for &t in &touched {
             counts[t as usize] = 0;
         }

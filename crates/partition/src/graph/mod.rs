@@ -44,7 +44,12 @@ impl ParG {
     /// PAR-G specialized for kNN workloads with the paper's default
     /// `k = 10`.
     pub fn new(n_groups: usize) -> Self {
-        Self { n_groups, workload: GraphWorkload::Knn(10), balance: 1.2, seed: 0 }
+        Self {
+            n_groups,
+            workload: GraphWorkload::Knn(10),
+            balance: 1.2,
+            seed: 0,
+        }
     }
 
     /// Runs graph construction and the multilevel cut.
@@ -56,7 +61,11 @@ impl ParG {
         let assignment = partition_graph(
             &graph,
             self.n_groups,
-            &MultilevelConfig { balance: self.balance, seed: self.seed, ..Default::default() },
+            &MultilevelConfig {
+                balance: self.balance,
+                seed: self.seed,
+                ..Default::default()
+            },
         );
         Partitioning::from_assignment(assignment, self.n_groups)
     }

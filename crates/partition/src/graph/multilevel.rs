@@ -34,7 +34,12 @@ pub struct MultilevelConfig {
 
 impl Default for MultilevelConfig {
     fn default() -> Self {
-        Self { balance: 1.2, coarsen_until: 8, refine_passes: 4, seed: 0 }
+        Self {
+            balance: 1.2,
+            coarsen_until: 8,
+            refine_passes: 4,
+            seed: 0,
+        }
     }
 }
 
@@ -74,14 +79,25 @@ pub fn partition_graph(
         if coarse_adj.len() as f64 > cur_adj.len() as f64 * 0.95 {
             break; // matching stalled (e.g. edgeless graph)
         }
-        levels.push(Level { adj: cur_adj, weights: cur_weights, projection });
+        levels.push(Level {
+            adj: cur_adj,
+            weights: cur_weights,
+            projection,
+        });
         cur_adj = coarse_adj;
         cur_weights = coarse_weights;
     }
 
     // --- Initial partitioning on the coarsest graph ---
     let mut assignment = greedy_initial(&cur_adj, &cur_weights, n_parts, cfg.balance, &mut rng);
-    refine(&cur_adj, &cur_weights, &mut assignment, n_parts, cfg, &mut rng);
+    refine(
+        &cur_adj,
+        &cur_weights,
+        &mut assignment,
+        n_parts,
+        cfg,
+        &mut rng,
+    );
 
     // --- Uncoarsening + refinement ---
     while let Some(level) = levels.pop() {
@@ -90,7 +106,14 @@ pub fn partition_graph(
             fine_assignment[v] = assignment[coarse as usize];
         }
         assignment = fine_assignment;
-        refine(&level.adj, &level.weights, &mut assignment, n_parts, cfg, &mut rng);
+        refine(
+            &level.adj,
+            &level.weights,
+            &mut assignment,
+            n_parts,
+            cfg,
+            &mut rng,
+        );
     }
     assignment
 }
@@ -165,7 +188,9 @@ fn greedy_initial(
     let mut order: Vec<usize> = (0..n).collect();
     order.shuffle(rng);
     order.sort_by(|&a, &b| {
-        weights[b].partial_cmp(&weights[a]).unwrap_or(std::cmp::Ordering::Equal)
+        weights[b]
+            .partial_cmp(&weights[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let mut assignment = vec![u32::MAX; n];
     let mut part_weights = vec![0.0f64; n_parts];
@@ -289,7 +314,11 @@ mod tests {
     fn bisects_two_cliques_perfectly() {
         let g = two_cliques(16);
         let assignment = partition_graph(&g, 2, &MultilevelConfig::default());
-        assert!(g.cut_weight(&assignment) <= 0.011, "cut {}", g.cut_weight(&assignment));
+        assert!(
+            g.cut_weight(&assignment) <= 0.011,
+            "cut {}",
+            g.cut_weight(&assignment)
+        );
         // Balanced halves.
         let ones = assignment.iter().filter(|&&p| p == 1).count();
         assert_eq!(ones, 16);
@@ -298,19 +327,27 @@ mod tests {
     #[test]
     fn respects_balance_cap() {
         let g = two_cliques(20);
-        let cfg = MultilevelConfig { balance: 1.1, ..Default::default() };
+        let cfg = MultilevelConfig {
+            balance: 1.1,
+            ..Default::default()
+        };
         let assignment = partition_graph(&g, 4, &cfg);
         let mut sizes = vec![0usize; 4];
         for &p in &assignment {
             sizes[p as usize] += 1;
         }
         let cap = (1.1_f64 * 40.0 / 4.0).ceil() as usize;
-        assert!(sizes.iter().all(|&s| s <= cap + 1), "sizes {sizes:?} cap {cap}");
+        assert!(
+            sizes.iter().all(|&s| s <= cap + 1),
+            "sizes {sizes:?} cap {cap}"
+        );
     }
 
     #[test]
     fn handles_edgeless_graph() {
-        let g = SimilarityGraph { adj: vec![Vec::new(); 50] };
+        let g = SimilarityGraph {
+            adj: vec![Vec::new(); 50],
+        };
         let assignment = partition_graph(&g, 5, &MultilevelConfig::default());
         assert_eq!(assignment.len(), 50);
         let mut sizes = vec![0usize; 5];
@@ -323,7 +360,10 @@ mod tests {
     #[test]
     fn single_part_is_trivial() {
         let g = two_cliques(4);
-        assert_eq!(partition_graph(&g, 1, &MultilevelConfig::default()), vec![0; 8]);
+        assert_eq!(
+            partition_graph(&g, 1, &MultilevelConfig::default()),
+            vec![0; 8]
+        );
     }
 
     #[test]

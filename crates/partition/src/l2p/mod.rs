@@ -50,6 +50,12 @@ pub struct L2pConfig {
     pub normalize_reps: bool,
     /// Train same-level models on multiple threads.
     pub parallel: bool,
+    /// Independent training restarts per split; the candidate whose split
+    /// minimizes the within-side distance of the sampled pairs wins. The
+    /// tiny cascade MLPs are high-variance — a bad early split cannot be
+    /// undone by later levels — so best-of-R selection buys robustness for
+    /// a linear training-cost factor.
+    pub restarts: usize,
     /// Master seed (every model derives a deterministic sub-seed).
     pub seed: u64,
 }
@@ -65,6 +71,7 @@ impl Default for L2pConfig {
             siamese: SiameseConfig::default(),
             normalize_reps: true,
             parallel: true,
+            restarts: 2,
             seed: 0,
         }
     }
@@ -145,10 +152,7 @@ impl L2p {
         let mut order: Vec<SetId> = (0..db.len() as SetId).collect();
         order.sort_by_key(|&id| db.set(id).first().copied().unwrap_or(u32::MAX));
         let chunk = db.len().div_ceil(init_groups);
-        let mut groups: Vec<Vec<SetId>> = order
-            .chunks(chunk)
-            .map(|c| c.to_vec())
-            .collect();
+        let mut groups: Vec<Vec<SetId>> = order.chunks(chunk).map(|c| c.to_vec()).collect();
         levels.push(groups_to_partitioning(db.len(), &groups));
 
         let mut reports: Vec<TrainReport> = Vec::new();
@@ -203,8 +207,7 @@ impl L2p {
         }
 
         // Mini-batch memory: batch_size pairs × 2 reps × dim × 8 bytes.
-        let batch_bytes =
-            cfg.siamese.batch_size * 2 * reps.dim() * std::mem::size_of::<f64>();
+        let batch_bytes = cfg.siamese.batch_size * 2 * reps.dim() * std::mem::size_of::<f64>();
         L2pResult {
             levels,
             reports,
@@ -220,7 +223,9 @@ impl L2p {
         level: usize,
         tasks: &[(usize, GroupTask)],
     ) -> Vec<(usize, SplitOutcome)> {
-        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
         let threads = threads.min(tasks.len()).max(1);
         let chunks: Vec<&[(usize, GroupTask)]> =
             tasks.chunks(tasks.len().div_ceil(threads)).collect();
@@ -236,13 +241,18 @@ impl L2p {
                     })
                 })
                 .collect();
-            handles.into_iter().flat_map(|h| h.join().expect("trainer panicked")).collect()
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("trainer panicked"))
+                .collect()
         });
         out.sort_by_key(|(i, _)| *i);
         out
     }
 
-    /// Trains one Siamese model on a group and splits it.
+    /// Trains one Siamese model on a group and splits it. With
+    /// `cfg.restarts > 1`, trains that many independently-seeded models
+    /// and keeps the split whose sampled within-side distance is lowest.
     fn train_one(
         &self,
         db: &SetDatabase,
@@ -257,7 +267,8 @@ impl L2p {
         let mut rng = StdRng::seed_from_u64(model_seed);
 
         // Sample training pairs with replacement (paper: 40 000 random
-        // pairs per group).
+        // pairs per group). All restarts train on the same pairs so their
+        // scores are comparable.
         let mut pairs: Vec<(u32, u32, f64)> = Vec::with_capacity(cfg.pairs_per_model);
         for _ in 0..cfg.pairs_per_model {
             let a = members[rng.gen_range(0..members.len())];
@@ -269,6 +280,28 @@ impl L2p {
             pairs.push((a, b, d));
         }
 
+        let mut best: Option<(f64, SplitOutcome)> = None;
+        for restart in 0..cfg.restarts.max(1) {
+            let restart_seed = derive_seed(model_seed, u64::MAX, restart as u64);
+            let candidate = self.train_candidate(reps, members, &pairs, restart_seed);
+            let score = split_score(&candidate, members, &pairs);
+            if best.as_ref().is_none_or(|(b, _)| score < *b) {
+                best = Some((score, candidate));
+            }
+        }
+        best.expect("at least one restart").1
+    }
+
+    /// One training run: fit a Siamese MLP on `pairs`, split `members` by
+    /// output side (median fallback guarantees both sides are non-empty).
+    fn train_candidate(
+        &self,
+        reps: &RepMatrix,
+        members: &[SetId],
+        pairs: &[(u32, u32, f64)],
+        model_seed: u64,
+    ) -> SplitOutcome {
+        let cfg = &self.cfg;
         let mut widths = Vec::with_capacity(cfg.hidden.len() + 2);
         widths.push(reps.dim());
         widths.extend_from_slice(&cfg.hidden);
@@ -280,12 +313,18 @@ impl L2p {
         });
         let report = trainer.train(
             &mut mlp,
-            PairBatch { reps: reps.as_slice(), dim: reps.dim(), pairs: &pairs },
+            PairBatch {
+                reps: reps.as_slice(),
+                dim: reps.dim(),
+                pairs,
+            },
         );
 
         // Inference: assign each member by output side.
-        let outputs: Vec<f64> =
-            members.iter().map(|&id| mlp.forward_scalar(reps.row(id as usize))).collect();
+        let outputs: Vec<f64> = members
+            .iter()
+            .map(|&id| mlp.forward_scalar(reps.row(id as usize)))
+            .collect();
         let (mut left, mut right) = (Vec::new(), Vec::new());
         for (&id, &o) in members.iter().zip(&outputs) {
             if o < 0.5 {
@@ -296,14 +335,22 @@ impl L2p {
         }
         if left.is_empty() || right.is_empty() {
             // Median-output fallback (guarantees both sides non-empty).
-            let mut indexed: Vec<(f64, SetId)> =
-                outputs.iter().copied().zip(members.iter().copied()).collect();
-            indexed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            let mut indexed: Vec<(f64, SetId)> = outputs
+                .iter()
+                .copied()
+                .zip(members.iter().copied())
+                .collect();
+            indexed.sort_by(|a, b| a.0.total_cmp(&b.0));
             let mid = indexed.len() / 2;
             left = indexed[..mid].iter().map(|&(_, id)| id).collect();
             right = indexed[mid..].iter().map(|&(_, id)| id).collect();
         }
-        SplitOutcome { left, right, report, model_bytes: mlp.size_in_bytes() }
+        SplitOutcome {
+            left,
+            right,
+            report,
+            model_bytes: mlp.size_in_bytes(),
+        }
     }
 }
 
@@ -312,6 +359,37 @@ struct SplitOutcome {
     right: Vec<SetId>,
     report: TrainReport,
     model_bytes: usize,
+}
+
+/// Mean Jaccard distance of the sampled pairs that land on the same side
+/// of the split — the quantity a good split minimizes (a group's GPO
+/// contribution is its within-group pairwise distance mass). Pairs with
+/// endpoints on different sides stop contributing, so a split along a real
+/// cluster boundary scores far below a random one. Falls back to the mean
+/// distance over all pairs when no sampled pair stays together (neutral:
+/// such a candidate is never preferred over a genuine cluster cut).
+fn split_score(candidate: &SplitOutcome, members: &[SetId], pairs: &[(u32, u32, f64)]) -> f64 {
+    let mut side = vec![false; members.len()];
+    let index_of: std::collections::HashMap<SetId, usize> =
+        members.iter().copied().zip(0..).collect();
+    for &id in &candidate.left {
+        side[index_of[&id]] = true;
+    }
+    let (mut within, mut n_within, mut total) = (0.0, 0usize, 0.0);
+    for &(a, b, d) in pairs {
+        total += d;
+        if side[index_of[&a]] == side[index_of[&b]] {
+            within += d;
+            n_within += 1;
+        }
+    }
+    if n_within > 0 {
+        within / n_within as f64
+    } else if !pairs.is_empty() {
+        total / pairs.len() as f64
+    } else {
+        0.0
+    }
 }
 
 fn groups_to_partitioning(n_sets: usize, groups: &[Vec<SetId>]) -> Partitioning {
@@ -327,7 +405,9 @@ fn groups_to_partitioning(n_sets: usize, groups: &[Vec<SetId>]) -> Partitioning 
 /// SplitMix64-style seed derivation so every (level, group) model is
 /// deterministic yet decorrelated.
 fn derive_seed(seed: u64, level: u64, group: u64) -> u64 {
-    let mut z = seed ^ level.wrapping_mul(0xbf58_476d_1ce4_e5b9) ^ group.wrapping_mul(0x94d0_49bb_1331_11eb);
+    let mut z = seed
+        ^ level.wrapping_mul(0xbf58_476d_1ce4_e5b9)
+        ^ group.wrapping_mul(0x94d0_49bb_1331_11eb);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)

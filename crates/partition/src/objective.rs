@@ -173,11 +173,7 @@ pub fn optimal_bruteforce<S: Similarity>(
 }
 
 /// Samples up to `count` member ids of a group (partitioner helper).
-pub(crate) fn sample_members(
-    members: &[SetId],
-    count: usize,
-    rng: &mut StdRng,
-) -> Vec<SetId> {
+pub(crate) fn sample_members(members: &[SetId], count: usize, rng: &mut StdRng) -> Vec<SetId> {
     if members.len() <= count {
         return members.to_vec();
     }
@@ -227,7 +223,10 @@ mod tests {
         let part = Partitioning::from_assignment(vec![0, 0, 0, 1, 1, 1], 2);
         let exact = gpo(&db, &part, Jaccard);
         let approx = gpo_sampled(&db, &part, Jaccard, 200, 1);
-        assert!((exact - approx).abs() / exact.max(1e-9) < 0.3, "exact {exact} approx {approx}");
+        assert!(
+            (exact - approx).abs() / exact.max(1e-9) < 0.3,
+            "exact {exact} approx {approx}"
+        );
     }
 
     #[test]
@@ -260,8 +259,7 @@ mod tests {
         let aligned = Partitioning::from_assignment(vec![0, 0, 0, 1, 1, 1], 2);
         assert!((cost - gpo(&db, &aligned, Jaccard)).abs() < 1e-9);
         // Group labels may swap; compare partitions as set families.
-        let mut got: Vec<Vec<u32>> =
-            (0..2u32).map(|g| opt.members(g).to_vec()).collect();
+        let mut got: Vec<Vec<u32>> = (0..2u32).map(|g| opt.members(g).to_vec()).collect();
         got.sort();
         assert_eq!(got, vec![vec![0, 1, 2], vec![3, 4, 5]]);
     }

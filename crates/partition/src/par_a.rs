@@ -29,15 +29,19 @@ pub struct ParA {
 impl ParA {
     /// Sensible defaults for bench-scale data.
     pub fn new(n_groups: usize) -> Self {
-        Self { n_groups, sample_size: 8, candidate_groups: 32, seed: 0 }
+        Self {
+            n_groups,
+            sample_size: 8,
+            candidate_groups: 32,
+            seed: 0,
+        }
     }
 
     /// Runs the partitioner.
     pub fn partition<S: Similarity>(&self, db: &SetDatabase, sim: S) -> Partitioning {
         assert!(self.n_groups >= 1);
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut groups: Vec<Vec<SetId>> =
-            (0..db.len() as SetId).map(|id| vec![id]).collect();
+        let mut groups: Vec<Vec<SetId>> = (0..db.len() as SetId).map(|id| vec![id]).collect();
         while groups.len() > self.n_groups {
             // Smallest group first (§4.3.4 simplification), ties random.
             let min_size = groups.iter().map(Vec::len).min().unwrap();
@@ -46,8 +50,7 @@ impl ParA {
                 .collect();
             let g1 = *smallest.choose(&mut rng).unwrap();
             // Sample candidate partners.
-            let mut candidates: Vec<usize> =
-                (0..groups.len()).filter(|&g| g != g1).collect();
+            let mut candidates: Vec<usize> = (0..groups.len()).filter(|&g| g != g1).collect();
             candidates.shuffle(&mut rng);
             candidates.truncate(self.candidate_groups.max(1));
             let g2 = *candidates
@@ -153,7 +156,9 @@ mod tests {
         for c in 0..3 {
             let mut counts = std::collections::HashMap::new();
             for i in 0..10 {
-                *counts.entry(part.group_of((c * 10 + i) as SetId)).or_insert(0usize) += 1;
+                *counts
+                    .entry(part.group_of((c * 10 + i) as SetId))
+                    .or_insert(0usize) += 1;
             }
             if counts.values().copied().max().unwrap() >= 8 {
                 pure += 1;

@@ -30,7 +30,12 @@ pub struct ParC {
 impl ParC {
     /// Sensible defaults for bench-scale data.
     pub fn new(n_groups: usize) -> Self {
-        Self { n_groups, max_rounds: 5, sample_size: 16, seed: 0 }
+        Self {
+            n_groups,
+            max_rounds: 5,
+            sample_size: 16,
+            seed: 0,
+        }
     }
 
     /// Runs the partitioner.
@@ -39,8 +44,9 @@ impl ParC {
         let n = db.len();
         let mut rng = StdRng::seed_from_u64(self.seed);
         // Random initialization (§4.3.2 step 1).
-        let mut assignment: Vec<u32> =
-            (0..n).map(|_| rng.gen_range(0..self.n_groups as u32)).collect();
+        let mut assignment: Vec<u32> = (0..n)
+            .map(|_| rng.gen_range(0..self.n_groups as u32))
+            .collect();
         let mut members: Vec<Vec<SetId>> = vec![Vec::new(); self.n_groups];
         for (id, &g) in assignment.iter().enumerate() {
             members[g as usize].push(id as SetId);
@@ -54,7 +60,14 @@ impl ParC {
                 let id = i as SetId;
                 let cur = assignment[i];
                 // Estimated total distance to the current group (minus S).
-                let d_cur = self.estimated_total_distance(db, sim, id, &members[cur as usize], true, &mut rng);
+                let d_cur = self.estimated_total_distance(
+                    db,
+                    sim,
+                    id,
+                    &members[cur as usize],
+                    true,
+                    &mut rng,
+                );
                 group_order.shuffle(&mut rng);
                 for &cand in &group_order {
                     if cand == cur {
@@ -96,7 +109,11 @@ impl ParC {
         exclude_self: bool,
         rng: &mut StdRng,
     ) -> f64 {
-        let effective: usize = if exclude_self { group.len().saturating_sub(1) } else { group.len() };
+        let effective: usize = if exclude_self {
+            group.len().saturating_sub(1)
+        } else {
+            group.len()
+        };
         if effective == 0 {
             return 0.0;
         }
@@ -154,12 +171,17 @@ mod tests {
     #[test]
     fn recovers_obvious_clusters_mostly() {
         let db = clustered_db(3, 20);
-        let result = ParC { max_rounds: 10, ..ParC::new(3) }.partition(&db, Jaccard);
+        let result = ParC {
+            max_rounds: 10,
+            ..ParC::new(3)
+        }
+        .partition(&db, Jaccard);
         // Each true cluster should be dominated by one group label.
         let mut pure = 0;
         for c in 0..3 {
-            let labels: Vec<u32> =
-                (0..20).map(|i| result.group_of((c * 20 + i) as SetId)).collect();
+            let labels: Vec<u32> = (0..20)
+                .map(|i| result.group_of((c * 20 + i) as SetId))
+                .collect();
             let mut counts = [0usize; 3];
             for &l in &labels {
                 counts[l as usize] += 1;
@@ -168,7 +190,10 @@ mod tests {
                 pure += 1;
             }
         }
-        assert!(pure >= 2, "at least 2 of 3 clusters should be recovered: {pure}");
+        assert!(
+            pure >= 2,
+            "at least 2 of 3 clusters should be recovered: {pure}"
+        );
     }
 
     #[test]

@@ -26,7 +26,11 @@ pub struct ParD {
 impl ParD {
     /// Sensible defaults for bench-scale data.
     pub fn new(n_groups: usize) -> Self {
-        Self { n_groups, sample_size: 16, seed: 0 }
+        Self {
+            n_groups,
+            sample_size: 16,
+            seed: 0,
+        }
     }
 
     /// Runs the partitioner.
@@ -37,8 +41,9 @@ impl ParD {
         while groups.len() < self.n_groups {
             // Find the group with the largest estimated φ (only splittable
             // ones).
-            let candidates: Vec<usize> =
-                (0..groups.len()).filter(|&g| groups[g].len() >= 2).collect();
+            let candidates: Vec<usize> = (0..groups.len())
+                .filter(|&g| groups[g].len() >= 2)
+                .collect();
             if candidates.is_empty() {
                 break;
             }
@@ -124,8 +129,10 @@ impl ParD {
             return f64::INFINITY;
         }
         let sample = sample_members(group, self.sample_size, rng);
-        let acc: f64 =
-            sample.iter().map(|&o| 1.0 - sim.eval(db.set(id), db.set(o))).sum();
+        let acc: f64 = sample
+            .iter()
+            .map(|&o| 1.0 - sim.eval(db.set(id), db.set(o)))
+            .sum();
         acc / sample.len() as f64
     }
 }
@@ -175,8 +182,9 @@ mod tests {
         let g0 = part.group_of(0);
         let first_cluster_same: usize =
             (0..30).filter(|&i| part.group_of(i as SetId) == g0).count();
-        let second_cluster_same: usize =
-            (30..60).filter(|&i| part.group_of(i as SetId) == g0).count();
+        let second_cluster_same: usize = (30..60)
+            .filter(|&i| part.group_of(i as SetId) == g0)
+            .count();
         assert!(
             first_cluster_same >= 25 && second_cluster_same <= 5,
             "split impure: {first_cluster_same}/30 vs {second_cluster_same}/30"

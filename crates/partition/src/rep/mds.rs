@@ -33,7 +33,11 @@ pub struct Mds {
 impl Mds {
     /// Creates an embedder producing `dim`-dimensional coordinates.
     pub fn new(dim: usize) -> Self {
-        Self { dim, iterations: 50, seed: 0 }
+        Self {
+            dim,
+            iterations: 50,
+            seed: 0,
+        }
     }
 
     /// Embeds every set of `db`.
@@ -127,7 +131,11 @@ mod tests {
     use super::*;
 
     fn euclid(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
     }
 
     #[test]

@@ -44,10 +44,7 @@ pub struct RepMatrix {
 impl RepMatrix {
     /// Builds by embedding every database set with an inductive
     /// representation.
-    pub fn from_representation<R: SetRepresentation + ?Sized>(
-        db: &SetDatabase,
-        rep: &R,
-    ) -> Self {
+    pub fn from_representation<R: SetRepresentation + ?Sized>(db: &SetDatabase, rep: &R) -> Self {
         let dim = rep.dim();
         let mut data = vec![0.0; db.len() * dim];
         for (id, set) in db.iter() {
@@ -62,7 +59,10 @@ impl RepMatrix {
     ///
     /// Panics if `data.len()` is not a multiple of `dim`.
     pub fn from_raw(data: Vec<f64>, dim: usize) -> Self {
-        assert!(dim > 0 && data.len().is_multiple_of(dim), "data must be n × dim");
+        assert!(
+            dim > 0 && data.len().is_multiple_of(dim),
+            "data must be n × dim"
+        );
         Self { data, dim }
     }
 

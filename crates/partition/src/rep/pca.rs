@@ -150,16 +150,14 @@ mod tests {
             "cluster means should separate: {mean_a} vs {mean_b}"
         );
         // Within-cluster spread should be smaller than the gap.
-        let spread_a =
-            a.iter().map(|x| (x - mean_a).abs()).fold(0.0f64, f64::max);
+        let spread_a = a.iter().map(|x| (x - mean_a).abs()).fold(0.0f64, f64::max);
         assert!(spread_a < (mean_a - mean_b).abs());
     }
 
     #[test]
     fn components_are_orthonormal() {
-        let db = SetDatabase::from_sets(
-            (0..50u32).map(|i| vec![i % 20, (i * 3) % 20, (i * 7) % 20]),
-        );
+        let db =
+            SetDatabase::from_sets((0..50u32).map(|i| vec![i % 20, (i * 3) % 20, (i * 7) % 20]));
         let pca = Pca::fit(&db, 3, 40, 2);
         for i in 0..3 {
             let norm = dot(&pca.components[i], &pca.components[i]);

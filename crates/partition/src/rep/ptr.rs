@@ -33,7 +33,9 @@ pub struct Ptr {
 impl Ptr {
     /// Builds the representation for a universe of `universe_size` tokens.
     pub fn new(universe_size: u32) -> Self {
-        Self { height: height_for(universe_size) }
+        Self {
+            height: height_for(universe_size),
+        }
     }
 
     /// Tree height `h = ⌈log₂ |T|⌉` (at least 1).
@@ -92,7 +94,9 @@ pub struct PtrHalf {
 impl PtrHalf {
     /// Builds the half representation for a universe of `universe_size`.
     pub fn new(universe_size: u32) -> Self {
-        Self { inner: Ptr::new(universe_size) }
+        Self {
+            inner: Ptr::new(universe_size),
+        }
     }
 }
 
@@ -130,8 +134,10 @@ mod tests {
         // Table 1 of the paper (positions 1..4, 1-indexed there).
         let ptr = Ptr::new(4);
         assert_eq!(ptr.height(), 2);
-        let rows: Vec<Vec<u8>> =
-            [A, B, C, D].iter().map(|&t| (0..4).map(|i| ptr.path_table(t, i)).collect()).collect();
+        let rows: Vec<Vec<u8>> = [A, B, C, D]
+            .iter()
+            .map(|&t| (0..4).map(|i| ptr.path_table(t, i)).collect())
+            .collect();
         assert_eq!(rows[0], vec![1, 1, 0, 0]); // A
         assert_eq!(rows[1], vec![1, 0, 0, 1]); // B
         assert_eq!(rows[2], vec![0, 1, 1, 0]); // C
@@ -166,9 +172,9 @@ mod tests {
         assert_eq!(r1, r2);
         assert_eq!(r1, r3);
         assert_eq!(r1, r4); // all four collide, exactly as §5.3 warns
-        // The full table separates {A} and {B,C,D} from all the others
-        // (PTR is linear, so {B,C} vs {A,D} still collide — the paper
-        // claims reduced, not zero, collision chance).
+                            // The full table separates {A} and {B,C,D} from all the others
+                            // (PTR is linear, so {B,C} vs {A,D} still collide — the paper
+                            // claims reduced, not zero, collision chance).
         let full = Ptr::new(4);
         let fa = full.rep(&[A]);
         let fbc = full.rep(&[B, C]);
@@ -230,7 +236,10 @@ mod tests {
             for b in a..16 {
                 let set: Vec<u32> = if a == b { vec![a] } else { vec![a, b] };
                 let key = |r: Vec<f64>| {
-                    r.iter().map(|v| format!("{v}")).collect::<Vec<_>>().join(",")
+                    r.iter()
+                        .map(|v| format!("{v}"))
+                        .collect::<Vec<_>>()
+                        .join(",")
                 };
                 distinct_full.insert(key(full.rep(&set)));
                 distinct_half.insert(key(half.rep(&set)));
@@ -247,8 +256,7 @@ mod tests {
         // row is unique by construction (distinct root-to-leaf paths).
         let mut singleton_reps = std::collections::HashSet::new();
         for t in 0u32..16 {
-            let key: String =
-                full.rep(&[t]).iter().map(|v| format!("{v},")).collect();
+            let key: String = full.rep(&[t]).iter().map(|v| format!("{v},")).collect();
             assert!(singleton_reps.insert(key), "token {t} path not unique");
         }
     }

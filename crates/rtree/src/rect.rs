@@ -12,12 +12,18 @@ pub struct Rect {
 impl Rect {
     /// Degenerate rectangle covering a single point.
     pub fn point(p: &[f64]) -> Self {
-        Self { min: p.to_vec(), max: p.to_vec() }
+        Self {
+            min: p.to_vec(),
+            max: p.to_vec(),
+        }
     }
 
     /// The "empty" rectangle that unions as the identity.
     pub fn empty(dim: usize) -> Self {
-        Self { min: vec![f64::INFINITY; dim], max: vec![f64::NEG_INFINITY; dim] }
+        Self {
+            min: vec![f64::INFINITY; dim],
+            max: vec![f64::NEG_INFINITY; dim],
+        }
     }
 
     /// Dimensionality.
@@ -27,9 +33,9 @@ impl Rect {
 
     /// Expands in place to cover `p`.
     pub fn extend_point(&mut self, p: &[f64]) {
-        for i in 0..self.min.len() {
-            self.min[i] = self.min[i].min(p[i]);
-            self.max[i] = self.max[i].max(p[i]);
+        for ((lo, hi), &v) in self.min.iter_mut().zip(self.max.iter_mut()).zip(p) {
+            *lo = lo.min(v);
+            *hi = hi.max(v);
         }
     }
 
@@ -116,16 +122,28 @@ mod tests {
 
     #[test]
     fn intersections() {
-        let a = Rect { min: vec![0.0, 0.0], max: vec![2.0, 2.0] };
-        let b = Rect { min: vec![2.0, 2.0], max: vec![3.0, 3.0] };
-        let c = Rect { min: vec![2.1, 0.0], max: vec![3.0, 1.0] };
+        let a = Rect {
+            min: vec![0.0, 0.0],
+            max: vec![2.0, 2.0],
+        };
+        let b = Rect {
+            min: vec![2.0, 2.0],
+            max: vec![3.0, 3.0],
+        };
+        let c = Rect {
+            min: vec![2.1, 0.0],
+            max: vec![3.0, 1.0],
+        };
         assert!(a.intersects(&b), "touching boxes intersect");
         assert!(!a.intersects(&c));
     }
 
     #[test]
     fn area_and_enlargement() {
-        let r = Rect { min: vec![0.0, 0.0], max: vec![2.0, 3.0] };
+        let r = Rect {
+            min: vec![0.0, 0.0],
+            max: vec![2.0, 3.0],
+        };
         assert_eq!(r.area(), 6.0);
         assert_eq!(r.enlargement_for_point(&[2.0, 3.0]), 0.0);
         assert_eq!(r.enlargement_for_point(&[4.0, 3.0]), 6.0);
@@ -133,7 +151,10 @@ mod tests {
 
     #[test]
     fn min_dist_inside_is_zero() {
-        let r = Rect { min: vec![0.0, 0.0], max: vec![2.0, 2.0] };
+        let r = Rect {
+            min: vec![0.0, 0.0],
+            max: vec![2.0, 2.0],
+        };
         assert_eq!(r.min_dist2(&[1.0, 1.0]), 0.0);
         assert_eq!(r.min_dist2(&[3.0, 1.0]), 1.0);
         assert_eq!(r.min_dist2(&[3.0, 3.0]), 2.0);

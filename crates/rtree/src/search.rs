@@ -49,7 +49,9 @@ impl PartialOrd for Entry {
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Max-heap by score; NaNs sort last.
-        self.score().partial_cmp(&other.score()).unwrap_or(Ordering::Equal)
+        self.score()
+            .partial_cmp(&other.score())
+            .unwrap_or(Ordering::Equal)
     }
 }
 
@@ -84,7 +86,13 @@ where
             let s = score_node(&tree.node(root).rect);
             heap.push(Entry::Node(root, s));
         }
-        Self { tree, heap, score_node, score_item, stats }
+        Self {
+            tree,
+            heap,
+            score_node,
+            score_item,
+            stats,
+        }
     }
 
     /// Node-visit statistics accumulated so far.
@@ -154,13 +162,24 @@ mod tests {
         let bf = BestFirst::new(
             &tree,
             |rect| -rect.min_dist2(&q),
-            |p, _| -p.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum::<f64>(),
+            |p, _| {
+                -p.iter()
+                    .zip(&q)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+            },
         );
         let got: Vec<u32> = bf.take(10).map(|s| s.item).collect();
         let mut expected: Vec<(f64, u32)> = (0..600u32)
             .map(|i| {
                 let p = &points[i as usize * dim..(i as usize + 1) * dim];
-                (p.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum::<f64>(), i)
+                (
+                    p.iter()
+                        .zip(&q)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f64>(),
+                    i,
+                )
             })
             .collect();
         expected.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
@@ -175,11 +194,19 @@ mod tests {
         let bf = BestFirst::new(
             &tree,
             |rect| -rect.min_dist2(&q),
-            |p, _| -p.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum::<f64>(),
+            |p, _| {
+                -p.iter()
+                    .zip(&q)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+            },
         );
         let scores: Vec<f64> = bf.map(|s| s.score).collect();
         assert_eq!(scores.len(), 300);
-        assert!(scores.windows(2).all(|w| w[0] >= w[1]), "best-first order violated");
+        assert!(
+            scores.windows(2).all(|w| w[0] >= w[1]),
+            "best-first order violated"
+        );
     }
 
     #[test]
@@ -189,7 +216,12 @@ mod tests {
         let mut bf = BestFirst::new(
             &tree,
             |rect| -rect.min_dist2(&q),
-            |p, _| -p.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum::<f64>(),
+            |p, _| {
+                -p.iter()
+                    .zip(&q)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+            },
         );
         for _ in 0..5 {
             bf.next();

@@ -37,13 +37,24 @@ impl RTree {
     pub fn new(dim: usize, max_entries: usize) -> Self {
         assert!(dim > 0, "dimension must be positive");
         assert!(max_entries >= 2, "need at least binary fanout");
-        Self { dim, max_entries, points: Vec::new(), items: Vec::new(), nodes: Vec::new(), root: None }
+        Self {
+            dim,
+            max_entries,
+            points: Vec::new(),
+            items: Vec::new(),
+            nodes: Vec::new(),
+            root: None,
+        }
     }
 
     /// Bulk-loads with Sort-Tile-Recursive packing: sort by dim 0, slice,
     /// sort slices by dim 1, etc., then pack full leaves bottom-up.
     pub fn bulk_load(dim: usize, max_entries: usize, points: &[f64], items: &[u32]) -> Self {
-        assert_eq!(points.len(), items.len() * dim, "points must be items.len() × dim");
+        assert_eq!(
+            points.len(),
+            items.len() * dim,
+            "points must be items.len() × dim"
+        );
         let mut tree = Self::new(dim, max_entries);
         tree.points = points.to_vec();
         tree.items = items.to_vec();
@@ -58,7 +69,10 @@ impl RTree {
             .into_iter()
             .map(|rows| {
                 let rect = tree.mbr_of_rows(&rows);
-                tree.push_node(Node { rect, children: Children::Leaf(rows) })
+                tree.push_node(Node {
+                    rect,
+                    children: Children::Leaf(rows),
+                })
             })
             .collect();
         while level.len() > 1 {
@@ -68,7 +82,10 @@ impl RTree {
                 for &c in chunk {
                     rect.extend_rect(self_rect(&tree.nodes, c));
                 }
-                next.push(tree.push_node(Node { rect, children: Children::Internal(chunk.to_vec()) }));
+                next.push(tree.push_node(Node {
+                    rect,
+                    children: Children::Internal(chunk.to_vec()),
+                }));
             }
             level = next;
         }
@@ -173,8 +190,7 @@ impl RTree {
             .nodes
             .iter()
             .map(|n| {
-                2 * self.dim * std::mem::size_of::<f64>()
-                    + n.fanout() * std::mem::size_of::<u32>()
+                2 * self.dim * std::mem::size_of::<f64>() + n.fanout() * std::mem::size_of::<u32>()
             })
             .sum();
         node_bytes
@@ -191,7 +207,10 @@ impl RTree {
         self.items.push(item);
         let Some(root) = self.root else {
             let rect = Rect::point(point);
-            let id = self.push_node(Node { rect, children: Children::Leaf(vec![row]) });
+            let id = self.push_node(Node {
+                rect,
+                children: Children::Leaf(vec![row]),
+            });
             self.root = Some(id);
             return;
         };
@@ -199,7 +218,10 @@ impl RTree {
             // Root split: grow the tree.
             let mut rect = self_rect(&self.nodes, a).clone();
             rect.extend_rect(self_rect(&self.nodes, b));
-            let new_root = self.push_node(Node { rect, children: Children::Internal(vec![a, b]) });
+            let new_root = self.push_node(Node {
+                rect,
+                children: Children::Internal(vec![a, b]),
+            });
             self.root = Some(new_root);
         }
     }
@@ -268,8 +290,14 @@ impl RTree {
         let right_rows = sorted.split_off(mid);
         let left_rect = self.mbr_of_rows(&sorted);
         let right_rect = self.mbr_of_rows(&right_rows);
-        self.nodes[node_id] = Node { rect: left_rect, children: Children::Leaf(sorted) };
-        let right = self.push_node(Node { rect: right_rect, children: Children::Leaf(right_rows) });
+        self.nodes[node_id] = Node {
+            rect: left_rect,
+            children: Children::Leaf(sorted),
+        };
+        let right = self.push_node(Node {
+            rect: right_rect,
+            children: Children::Leaf(right_rows),
+        });
         (node_id, right)
     }
 
@@ -296,9 +324,14 @@ impl RTree {
         for &c in &right_children {
             right_rect.extend_rect(self_rect(&self.nodes, c));
         }
-        self.nodes[node_id] = Node { rect: left_rect, children: Children::Internal(sorted) };
-        let right =
-            self.push_node(Node { rect: right_rect, children: Children::Internal(right_children) });
+        self.nodes[node_id] = Node {
+            rect: left_rect,
+            children: Children::Internal(sorted),
+        };
+        let right = self.push_node(Node {
+            rect: right_rect,
+            children: Children::Internal(right_children),
+        });
         (node_id, right)
     }
 
@@ -363,7 +396,11 @@ impl RTree {
     /// children; every row appears exactly once). Test helper.
     pub fn check_invariants(&self) -> Result<(), String> {
         let Some(root) = self.root else {
-            return if self.items.is_empty() { Ok(()) } else { Err("items without root".into()) };
+            return if self.items.is_empty() {
+                Ok(())
+            } else {
+                Err("items without root".into())
+            };
         };
         let mut seen = vec![false; self.items.len()];
         let mut stack = vec![root];
@@ -450,7 +487,10 @@ mod tests {
         let points = random_points(n, dim, 3);
         let items: Vec<u32> = (0..n as u32).collect();
         let tree = RTree::bulk_load(dim, 12, &points, &items);
-        let query = Rect { min: vec![20.0, 30.0], max: vec![60.0, 70.0] };
+        let query = Rect {
+            min: vec![20.0, 30.0],
+            max: vec![60.0, 70.0],
+        };
         let mut found = Vec::new();
         tree.search(
             |rect| rect.intersects(&query),
@@ -475,7 +515,10 @@ mod tests {
         let items: Vec<u32> = (0..n as u32).collect();
         let tree = RTree::bulk_load(2, 16, &points, &items);
         let full = tree.search(|_| true, |_, _| {});
-        let query = Rect { min: vec![0.0, 0.0], max: vec![10.0, 10.0] };
+        let query = Rect {
+            min: vec![0.0, 0.0],
+            max: vec![10.0, 10.0],
+        };
         let pruned = tree.search(|r| r.intersects(&query), |_, _| {});
         assert!(
             pruned.nodes_visited < full.nodes_visited / 2,

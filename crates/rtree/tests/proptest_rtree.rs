@@ -5,11 +5,10 @@ use les3_rtree::{BestFirst, RTree, Rect};
 use proptest::prelude::*;
 
 fn points_strategy(dim: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-100.0f64..100.0, dim * 3..dim * 120)
-        .prop_map(move |mut v| {
-            v.truncate(v.len() / dim * dim);
-            v
-        })
+    prop::collection::vec(-100.0f64..100.0, dim * 3..dim * 120).prop_map(move |mut v| {
+        v.truncate(v.len() / dim * dim);
+        v
+    })
 }
 
 fn brute_range(points: &[f64], dim: usize, query: &Rect) -> Vec<u32> {

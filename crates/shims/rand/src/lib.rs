@@ -1,0 +1,208 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no registry access, so
+//! this crate implements exactly the API subset the workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] / [`Rng::gen_bool`], and
+//! [`seq::SliceRandom`] (`shuffle` / `choose`).
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — fast,
+//! deterministic, and statistically strong enough for test data and
+//! synthetic workload generation. It is **not** the same stream as the
+//! real `StdRng` (ChaCha12), which is fine: nothing in the workspace
+//! depends on a specific stream, only on determinism per seed.
+
+pub mod rngs;
+pub mod seq;
+
+/// Core entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a `u64` seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing random value generation (blanket-implemented over
+/// [`RngCore`], like the real crate).
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} not in [0, 1]"
+        );
+        distributions::unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Range-sampling machinery backing [`Rng::gen_range`].
+pub mod distributions {
+    use super::RngCore;
+
+    /// Converts 64 random bits into a uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(bits: u64) -> f64 {
+        // 53 mantissa bits: exactly representable, uniform on [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A range that [`super::Rng::gen_range`] can sample a single value from.
+    pub trait SampleRange<T> {
+        /// Draws one uniform sample.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Unbiased integer sample in `[0, span)` via 128-bit widening multiply
+    /// with rejection (Lemire's method).
+    #[inline]
+    fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let mut x = rng.next_u64();
+        let mut m = (x as u128) * (span as u128);
+        let mut low = m as u64;
+        if low < span {
+            let threshold = span.wrapping_neg() % span;
+            while low < threshold {
+                x = rng.next_u64();
+                m = (x as u128) * (span as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    macro_rules! int_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty range in gen_range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    let off = bounded_u64(rng, span);
+                    ((self.start as i128) + off as i128) as $t
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range in gen_range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        return rng.next_u64() as $t; // full-width range
+                    }
+                    let off = bounded_u64(rng, span as u64);
+                    ((lo as i128) + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty range in gen_range");
+                    let u = unit_f64(rng.next_u64());
+                    let v = self.start as f64 + (self.end as f64 - self.start as f64) * u;
+                    // Rounding can land exactly on the excluded endpoint.
+                    if v >= self.end as f64 {
+                        <$t>::max(self.start, (self.end as f64 - (self.end as f64 - self.start as f64) * f64::EPSILON) as $t)
+                    } else {
+                        v as $t
+                    }
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start() as f64, *self.end() as f64);
+                    assert!(lo <= hi, "empty range in gen_range");
+                    (lo + (hi - lo) * unit_f64(rng.next_u64())) as $t
+                }
+            }
+        )*};
+    }
+    float_range!(f32, f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let va: Vec<u32> = (0..16).map(|_| a.gen_range(0..1000u32)).collect();
+        let vb: Vec<u32> = (0..16).map(|_| b.gen_range(0..1000u32)).collect();
+        assert_eq!(va, vb);
+        assert!(va.iter().any(|&x| x != va[0]), "stream should vary");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10..20u64);
+            assert!((10..20).contains(&v));
+            let f = rng.gen_range(-1.5..2.5f64);
+            assert!((-1.5..2.5).contains(&f));
+            let i = rng.gen_range(0..=5usize);
+            assert!(i <= 5);
+            let n = rng.gen_range(-4..4i64);
+            assert!((-4..4).contains(&n));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_calibrated() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn shuffle_and_choose() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle should permute");
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,122 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no registry access, so this crate implements
+//! the structured-parallelism subset the workspace uses — [`scope`] /
+//! [`Scope::spawn`], [`join`], and [`current_num_threads`] — directly on
+//! OS threads via [`std::thread::scope`]. Unlike real rayon there is no
+//! work-stealing pool: every `spawn` is one OS thread. Callers therefore
+//! spawn one task per *worker* (chunked), not one per item, which is how
+//! the batch query paths in `les3-core` use it.
+
+/// Number of worker threads a parallel section should target.
+pub fn current_num_threads() -> usize {
+    static OVERRIDE: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    let over = OVERRIDE.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    });
+    if let Some(n) = *over {
+        return n.max(1);
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A scope in which tasks can be spawned that borrow from the enclosing
+/// stack frame (mirrors `rayon::Scope`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task; the scope joins it before [`scope`] returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            let wrapper = Scope { inner };
+            f(&wrapper);
+        });
+    }
+}
+
+/// Runs `f` with a [`Scope`]; returns once every spawned task finished.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+    R: Send,
+{
+    std::thread::scope(|s| {
+        let wrapper = Scope { inner: s };
+        f(&wrapper)
+    })
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let handle = s.spawn(b);
+        let ra = a();
+        let rb = handle.join().expect("rayon::join task panicked");
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        let counter = AtomicUsize::new(0);
+        let data: Vec<usize> = (0..100).collect();
+        scope(|s| {
+            for chunk in data.chunks(25) {
+                let counter = &counter;
+                s.spawn(move |_| {
+                    counter.fetch_add(chunk.iter().sum::<usize>(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), (0..100).sum());
+    }
+
+    #[test]
+    fn scope_writes_through_disjoint_slices() {
+        let mut out = vec![0u32; 64];
+        let mut parts: Vec<&mut [u32]> = out.chunks_mut(16).collect();
+        scope(|s| {
+            for (i, part) in parts.drain(..).enumerate() {
+                s.spawn(move |_| {
+                    for (j, v) in part.iter_mut().enumerate() {
+                        *v = (i * 16 + j) as u32;
+                    }
+                });
+            }
+        });
+        assert_eq!(out, (0..64).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn num_threads_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}

@@ -26,7 +26,13 @@ impl BufferPool {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        Self { capacity, resident: HashMap::new(), tick: 0, hits: 0, misses: 0 }
+        Self {
+            capacity,
+            resident: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Reads `page` through the pool: a hit is free, a miss is charged to

@@ -18,14 +18,24 @@ impl DiskModel {
     /// 5400 RPM ⇒ 11.1 ms/rev ⇒ 5.56 ms average rotational latency; 9 ms
     /// average seek is typical for that drive class.
     pub fn hdd_5400() -> Self {
-        Self { seek_ms: 9.0, rotational_ms: 5.56, transfer_mb_per_s: 80.0, page_size: 4096 }
+        Self {
+            seek_ms: 9.0,
+            rotational_ms: 5.56,
+            transfer_mb_per_s: 80.0,
+            page_size: 4096,
+        }
     }
 
     /// A SATA SSD: negligible seek, no rotation, 500 MB/s. The paper notes
     /// "one could expect better performance of LES3 when running on SSD as
     /// it incurs random access of the data by skipping some groups".
     pub fn ssd() -> Self {
-        Self { seek_ms: 0.05, rotational_ms: 0.0, transfer_mb_per_s: 500.0, page_size: 4096 }
+        Self {
+            seek_ms: 0.05,
+            rotational_ms: 0.0,
+            transfer_mb_per_s: 500.0,
+            page_size: 4096,
+        }
     }
 
     /// Emulates running against a `factor`-times larger dataset on the
@@ -93,7 +103,11 @@ pub struct SimDisk {
 impl SimDisk {
     /// Creates a disk with the given cost model.
     pub fn new(model: DiskModel) -> Self {
-        Self { model, last_page: None, stats: IoStats::default() }
+        Self {
+            model,
+            last_page: None,
+            stats: IoStats::default(),
+        }
     }
 
     /// The cost model.
@@ -103,7 +117,8 @@ impl SimDisk {
 
     /// Reads one page; sequential if it directly follows the last read.
     pub fn read_page(&mut self, page: u64) {
-        let sequential = self.last_page == Some(page.wrapping_sub(1)) || self.last_page == Some(page);
+        let sequential =
+            self.last_page == Some(page.wrapping_sub(1)) || self.last_page == Some(page);
         if !sequential {
             self.stats.seeks += 1;
             self.stats.elapsed_ms += self.model.positioning_ms();

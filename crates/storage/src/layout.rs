@@ -43,14 +43,20 @@ impl SequentialLayout {
             cursor += set_bytes(set.len());
             offsets.push(cursor);
         }
-        Self { page_size: page_size as u64, offsets }
+        Self {
+            page_size: page_size as u64,
+            offsets,
+        }
     }
 
     /// Pages occupied by set `id`.
     pub fn pages_of(&self, id: SetId) -> PageRun {
         let lo = self.offsets[id as usize] / self.page_size;
         let hi = (self.offsets[id as usize + 1].max(1) - 1) / self.page_size;
-        PageRun { start: lo, count: hi - lo + 1 }
+        PageRun {
+            start: lo,
+            count: hi - lo + 1,
+        }
     }
 
     /// Total pages of the data file.
@@ -94,10 +100,16 @@ impl GroupedLayout {
         let mut cursor = 0u64;
         for &bytes in &group_bytes {
             let count = bytes.div_ceil(page).max(1);
-            runs.push(PageRun { start: cursor, count });
+            runs.push(PageRun {
+                start: cursor,
+                count,
+            });
             cursor += count;
         }
-        Self { runs, total_pages: cursor }
+        Self {
+            runs,
+            total_pages: cursor,
+        }
     }
 
     /// The contiguous page run of group `g`.

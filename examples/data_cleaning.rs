@@ -43,8 +43,10 @@ fn catalog() -> Vec<&'static str> {
 fn main() {
     let names = catalog();
     let mut dict = Dictionary::new();
-    let sets: Vec<Vec<TokenId>> =
-        names.iter().map(|name| dict.tokenize_qgrams(name, 3)).collect();
+    let sets: Vec<Vec<TokenId>> = names
+        .iter()
+        .map(|name| dict.tokenize_qgrams(name, 3))
+        .collect();
     let db = SetDatabase::from_sets(sets);
     println!(
         "catalog: {} product names, {} distinct 3-grams",
@@ -59,10 +61,10 @@ fn main() {
 
     // Dirty inputs arriving from another system.
     let dirty = [
-        "aple iphone 13 pro max 256gb",   // typo
-        "samsung galxy s21 ultra",         // typo + truncation
-        "dell xps 13 16gb ram laptop",     // word reorder
-        "canon eos r6",                    // prefix only
+        "aple iphone 13 pro max 256gb", // typo
+        "samsung galxy s21 ultra",      // typo + truncation
+        "dell xps 13 16gb ram laptop",  // word reorder
+        "canon eos r6",                 // prefix only
     ];
     for input in dirty {
         let query = dict.tokenize_qgrams(input, 3);
@@ -81,7 +83,10 @@ fn main() {
         let q = index.db().set(id).to_vec();
         for &(other, sim) in &index.range(&q, 0.5).hits {
             if other > id {
-                println!("  {:.2}  {:?} <-> {:?}", sim, names[id as usize], names[other as usize]);
+                println!(
+                    "  {:.2}  {:?} <-> {:?}",
+                    sim, names[id as usize], names[other as usize]
+                );
             }
         }
     }

@@ -68,6 +68,7 @@ fn main() {
         "\nrange δ=0.6: {} results in {:.2?}, PE {:.4}",
         res.hits.len(),
         t.elapsed(),
-        res.stats.pruning_efficiency_range(index.db().len(), res.hits.len())
+        res.stats
+            .pruning_efficiency_range(index.db().len(), res.hits.len())
     );
 }

@@ -27,7 +27,11 @@ fn main() {
         ..Default::default()
     })
     .partition(&db, &reps);
-    println!("L2P partitioned into {} groups in {:.2?}", l2p.finest().n_groups(), t.elapsed());
+    println!(
+        "L2P partitioned into {} groups in {:.2?}",
+        l2p.finest().n_groups(),
+        t.elapsed()
+    );
 
     let index = Les3Index::build(db.clone(), l2p.finest().clone(), Jaccard);
     let brute = BruteForce::new(db.clone(), Jaccard);
@@ -60,11 +64,22 @@ fn main() {
     // Sanity: all three agree on one user.
     let q = db.set(query_ids[0]).to_vec();
     let a: Vec<f64> = index.knn(&q, k).hits.iter().map(|h| h.1).collect();
-    let b: Vec<f64> = SetSimSearch::knn(&brute, &q, k).hits.iter().map(|h| h.1).collect();
-    let c: Vec<f64> = SetSimSearch::knn(&invidx, &q, k).hits.iter().map(|h| h.1).collect();
+    let b: Vec<f64> = SetSimSearch::knn(&brute, &q, k)
+        .hits
+        .iter()
+        .map(|h| h.1)
+        .collect();
+    let c: Vec<f64> = SetSimSearch::knn(&invidx, &q, k)
+        .hits
+        .iter()
+        .map(|h| h.1)
+        .collect();
     assert_eq!(a, b);
     assert_eq!(b, c);
-    println!("\nall methods agree; example friend-circle matches for user {}:", query_ids[0]);
+    println!(
+        "\nall methods agree; example friend-circle matches for user {}:",
+        query_ids[0]
+    );
     for &(id, sim) in index.knn(&q, 5).hits.iter() {
         println!("  user {id:>6}  similarity {sim:.3}");
     }

@@ -67,7 +67,10 @@ fn main() {
         }
         let (_, group) = index.insert(&mut tokens);
         if i < 3 {
-            println!("insert #{i} ({} tokens) routed to group {group}", tokens.len());
+            println!(
+                "insert #{i} ({} tokens) routed to group {group}",
+                tokens.len()
+            );
         }
     }
     println!(
@@ -81,7 +84,11 @@ fn main() {
     let brute = BruteForce::new(index.db().clone(), Jaccard);
     for q in queries.iter().take(10) {
         let a: Vec<f64> = index.knn(q, 10).hits.iter().map(|h| h.1).collect();
-        let b: Vec<f64> = SetSimSearch::knn(&brute, q, 10).hits.iter().map(|h| h.1).collect();
+        let b: Vec<f64> = SetSimSearch::knn(&brute, q, 10)
+            .hits
+            .iter()
+            .map(|h| h.1)
+            .collect();
         assert_eq!(a, b, "search must stay exact under updates");
     }
 

@@ -73,7 +73,10 @@ fn brute_force_beats_random_access_baselines_at_low_threshold() {
     // The paper's §7.6 headline: on disk with low δ, baselines doing
     // random access lose to one sequential scan.
     let (db, _) = setup();
-    let model = DiskModel { page_size: 128, ..DiskModel::hdd_5400() };
+    let model = DiskModel {
+        page_size: 128,
+        ..DiskModel::hdd_5400()
+    };
     let brute = DiskBruteForce::new(db.clone(), Jaccard, model);
     let invidx = DiskInvIdx::new(db.clone(), Jaccard, model);
     let q = db.set(3).to_vec();
@@ -94,7 +97,10 @@ fn ssd_reduces_les3_penalty_for_group_skips() {
         Les3Index::build(db.clone(), part.clone(), Jaccard),
         DiskModel::hdd_5400(),
     );
-    let ssd = DiskLes3::new(Les3Index::build(db.clone(), part, Jaccard), DiskModel::ssd());
+    let ssd = DiskLes3::new(
+        Les3Index::build(db.clone(), part, Jaccard),
+        DiskModel::ssd(),
+    );
     let q = db.set(8).to_vec();
     let (_, io_h) = hdd.knn(&q, 10);
     let (_, io_s) = ssd.knn(&q, 10);

@@ -26,8 +26,11 @@ fn full_pipeline_on_each_emulated_dataset() {
         for qid in [0u32, 100, 599] {
             let q = db.set(qid).to_vec();
             let a: Vec<f64> = index.knn(&q, 10).hits.iter().map(|h| h.1).collect();
-            let b: Vec<f64> =
-                SetSimSearch::knn(&brute, &q, 10).hits.iter().map(|h| h.1).collect();
+            let b: Vec<f64> = SetSimSearch::knn(&brute, &q, 10)
+                .hits
+                .iter()
+                .map(|h| h.1)
+                .collect();
             assert_eq!(a, b, "{} qid {qid}", spec.name);
         }
     }
@@ -66,7 +69,11 @@ fn all_similarity_measures_stay_exact_end_to_end() {
         let brute = BruteForce::new(db.clone(), sim);
         let q = db.set(42).to_vec();
         let a: Vec<f64> = index.knn(&q, 8).hits.iter().map(|h| h.1).collect();
-        let b: Vec<f64> = SetSimSearch::knn(&brute, &q, 8).hits.iter().map(|h| h.1).collect();
+        let b: Vec<f64> = SetSimSearch::knn(&brute, &q, 8)
+            .hits
+            .iter()
+            .map(|h| h.1)
+            .collect();
         assert_eq!(a, b, "knn mismatch for {}", sim.name());
         assert_eq!(
             index.range(&q, 0.5).hits,
@@ -114,6 +121,10 @@ fn queries_with_unseen_tokens_are_exact() {
     q.extend([50_000u32, 60_000]);
     q.sort_unstable();
     let a: Vec<f64> = index.knn(&q, 5).hits.iter().map(|h| h.1).collect();
-    let b: Vec<f64> = SetSimSearch::knn(&brute, &q, 5).hits.iter().map(|h| h.1).collect();
+    let b: Vec<f64> = SetSimSearch::knn(&brute, &q, 5)
+        .hits
+        .iter()
+        .map(|h| h.1)
+        .collect();
     assert_eq!(a, b);
 }

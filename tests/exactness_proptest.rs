@@ -7,8 +7,9 @@ use proptest::prelude::*;
 
 /// A random database of 2–60 sets over a 0..80 token universe.
 fn db_strategy() -> impl Strategy<Value = SetDatabase> {
-    prop::collection::vec(prop::collection::btree_set(0u32..80, 1..12), 2..60)
-        .prop_map(|sets| SetDatabase::from_sets(sets.into_iter().map(|s| s.into_iter().collect::<Vec<_>>())))
+    prop::collection::vec(prop::collection::btree_set(0u32..80, 1..12), 2..60).prop_map(|sets| {
+        SetDatabase::from_sets(sets.into_iter().map(|s| s.into_iter().collect::<Vec<_>>()))
+    })
 }
 
 fn arbitrary_partitioning(n_sets: usize, n_groups: usize, seed: u64) -> Partitioning {

@@ -106,5 +106,8 @@ fn partitionings_translate_to_fewer_candidates() {
         learned_c += learned.knn(q, 5).stats.candidates;
         random_c += random.knn(q, 5).stats.candidates;
     }
-    assert!(learned_c < random_c, "learned {learned_c} vs random {random_c}");
+    assert!(
+        learned_c < random_c,
+        "learned {learned_c} vs random {random_c}"
+    );
 }
