@@ -32,9 +32,14 @@ use crate::Bitmap;
 #[derive(Debug, Clone, Default)]
 pub struct DenseBitSet {
     words: Vec<u64>,
-    /// Words that have been written since the last clear (kept sorted and
-    /// deduplicated lazily at clear time; bounded by capacity / 64).
+    /// Words that have been written since the last clear (each index at
+    /// most once; bounded by capacity / 64).
     touched: Vec<u32>,
+    /// Whether `touched` is known to be out of order (set by an
+    /// out-of-order insert, cleared by `reset`/`sort_touched`) — lets the
+    /// sparse kernel reject a mask whose sort step was forgotten instead
+    /// of silently undercounting.
+    unsorted: bool,
 }
 
 impl DenseBitSet {
@@ -53,6 +58,7 @@ impl DenseBitSet {
             self.words[w as usize] = 0;
         }
         self.touched.clear();
+        self.unsorted = false;
     }
 
     /// Inserts `v`. Caller guarantees `v` is within the reset capacity.
@@ -60,6 +66,9 @@ impl DenseBitSet {
     pub fn insert(&mut self, v: u32) {
         let w = (v >> 6) as usize;
         if self.words[w] == 0 {
+            if self.touched.last().is_some_and(|&last| last > w as u32) {
+                self.unsorted = true;
+            }
             self.touched.push(w as u32);
         }
         self.words[w] |= 1u64 << (v & 63);
@@ -77,6 +86,36 @@ impl DenseBitSet {
     #[inline]
     pub fn word(&self, i: usize) -> u64 {
         self.words.get(i).copied().unwrap_or(0)
+    }
+
+    /// Sorts the touched-word list so [`DenseBitSet::touched_words`]
+    /// yields word indices in increasing order. Call once after the last
+    /// `insert` and before any `count_into_masked_sparse` pass; inserts
+    /// record touched words in arrival order, and the sparse kernel's
+    /// two-pointer walk needs them sorted.
+    pub fn sort_touched(&mut self) {
+        self.touched.sort_unstable();
+        self.unsorted = false;
+    }
+
+    /// Whether the touched-word list is in increasing order (the sparse
+    /// kernel's precondition; false only if an out-of-order insert has
+    /// happened since the last `reset`/`sort_touched`).
+    pub fn touched_is_sorted(&self) -> bool {
+        !self.unsorted
+    }
+
+    /// Indices of the 64-bit words that contain at least one member, in
+    /// insertion order (sorted after [`DenseBitSet::sort_touched`]). Each
+    /// index appears at most once.
+    pub fn touched_words(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// Number of 64-bit words containing at least one member — the unit
+    /// the sparse masked kernel's cost scales with.
+    pub fn touched_len(&self) -> usize {
+        self.touched.len()
     }
 }
 
@@ -216,6 +255,123 @@ impl Bitmap {
         }
         visited
     }
+
+    /// [`Bitmap::count_into_masked`] driven by the mask instead of the
+    /// column: for each of the mask's touched 64-bit words the matching
+    /// column word is materialized directly — O(1) in a bits container, a
+    /// resumed binary search in an array container, a resumed run probe in
+    /// a run container — so whole mask-free stretches of the column are
+    /// skipped instead of word-scanned. Wins when the candidate mask
+    /// covers far fewer words than the column has members; loses when the
+    /// mask is as dense as the column (prefer
+    /// [`Bitmap::count_into_masked_adaptive`], which picks per column).
+    ///
+    /// The mask must additionally have been [`DenseBitSet::sort_touched`]
+    /// after its last insert.
+    pub fn count_into_masked_sparse(&self, mask: &DenseBitSet, counts: &mut [u32]) -> u64 {
+        // Release-mode guard: an unsorted touched list would silently
+        // undercount (wrong partition_point ranges, missed words), so
+        // reject it outright. O(1) — the flag is tracked by insert.
+        assert!(
+            mask.touched_is_sorted(),
+            "mask words must be sorted (call DenseBitSet::sort_touched)"
+        );
+        let words = mask.touched_words();
+        debug_assert!(words.windows(2).all(|w| w[0] < w[1]));
+        if words.is_empty() {
+            return 0;
+        }
+        let mut visited = 0u64;
+        for (high, container) in self.chunks_for_serialization() {
+            let chunk_base = (*high as u32) << 16;
+            let w_lo = chunk_base >> 6;
+            let w_hi = w_lo + (1 << 10); // 65 536 values / 64 per word
+            let s = words.partition_point(|&w| w < w_lo);
+            let e = s + words[s..].partition_point(|&w| w < w_hi);
+            if s == e {
+                continue; // whole chunk outside the mask: skipped wholesale
+            }
+            match container {
+                Container::Bits(bits) => {
+                    let col = bits.words();
+                    for &w in &words[s..e] {
+                        let masked = col[(w - w_lo) as usize] & mask.word(w as usize);
+                        if masked != 0 {
+                            visited += count_word(counts, w << 6, masked);
+                        }
+                    }
+                }
+                Container::Array(array) => {
+                    let slice = array.as_slice();
+                    let mut from = 0usize;
+                    for &w in &words[s..e] {
+                        let lo16 = ((w - w_lo) << 6) as u16;
+                        from += slice[from..].partition_point(|&v| v < lo16);
+                        let mut word = 0u64;
+                        while from < slice.len() && slice[from] >> 6 == lo16 >> 6 {
+                            word |= 1u64 << (slice[from] & 63);
+                            from += 1;
+                        }
+                        let masked = word & mask.word(w as usize);
+                        if masked != 0 {
+                            visited += count_word(counts, w << 6, masked);
+                        }
+                    }
+                }
+                Container::Runs(runs) => {
+                    let rs = runs.runs();
+                    let mut ri = 0usize;
+                    for &w in &words[s..e] {
+                        let lo = (w - w_lo) << 6; // value range within chunk
+                        let hi = lo + 63;
+                        while ri < rs.len() && (rs[ri].end() as u32) < lo {
+                            ri += 1;
+                        }
+                        let mut word = 0u64;
+                        let mut rj = ri;
+                        while rj < rs.len() && (rs[rj].start as u32) <= hi {
+                            let a = (rs[rj].start as u32).max(lo) - lo;
+                            let b = (rs[rj].end() as u32).min(hi) - lo;
+                            let span = b - a;
+                            word |= if span >= 63 {
+                                u64::MAX
+                            } else {
+                                ((1u64 << (span + 1)) - 1) << a
+                            };
+                            if (rs[rj].end() as u32) <= hi {
+                                rj += 1; // run exhausted within this word
+                            } else {
+                                break; // run spills into the next word
+                            }
+                        }
+                        ri = rj;
+                        let masked = word & mask.word(w as usize);
+                        if masked != 0 {
+                            visited += count_word(counts, w << 6, masked);
+                        }
+                    }
+                }
+            }
+        }
+        visited
+    }
+
+    /// Chooses between [`Bitmap::count_into_masked`] (word-scan the whole
+    /// column) and [`Bitmap::count_into_masked_sparse`] (jump to
+    /// mask-covered words) per column: the scan pass touches every column
+    /// word (≈ `len / 64`-plus), the sparse pass costs a probe per mask
+    /// word, so the sparse path pays off once the column holds several
+    /// members per mask word. The mask must satisfy the
+    /// [`Bitmap::count_into_masked_sparse`] sortedness contract.
+    pub fn count_into_masked_adaptive(&self, mask: &DenseBitSet, counts: &mut [u32]) -> u64 {
+        // 8 members per mask word ≈ the break-even observed in the
+        // `micro_overlap_kernel/masked_kernel` bench across container mixes.
+        if mask.touched_len() as u64 * 8 < self.len() as u64 {
+            self.count_into_masked_sparse(mask, counts)
+        } else {
+            self.count_into_masked(mask, counts)
+        }
+    }
 }
 
 /// Emits the non-zero 64-bit words covered by a sorted run list. Adjacent
@@ -307,6 +463,51 @@ mod tests {
         for v in 0..1000u32 {
             assert_eq!(counts[v as usize], u32::from(v % 3 == 0), "value {v}");
         }
+    }
+
+    #[test]
+    fn sparse_masked_count_matches_dense_masked_count() {
+        // One bitmap exercising all three container kinds: sparse array
+        // chunk, dense bits range, and a run-compressed range.
+        let mut values: Vec<u32> = Vec::new();
+        values.extend((0..3000u32).map(|i| i * 21)); // array-ish spread
+        values.extend(70_000..76_000u32); // dense
+        values.extend(140_000..141_024u32); // runs after optimize
+        let mut bm = Bitmap::from_sorted(&values);
+        bm.run_optimize();
+        let n = 150_000usize;
+        for (step, offset) in [(997usize, 0u32), (64, 13), (3, 1), (40_000, 7)] {
+            let mut mask = DenseBitSet::new();
+            mask.reset(n);
+            for v in (offset..n as u32).step_by(step) {
+                mask.insert(v);
+            }
+            mask.sort_touched();
+            let mut dense_counts = vec![0u32; n];
+            let dense_visited = bm.count_into_masked(&mask, &mut dense_counts);
+            let mut sparse_counts = vec![0u32; n];
+            let sparse_visited = bm.count_into_masked_sparse(&mask, &mut sparse_counts);
+            assert_eq!(dense_visited, sparse_visited, "step {step}");
+            assert_eq!(dense_counts, sparse_counts, "step {step}");
+            let mut adaptive_counts = vec![0u32; n];
+            let adaptive_visited = bm.count_into_masked_adaptive(&mask, &mut adaptive_counts);
+            assert_eq!(dense_visited, adaptive_visited, "step {step}");
+            assert_eq!(dense_counts, adaptive_counts, "step {step}");
+        }
+    }
+
+    #[test]
+    fn sparse_masked_count_handles_empty_and_disjoint_masks() {
+        let bm = Bitmap::from_iter(0u32..500);
+        let mut mask = DenseBitSet::new();
+        mask.reset(70_000);
+        let mut counts = vec![0u32; 70_000];
+        assert_eq!(bm.count_into_masked_sparse(&mask, &mut counts), 0);
+        // Mask entirely in a chunk the bitmap does not populate.
+        mask.insert(66_000);
+        mask.sort_touched();
+        assert_eq!(bm.count_into_masked_sparse(&mask, &mut counts), 0);
+        assert!(counts.iter().all(|&c| c == 0));
     }
 
     #[test]

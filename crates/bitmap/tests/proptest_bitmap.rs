@@ -139,6 +139,18 @@ proptest! {
         prop_assert_eq!(&got_masked, &expected_masked);
         prop_assert_eq!(visited, expected_masked.iter().map(|&c| c as u64).sum::<u64>());
 
+        // The chunk-skipping sparse kernel and the adaptive dispatcher
+        // must agree with the word-scanning variant bit for bit.
+        mask.sort_touched();
+        let mut got_sparse = vec![0u32; n];
+        let visited_sparse = bm.count_into_masked_sparse(&mask, &mut got_sparse);
+        prop_assert_eq!(&got_sparse, &expected_masked);
+        prop_assert_eq!(visited_sparse, visited);
+        let mut got_adaptive = vec![0u32; n];
+        let visited_adaptive = bm.count_into_masked_adaptive(&mask, &mut got_adaptive);
+        prop_assert_eq!(&got_adaptive, &expected_masked);
+        prop_assert_eq!(visited_adaptive, visited);
+
         // Word visitation re-enumerates the exact member sequence.
         let mut seen = Vec::new();
         bm.visit_words(|base, word| {

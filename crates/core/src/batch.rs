@@ -1,25 +1,95 @@
-//! Batched query execution.
+//! Batched query execution on a coalescing work queue.
 //!
-//! Search services rarely see one query at a time. The batch entry points
-//! parallelize over queries with rayon scoped workers: the batch is split
-//! into one contiguous chunk per worker, each worker owns a
-//! [`QueryScratch`] for its whole chunk (zero steady-state allocation)
-//! and writes results into its disjoint slice of the output. Results are
+//! Search services rarely see one query at a time. Both index variants
+//! expose batch entry points that fan out over rayon workers through a
+//! shared **coalescing executor**: the batch is cut into many small
+//! fixed-size tasks, workers claim tasks one at a time from an atomic
+//! counter, and each worker owns its scratch for its whole lifetime
+//! (zero steady-state allocation). Compared to the earlier
+//! one-contiguous-chunk-per-worker split, a skewed batch — a few
+//! expensive queries clustered together — no longer leaves the other
+//! workers idle: whoever finishes early simply claims the next task.
+//!
+//! For the sharded index the task grid is **(shard × query-chunk)**: the
+//! per-shard filter passes of different shards proceed in parallel even
+//! for the same queries, then a second wave of per-chunk tasks runs the
+//! cross-shard merge (kNN) or concatenation (range). Results are
 //! bit-for-bit identical to running the queries one by one — workers
-//! share nothing but the read-only index.
-//!
-//! Single-threaded throughput still benefits: the per-worker scratch
-//! amortizes every buffer the hot path needs across the whole chunk.
+//! share nothing but the read-only index and their disjoint output
+//! slots.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use les3_data::TokenId;
 
-use crate::index::{Les3Index, SearchResult};
-use crate::scratch::QueryScratch;
-use crate::sim::Similarity;
+use crate::index::{sort_hits, Les3Index, SearchResult};
+use crate::scratch::{QueryScratch, ShardedScratch};
+use crate::shard::{ShardFilter, ShardedLes3Index};
+use crate::sim::{distinct_len, Similarity};
+use crate::stats::SearchStats;
 
-/// Smallest batch worth spinning up worker threads for: below this the
-/// spawn overhead dominates the work.
-const MIN_QUERIES_PER_WORKER: usize = 8;
+/// Queries per task. Small enough that a skewed batch decomposes into
+/// many stealable tasks, large enough to amortize a task claim (one
+/// uncontended atomic add) over real work.
+const TASK_QUERIES: usize = 8;
+
+/// Runs `n_tasks` tasks across `workers` rayon workers, each worker
+/// claiming tasks one at a time from a shared atomic counter
+/// (coalescing: fast workers absorb the tail of skewed workloads).
+/// `make_state` builds one per-worker state (scratch) reused across all
+/// tasks the worker claims; `run` must tolerate any task→worker
+/// assignment, i.e. write only to task-owned locations.
+pub(crate) fn run_coalesced<W>(
+    workers: usize,
+    n_tasks: usize,
+    make_state: impl Fn() -> W + Sync,
+    run: impl Fn(usize, &mut W) + Sync,
+) {
+    if n_tasks == 0 {
+        return;
+    }
+    if workers <= 1 {
+        let mut state = make_state();
+        for t in 0..n_tasks {
+            run(t, &mut state);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    rayon::scope(|scope| {
+        for _ in 0..workers.min(n_tasks) {
+            let next = &next;
+            let run = &run;
+            let make_state = &make_state;
+            scope.spawn(move |_| {
+                let mut state = make_state();
+                loop {
+                    let t = next.fetch_add(1, Ordering::Relaxed);
+                    if t >= n_tasks {
+                        break;
+                    }
+                    run(t, &mut state);
+                }
+            });
+        }
+    });
+}
+
+/// Worker count for a batch of `n` queries: enough tasks per worker that
+/// claiming stays amortized, never more workers than tasks.
+fn auto_workers(n: usize) -> usize {
+    rayon::current_num_threads()
+        .min(n.div_ceil(TASK_QUERIES))
+        .max(1)
+}
+
+/// Splits `slots` into per-task output cells the executor's workers can
+/// claim: each task locks exactly its own cell once, so the mutexes are
+/// uncontended and exist only to satisfy the aliasing rules.
+fn task_cells<T>(slots: &mut [T], chunk: usize) -> Vec<Mutex<&mut [T]>> {
+    slots.chunks_mut(chunk).map(Mutex::new).collect()
+}
 
 impl<S: Similarity> Les3Index<S> {
     /// Answers many range queries in parallel. Returns one result per
@@ -39,16 +109,13 @@ impl<S: Similarity> Les3Index<S> {
         })
     }
 
-    /// Chunked parallel executor shared by the batch entry points.
+    /// Coalescing parallel executor shared by the batch entry points.
     fn run_batch(
         &self,
         queries: &[Vec<TokenId>],
         run_one: impl Fn(&Self, &[TokenId], &mut QueryScratch) -> SearchResult + Sync,
     ) -> Vec<SearchResult> {
-        let workers = rayon::current_num_threads()
-            .min(queries.len().div_ceil(MIN_QUERIES_PER_WORKER))
-            .max(1);
-        self.run_batch_on(workers, queries, run_one)
+        self.run_batch_on(auto_workers(queries.len()), queries, run_one)
     }
 
     /// [`Les3Index::run_batch`] with an explicit worker count (tests force
@@ -63,29 +130,276 @@ impl<S: Similarity> Les3Index<S> {
         if n == 0 {
             return Vec::new();
         }
-        if workers == 1 {
-            let mut scratch = QueryScratch::new();
-            return queries
-                .iter()
-                .map(|q| run_one(self, q, &mut scratch))
-                .collect();
-        }
-        let chunk = n.div_ceil(workers);
         let mut slots: Vec<Option<SearchResult>> = (0..n).map(|_| None).collect();
-        rayon::scope(|scope| {
-            for (q_chunk, out_chunk) in queries.chunks(chunk).zip(slots.chunks_mut(chunk)) {
-                let run_one = &run_one;
-                scope.spawn(move |_| {
-                    let mut scratch = QueryScratch::new();
-                    for (q, slot) in q_chunk.iter().zip(out_chunk.iter_mut()) {
-                        *slot = Some(run_one(self, q, &mut scratch));
-                    }
-                });
+        let cells = task_cells(&mut slots, TASK_QUERIES);
+        run_coalesced(workers, cells.len(), QueryScratch::new, |t, scratch| {
+            let mut out = cells[t].lock().expect("task cell poisoned");
+            for (q, slot) in queries[t * TASK_QUERIES..].iter().zip(out.iter_mut()) {
+                *slot = Some(run_one(self, q, scratch));
             }
         });
+        drop(cells);
         slots
             .into_iter()
             .map(|r| r.expect("worker filled its slice"))
+            .collect()
+    }
+}
+
+/// Query-chunks each worker may have in flight per wave: bounds the
+/// retained phase-A filter output of a sharded batch to
+/// `O(workers × WAVE_CHUNKS_PER_WORKER × TASK_QUERIES × n_groups)`
+/// entries instead of the whole batch's, while leaving several claimable
+/// tasks per worker for skew absorption.
+const WAVE_CHUNKS_PER_WORKER: usize = 4;
+
+impl<S: Similarity> ShardedLes3Index<S> {
+    /// Worker count for a sharded batch: the parallel width is the
+    /// (shard × query-chunk) task grid, so even a batch of one chunk can
+    /// occupy one worker per shard.
+    fn sharded_workers(&self, n: usize) -> usize {
+        rayon::current_num_threads()
+            .min(n.div_ceil(TASK_QUERIES) * self.n_shards())
+            .max(1)
+    }
+
+    /// Answers many kNN queries in parallel over the (shard ×
+    /// query-chunk) task grid. Returns one result per query, in input
+    /// order; results equal per-query [`ShardedLes3Index::knn`].
+    pub fn knn_batch(&self, queries: &[Vec<TokenId>], k: usize) -> Vec<SearchResult> {
+        self.knn_batch_on(self.sharded_workers(queries.len()), queries, k)
+    }
+
+    /// [`ShardedLes3Index::knn_batch`] with an explicit worker count.
+    pub(crate) fn knn_batch_on(
+        &self,
+        workers: usize,
+        queries: &[Vec<TokenId>],
+        k: usize,
+    ) -> Vec<SearchResult> {
+        let n = queries.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if k == 0 || self.db.is_empty() {
+            // Mirror knn_with's degenerate-input guard so batch results
+            // (and stats) stay bit-identical to per-query calls.
+            return (0..n)
+                .map(|_| SearchResult {
+                    hits: Vec::new(),
+                    stats: SearchStats::default(),
+                })
+                .collect();
+        }
+        if workers <= 1 {
+            // No parallelism to schedule: skip the phase split and its
+            // partial-filter buffers entirely.
+            let mut scratch = ShardedScratch::new();
+            return queries
+                .iter()
+                .map(|q| self.knn_with(q, k, &mut scratch))
+                .collect();
+        }
+        // Waves keep phase-A memory bounded for arbitrarily large
+        // batches; each wave is its own two-phase run.
+        let wave = (workers * WAVE_CHUNKS_PER_WORKER * TASK_QUERIES).max(TASK_QUERIES);
+        let mut out = Vec::with_capacity(n);
+        for slice in queries.chunks(wave) {
+            out.append(&mut self.knn_wave(workers, slice, k));
+        }
+        out
+    }
+
+    /// One wave of the sharded kNN batch: phase A fills the (shard ×
+    /// chunk) filter grid, phase B merges per query.
+    fn knn_wave(&self, workers: usize, queries: &[Vec<TokenId>], k: usize) -> Vec<SearchResult> {
+        let n = queries.len();
+        let n_shards = self.n_shards();
+        let n_chunks = n.div_ceil(TASK_QUERIES);
+        // Phase A — (shard × chunk) filter tasks: shards filter the same
+        // chunk concurrently; each task owns one partial-output cell.
+        let partials = self.run_filter_phase(workers, queries, n_chunks);
+        // Phase B — per-chunk merge tasks: the cross-shard descent is
+        // sequential per query (the shared top-k is the point), so the
+        // parallel axis is queries.
+        let mut slots: Vec<Option<SearchResult>> = (0..n).map(|_| None).collect();
+        let cells = task_cells(&mut slots, TASK_QUERIES);
+        run_coalesced(
+            workers,
+            n_chunks,
+            || vec![0usize; n_shards],
+            |c, cursors| {
+                let mut out = cells[c].lock().expect("task cell poisoned");
+                for (i, (q, slot)) in queries[c * TASK_QUERIES..]
+                    .iter()
+                    .zip(out.iter_mut())
+                    .enumerate()
+                {
+                    let mut stats = SearchStats::default();
+                    for s in 0..n_shards {
+                        stats.columns_checked += partials[s * n_chunks + c][i].cols as usize;
+                    }
+                    cursors.iter_mut().for_each(|cur| *cur = 0);
+                    let top = self.merge_knn(
+                        q,
+                        k,
+                        distinct_len(q),
+                        |s| &partials[s * n_chunks + c][i],
+                        cursors,
+                        &mut stats,
+                    );
+                    *slot = Some(SearchResult {
+                        hits: top.into_sorted(),
+                        stats,
+                    });
+                }
+            },
+        );
+        drop(cells);
+        slots
+            .into_iter()
+            .map(|r| r.expect("worker filled its slice"))
+            .collect()
+    }
+
+    /// Answers many range queries in parallel over the (shard ×
+    /// query-chunk) task grid; shards verify independently and the
+    /// per-query hit lists concatenate. Results equal per-query
+    /// [`ShardedLes3Index::range`].
+    pub fn range_batch(&self, queries: &[Vec<TokenId>], delta: f64) -> Vec<SearchResult> {
+        self.range_batch_on(self.sharded_workers(queries.len()), queries, delta)
+    }
+
+    /// [`ShardedLes3Index::range_batch`] with an explicit worker count.
+    pub(crate) fn range_batch_on(
+        &self,
+        workers: usize,
+        queries: &[Vec<TokenId>],
+        delta: f64,
+    ) -> Vec<SearchResult> {
+        let n = queries.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if workers <= 1 {
+            let mut scratch = ShardedScratch::new();
+            return queries
+                .iter()
+                .map(|q| self.range_with(q, delta, &mut scratch))
+                .collect();
+        }
+        let wave = (workers * WAVE_CHUNKS_PER_WORKER * TASK_QUERIES).max(TASK_QUERIES);
+        let mut out = Vec::with_capacity(n);
+        for slice in queries.chunks(wave) {
+            out.append(&mut self.range_wave(workers, slice, delta));
+        }
+        out
+    }
+
+    /// One wave of the sharded range batch: filter + verify per (shard,
+    /// chunk) task, then per-query concatenation.
+    fn range_wave(
+        &self,
+        workers: usize,
+        queries: &[Vec<TokenId>],
+        delta: f64,
+    ) -> Vec<SearchResult> {
+        let n = queries.len();
+        let n_shards = self.n_shards();
+        let n_chunks = n.div_ceil(TASK_QUERIES);
+        // Phase A — (shard × chunk) tasks run filter *and* verify: range
+        // verification needs no cross-shard state.
+        type Partial = (Vec<(les3_data::SetId, f64)>, SearchStats);
+        let cells: Vec<Mutex<Vec<Partial>>> = (0..n_shards * n_chunks)
+            .map(|_| Mutex::new(Vec::new()))
+            .collect();
+        run_coalesced(
+            workers,
+            n_shards * n_chunks,
+            || (QueryScratch::new(), ShardFilter::default()),
+            |t, (scratch, filter)| {
+                let (s, c) = (t / n_chunks, t % n_chunks);
+                let chunk = &queries[c * TASK_QUERIES..((c + 1) * TASK_QUERIES).min(n)];
+                let mut out: Vec<Partial> = Vec::with_capacity(chunk.len());
+                for q in chunk {
+                    let q_len = distinct_len(q);
+                    let mut stats = SearchStats::default();
+                    let mut hits = Vec::new();
+                    self.filter_shard(s, q, q_len, scratch, filter);
+                    stats.columns_checked += filter.cols as usize;
+                    self.range_shard(s, q, delta, filter, &mut hits, &mut stats);
+                    out.push((hits, stats));
+                }
+                *cells[t].lock().expect("task cell poisoned") = out;
+            },
+        );
+        let partials: Vec<Vec<Partial>> = cells
+            .into_iter()
+            .map(|m| m.into_inner().expect("task cell poisoned"))
+            .collect();
+        // Phase B — per-chunk concatenation + canonical sort.
+        let mut slots: Vec<Option<SearchResult>> = (0..n).map(|_| None).collect();
+        let out_cells = task_cells(&mut slots, TASK_QUERIES);
+        run_coalesced(
+            workers,
+            n_chunks,
+            || (),
+            |c, _| {
+                let mut out = out_cells[c].lock().expect("task cell poisoned");
+                for (i, slot) in out.iter_mut().enumerate() {
+                    let mut hits = Vec::new();
+                    for s in 0..n_shards {
+                        hits.extend_from_slice(&partials[s * n_chunks + c][i].0);
+                    }
+                    let stats = SearchStats::merged(
+                        (0..n_shards).map(|s| &partials[s * n_chunks + c][i].1),
+                    );
+                    sort_hits(&mut hits);
+                    *slot = Some(SearchResult { hits, stats });
+                }
+            },
+        );
+        drop(out_cells);
+        slots
+            .into_iter()
+            .map(|r| r.expect("worker filled its slice"))
+            .collect()
+    }
+
+    /// Phase A of the sharded kNN batch: every (shard, chunk) task runs
+    /// that shard's filter pass for the chunk's queries. Returned as
+    /// `result[s * n_chunks + c][i]` = shard `s`'s filter output for the
+    /// `i`-th query of chunk `c`.
+    fn run_filter_phase(
+        &self,
+        workers: usize,
+        queries: &[Vec<TokenId>],
+        n_chunks: usize,
+    ) -> Vec<Vec<ShardFilter>> {
+        let n = queries.len();
+        let n_shards = self.n_shards();
+        let cells: Vec<Mutex<Vec<ShardFilter>>> = (0..n_shards * n_chunks)
+            .map(|_| Mutex::new(Vec::new()))
+            .collect();
+        run_coalesced(
+            workers,
+            n_shards * n_chunks,
+            QueryScratch::new,
+            |t, scratch| {
+                let (s, c) = (t / n_chunks, t % n_chunks);
+                let chunk = &queries[c * TASK_QUERIES..((c + 1) * TASK_QUERIES).min(n)];
+                let mut out: Vec<ShardFilter> = Vec::with_capacity(chunk.len());
+                for q in chunk {
+                    let mut filter = ShardFilter::default();
+                    self.filter_shard(s, q, distinct_len(q), scratch, &mut filter);
+                    out.push(filter);
+                }
+                *cells[t].lock().expect("task cell poisoned") = out;
+            },
+        );
+        cells
+            .into_iter()
+            .map(|m| m.into_inner().expect("task cell poisoned"))
             .collect()
     }
 }
@@ -94,6 +408,7 @@ impl<S: Similarity> Les3Index<S> {
 mod tests {
     use super::*;
     use crate::partitioning::Partitioning;
+    use crate::shard::ShardPolicy;
     use crate::sim::Jaccard;
     use les3_data::zipfian::ZipfianGenerator;
 
@@ -132,7 +447,7 @@ mod tests {
     #[test]
     fn multi_worker_batch_preserves_order_and_results() {
         let (index, _) = setup();
-        // Force the spawning path regardless of the host's core count;
+        // Force the coalescing path regardless of the host's core count;
         // results must land in input order with identical contents.
         let queries: Vec<Vec<TokenId>> = (0..100u32)
             .map(|i| index.db().set(i * 3 % 400).to_vec())
@@ -153,6 +468,72 @@ mod tests {
             for (q, b) in queries.iter().zip(&batch) {
                 assert_eq!(b.hits, index.range(q, 0.5).hits, "workers {workers}");
             }
+        }
+    }
+
+    #[test]
+    fn coalesced_executor_runs_every_task_exactly_once() {
+        for (workers, n_tasks) in [(1usize, 5usize), (3, 1), (4, 25), (9, 64)] {
+            let counts: Vec<AtomicUsize> = (0..n_tasks).map(|_| AtomicUsize::new(0)).collect();
+            run_coalesced(
+                workers,
+                n_tasks,
+                || (),
+                |t, _| {
+                    counts[t].fetch_add(1, Ordering::Relaxed);
+                },
+            );
+            for (t, c) in counts.iter().enumerate() {
+                assert_eq!(
+                    c.load(Ordering::Relaxed),
+                    1,
+                    "task {t} with {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_batches_equal_singles_across_worker_counts() {
+        let db = ZipfianGenerator::new(500, 300, 7.0, 1.1).generate(29);
+        let queries: Vec<Vec<TokenId>> = (0..60u32).map(|i| db.set(i * 7 % 500).to_vec()).collect();
+        let part = Partitioning::round_robin(500, 20);
+        let sharded = ShardedLes3Index::build(db, part, Jaccard, 3, ShardPolicy::Hash);
+        for workers in [1usize, 2, 5] {
+            let knn = sharded.knn_batch_on(workers, &queries, 6);
+            let rng = sharded.range_batch_on(workers, &queries, 0.5);
+            let k0 = sharded.knn_batch_on(workers, &queries, 0);
+            for (i, q) in queries.iter().enumerate() {
+                let single = sharded.knn(q, 6);
+                assert_eq!(knn[i].hits, single.hits, "workers {workers} q {i}");
+                assert_eq!(knn[i].stats, single.stats, "workers {workers} q {i}");
+                let single = sharded.range(q, 0.5);
+                assert_eq!(rng[i].hits, single.hits, "workers {workers} q {i}");
+                assert_eq!(rng[i].stats, single.stats, "workers {workers} q {i}");
+                // k = 0 must take the degenerate path in every schedule.
+                let single = sharded.knn(q, 0);
+                assert_eq!(k0[i].hits, single.hits, "k=0 workers {workers} q {i}");
+                assert_eq!(k0[i].stats, single.stats, "k=0 workers {workers} q {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_batch_waves_preserve_order_and_results() {
+        // 300 queries with 2 workers span multiple phase-A waves
+        // (wave = workers × 4 chunks × 8 queries = 64); results must be
+        // identical to the single-query path across wave boundaries.
+        let db = ZipfianGenerator::new(400, 250, 6.0, 1.1).generate(41);
+        let queries: Vec<Vec<TokenId>> =
+            (0..300u32).map(|i| db.set(i * 11 % 400).to_vec()).collect();
+        let part = Partitioning::round_robin(400, 12);
+        let sharded = ShardedLes3Index::build(db, part, Jaccard, 3, ShardPolicy::Contiguous);
+        let knn = sharded.knn_batch_on(2, &queries, 4);
+        let rng = sharded.range_batch_on(2, &queries, 0.4);
+        assert_eq!(knn.len(), queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(knn[i].hits, sharded.knn(q, 4).hits, "q {i}");
+            assert_eq!(rng[i].hits, sharded.range(q, 0.4).hits, "q {i}");
         }
     }
 

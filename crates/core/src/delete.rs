@@ -14,6 +14,7 @@ use les3_data::{SetId, TokenId};
 use std::collections::HashMap;
 
 use crate::index::Les3Index;
+use crate::shard::ShardedLes3Index;
 use crate::sim::Similarity;
 
 /// Per-group token reference counts enabling exact TGM bit clearing.
@@ -33,9 +34,20 @@ pub struct DeletionLog {
 impl DeletionLog {
     /// Scans the index and counts token occurrences per group.
     pub fn build<S: Similarity>(index: &Les3Index<S>) -> Self {
+        Self::build_from(index.db(), index.partitioning())
+    }
+
+    /// [`DeletionLog::build`] for a sharded index: reference counts are
+    /// keyed by *global* group id regardless of which shard owns the
+    /// group, so a sharded log and an unsharded one hold identical state.
+    pub fn build_sharded<S: Similarity>(index: &ShardedLes3Index<S>) -> Self {
+        Self::build_from(index.db(), index.partitioning())
+    }
+
+    fn build_from(db: &les3_data::SetDatabase, partitioning: &crate::Partitioning) -> Self {
         let mut counts: HashMap<(u32, TokenId), u32> = HashMap::new();
-        for (id, set) in index.db().iter() {
-            let g = index.partitioning().group_of(id);
+        for (id, set) in db.iter() {
+            let g = partitioning.group_of(id);
             let mut prev = None;
             for &t in set {
                 if prev == Some(t) {
@@ -47,8 +59,8 @@ impl DeletionLog {
         }
         Self {
             counts,
-            deleted: vec![false; index.db().len()],
-            live: index.db().len(),
+            deleted: vec![false; db.len()],
+            live: db.len(),
         }
     }
 
@@ -65,9 +77,18 @@ impl DeletionLog {
     /// Registers an insertion performed through
     /// [`Les3Index::insert`] so reference counts stay in sync.
     pub fn note_insert(&mut self, index: &Les3Index<impl Similarity>, id: SetId) {
-        let g = index.partitioning().group_of(id);
+        self.note_insert_inner(index.db(), index.partitioning().group_of(id), id);
+    }
+
+    /// Registers an insertion performed through
+    /// [`ShardedLes3Index::insert`].
+    pub fn note_insert_sharded(&mut self, index: &ShardedLes3Index<impl Similarity>, id: SetId) {
+        self.note_insert_inner(index.db(), index.partitioning().group_of(id), id);
+    }
+
+    fn note_insert_inner(&mut self, db: &les3_data::SetDatabase, g: u32, id: SetId) {
         let mut prev = None;
-        for &t in index.db().set(id) {
+        for &t in db.set(id) {
             if prev == Some(t) {
                 continue;
             }
@@ -83,27 +104,71 @@ impl DeletionLog {
     /// Tombstones set `id` and clears every TGM bit whose reference count
     /// drops to zero. Returns `false` if the set was already deleted.
     pub fn delete<S: Similarity>(&mut self, index: &mut Les3Index<S>, id: SetId) -> bool {
-        assert!((id as usize) < index.db().len(), "set id out of range");
-        if self.deleted.len() < index.db().len() {
-            self.deleted.resize(index.db().len(), false);
+        let db_len = index.db().len();
+        let g = if (id as usize) < db_len {
+            index.partitioning().group_of(id)
+        } else {
+            0 // delete_inner asserts below; value unused
+        };
+        let tokens = Self::distinct_tokens(index.db(), id, db_len);
+        let (_, _, tgm) = index.parts_mut();
+        self.delete_inner(db_len, id, g, tokens, |g, t| tgm.clear_bit(g, t))
+    }
+
+    /// [`DeletionLog::delete`] for a sharded index: the tombstone and
+    /// reference counts are global, and each cleared bit routes to the
+    /// shard that owns the set's group.
+    pub fn delete_sharded<S: Similarity>(
+        &mut self,
+        index: &mut ShardedLes3Index<S>,
+        id: SetId,
+    ) -> bool {
+        let db_len = index.db().len();
+        let g = if (id as usize) < db_len {
+            index.partitioning().group_of(id)
+        } else {
+            0
+        };
+        let tokens = Self::distinct_tokens(index.db(), id, db_len);
+        let s = index.shard_of_group[g as usize] as usize;
+        let l = index.local_of_group[g as usize];
+        let shard = &mut index.shards[s];
+        self.delete_inner(db_len, id, g, tokens, |_, t| shard.tgm.clear_bit(l, t))
+    }
+
+    fn distinct_tokens(db: &les3_data::SetDatabase, id: SetId, db_len: usize) -> Vec<TokenId> {
+        if (id as usize) >= db_len {
+            return Vec::new();
+        }
+        let mut v = db.set(id).to_vec();
+        v.dedup();
+        v
+    }
+
+    /// Shared tombstone + refcount walk; `clear_bit(g, t)` clears the
+    /// matrix bit in whichever index variant owns it.
+    fn delete_inner(
+        &mut self,
+        db_len: usize,
+        id: SetId,
+        g: u32,
+        tokens: Vec<TokenId>,
+        mut clear_bit: impl FnMut(u32, TokenId),
+    ) -> bool {
+        assert!((id as usize) < db_len, "set id out of range");
+        if self.deleted.len() < db_len {
+            self.deleted.resize(db_len, false);
         }
         if std::mem::replace(&mut self.deleted[id as usize], true) {
             return false;
         }
         self.live -= 1;
-        let g = index.partitioning().group_of(id);
-        let tokens: Vec<TokenId> = {
-            let mut v = index.db().set(id).to_vec();
-            v.dedup();
-            v
-        };
-        let (_, _, tgm) = index.parts_mut();
         for t in tokens {
             let entry = self.counts.get_mut(&(g, t)).expect("refcount must exist");
             *entry -= 1;
             if *entry == 0 {
                 self.counts.remove(&(g, t));
-                tgm.clear_bit(g, t);
+                clear_bit(g, t);
             }
         }
         true

@@ -184,21 +184,22 @@ impl<S: Similarity> Htgm<S> {
         let mut hits: Vec<(SetId, f64)> = Vec::new();
         for &g in &surviving {
             stats.groups_verified += 1;
-            let (lo, hi) = self.verify.window(self.sim, g, q_len, delta);
-            let ids = self.verify.ids(g);
-            stats.size_skipped += ids.len() - (hi - lo);
-            for &id in &ids[lo..hi] {
-                stats.candidates += 1;
-                stats.sims_computed += 1;
-                match self.sim.eval_with_threshold(query, self.db.set(id), delta) {
-                    ThresholdedEval::Hit(s) => hits.push((id, s)),
-                    ThresholdedEval::Rejected { early } => {
-                        if early {
-                            stats.early_exits += 1;
+            self.verify
+                .with_window(self.sim, g, q_len, delta, |ids, skipped| {
+                    stats.size_skipped += skipped;
+                    for &id in ids {
+                        stats.candidates += 1;
+                        stats.sims_computed += 1;
+                        match self.sim.eval_with_threshold(query, self.db.set(id), delta) {
+                            ThresholdedEval::Hit(s) => hits.push((id, s)),
+                            ThresholdedEval::Rejected { early } => {
+                                if early {
+                                    stats.early_exits += 1;
+                                }
+                            }
                         }
                     }
-                }
-            }
+                });
         }
         sort_hits(&mut hits);
         SearchResult { hits, stats }
@@ -246,24 +247,25 @@ impl<S: Similarity> Htgm<S> {
             }
             if level == last_level {
                 stats.groups_verified += 1;
-                let (lo, hi) = self.verify.window(self.sim, group, q_len, top.kth());
-                let ids = self.verify.ids(group);
-                stats.size_skipped += ids.len() - (hi - lo);
-                for &id in &ids[lo..hi] {
-                    stats.candidates += 1;
-                    stats.sims_computed += 1;
-                    match self
-                        .sim
-                        .eval_with_threshold(query, self.db.set(id), top.kth())
-                    {
-                        ThresholdedEval::Hit(s) => top.offer(id, s),
-                        ThresholdedEval::Rejected { early } => {
-                            if early {
-                                stats.early_exits += 1;
+                self.verify
+                    .with_window(self.sim, group, q_len, top.kth(), |ids, skipped| {
+                        stats.size_skipped += skipped;
+                        for &id in ids {
+                            stats.candidates += 1;
+                            stats.sims_computed += 1;
+                            match self
+                                .sim
+                                .eval_with_threshold(query, self.db.set(id), top.kth())
+                            {
+                                ThresholdedEval::Hit(s) => top.offer(id, s),
+                                ThresholdedEval::Rejected { early } => {
+                                    if early {
+                                        stats.early_exits += 1;
+                                    }
+                                }
                             }
                         }
-                    }
-                }
+                    });
             } else {
                 let children = self.hp.children(level, group);
                 let touched = self.tgms[level + 1].group_overlaps_restricted_into(

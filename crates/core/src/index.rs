@@ -118,30 +118,12 @@ impl<S: Similarity> Les3Index<S> {
         let touched = self.tgm.group_overlaps_into(query, &mut scratch.counts);
         stats.columns_checked += touched as usize;
         let n_groups = self.tgm.n_groups();
-
-        // Histogram of overlap counts.
-        let n_buckets = q_len + 1;
-        scratch.offsets.clear();
-        scratch.offsets.resize(n_buckets, 0);
-        for &r in scratch.counts.iter() {
-            debug_assert!((r as usize) < n_buckets, "overlap exceeds |Q|");
-            scratch.offsets[r as usize] += 1;
-        }
-        // Descending start offsets (bucket |Q| first), then scatter.
-        let mut acc = 0u32;
-        for r in (0..n_buckets).rev() {
-            let here = scratch.offsets[r];
-            scratch.offsets[r] = acc;
-            acc += here;
-        }
         scratch.bounds.clear();
         scratch.bounds.resize(n_groups, (0, 0.0));
-        // One bound value per distinct overlap count, computed lazily.
-        for (g, &r) in scratch.counts.iter().enumerate() {
-            let pos = scratch.offsets[r as usize];
-            scratch.offsets[r as usize] += 1;
-            scratch.bounds[pos as usize] = (g as u32, self.sim.ub_from_overlap(q_len, r as usize));
-        }
+        let (bounds, sim) = (&mut scratch.bounds, self.sim);
+        bucketed_descending(&scratch.counts, q_len, &mut scratch.offsets, |pos, g, r| {
+            bounds[pos] = (g, sim.ub_from_overlap(q_len, r as usize));
+        });
     }
 
     /// Allocating wrapper around [`Les3Index::group_upper_bounds_with`].
@@ -213,26 +195,27 @@ impl<S: Similarity> Les3Index<S> {
                 break;
             }
             stats.groups_verified += 1;
-            let (lo, hi) = self.verify.window(self.sim, g, q_len, top.kth());
-            let ids = self.verify.ids(g);
-            stats.size_skipped += ids.len() - (hi - lo);
-            for &id in &ids[lo..hi] {
-                stats.candidates += 1;
-                stats.sims_computed += 1;
-                // The threshold tightens as the heap fills, member by
-                // member.
-                match self
-                    .sim
-                    .eval_with_threshold(query, self.db.set(id), top.kth())
-                {
-                    ThresholdedEval::Hit(s) => top.offer(id, s),
-                    ThresholdedEval::Rejected { early } => {
-                        if early {
-                            stats.early_exits += 1;
+            self.verify
+                .with_window(self.sim, g, q_len, top.kth(), |ids, skipped| {
+                    stats.size_skipped += skipped;
+                    for &id in ids {
+                        stats.candidates += 1;
+                        stats.sims_computed += 1;
+                        // The threshold tightens as the heap fills, member
+                        // by member.
+                        match self
+                            .sim
+                            .eval_with_threshold(query, self.db.set(id), top.kth())
+                        {
+                            ThresholdedEval::Hit(s) => top.offer(id, s),
+                            ThresholdedEval::Rejected { early } => {
+                                if early {
+                                    stats.early_exits += 1;
+                                }
+                            }
                         }
                     }
-                }
-            }
+                });
         }
         SearchResult {
             hits: top.into_sorted(),
@@ -264,21 +247,22 @@ impl<S: Similarity> Les3Index<S> {
                 break;
             }
             stats.groups_verified += 1;
-            let (lo, hi) = self.verify.window(self.sim, g, q_len, delta);
-            let ids = self.verify.ids(g);
-            stats.size_skipped += ids.len() - (hi - lo);
-            for &id in &ids[lo..hi] {
-                stats.candidates += 1;
-                stats.sims_computed += 1;
-                match self.sim.eval_with_threshold(query, self.db.set(id), delta) {
-                    ThresholdedEval::Hit(s) => hits.push((id, s)),
-                    ThresholdedEval::Rejected { early } => {
-                        if early {
-                            stats.early_exits += 1;
+            self.verify
+                .with_window(self.sim, g, q_len, delta, |ids, skipped| {
+                    stats.size_skipped += skipped;
+                    for &id in ids {
+                        stats.candidates += 1;
+                        stats.sims_computed += 1;
+                        match self.sim.eval_with_threshold(query, self.db.set(id), delta) {
+                            ThresholdedEval::Hit(s) => hits.push((id, s)),
+                            ThresholdedEval::Rejected { early } => {
+                                if early {
+                                    stats.early_exits += 1;
+                                }
+                            }
                         }
                     }
-                }
-            }
+                });
         }
         sort_hits(&mut hits);
         SearchResult { hits, stats }
@@ -286,66 +270,155 @@ impl<S: Similarity> Les3Index<S> {
 }
 
 /// Per-group member ids sorted by (distinct length, id), with the lengths
-/// alongside — the order the verify step scans, shared by the flat index
-/// and the HTGM's finest level.
-#[derive(Debug, Clone)]
+/// alongside — the order the verify step scans, shared by the flat index,
+/// the HTGM's finest level, and each shard of a
+/// [`crate::shard::ShardedLes3Index`].
+///
+/// Inserts append to a small unsorted per-group *tail* in O(1); the tail
+/// is merged into the sorted arrays lazily, by the next query that
+/// touches the group (the `O(|group|)` merge is paid once per touched
+/// group, not once per insert). Each group sits behind its own `RwLock`
+/// so concurrent batch workers share the index freely: readers of a
+/// clean group never block each other, and the first query to reach a
+/// dirty group upgrades to a writer just long enough to merge.
+#[derive(Debug)]
 pub(crate) struct VerifyOrder {
-    ids: Vec<Vec<SetId>>,
-    lens: Vec<Vec<u32>>,
+    groups: Vec<std::sync::RwLock<GroupOrder>>,
+}
+
+/// One group's verification order: the sorted arrays plus the lazy tail.
+#[derive(Debug, Clone, Default)]
+struct GroupOrder {
+    ids: Vec<SetId>,
+    lens: Vec<u32>,
+    /// `(length, id)` of members inserted since the last merge, in
+    /// arrival order. Invariant: empty whenever a query has touched the
+    /// group after the last insert.
+    tail: Vec<(u32, SetId)>,
+}
+
+impl Clone for VerifyOrder {
+    fn clone(&self) -> Self {
+        Self {
+            groups: self
+                .groups
+                .iter()
+                .map(|l| std::sync::RwLock::new(l.read().expect("verify lock poisoned").clone()))
+                .collect(),
+        }
+    }
 }
 
 impl VerifyOrder {
-    /// Builds the per-group length-sorted order.
+    /// Builds the per-group length-sorted order for every group.
     pub(crate) fn build(db: &SetDatabase, partitioning: &Partitioning) -> Self {
-        let n_groups = partitioning.n_groups();
-        let mut ids: Vec<Vec<SetId>> = Vec::with_capacity(n_groups);
-        let mut lens: Vec<Vec<u32>> = Vec::with_capacity(n_groups);
-        for g in 0..n_groups as u32 {
-            let members = partitioning.members(g);
-            let mut pairs: Vec<(u32, SetId)> = members
-                .iter()
-                .map(|&id| (distinct_len(db.set(id)) as u32, id))
-                .collect();
-            // Members arrive in ascending id order; stable sort by length
-            // keeps ids ascending within equal lengths.
-            pairs.sort_by_key(|&(len, _)| len);
-            ids.push(pairs.iter().map(|&(_, id)| id).collect());
-            lens.push(pairs.iter().map(|&(len, _)| len).collect());
-        }
-        Self { ids, lens }
+        let all: Vec<u32> = (0..partitioning.n_groups() as u32).collect();
+        Self::build_for_groups(db, partitioning, &all)
     }
 
-    /// Registers a newly inserted member (update path). Costs an
-    /// `O(|group|)` tail shift — fine at current group sizes; a lazy
-    /// unsorted tail merged on next query is the planned upgrade if
-    /// insert-heavy workloads make this hot (see ROADMAP).
+    /// Builds the order for a subset of groups (a shard's slice of the
+    /// group axis); entry `i` serves the caller's local group id `i`.
+    pub(crate) fn build_for_groups(
+        db: &SetDatabase,
+        partitioning: &Partitioning,
+        groups: &[u32],
+    ) -> Self {
+        let groups = groups
+            .iter()
+            .map(|&g| {
+                let mut pairs: Vec<(u32, SetId)> = partitioning
+                    .members(g)
+                    .iter()
+                    .map(|&id| (distinct_len(db.set(id)) as u32, id))
+                    .collect();
+                // Members arrive in ascending id order; the (length, id)
+                // tuple sort keeps ids ascending within equal lengths.
+                pairs.sort_unstable();
+                std::sync::RwLock::new(GroupOrder {
+                    ids: pairs.iter().map(|&(_, id)| id).collect(),
+                    lens: pairs.iter().map(|&(len, _)| len).collect(),
+                    tail: Vec::new(),
+                })
+            })
+            .collect();
+        Self { groups }
+    }
+
+    /// Registers a newly inserted member (update path): an O(1) append to
+    /// the group's unsorted tail. The next query touching the group pays
+    /// the one-time merge.
     pub(crate) fn push(&mut self, g: u32, len: u32, id: SetId) {
-        let lens = &mut self.lens[g as usize];
-        // New ids are the largest so far: inserting after every `≤ len`
-        // entry keeps the (length, id) order.
-        let pos = lens.partition_point(|&l| l <= len);
-        lens.insert(pos, len);
-        self.ids[g as usize].insert(pos, id);
+        self.groups[g as usize]
+            .get_mut()
+            .expect("verify lock poisoned")
+            .tail
+            .push((len, id));
     }
 
-    /// Group `g`'s member ids in (length, id) order.
-    pub(crate) fn ids(&self, g: u32) -> &[SetId] {
-        &self.ids[g as usize]
-    }
-
-    /// Index range `[lo, hi)` of group `g`'s members whose length alone
-    /// permits `sim ≥ threshold`: a set of distinct length `L` has
-    /// similarity at most `from_overlap(min(|Q|, L), |Q|, L)`, which is
-    /// unimodal in `L` with its peak at `L = |Q|`, so the admissible
-    /// region is one contiguous window found by two binary searches.
-    pub(crate) fn window<S: Similarity>(
+    /// Runs `f` on the slice of group `g`'s member ids (in (length, id)
+    /// order) whose length alone permits `sim ≥ threshold`, plus the
+    /// number of members excluded by that length window. Merges the
+    /// group's pending insert tail first if a mutation left one behind.
+    pub(crate) fn with_window<S: Similarity, R>(
         &self,
         sim: S,
         g: u32,
         q_len: usize,
         threshold: f64,
-    ) -> (usize, usize) {
-        let lens = &self.lens[g as usize];
+        f: impl FnOnce(&[SetId], usize) -> R,
+    ) -> R {
+        let lock = &self.groups[g as usize];
+        let mut guard = lock.read().expect("verify lock poisoned");
+        if !guard.tail.is_empty() {
+            drop(guard);
+            // Double-checked: merge_tail is a no-op if another query won
+            // the race between our read and write acquisitions.
+            lock.write().expect("verify lock poisoned").merge_tail();
+            guard = lock.read().expect("verify lock poisoned");
+        }
+        let (lo, hi) = guard.window(sim, q_len, threshold);
+        f(&guard.ids[lo..hi], guard.ids.len() - (hi - lo))
+    }
+}
+
+impl GroupOrder {
+    /// Merges the unsorted tail into the sorted arrays: sort the tail,
+    /// then one backward in-place merge — `O(|group| + |tail| log |tail|)`
+    /// once, instead of an `O(|group|)` shift per insert.
+    fn merge_tail(&mut self) {
+        if self.tail.is_empty() {
+            return;
+        }
+        self.tail.sort_unstable();
+        let old = self.ids.len();
+        let add = self.tail.len();
+        self.ids.resize(old + add, 0);
+        self.lens.resize(old + add, 0);
+        let (mut i, mut t, mut out) = (old, add, old + add);
+        while t > 0 {
+            let (tl, tid) = self.tail[t - 1];
+            if i > 0 && (self.lens[i - 1], self.ids[i - 1]) > (tl, tid) {
+                out -= 1;
+                self.ids[out] = self.ids[i - 1];
+                self.lens[out] = self.lens[i - 1];
+                i -= 1;
+            } else {
+                out -= 1;
+                self.ids[out] = tid;
+                self.lens[out] = tl;
+                t -= 1;
+            }
+        }
+        self.tail.clear();
+    }
+
+    /// Index range `[lo, hi)` of the members whose length alone permits
+    /// `sim ≥ threshold`: a set of distinct length `L` has similarity at
+    /// most `from_overlap(min(|Q|, L), |Q|, L)`, which is unimodal in `L`
+    /// with its peak at `L = |Q|`, so the admissible region is one
+    /// contiguous window found by two binary searches.
+    fn window<S: Similarity>(&self, sim: S, q_len: usize, threshold: f64) -> (usize, usize) {
+        let lens = &self.lens;
         let split = lens.partition_point(|&l| (l as usize) < q_len);
         let lo = lens[..split]
             .partition_point(|&l| sim.from_overlap(l as usize, q_len, l as usize) < threshold);
@@ -353,6 +426,41 @@ impl VerifyOrder {
             + lens[split..]
                 .partition_point(|&l| sim.from_overlap(q_len, q_len, l as usize) >= threshold);
         (lo, hi)
+    }
+}
+
+/// The `O(G + |Q|)` bucketed descending selection shared by the flat and
+/// sharded filter passes: overlap counts are histogrammed into buckets
+/// `r ∈ 0..=|Q|`, descending start offsets are prefixed, and each group
+/// is scattered to its verification-order position — `emit(pos, g, r)`
+/// with `pos` running over the `(r descending, group id ascending)`
+/// order. Exactly the order a stable descending sort on the (monotone in
+/// `r`) bounds would give. The flat and sharded indexes MUST share this
+/// one implementation: the sharded engine's bit-for-bit equality rests
+/// on both sides verifying groups in the identical sequence.
+pub(crate) fn bucketed_descending(
+    counts: &[u32],
+    q_len: usize,
+    offsets: &mut Vec<u32>,
+    mut emit: impl FnMut(usize, u32, u32),
+) {
+    let n_buckets = q_len + 1;
+    offsets.clear();
+    offsets.resize(n_buckets, 0);
+    for &r in counts {
+        debug_assert!((r as usize) < n_buckets, "overlap exceeds |Q|");
+        offsets[r as usize] += 1;
+    }
+    let mut acc = 0u32;
+    for r in (0..n_buckets).rev() {
+        let here = offsets[r];
+        offsets[r] = acc;
+        acc += here;
+    }
+    for (g, &r) in counts.iter().enumerate() {
+        let pos = offsets[r as usize];
+        offsets[r as usize] += 1;
+        emit(pos as usize, g as u32, r);
     }
 }
 
@@ -652,6 +760,39 @@ mod tests {
             "candidates {} should be well below the group size",
             res.stats.candidates
         );
+    }
+
+    #[test]
+    fn lazy_verify_tail_stays_exact_under_interleaved_inserts_and_queries() {
+        // Inserts land in an unsorted per-group tail; the next query that
+        // touches the group merges it. Interleave bursts of inserts with
+        // kNN and range queries and check exactness against brute force
+        // after every step.
+        let db = ZipfianGenerator::new(120, 90, 6.0, 1.1).generate(31);
+        let part = random_partitioning(db.len(), 5, 3);
+        let mut index = Les3Index::build(db, part, Jaccard);
+        let mut rng = StdRng::seed_from_u64(99);
+        for round in 0..12u32 {
+            // A burst of inserts (several per group so tails grow past 1).
+            for _ in 0..(1 + round % 4) {
+                let len = rng.gen_range(1usize..12);
+                let mut tokens: Vec<u32> = (0..len).map(|_| rng.gen_range(0..110u32)).collect();
+                index.insert(&mut tokens);
+            }
+            let qid = rng.gen_range(0..index.db().len() as u32);
+            let q = index.db().set(qid).to_vec();
+            let got = index.knn(&q, 6);
+            let expected = brute_knn(index.db(), Jaccard, &q, 6);
+            let gs: Vec<f64> = got.hits.iter().map(|h| h.1).collect();
+            let es: Vec<f64> = expected.iter().map(|h| h.1).collect();
+            assert_eq!(gs, es, "round {round}");
+            let got = index.range(&q, 0.5);
+            let expected = brute_range(index.db(), Jaccard, &q, 0.5);
+            assert_eq!(got.hits, expected, "round {round}");
+            // A repeat query sees the merged (tail-free) state and must
+            // agree with itself.
+            assert_eq!(index.range(&q, 0.5).hits, got.hits, "round {round}");
+        }
     }
 
     #[test]

@@ -15,6 +15,11 @@
 //!
 //! * [`Les3Index`] — memory-resident index over a
 //!   [`SetDatabase`](les3_data::SetDatabase) and a [`Partitioning`];
+//! * [`ShardedLes3Index`] — the group axis split across N shards, each
+//!   with its own TGM + scratch pool; kNN shares one global top-k whose
+//!   running k-th similarity prunes across shards, and batches run on a
+//!   coalescing (shard × query-chunk) work queue. Results are
+//!   bit-for-bit those of [`Les3Index`];
 //! * [`Htgm`] — the hierarchical variant (§5.2, evaluated in Figure 14);
 //! * [`DiskLes3`] — disk-resident variant with group-contiguous layout
 //!   (§7.6, Figure 13);
@@ -70,6 +75,7 @@ pub mod htgm;
 pub mod index;
 pub mod partitioning;
 pub mod scratch;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod tgm;
@@ -80,7 +86,8 @@ pub use disk::DiskLes3;
 pub use htgm::{HierarchicalPartitioning, Htgm};
 pub use index::{Les3Index, SearchResult};
 pub use partitioning::Partitioning;
-pub use scratch::QueryScratch;
+pub use scratch::{QueryScratch, ShardedScratch};
+pub use shard::{ShardPolicy, ShardedLes3Index};
 pub use sim::{Cosine, Dice, Jaccard, OverlapCoefficient, Similarity, ThresholdedEval};
 pub use stats::SearchStats;
 pub use tgm::Tgm;

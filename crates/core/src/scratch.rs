@@ -37,3 +37,35 @@ impl QueryScratch {
         Self::default()
     }
 }
+
+/// Working memory for one in-flight query against a
+/// [`crate::shard::ShardedLes3Index`]: one [`QueryScratch`] per shard
+/// (each shard's filter pass is independent) plus the cross-shard merge
+/// state. Create once per thread and reuse; the sharded batch executor
+/// keeps one per worker.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedScratch {
+    /// Per-shard filter scratch (counts + bucket offsets).
+    pub(crate) per_shard: Vec<QueryScratch>,
+    /// Per-shard group streams in verification order (filter output).
+    pub(crate) filters: Vec<crate::shard::ShardFilter>,
+    /// Per-shard cursor into `filters` during the cross-shard descent.
+    pub(crate) cursors: Vec<usize>,
+}
+
+impl ShardedScratch {
+    /// Creates empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures the per-shard buffers exist for `n_shards`.
+    pub(crate) fn ensure(&mut self, n_shards: usize) {
+        if self.per_shard.len() < n_shards {
+            self.per_shard.resize_with(n_shards, QueryScratch::new);
+            self.filters.resize_with(n_shards, Default::default);
+        }
+        self.cursors.clear();
+        self.cursors.resize(n_shards, 0);
+    }
+}

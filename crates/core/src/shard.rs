@@ -1,0 +1,567 @@
+//! Sharded query engine: per-shard TGMs with a cross-shard top-k merge.
+//!
+//! LES3's filter–verify pipeline partitions cleanly along the TGM's
+//! *group axis*: every group is filtered and verified as a unit (the
+//! paper's §5 cost model prices both steps per group), so assigning each
+//! group — with all of its members — to one of `N` shards loses nothing.
+//! A [`ShardedLes3Index`] gives every shard its own [`Tgm`] over its
+//! slice of the group axis, its own verification order, and (through
+//! [`ShardedScratch`] / the batch executor) its own scratch pool, so
+//! shards share nothing on the query path but the read-only database.
+//!
+//! # The cross-shard threshold-sharing invariant
+//!
+//! Exact kNN needs **one global top-k**. The descent keeps a cursor into
+//! each shard's filter output — groups in `(overlap r descending,
+//! global group id ascending)` order, exactly the bucketed order the
+//! unsharded index verifies in — and at every step consumes the
+//! globally best-bounded front among all shards. Two consequences, which
+//! together make sharded results *bit-for-bit identical* to the
+//! unsharded index (hits **and** stats):
+//!
+//! 1. **Admissible pruning across shards.** The merged stream is the
+//!    unsharded verification order: when the best remaining front's
+//!    upper bound cannot beat the current k-th similarity, *every*
+//!    unvisited group in *every* shard is behind that front in the
+//!    order, hence also beaten — the whole fleet stops at once. The
+//!    running k-th similarity therefore acts as a cross-shard pruning
+//!    threshold: a "tight" shard that fills the heap with high
+//!    similarities early prunes the other shards' groups before they are
+//!    verified.
+//! 2. **Identical traversal.** Because the merge replays the unsharded
+//!    order group by group with the same evolving threshold, every
+//!    window cut, every abandoned merge and every heap offer happens at
+//!    the same point with the same arguments — the equality is exact,
+//!    not just up to ties (`tests/shard_equivalence.rs` asserts full
+//!    `SearchResult` equality, counters included).
+//!
+//! Range queries need no shared state at all: shards fan out, verify
+//! their groups against the fixed `δ`, and the hit lists concatenate
+//! (the final sort by `(similarity, id)` is order-insensitive).
+//!
+//! Updates route to the owning shard: an insert picks its group with the
+//! same global rule as the unsharded index (per-shard overlap counts are
+//! scattered back to global group ids first), then touches only that
+//! group's shard; deletions clear TGM bits through the same routing
+//! (see [`crate::delete::DeletionLog`]).
+
+use les3_bitmap::Bitmap;
+use les3_data::{SetDatabase, SetId, TokenId};
+
+use crate::index::{sort_hits, SearchResult, TopK, VerifyOrder};
+use crate::partitioning::Partitioning;
+use crate::scratch::{QueryScratch, ShardedScratch};
+use crate::sim::{distinct_len, Similarity, ThresholdedEval};
+use crate::stats::SearchStats;
+use crate::tgm::Tgm;
+
+/// How groups are assigned to shards at build time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// Contiguous ranges of group ids, balanced by member count. Groups
+    /// that are contiguous in the partitioning stay contiguous in one
+    /// shard — for length-ordered partitionings (PAR-C and friends) this
+    /// is a contiguous-by-length split of the database.
+    Contiguous,
+    /// Multiplicative hash of the group id: spreads hot neighbourhoods
+    /// of the group space across shards.
+    Hash,
+}
+
+impl ShardPolicy {
+    /// The shard of each group.
+    fn assign(self, partitioning: &Partitioning, n_shards: usize) -> Vec<u32> {
+        let n_groups = partitioning.n_groups();
+        match self {
+            ShardPolicy::Contiguous => {
+                // Weight each group by members + 1 so empty groups still
+                // spread instead of piling onto the last shard.
+                let sizes = partitioning.group_sizes();
+                let total: usize = sizes.iter().map(|s| s + 1).sum();
+                let mut out = vec![0u32; n_groups];
+                let (mut s, mut acc) = (0usize, 0usize);
+                for g in 0..n_groups {
+                    out[g] = s as u32;
+                    acc += sizes[g] + 1;
+                    if s + 1 < n_shards && acc * n_shards >= total * (s + 1) {
+                        s += 1;
+                    }
+                }
+                out
+            }
+            ShardPolicy::Hash => (0..n_groups as u32)
+                .map(|g| {
+                    (((g as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 33) % n_shards as u64)
+                        as u32
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One shard: a slice of the group axis with its own filter and verify
+/// structures.
+#[derive(Debug, Clone)]
+pub(crate) struct Shard {
+    /// Global group ids owned by this shard, ascending; the position is
+    /// the shard-local group id.
+    pub(crate) groups: Vec<u32>,
+    /// Token-group matrix over the shard's local group ids.
+    pub(crate) tgm: Tgm,
+    /// Length-sorted verification order, indexed by local group id.
+    pub(crate) verify: VerifyOrder,
+}
+
+/// One entry of a shard's filter output: a group in verification order.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ShardBound {
+    /// Global group id (the cross-shard merge tie-breaker).
+    pub(crate) group: u32,
+    /// Shard-local group id (what the shard's TGM/verify order speak).
+    pub(crate) local: u32,
+    /// Overlap count `r = |GS_g ∩ Q|` (the merge's primary key — the
+    /// upper bound is monotone in `r` but not injective, so ordering by
+    /// `ub` alone would not reproduce the bucketed order). The bound
+    /// itself (`UB(Q, G_g)`, Eq. 2) is derived lazily from `r` only for
+    /// entries that reach the front of the merge — unlike the flat
+    /// index's eager per-group bounds, groups pruned wholesale never pay
+    /// for one.
+    pub(crate) r: u32,
+}
+
+/// A shard's complete filter output for one query.
+#[derive(Debug, Clone, Default)]
+pub struct ShardFilter {
+    /// Groups in `(r descending, global id ascending)` order.
+    pub(crate) bounds: Vec<ShardBound>,
+    /// TGM bits visited by the shard's filter pass.
+    pub(crate) cols: u64,
+}
+
+/// The sharded LES3 index: the group axis split across `N` shards, each
+/// with its own TGM + verification order, answering exact kNN and range
+/// queries bit-for-bit identically to [`crate::Les3Index`] built on the
+/// same database and partitioning. See the module docs for the
+/// cross-shard threshold-sharing invariant.
+#[derive(Debug, Clone)]
+pub struct ShardedLes3Index<S: Similarity> {
+    pub(crate) db: SetDatabase,
+    pub(crate) partitioning: Partitioning,
+    pub(crate) sim: S,
+    pub(crate) shards: Vec<Shard>,
+    /// Global group id → owning shard.
+    pub(crate) shard_of_group: Vec<u32>,
+    /// Global group id → shard-local group id.
+    pub(crate) local_of_group: Vec<u32>,
+}
+
+impl<S: Similarity> ShardedLes3Index<S> {
+    /// Builds the sharded index. The partitioning must cover the
+    /// database; `n_shards ≥ 1` (shard counts beyond the group count
+    /// leave the surplus shards empty).
+    pub fn build(
+        db: SetDatabase,
+        partitioning: Partitioning,
+        sim: S,
+        n_shards: usize,
+        policy: ShardPolicy,
+    ) -> Self {
+        assert!(n_shards >= 1, "need at least one shard");
+        assert_eq!(
+            db.len(),
+            partitioning.n_sets(),
+            "partitioning must cover the database"
+        );
+        let n_groups = partitioning.n_groups();
+        let shard_of_group = policy.assign(&partitioning, n_shards);
+        let mut groups_per: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
+        let mut local_of_group = vec![0u32; n_groups];
+        for (g, &s) in shard_of_group.iter().enumerate() {
+            local_of_group[g] = groups_per[s as usize].len() as u32;
+            groups_per[s as usize].push(g as u32);
+        }
+        // One database pass fills every shard's token columns.
+        let mut cols: Vec<Vec<Bitmap>> = (0..n_shards)
+            .map(|_| vec![Bitmap::new(); db.universe_size() as usize])
+            .collect();
+        for (id, set) in db.iter() {
+            let g = partitioning.group_of(id) as usize;
+            let s = shard_of_group[g] as usize;
+            let l = local_of_group[g];
+            for &t in set {
+                cols[s][t as usize].insert(l);
+            }
+        }
+        let shards = groups_per
+            .into_iter()
+            .zip(cols)
+            .map(|(groups, c)| Shard {
+                tgm: Tgm::from_columns(groups.len(), c),
+                verify: VerifyOrder::build_for_groups(&db, &partitioning, &groups),
+                groups,
+            })
+            .collect();
+        Self {
+            db,
+            partitioning,
+            sim,
+            shards,
+            shard_of_group,
+            local_of_group,
+        }
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &SetDatabase {
+        &self.db
+    }
+
+    /// The global partitioning (shards are views onto its group axis).
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// The similarity measure.
+    pub fn sim(&self) -> S {
+        self.sim
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The global group ids owned by shard `s`.
+    pub fn shard_groups(&self, s: usize) -> &[u32] {
+        &self.shards[s].groups
+    }
+
+    /// Total index size across all shard matrices (Figure-11 quantity).
+    pub fn index_size_in_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.tgm.size_in_bytes()).sum()
+    }
+
+    /// Runs shard `s`'s filter pass for `query`: word-parallel overlap
+    /// counts over the shard's TGM, then the `O(G_s + |Q|)` bucketed
+    /// descending selection, written into `out` in `(r descending,
+    /// global group id ascending)` order.
+    pub(crate) fn filter_shard(
+        &self,
+        s: usize,
+        query: &[TokenId],
+        q_len: usize,
+        scratch: &mut QueryScratch,
+        out: &mut ShardFilter,
+    ) {
+        let shard = &self.shards[s];
+        out.cols = shard.tgm.group_overlaps_into(query, &mut scratch.counts);
+        out.bounds.clear();
+        out.bounds
+            .resize(shard.tgm.n_groups(), ShardBound::default());
+        // The one shared bucketed selection (see its docs: the sharded
+        // bit-for-bit contract depends on flat and sharded emitting the
+        // identical order). Local ids ascend with global ids within a
+        // shard, so per-shard `(r desc, local asc)` is `(r desc, global
+        // asc)` — what the cross-shard merge assumes.
+        let bounds = &mut out.bounds;
+        crate::index::bucketed_descending(
+            &scratch.counts,
+            q_len,
+            &mut scratch.offsets,
+            |pos, l, r| {
+                bounds[pos] = ShardBound {
+                    group: shard.groups[l as usize],
+                    local: l,
+                    r,
+                };
+            },
+        );
+    }
+
+    /// The cross-shard best-first descent over pre-computed shard filter
+    /// outputs, sharing one global top-k. `filter_of(s)` yields shard
+    /// `s`'s [`ShardFilter`]; `cursors` must hold one zeroed cursor per
+    /// shard. See the module docs for why this replays the unsharded
+    /// traversal exactly.
+    pub(crate) fn merge_knn<'a>(
+        &self,
+        query: &[TokenId],
+        k: usize,
+        q_len: usize,
+        filter_of: impl Fn(usize) -> &'a ShardFilter,
+        cursors: &mut [usize],
+        stats: &mut SearchStats,
+    ) -> TopK {
+        let n_shards = cursors.len();
+        let mut top = TopK::new(k);
+        loop {
+            // The globally best unvisited group: max r, ties to the
+            // smallest global group id — the unsharded bucketed order.
+            let mut best: Option<(usize, ShardBound)> = None;
+            for (s, &cur) in cursors.iter().enumerate() {
+                if let Some(&b) = filter_of(s).bounds.get(cur) {
+                    let better = match &best {
+                        None => true,
+                        Some((_, cur)) => b.r > cur.r || (b.r == cur.r && b.group < cur.group),
+                    };
+                    if better {
+                        best = Some((s, b));
+                    }
+                }
+            }
+            let Some((s, b)) = best else { break };
+            // The bound is derived from `r` only here, at the front —
+            // identical arithmetic to the flat index's eager bounds.
+            let ub = self.sim.ub_from_overlap(q_len, b.r as usize);
+            if top.is_full() && ub <= top.kth() {
+                // Every shard's remaining groups sit behind this front in
+                // the merged order, so they are all beaten too.
+                stats.groups_pruned += (0..n_shards)
+                    .map(|s| filter_of(s).bounds.len() - cursors[s])
+                    .sum::<usize>();
+                break;
+            }
+            cursors[s] += 1;
+            stats.groups_verified += 1;
+            let shard = &self.shards[s];
+            shard
+                .verify
+                .with_window(self.sim, b.local, q_len, top.kth(), |ids, skipped| {
+                    stats.size_skipped += skipped;
+                    for &id in ids {
+                        stats.candidates += 1;
+                        stats.sims_computed += 1;
+                        match self
+                            .sim
+                            .eval_with_threshold(query, self.db.set(id), top.kth())
+                        {
+                            ThresholdedEval::Hit(sim) => top.offer(id, sim),
+                            ThresholdedEval::Rejected { early } => {
+                                if early {
+                                    stats.early_exits += 1;
+                                }
+                            }
+                        }
+                    }
+                });
+        }
+        top
+    }
+
+    /// Verifies shard `s`'s groups against a fixed range threshold,
+    /// appending hits. Shards need no shared state for range queries, so
+    /// the batch executor runs this per (shard × query) task.
+    pub(crate) fn range_shard(
+        &self,
+        s: usize,
+        query: &[TokenId],
+        delta: f64,
+        filter: &ShardFilter,
+        hits: &mut Vec<(SetId, f64)>,
+        stats: &mut SearchStats,
+    ) {
+        let q_len = distinct_len(query);
+        let shard = &self.shards[s];
+        for (i, b) in filter.bounds.iter().enumerate() {
+            if self.sim.ub_from_overlap(q_len, b.r as usize) < delta {
+                stats.groups_pruned += filter.bounds.len() - i;
+                break;
+            }
+            stats.groups_verified += 1;
+            shard
+                .verify
+                .with_window(self.sim, b.local, q_len, delta, |ids, skipped| {
+                    stats.size_skipped += skipped;
+                    for &id in ids {
+                        stats.candidates += 1;
+                        stats.sims_computed += 1;
+                        match self.sim.eval_with_threshold(query, self.db.set(id), delta) {
+                            ThresholdedEval::Hit(sim) => hits.push((id, sim)),
+                            ThresholdedEval::Rejected { early } => {
+                                if early {
+                                    stats.early_exits += 1;
+                                }
+                            }
+                        }
+                    }
+                });
+        }
+    }
+
+    /// Exact kNN search across all shards (Definition 2.1); results are
+    /// bit-for-bit those of [`crate::Les3Index::knn`] on the same
+    /// database and partitioning.
+    pub fn knn(&self, query: &[TokenId], k: usize) -> SearchResult {
+        self.knn_with(query, k, &mut ShardedScratch::new())
+    }
+
+    /// [`ShardedLes3Index::knn`] with caller-provided scratch
+    /// (allocation-free in steady state).
+    pub fn knn_with(
+        &self,
+        query: &[TokenId],
+        k: usize,
+        scratch: &mut ShardedScratch,
+    ) -> SearchResult {
+        let mut stats = SearchStats::default();
+        if k == 0 || self.db.is_empty() {
+            return SearchResult {
+                hits: Vec::new(),
+                stats,
+            };
+        }
+        scratch.ensure(self.shards.len());
+        let q_len = distinct_len(query);
+        let ShardedScratch {
+            per_shard,
+            filters,
+            cursors,
+        } = scratch;
+        for s in 0..self.shards.len() {
+            self.filter_shard(s, query, q_len, &mut per_shard[s], &mut filters[s]);
+            stats.columns_checked += filters[s].cols as usize;
+        }
+        let filters: &[ShardFilter] = filters;
+        let top = self.merge_knn(query, k, q_len, |s| &filters[s], cursors, &mut stats);
+        SearchResult {
+            hits: top.into_sorted(),
+            stats,
+        }
+    }
+
+    /// Exact range search across all shards (Definition 2.2); results
+    /// are bit-for-bit those of [`crate::Les3Index::range`].
+    pub fn range(&self, query: &[TokenId], delta: f64) -> SearchResult {
+        self.range_with(query, delta, &mut ShardedScratch::new())
+    }
+
+    /// [`ShardedLes3Index::range`] with caller-provided scratch.
+    pub fn range_with(
+        &self,
+        query: &[TokenId],
+        delta: f64,
+        scratch: &mut ShardedScratch,
+    ) -> SearchResult {
+        let mut stats = SearchStats::default();
+        scratch.ensure(self.shards.len());
+        let q_len = distinct_len(query);
+        let mut hits: Vec<(SetId, f64)> = Vec::new();
+        let ShardedScratch {
+            per_shard, filters, ..
+        } = scratch;
+        for s in 0..self.shards.len() {
+            self.filter_shard(s, query, q_len, &mut per_shard[s], &mut filters[s]);
+            stats.columns_checked += filters[s].cols as usize;
+            self.range_shard(s, query, delta, &filters[s], &mut hits, &mut stats);
+        }
+        sort_hits(&mut hits);
+        SearchResult { hits, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::Les3Index;
+    use crate::sim::Jaccard;
+    use les3_data::zipfian::ZipfianGenerator;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_partitioning(n: usize, groups: usize, seed: u64) -> Partitioning {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Partitioning::from_assignment(
+            (0..n).map(|_| rng.gen_range(0..groups as u32)).collect(),
+            groups,
+        )
+    }
+
+    #[test]
+    fn policies_cover_all_groups_exactly_once() {
+        let part = random_partitioning(300, 17, 1);
+        for policy in [ShardPolicy::Contiguous, ShardPolicy::Hash] {
+            for n_shards in [1usize, 2, 5, 17, 40] {
+                let assign = policy.assign(&part, n_shards);
+                assert_eq!(assign.len(), 17);
+                assert!(assign.iter().all(|&s| (s as usize) < n_shards));
+                if policy == ShardPolicy::Contiguous {
+                    // Contiguous ranges: shard ids are non-decreasing.
+                    assert!(assign.windows(2).all(|w| w[0] <= w[1]), "{assign:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_results_match_unsharded_bit_for_bit() {
+        let db = ZipfianGenerator::new(500, 280, 7.0, 1.1).generate(13);
+        let part = random_partitioning(db.len(), 20, 4);
+        let flat = Les3Index::build(db.clone(), part.clone(), Jaccard);
+        for policy in [ShardPolicy::Contiguous, ShardPolicy::Hash] {
+            for n_shards in [1usize, 3, 8] {
+                let sharded =
+                    ShardedLes3Index::build(db.clone(), part.clone(), Jaccard, n_shards, policy);
+                for qid in [0u32, 77, 499] {
+                    let q = db.set(qid).to_vec();
+                    let a = sharded.knn(&q, 9);
+                    let b = flat.knn(&q, 9);
+                    assert_eq!(a.hits, b.hits, "{policy:?} N={n_shards} qid={qid}");
+                    assert_eq!(a.stats, b.stats, "{policy:?} N={n_shards} qid={qid}");
+                    let a = sharded.range(&q, 0.55);
+                    let b = flat.range(&q, 0.55);
+                    assert_eq!(a.hits, b.hits, "{policy:?} N={n_shards} qid={qid}");
+                    assert_eq!(a.stats, b.stats, "{policy:?} N={n_shards} qid={qid}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_scratch_reuse_is_equivalent_to_fresh() {
+        let db = ZipfianGenerator::new(300, 200, 6.0, 1.2).generate(8);
+        let part = random_partitioning(db.len(), 12, 2);
+        let index = ShardedLes3Index::build(db.clone(), part, Jaccard, 4, ShardPolicy::Hash);
+        let mut scratch = ShardedScratch::new();
+        for qid in [0u32, 50, 299] {
+            let q = db.set(qid).to_vec();
+            assert_eq!(
+                index.knn_with(&q, 5, &mut scratch).hits,
+                index.knn(&q, 5).hits
+            );
+            assert_eq!(
+                index.range_with(&q, 0.4, &mut scratch).hits,
+                index.range(&q, 0.4).hits
+            );
+        }
+    }
+
+    #[test]
+    fn more_shards_than_groups_leaves_empties_harmless() {
+        let db = ZipfianGenerator::new(60, 50, 5.0, 1.0).generate(3);
+        let part = random_partitioning(db.len(), 3, 9);
+        let flat = Les3Index::build(db.clone(), part.clone(), Jaccard);
+        let sharded =
+            ShardedLes3Index::build(db.clone(), part, Jaccard, 7, ShardPolicy::Contiguous);
+        assert_eq!(sharded.n_shards(), 7);
+        let q = db.set(5).to_vec();
+        assert_eq!(sharded.knn(&q, 4).hits, flat.knn(&q, 4).hits);
+        assert_eq!(sharded.range(&q, 0.3).hits, flat.range(&q, 0.3).hits);
+    }
+
+    #[test]
+    fn knn_handles_degenerate_inputs() {
+        let db = SetDatabase::from_sets(vec![vec![0u32, 1], vec![2, 3]]);
+        let index = ShardedLes3Index::build(
+            db,
+            Partitioning::round_robin(2, 2),
+            Jaccard,
+            2,
+            ShardPolicy::Contiguous,
+        );
+        assert!(index.knn(&[0, 1], 0).hits.is_empty());
+        assert_eq!(index.knn(&[0, 1], 10).hits.len(), 2);
+        let res = index.knn(&[100, 200], 1);
+        assert_eq!(res.hits.len(), 1);
+        assert_eq!(res.hits[0].1, 0.0);
+    }
+}

@@ -53,6 +53,17 @@ impl SearchStats {
         (db_size - extra.min(db_size)) as f64 / db_size as f64
     }
 
+    /// Sums a sequence of stats records into one — the cross-shard
+    /// aggregation of the sharded query engine (work counters are
+    /// per-group quantities, so per-shard records add exactly).
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a SearchStats>) -> SearchStats {
+        let mut out = SearchStats::default();
+        for p in parts {
+            out.accumulate(p);
+        }
+        out
+    }
+
     /// Adds another stats record.
     pub fn accumulate(&mut self, other: &SearchStats) {
         self.candidates += other.candidates;
@@ -90,6 +101,25 @@ mod tests {
         assert_eq!(s.pruning_efficiency_knn(0, 3), 1.0);
         // Candidates fewer than k: PE caps at 1.
         assert_eq!(s.pruning_efficiency_knn(100, 10), 1.0);
+    }
+
+    #[test]
+    fn merged_sums_all_parts() {
+        let a = SearchStats {
+            candidates: 3,
+            columns_checked: 1,
+            ..Default::default()
+        };
+        let b = SearchStats {
+            candidates: 4,
+            groups_pruned: 2,
+            ..Default::default()
+        };
+        let m = SearchStats::merged([&a, &b]);
+        assert_eq!(m.candidates, 7);
+        assert_eq!(m.columns_checked, 1);
+        assert_eq!(m.groups_pruned, 2);
+        assert_eq!(SearchStats::merged([]), SearchStats::default());
     }
 
     #[test]

@@ -43,6 +43,18 @@ impl Tgm {
         tgm
     }
 
+    /// Builds a TGM from pre-populated token columns over `n_groups`
+    /// (shard builds fill many matrices in one database pass and hand the
+    /// columns over here for compression).
+    pub(crate) fn from_columns(n_groups: usize, token_groups: Vec<Bitmap>) -> Self {
+        let mut tgm = Self {
+            n_groups,
+            token_groups,
+        };
+        tgm.run_optimize();
+        tgm
+    }
+
     /// Number of groups (matrix rows).
     pub fn n_groups(&self) -> usize {
         self.n_groups
@@ -136,6 +148,10 @@ impl Tgm {
             debug_assert!((g as usize) < self.n_groups);
             mask.insert(g);
         }
+        // Sorted touched words let the kernel jump straight to the
+        // mask-covered chunks of each column instead of word-scanning it —
+        // the chunk-skipping fast path for very sparse candidate sets.
+        mask.sort_touched();
         if dense.len() < self.n_groups {
             dense.resize(self.n_groups, 0);
         }
@@ -148,7 +164,7 @@ impl Tgm {
             }
             prev = Some(t);
             if let Some(bm) = self.token_groups.get(t as usize) {
-                touched += bm.count_into_masked(mask, dense);
+                touched += bm.count_into_masked_adaptive(mask, dense);
             }
         }
         out.clear();

@@ -13,6 +13,7 @@
 use les3_data::{SetId, TokenId};
 
 use crate::index::Les3Index;
+use crate::shard::ShardedLes3Index;
 use crate::sim::{distinct_len, Similarity};
 
 impl<S: Similarity> Les3Index<S> {
@@ -44,25 +45,75 @@ impl<S: Similarity> Les3Index<S> {
         if ps.is_empty() {
             return smallest_group(&sizes);
         }
-        let q_len = distinct_len(ps);
         let counts = self.tgm().group_overlaps(ps);
-        let mut best_g = 0u32;
-        let mut best_ub = f64::NEG_INFINITY;
-        let mut best_size = usize::MAX;
-        for (g, &r) in counts.iter().enumerate() {
-            let ub = self.sim().ub_from_overlap(q_len, r as usize);
-            let size = sizes[g];
-            if ub > best_ub || (ub == best_ub && size < best_size) {
-                best_g = g as u32;
-                best_ub = ub;
-                best_size = size;
-            }
-        }
-        best_g
+        choose_group_from_counts(self.sim(), distinct_len(ps), &counts, &sizes)
     }
 }
 
-fn smallest_group(sizes: &[usize]) -> u32 {
+impl<S: Similarity> ShardedLes3Index<S> {
+    /// Inserts a new set, routing it to the shard that owns the chosen
+    /// group. Group selection follows the exact global rule of
+    /// [`Les3Index::insert`] — per-shard overlap counts are scattered
+    /// back to global group ids first — so a sharded index and an
+    /// unsharded one stay bit-for-bit in sync under interleaved inserts.
+    pub fn insert(&mut self, tokens: &mut [TokenId]) -> (SetId, u32) {
+        tokens.sort_unstable();
+        let universe = self.db.universe_size();
+        let ps: Vec<TokenId> = tokens.iter().copied().filter(|&t| t < universe).collect();
+        let sizes = self.partitioning.group_sizes();
+        let g = if ps.is_empty() {
+            smallest_group(&sizes)
+        } else {
+            let mut counts = vec![0u32; self.partitioning.n_groups()];
+            for shard in &self.shards {
+                for (l, &r) in shard.tgm.group_overlaps(&ps).iter().enumerate() {
+                    counts[shard.groups[l] as usize] = r;
+                }
+            }
+            choose_group_from_counts(self.sim, distinct_len(&ps), &counts, &sizes)
+        };
+        let id = self.db.push_sorted(tokens);
+        let joined = self.partitioning.push(g);
+        debug_assert_eq!(id, joined);
+        // Route to the owning shard.
+        let s = self.shard_of_group[g as usize] as usize;
+        let l = self.local_of_group[g as usize];
+        let shard = &mut self.shards[s];
+        for &t in self.db.set(id) {
+            shard.tgm.set_bit(l, t);
+        }
+        let len = distinct_len(self.db.set(id)) as u32;
+        shard.verify.push(l, len, id);
+        (id, g)
+    }
+}
+
+/// Group with the highest `UB(ps, G_g)` given pre-computed overlap
+/// counts; ties (including the all-zero case) go to the smallest group,
+/// then the smallest id — the §6 placement rule, shared by the flat and
+/// sharded indexes so both make identical placement decisions.
+pub(crate) fn choose_group_from_counts<S: Similarity>(
+    sim: S,
+    q_len: usize,
+    counts: &[u32],
+    sizes: &[usize],
+) -> u32 {
+    let mut best_g = 0u32;
+    let mut best_ub = f64::NEG_INFINITY;
+    let mut best_size = usize::MAX;
+    for (g, &r) in counts.iter().enumerate() {
+        let ub = sim.ub_from_overlap(q_len, r as usize);
+        let size = sizes[g];
+        if ub > best_ub || (ub == best_ub && size < best_size) {
+            best_g = g as u32;
+            best_ub = ub;
+            best_size = size;
+        }
+    }
+    best_g
+}
+
+pub(crate) fn smallest_group(sizes: &[usize]) -> u32 {
     sizes
         .iter()
         .enumerate()

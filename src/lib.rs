@@ -63,8 +63,9 @@ pub use les3_storage as storage;
 pub mod prelude {
     pub use les3_baselines::{BruteForce, DualTrans, InvIdx, ScalarTrans, SetSimSearch};
     pub use les3_core::{
-        Cosine, Dice, DiskLes3, HierarchicalPartitioning, Htgm, Jaccard, Les3Index,
-        OverlapCoefficient, Partitioning, SearchResult, SearchStats, Similarity, Tgm,
+        Cosine, DeletionLog, Dice, DiskLes3, HierarchicalPartitioning, Htgm, Jaccard, Les3Index,
+        OverlapCoefficient, Partitioning, QueryScratch, SearchResult, SearchStats, ShardPolicy,
+        ShardedLes3Index, ShardedScratch, Similarity, Tgm,
     };
     pub use les3_data::realistic::DatasetSpec;
     pub use les3_data::zipfian::ZipfianGenerator;
