@@ -48,11 +48,7 @@ impl<S: Similarity> SetSimSearch for BruteForce<S> {
 
     fn knn(&self, query: &[TokenId], k: usize) -> SearchResult {
         let (mut sims, stats) = self.scan(query);
-        sims.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
+        sims.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         sims.truncate(k);
         SearchResult { hits: sims, stats }
     }
@@ -60,11 +56,7 @@ impl<S: Similarity> SetSimSearch for BruteForce<S> {
     fn range(&self, query: &[TokenId], delta: f64) -> SearchResult {
         let (sims, stats) = self.scan(query);
         let mut hits: Vec<(SetId, f64)> = sims.into_iter().filter(|&(_, s)| s >= delta).collect();
-        hits.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
+        hits.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         SearchResult { hits, stats }
     }
 

@@ -229,11 +229,7 @@ impl<S: Similarity> SetSimSearch for InvIdx<S> {
 }
 
 fn sort_hits(hits: &mut [(SetId, f64)]) {
-    hits.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(&b.0))
-    });
+    hits.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
 }
 
 #[cfg(test)]

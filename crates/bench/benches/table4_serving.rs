@@ -1,0 +1,164 @@
+//! Table 4 (repo extension): serving-front throughput and latency
+//! versus the batching deadline and batch-size cap.
+//!
+//! Builds one sharded index, then serves the same closed-loop
+//! single-query workload (P producer threads, blocking kNN calls)
+//! through [`ServeFront`]s configured across a (max_batch × max_wait)
+//! grid, plus a "direct" row that bypasses the front entirely (each
+//! producer calls `knn_with` with its own scratch — the no-batching
+//! baseline). Rows are printed and recorded to `BENCH_serve.json` at the
+//! workspace root so CI history can track the front's overhead and the
+//! deadline's latency/throughput trade-off.
+//!
+//! On a single-core host the front's win is architectural (request
+//! coalescing + persistent scratch without any caller-side batching);
+//! re-measure when cores appear — the worker pool and the (shard ×
+//! chunk) grid underneath it are already parallel.
+
+use les3_bench::{bench_queries, bench_sets, header, workload};
+use les3_core::serve::{ServeConfig, ServeFront};
+use les3_core::{Jaccard, Partitioning, ShardPolicy, ShardedLes3Index, ShardedScratch};
+use les3_data::zipfian::ZipfianGenerator;
+use les3_data::TokenId;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const K: usize = 10;
+const PRODUCERS: usize = 4;
+
+struct Measured {
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// Closed-loop run: `PRODUCERS` threads each issue their share of
+/// `queries` as blocking single requests through `serve`.
+fn drive(queries: &[Vec<TokenId>], serve: impl Fn(usize, &[TokenId]) + Sync) -> Measured {
+    let start = Instant::now();
+    let mut lats: Vec<Duration> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let serve = &serve;
+                s.spawn(move || {
+                    let mut lats = Vec::new();
+                    for (i, q) in queries.iter().enumerate() {
+                        if i % PRODUCERS != p {
+                            continue;
+                        }
+                        let t0 = Instant::now();
+                        serve(i, q);
+                        lats.push(t0.elapsed());
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("producer panicked"))
+            .collect()
+    });
+    let wall = start.elapsed();
+    lats.sort_unstable();
+    Measured {
+        qps: queries.len() as f64 / wall.as_secs_f64(),
+        p50_us: lats[lats.len() / 2].as_secs_f64() * 1e6,
+        p99_us: lats[lats.len() * 99 / 100].as_secs_f64() * 1e6,
+    }
+}
+
+fn main() {
+    header(
+        "Table 4",
+        "serving front: throughput/latency vs batch deadline",
+    );
+    let n = bench_sets(20_000);
+    let n_queries = bench_queries(512) * 4;
+    let n_groups = (n / 78).clamp(16, 1024);
+    let db = ZipfianGenerator::new(n, (n / 5) as u32, 12.0, 1.1).generate(2);
+    let part = Partitioning::round_robin(db.len(), n_groups);
+    let queries = workload(&db, n_queries, 7);
+    let index = Arc::new(ShardedLes3Index::build(
+        db,
+        part,
+        Jaccard,
+        4,
+        ShardPolicy::Contiguous,
+    ));
+    println!(
+        "|D| = {n}, {n_groups} groups, 4 shards, {n_queries} single-query requests, \
+         k = {K}, {PRODUCERS} producers\n"
+    );
+    println!(
+        "{:<30} {:>10} {:>10} {:>10}",
+        "configuration", "queries/s", "p50 us", "p99 us"
+    );
+
+    let mut rows = String::new();
+
+    // Baseline: no front, no batching — every producer thread calls the
+    // index directly with its own scratch.
+    let direct = {
+        let index = Arc::clone(&index);
+        drive(&queries, move |_, q| {
+            thread_local! {
+                static SCRATCH: std::cell::RefCell<ShardedScratch> =
+                    std::cell::RefCell::new(ShardedScratch::new());
+            }
+            SCRATCH.with(|s| {
+                let res = index.knn_with(q, K, &mut s.borrow_mut());
+                assert!(res.hits.len() <= K);
+            });
+        })
+    };
+    println!(
+        "{:<30} {:>10.0} {:>10.0} {:>10.0}",
+        "direct (no front)", direct.qps, direct.p50_us, direct.p99_us
+    );
+    let _ = write!(
+        rows,
+        "{{\"config\": \"direct\", \"qps\": {:.0}, \"p50_us\": {:.0}, \"p99_us\": {:.0}}}",
+        direct.qps, direct.p50_us, direct.p99_us
+    );
+
+    for max_batch in [1usize, 16, 64] {
+        for wait_us in [0u64, 250, 1_000, 4_000] {
+            let config = ServeConfig {
+                max_batch,
+                max_wait: Duration::from_micros(wait_us),
+                workers: 0,
+            };
+            let front = ServeFront::from_arc(Arc::clone(&index), config);
+            // Warm the pool, then measure.
+            let _ = front.knn(&queries[0], K);
+            let m = drive(&queries, |_, q| {
+                let res = front.knn(q, K).expect("serve failed");
+                assert!(res.hits.len() <= K);
+            });
+            let label = format!("batch<={max_batch} wait={wait_us}us");
+            println!(
+                "{:<30} {:>10.0} {:>10.0} {:>10.0}",
+                label, m.qps, m.p50_us, m.p99_us
+            );
+            let _ = write!(
+                rows,
+                ",\n  {{\"config\": \"batch{max_batch}-wait{wait_us}us\", \"qps\": {:.0}, \
+                 \"p50_us\": {:.0}, \"p99_us\": {:.0}}}",
+                m.qps, m.p50_us, m.p99_us
+            );
+        }
+    }
+
+    let json = format!(
+        "{{\n \"bench\": \"table4_serving\",\n \"n_sets\": {n},\n \"n_groups\": {n_groups},\n \
+         \"n_shards\": 4,\n \"n_requests\": {n_queries},\n \"k\": {K},\n \
+         \"producers\": {PRODUCERS},\n \"rows\": [{rows}]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nrecorded {path}"),
+        Err(e) => println!("\n(could not record {path}: {e})"),
+    }
+}

@@ -18,21 +18,32 @@
 //! share nothing but the read-only index and their disjoint output
 //! slots.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use les3_data::TokenId;
 
 use crate::index::{sort_hits, Les3Index, SearchResult};
 use crate::scratch::{QueryScratch, ShardedScratch};
 use crate::shard::{ShardFilter, ShardedLes3Index};
-use crate::sim::{distinct_len, Similarity};
+use crate::sim::{distinct_len, normalize_query, Similarity};
 use crate::stats::SearchStats;
 
 /// Queries per task. Small enough that a skewed batch decomposes into
 /// many stealable tasks, large enough to amortize a task claim (one
-/// uncontended atomic add) over real work.
-const TASK_QUERIES: usize = 8;
+/// uncontended atomic add) over real work. Shared with the serving
+/// front's batch jobs so both executors coalesce at the same grain.
+pub(crate) const TASK_QUERIES: usize = 8;
+
+/// Locks a mutex, recovering the guard when a panicking worker left it
+/// poisoned. Every mutex in this module protects data that is either
+/// written exactly once by one task or re-validated by the caller, so a
+/// poisoned lock carries no corruption the executor's panic handling
+/// does not already account for.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Runs `n_tasks` tasks across `workers` rayon workers, each worker
 /// claiming tasks one at a time from a shared atomic counter
@@ -40,6 +51,18 @@ const TASK_QUERIES: usize = 8;
 /// `make_state` builds one per-worker state (scratch) reused across all
 /// tasks the worker claims; `run` must tolerate any task→worker
 /// assignment, i.e. write only to task-owned locations.
+///
+/// # Panic isolation
+///
+/// A panicking task no longer takes the whole executor down mid-flight:
+/// the panic is caught, the worker's state is rebuilt (a panicked task
+/// may have left scratch invariants violated), and the worker keeps
+/// claiming — every other task still runs exactly once. The *first*
+/// panic payload is rethrown after all tasks finish, so callers of the
+/// synchronous batch API still observe the original panic rather than a
+/// poisoned-mutex cascade ("task cell poisoned"). The serving front's
+/// [`WorkerPool`] goes one step further and converts panics into
+/// per-request error results.
 pub(crate) fn run_coalesced<W>(
     workers: usize,
     n_tasks: usize,
@@ -49,31 +72,200 @@ pub(crate) fn run_coalesced<W>(
     if n_tasks == 0 {
         return;
     }
+    let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let record = |payload: Box<dyn std::any::Any + Send>| {
+        let mut slot = lock_unpoisoned(&first_panic);
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    };
     if workers <= 1 {
         let mut state = make_state();
         for t in 0..n_tasks {
-            run(t, &mut state);
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(t, &mut state))) {
+                record(payload);
+                state = make_state();
+            }
         }
-        return;
-    }
-    let next = AtomicUsize::new(0);
-    rayon::scope(|scope| {
-        for _ in 0..workers.min(n_tasks) {
-            let next = &next;
-            let run = &run;
-            let make_state = &make_state;
-            scope.spawn(move |_| {
-                let mut state = make_state();
-                loop {
-                    let t = next.fetch_add(1, Ordering::Relaxed);
-                    if t >= n_tasks {
-                        break;
+    } else {
+        let next = AtomicUsize::new(0);
+        rayon::scope(|scope| {
+            for _ in 0..workers.min(n_tasks) {
+                let next = &next;
+                let run = &run;
+                let make_state = &make_state;
+                let record = &record;
+                scope.spawn(move |_| {
+                    let mut state = make_state();
+                    loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        if t >= n_tasks {
+                            break;
+                        }
+                        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(t, &mut state)))
+                        {
+                            record(payload);
+                            state = make_state();
+                        }
                     }
-                    run(t, &mut state);
-                }
-            });
+                });
+            }
+        });
+    }
+    if let Some(payload) = first_panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        resume_unwind(payload);
+    }
+}
+
+/// A persistent coalescing worker pool — the long-lived counterpart of
+/// [`run_coalesced`], extracted for callers that outlive any single
+/// batch (the serving front's [`crate::serve::ServeFront`]).
+///
+/// `N` OS threads live for the pool's whole lifetime; each owns one
+/// per-worker state (scratch) built once by the factory and reused
+/// across **every job the pool ever executes**, so steady-state serving
+/// allocates nothing per batch. Jobs queue FIFO; all workers gang up on
+/// the front job, claiming its tasks through the job's own atomic
+/// cursor (the same skew-absorbing discipline as `run_coalesced`), and
+/// fall through to the next job the moment the front one is fully
+/// claimed — jobs pipeline, they do not barrier.
+///
+/// Dropping the pool is graceful: workers drain the queue (every
+/// submitted job completes) before the threads are joined.
+pub(crate) struct WorkerPool<W: Send + 'static> {
+    shared: Arc<PoolShared<W>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// A unit of pool work: a batch that hands out tasks to however many
+/// workers show up.
+pub(crate) trait PoolJob<W>: Send + Sync + 'static {
+    /// Claims and runs tasks until none are left to claim, then returns.
+    /// Implementations must not let panics escape — convert them into
+    /// per-task error results ([`crate::serve`] does); the pool treats an
+    /// escaped panic as a defect, rebuilds the worker's state and keeps
+    /// the worker alive.
+    fn run(&self, state: &mut W);
+
+    /// Whether every task has been claimed (the pool then pops the job;
+    /// claimed-but-still-running tasks finish on their claimants).
+    fn exhausted(&self) -> bool;
+}
+
+struct PoolShared<W> {
+    queue: Mutex<std::collections::VecDeque<Arc<dyn PoolJob<W>>>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A cheap submit-only handle onto a [`WorkerPool`]'s queue, detachable
+/// from the pool's owner (the serving front's dispatcher thread holds
+/// one).
+pub(crate) struct PoolHandle<W>(Arc<PoolShared<W>>);
+
+impl<W> Clone for PoolHandle<W> {
+    fn clone(&self) -> Self {
+        Self(Arc::clone(&self.0))
+    }
+}
+
+impl<W: Send + 'static> PoolHandle<W> {
+    /// Enqueues a job; every idle worker wakes and starts claiming.
+    pub(crate) fn submit(&self, job: Arc<dyn PoolJob<W>>) {
+        lock_unpoisoned(&self.0.queue).push_back(job);
+        self.0.available.notify_all();
+    }
+}
+
+impl<W: Send + 'static> WorkerPool<W> {
+    /// Spawns `workers` named threads, each owning one `make_state()`
+    /// result for its whole lifetime.
+    pub(crate) fn new(
+        workers: usize,
+        name: &str,
+        make_state: impl Fn() -> W + Send + Sync + 'static,
+    ) -> Self {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(std::collections::VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let make_state = Arc::new(make_state);
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let make_state = Arc::clone(&make_state);
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || pool_worker_loop(&shared, &*make_state))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// A submit-only handle usable from other threads.
+    pub(crate) fn handle(&self) -> PoolHandle<W> {
+        PoolHandle(Arc::clone(&self.shared))
+    }
+}
+
+impl<W: Send + 'static> Drop for WorkerPool<W> {
+    fn drop(&mut self) {
+        // Set the flag while holding the queue mutex: a worker that just
+        // saw `shutdown == false` under the lock cannot yet be parked on
+        // the condvar, so the notify below can never be lost.
+        {
+            let _queue = lock_unpoisoned(&self.shared.queue);
+            self.shared.shutdown.store(true, Ordering::Release);
         }
-    });
+        self.shared.available.notify_all();
+        for h in self.handles.drain(..) {
+            // A worker that somehow died earlier already completed no
+            // further jobs; the drain semantics below cover the rest.
+            let _ = h.join();
+        }
+    }
+}
+
+fn pool_worker_loop<W: Send + 'static>(shared: &PoolShared<W>, make_state: &dyn Fn() -> W) {
+    let mut state = make_state();
+    loop {
+        let job = {
+            let mut queue = lock_unpoisoned(&shared.queue);
+            loop {
+                // Drop fully-claimed jobs off the front (their last
+                // tasks finish on whichever workers claimed them).
+                while queue.front().is_some_and(|j| j.exhausted()) {
+                    queue.pop_front();
+                }
+                if let Some(front) = queue.front() {
+                    break Arc::clone(front);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return; // queue drained and no more submitters
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // Jobs catch per-request panics themselves; this outer catch is
+        // the backstop that keeps a defective job from killing the
+        // worker thread (and with it the pool's capacity).
+        if catch_unwind(AssertUnwindSafe(|| job.run(&mut state))).is_err() {
+            state = make_state();
+        }
+    }
+}
+
+/// Per-query [`normalize_query`]: borrows every already-sorted query
+/// (the common case — one scan, no copy) and owns a sorted copy of any
+/// unsorted one, so the wave paths stay bit-for-bit identical to the
+/// per-query entry points.
+fn normalized_queries(queries: &[Vec<TokenId>]) -> Vec<std::borrow::Cow<'_, [TokenId]>> {
+    queries.iter().map(|q| normalize_query(q)).collect()
 }
 
 /// Worker count for a batch of `n` queries: enough tasks per worker that
@@ -133,7 +325,7 @@ impl<S: Similarity> Les3Index<S> {
         let mut slots: Vec<Option<SearchResult>> = (0..n).map(|_| None).collect();
         let cells = task_cells(&mut slots, TASK_QUERIES);
         run_coalesced(workers, cells.len(), QueryScratch::new, |t, scratch| {
-            let mut out = cells[t].lock().expect("task cell poisoned");
+            let mut out = lock_unpoisoned(&cells[t]);
             for (q, slot) in queries[t * TASK_QUERIES..].iter().zip(out.iter_mut()) {
                 *slot = Some(run_one(self, q, scratch));
             }
@@ -200,6 +392,11 @@ impl<S: Similarity> ShardedLes3Index<S> {
                 .map(|q| self.knn_with(q, k, &mut scratch))
                 .collect();
         }
+        // The wave paths hand raw queries to the shard filter kernels,
+        // so sort any unsorted ones here — exactly what the per-query
+        // entry points do — to keep batch results identical to them.
+        let storage = normalized_queries(queries);
+        let queries: Vec<&[TokenId]> = storage.iter().map(|q| q.as_ref()).collect();
         // Waves keep phase-A memory bounded for arbitrarily large
         // batches; each wave is its own two-phase run.
         let wave = (workers * WAVE_CHUNKS_PER_WORKER * TASK_QUERIES).max(TASK_QUERIES);
@@ -212,7 +409,7 @@ impl<S: Similarity> ShardedLes3Index<S> {
 
     /// One wave of the sharded kNN batch: phase A fills the (shard ×
     /// chunk) filter grid, phase B merges per query.
-    fn knn_wave(&self, workers: usize, queries: &[Vec<TokenId>], k: usize) -> Vec<SearchResult> {
+    fn knn_wave(&self, workers: usize, queries: &[&[TokenId]], k: usize) -> Vec<SearchResult> {
         let n = queries.len();
         let n_shards = self.n_shards();
         let n_chunks = n.div_ceil(TASK_QUERIES);
@@ -229,7 +426,7 @@ impl<S: Similarity> ShardedLes3Index<S> {
             n_chunks,
             || vec![0usize; n_shards],
             |c, cursors| {
-                let mut out = cells[c].lock().expect("task cell poisoned");
+                let mut out = lock_unpoisoned(&cells[c]);
                 for (i, (q, slot)) in queries[c * TASK_QUERIES..]
                     .iter()
                     .zip(out.iter_mut())
@@ -288,6 +485,8 @@ impl<S: Similarity> ShardedLes3Index<S> {
                 .map(|q| self.range_with(q, delta, &mut scratch))
                 .collect();
         }
+        let storage = normalized_queries(queries);
+        let queries: Vec<&[TokenId]> = storage.iter().map(|q| q.as_ref()).collect();
         let wave = (workers * WAVE_CHUNKS_PER_WORKER * TASK_QUERIES).max(TASK_QUERIES);
         let mut out = Vec::with_capacity(n);
         for slice in queries.chunks(wave) {
@@ -298,12 +497,7 @@ impl<S: Similarity> ShardedLes3Index<S> {
 
     /// One wave of the sharded range batch: filter + verify per (shard,
     /// chunk) task, then per-query concatenation.
-    fn range_wave(
-        &self,
-        workers: usize,
-        queries: &[Vec<TokenId>],
-        delta: f64,
-    ) -> Vec<SearchResult> {
+    fn range_wave(&self, workers: usize, queries: &[&[TokenId]], delta: f64) -> Vec<SearchResult> {
         let n = queries.len();
         let n_shards = self.n_shards();
         let n_chunks = n.div_ceil(TASK_QUERIES);
@@ -330,12 +524,12 @@ impl<S: Similarity> ShardedLes3Index<S> {
                     self.range_shard(s, q, delta, filter, &mut hits, &mut stats);
                     out.push((hits, stats));
                 }
-                *cells[t].lock().expect("task cell poisoned") = out;
+                *lock_unpoisoned(&cells[t]) = out;
             },
         );
         let partials: Vec<Vec<Partial>> = cells
             .into_iter()
-            .map(|m| m.into_inner().expect("task cell poisoned"))
+            .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
             .collect();
         // Phase B — per-chunk concatenation + canonical sort.
         let mut slots: Vec<Option<SearchResult>> = (0..n).map(|_| None).collect();
@@ -345,7 +539,7 @@ impl<S: Similarity> ShardedLes3Index<S> {
             n_chunks,
             || (),
             |c, _| {
-                let mut out = out_cells[c].lock().expect("task cell poisoned");
+                let mut out = lock_unpoisoned(&out_cells[c]);
                 for (i, slot) in out.iter_mut().enumerate() {
                     let mut hits = Vec::new();
                     for s in 0..n_shards {
@@ -373,7 +567,7 @@ impl<S: Similarity> ShardedLes3Index<S> {
     fn run_filter_phase(
         &self,
         workers: usize,
-        queries: &[Vec<TokenId>],
+        queries: &[&[TokenId]],
         n_chunks: usize,
     ) -> Vec<Vec<ShardFilter>> {
         let n = queries.len();
@@ -394,12 +588,12 @@ impl<S: Similarity> ShardedLes3Index<S> {
                     self.filter_shard(s, q, distinct_len(q), scratch, &mut filter);
                     out.push(filter);
                 }
-                *cells[t].lock().expect("task cell poisoned") = out;
+                *lock_unpoisoned(&cells[t]) = out;
             },
         );
         cells
             .into_iter()
-            .map(|m| m.into_inner().expect("task cell poisoned"))
+            .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
             .collect()
     }
 }
@@ -534,6 +728,111 @@ mod tests {
         for (i, q) in queries.iter().enumerate() {
             assert_eq!(knn[i].hits, sharded.knn(q, 4).hits, "q {i}");
             assert_eq!(rng[i].hits, sharded.range(q, 0.4).hits, "q {i}");
+        }
+    }
+
+    #[test]
+    fn coalesced_executor_isolates_panicking_tasks() {
+        // One poisoned task must not stop the others: every non-poisoned
+        // task still runs exactly once, and the caller observes the
+        // original panic payload (not a poisoned-mutex cascade).
+        for workers in [1usize, 3] {
+            let counts: Vec<AtomicUsize> = (0..10).map(|_| AtomicUsize::new(0)).collect();
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                run_coalesced(
+                    workers,
+                    10,
+                    || (),
+                    |t, _| {
+                        counts[t].fetch_add(1, Ordering::Relaxed);
+                        if t == 4 {
+                            panic!("poisoned task");
+                        }
+                    },
+                );
+            }));
+            let payload = outcome.expect_err("executor rethrows the task panic");
+            assert_eq!(
+                payload.downcast_ref::<&str>().copied(),
+                Some("poisoned task"),
+                "workers {workers}"
+            );
+            for (t, c) in counts.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), 1, "task {t} workers {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_panics_cleanly_not_with_poisoned_cells() {
+        // A panicking query inside a real batch must surface its own
+        // message; before panic isolation this died on "task cell
+        // poisoned" from an unrelated worker instead.
+        let (index, _) = setup();
+        let queries: Vec<Vec<TokenId>> = (0..40u32)
+            .map(|i| index.db().set(i % 400).to_vec())
+            .collect();
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            index.run_batch_on(3, &queries, |ix, q, scratch| {
+                assert!(q != index.db().set(13), "query 13 is poisoned");
+                ix.knn_with(q, 3, scratch)
+            })
+        }));
+        let payload = outcome.expect_err("the poisoned query's panic propagates");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("query 13 is poisoned"), "got: {msg}");
+    }
+
+    #[test]
+    fn worker_pool_runs_jobs_and_persists_state() {
+        struct CountJob {
+            next: AtomicUsize,
+            n_tasks: usize,
+            ran: Vec<AtomicUsize>,
+            /// Sum of per-worker task tallies observed (state reuse).
+            state_total: AtomicUsize,
+        }
+        impl PoolJob<usize> for CountJob {
+            fn run(&self, state: &mut usize) {
+                loop {
+                    let t = self.next.fetch_add(1, Ordering::Relaxed);
+                    if t >= self.n_tasks {
+                        break;
+                    }
+                    *state += 1; // per-worker state survives across jobs
+                    self.ran[t].fetch_add(1, Ordering::Relaxed);
+                    self.state_total.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            fn exhausted(&self) -> bool {
+                self.next.load(Ordering::Relaxed) >= self.n_tasks
+            }
+        }
+        let pool: WorkerPool<usize> = WorkerPool::new(3, "test-pool", || 0usize);
+        let handle = pool.handle();
+        let jobs: Vec<Arc<CountJob>> = (0..4)
+            .map(|j| {
+                Arc::new(CountJob {
+                    next: AtomicUsize::new(0),
+                    n_tasks: 5 + j,
+                    ran: (0..5 + j).map(|_| AtomicUsize::new(0)).collect(),
+                    state_total: AtomicUsize::new(0),
+                })
+            })
+            .collect();
+        for job in &jobs {
+            handle.submit(Arc::clone(job) as Arc<dyn PoolJob<usize>>);
+        }
+        drop(pool); // graceful: drains the queue before joining workers
+        for (j, job) in jobs.iter().enumerate() {
+            for (t, c) in job.ran.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), 1, "job {j} task {t}");
+            }
+            assert_eq!(job.state_total.load(Ordering::Relaxed), job.n_tasks);
         }
     }
 

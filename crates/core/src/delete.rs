@@ -102,51 +102,50 @@ impl DeletionLog {
     }
 
     /// Tombstones set `id` and clears every TGM bit whose reference count
-    /// drops to zero. Returns `false` if the set was already deleted.
+    /// drops to zero. Returns `false` — a no-op — if the set was already
+    /// deleted or `id` is out of range (ids the index never issued are
+    /// treated like any other absent set rather than panicking).
     pub fn delete<S: Similarity>(&mut self, index: &mut Les3Index<S>, id: SetId) -> bool {
         let db_len = index.db().len();
-        let g = if (id as usize) < db_len {
-            index.partitioning().group_of(id)
-        } else {
-            0 // delete_inner asserts below; value unused
-        };
-        let tokens = Self::distinct_tokens(index.db(), id, db_len);
+        if (id as usize) >= db_len {
+            return false;
+        }
+        let g = index.partitioning().group_of(id);
+        let tokens = Self::distinct_tokens(index.db(), id);
         let (_, _, tgm) = index.parts_mut();
         self.delete_inner(db_len, id, g, tokens, |g, t| tgm.clear_bit(g, t))
     }
 
     /// [`DeletionLog::delete`] for a sharded index: the tombstone and
     /// reference counts are global, and each cleared bit routes to the
-    /// shard that owns the set's group.
+    /// shard that owns the set's group. Out-of-range ids are a no-op
+    /// returning `false`, as in [`DeletionLog::delete`].
     pub fn delete_sharded<S: Similarity>(
         &mut self,
         index: &mut ShardedLes3Index<S>,
         id: SetId,
     ) -> bool {
         let db_len = index.db().len();
-        let g = if (id as usize) < db_len {
-            index.partitioning().group_of(id)
-        } else {
-            0
-        };
-        let tokens = Self::distinct_tokens(index.db(), id, db_len);
+        if (id as usize) >= db_len {
+            return false;
+        }
+        let g = index.partitioning().group_of(id);
+        let tokens = Self::distinct_tokens(index.db(), id);
         let s = index.shard_of_group[g as usize] as usize;
         let l = index.local_of_group[g as usize];
         let shard = &mut index.shards[s];
         self.delete_inner(db_len, id, g, tokens, |_, t| shard.tgm.clear_bit(l, t))
     }
 
-    fn distinct_tokens(db: &les3_data::SetDatabase, id: SetId, db_len: usize) -> Vec<TokenId> {
-        if (id as usize) >= db_len {
-            return Vec::new();
-        }
+    fn distinct_tokens(db: &les3_data::SetDatabase, id: SetId) -> Vec<TokenId> {
         let mut v = db.set(id).to_vec();
         v.dedup();
         v
     }
 
     /// Shared tombstone + refcount walk; `clear_bit(g, t)` clears the
-    /// matrix bit in whichever index variant owns it.
+    /// matrix bit in whichever index variant owns it. The caller has
+    /// already bounds-checked `id < db_len`.
     fn delete_inner(
         &mut self,
         db_len: usize,
@@ -155,7 +154,7 @@ impl DeletionLog {
         tokens: Vec<TokenId>,
         mut clear_bit: impl FnMut(u32, TokenId),
     ) -> bool {
-        assert!((id as usize) < db_len, "set id out of range");
+        debug_assert!((id as usize) < db_len, "caller bounds-checks id");
         if self.deleted.len() < db_len {
             self.deleted.resize(db_len, false);
         }
@@ -216,6 +215,18 @@ mod tests {
         assert!(log.delete(&mut idx, 1));
         assert!(!idx.tgm().bit(0, 0), "last reference gone");
         assert_eq!(log.live_count(), 2);
+    }
+
+    #[test]
+    fn out_of_range_ids_are_noops() {
+        let mut idx = index();
+        let mut log = DeletionLog::build(&idx);
+        assert!(!log.is_deleted(9_999), "unknown ids read as live");
+        assert!(!log.delete(&mut idx, 9_999), "unknown ids delete as no-op");
+        assert_eq!(log.live_count(), 4);
+        // The index is untouched: every original bit survives.
+        assert!(idx.tgm().bit(0, 0));
+        assert!(idx.tgm().bit(1, 10));
     }
 
     #[test]

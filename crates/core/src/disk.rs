@@ -11,7 +11,7 @@ use les3_storage::{DiskModel, GroupedLayout, IoStats, SimDisk};
 
 use crate::index::sort_hits;
 use crate::index::{Les3Index, SearchResult, TopK};
-use crate::sim::Similarity;
+use crate::sim::{normalize_query, Similarity};
 use crate::stats::SearchStats;
 
 /// Disk-resident LES3: index + group-contiguous layout + disk model.
@@ -53,6 +53,8 @@ impl<S: Similarity> DiskLes3<S> {
     pub fn knn(&self, query: &[TokenId], k: usize) -> (SearchResult, IoStats) {
         let mut disk = SimDisk::new(self.model);
         let mut stats = SearchStats::default();
+        // Normalize once here; the per-group verify helper only rescans.
+        let query = &*normalize_query(query);
         if k == 0 || self.index.db().is_empty() {
             return (
                 SearchResult {
@@ -87,6 +89,7 @@ impl<S: Similarity> DiskLes3<S> {
     pub fn range(&self, query: &[TokenId], delta: f64) -> (SearchResult, IoStats) {
         let mut disk = SimDisk::new(self.model);
         let mut stats = SearchStats::default();
+        let query = &*normalize_query(query);
         let bounds = self.index.group_upper_bounds(query, &mut stats);
         let mut hits = Vec::new();
         for &(g, ub) in &bounds {

@@ -12,7 +12,7 @@ use les3_data::{SetDatabase, SetId, TokenId};
 use crate::index::{sort_hits, SearchResult, TopK, VerifyOrder};
 use crate::partitioning::Partitioning;
 use crate::scratch::QueryScratch;
-use crate::sim::{distinct_len, Similarity, ThresholdedEval};
+use crate::sim::{distinct_len, normalize_query, Similarity, ThresholdedEval};
 use crate::stats::SearchStats;
 use crate::tgm::Tgm;
 
@@ -143,6 +143,7 @@ impl<S: Similarity> Htgm<S> {
         delta: f64,
         scratch: &mut QueryScratch,
     ) -> SearchResult {
+        let query = &*normalize_query(query);
         let q_len = distinct_len(query);
         let mut stats = SearchStats::default();
         // Level 0: full word-parallel scan of the coarsest matrix.
@@ -219,6 +220,7 @@ impl<S: Similarity> Htgm<S> {
         k: usize,
         scratch: &mut QueryScratch,
     ) -> SearchResult {
+        let query = &*normalize_query(query);
         let q_len = distinct_len(query);
         let mut stats = SearchStats::default();
         if k == 0 || self.db.is_empty() {

@@ -22,7 +22,7 @@ use les3_data::{SetDatabase, SetId, TokenId};
 
 use crate::partitioning::Partitioning;
 use crate::scratch::QueryScratch;
-use crate::sim::{distinct_len, Similarity, ThresholdedEval};
+use crate::sim::{distinct_len, normalize_query, Similarity, ThresholdedEval};
 use crate::stats::SearchStats;
 use crate::tgm::Tgm;
 
@@ -49,6 +49,11 @@ pub struct Les3Index<S: Similarity> {
 impl<S: Similarity> Les3Index<S> {
     /// Builds the index. The partitioning must cover the database.
     pub fn build(db: SetDatabase, partitioning: Partitioning, sim: S) -> Self {
+        assert_eq!(
+            db.len(),
+            partitioning.n_sets(),
+            "partitioning must cover the database"
+        );
         let tgm = Tgm::build(&db, &partitioning);
         let verify = VerifyOrder::build(&db, &partitioning);
         Self {
@@ -114,6 +119,18 @@ impl<S: Similarity> Les3Index<S> {
         stats: &mut SearchStats,
         scratch: &mut QueryScratch,
     ) {
+        let query = &*normalize_query(query);
+        self.group_upper_bounds_sorted(query, stats, scratch);
+    }
+
+    /// [`Les3Index::group_upper_bounds_with`] for a query the caller has
+    /// already normalized (the hot paths normalize once at their entry).
+    fn group_upper_bounds_sorted(
+        &self,
+        query: &[TokenId],
+        stats: &mut SearchStats,
+        scratch: &mut QueryScratch,
+    ) {
         let q_len = distinct_len(query);
         let touched = self.tgm.group_overlaps_into(query, &mut scratch.counts);
         stats.columns_checked += touched as usize;
@@ -150,6 +167,7 @@ impl<S: Similarity> Les3Index<S> {
         stats: &mut SearchStats,
         mut on_hit: impl FnMut(SetId, f64),
     ) {
+        let query = &*normalize_query(query);
         stats.groups_verified += 1;
         for &id in self.partitioning.members(g) {
             let s = self.sim.eval(query, self.db.set(id));
@@ -183,7 +201,10 @@ impl<S: Similarity> Les3Index<S> {
                 stats,
             };
         }
-        self.group_upper_bounds_with(query, &mut stats, scratch);
+        // Sort an unsorted query once; the filter kernels and the verify
+        // merges both assume sorted tokens.
+        let query = &*normalize_query(query);
+        self.group_upper_bounds_sorted(query, &mut stats, scratch);
         let q_len = distinct_len(query);
         let mut top = TopK::new(k);
         for i in 0..scratch.bounds.len() {
@@ -237,7 +258,8 @@ impl<S: Similarity> Les3Index<S> {
         scratch: &mut QueryScratch,
     ) -> SearchResult {
         let mut stats = SearchStats::default();
-        self.group_upper_bounds_with(query, &mut stats, scratch);
+        let query = &*normalize_query(query);
+        self.group_upper_bounds_sorted(query, &mut stats, scratch);
         let q_len = distinct_len(query);
         let mut hits: Vec<(SetId, f64)> = Vec::new();
         for i in 0..scratch.bounds.len() {

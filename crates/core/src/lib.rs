@@ -20,6 +20,10 @@
 //!   running k-th similarity prunes across shards, and batches run on a
 //!   coalescing (shard × query-chunk) work queue. Results are
 //!   bit-for-bit those of [`Les3Index`];
+//! * [`ServeFront`] — the asynchronous serving front: single requests
+//!   from many producer threads coalesce into deadline- or
+//!   size-triggered batches on a persistent panic-isolating worker
+//!   pool, with results bit-for-bit identical to direct calls;
 //! * [`Htgm`] — the hierarchical variant (§5.2, evaluated in Figure 14);
 //! * [`DiskLes3`] — disk-resident variant with group-contiguous layout
 //!   (§7.6, Figure 13);
@@ -75,6 +79,7 @@ pub mod htgm;
 pub mod index;
 pub mod partitioning;
 pub mod scratch;
+pub mod serve;
 pub mod shard;
 pub mod sim;
 pub mod stats;
@@ -86,8 +91,11 @@ pub use disk::DiskLes3;
 pub use htgm::{HierarchicalPartitioning, Htgm};
 pub use index::{Les3Index, SearchResult};
 pub use partitioning::Partitioning;
-pub use scratch::{QueryScratch, ShardedScratch};
+pub use scratch::{QueryScratch, ShardedScratch, WorkerScratch};
+pub use serve::{ServeBackend, ServeConfig, ServeError, ServeFront, ServeResult, Ticket};
 pub use shard::{ShardPolicy, ShardedLes3Index};
-pub use sim::{Cosine, Dice, Jaccard, OverlapCoefficient, Similarity, ThresholdedEval};
+pub use sim::{
+    normalize_query, Cosine, Dice, Jaccard, OverlapCoefficient, Similarity, ThresholdedEval,
+};
 pub use stats::SearchStats;
 pub use tgm::Tgm;

@@ -69,3 +69,23 @@ impl ShardedScratch {
         self.cursors.resize(n_shards, 0);
     }
 }
+
+/// Per-worker scratch usable by the serving front's persistent workers
+/// ([`crate::serve::ServeFront`]).
+///
+/// The front's worker pool keeps one scratch per worker for the pool's
+/// whole lifetime, reused across every batch the worker executes. When a
+/// query panics mid-execution its scratch may be left with internal
+/// invariants violated (e.g. `QueryScratch::restricted`'s all-zero
+/// contract), so the panic-isolation path calls [`WorkerScratch::reset`]
+/// before the worker touches the next request.
+pub trait WorkerScratch: Default + Send + 'static {
+    /// Restores every buffer invariant, discarding any state a panicked
+    /// query may have left mid-update.
+    fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+impl WorkerScratch for QueryScratch {}
+impl WorkerScratch for ShardedScratch {}

@@ -1,0 +1,529 @@
+//! Asynchronous serving front with deadline-coalesced batching.
+//!
+//! The batch entry points ([`crate::Les3Index::knn_batch`] and friends)
+//! assume someone already has a batch in hand. A search service does
+//! not: queries arrive one at a time on many connection threads, and
+//! LES3's throughput win comes from executing them *together* (shared
+//! worker scratch, coalesced task claiming, one pass over the index per
+//! worker instead of per query). [`ServeFront`] closes that gap:
+//!
+//! 1. **Enqueue.** Producer threads call [`ServeFront::knn`] /
+//!    [`ServeFront::range`] (blocking) or [`ServeFront::submit_knn`] /
+//!    [`ServeFront::submit_range`] (returning a [`Ticket`]); each
+//!    request carries a one-shot completion slot and lands on an MPSC
+//!    queue.
+//! 2. **Coalesce.** A dispatcher thread drains the queue into batches,
+//!    closing a batch when **either** it reaches
+//!    [`ServeConfig::max_batch`] requests **or** the oldest request has
+//!    waited [`ServeConfig::max_wait`] — so a lone request never waits
+//!    for company that is not coming, and a burst never fragments into
+//!    per-query work.
+//! 3. **Execute.** Batches are pipelined onto a persistent
+//!    [`WorkerPool`](crate::batch) whose workers each own one scratch
+//!    ([`QueryScratch`] for a flat backend, [`ShardedScratch`] for a
+//!    sharded one) for the pool's whole lifetime — steady-state serving
+//!    allocates nothing per batch — and claim fixed-size task chunks
+//!    exactly like the synchronous coalescing executor.
+//! 4. **Complete.** Each request's slot is filled with its
+//!    [`SearchResult`]; results are **bit-for-bit identical** — hits
+//!    *and* [`SearchStats`](crate::SearchStats) — to calling
+//!    [`knn_with`](crate::Les3Index::knn_with) /
+//!    [`range_with`](crate::Les3Index::range_with) directly
+//!    (`tests/serve_front.rs` proves it under racing producers).
+//!
+//! # Panic isolation
+//!
+//! A query that panics inside a worker (a defective similarity
+//! implementation, a corrupted input) fails **only its own request**:
+//! the panic is caught, the request completes with
+//! [`ServeError::QueryPanicked`], the worker's scratch is rebuilt
+//! ([`WorkerScratch::reset`]) and the pool keeps serving — no poisoned
+//! mutexes, no dead workers, no hung tickets.
+//!
+//! # Shutdown
+//!
+//! Dropping the front is graceful: already-accepted requests are
+//! batched, executed and completed before the worker threads join, so a
+//! [`Ticket`] obtained before the drop can always be waited on after
+//! it.
+//!
+//! # Example
+//!
+//! ```
+//! use les3_core::serve::{ServeConfig, ServeFront};
+//! use les3_core::sim::Jaccard;
+//! use les3_core::{Les3Index, Partitioning};
+//! use les3_data::SetDatabase;
+//!
+//! let db = SetDatabase::from_sets(vec![vec![0u32, 1, 2], vec![0, 1, 3], vec![7, 8]]);
+//! let index = Les3Index::build(db, Partitioning::round_robin(3, 2), Jaccard);
+//! let front = ServeFront::new(index, ServeConfig::default());
+//! // Any number of threads may share `&front`.
+//! let res = front.knn(&[0, 1, 2], 2).unwrap();
+//! assert_eq!(res.hits[0].0, 0);
+//! assert_eq!(res, front.backend().knn(&[0, 1, 2], 2)); // bit-for-bit
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use les3_data::TokenId;
+
+use crate::batch::{lock_unpoisoned, PoolHandle, PoolJob, WorkerPool, TASK_QUERIES};
+use crate::index::{Les3Index, SearchResult};
+use crate::scratch::{QueryScratch, ShardedScratch, WorkerScratch};
+use crate::shard::ShardedLes3Index;
+use crate::sim::Similarity;
+
+/// Tuning knobs for a [`ServeFront`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// A batch closes as soon as it holds this many requests (clamped to
+    /// ≥ 1). Larger batches amortize worker wake-ups and share scratch
+    /// locality; `1` degenerates to request-at-a-time execution.
+    pub max_batch: usize,
+    /// A batch closes when its *first* request has waited this long,
+    /// however few requests have joined — the tail-latency bound a lone
+    /// request pays under light load. `Duration::ZERO` means "whatever
+    /// the queue holds right now".
+    pub max_wait: Duration,
+    /// Worker threads in the persistent pool; `0` means one per
+    /// available core.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_wait: Duration::from_micros(500),
+            workers: 0,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Why a served request did not produce a [`SearchResult`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The query panicked inside a worker. Only this request failed; the
+    /// pool and every other in-flight request are unaffected. Carries
+    /// the panic message.
+    QueryPanicked(String),
+    /// The front's dispatcher is gone (it only exits once the front is
+    /// dropped, so user code should never observe this on a live front).
+    Disconnected,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueryPanicked(msg) => write!(f, "query panicked in worker: {msg}"),
+            ServeError::Disconnected => write!(f, "serving front is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// What a served request resolves to.
+pub type ServeResult = Result<SearchResult, ServeError>;
+
+/// An index the serving front can execute batches against: the two
+/// in-memory variants, each with its per-worker scratch type.
+pub trait ServeBackend: Send + Sync + 'static {
+    /// Per-worker working memory, owned by a pool worker for its whole
+    /// lifetime and reused across every batch it executes.
+    type Scratch: WorkerScratch;
+
+    /// Answers one kNN request (must equal the backend's public `knn`
+    /// bit for bit, stats included).
+    fn serve_knn(&self, query: &[TokenId], k: usize, scratch: &mut Self::Scratch) -> SearchResult;
+
+    /// Answers one range request (must equal the backend's public
+    /// `range` bit for bit, stats included).
+    fn serve_range(
+        &self,
+        query: &[TokenId],
+        delta: f64,
+        scratch: &mut Self::Scratch,
+    ) -> SearchResult;
+}
+
+impl<S: Similarity> ServeBackend for Les3Index<S> {
+    type Scratch = QueryScratch;
+
+    fn serve_knn(&self, query: &[TokenId], k: usize, scratch: &mut QueryScratch) -> SearchResult {
+        self.knn_with(query, k, scratch)
+    }
+
+    fn serve_range(
+        &self,
+        query: &[TokenId],
+        delta: f64,
+        scratch: &mut QueryScratch,
+    ) -> SearchResult {
+        self.range_with(query, delta, scratch)
+    }
+}
+
+impl<S: Similarity> ServeBackend for ShardedLes3Index<S> {
+    type Scratch = ShardedScratch;
+
+    fn serve_knn(&self, query: &[TokenId], k: usize, scratch: &mut ShardedScratch) -> SearchResult {
+        self.knn_with(query, k, scratch)
+    }
+
+    fn serve_range(
+        &self,
+        query: &[TokenId],
+        delta: f64,
+        scratch: &mut ShardedScratch,
+    ) -> SearchResult {
+        self.range_with(query, delta, scratch)
+    }
+}
+
+/// One-shot completion slot shared between a request and its ticket.
+struct Slot {
+    cell: Mutex<Option<ServeResult>>,
+    done: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Self {
+            cell: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn put(&self, value: ServeResult) {
+        let mut cell = lock_unpoisoned(&self.cell);
+        debug_assert!(cell.is_none(), "slot completed twice");
+        *cell = Some(value);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> ServeResult {
+        let mut cell = lock_unpoisoned(&self.cell);
+        loop {
+            if let Some(value) = cell.take() {
+                return value;
+            }
+            cell = self.done.wait(cell).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// A handle onto one submitted request; [`Ticket::wait`] blocks until a
+/// worker completes it. Tickets outlive the front: one obtained before
+/// the front drops resolves during the front's graceful drain.
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes and returns its result.
+    pub fn wait(self) -> ServeResult {
+        self.slot.wait()
+    }
+}
+
+enum QueryKind {
+    Knn(usize),
+    Range(f64),
+}
+
+struct Request {
+    query: Vec<TokenId>,
+    kind: QueryKind,
+    slot: Arc<Slot>,
+}
+
+/// One coalesced batch on the worker pool: requests are claimed in
+/// `TASK_QUERIES`-sized chunks from the atomic cursor, exactly the
+/// synchronous executor's discipline, and each request completes its own
+/// slot the moment it finishes — no barrier at the batch edge.
+struct BatchJob<B: ServeBackend> {
+    backend: Arc<B>,
+    requests: Vec<Request>,
+    next: AtomicUsize,
+}
+
+impl<B: ServeBackend> BatchJob<B> {
+    fn serve_one(&self, req: &Request, scratch: &mut B::Scratch) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| match req.kind {
+            QueryKind::Knn(k) => self.backend.serve_knn(&req.query, k, scratch),
+            QueryKind::Range(delta) => self.backend.serve_range(&req.query, delta, scratch),
+        }));
+        match outcome {
+            Ok(result) => req.slot.put(Ok(result)),
+            Err(payload) => {
+                // The panicked query may have left scratch invariants
+                // violated mid-update; rebuild before the next request.
+                scratch.reset();
+                // `&*` matters: `&payload` would coerce the Box itself
+                // into `dyn Any` and every downcast would miss.
+                req.slot
+                    .put(Err(ServeError::QueryPanicked(panic_message(&*payload))));
+            }
+        }
+    }
+}
+
+impl<B: ServeBackend> PoolJob<B::Scratch> for BatchJob<B> {
+    fn run(&self, scratch: &mut B::Scratch) {
+        loop {
+            let start = self.next.fetch_add(TASK_QUERIES, Ordering::Relaxed);
+            if start >= self.requests.len() {
+                break;
+            }
+            let end = (start + TASK_QUERIES).min(self.requests.len());
+            for req in &self.requests[start..end] {
+                self.serve_one(req, scratch);
+            }
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.requests.len()
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "query panicked".to_string()
+    }
+}
+
+/// The deadline-coalescing serving front. See the [module docs](self)
+/// for the architecture; share one instance behind `&` (or `Arc`) across
+/// any number of producer threads.
+pub struct ServeFront<B: ServeBackend> {
+    backend: Arc<B>,
+    /// `Some` until drop; dropping it disconnects the dispatcher.
+    tx: Option<Sender<Request>>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+    /// Dropped last: its workers drain every batch the dispatcher
+    /// submitted before the threads join.
+    pool: Option<WorkerPool<B::Scratch>>,
+}
+
+impl<B: ServeBackend> ServeFront<B> {
+    /// Builds a front that owns its backend.
+    pub fn new(backend: B, config: ServeConfig) -> Self {
+        Self::from_arc(Arc::new(backend), config)
+    }
+
+    /// Builds a front over a shared backend — direct
+    /// [`knn`](crate::Les3Index::knn) calls on the same `Arc` stay
+    /// available alongside served ones (and return identical results).
+    pub fn from_arc(backend: Arc<B>, config: ServeConfig) -> Self {
+        let config = ServeConfig {
+            max_batch: config.max_batch.max(1),
+            ..config
+        };
+        let pool = WorkerPool::new(
+            config.effective_workers(),
+            "les3-serve",
+            B::Scratch::default,
+        );
+        let handle = pool.handle();
+        let (tx, rx) = mpsc::channel();
+        let dispatcher_backend = Arc::clone(&backend);
+        let dispatcher = std::thread::Builder::new()
+            .name("les3-serve-dispatch".to_string())
+            .spawn(move || dispatcher_loop(rx, handle, dispatcher_backend, config))
+            .expect("spawn serve dispatcher");
+        Self {
+            backend,
+            tx: Some(tx),
+            dispatcher: Some(dispatcher),
+            pool: Some(pool),
+        }
+    }
+
+    /// The index being served.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Enqueues a kNN request; the [`Ticket`] resolves to exactly
+    /// [`knn`](crate::Les3Index::knn)'s result for the same arguments.
+    pub fn submit_knn(&self, query: Vec<TokenId>, k: usize) -> Ticket {
+        self.submit(query, QueryKind::Knn(k))
+    }
+
+    /// Enqueues a range request; the [`Ticket`] resolves to exactly
+    /// [`range`](crate::Les3Index::range)'s result for the same
+    /// arguments.
+    pub fn submit_range(&self, query: Vec<TokenId>, delta: f64) -> Ticket {
+        self.submit(query, QueryKind::Range(delta))
+    }
+
+    /// Blocking kNN through the batching queue.
+    pub fn knn(&self, query: &[TokenId], k: usize) -> ServeResult {
+        self.submit_knn(query.to_vec(), k).wait()
+    }
+
+    /// Blocking range search through the batching queue.
+    pub fn range(&self, query: &[TokenId], delta: f64) -> ServeResult {
+        self.submit_range(query.to_vec(), delta).wait()
+    }
+
+    fn submit(&self, query: Vec<TokenId>, kind: QueryKind) -> Ticket {
+        let slot = Arc::new(Slot::new());
+        let ticket = Ticket {
+            slot: Arc::clone(&slot),
+        };
+        let request = Request { query, kind, slot };
+        let tx = self.tx.as_ref().expect("sender lives until drop");
+        if let Err(mpsc::SendError(request)) = tx.send(request) {
+            // Defensive: the dispatcher only exits after `tx` drops.
+            request.slot.put(Err(ServeError::Disconnected));
+        }
+        ticket
+    }
+}
+
+impl<B: ServeBackend> Drop for ServeFront<B> {
+    fn drop(&mut self) {
+        // 1. Disconnect: the dispatcher drains the channel (everything
+        //    already sent still comes out) and exits.
+        self.tx = None;
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = dispatcher.join();
+        }
+        // 2. The pool's drop drains every submitted batch before joining
+        //    its workers — all outstanding tickets resolve.
+        self.pool = None;
+    }
+}
+
+/// Drains the request channel into deadline-or-size-triggered batches.
+fn dispatcher_loop<B: ServeBackend>(
+    rx: Receiver<Request>,
+    pool: PoolHandle<B::Scratch>,
+    backend: Arc<B>,
+    config: ServeConfig,
+) {
+    loop {
+        // Block for a batch's first request; channel disconnect (all
+        // senders gone — the front is dropping) ends the loop.
+        let Ok(first) = rx.recv() else { return };
+        let mut requests = Vec::with_capacity(config.max_batch.min(1024));
+        requests.push(first);
+        // checked_add: a huge max_wait ("wait forever") must not panic
+        // the dispatcher; a day is forever for a batching deadline.
+        let deadline = Instant::now()
+            .checked_add(config.max_wait)
+            .unwrap_or_else(|| Instant::now() + Duration::from_secs(86_400));
+        while requests.len() < config.max_batch {
+            // Drain whatever is already queued without timer syscalls.
+            match rx.try_recv() {
+                Ok(request) => {
+                    requests.push(request);
+                    continue;
+                }
+                Err(TryRecvError::Disconnected) => break,
+                Err(TryRecvError::Empty) => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(request) => requests.push(request),
+                Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        // Hand the batch to the pool and immediately go back to
+        // collecting: batches pipeline, the queue never stalls on
+        // execution.
+        pool.submit(Arc::new(BatchJob {
+            backend: Arc::clone(&backend),
+            requests,
+            next: AtomicUsize::new(0),
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioning::Partitioning;
+    use crate::sim::Jaccard;
+    use les3_data::zipfian::ZipfianGenerator;
+
+    fn front_and_index() -> (ServeFront<Les3Index<Jaccard>>, Arc<Les3Index<Jaccard>>) {
+        let db = ZipfianGenerator::new(200, 150, 6.0, 1.1).generate(17);
+        let index = Arc::new(Les3Index::build(
+            db,
+            Partitioning::round_robin(200, 8),
+            Jaccard,
+        ));
+        let config = ServeConfig {
+            max_batch: 4,
+            max_wait: Duration::from_micros(200),
+            workers: 2,
+        };
+        (ServeFront::from_arc(Arc::clone(&index), config), index)
+    }
+
+    #[test]
+    fn served_single_requests_match_direct_calls() {
+        let (front, index) = front_and_index();
+        for qid in [0u32, 7, 199] {
+            let q = index.db().set(qid).to_vec();
+            assert_eq!(front.knn(&q, 5).unwrap(), index.knn(&q, 5));
+            assert_eq!(front.range(&q, 0.4).unwrap(), index.range(&q, 0.4));
+        }
+    }
+
+    #[test]
+    fn tickets_resolve_after_front_drops() {
+        let (front, index) = front_and_index();
+        let q = index.db().set(3).to_vec();
+        let tickets: Vec<Ticket> = (0..20).map(|_| front.submit_knn(q.clone(), 4)).collect();
+        drop(front); // graceful drain: accepted requests still complete
+        let expected = index.knn(&q, 4);
+        for t in tickets {
+            assert_eq!(t.wait().unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn zero_wait_and_batch_of_one_still_serve() {
+        let (_, index) = front_and_index();
+        let config = ServeConfig {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            workers: 1,
+        };
+        let front = ServeFront::from_arc(Arc::clone(&index), config);
+        let q = index.db().set(11).to_vec();
+        assert_eq!(front.knn(&q, 3).unwrap(), index.knn(&q, 3));
+        // Degenerate inputs flow through the front unchanged.
+        assert!(front.knn(&q, 0).unwrap().hits.is_empty());
+        assert!(front.knn(&[], 2).unwrap().hits.len() == 2);
+    }
+}

@@ -51,7 +51,7 @@ use les3_data::{SetDatabase, SetId, TokenId};
 use crate::index::{sort_hits, SearchResult, TopK, VerifyOrder};
 use crate::partitioning::Partitioning;
 use crate::scratch::{QueryScratch, ShardedScratch};
-use crate::sim::{distinct_len, Similarity, ThresholdedEval};
+use crate::sim::{distinct_len, normalize_query, Similarity, ThresholdedEval};
 use crate::stats::SearchStats;
 use crate::tgm::Tgm;
 
@@ -410,6 +410,9 @@ impl<S: Similarity> ShardedLes3Index<S> {
                 stats,
             };
         }
+        // One sort for an unsorted query serves every shard's filter
+        // pass and the merge's verify step alike.
+        let query = &*normalize_query(query);
         scratch.ensure(self.shards.len());
         let q_len = distinct_len(query);
         let ShardedScratch {
@@ -443,6 +446,7 @@ impl<S: Similarity> ShardedLes3Index<S> {
         scratch: &mut ShardedScratch,
     ) -> SearchResult {
         let mut stats = SearchStats::default();
+        let query = &*normalize_query(query);
         scratch.ensure(self.shards.len());
         let q_len = distinct_len(query);
         let mut hits: Vec<(SetId, f64)> = Vec::new();

@@ -126,6 +126,25 @@ pub enum ThresholdedEval {
     },
 }
 
+/// Returns `query` in the sorted order every kernel in this crate
+/// assumes, borrowing when it already is sorted — the common case, one
+/// `O(|Q|)` scan and no allocation. An unsorted query is copied and
+/// sorted; duplicates are kept either way (multiset semantics — the
+/// filter kernels and [`distinct_len`] skip adjacent repeats).
+///
+/// Every public query entry point (flat, sharded, HTGM, disk, batch and
+/// serving front) routes through this, so callers may pass tokens in any
+/// order and still get exact results.
+pub fn normalize_query(query: &[TokenId]) -> std::borrow::Cow<'_, [TokenId]> {
+    if query.windows(2).all(|w| w[0] <= w[1]) {
+        std::borrow::Cow::Borrowed(query)
+    } else {
+        let mut v = query.to_vec();
+        v.sort_unstable();
+        std::borrow::Cow::Owned(v)
+    }
+}
+
 /// Number of distinct tokens in a sorted slice (multisets store dups).
 #[inline]
 pub fn distinct_len(a: &[TokenId]) -> usize {

@@ -208,7 +208,7 @@ mod tests {
             .iter()
             .map(|(_, s)| Jaccard.eval(&q, s))
             .collect();
-        brute.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        brute.sort_by(|a, b| b.total_cmp(a));
         let got: Vec<f64> = res.hits.iter().map(|h| h.1).collect();
         assert_eq!(got, brute[..5].to_vec());
     }

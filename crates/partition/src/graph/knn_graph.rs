@@ -106,7 +106,7 @@ pub fn knn_graph<S: Similarity>(db: &SetDatabase, k: usize, sim: S) -> Similarit
                 (s, other)
             })
             .collect();
-        cands.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        cands.sort_by(|a, b| b.0.total_cmp(&a.0));
         directed[id as usize] = cands.iter().take(k).map(|&(s, other)| (other, s)).collect();
         for &t in &touched {
             counts[t as usize] = 0;

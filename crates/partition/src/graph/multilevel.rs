@@ -138,7 +138,7 @@ fn heavy_edge_matching(
         let partner = adj[v]
             .iter()
             .filter(|&&(u, _)| matched[u as usize] == u32::MAX && u as usize != v)
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .map(|&(u, _)| u);
         match partner {
             Some(u) => {
@@ -187,11 +187,7 @@ fn greedy_initial(
     let cap = balance * total / n_parts as f64;
     let mut order: Vec<usize> = (0..n).collect();
     order.shuffle(rng);
-    order.sort_by(|&a, &b| {
-        weights[b]
-            .partial_cmp(&weights[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]));
     let mut assignment = vec![u32::MAX; n];
     let mut part_weights = vec![0.0f64; n_parts];
     for &v in &order {
@@ -224,7 +220,7 @@ fn greedy_initial(
             part_weights
                 .iter()
                 .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .min_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(p, _)| p)
                 .unwrap()
         });

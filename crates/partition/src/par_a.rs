@@ -58,7 +58,7 @@ impl ParA {
                 .min_by(|&&a, &&b| {
                     let pa = self.estimated_merged_phi(db, sim, &groups[g1], &groups[a], &mut rng);
                     let pb = self.estimated_merged_phi(db, sim, &groups[g1], &groups[b], &mut rng);
-                    pa.partial_cmp(&pb).unwrap_or(std::cmp::Ordering::Equal)
+                    pa.total_cmp(&pb)
                 })
                 .unwrap();
             // Merge g1 into g2 and drop g1.

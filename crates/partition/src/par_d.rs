@@ -52,7 +52,7 @@ impl ParD {
                 .max_by(|&&a, &&b| {
                     let pa = self.estimated_phi(db, sim, &groups[a], &mut rng);
                     let pb = self.estimated_phi(db, sim, &groups[b], &mut rng);
-                    pa.partial_cmp(&pb).unwrap_or(std::cmp::Ordering::Equal)
+                    pa.total_cmp(&pb)
                 })
                 .unwrap();
             // Seed the new group with a random member (§4.3.3 step 3).

@@ -37,7 +37,9 @@ impl Entry {
 
 impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
-        self.score() == other.score()
+        // Total-order equality so PartialEq agrees with Ord (a plain
+        // `==` would make NaN-scored entries unequal to themselves).
+        self.score().total_cmp(&other.score()).is_eq()
     }
 }
 impl Eq for Entry {}
@@ -48,10 +50,11 @@ impl PartialOrd for Entry {
 }
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Max-heap by score; NaNs sort last.
-        self.score()
-            .partial_cmp(&other.score())
-            .unwrap_or(Ordering::Equal)
+        // Max-heap by score under the IEEE total order: a positive-NaN
+        // score sorts *greatest* and pops first. Score functions are
+        // expected to return real numbers; the total order just keeps a
+        // stray NaN from corrupting the heap invariants.
+        self.score().total_cmp(&other.score())
     }
 }
 
@@ -182,7 +185,7 @@ mod tests {
                 )
             })
             .collect();
-        expected.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        expected.sort_by(|a, b| a.0.total_cmp(&b.0));
         let expected: Vec<u32> = expected[..10].iter().map(|&(_, i)| i).collect();
         assert_eq!(got, expected);
     }

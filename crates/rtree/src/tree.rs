@@ -103,7 +103,7 @@ impl RTree {
         rows.sort_by(|&a, &b| {
             let pa = self.point(a)[axis % self.dim];
             let pb = self.point(b)[axis % self.dim];
-            pa.partial_cmp(&pb).unwrap_or(std::cmp::Ordering::Equal)
+            pa.total_cmp(&pb)
         });
         let leaves_needed = n.div_ceil(self.max_entries);
         let slices = (leaves_needed as f64).sqrt().ceil() as usize;
@@ -123,7 +123,7 @@ impl RTree {
         rows.sort_by(|&a, &b| {
             let pa = self.point(a)[axis % self.dim];
             let pb = self.point(b)[axis % self.dim];
-            pa.partial_cmp(&pb).unwrap_or(std::cmp::Ordering::Equal)
+            pa.total_cmp(&pb)
         });
         rows.chunks(self.max_entries).map(|c| c.to_vec()).collect()
     }
@@ -281,11 +281,7 @@ impl RTree {
         };
         let axis = self.widest_axis(&self.nodes[node_id].rect);
         let mut sorted = rows;
-        sorted.sort_by(|&a, &b| {
-            self.point(a)[axis]
-                .partial_cmp(&self.point(b)[axis])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        sorted.sort_by(|&a, &b| self.point(a)[axis].total_cmp(&self.point(b)[axis]));
         let mid = sorted.len() / 2;
         let right_rows = sorted.split_off(mid);
         let left_rect = self.mbr_of_rows(&sorted);
@@ -310,9 +306,7 @@ impl RTree {
         let axis = self.widest_axis(&self.nodes[node_id].rect);
         let mut sorted = children;
         sorted.sort_by(|&a, &b| {
-            self.nodes[a].rect.min[axis]
-                .partial_cmp(&self.nodes[b].rect.min[axis])
-                .unwrap_or(std::cmp::Ordering::Equal)
+            self.nodes[a].rect.min[axis].total_cmp(&self.nodes[b].rect.min[axis])
         });
         let mid = sorted.len() / 2;
         let right_children = sorted.split_off(mid);

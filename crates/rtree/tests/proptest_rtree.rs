@@ -89,7 +89,7 @@ proptest! {
         .map(|s| -s.score)
         .collect();
         let mut expected: Vec<f64> = (0..n as u32).map(dist2).collect();
-        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        expected.sort_by(|a, b| a.total_cmp(b));
         expected.truncate(k.min(n));
         for (g, e) in got.iter().zip(&expected) {
             prop_assert!((g - e).abs() < 1e-9, "got {g} expected {e}");

@@ -1,0 +1,131 @@
+//! Async serving front: single queries from many producer threads,
+//! coalesced into deadline- or size-triggered batches on a persistent
+//! worker pool — the request-queue step on top of `sharded_service`'s
+//! synchronous batch calls.
+//!
+//! Run with: `cargo run --release --example serving_front`
+//!
+//! # Usage sketch
+//!
+//! ```text
+//! let front = ServeFront::new(index, ServeConfig {
+//!     max_batch: 64,                          // close a batch at 64 requests…
+//!     max_wait: Duration::from_micros(500),   // …or 500µs after its first one
+//!     workers: 0,                             // 0 = one worker per core
+//! });
+//! // Share &front across connection threads:
+//! let hits = front.knn(&query, 10)?;          // blocking
+//! let ticket = front.submit_knn(query, 10);   // or fire-and-wait-later
+//! let hits = ticket.wait()?;
+//! ```
+//!
+//! Served results are bit-for-bit identical to direct `knn`/`range`
+//! calls (hits and stats); a panicking query fails only its own request
+//! and the pool keeps serving.
+
+use les3::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+const PRODUCERS: usize = 4;
+const REQUESTS_PER_PRODUCER: usize = 500;
+const K: usize = 10;
+
+fn main() {
+    // A KOSARAK-shaped database served by a 4-shard index.
+    let spec = DatasetSpec::kosarak().with_sets(20_000);
+    let db = spec.generate(7);
+    println!("dataset {}: {}", spec.name, db.stats());
+    let n_groups = (db.len() / 80).max(16);
+    let part = Partitioning::round_robin(db.len(), n_groups);
+    let index = ShardedLes3Index::build(db.clone(), part, Jaccard, 4, ShardPolicy::Contiguous);
+
+    let config = ServeConfig {
+        max_batch: 64,
+        max_wait: Duration::from_micros(500),
+        workers: 0, // one worker per core
+    };
+    let front = ServeFront::new(index, config);
+    println!(
+        "serving front up: max_batch {}, max_wait {:?}\n",
+        config.max_batch, config.max_wait
+    );
+
+    // Closed-loop producers: each thread fires blocking single-query
+    // requests; the front coalesces whatever arrives together.
+    let errors = AtomicUsize::new(0);
+    let t = Instant::now();
+    let latencies: Vec<Duration> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let front = &front;
+                let db = &db;
+                let errors = &errors;
+                s.spawn(move || {
+                    let mut lats = Vec::with_capacity(REQUESTS_PER_PRODUCER);
+                    for i in 0..REQUESTS_PER_PRODUCER {
+                        let qid = ((p * REQUESTS_PER_PRODUCER + i) * 13) % db.len();
+                        let q = db.set(qid as u32).to_vec();
+                        let t0 = Instant::now();
+                        match front.knn(&q, K) {
+                            Ok(res) => {
+                                assert!(res.hits.len() <= K);
+                                lats.push(t0.elapsed());
+                            }
+                            Err(_) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("producer panicked"))
+            .collect()
+    });
+    let elapsed = t.elapsed();
+    let total = PRODUCERS * REQUESTS_PER_PRODUCER;
+    let mut sorted = latencies.clone();
+    sorted.sort_unstable();
+    println!(
+        "{total} single-query requests from {PRODUCERS} producers in {:.2?}: {:.0} queries/s",
+        elapsed,
+        total as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "latency p50 {:.0?}  p99 {:.0?}  max {:.0?}  (errors: {})",
+        sorted[sorted.len() / 2],
+        sorted[sorted.len() * 99 / 100],
+        sorted[sorted.len() - 1],
+        errors.load(Ordering::Relaxed)
+    );
+
+    // Served results are bit-for-bit the direct call's — hits AND stats.
+    let mut scratch = ShardedScratch::new();
+    for qid in [0u32, 1_234, 9_999] {
+        let q = db.set(qid).to_vec();
+        let served = front.knn(&q, K).expect("serve failed");
+        let direct = front.backend().knn_with(&q, K, &mut scratch);
+        assert_eq!(served.hits, direct.hits);
+        assert_eq!(served.stats, direct.stats);
+    }
+    println!("\nserved results identical to direct calls (hits and stats) ✓");
+
+    // Pipelined tickets: queue a burst without blocking, then collect.
+    let burst: Vec<Ticket> = (0..256)
+        .map(|i| front.submit_knn(db.set(i * 31 % db.len() as u32).to_vec(), K))
+        .collect();
+    let t = Instant::now();
+    let ok = burst
+        .into_iter()
+        .map(Ticket::wait)
+        .filter(Result::is_ok)
+        .count();
+    println!(
+        "burst of 256 pipelined tickets drained in {:.2?} ({ok}/256 ok) ✓",
+        t.elapsed()
+    );
+}

@@ -1,6 +1,12 @@
-//! Sharded serving: split the group axis across shards, answer query
-//! batches through the coalescing executor, and verify the results are
-//! bit-for-bit those of the single flat index.
+//! Sharded serving, synchronous flavour: split the group axis across
+//! shards, answer pre-assembled query batches through the coalescing
+//! executor, and verify the results are bit-for-bit those of the single
+//! flat index.
+//!
+//! For the production-shaped path — single queries arriving on many
+//! threads, coalesced into batches by deadline or size — see
+//! `examples/serving_front.rs`, which wraps this same sharded index in a
+//! `ServeFront` instead of looping over explicit `knn_batch` calls.
 //!
 //! Run with: `cargo run --release --example sharded_service`
 //! (`RAYON_NUM_THREADS=4` forces multi-worker execution on small hosts.)

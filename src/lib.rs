@@ -63,9 +63,10 @@ pub use les3_storage as storage;
 pub mod prelude {
     pub use les3_baselines::{BruteForce, DualTrans, InvIdx, ScalarTrans, SetSimSearch};
     pub use les3_core::{
-        Cosine, DeletionLog, Dice, DiskLes3, HierarchicalPartitioning, Htgm, Jaccard, Les3Index,
-        OverlapCoefficient, Partitioning, QueryScratch, SearchResult, SearchStats, ShardPolicy,
-        ShardedLes3Index, ShardedScratch, Similarity, Tgm,
+        normalize_query, Cosine, DeletionLog, Dice, DiskLes3, HierarchicalPartitioning, Htgm,
+        Jaccard, Les3Index, OverlapCoefficient, Partitioning, QueryScratch, SearchResult,
+        SearchStats, ServeBackend, ServeConfig, ServeError, ServeFront, ServeResult, ShardPolicy,
+        ShardedLes3Index, ShardedScratch, Similarity, Tgm, Ticket, WorkerScratch,
     };
     pub use les3_data::realistic::DatasetSpec;
     pub use les3_data::zipfian::ZipfianGenerator;

@@ -72,11 +72,7 @@ fn better_gpo_means_better_expected_pe() {
     let results = run_all(&db, 8);
     let (best_name, best) = results
         .iter()
-        .min_by(|a, b| {
-            gpo(&db, &a.1, Jaccard)
-                .partial_cmp(&gpo(&db, &b.1, Jaccard))
-                .unwrap()
-        })
+        .min_by(|a, b| gpo(&db, &a.1, Jaccard).total_cmp(&gpo(&db, &b.1, Jaccard)))
         .unwrap();
     let random = Partitioning::round_robin(db.len(), 8);
     let queries: Vec<Vec<TokenId>> = (0..40u32).map(|i| db.set(i * 5).to_vec()).collect();
