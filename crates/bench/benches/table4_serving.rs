@@ -1,14 +1,19 @@
 //! Table 4 (repo extension): serving-front throughput and latency
-//! versus the batching deadline and batch-size cap.
+//! versus the batching deadline and batch-size cap, plus an open-loop
+//! overload sweep of the admission-control layer.
 //!
 //! Builds one sharded index, then serves the same closed-loop
 //! single-query workload (P producer threads, blocking kNN calls)
 //! through [`ServeFront`]s configured across a (max_batch × max_wait)
 //! grid, plus a "direct" row that bypasses the front entirely (each
 //! producer calls `knn_with` with its own scratch — the no-batching
-//! baseline). Rows are printed and recorded to `BENCH_serve.json` at the
-//! workspace root so CI history can track the front's overhead and the
-//! deadline's latency/throughput trade-off.
+//! baseline). A second, **open-loop** sweep offers load at multiples of
+//! the measured direct capacity against a bounded queue with 20 ms
+//! per-request deadlines, recording shed rate and goodput — the
+//! overload story: past saturation the front sheds the excess fast
+//! (`Overloaded` / `DeadlineExceeded`) instead of queueing without
+//! bound, and goodput holds instead of collapsing. Rows are printed and
+//! recorded to `BENCH_serve.json` at the workspace root.
 //!
 //! On a single-core host the front's win is architectural (request
 //! coalescing + persistent scratch without any caller-side batching);
@@ -16,7 +21,7 @@
 //! chunk) grid underneath it are already parallel.
 
 use les3_bench::{bench_queries, bench_sets, header, workload};
-use les3_core::serve::{ServeConfig, ServeFront};
+use les3_core::serve::{ServeConfig, ServeError, ServeFront, SubmitOpts};
 use les3_core::{Jaccard, Partitioning, ShardPolicy, ShardedLes3Index, ShardedScratch};
 use les3_data::zipfian::ZipfianGenerator;
 use les3_data::TokenId;
@@ -128,7 +133,7 @@ fn main() {
             let config = ServeConfig {
                 max_batch,
                 max_wait: Duration::from_micros(wait_us),
-                workers: 0,
+                ..ServeConfig::default()
             };
             let front = ServeFront::from_arc(Arc::clone(&index), config);
             // Warm the pool, then measure.
@@ -151,10 +156,96 @@ fn main() {
         }
     }
 
+    // ---- Open-loop overload sweep -------------------------------------
+    // Offer load at multiples of the measured direct capacity against a
+    // bounded queue with per-request deadlines; count what the admission
+    // layer does with the excess. Tickets are fire-and-forget
+    // (`OnFull::Shed`), so the offered rate is honored even when the
+    // front cannot keep up — the open-loop shape a real service sees.
+    const QUEUE_CAPACITY: usize = 32;
+    const REQUEST_DEADLINE: Duration = Duration::from_millis(20);
+    println!(
+        "\nopen-loop overload sweep: queue capacity {QUEUE_CAPACITY}, \
+         per-request deadline {REQUEST_DEADLINE:?}"
+    );
+    println!(
+        "{:<10} {:>12} {:>12} {:>8} {:>8} {:>8} {:>10}",
+        "load", "offered q/s", "goodput q/s", "ok", "shed", "expired", "shed rate"
+    );
+    let mut overload_rows = String::new();
+    for (i, mult) in [0.5f64, 1.0, 2.0, 4.0].into_iter().enumerate() {
+        let offered = (direct.qps * mult).max(100.0);
+        let front = ServeFront::from_arc(
+            Arc::clone(&index),
+            ServeConfig {
+                max_batch: 64,
+                max_wait: Duration::from_micros(500),
+                queue_capacity: QUEUE_CAPACITY,
+                ..ServeConfig::default()
+            },
+        );
+        let _ = front.knn(&queries[0], K); // warm the pool
+        let start = Instant::now();
+        let mut tickets = Vec::with_capacity(n_queries);
+        let mut submitted = 0usize;
+        while submitted < n_queries {
+            // Open loop: submit whatever the offered rate says is due by
+            // now, never waiting for responses.
+            let due = ((start.elapsed().as_secs_f64() * offered) as usize).min(n_queries);
+            while submitted < due {
+                let q = &queries[submitted % queries.len()];
+                tickets.push(front.submit_knn_opts(
+                    q.clone(),
+                    K,
+                    SubmitOpts {
+                        deadline: Some(Instant::now() + REQUEST_DEADLINE),
+                        ..Default::default()
+                    },
+                ));
+                submitted += 1;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let (mut ok, mut shed, mut expired) = (0usize, 0usize, 0usize);
+        for t in tickets {
+            match t.wait() {
+                Ok(res) => {
+                    assert!(res.hits.len() <= K);
+                    ok += 1;
+                }
+                Err(ServeError::Overloaded) => shed += 1,
+                Err(ServeError::DeadlineExceeded(_)) => expired += 1,
+                Err(e) => panic!("unexpected serve error: {e}"),
+            }
+        }
+        let wall = start.elapsed();
+        let goodput = ok as f64 / wall.as_secs_f64();
+        let shed_rate = (shed + expired) as f64 / n_queries as f64;
+        println!(
+            "{:<10} {:>12.0} {:>12.0} {:>8} {:>8} {:>8} {:>9.1}%",
+            format!("x{mult}"),
+            offered,
+            goodput,
+            ok,
+            shed,
+            expired,
+            shed_rate * 100.0
+        );
+        let _ = write!(
+            overload_rows,
+            "{}{{\"load\": {mult}, \"offered_qps\": {offered:.0}, \"goodput_qps\": {goodput:.0}, \
+             \"ok\": {ok}, \"shed\": {shed}, \"expired\": {expired}, \
+             \"shed_rate\": {shed_rate:.3}}}",
+            if i == 0 { "" } else { ",\n  " }
+        );
+    }
+
     let json = format!(
         "{{\n \"bench\": \"table4_serving\",\n \"n_sets\": {n},\n \"n_groups\": {n_groups},\n \
          \"n_shards\": 4,\n \"n_requests\": {n_queries},\n \"k\": {K},\n \
-         \"producers\": {PRODUCERS},\n \"rows\": [{rows}]\n}}\n"
+         \"producers\": {PRODUCERS},\n \"rows\": [{rows}],\n \
+         \"overload\": {{\n  \"queue_capacity\": {QUEUE_CAPACITY},\n  \
+         \"deadline_ms\": 20,\n  \"rows\": [{overload_rows}]\n }}\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     match std::fs::write(path, &json) {

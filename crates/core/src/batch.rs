@@ -17,6 +17,38 @@
 //! bit-for-bit identical to running the queries one by one — workers
 //! share nothing but the read-only index and their disjoint output
 //! slots.
+//!
+//! Two executors share the coalescing discipline:
+//!
+//! * `run_coalesced` — the synchronous one-shot executor behind
+//!   [`Les3Index::knn_batch`] / [`ShardedLes3Index::range_batch`] and
+//!   friends: spawn workers, claim tasks, join. Panicking tasks are
+//!   isolated (every other task still runs; the first payload is
+//!   rethrown to the caller).
+//! * `WorkerPool` — the persistent counterpart used by the serving
+//!   front ([`crate::serve::ServeFront`]): long-lived named threads,
+//!   each owning one scratch for the pool's whole lifetime, executing a
+//!   FIFO queue of jobs whose tasks are claimed through the same
+//!   skew-absorbing atomic cursor. Jobs pipeline (no barrier between
+//!   batches), and dropping the pool drains every submitted job before
+//!   joining — the serving front's graceful-shutdown guarantee rests on
+//!   this.
+//!
+//! # Example
+//!
+//! ```
+//! use les3_core::sim::Jaccard;
+//! use les3_core::{Les3Index, Partitioning};
+//! use les3_data::SetDatabase;
+//!
+//! let db = SetDatabase::from_sets(vec![vec![0u32, 1], vec![0, 2], vec![3, 4]]);
+//! let index = Les3Index::build(db, Partitioning::round_robin(3, 2), Jaccard);
+//! let queries = vec![vec![0u32, 1], vec![3, 4]];
+//! let batch = index.knn_batch(&queries, 2);
+//! // One result per query, in input order, equal to per-query calls.
+//! assert_eq!(batch[0], index.knn(&queries[0], 2));
+//! assert_eq!(batch[1], index.knn(&queries[1], 2));
+//! ```
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -24,6 +56,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use les3_data::TokenId;
 
+use crate::ctl::QueryCtl;
 use crate::index::{sort_hits, Les3Index, SearchResult};
 use crate::scratch::{QueryScratch, ShardedScratch};
 use crate::shard::{ShardFilter, ShardedLes3Index};
@@ -437,14 +470,17 @@ impl<S: Similarity> ShardedLes3Index<S> {
                         stats.columns_checked += partials[s * n_chunks + c][i].cols as usize;
                     }
                     cursors.iter_mut().for_each(|cur| *cur = 0);
-                    let top = self.merge_knn(
-                        q,
-                        k,
-                        distinct_len(q),
-                        |s| &partials[s * n_chunks + c][i],
-                        cursors,
-                        &mut stats,
-                    );
+                    let top = self
+                        .merge_knn(
+                            q,
+                            k,
+                            distinct_len(q),
+                            |s| &partials[s * n_chunks + c][i],
+                            cursors,
+                            &mut stats,
+                            &QueryCtl::NONE,
+                        )
+                        .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"));
                     *slot = Some(SearchResult {
                         hits: top.into_sorted(),
                         stats,
@@ -521,7 +557,8 @@ impl<S: Similarity> ShardedLes3Index<S> {
                     let mut hits = Vec::new();
                     self.filter_shard(s, q, q_len, scratch, filter);
                     stats.columns_checked += filter.cols as usize;
-                    self.range_shard(s, q, delta, filter, &mut hits, &mut stats);
+                    self.range_shard(s, q, delta, filter, &mut hits, &mut stats, &QueryCtl::NONE)
+                        .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"));
                     out.push((hits, stats));
                 }
                 *lock_unpoisoned(&cells[t]) = out;

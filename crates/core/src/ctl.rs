@@ -1,0 +1,140 @@
+//! Cooperative query interruption: deadlines and cancellation.
+//!
+//! A production front cannot afford to run every admitted query to
+//! completion: a request whose client has given up (deadline passed,
+//! connection dropped, ticket cancelled) is pure wasted CPU that delays
+//! every query behind it. LES3's query paths are long loops over groups,
+//! so interruption is **cooperative**: the hot paths accept a
+//! [`QueryCtl`] and poll it at natural phase boundaries —
+//!
+//! * once between the phase-A filter pass and verification (the single
+//!   most valuable check: filtering is cheap, verification is where the
+//!   CPU goes), and
+//! * once per group inside the verify loop (and per step of the sharded
+//!   cross-shard merge), so an in-flight query stops at the next group
+//!   boundary rather than after the whole descent.
+//!
+//! A poll costs one relaxed atomic load (cancellation) plus one
+//! monotonic-clock read (deadline) — both skipped entirely for
+//! [`QueryCtl::NONE`], which the uncontrolled entry points
+//! ([`crate::Les3Index::knn_with`] and friends) pass, so the existing
+//! hot paths pay nothing.
+//!
+//! Interruption never loses work silently: the `*_ctl` entry points
+//! return [`Interrupted`] carrying the [`SearchStats`] accumulated up to
+//! the stop, so callers (the serving front's overload accounting, a
+//! future network layer) can report exactly how much CPU the abandoned
+//! query consumed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use crate::stats::SearchStats;
+
+/// Why a query was interrupted before completing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterruptReason {
+    /// The query's deadline passed while it was queued or running.
+    Expired,
+    /// The query's cancellation token was triggered (e.g. its
+    /// [`Ticket`](crate::serve::Ticket) was dropped or cancelled).
+    Cancelled,
+}
+
+/// An interrupted query: the reason plus the work performed before the
+/// stop (partial [`SearchStats`] — `columns_checked` from a completed
+/// filter pass, `groups_verified` for every group finished before the
+/// boundary check fired).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interrupted {
+    /// What stopped the query.
+    pub reason: InterruptReason,
+    /// Work performed before the stop.
+    pub stats: SearchStats,
+}
+
+/// Cooperative interruption control for one in-flight query.
+///
+/// Bundles an optional drop-dead [`Instant`] with an optional shared
+/// cancellation flag; the query hot paths poll
+/// [`QueryCtl::interrupted`] at phase and group boundaries.
+/// Cancellation is checked first (an atomic load is cheaper than a
+/// clock read, and an explicit cancel is the stronger signal).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryCtl<'a> {
+    deadline: Option<Instant>,
+    cancelled: Option<&'a AtomicBool>,
+}
+
+impl<'a> QueryCtl<'a> {
+    /// The no-op control: never interrupts, polls cost nothing. The
+    /// plain entry points (`knn_with`, `range_with`, the synchronous
+    /// batch executors) use this, keeping their behavior bit-for-bit
+    /// unchanged.
+    pub const NONE: QueryCtl<'static> = QueryCtl {
+        deadline: None,
+        cancelled: None,
+    };
+
+    /// A control that interrupts once `deadline` has passed.
+    pub fn with_deadline(deadline: Instant) -> QueryCtl<'static> {
+        QueryCtl {
+            deadline: Some(deadline),
+            cancelled: None,
+        }
+    }
+
+    /// A control over both signals (the serving front threads the
+    /// request's deadline and its ticket's cancellation flag through
+    /// here).
+    pub fn new(deadline: Option<Instant>, cancelled: Option<&'a AtomicBool>) -> Self {
+        Self {
+            deadline,
+            cancelled,
+        }
+    }
+
+    /// Polls both signals; `Some(reason)` once the query should stop.
+    #[inline]
+    pub fn interrupted(&self) -> Option<InterruptReason> {
+        if let Some(flag) = self.cancelled {
+            if flag.load(Ordering::Acquire) {
+                return Some(InterruptReason::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(InterruptReason::Expired);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn none_never_interrupts() {
+        assert_eq!(QueryCtl::NONE.interrupted(), None);
+    }
+
+    #[test]
+    fn deadline_interrupts_once_passed() {
+        let ctl = QueryCtl::with_deadline(Instant::now() + Duration::from_secs(600));
+        assert_eq!(ctl.interrupted(), None);
+        let ctl = QueryCtl::with_deadline(Instant::now());
+        assert_eq!(ctl.interrupted(), Some(InterruptReason::Expired));
+    }
+
+    #[test]
+    fn cancellation_wins_over_deadline() {
+        let flag = AtomicBool::new(true);
+        let ctl = QueryCtl::new(Some(Instant::now()), Some(&flag));
+        assert_eq!(ctl.interrupted(), Some(InterruptReason::Cancelled));
+        flag.store(false, Ordering::Release);
+        assert_eq!(ctl.interrupted(), Some(InterruptReason::Expired));
+    }
+}

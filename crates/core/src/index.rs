@@ -20,6 +20,7 @@
 
 use les3_data::{SetDatabase, SetId, TokenId};
 
+use crate::ctl::{Interrupted, QueryCtl};
 use crate::partitioning::Partitioning;
 use crate::scratch::QueryScratch;
 use crate::sim::{distinct_len, normalize_query, Similarity, ThresholdedEval};
@@ -194,17 +195,40 @@ impl<S: Similarity> Les3Index<S> {
         k: usize,
         scratch: &mut QueryScratch,
     ) -> SearchResult {
+        self.knn_ctl(query, k, scratch, &QueryCtl::NONE)
+            .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"))
+    }
+
+    /// [`Les3Index::knn_with`] under cooperative interruption: the query
+    /// polls `ctl` between the filter pass and verification, then at
+    /// every group boundary, and stops with the partial
+    /// [`SearchStats`] when the deadline passes or the cancellation
+    /// token fires. With [`QueryCtl::NONE`] this is exactly `knn_with`
+    /// (the polls are free and can never fire).
+    pub fn knn_ctl(
+        &self,
+        query: &[TokenId],
+        k: usize,
+        scratch: &mut QueryScratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<SearchResult, Interrupted> {
         let mut stats = SearchStats::default();
         if k == 0 || self.db.is_empty() {
-            return SearchResult {
+            return Ok(SearchResult {
                 hits: Vec::new(),
                 stats,
-            };
+            });
         }
         // Sort an unsorted query once; the filter kernels and the verify
         // merges both assume sorted tokens.
         let query = &*normalize_query(query);
         self.group_upper_bounds_sorted(query, &mut stats, scratch);
+        // The one check that matters most: phase A (filter) is cheap,
+        // verification is where the CPU goes — an expired or cancelled
+        // query must not start it.
+        if let Some(reason) = ctl.interrupted() {
+            return Err(Interrupted { reason, stats });
+        }
         let q_len = distinct_len(query);
         let mut top = TopK::new(k);
         for i in 0..scratch.bounds.len() {
@@ -214,6 +238,11 @@ impl<S: Similarity> Les3Index<S> {
                 // pruned too.
                 stats.groups_pruned += scratch.bounds.len() - i;
                 break;
+            }
+            // Group boundary: an in-flight query stops here rather than
+            // after the whole descent.
+            if let Some(reason) = ctl.interrupted() {
+                return Err(Interrupted { reason, stats });
             }
             stats.groups_verified += 1;
             self.verify
@@ -238,10 +267,10 @@ impl<S: Similarity> Les3Index<S> {
                     }
                 });
         }
-        SearchResult {
+        Ok(SearchResult {
             hits: top.into_sorted(),
             stats,
-        }
+        })
     }
 
     /// Exact range search (Definition 2.2): all sets with
@@ -257,9 +286,25 @@ impl<S: Similarity> Les3Index<S> {
         delta: f64,
         scratch: &mut QueryScratch,
     ) -> SearchResult {
+        self.range_ctl(query, delta, scratch, &QueryCtl::NONE)
+            .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"))
+    }
+
+    /// [`Les3Index::range_with`] under cooperative interruption; see
+    /// [`Les3Index::knn_ctl`] for the polling points.
+    pub fn range_ctl(
+        &self,
+        query: &[TokenId],
+        delta: f64,
+        scratch: &mut QueryScratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<SearchResult, Interrupted> {
         let mut stats = SearchStats::default();
         let query = &*normalize_query(query);
         self.group_upper_bounds_sorted(query, &mut stats, scratch);
+        if let Some(reason) = ctl.interrupted() {
+            return Err(Interrupted { reason, stats });
+        }
         let q_len = distinct_len(query);
         let mut hits: Vec<(SetId, f64)> = Vec::new();
         for i in 0..scratch.bounds.len() {
@@ -267,6 +312,9 @@ impl<S: Similarity> Les3Index<S> {
             if ub < delta {
                 stats.groups_pruned += scratch.bounds.len() - i;
                 break;
+            }
+            if let Some(reason) = ctl.interrupted() {
+                return Err(Interrupted { reason, stats });
             }
             stats.groups_verified += 1;
             self.verify
@@ -287,7 +335,7 @@ impl<S: Similarity> Les3Index<S> {
                 });
         }
         sort_hits(&mut hits);
-        SearchResult { hits, stats }
+        Ok(SearchResult { hits, stats })
     }
 }
 

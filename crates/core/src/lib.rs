@@ -73,6 +73,7 @@
 //! ```
 
 pub mod batch;
+pub mod ctl;
 pub mod delete;
 pub mod disk;
 pub mod htgm;
@@ -86,13 +87,16 @@ pub mod stats;
 pub mod tgm;
 pub mod update;
 
+pub use ctl::{InterruptReason, Interrupted, QueryCtl};
 pub use delete::DeletionLog;
 pub use disk::DiskLes3;
 pub use htgm::{HierarchicalPartitioning, Htgm};
 pub use index::{Les3Index, SearchResult};
 pub use partitioning::Partitioning;
 pub use scratch::{QueryScratch, ShardedScratch, WorkerScratch};
-pub use serve::{ServeBackend, ServeConfig, ServeError, ServeFront, ServeResult, Ticket};
+pub use serve::{
+    OnFull, ServeBackend, ServeConfig, ServeError, ServeFront, ServeResult, SubmitOpts, Ticket,
+};
 pub use shard::{ShardPolicy, ShardedLes3Index};
 pub use sim::{
     normalize_query, Cosine, Dice, Jaccard, OverlapCoefficient, Similarity, ThresholdedEval,

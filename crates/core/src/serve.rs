@@ -1,4 +1,6 @@
-//! Asynchronous serving front with deadline-coalesced batching.
+//! Asynchronous serving front: deadline-coalesced batching with
+//! admission control (backpressure, per-request deadlines,
+//! cancellation).
 //!
 //! The batch entry points ([`crate::Les3Index::knn_batch`] and friends)
 //! assume someone already has a batch in hand. A search service does
@@ -7,29 +9,109 @@
 //! worker scratch, coalesced task claiming, one pass over the index per
 //! worker instead of per query). [`ServeFront`] closes that gap:
 //!
-//! 1. **Enqueue.** Producer threads call [`ServeFront::knn`] /
+//! 1. **Admit.** Producer threads call [`ServeFront::knn`] /
 //!    [`ServeFront::range`] (blocking) or [`ServeFront::submit_knn`] /
-//!    [`ServeFront::submit_range`] (returning a [`Ticket`]); each
-//!    request carries a one-shot completion slot and lands on an MPSC
-//!    queue.
+//!    [`ServeFront::submit_range`] (returning a [`Ticket`]). A bounded
+//!    queue ([`ServeConfig::queue_capacity`]) caps the
+//!    **accepted-but-unfinished** requests: when it is full, fire-and-
+//!    forget submissions are shed immediately with
+//!    [`ServeError::Overloaded`] (load shedding — overload degrades
+//!    into fast rejections, not unbounded queueing), while the blocking
+//!    calls and [`OnFull::Wait`] submissions park until capacity frees
+//!    (backpressure). Each admitted request carries a one-shot
+//!    completion slot and lands on an MPSC queue.
 //! 2. **Coalesce.** A dispatcher thread drains the queue into batches,
 //!    closing a batch when **either** it reaches
 //!    [`ServeConfig::max_batch`] requests **or** the oldest request has
 //!    waited [`ServeConfig::max_wait`] — so a lone request never waits
 //!    for company that is not coming, and a burst never fragments into
-//!    per-query work.
+//!    per-query work. At batch close, requests whose deadline has
+//!    already passed (or whose ticket was cancelled) are shed without
+//!    ever reaching a worker.
 //! 3. **Execute.** Batches are pipelined onto a persistent
 //!    [`WorkerPool`](crate::batch) whose workers each own one scratch
 //!    ([`QueryScratch`] for a flat backend, [`ShardedScratch`] for a
 //!    sharded one) for the pool's whole lifetime — steady-state serving
 //!    allocates nothing per batch — and claim fixed-size task chunks
-//!    exactly like the synchronous coalescing executor.
+//!    exactly like the synchronous coalescing executor. Every request
+//!    runs under a [`QueryCtl`]: the deadline and cancellation token
+//!    are polled between the phase-A filter and verification and at
+//!    every group boundary, so a request that expires or is cancelled
+//!    *mid-flight* stops consuming CPU at the next boundary instead of
+//!    running to completion.
 //! 4. **Complete.** Each request's slot is filled with its
-//!    [`SearchResult`]; results are **bit-for-bit identical** — hits
-//!    *and* [`SearchStats`](crate::SearchStats) — to calling
+//!    [`SearchResult`] (releasing its unit of queue capacity); results
+//!    are **bit-for-bit identical** — hits *and* [`SearchStats`] — to
+//!    calling
 //!    [`knn_with`](crate::Les3Index::knn_with) /
 //!    [`range_with`](crate::Les3Index::range_with) directly
 //!    (`tests/serve_front.rs` proves it under racing producers).
+//!
+//! # Admission control
+//!
+//! Every submitted request resolves to exactly one of four outcomes —
+//! no hangs, no lost tickets:
+//!
+//! | outcome | meaning |
+//! |---|---|
+//! | `Ok(result)` | identical to the direct call, bit for bit |
+//! | [`ServeError::Overloaded`] | shed at admission: the bounded queue was full |
+//! | [`ServeError::DeadlineExceeded`] | the request's deadline passed — at submit, at batch close, or mid-flight (carries the partial [`SearchStats`]) |
+//! | [`ServeError::Cancelled`] | its [`Ticket`] was dropped or [`cancel`](Ticket::cancel)-ed (carries the partial [`SearchStats`]) |
+//!
+//! ([`ServeError::QueryPanicked`] — see *Panic isolation* below — is the
+//! defect path, not an admission outcome.) [`ServeFront::stats`] returns
+//! an aggregate [`SearchStats`] over the front's
+//! lifetime: the work counters sum every query executed (including the
+//! partial work of interrupted ones) and the new `shed` / `expired` /
+//! `cancelled` counters count the rejections, so shed rate and goodput
+//! fall straight out of one snapshot.
+//!
+//! # Example: submit, overload, deadline
+//!
+//! ```
+//! use les3_core::serve::{ServeConfig, ServeError, ServeFront, SubmitOpts};
+//! use les3_core::sim::Jaccard;
+//! use les3_core::{Les3Index, Partitioning};
+//! use les3_data::SetDatabase;
+//! use std::time::{Duration, Instant};
+//!
+//! let db = SetDatabase::from_sets(vec![vec![0u32, 1, 2], vec![0, 1, 3], vec![7, 8]]);
+//! let index = Les3Index::build(db, Partitioning::round_robin(3, 2), Jaccard);
+//! let front = ServeFront::new(
+//!     index,
+//!     ServeConfig {
+//!         max_batch: 64,
+//!         max_wait: Duration::from_secs(1), // batch stays open 1 s
+//!         workers: 1,
+//!         queue_capacity: 2, // at most 2 accepted-but-unfinished requests
+//!     },
+//! );
+//! // Two submissions fill the bounded queue; while the dispatcher holds
+//! // them in the open batch, a third is shed instead of queueing.
+//! let t1 = front.submit_knn(vec![0, 1, 2], 2);
+//! let t2 = front.submit_knn(vec![0, 1, 3], 2);
+//! let t3 = front.submit_knn(vec![7, 8], 2);
+//! assert_eq!(t3.wait(), Err(ServeError::Overloaded));
+//! // A request whose deadline has already passed never runs at all:
+//! let late = front.submit_knn_opts(
+//!     vec![0, 1],
+//!     2,
+//!     SubmitOpts {
+//!         deadline: Some(Instant::now()),
+//!         ..Default::default()
+//!     },
+//! );
+//! match late.wait() {
+//!     Err(ServeError::DeadlineExceeded(stats)) => assert_eq!(stats.groups_verified, 0),
+//!     other => panic!("expected a deadline rejection, got {other:?}"),
+//! }
+//! // The admitted requests still complete, identical to direct calls.
+//! assert_eq!(t1.wait().unwrap(), front.backend().knn(&[0, 1, 2], 2));
+//! assert!(t2.wait().is_ok());
+//! let agg = front.stats();
+//! assert_eq!((agg.shed, agg.expired, agg.cancelled), (1, 1, 0));
+//! ```
 //!
 //! # Panic isolation
 //!
@@ -43,29 +125,12 @@
 //! # Shutdown
 //!
 //! Dropping the front is graceful: already-accepted requests are
-//! batched, executed and completed before the worker threads join, so a
-//! [`Ticket`] obtained before the drop can always be waited on after
-//! it.
-//!
-//! # Example
-//!
-//! ```
-//! use les3_core::serve::{ServeConfig, ServeFront};
-//! use les3_core::sim::Jaccard;
-//! use les3_core::{Les3Index, Partitioning};
-//! use les3_data::SetDatabase;
-//!
-//! let db = SetDatabase::from_sets(vec![vec![0u32, 1, 2], vec![0, 1, 3], vec![7, 8]]);
-//! let index = Les3Index::build(db, Partitioning::round_robin(3, 2), Jaccard);
-//! let front = ServeFront::new(index, ServeConfig::default());
-//! // Any number of threads may share `&front`.
-//! let res = front.knn(&[0, 1, 2], 2).unwrap();
-//! assert_eq!(res.hits[0].0, 0);
-//! assert_eq!(res, front.backend().knn(&[0, 1, 2], 2)); // bit-for-bit
-//! ```
+//! batched, executed (or shed, if expired/cancelled by then) and
+//! completed before the worker threads join, so a [`Ticket`] obtained
+//! before the drop can always be waited on after it.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -73,10 +138,12 @@ use std::time::{Duration, Instant};
 use les3_data::TokenId;
 
 use crate::batch::{lock_unpoisoned, PoolHandle, PoolJob, WorkerPool, TASK_QUERIES};
+use crate::ctl::{InterruptReason, Interrupted, QueryCtl};
 use crate::index::{Les3Index, SearchResult};
 use crate::scratch::{QueryScratch, ShardedScratch, WorkerScratch};
 use crate::shard::ShardedLes3Index;
 use crate::sim::Similarity;
+use crate::stats::SearchStats;
 
 /// Tuning knobs for a [`ServeFront`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +160,13 @@ pub struct ServeConfig {
     /// Worker threads in the persistent pool; `0` means one per
     /// available core.
     pub workers: usize,
+    /// Cap on **accepted-but-unfinished** requests — everything admitted
+    /// (queued, batched, or executing) and not yet completed (clamped to
+    /// ≥ 1). When the queue is full, [`OnFull::Shed`] submissions are
+    /// rejected with [`ServeError::Overloaded`] and [`OnFull::Wait`]
+    /// ones block until capacity frees. The default (`usize::MAX`) is
+    /// effectively unbounded.
+    pub queue_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -101,6 +175,7 @@ impl Default for ServeConfig {
             max_batch: 64,
             max_wait: Duration::from_micros(500),
             workers: 0,
+            queue_capacity: usize::MAX,
         }
     }
 }
@@ -120,6 +195,20 @@ impl ServeConfig {
 /// Why a served request did not produce a [`SearchResult`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
+    /// Shed at admission: the front's bounded queue
+    /// ([`ServeConfig::queue_capacity`]) was full. The request consumed
+    /// no query CPU at all.
+    Overloaded,
+    /// The request's deadline passed — at submission, at batch close, or
+    /// mid-flight. Carries the partial [`SearchStats`] of whatever work
+    /// ran before the stop (all-zero when the request never reached a
+    /// worker; `groups_verified == 0` whenever it expired before
+    /// verification began).
+    DeadlineExceeded(SearchStats),
+    /// The request's [`Ticket`] was dropped or
+    /// [`cancel`](Ticket::cancel)-ed. Carries the partial
+    /// [`SearchStats`], as for `DeadlineExceeded`.
+    Cancelled(SearchStats),
     /// The query panicked inside a worker. Only this request failed; the
     /// pool and every other in-flight request are unaffected. Carries
     /// the panic message.
@@ -132,6 +221,9 @@ pub enum ServeError {
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            ServeError::Overloaded => write!(f, "request shed: serving queue is full"),
+            ServeError::DeadlineExceeded(_) => write!(f, "request deadline exceeded"),
+            ServeError::Cancelled(_) => write!(f, "request cancelled"),
             ServeError::QueryPanicked(msg) => write!(f, "query panicked in worker: {msg}"),
             ServeError::Disconnected => write!(f, "serving front is shut down"),
         }
@@ -143,6 +235,31 @@ impl std::error::Error for ServeError {}
 /// What a served request resolves to.
 pub type ServeResult = Result<SearchResult, ServeError>;
 
+/// What a submission does when the bounded queue is full.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum OnFull {
+    /// Reject immediately with [`ServeError::Overloaded`] (load
+    /// shedding — the default).
+    #[default]
+    Shed,
+    /// Block until capacity frees (backpressure). With a deadline set,
+    /// blocks at most until the deadline, then resolves to
+    /// [`ServeError::DeadlineExceeded`].
+    Wait,
+}
+
+/// Per-request submission options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOpts {
+    /// Drop-dead time: past this instant the request is shed (at submit
+    /// or batch close) or interrupted at the next phase/group boundary
+    /// (mid-flight), resolving to [`ServeError::DeadlineExceeded`].
+    /// `None` means "run to completion".
+    pub deadline: Option<Instant>,
+    /// Full-queue behavior; see [`OnFull`].
+    pub on_full: OnFull,
+}
+
 /// An index the serving front can execute batches against: the two
 /// in-memory variants, each with its per-worker scratch type.
 pub trait ServeBackend: Send + Sync + 'static {
@@ -150,72 +267,227 @@ pub trait ServeBackend: Send + Sync + 'static {
     /// lifetime and reused across every batch it executes.
     type Scratch: WorkerScratch;
 
-    /// Answers one kNN request (must equal the backend's public `knn`
-    /// bit for bit, stats included).
-    fn serve_knn(&self, query: &[TokenId], k: usize, scratch: &mut Self::Scratch) -> SearchResult;
+    /// Answers one kNN request under cooperative interruption (must
+    /// equal the backend's public `knn` bit for bit — stats included —
+    /// whenever it completes).
+    fn serve_knn_ctl(
+        &self,
+        query: &[TokenId],
+        k: usize,
+        scratch: &mut Self::Scratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<SearchResult, Interrupted>;
 
-    /// Answers one range request (must equal the backend's public
-    /// `range` bit for bit, stats included).
+    /// Answers one range request under cooperative interruption (must
+    /// equal the backend's public `range` bit for bit whenever it
+    /// completes).
+    fn serve_range_ctl(
+        &self,
+        query: &[TokenId],
+        delta: f64,
+        scratch: &mut Self::Scratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<SearchResult, Interrupted>;
+
+    /// Uninterruptible kNN (convenience over [`QueryCtl::NONE`]).
+    fn serve_knn(&self, query: &[TokenId], k: usize, scratch: &mut Self::Scratch) -> SearchResult {
+        self.serve_knn_ctl(query, k, scratch, &QueryCtl::NONE)
+            .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"))
+    }
+
+    /// Uninterruptible range search (convenience over
+    /// [`QueryCtl::NONE`]).
     fn serve_range(
         &self,
         query: &[TokenId],
         delta: f64,
         scratch: &mut Self::Scratch,
-    ) -> SearchResult;
+    ) -> SearchResult {
+        self.serve_range_ctl(query, delta, scratch, &QueryCtl::NONE)
+            .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"))
+    }
 }
 
 impl<S: Similarity> ServeBackend for Les3Index<S> {
     type Scratch = QueryScratch;
 
-    fn serve_knn(&self, query: &[TokenId], k: usize, scratch: &mut QueryScratch) -> SearchResult {
-        self.knn_with(query, k, scratch)
+    fn serve_knn_ctl(
+        &self,
+        query: &[TokenId],
+        k: usize,
+        scratch: &mut QueryScratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<SearchResult, Interrupted> {
+        self.knn_ctl(query, k, scratch, ctl)
     }
 
-    fn serve_range(
+    fn serve_range_ctl(
         &self,
         query: &[TokenId],
         delta: f64,
         scratch: &mut QueryScratch,
-    ) -> SearchResult {
-        self.range_with(query, delta, scratch)
+        ctl: &QueryCtl<'_>,
+    ) -> Result<SearchResult, Interrupted> {
+        self.range_ctl(query, delta, scratch, ctl)
     }
 }
 
 impl<S: Similarity> ServeBackend for ShardedLes3Index<S> {
     type Scratch = ShardedScratch;
 
-    fn serve_knn(&self, query: &[TokenId], k: usize, scratch: &mut ShardedScratch) -> SearchResult {
-        self.knn_with(query, k, scratch)
+    fn serve_knn_ctl(
+        &self,
+        query: &[TokenId],
+        k: usize,
+        scratch: &mut ShardedScratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<SearchResult, Interrupted> {
+        self.knn_ctl(query, k, scratch, ctl)
     }
 
-    fn serve_range(
+    fn serve_range_ctl(
         &self,
         query: &[TokenId],
         delta: f64,
         scratch: &mut ShardedScratch,
-    ) -> SearchResult {
-        self.range_with(query, delta, scratch)
+        ctl: &QueryCtl<'_>,
+    ) -> Result<SearchResult, Interrupted> {
+        self.range_ctl(query, delta, scratch, ctl)
     }
 }
 
-/// One-shot completion slot shared between a request and its ticket.
+/// State shared by the front, its dispatcher, its batch jobs and every
+/// outstanding request: the bounded admission queue and the aggregate
+/// serving counters.
+struct FrontShared {
+    /// Cap on accepted-but-unfinished requests (≥ 1).
+    capacity: usize,
+    /// Accepted-but-unfinished count; the invariant `in_flight ≤
+    /// capacity` holds at every instant because admission increments
+    /// under this mutex and completion decrements before any waiter is
+    /// woken.
+    in_flight: Mutex<usize>,
+    /// Signalled on every release (a completion freeing capacity).
+    freed: Condvar,
+    /// Lifetime aggregate: work counters summed over every executed
+    /// query (partial work of interrupted ones included) plus the
+    /// `shed` / `expired` / `cancelled` rejection counts.
+    agg: Mutex<SearchStats>,
+}
+
+impl FrontShared {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            in_flight: Mutex::new(0),
+            freed: Condvar::new(),
+            agg: Mutex::new(SearchStats::default()),
+        }
+    }
+
+    /// Folds an update into the aggregate counters.
+    fn note(&self, f: impl FnOnce(&mut SearchStats)) {
+        f(&mut lock_unpoisoned(&self.agg));
+    }
+
+    /// Takes one unit of queue capacity, or reports why it cannot.
+    /// Checks the deadline first: a request already expired at submit is
+    /// a deadline miss, not an overload, whatever the queue looks like.
+    fn admit(&self, on_full: OnFull, deadline: Option<Instant>) -> Result<(), ServeError> {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(ServeError::DeadlineExceeded(SearchStats::default()));
+        }
+        let mut in_flight = lock_unpoisoned(&self.in_flight);
+        loop {
+            if *in_flight < self.capacity {
+                *in_flight += 1;
+                return Ok(());
+            }
+            match (on_full, deadline) {
+                (OnFull::Shed, _) => return Err(ServeError::Overloaded),
+                (OnFull::Wait, None) => {
+                    in_flight = self
+                        .freed
+                        .wait(in_flight)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+                (OnFull::Wait, Some(d)) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(ServeError::DeadlineExceeded(SearchStats::default()));
+                    }
+                    in_flight = self
+                        .freed
+                        .wait_timeout(in_flight, d - now)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0;
+                }
+            }
+        }
+    }
+
+    /// Returns one unit of queue capacity (a request completed).
+    fn release(&self) {
+        {
+            let mut in_flight = lock_unpoisoned(&self.in_flight);
+            debug_assert!(*in_flight > 0, "release without admit");
+            *in_flight = in_flight.saturating_sub(1);
+        }
+        self.freed.notify_one();
+    }
+
+    fn in_flight(&self) -> usize {
+        *lock_unpoisoned(&self.in_flight)
+    }
+}
+
+/// One-shot completion slot shared between a request and its ticket,
+/// carrying the request's cancellation token and — once admitted — the
+/// capacity unit it returns on completion.
 struct Slot {
     cell: Mutex<Option<ServeResult>>,
     done: Condvar,
+    /// The cancellation token: set by [`Ticket::cancel`] or the ticket's
+    /// drop, polled by the dispatcher at batch close and by workers at
+    /// every phase/group boundary.
+    cancelled: AtomicBool,
+    /// `Some` for admitted requests: completing the slot releases their
+    /// unit of the bounded queue's capacity.
+    front: Option<Arc<FrontShared>>,
 }
 
 impl Slot {
-    fn new() -> Self {
+    /// A slot for an admitted request, holding one capacity unit.
+    fn admitted(front: Arc<FrontShared>) -> Self {
         Self {
             cell: Mutex::new(None),
             done: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+            front: Some(front),
+        }
+    }
+
+    /// A pre-resolved slot (a submission rejected without admission).
+    fn resolved(value: ServeResult) -> Self {
+        Self {
+            cell: Mutex::new(Some(value)),
+            done: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+            front: None,
         }
     }
 
     fn put(&self, value: ServeResult) {
-        let mut cell = lock_unpoisoned(&self.cell);
-        debug_assert!(cell.is_none(), "slot completed twice");
-        *cell = Some(value);
+        {
+            let mut cell = lock_unpoisoned(&self.cell);
+            debug_assert!(cell.is_none(), "slot completed twice");
+            *cell = Some(value);
+        }
+        // Free the capacity unit only after the result is visible, so
+        // "accepted-but-unfinished ≤ capacity" never over-counts.
+        if let Some(front) = &self.front {
+            front.release();
+        }
         self.done.notify_all();
     }
 
@@ -233,6 +505,12 @@ impl Slot {
 /// A handle onto one submitted request; [`Ticket::wait`] blocks until a
 /// worker completes it. Tickets outlive the front: one obtained before
 /// the front drops resolves during the front's graceful drain.
+///
+/// The ticket doubles as the request's **cancellation token**: calling
+/// [`Ticket::cancel`] — or dropping the ticket without waiting — marks
+/// the request so queued work is skipped and in-flight verification
+/// stops at the next group boundary, resolving it to
+/// [`ServeError::Cancelled`].
 pub struct Ticket {
     slot: Arc<Slot>,
 }
@@ -241,6 +519,24 @@ impl Ticket {
     /// Blocks until the request completes and returns its result.
     pub fn wait(self) -> ServeResult {
         self.slot.wait()
+    }
+
+    /// Cancels the request: queued work is skipped, in-flight
+    /// verification aborts at the next group boundary. The ticket stays
+    /// waitable — [`Ticket::wait`] then observes either
+    /// [`ServeError::Cancelled`] or, if the request won the race by
+    /// finishing first, its ordinary result.
+    pub fn cancel(&self) {
+        self.slot.cancelled.store(true, Ordering::Release);
+    }
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        // An abandoned ticket means nobody will read the answer: treat
+        // it as a cancellation so the request stops consuming CPU. (For
+        // waited tickets this fires after completion and is a no-op.)
+        self.slot.cancelled.store(true, Ordering::Release);
     }
 }
 
@@ -252,6 +548,7 @@ enum QueryKind {
 struct Request {
     query: Vec<TokenId>,
     kind: QueryKind,
+    deadline: Option<Instant>,
     slot: Arc<Slot>,
 }
 
@@ -261,18 +558,38 @@ struct Request {
 /// slot the moment it finishes — no barrier at the batch edge.
 struct BatchJob<B: ServeBackend> {
     backend: Arc<B>,
+    shared: Arc<FrontShared>,
     requests: Vec<Request>,
     next: AtomicUsize,
 }
 
 impl<B: ServeBackend> BatchJob<B> {
     fn serve_one(&self, req: &Request, scratch: &mut B::Scratch) {
+        let ctl = QueryCtl::new(req.deadline, Some(&req.slot.cancelled));
+        // Dead on arrival (expired or cancelled while queued): skip the
+        // query entirely — zero stats, zero CPU.
+        if let Some(reason) = ctl.interrupted() {
+            self.finish_interrupted(
+                req,
+                Interrupted {
+                    reason,
+                    stats: SearchStats::default(),
+                },
+            );
+            return;
+        }
         let outcome = catch_unwind(AssertUnwindSafe(|| match req.kind {
-            QueryKind::Knn(k) => self.backend.serve_knn(&req.query, k, scratch),
-            QueryKind::Range(delta) => self.backend.serve_range(&req.query, delta, scratch),
+            QueryKind::Knn(k) => self.backend.serve_knn_ctl(&req.query, k, scratch, &ctl),
+            QueryKind::Range(delta) => self
+                .backend
+                .serve_range_ctl(&req.query, delta, scratch, &ctl),
         }));
         match outcome {
-            Ok(result) => req.slot.put(Ok(result)),
+            Ok(Ok(result)) => {
+                self.shared.note(|agg| agg.accumulate(&result.stats));
+                req.slot.put(Ok(result));
+            }
+            Ok(Err(interrupted)) => self.finish_interrupted(req, interrupted),
             Err(payload) => {
                 // The panicked query may have left scratch invariants
                 // violated mid-update; rebuild before the next request.
@@ -283,6 +600,23 @@ impl<B: ServeBackend> BatchJob<B> {
                     .put(Err(ServeError::QueryPanicked(panic_message(&*payload))));
             }
         }
+    }
+
+    /// Completes an interrupted request, folding its partial work and
+    /// its rejection count into the aggregate.
+    fn finish_interrupted(&self, req: &Request, interrupted: Interrupted) {
+        self.shared.note(|agg| {
+            agg.accumulate(&interrupted.stats);
+            match interrupted.reason {
+                InterruptReason::Expired => agg.expired += 1,
+                InterruptReason::Cancelled => agg.cancelled += 1,
+            }
+        });
+        let err = match interrupted.reason {
+            InterruptReason::Expired => ServeError::DeadlineExceeded(interrupted.stats),
+            InterruptReason::Cancelled => ServeError::Cancelled(interrupted.stats),
+        };
+        req.slot.put(Err(err));
     }
 }
 
@@ -315,11 +649,12 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// The deadline-coalescing serving front. See the [module docs](self)
-/// for the architecture; share one instance behind `&` (or `Arc`) across
-/// any number of producer threads.
+/// The deadline-coalescing, admission-controlled serving front. See the
+/// [module docs](self) for the architecture; share one instance behind
+/// `&` (or `Arc`) across any number of producer threads.
 pub struct ServeFront<B: ServeBackend> {
     backend: Arc<B>,
+    shared: Arc<FrontShared>,
     /// `Some` until drop; dropping it disconnects the dispatcher.
     tx: Option<Sender<Request>>,
     dispatcher: Option<std::thread::JoinHandle<()>>,
@@ -342,6 +677,7 @@ impl<B: ServeBackend> ServeFront<B> {
             max_batch: config.max_batch.max(1),
             ..config
         };
+        let shared = Arc::new(FrontShared::new(config.queue_capacity));
         let pool = WorkerPool::new(
             config.effective_workers(),
             "les3-serve",
@@ -350,12 +686,16 @@ impl<B: ServeBackend> ServeFront<B> {
         let handle = pool.handle();
         let (tx, rx) = mpsc::channel();
         let dispatcher_backend = Arc::clone(&backend);
+        let dispatcher_shared = Arc::clone(&shared);
         let dispatcher = std::thread::Builder::new()
             .name("les3-serve-dispatch".to_string())
-            .spawn(move || dispatcher_loop(rx, handle, dispatcher_backend, config))
+            .spawn(move || {
+                dispatcher_loop(rx, handle, dispatcher_backend, dispatcher_shared, config)
+            })
             .expect("spawn serve dispatcher");
         Self {
             backend,
+            shared,
             tx: Some(tx),
             dispatcher: Some(dispatcher),
             pool: Some(pool),
@@ -367,35 +707,106 @@ impl<B: ServeBackend> ServeFront<B> {
         &self.backend
     }
 
-    /// Enqueues a kNN request; the [`Ticket`] resolves to exactly
-    /// [`knn`](crate::Les3Index::knn)'s result for the same arguments.
+    /// Lifetime aggregate counters: per-query work summed over every
+    /// executed request (interrupted ones contribute their partial
+    /// work), plus `shed` (overload rejections), `expired` (deadline
+    /// misses) and `cancelled` (dropped/cancelled tickets).
+    pub fn stats(&self) -> SearchStats {
+        *lock_unpoisoned(&self.shared.agg)
+    }
+
+    /// Accepted-but-unfinished requests right now — never exceeds
+    /// [`ServeConfig::queue_capacity`].
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight()
+    }
+
+    /// Enqueues a kNN request (shedding on a full queue); the [`Ticket`]
+    /// resolves to exactly [`knn`](crate::Les3Index::knn)'s result for
+    /// the same arguments, or to an admission outcome.
     pub fn submit_knn(&self, query: Vec<TokenId>, k: usize) -> Ticket {
-        self.submit(query, QueryKind::Knn(k))
+        self.submit(query, QueryKind::Knn(k), SubmitOpts::default())
     }
 
-    /// Enqueues a range request; the [`Ticket`] resolves to exactly
+    /// Enqueues a range request (shedding on a full queue); the
+    /// [`Ticket`] resolves to exactly
     /// [`range`](crate::Les3Index::range)'s result for the same
-    /// arguments.
+    /// arguments, or to an admission outcome.
     pub fn submit_range(&self, query: Vec<TokenId>, delta: f64) -> Ticket {
-        self.submit(query, QueryKind::Range(delta))
+        self.submit(query, QueryKind::Range(delta), SubmitOpts::default())
     }
 
-    /// Blocking kNN through the batching queue.
+    /// [`ServeFront::submit_knn`] with explicit [`SubmitOpts`]
+    /// (deadline, full-queue behavior).
+    pub fn submit_knn_opts(&self, query: Vec<TokenId>, k: usize, opts: SubmitOpts) -> Ticket {
+        self.submit(query, QueryKind::Knn(k), opts)
+    }
+
+    /// [`ServeFront::submit_range`] with explicit [`SubmitOpts`].
+    pub fn submit_range_opts(&self, query: Vec<TokenId>, delta: f64, opts: SubmitOpts) -> Ticket {
+        self.submit(query, QueryKind::Range(delta), opts)
+    }
+
+    /// Blocking-admission variant of [`ServeFront::submit_knn`]: on a
+    /// full queue the submission parks until capacity frees
+    /// (backpressure) instead of shedding.
+    pub fn submit_knn_wait(&self, query: Vec<TokenId>, k: usize) -> Ticket {
+        self.submit_knn_opts(
+            query,
+            k,
+            SubmitOpts {
+                on_full: OnFull::Wait,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Blocking-admission variant of [`ServeFront::submit_range`].
+    pub fn submit_range_wait(&self, query: Vec<TokenId>, delta: f64) -> Ticket {
+        self.submit_range_opts(
+            query,
+            delta,
+            SubmitOpts {
+                on_full: OnFull::Wait,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Blocking kNN through the batching queue. Waits for admission on a
+    /// full queue: a closed-loop caller experiences backpressure, never
+    /// [`ServeError::Overloaded`].
     pub fn knn(&self, query: &[TokenId], k: usize) -> ServeResult {
-        self.submit_knn(query.to_vec(), k).wait()
+        self.submit_knn_wait(query.to_vec(), k).wait()
     }
 
-    /// Blocking range search through the batching queue.
+    /// Blocking range search through the batching queue (waiting
+    /// admission, like [`ServeFront::knn`]).
     pub fn range(&self, query: &[TokenId], delta: f64) -> ServeResult {
-        self.submit_range(query.to_vec(), delta).wait()
+        self.submit_range_wait(query.to_vec(), delta).wait()
     }
 
-    fn submit(&self, query: Vec<TokenId>, kind: QueryKind) -> Ticket {
-        let slot = Arc::new(Slot::new());
+    fn submit(&self, query: Vec<TokenId>, kind: QueryKind, opts: SubmitOpts) -> Ticket {
+        if let Err(err) = self.shared.admit(opts.on_full, opts.deadline) {
+            self.shared.note(|agg| match err {
+                ServeError::Overloaded => agg.shed += 1,
+                ServeError::DeadlineExceeded(_) => agg.expired += 1,
+                _ => {}
+            });
+            return Ticket {
+                slot: Arc::new(Slot::resolved(Err(err))),
+            };
+        }
+        let slot = Arc::new(Slot::admitted(Arc::clone(&self.shared)));
         let ticket = Ticket {
             slot: Arc::clone(&slot),
         };
-        let request = Request { query, kind, slot };
+        let request = Request {
+            query,
+            kind,
+            deadline: opts.deadline,
+            slot,
+        };
         let tx = self.tx.as_ref().expect("sender lives until drop");
         if let Err(mpsc::SendError(request)) = tx.send(request) {
             // Defensive: the dispatcher only exits after `tx` drops.
@@ -419,11 +830,13 @@ impl<B: ServeBackend> Drop for ServeFront<B> {
     }
 }
 
-/// Drains the request channel into deadline-or-size-triggered batches.
+/// Drains the request channel into deadline-or-size-triggered batches,
+/// shedding requests already expired or cancelled at batch close.
 fn dispatcher_loop<B: ServeBackend>(
     rx: Receiver<Request>,
     pool: PoolHandle<B::Scratch>,
     backend: Arc<B>,
+    shared: Arc<FrontShared>,
     config: ServeConfig,
 ) {
     loop {
@@ -456,11 +869,35 @@ fn dispatcher_loop<B: ServeBackend>(
                 Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => break,
             }
         }
+        // Batch-close shedding: requests that died while queued —
+        // deadline passed, ticket cancelled — never reach a worker.
+        let now = Instant::now();
+        requests.retain(|request| {
+            if request.slot.cancelled.load(Ordering::Acquire) {
+                shared.note(|agg| agg.cancelled += 1);
+                request
+                    .slot
+                    .put(Err(ServeError::Cancelled(SearchStats::default())));
+                false
+            } else if request.deadline.is_some_and(|d| now >= d) {
+                shared.note(|agg| agg.expired += 1);
+                request
+                    .slot
+                    .put(Err(ServeError::DeadlineExceeded(SearchStats::default())));
+                false
+            } else {
+                true
+            }
+        });
+        if requests.is_empty() {
+            continue;
+        }
         // Hand the batch to the pool and immediately go back to
         // collecting: batches pipeline, the queue never stalls on
         // execution.
         pool.submit(Arc::new(BatchJob {
             backend: Arc::clone(&backend),
+            shared: Arc::clone(&shared),
             requests,
             next: AtomicUsize::new(0),
         }));
@@ -485,6 +922,7 @@ mod tests {
             max_batch: 4,
             max_wait: Duration::from_micros(200),
             workers: 2,
+            ..ServeConfig::default()
         };
         (ServeFront::from_arc(Arc::clone(&index), config), index)
     }
@@ -518,6 +956,7 @@ mod tests {
             max_batch: 1,
             max_wait: Duration::ZERO,
             workers: 1,
+            ..ServeConfig::default()
         };
         let front = ServeFront::from_arc(Arc::clone(&index), config);
         let q = index.db().set(11).to_vec();
@@ -525,5 +964,44 @@ mod tests {
         // Degenerate inputs flow through the front unchanged.
         assert!(front.knn(&q, 0).unwrap().hits.is_empty());
         assert!(front.knn(&[], 2).unwrap().hits.len() == 2);
+    }
+
+    #[test]
+    fn expired_at_submit_is_rejected_without_admission() {
+        let (front, index) = front_and_index();
+        let q = index.db().set(0).to_vec();
+        let ticket = front.submit_knn_opts(
+            q,
+            3,
+            SubmitOpts {
+                deadline: Some(Instant::now()),
+                ..Default::default()
+            },
+        );
+        match ticket.wait() {
+            Err(ServeError::DeadlineExceeded(stats)) => {
+                assert_eq!(stats, SearchStats::default(), "no work for a dead request");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(front.stats().expired, 1);
+        assert_eq!(front.in_flight(), 0);
+    }
+
+    #[test]
+    fn far_deadline_serves_normally() {
+        let (front, index) = front_and_index();
+        let q = index.db().set(42).to_vec();
+        let ticket = front.submit_knn_opts(
+            q.clone(),
+            5,
+            SubmitOpts {
+                deadline: Some(Instant::now() + Duration::from_secs(600)),
+                ..Default::default()
+            },
+        );
+        assert_eq!(ticket.wait().unwrap(), index.knn(&q, 5));
+        let agg = front.stats();
+        assert_eq!((agg.shed, agg.expired, agg.cancelled), (0, 0, 0));
     }
 }

@@ -44,10 +44,32 @@
 //! scattered back to global group ids first), then touches only that
 //! group's shard; deletions clear TGM bits through the same routing
 //! (see [`crate::delete::DeletionLog`]).
+//!
+//! # Example
+//!
+//! ```
+//! use les3_core::sim::Jaccard;
+//! use les3_core::{Les3Index, Partitioning, ShardPolicy, ShardedLes3Index};
+//! use les3_data::SetDatabase;
+//!
+//! let db = SetDatabase::from_sets(vec![
+//!     vec![0u32, 1, 2],
+//!     vec![0, 1, 3],
+//!     vec![2, 3, 4],
+//!     vec![7, 8],
+//! ]);
+//! let part = Partitioning::round_robin(4, 2);
+//! let flat = Les3Index::build(db.clone(), part.clone(), Jaccard);
+//! let sharded = ShardedLes3Index::build(db, part, Jaccard, 2, ShardPolicy::Hash);
+//! // Not merely the same answer — the same traversal: hits AND stats.
+//! assert_eq!(sharded.knn(&[0, 1, 2], 3), flat.knn(&[0, 1, 2], 3));
+//! assert_eq!(sharded.range(&[0, 1, 2], 0.5), flat.range(&[0, 1, 2], 0.5));
+//! ```
 
 use les3_bitmap::Bitmap;
 use les3_data::{SetDatabase, SetId, TokenId};
 
+use crate::ctl::{InterruptReason, Interrupted, QueryCtl};
 use crate::index::{sort_hits, SearchResult, TopK, VerifyOrder};
 use crate::partitioning::Partitioning;
 use crate::scratch::{QueryScratch, ShardedScratch};
@@ -281,8 +303,10 @@ impl<S: Similarity> ShardedLes3Index<S> {
     /// The cross-shard best-first descent over pre-computed shard filter
     /// outputs, sharing one global top-k. `filter_of(s)` yields shard
     /// `s`'s [`ShardFilter`]; `cursors` must hold one zeroed cursor per
-    /// shard. See the module docs for why this replays the unsharded
-    /// traversal exactly.
+    /// shard. Polls `ctl` at every merge step (the sharded analogue of
+    /// the flat index's group-boundary check). See the module docs for
+    /// why this replays the unsharded traversal exactly.
+    #[allow(clippy::too_many_arguments)] // internal kernel: callers thread scratch + ctl
     pub(crate) fn merge_knn<'a>(
         &self,
         query: &[TokenId],
@@ -291,7 +315,8 @@ impl<S: Similarity> ShardedLes3Index<S> {
         filter_of: impl Fn(usize) -> &'a ShardFilter,
         cursors: &mut [usize],
         stats: &mut SearchStats,
-    ) -> TopK {
+        ctl: &QueryCtl<'_>,
+    ) -> Result<TopK, InterruptReason> {
         let n_shards = cursors.len();
         let mut top = TopK::new(k);
         loop {
@@ -321,6 +346,11 @@ impl<S: Similarity> ShardedLes3Index<S> {
                     .sum::<usize>();
                 break;
             }
+            // Group boundary: stop before the next verification, not
+            // after the whole descent.
+            if let Some(reason) = ctl.interrupted() {
+                return Err(reason);
+            }
             cursors[s] += 1;
             stats.groups_verified += 1;
             let shard = &self.shards[s];
@@ -345,12 +375,14 @@ impl<S: Similarity> ShardedLes3Index<S> {
                     }
                 });
         }
-        top
+        Ok(top)
     }
 
     /// Verifies shard `s`'s groups against a fixed range threshold,
     /// appending hits. Shards need no shared state for range queries, so
-    /// the batch executor runs this per (shard × query) task.
+    /// the batch executor runs this per (shard × query) task. Polls
+    /// `ctl` at every group boundary.
+    #[allow(clippy::too_many_arguments)] // internal kernel: callers thread scratch + ctl
     pub(crate) fn range_shard(
         &self,
         s: usize,
@@ -359,13 +391,17 @@ impl<S: Similarity> ShardedLes3Index<S> {
         filter: &ShardFilter,
         hits: &mut Vec<(SetId, f64)>,
         stats: &mut SearchStats,
-    ) {
+        ctl: &QueryCtl<'_>,
+    ) -> Result<(), InterruptReason> {
         let q_len = distinct_len(query);
         let shard = &self.shards[s];
         for (i, b) in filter.bounds.iter().enumerate() {
             if self.sim.ub_from_overlap(q_len, b.r as usize) < delta {
                 stats.groups_pruned += filter.bounds.len() - i;
                 break;
+            }
+            if let Some(reason) = ctl.interrupted() {
+                return Err(reason);
             }
             stats.groups_verified += 1;
             shard
@@ -386,6 +422,7 @@ impl<S: Similarity> ShardedLes3Index<S> {
                     }
                 });
         }
+        Ok(())
     }
 
     /// Exact kNN search across all shards (Definition 2.1); results are
@@ -403,12 +440,27 @@ impl<S: Similarity> ShardedLes3Index<S> {
         k: usize,
         scratch: &mut ShardedScratch,
     ) -> SearchResult {
+        self.knn_ctl(query, k, scratch, &QueryCtl::NONE)
+            .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"))
+    }
+
+    /// [`ShardedLes3Index::knn_with`] under cooperative interruption:
+    /// polls `ctl` after the per-shard filter passes (between phase A
+    /// and verification) and at every step of the cross-shard merge.
+    /// With [`QueryCtl::NONE`] this is exactly `knn_with`.
+    pub fn knn_ctl(
+        &self,
+        query: &[TokenId],
+        k: usize,
+        scratch: &mut ShardedScratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<SearchResult, Interrupted> {
         let mut stats = SearchStats::default();
         if k == 0 || self.db.is_empty() {
-            return SearchResult {
+            return Ok(SearchResult {
                 hits: Vec::new(),
                 stats,
-            };
+            });
         }
         // One sort for an unsorted query serves every shard's filter
         // pass and the merge's verify step alike.
@@ -424,11 +476,18 @@ impl<S: Similarity> ShardedLes3Index<S> {
             self.filter_shard(s, query, q_len, &mut per_shard[s], &mut filters[s]);
             stats.columns_checked += filters[s].cols as usize;
         }
+        // Phase boundary: verification must not start for an expired or
+        // cancelled query.
+        if let Some(reason) = ctl.interrupted() {
+            return Err(Interrupted { reason, stats });
+        }
         let filters: &[ShardFilter] = filters;
-        let top = self.merge_knn(query, k, q_len, |s| &filters[s], cursors, &mut stats);
-        SearchResult {
-            hits: top.into_sorted(),
-            stats,
+        match self.merge_knn(query, k, q_len, |s| &filters[s], cursors, &mut stats, ctl) {
+            Ok(top) => Ok(SearchResult {
+                hits: top.into_sorted(),
+                stats,
+            }),
+            Err(reason) => Err(Interrupted { reason, stats }),
         }
     }
 
@@ -445,6 +504,20 @@ impl<S: Similarity> ShardedLes3Index<S> {
         delta: f64,
         scratch: &mut ShardedScratch,
     ) -> SearchResult {
+        self.range_ctl(query, delta, scratch, &QueryCtl::NONE)
+            .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"))
+    }
+
+    /// [`ShardedLes3Index::range_with`] under cooperative interruption:
+    /// polls `ctl` between each shard's filter pass and its
+    /// verification, and at every group boundary inside it.
+    pub fn range_ctl(
+        &self,
+        query: &[TokenId],
+        delta: f64,
+        scratch: &mut ShardedScratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<SearchResult, Interrupted> {
         let mut stats = SearchStats::default();
         let query = &*normalize_query(query);
         scratch.ensure(self.shards.len());
@@ -456,10 +529,17 @@ impl<S: Similarity> ShardedLes3Index<S> {
         for s in 0..self.shards.len() {
             self.filter_shard(s, query, q_len, &mut per_shard[s], &mut filters[s]);
             stats.columns_checked += filters[s].cols as usize;
-            self.range_shard(s, query, delta, &filters[s], &mut hits, &mut stats);
+            if let Some(reason) = ctl.interrupted() {
+                return Err(Interrupted { reason, stats });
+            }
+            if let Err(reason) =
+                self.range_shard(s, query, delta, &filters[s], &mut hits, &mut stats, ctl)
+            {
+                return Err(Interrupted { reason, stats });
+            }
         }
         sort_hits(&mut hits);
-        SearchResult { hits, stats }
+        Ok(SearchResult { hits, stats })
     }
 }
 

@@ -30,6 +30,19 @@ pub struct SearchStats {
     /// Group members skipped by the similarity-specific length filter
     /// without touching their token lists.
     pub size_skipped: usize,
+    /// Requests rejected at admission because the serving front's
+    /// bounded queue was full (`ServeError::Overloaded`). Always 0 for a
+    /// single query; meaningful in the front's aggregate
+    /// ([`crate::serve::ServeFront::stats`]).
+    pub shed: usize,
+    /// Requests stopped by their deadline — shed at batch close or
+    /// interrupted mid-flight (`ServeError::DeadlineExceeded`). Always 0
+    /// for a single query; meaningful in the front's aggregate.
+    pub expired: usize,
+    /// Requests stopped by cancellation — a dropped or `.cancel()`-ed
+    /// [`crate::serve::Ticket`]. Always 0 for a single query; meaningful
+    /// in the front's aggregate.
+    pub cancelled: usize,
 }
 
 impl SearchStats {
@@ -73,6 +86,9 @@ impl SearchStats {
         self.groups_verified += other.groups_verified;
         self.early_exits += other.early_exits;
         self.size_skipped += other.size_skipped;
+        self.shed += other.shed;
+        self.expired += other.expired;
+        self.cancelled += other.cancelled;
     }
 }
 
@@ -132,6 +148,9 @@ mod tests {
             groups_verified: 5,
             early_exits: 6,
             size_skipped: 7,
+            shed: 8,
+            expired: 9,
+            cancelled: 10,
         };
         let b = a;
         a.accumulate(&b);
@@ -140,5 +159,8 @@ mod tests {
         assert_eq!(a.groups_verified, 10);
         assert_eq!(a.early_exits, 12);
         assert_eq!(a.size_skipped, 14);
+        assert_eq!(a.shed, 16);
+        assert_eq!(a.expired, 18);
+        assert_eq!(a.cancelled, 20);
     }
 }

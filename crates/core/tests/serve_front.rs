@@ -5,19 +5,30 @@
 //!   identical to direct `knn_with` / `range_with` calls, for both the
 //!   flat and the sharded backend, under ≥ 4 racing producer threads
 //!   and across batch-size / deadline configurations (proptest).
+//! * **Admission control**: a bounded queue never exceeds its capacity
+//!   in accepted-but-unfinished requests and sheds the overflow with
+//!   [`ServeError::Overloaded`]; an already-expired request never
+//!   reaches verification (asserted through its partial
+//!   [`SearchStats`]); cancellation skips queued work; and under a
+//!   capacity-1 queue with slow queries every submitted request
+//!   resolves to exactly one of {identical hits, `Overloaded`,
+//!   `DeadlineExceeded`, `Cancelled`} — no hangs, no lost tickets,
+//!   drop-drain still clean (proptest).
 //! * **Panic isolation**: a poisoned query fails only its own request
 //!   with [`ServeError::QueryPanicked`]; concurrent and subsequent
 //!   requests keep succeeding on the same pool.
 //! * **Deadline trigger**: a lone request completes without waiting for
 //!   a batch that will never fill.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use les3_core::serve::{ServeConfig, ServeError, ServeFront, Ticket};
+use les3_core::serve::{OnFull, ServeConfig, ServeError, ServeFront, SubmitOpts, Ticket};
 use les3_core::sim::Jaccard;
 use les3_core::{
-    Les3Index, Partitioning, SearchResult, ServeBackend, ShardPolicy, ShardedLes3Index, Similarity,
+    Les3Index, Partitioning, SearchResult, SearchStats, ServeBackend, ShardPolicy,
+    ShardedLes3Index, Similarity,
 };
 use les3_data::zipfian::ZipfianGenerator;
 use les3_data::TokenId;
@@ -129,6 +140,7 @@ proptest! {
             max_batch,
             max_wait: Duration::from_micros(wait_us),
             workers,
+            ..ServeConfig::default()
         };
         let flat = Arc::new(Les3Index::build(db.clone(), part.clone(), Jaccard));
         check_front(flat, config, &queries)?;
@@ -171,6 +183,7 @@ fn panicking_query_fails_alone_and_pool_keeps_serving() {
             max_batch: 4,
             max_wait: Duration::from_micros(200),
             workers: 2,
+            ..ServeConfig::default()
         },
     );
     let good: Vec<TokenId> = (0..5u32).collect();
@@ -221,6 +234,7 @@ fn lone_request_completes_on_the_deadline_not_the_batch() {
             max_batch: 1_000_000,
             max_wait: Duration::from_millis(10),
             workers: 1,
+            ..ServeConfig::default()
         },
     );
     let q = front.backend().db().set(7).to_vec();
@@ -231,4 +245,263 @@ fn lone_request_completes_on_the_deadline_not_the_batch() {
     // Generous bound: the point is "deadline fired", not "within N µs" —
     // a broken trigger hangs for the batch that never comes.
     assert!(elapsed < Duration::from_secs(30), "took {elapsed:?}");
+}
+
+/// A similarity measure whose filter pass blocks on an external gate:
+/// the deterministic stand-in for "a query occupying the worker while
+/// the world moves on". `GATES[ID]` starts closed; a test opens it when
+/// it has arranged the state it wants to observe. The block self-releases
+/// after 10 s so a failing test fails instead of hanging.
+#[derive(Debug, Clone, Copy, Default)]
+struct GatedSim<const ID: usize>(Jaccard);
+
+static GATES: [AtomicBool; 3] = [
+    AtomicBool::new(false),
+    AtomicBool::new(false),
+    AtomicBool::new(false),
+];
+
+impl<const ID: usize> Similarity for GatedSim<ID> {
+    fn name(&self) -> &'static str {
+        "gated"
+    }
+    fn from_overlap(&self, overlap: usize, a_len: usize, b_len: usize) -> f64 {
+        self.0.from_overlap(overlap, a_len, b_len)
+    }
+    fn ub_from_overlap(&self, q_len: usize, r: usize) -> f64 {
+        let start = Instant::now();
+        while !GATES[ID].load(Ordering::Acquire) && start.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        self.0.ub_from_overlap(q_len, r)
+    }
+}
+
+fn gated_front<const ID: usize>(queue_capacity: usize) -> ServeFront<Les3Index<GatedSim<ID>>> {
+    let db = ZipfianGenerator::new(120, 90, 5.0, 1.1).generate(5);
+    let index = Les3Index::build(
+        db,
+        Partitioning::round_robin(120, 6),
+        GatedSim::<ID>::default(),
+    );
+    ServeFront::new(
+        index,
+        ServeConfig {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            workers: 1,
+            queue_capacity,
+        },
+    )
+}
+
+/// The bounded queue: with capacity 2 and the worker pinned on a gated
+/// query, a third submission is shed with `Overloaded` and the
+/// accepted-but-unfinished count never exceeds 2.
+#[test]
+fn bounded_queue_sheds_overflow_and_respects_capacity() {
+    let front = gated_front::<0>(2);
+    let q = front.backend().db().set(3).to_vec();
+    let t1 = front.submit_knn(q.clone(), 4); // occupies the worker (gated)
+    let t2 = front.submit_knn(q.clone(), 4); // fills the queue
+    assert_eq!(front.in_flight(), 2, "both accepted requests count");
+    let t3 = front.submit_knn(q.clone(), 4); // over capacity: shed
+    assert_eq!(t3.wait(), Err(ServeError::Overloaded));
+    assert_eq!(front.in_flight(), 2, "shed requests never occupy capacity");
+    assert_eq!(front.stats().shed, 1);
+    GATES[0].store(true, Ordering::Release);
+    let expected = front.backend().knn(&q, 4); // gate open: direct call runs
+    assert_eq!(t1.wait().unwrap(), expected);
+    assert_eq!(t2.wait().unwrap(), expected);
+    // Completion releases capacity (release precedes the waiter's
+    // wake-up by a hair, so poll briefly).
+    let start = Instant::now();
+    while front.in_flight() > 0 && start.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_micros(50));
+    }
+    assert_eq!(front.in_flight(), 0);
+    // A post-overload submission is served normally again.
+    assert_eq!(front.knn(&q, 4).unwrap(), expected);
+}
+
+/// The phase-boundary deadline check: a query whose deadline expires
+/// while the filter pass runs stops *before* verification — its partial
+/// stats show filter work but zero groups verified, zero candidates.
+#[test]
+fn expired_mid_flight_never_reaches_verification() {
+    let front = gated_front::<1>(usize::MAX);
+    let q = front.backend().db().set(7).to_vec();
+    let ticket = front.submit_knn_opts(
+        q,
+        4,
+        SubmitOpts {
+            deadline: Some(Instant::now() + Duration::from_secs(1)),
+            ..Default::default()
+        },
+    );
+    // The worker starts the query (deadline still a second away — wide
+    // margin even on a preempted CI box), blocks in the gated filter
+    // pass; the deadline passes; the gate opens; the worker finishes
+    // phase A and must stop at the phase boundary.
+    std::thread::sleep(Duration::from_secs(2));
+    GATES[1].store(true, Ordering::Release);
+    match ticket.wait() {
+        Err(ServeError::DeadlineExceeded(stats)) => {
+            assert!(stats.columns_checked > 0, "the filter pass did run");
+            assert_eq!(stats.groups_verified, 0, "verification must not start");
+            assert_eq!(stats.candidates, 0, "no set may be verified");
+        }
+        other => panic!("expected a mid-flight deadline stop, got {other:?}"),
+    }
+    assert_eq!(front.stats().expired, 1);
+    assert_eq!(front.stats().groups_verified, 0);
+}
+
+/// Cancellation: a cancelled ticket's queued request is skipped without
+/// consuming any query CPU, and a dropped ticket counts as cancelled
+/// too.
+#[test]
+fn cancelled_and_dropped_tickets_skip_queued_work() {
+    let front = gated_front::<2>(usize::MAX);
+    let q = front.backend().db().set(11).to_vec();
+    let blocker = front.submit_knn(q.clone(), 4); // pins the only worker
+    let victim = front.submit_knn(q.clone(), 4); // queued behind it
+    victim.cancel();
+    drop(front.submit_knn(q.clone(), 4)); // abandoned ticket == cancel
+    GATES[2].store(true, Ordering::Release);
+    assert!(blocker.wait().is_ok());
+    match victim.wait() {
+        Err(ServeError::Cancelled(stats)) => {
+            assert_eq!(stats, SearchStats::default(), "skipped work costs nothing");
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    // The dropped ticket resolves inside the front; its cancellation
+    // lands in the aggregate once its batch is reached.
+    let start = Instant::now();
+    while front.stats().cancelled < 2 && start.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_micros(100));
+    }
+    assert_eq!(front.stats().cancelled, 2);
+}
+
+/// A deliberately slow measure (no gate — just drag) for the overload
+/// proptest: every filter-bound evaluation costs ~30 µs, so queries
+/// take long enough that a capacity-1 queue actually overloads.
+#[derive(Debug, Clone, Copy, Default)]
+struct SlowSim(Jaccard);
+
+impl Similarity for SlowSim {
+    fn name(&self) -> &'static str {
+        "slow"
+    }
+    fn from_overlap(&self, overlap: usize, a_len: usize, b_len: usize) -> f64 {
+        self.0.from_overlap(overlap, a_len, b_len)
+    }
+    fn ub_from_overlap(&self, q_len: usize, r: usize) -> f64 {
+        std::thread::sleep(Duration::from_micros(30));
+        self.0.ub_from_overlap(q_len, r)
+    }
+}
+
+/// Classifies one resolved ticket, checking `Ok` results against the
+/// direct call bit for bit.
+fn classify(
+    index: &Les3Index<SlowSim>,
+    q: &[TokenId],
+    k: usize,
+    outcome: les3_core::ServeResult,
+) -> Result<&'static str, TestCaseError> {
+    match outcome {
+        Ok(res) => {
+            prop_assert_eq!(&res, &index.knn(q, k), "served hits must equal direct");
+            Ok("ok")
+        }
+        Err(ServeError::Overloaded) => Ok("overloaded"),
+        Err(ServeError::DeadlineExceeded(stats)) => {
+            // Whatever partial work ran, it never started verification
+            // after expiring — at minimum the counters stay coherent.
+            prop_assert_eq!(stats.candidates, stats.sims_computed);
+            Ok("expired")
+        }
+        Err(ServeError::Cancelled(_)) => Ok("cancelled"),
+        Err(other) => {
+            prop_assert!(false, "unexpected outcome: {other:?}");
+            unreachable!()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Admission-control totality: under a capacity-1 queue with slow
+    /// queries and a mix of {shed, wait, deadline, cancel} submissions,
+    /// every ticket resolves to exactly one of {identical hits,
+    /// Overloaded, DeadlineExceeded, Cancelled} — no hangs, no lost
+    /// tickets — and the front's aggregate counters agree with the
+    /// observed outcomes. Dropping the front with tickets still
+    /// outstanding drains them to the same four outcomes.
+    #[test]
+    fn capacity_one_requests_resolve_to_exactly_one_outcome(
+        seed in 0u64..10_000,
+        n_requests in 8usize..20,
+        wait_us in 0u64..800,
+        workers in 1usize..3,
+    ) {
+        let db = ZipfianGenerator::new(150, 100, 5.0, 1.1).generate(seed);
+        let index = Arc::new(Les3Index::build(
+            db,
+            Partitioning::round_robin(150, 6),
+            SlowSim::default(),
+        ));
+        let front = ServeFront::from_arc(Arc::clone(&index), ServeConfig {
+            max_batch: 4,
+            max_wait: Duration::from_micros(wait_us),
+            workers,
+            queue_capacity: 1,
+        });
+        let queries: Vec<Vec<TokenId>> = (0..n_requests as u32)
+            .map(|i| index.db().set((i * 13 + seed as u32) % 150).to_vec())
+            .collect();
+        // Phase 1: submit a mixed workload, wait every ticket.
+        let mut tickets = Vec::new();
+        for (i, q) in queries.iter().enumerate() {
+            let opts = SubmitOpts {
+                deadline: match i % 3 {
+                    0 => None,
+                    1 => Some(Instant::now() + Duration::from_micros(200 + 150 * i as u64)),
+                    _ => Some(Instant::now() + Duration::from_secs(60)),
+                },
+                on_full: if i % 2 == 0 { OnFull::Shed } else { OnFull::Wait },
+            };
+            let t = front.submit_knn_opts(q.clone(), 3, opts);
+            if i % 5 == 4 {
+                t.cancel();
+            }
+            tickets.push(t);
+        }
+        let mut counts = std::collections::HashMap::new();
+        for (i, t) in tickets.into_iter().enumerate() {
+            let kind = classify(&index, &queries[i], 3, t.wait())?;
+            *counts.entry(kind).or_insert(0usize) += 1;
+        }
+        // Totality: every ticket resolved to one of the four outcomes.
+        prop_assert_eq!(counts.values().sum::<usize>(), n_requests);
+        // The aggregate counters tell the same story the tickets did.
+        let agg = front.stats();
+        prop_assert_eq!(agg.shed, counts.get("overloaded").copied().unwrap_or(0));
+        prop_assert_eq!(agg.expired, counts.get("expired").copied().unwrap_or(0));
+        prop_assert_eq!(agg.cancelled, counts.get("cancelled").copied().unwrap_or(0));
+        // Phase 2: drop-drain with outstanding tickets stays clean.
+        let stragglers: Vec<Ticket> = queries
+            .iter()
+            .take(5)
+            .map(|q| front.submit_knn(q.clone(), 3))
+            .collect();
+        drop(front);
+        for (i, t) in stragglers.into_iter().enumerate() {
+            classify(&index, &queries[i], 3, t.wait())?;
+        }
+    }
 }

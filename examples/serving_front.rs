@@ -1,7 +1,8 @@
 //! Async serving front: single queries from many producer threads,
 //! coalesced into deadline- or size-triggered batches on a persistent
-//! worker pool — the request-queue step on top of `sharded_service`'s
-//! synchronous batch calls.
+//! worker pool, behind an **admission-control layer** — the
+//! request-queue step on top of `sharded_service`'s synchronous batch
+//! calls.
 //!
 //! Run with: `cargo run --release --example serving_front`
 //!
@@ -12,19 +13,31 @@
 //!     max_batch: 64,                          // close a batch at 64 requests…
 //!     max_wait: Duration::from_micros(500),   // …or 500µs after its first one
 //!     workers: 0,                             // 0 = one worker per core
+//!     queue_capacity: 256,                    // accepted-but-unfinished cap
 //! });
 //! // Share &front across connection threads:
-//! let hits = front.knn(&query, 10)?;          // blocking
-//! let ticket = front.submit_knn(query, 10);   // or fire-and-wait-later
-//! let hits = ticket.wait()?;
+//! let hits = front.knn(&query, 10)?;          // blocking (backpressure on full)
+//! let ticket = front.submit_knn(query, 10);   // fire-and-wait-later (sheds on full)
+//! ticket.cancel();                            // …or give up: skips queued work
+//! let t = front.submit_knn_opts(query, 10, SubmitOpts {
+//!     deadline: Some(Instant::now() + Duration::from_millis(20)),
+//!     ..Default::default()
+//! });                                         // per-request deadline
 //! ```
 //!
-//! Served results are bit-for-bit identical to direct `knn`/`range`
-//! calls (hits and stats); a panicking query fails only its own request
-//! and the pool keeps serving.
+//! Every submitted request resolves to exactly one of: a result
+//! bit-for-bit identical to the direct `knn`/`range` call (hits and
+//! stats), `Overloaded` (shed at admission — the bounded queue was
+//! full), `DeadlineExceeded` (expired at submit, batch close, or
+//! mid-flight: workers poll the deadline between the filter pass and
+//! verification and at every group boundary), or `Cancelled` (its
+//! ticket was dropped or cancelled). A panicking query fails only its
+//! own request and the pool keeps serving; `front.stats()` aggregates
+//! the work plus the shed/expired/cancelled counts.
 
 use les3::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const PRODUCERS: usize = 4;
@@ -38,14 +51,21 @@ fn main() {
     println!("dataset {}: {}", spec.name, db.stats());
     let n_groups = (db.len() / 80).max(16);
     let part = Partitioning::round_robin(db.len(), n_groups);
-    let index = ShardedLes3Index::build(db.clone(), part, Jaccard, 4, ShardPolicy::Contiguous);
+    let index = Arc::new(ShardedLes3Index::build(
+        db.clone(),
+        part,
+        Jaccard,
+        4,
+        ShardPolicy::Contiguous,
+    ));
 
     let config = ServeConfig {
         max_batch: 64,
         max_wait: Duration::from_micros(500),
         workers: 0, // one worker per core
+        ..ServeConfig::default()
     };
-    let front = ServeFront::new(index, config);
+    let front = ServeFront::from_arc(Arc::clone(&index), config);
     println!(
         "serving front up: max_batch {}, max_wait {:?}\n",
         config.max_batch, config.max_wait
@@ -127,5 +147,52 @@ fn main() {
     println!(
         "burst of 256 pipelined tickets drained in {:.2?} ({ok}/256 ok) ✓",
         t.elapsed()
+    );
+
+    // Admission control: a front with a tiny bounded queue sheds the
+    // overflow instead of queueing without bound. The dispatcher holds
+    // the first two requests in its open batch (1 s window — wide
+    // enough that scheduler stalls can't sneak the batch closed), so
+    // the third submission deterministically finds the queue full.
+    drop(front);
+    let small = ServeFront::from_arc(
+        Arc::clone(&index),
+        ServeConfig {
+            max_batch: 64,
+            max_wait: Duration::from_secs(1),
+            workers: 1,
+            queue_capacity: 2,
+        },
+    );
+    let q = db.set(42).to_vec();
+    let t1 = small.submit_knn(q.clone(), K);
+    let t2 = small.submit_knn(q.clone(), K);
+    let t3 = small.submit_knn(q.clone(), K); // queue full: shed
+    match t3.wait() {
+        Err(ServeError::Overloaded) => println!("\nthird request shed with Overloaded ✓"),
+        other => panic!("expected an overload rejection, got {other:?}"),
+    }
+    // A per-request deadline that has already passed is shed too — it
+    // never consumes a worker.
+    let late = small.submit_knn_opts(
+        q.clone(),
+        K,
+        SubmitOpts {
+            deadline: Some(Instant::now()),
+            ..Default::default()
+        },
+    );
+    match late.wait() {
+        Err(ServeError::DeadlineExceeded(stats)) => {
+            assert_eq!(stats.groups_verified, 0);
+            println!("expired request shed before verification ✓");
+        }
+        other => panic!("expected a deadline rejection, got {other:?}"),
+    }
+    assert!(t1.wait().is_ok() && t2.wait().is_ok());
+    let agg = small.stats();
+    println!(
+        "admission counters: shed {} expired {} cancelled {} (accepted requests all served)",
+        agg.shed, agg.expired, agg.cancelled
     );
 }

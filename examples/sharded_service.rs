@@ -4,7 +4,10 @@
 //! flat index.
 //!
 //! For the production-shaped path — single queries arriving on many
-//! threads, coalesced into batches by deadline or size — see
+//! threads, coalesced into batches by deadline or size, behind
+//! admission control (a bounded queue that sheds overflow with
+//! `Overloaded`, per-request deadlines that stop expired queries before
+//! and during verification, and cancellable tickets) — see
 //! `examples/serving_front.rs`, which wraps this same sharded index in a
 //! `ServeFront` instead of looping over explicit `knn_batch` calls.
 //!

@@ -64,9 +64,10 @@ pub mod prelude {
     pub use les3_baselines::{BruteForce, DualTrans, InvIdx, ScalarTrans, SetSimSearch};
     pub use les3_core::{
         normalize_query, Cosine, DeletionLog, Dice, DiskLes3, HierarchicalPartitioning, Htgm,
-        Jaccard, Les3Index, OverlapCoefficient, Partitioning, QueryScratch, SearchResult,
-        SearchStats, ServeBackend, ServeConfig, ServeError, ServeFront, ServeResult, ShardPolicy,
-        ShardedLes3Index, ShardedScratch, Similarity, Tgm, Ticket, WorkerScratch,
+        InterruptReason, Interrupted, Jaccard, Les3Index, OnFull, OverlapCoefficient, Partitioning,
+        QueryCtl, QueryScratch, SearchResult, SearchStats, ServeBackend, ServeConfig, ServeError,
+        ServeFront, ServeResult, ShardPolicy, ShardedLes3Index, ShardedScratch, Similarity,
+        SubmitOpts, Tgm, Ticket, WorkerScratch,
     };
     pub use les3_data::realistic::DatasetSpec;
     pub use les3_data::zipfian::ZipfianGenerator;
