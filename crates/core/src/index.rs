@@ -573,7 +573,11 @@ impl TopK {
     pub(crate) fn new(k: usize) -> Self {
         Self {
             k,
-            heap: std::collections::BinaryHeap::with_capacity(k + 1),
+            // Capacity is only a hint: cap it so an absurd k (e.g. from
+            // an untrusted network request) cannot demand an up-front
+            // k-sized allocation — the heap never holds more than
+            // min(k, |D|) + 1 entries and grows on demand.
+            heap: std::collections::BinaryHeap::with_capacity(k.saturating_add(1).min(4096)),
         }
     }
 

@@ -500,6 +500,30 @@ impl Slot {
             cell = self.done.wait(cell).unwrap_or_else(|e| e.into_inner());
         }
     }
+
+    /// Like [`Slot::wait`], but gives up at `deadline`; `None` means the
+    /// request is still in flight (the result stays in the slot).
+    fn wait_until(&self, deadline: Instant) -> Option<ServeResult> {
+        let mut cell = lock_unpoisoned(&self.cell);
+        loop {
+            if let Some(value) = cell.take() {
+                return Some(value);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            cell = self
+                .done
+                .wait_timeout(cell, deadline - now)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        lock_unpoisoned(&self.cell).is_some()
+    }
 }
 
 /// A handle onto one submitted request; [`Ticket::wait`] blocks until a
@@ -519,6 +543,55 @@ impl Ticket {
     /// Blocks until the request completes and returns its result.
     pub fn wait(self) -> ServeResult {
         self.slot.wait()
+    }
+
+    /// Waits for at most `timeout`: `Ok` with the result if the request
+    /// completed in time, otherwise `Err` handing the (still live)
+    /// ticket back for another round. This is the probing primitive a
+    /// network front needs — alternate short waits with connection
+    /// checks, and [`cancel`](Ticket::cancel) (or drop) the ticket the
+    /// moment the client is gone:
+    ///
+    /// ```
+    /// # use les3_core::serve::{ServeConfig, ServeFront, Ticket};
+    /// # use les3_core::sim::Jaccard;
+    /// # use les3_core::{Les3Index, Partitioning};
+    /// # use les3_data::SetDatabase;
+    /// # use std::time::Duration;
+    /// # let db = SetDatabase::from_sets(vec![vec![0u32, 1, 2], vec![0, 1, 3]]);
+    /// # let index = Les3Index::build(db, Partitioning::round_robin(2, 1), Jaccard);
+    /// # let front = ServeFront::new(index, ServeConfig::default());
+    /// # let client_connected = || true;
+    /// let mut ticket = front.submit_knn(vec![0, 1, 2], 1);
+    /// let result = loop {
+    ///     match ticket.wait_for(Duration::from_millis(2)) {
+    ///         Ok(result) => break Some(result),
+    ///         Err(live) => {
+    ///             if !client_connected() {
+    ///                 live.cancel(); // dropping `live` would cancel too
+    ///                 break None;
+    ///             }
+    ///             ticket = live;
+    ///         }
+    ///     }
+    /// };
+    /// assert!(result.unwrap().is_ok());
+    /// ```
+    pub fn wait_for(self, timeout: Duration) -> Result<ServeResult, Ticket> {
+        // checked_add: a "wait forever" timeout must not panic.
+        let Some(deadline) = Instant::now().checked_add(timeout) else {
+            return Ok(self.slot.wait());
+        };
+        match self.slot.wait_until(deadline) {
+            Some(result) => Ok(result),
+            None => Err(self),
+        }
+    }
+
+    /// Whether the request has already completed — a subsequent
+    /// [`Ticket::wait`] returns without blocking.
+    pub fn is_done(&self) -> bool {
+        self.slot.is_done()
     }
 
     /// Cancels the request: queued work is skipped, in-flight
@@ -986,6 +1059,28 @@ mod tests {
         }
         assert_eq!(front.stats().expired, 1);
         assert_eq!(front.in_flight(), 0);
+    }
+
+    #[test]
+    fn wait_for_probes_without_losing_the_result() {
+        let (front, index) = front_and_index();
+        let q = index.db().set(5).to_vec();
+        // Probe without consuming: once `is_done`, `wait` must not block.
+        let ticket = front.submit_knn(q.clone(), 3);
+        while !ticket.is_done() {
+            std::thread::yield_now();
+        }
+        assert_eq!(ticket.wait().unwrap(), index.knn(&q, 3));
+        // Timed waits hand the live ticket back instead of losing it,
+        // however many of them time out before the result lands.
+        let mut ticket = front.submit_knn(q.clone(), 3);
+        let result = loop {
+            match ticket.wait_for(Duration::from_micros(50)) {
+                Ok(result) => break result,
+                Err(live) => ticket = live,
+            }
+        };
+        assert_eq!(result.unwrap(), index.knn(&q, 3));
     }
 
     #[test]

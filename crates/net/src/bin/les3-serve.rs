@@ -1,0 +1,244 @@
+//! `les3-serve`: build a LES3 index and serve it over HTTP.
+//!
+//! ```text
+//! cargo run --release -p les3-net --bin les3-serve -- --port 7878
+//! curl -s localhost:7878/healthz
+//! curl -s localhost:7878/knn -d '{"query":[1,2,3],"k":5}'
+//! ```
+//!
+//! The dataset is either synthetic (`--sets/--universe/--avg-size/
+//! --alpha/--seed`, a Zipfian token distribution) or loaded from a text
+//! file (`--load FILE`, one set per line, whitespace-separated integer
+//! token ids). `--shards N` (N ≥ 1) serves a `ShardedLes3Index` instead
+//! of the flat one; the wire behavior is identical — the sharded engine
+//! is bit-for-bit equivalent.
+//!
+//! With `--port 0` the OS picks an ephemeral port; the chosen address is
+//! printed as `listening on http://…` (CI's smoke test parses that
+//! line). See `docs/PROTOCOL.md` for the wire protocol.
+
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+
+use les3_core::sim::Jaccard;
+use les3_core::{
+    Les3Index, Partitioning, ServeBackend, ServeConfig, ServeFront, ShardPolicy, ShardedLes3Index,
+};
+use les3_data::zipfian::ZipfianGenerator;
+use les3_data::SetDatabase;
+use les3_net::{HttpServer, NetConfig};
+
+const USAGE: &str = "\
+les3-serve — serve a LES3 index over HTTP
+
+USAGE:
+    les3-serve [OPTIONS]
+
+Network:
+    --host HOST            bind address        [default: 127.0.0.1]
+    --port PORT            bind port; 0 = ephemeral (printed) [default: 7878]
+    --conn-workers N       connection handler threads [default: 4]
+
+Serving front (admission control):
+    --workers N            query worker threads; 0 = one per core [default: 0]
+    --max-batch N          close a batch at N requests [default: 64]
+    --max-wait-ms MS       ...or MS after its first request [default: 1]
+    --queue-capacity N     accepted-but-unfinished cap; 0 = unbounded [default: 1024]
+
+Index:
+    --shards N             shard the group axis N ways; 0 = flat index [default: 0]
+    --groups N             partitioning groups [default: max(16, sets/80)]
+
+Dataset (synthetic unless --load):
+    --sets N               number of sets      [default: 10000]
+    --universe N           token universe size [default: 2000]
+    --avg-size F           mean set size       [default: 12]
+    --alpha F              Zipf skew           [default: 1.1]
+    --seed N               generator seed      [default: 42]
+    --load FILE            read sets from FILE (one per line, integer token ids)
+
+    -h, --help             print this help
+";
+
+struct Args {
+    host: String,
+    port: u16,
+    conn_workers: usize,
+    workers: usize,
+    max_batch: usize,
+    max_wait_ms: u64,
+    queue_capacity: usize,
+    shards: usize,
+    groups: Option<usize>,
+    sets: usize,
+    universe: u32,
+    avg_size: f64,
+    alpha: f64,
+    seed: u64,
+    load: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            host: "127.0.0.1".to_string(),
+            port: 7878,
+            conn_workers: 4,
+            workers: 0,
+            max_batch: 64,
+            max_wait_ms: 1,
+            queue_capacity: 1024,
+            shards: 0,
+            groups: None,
+            sets: 10_000,
+            universe: 2_000,
+            avg_size: 12.0,
+            alpha: 1.1,
+            seed: 42,
+            load: None,
+        }
+    }
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("les3-serve: {message}");
+    eprintln!("try --help");
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    fn value(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
+        it.next()
+            .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+    }
+    fn parse<T: std::str::FromStr>(raw: String, flag: &str) -> T {
+        raw.parse()
+            .unwrap_or_else(|_| die(&format!("bad value for {flag}: {raw:?}")))
+    }
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--host" => args.host = value(&mut it, "--host"),
+            "--port" => args.port = parse(value(&mut it, "--port"), "--port"),
+            "--conn-workers" => {
+                args.conn_workers = parse(value(&mut it, "--conn-workers"), "--conn-workers")
+            }
+            "--workers" => args.workers = parse(value(&mut it, "--workers"), "--workers"),
+            "--max-batch" => args.max_batch = parse(value(&mut it, "--max-batch"), "--max-batch"),
+            "--max-wait-ms" => {
+                args.max_wait_ms = parse(value(&mut it, "--max-wait-ms"), "--max-wait-ms")
+            }
+            "--queue-capacity" => {
+                args.queue_capacity = parse(value(&mut it, "--queue-capacity"), "--queue-capacity")
+            }
+            "--shards" => args.shards = parse(value(&mut it, "--shards"), "--shards"),
+            "--groups" => args.groups = Some(parse(value(&mut it, "--groups"), "--groups")),
+            "--sets" => args.sets = parse(value(&mut it, "--sets"), "--sets"),
+            "--universe" => args.universe = parse(value(&mut it, "--universe"), "--universe"),
+            "--avg-size" => args.avg_size = parse(value(&mut it, "--avg-size"), "--avg-size"),
+            "--alpha" => args.alpha = parse(value(&mut it, "--alpha"), "--alpha"),
+            "--seed" => args.seed = parse(value(&mut it, "--seed"), "--seed"),
+            "--load" => args.load = Some(value(&mut it, "--load")),
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                exit(0)
+            }
+            other => die(&format!("unknown flag {other:?}")),
+        }
+    }
+    args
+}
+
+fn load_database(path: &str) -> SetDatabase {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read {path:?}: {e}")));
+    let sets: Vec<Vec<u32>> = text
+        .lines()
+        .map(str::trim)
+        .filter(|line| !line.is_empty() && !line.starts_with('#'))
+        .map(|line| {
+            line.split_whitespace()
+                .map(|tok| {
+                    tok.parse()
+                        .unwrap_or_else(|_| die(&format!("bad token id {tok:?} in {path:?}")))
+                })
+                .collect()
+        })
+        .collect();
+    if sets.is_empty() {
+        die(&format!("{path:?} contains no sets"));
+    }
+    SetDatabase::from_sets(sets)
+}
+
+/// Binds the HTTP server over `front` and blocks forever.
+fn run<B: ServeBackend>(front: ServeFront<B>, args: &Args) -> ! {
+    let net = NetConfig {
+        conn_workers: args.conn_workers.max(1),
+        ..NetConfig::default()
+    };
+    let server = HttpServer::bind(Arc::new(front), (args.host.as_str(), args.port), net)
+        .unwrap_or_else(|e| die(&format!("cannot bind {}:{}: {e}", args.host, args.port)));
+    println!("listening on http://{}", server.local_addr());
+    println!("endpoints: POST /knn, POST /range, GET /stats, GET /healthz (docs/PROTOCOL.md)");
+    loop {
+        std::thread::park();
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let db = match &args.load {
+        Some(path) => {
+            let db = load_database(path);
+            println!("loaded {path:?}: {}", db.stats());
+            db
+        }
+        None => {
+            let db = ZipfianGenerator::new(args.sets, args.universe, args.avg_size, args.alpha)
+                .generate(args.seed);
+            println!("generated Zipfian dataset: {}", db.stats());
+            db
+        }
+    };
+    let n_sets = db.len();
+    let n_groups = args
+        .groups
+        .unwrap_or_else(|| (n_sets / 80).max(16))
+        .clamp(1, n_sets.max(1));
+    let partitioning = Partitioning::round_robin(n_sets, n_groups);
+    let config = ServeConfig {
+        max_batch: args.max_batch.max(1),
+        max_wait: Duration::from_millis(args.max_wait_ms),
+        workers: args.workers,
+        queue_capacity: if args.queue_capacity == 0 {
+            usize::MAX
+        } else {
+            args.queue_capacity
+        },
+    };
+    println!(
+        "index: {} groups, {} shard(s); front: max_batch={} max_wait={}ms workers={} queue_capacity={}",
+        n_groups,
+        args.shards.max(1),
+        config.max_batch,
+        args.max_wait_ms,
+        config.workers,
+        args.queue_capacity,
+    );
+    if args.shards >= 1 {
+        let index = ShardedLes3Index::build(
+            db,
+            partitioning,
+            Jaccard,
+            args.shards,
+            ShardPolicy::Contiguous,
+        );
+        run(ServeFront::new(index, config), &args)
+    } else {
+        let index = Les3Index::build(db, partitioning, Jaccard);
+        run(ServeFront::new(index, config), &args)
+    }
+}

@@ -1,0 +1,327 @@
+//! The LES3 wire schema: JSON bodies for `/knn`, `/range`, `/stats` and
+//! the error envelope, plus the decoders a client (or test) needs to
+//! get [`SearchResult`]s back out bit for bit.
+//!
+//! The schema is documented operator-first in `docs/PROTOCOL.md`; this
+//! module is the single implementation both the server handlers and the
+//! integration tests go through, so the docs, the server and the tests
+//! cannot drift apart silently.
+//!
+//! # Round trip
+//!
+//! ```
+//! use les3_core::{SearchResult, SearchStats};
+//! use les3_net::wire;
+//!
+//! let result = SearchResult {
+//!     hits: vec![(7, 1.0), (3, 1.0 / 3.0)],
+//!     stats: SearchStats { candidates: 2, sims_computed: 2, ..Default::default() },
+//! };
+//! let body = wire::encode_result(&result).to_string();
+//! let decoded = wire::decode_result(&les3_net::json::Json::parse(&body).unwrap()).unwrap();
+//! assert_eq!(decoded, result); // similarities identical to the last bit
+//! ```
+
+use les3_core::{SearchResult, SearchStats};
+use les3_data::TokenId;
+
+use crate::json::Json;
+
+/// A `/knn` or `/range` request decoded from its JSON body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApiQuery {
+    /// The query set's token ids (the server normalizes ordering and
+    /// duplicates, exactly like the direct API).
+    pub query: Vec<TokenId>,
+    /// kNN `k` or range `delta`.
+    pub param: QueryParam,
+    /// Optional per-request timeout; maps to a [`les3_core::SubmitOpts`]
+    /// deadline.
+    pub timeout_ms: Option<u64>,
+}
+
+/// The query-type-specific parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryParam {
+    /// `/knn`: number of neighbours.
+    Knn(usize),
+    /// `/range`: similarity threshold `δ`.
+    Range(f64),
+}
+
+/// Why a body failed schema validation (maps to `400 Bad Request`; the
+/// string becomes the error envelope's `message`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError(pub String);
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+fn parse_common(body: &[u8]) -> Result<(Json, Vec<TokenId>, Option<u64>), SchemaError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| SchemaError("body is not valid UTF-8".to_string()))?;
+    let value = Json::parse(text).map_err(|e| SchemaError(format!("invalid JSON: {e}")))?;
+    if !matches!(value, Json::Obj(_)) {
+        return Err(SchemaError("body must be a JSON object".to_string()));
+    }
+    let query = value
+        .get("query")
+        .ok_or_else(|| SchemaError("missing required field \"query\"".to_string()))?
+        .as_arr()
+        .ok_or_else(|| SchemaError("\"query\" must be an array of token ids".to_string()))?
+        .iter()
+        .map(|t| {
+            t.as_u64()
+                .filter(|&t| t <= u64::from(u32::MAX))
+                .map(|t| t as TokenId)
+                .ok_or_else(|| {
+                    SchemaError(
+                        "\"query\" elements must be integer token ids in 0..2^32".to_string(),
+                    )
+                })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let timeout_ms = match value.get("timeout_ms") {
+        None | Some(Json::Null) => None,
+        Some(t) => Some(t.as_u64().ok_or_else(|| {
+            SchemaError("\"timeout_ms\" must be a non-negative integer".to_string())
+        })?),
+    };
+    Ok((value, query, timeout_ms))
+}
+
+/// Decodes a `POST /knn` body: `{"query":[...],"k":N,"timeout_ms"?:MS}`.
+///
+/// ```
+/// use les3_net::wire::{decode_knn, QueryParam};
+///
+/// let q = decode_knn(br#"{"query":[3,1,2],"k":10}"#).unwrap();
+/// assert_eq!(q.query, vec![3, 1, 2]);
+/// assert_eq!(q.param, QueryParam::Knn(10));
+/// assert_eq!(q.timeout_ms, None);
+/// assert!(decode_knn(br#"{"query":[1]}"#).is_err()); // k is required
+/// ```
+pub fn decode_knn(body: &[u8]) -> Result<ApiQuery, SchemaError> {
+    let (value, query, timeout_ms) = parse_common(body)?;
+    let k = value
+        .get("k")
+        .ok_or_else(|| SchemaError("missing required field \"k\"".to_string()))?
+        .as_u64()
+        // Set ids are u32, so no database can hold 2^32 sets: a larger k
+        // is never meaningful, and bounding it here keeps untrusted
+        // requests from demanding k-sized work downstream.
+        .filter(|&k| k <= u64::from(u32::MAX))
+        .ok_or_else(|| SchemaError("\"k\" must be an integer in 0..2^32".to_string()))?;
+    Ok(ApiQuery {
+        query,
+        param: QueryParam::Knn(k as usize),
+        timeout_ms,
+    })
+}
+
+/// Decodes a `POST /range` body:
+/// `{"query":[...],"delta":D,"timeout_ms"?:MS}`.
+///
+/// ```
+/// use les3_net::wire::{decode_range, QueryParam};
+///
+/// let q = decode_range(br#"{"query":[1,2],"delta":0.8,"timeout_ms":50}"#).unwrap();
+/// assert_eq!(q.param, QueryParam::Range(0.8));
+/// assert_eq!(q.timeout_ms, Some(50));
+/// assert!(decode_range(br#"{"query":[1,2],"delta":"high"}"#).is_err());
+/// ```
+pub fn decode_range(body: &[u8]) -> Result<ApiQuery, SchemaError> {
+    let (value, query, timeout_ms) = parse_common(body)?;
+    let delta = value
+        .get("delta")
+        .ok_or_else(|| SchemaError("missing required field \"delta\"".to_string()))?
+        .as_f64()
+        .ok_or_else(|| SchemaError("\"delta\" must be a number".to_string()))?;
+    Ok(ApiQuery {
+        query,
+        param: QueryParam::Range(delta),
+        timeout_ms,
+    })
+}
+
+/// Encodes a [`SearchStats`] as the `stats` object every response body
+/// shares. Field names mirror the struct one for one.
+pub fn encode_stats(stats: &SearchStats) -> Json {
+    Json::Obj(vec![
+        ("candidates".into(), stats.candidates.into()),
+        ("sims_computed".into(), stats.sims_computed.into()),
+        ("columns_checked".into(), stats.columns_checked.into()),
+        ("groups_pruned".into(), stats.groups_pruned.into()),
+        ("groups_verified".into(), stats.groups_verified.into()),
+        ("early_exits".into(), stats.early_exits.into()),
+        ("size_skipped".into(), stats.size_skipped.into()),
+        ("shed".into(), stats.shed.into()),
+        ("expired".into(), stats.expired.into()),
+        ("cancelled".into(), stats.cancelled.into()),
+    ])
+}
+
+/// Decodes the `stats` object ([`encode_stats`]'s inverse). Unknown
+/// fields are ignored; missing ones read as 0, so older clients keep
+/// working if the schema grows counters.
+pub fn decode_stats(value: &Json) -> Option<SearchStats> {
+    let field = |name: &str| -> usize {
+        value
+            .get(name)
+            .and_then(Json::as_u64)
+            .map(|n| n as usize)
+            .unwrap_or(0)
+    };
+    if !matches!(value, Json::Obj(_)) {
+        return None;
+    }
+    Some(SearchStats {
+        candidates: field("candidates"),
+        sims_computed: field("sims_computed"),
+        columns_checked: field("columns_checked"),
+        groups_pruned: field("groups_pruned"),
+        groups_verified: field("groups_verified"),
+        early_exits: field("early_exits"),
+        size_skipped: field("size_skipped"),
+        shed: field("shed"),
+        expired: field("expired"),
+        cancelled: field("cancelled"),
+    })
+}
+
+/// Encodes a completed search: `{"hits":[[id,sim],...],"stats":{...}}`.
+/// Similarities use shortest-round-trip float formatting, so a client
+/// parsing with standard `f64` semantics recovers the exact bits.
+pub fn encode_result(result: &SearchResult) -> Json {
+    let hits = result
+        .hits
+        .iter()
+        .map(|&(id, sim)| Json::Arr(vec![Json::from(u64::from(id)), Json::from(sim)]))
+        .collect();
+    Json::Obj(vec![
+        ("hits".into(), Json::Arr(hits)),
+        ("stats".into(), encode_stats(&result.stats)),
+    ])
+}
+
+/// Decodes a `200` body back into a [`SearchResult`]
+/// ([`encode_result`]'s inverse).
+pub fn decode_result(value: &Json) -> Option<SearchResult> {
+    let hits = value
+        .get("hits")?
+        .as_arr()?
+        .iter()
+        .map(|hit| {
+            let pair = hit.as_arr()?;
+            match pair {
+                [id, sim] => {
+                    let id = id.as_u64().filter(|&id| id <= u64::from(u32::MAX))?;
+                    Some((id as u32, sim.as_f64()?))
+                }
+                _ => None,
+            }
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let stats = decode_stats(value.get("stats")?)?;
+    Some(SearchResult { hits, stats })
+}
+
+/// The error envelope every non-`200` response carries:
+/// `{"error":CODE,"message":...,"stats"?:{...}}`. `stats` is present
+/// exactly when partial work exists to report (`504`, `499`).
+pub fn encode_error(code: &str, message: &str, stats: Option<&SearchStats>) -> Json {
+    let mut members = vec![
+        ("error".into(), Json::from(code)),
+        ("message".into(), Json::from(message)),
+    ];
+    if let Some(stats) = stats {
+        members.push(("stats".into(), encode_stats(stats)));
+    }
+    Json::Obj(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_round_trip_all_fields() {
+        let stats = SearchStats {
+            candidates: 1,
+            sims_computed: 2,
+            columns_checked: 3,
+            groups_pruned: 4,
+            groups_verified: 5,
+            early_exits: 6,
+            size_skipped: 7,
+            shed: 8,
+            expired: 9,
+            cancelled: 10,
+        };
+        let json = encode_stats(&stats).to_string();
+        assert_eq!(decode_stats(&Json::parse(&json).unwrap()), Some(stats));
+    }
+
+    #[test]
+    fn result_round_trip_preserves_float_bits() {
+        let result = SearchResult {
+            hits: vec![
+                (0, 1.0),
+                (42, 2.0 / 3.0),
+                (u32::MAX, 0.123_456_789_012_345_67),
+            ],
+            stats: SearchStats {
+                candidates: 3,
+                ..Default::default()
+            },
+        };
+        let body = encode_result(&result).to_string();
+        let back = decode_result(&Json::parse(&body).unwrap()).unwrap();
+        assert_eq!(back, result);
+        for ((_, a), (_, b)) in back.hits.iter().zip(&result.hits) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn knn_schema_validation() {
+        assert!(decode_knn(b"not json").is_err());
+        assert!(decode_knn(b"[1,2,3]").is_err()); // not an object
+        assert!(decode_knn(br#"{"k":3}"#).is_err()); // no query
+        assert!(decode_knn(br#"{"query":"1,2","k":3}"#).is_err()); // query not array
+        assert!(decode_knn(br#"{"query":[1.5],"k":3}"#).is_err()); // fractional token
+        assert!(decode_knn(br#"{"query":[-1],"k":3}"#).is_err()); // negative token
+        assert!(decode_knn(br#"{"query":[4294967296],"k":3}"#).is_err()); // > u32
+        assert!(decode_knn(br#"{"query":[1],"k":-2}"#).is_err()); // negative k
+        assert!(decode_knn(br#"{"query":[1],"k":4294967296}"#).is_err()); // k ≥ 2^32
+        assert!(decode_knn(br#"{"query":[1],"k":9007199254740992}"#).is_err()); // huge k
+        assert!(decode_knn(br#"{"query":[1],"k":3,"timeout_ms":-5}"#).is_err());
+        let ok = decode_knn(br#"{"query":[4294967295],"k":0,"timeout_ms":null}"#).unwrap();
+        assert_eq!(ok.query, vec![u32::MAX]);
+        assert_eq!(ok.param, QueryParam::Knn(0));
+        assert_eq!(ok.timeout_ms, None);
+    }
+
+    #[test]
+    fn range_schema_validation() {
+        assert!(decode_range(br#"{"query":[1]}"#).is_err()); // no delta
+        assert!(decode_range(br#"{"query":[1],"delta":true}"#).is_err());
+        let ok = decode_range(br#"{"query":[],"delta":1}"#).unwrap();
+        assert_eq!(ok.param, QueryParam::Range(1.0));
+    }
+
+    #[test]
+    fn error_envelope_shape() {
+        let body = encode_error("overloaded", "queue full", None).to_string();
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("overloaded"));
+        assert!(v.get("stats").is_none());
+        let with = encode_error("deadline_exceeded", "late", Some(&SearchStats::default()));
+        assert!(with.get("stats").is_some());
+    }
+}

@@ -1,0 +1,541 @@
+//! End-to-end tests of the HTTP serving layer: a real server on an
+//! ephemeral port, real `TcpStream` clients, and bit-for-bit comparison
+//! of everything that crosses the wire against direct index calls.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use les3_core::sim::Jaccard;
+use les3_core::{
+    Les3Index, Partitioning, ServeBackend, ServeConfig, ServeFront, ShardPolicy, ShardedLes3Index,
+};
+use les3_data::zipfian::ZipfianGenerator;
+use les3_data::SetDatabase;
+use les3_net::json::Json;
+use les3_net::{wire, HttpServer, NetConfig};
+
+// ---------------------------------------------------------------- helpers
+
+fn test_db(seed: u64) -> SetDatabase {
+    ZipfianGenerator::new(180, 120, 6.0, 1.1).generate(seed)
+}
+
+fn flat_index(seed: u64) -> Les3Index<Jaccard> {
+    let db = test_db(seed);
+    let part = Partitioning::round_robin(db.len(), 12);
+    Les3Index::build(db, part, Jaccard)
+}
+
+fn sharded_index(seed: u64) -> ShardedLes3Index<Jaccard> {
+    let db = test_db(seed);
+    let part = Partitioning::round_robin(db.len(), 12);
+    ShardedLes3Index::build(db, part, Jaccard, 3, ShardPolicy::Contiguous)
+}
+
+fn start_server<B: ServeBackend>(backend: B, config: ServeConfig) -> (HttpServer, String) {
+    start_server_with(backend, config, NetConfig::default())
+}
+
+fn start_server_with<B: ServeBackend>(
+    backend: B,
+    config: ServeConfig,
+    net: NetConfig,
+) -> (HttpServer, String) {
+    let front = Arc::new(ServeFront::new(backend, config));
+    let server = HttpServer::bind(front, "127.0.0.1:0", net).expect("bind");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+fn fast_config() -> ServeConfig {
+    ServeConfig {
+        max_batch: 8,
+        max_wait: Duration::from_micros(300),
+        workers: 2,
+        queue_capacity: usize::MAX,
+    }
+}
+
+/// A keep-alive HTTP/1.1 client over one raw `TcpStream`.
+struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+struct HttpResponse {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl HttpResponse {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn json(&self) -> Json {
+        Json::parse(&self.body).unwrap_or_else(|e| panic!("bad JSON body {:?}: {e}", self.body))
+    }
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).expect("write request");
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> HttpResponse {
+        let body = body.unwrap_or("");
+        let raw = format!(
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.send_raw(raw.as_bytes());
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> HttpResponse {
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(i) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break i + 4;
+            }
+            let n = self.stream.read(&mut chunk).expect("read response head");
+            assert!(n > 0, "server closed before a full response head");
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8(self.buf[..head_end].to_vec()).expect("utf8 head");
+        let mut lines = head.trim_end().split("\r\n");
+        let status_line = lines.next().expect("status line");
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+        let headers: Vec<(String, String)> = lines
+            .map(|line| {
+                let (k, v) = line.split_once(':').expect("header line");
+                (k.to_ascii_lowercase(), v.trim().to_string())
+            })
+            .collect();
+        let content_length: usize = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .map(|(_, v)| v.parse().expect("content-length"))
+            .expect("response must carry Content-Length");
+        while self.buf.len() < head_end + content_length {
+            let n = self.stream.read(&mut chunk).expect("read response body");
+            assert!(n > 0, "server closed mid-body");
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        let body = String::from_utf8(self.buf[head_end..head_end + content_length].to_vec())
+            .expect("utf8 body");
+        self.buf.drain(..head_end + content_length);
+        HttpResponse {
+            status,
+            headers,
+            body,
+        }
+    }
+
+    fn knn(&mut self, query: &[u32], k: usize) -> HttpResponse {
+        let q: Vec<Json> = query.iter().map(|&t| Json::from(u64::from(t))).collect();
+        let body = Json::Obj(vec![
+            ("query".to_string(), Json::Arr(q)),
+            ("k".to_string(), Json::from(k)),
+        ]);
+        self.request("POST", "/knn", Some(&body.to_string()))
+    }
+
+    fn range(&mut self, query: &[u32], delta: f64) -> HttpResponse {
+        let q: Vec<Json> = query.iter().map(|&t| Json::from(u64::from(t))).collect();
+        let body = Json::Obj(vec![
+            ("query".to_string(), Json::Arr(q)),
+            ("delta".to_string(), Json::from(delta)),
+        ]);
+        self.request("POST", "/range", Some(&body.to_string()))
+    }
+}
+
+fn stats_field(addr: &str, field: &str) -> u64 {
+    let mut client = Client::connect(addr);
+    let response = client.request("GET", "/stats", None);
+    assert_eq!(response.status, 200);
+    response
+        .json()
+        .get("stats")
+        .and_then(|s| s.get(field))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("missing stats field {field}"))
+}
+
+// ----------------------------------------------------- bit-for-bit equality
+
+/// Serves kNN and range queries over HTTP — on one keep-alive
+/// connection and from several racing connections — and asserts hits
+/// *and* stats decode to exactly the direct call's `SearchResult`.
+fn assert_served_equals_direct<B, F>(backend: B, direct: F)
+where
+    B: ServeBackend,
+    F: Fn(&[u32], wire::QueryParam) -> les3_core::SearchResult + Sync,
+{
+    let db = test_db(9);
+    let (server, addr) = start_server(backend, fast_config());
+
+    // One keep-alive connection, alternating kNN and range.
+    let mut client = Client::connect(&addr);
+    for qid in [0u32, 3, 17, 99, 179] {
+        let query = db.set(qid).to_vec();
+        let response = client.knn(&query, 7);
+        assert_eq!(response.status, 200, "{}", response.body);
+        let served = wire::decode_result(&response.json()).expect("decodable result");
+        assert_eq!(served, direct(&query, wire::QueryParam::Knn(7)));
+
+        let response = client.range(&query, 0.35);
+        assert_eq!(response.status, 200, "{}", response.body);
+        let served = wire::decode_result(&response.json()).expect("decodable result");
+        assert_eq!(served, direct(&query, wire::QueryParam::Range(0.35)));
+    }
+
+    // Several racing client connections (coalesced into shared batches).
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let addr = &addr;
+            let db = &db;
+            let direct = &direct;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                for i in 0..6u32 {
+                    let qid = (t * 41 + i * 13) % db.len() as u32;
+                    let query = db.set(qid).to_vec();
+                    let response = client.knn(&query, 5);
+                    assert_eq!(response.status, 200, "{}", response.body);
+                    let served = wire::decode_result(&response.json()).unwrap();
+                    assert_eq!(served, direct(&query, wire::QueryParam::Knn(5)));
+                }
+            });
+        }
+    });
+    server.shutdown();
+}
+
+#[test]
+fn served_results_are_bit_for_bit_flat() {
+    let index = flat_index(9);
+    let reference = flat_index(9);
+    assert_served_equals_direct(index, move |query, param| match param {
+        wire::QueryParam::Knn(k) => reference.knn(query, k),
+        wire::QueryParam::Range(delta) => reference.range(query, delta),
+    });
+}
+
+#[test]
+fn served_results_are_bit_for_bit_sharded() {
+    let index = sharded_index(9);
+    let reference = sharded_index(9);
+    assert_served_equals_direct(index, move |query, param| match param {
+        wire::QueryParam::Knn(k) => reference.knn(query, k),
+        wire::QueryParam::Range(delta) => reference.range(query, delta),
+    });
+}
+
+// --------------------------------------------------------- status mappings
+
+#[test]
+fn overload_maps_to_503_with_retry_after() {
+    // Capacity 1 and a long batching window: the first request is
+    // admitted and parked in the open batch; the second finds the queue
+    // full and must shed.
+    let config = ServeConfig {
+        max_batch: 64,
+        max_wait: Duration::from_millis(700),
+        workers: 1,
+        queue_capacity: 1,
+    };
+    let (server, addr) = start_server(flat_index(5), config);
+    let db = test_db(5);
+    let query = db.set(0).to_vec();
+
+    let occupant_addr = addr.clone();
+    let occupant_query = query.clone();
+    let occupant = std::thread::spawn(move || {
+        let mut client = Client::connect(&occupant_addr);
+        client.knn(&occupant_query, 3)
+    });
+    // Deterministic sequencing: wait until the occupant is admitted.
+    let t0 = Instant::now();
+    loop {
+        let mut probe = Client::connect(&addr);
+        let response = probe.request("GET", "/stats", None);
+        let in_flight = response.json().get("in_flight").and_then(Json::as_u64);
+        if in_flight == Some(1) {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "occupant never admitted"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let mut client = Client::connect(&addr);
+    let response = client.knn(&query, 3);
+    assert_eq!(response.status, 503, "{}", response.body);
+    let retry_after: u64 = response
+        .header("retry-after")
+        .expect("503 must carry Retry-After")
+        .parse()
+        .expect("integral Retry-After");
+    assert!(retry_after >= 1);
+    assert_eq!(
+        response.json().get("error").and_then(Json::as_str),
+        Some("overloaded")
+    );
+
+    // The occupant still completes normally once its batch closes.
+    let occupant_response = occupant.join().unwrap();
+    assert_eq!(occupant_response.status, 200);
+    assert!(stats_field(&addr, "shed") >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn expired_timeout_maps_to_504_with_stats() {
+    let (server, addr) = start_server(flat_index(6), fast_config());
+    let db = test_db(6);
+    let query: Vec<Json> = db
+        .set(1)
+        .iter()
+        .map(|&t| Json::from(u64::from(t)))
+        .collect();
+    let body = Json::Obj(vec![
+        ("query".to_string(), Json::Arr(query)),
+        ("k".to_string(), Json::from(4u64)),
+        ("timeout_ms".to_string(), Json::from(0u64)),
+    ]);
+    let mut client = Client::connect(&addr);
+    let response = client.request("POST", "/knn", Some(&body.to_string()));
+    assert_eq!(response.status, 504, "{}", response.body);
+    let json = response.json();
+    assert_eq!(
+        json.get("error").and_then(Json::as_str),
+        Some("deadline_exceeded")
+    );
+    // An already-expired request never reaches verification; the partial
+    // stats in the body prove it.
+    let stats = wire::decode_stats(json.get("stats").expect("504 carries stats")).unwrap();
+    assert_eq!(stats.groups_verified, 0);
+    assert!(stats_field(&addr, "expired") >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn client_disconnect_cancels_the_query() {
+    // A long batching window keeps the request queued; the client
+    // vanishes before it runs, and the probe loop must cancel it.
+    let config = ServeConfig {
+        max_batch: 64,
+        max_wait: Duration::from_millis(400),
+        workers: 1,
+        queue_capacity: usize::MAX,
+    };
+    let (server, addr) = start_server(flat_index(7), config);
+    let db = test_db(7);
+    {
+        let mut client = Client::connect(&addr);
+        let query: Vec<Json> = db
+            .set(2)
+            .iter()
+            .map(|&t| Json::from(u64::from(t)))
+            .collect();
+        let body = Json::Obj(vec![
+            ("query".to_string(), Json::Arr(query)),
+            ("k".to_string(), Json::from(3u64)),
+        ])
+        .to_string();
+        client.send_raw(
+            format!(
+                "POST /knn HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        );
+        // Drop the connection without reading the response.
+    }
+    let t0 = Instant::now();
+    loop {
+        if stats_field(&addr, "cancelled") >= 1 {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "disconnect was never noticed as a cancellation"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_400_and_friends() {
+    let (server, addr) = start_server(flat_index(8), fast_config());
+    let mut client = Client::connect(&addr);
+
+    // Schema violations → 400 with a bad_request envelope.
+    for bad_body in [
+        "not json at all",
+        "[1,2,3]",
+        r#"{"k":3}"#,
+        r#"{"query":"oops","k":3}"#,
+        r#"{"query":[1.5],"k":3}"#,
+        r#"{"query":[1,2]}"#,
+        r#"{"query":[1,2],"k":-1}"#,
+        r#"{"query":[1,2],"k":3,"timeout_ms":"soon"}"#,
+        "",
+    ] {
+        let response = client.request("POST", "/knn", Some(bad_body));
+        assert_eq!(
+            response.status, 400,
+            "body {bad_body:?} → {}",
+            response.body
+        );
+        assert_eq!(
+            response.json().get("error").and_then(Json::as_str),
+            Some("bad_request"),
+            "{bad_body:?}"
+        );
+    }
+    let response = client.request("POST", "/range", Some(r#"{"query":[1],"delta":"x"}"#));
+    assert_eq!(response.status, 400);
+
+    // Routing errors.
+    let response = client.request("GET", "/knn", None);
+    assert_eq!(response.status, 405);
+    assert_eq!(response.header("allow"), Some("POST"));
+    let response = client.request("POST", "/healthz", None);
+    assert_eq!(response.status, 405);
+    assert_eq!(response.header("allow"), Some("GET"));
+    let response = client.request("GET", "/nope", None);
+    assert_eq!(response.status, 404);
+
+    // A garbage request line closes the connection after a 400.
+    let mut garbage = Client::connect(&addr);
+    garbage.send_raw(b"EHLO example.com\r\n\r\n");
+    let response = garbage.read_response();
+    assert_eq!(response.status, 400);
+    server.shutdown();
+}
+
+#[test]
+fn healthz_and_stats_shapes() {
+    let (server, addr) = start_server(flat_index(10), fast_config());
+    let mut client = Client::connect(&addr);
+    let response = client.request("GET", "/healthz", None);
+    assert_eq!(response.status, 200);
+    assert_eq!(
+        response.json().get("ok").and_then(Json::as_bool),
+        Some(true)
+    );
+
+    // Serve two queries, then check the aggregate moved.
+    let db = test_db(10);
+    let q = db.set(4).to_vec();
+    assert_eq!(client.knn(&q, 3).status, 200);
+    assert_eq!(client.range(&q, 0.5).status, 200);
+    let response = client.request("GET", "/stats", None);
+    assert_eq!(response.status, 200);
+    let json = response.json();
+    assert_eq!(json.get("in_flight").and_then(Json::as_u64), Some(0));
+    let agg = wire::decode_stats(json.get("stats").unwrap()).unwrap();
+    assert!(agg.candidates > 0, "aggregate work counters should move");
+    server.shutdown();
+}
+
+#[test]
+fn absurd_k_is_rejected_and_huge_valid_k_is_served() {
+    let (server, addr) = start_server(flat_index(12), fast_config());
+    let reference = flat_index(12);
+    let mut client = Client::connect(&addr);
+    // k beyond 2^32 violates the schema: shed at the wire, never
+    // reaching the query engine (a k-sized allocation would be a DoS).
+    let response = client.request(
+        "POST",
+        "/knn",
+        Some(r#"{"query":[1,2],"k":9007199254740992}"#),
+    );
+    assert_eq!(response.status, 400, "{}", response.body);
+    // The largest schema-valid k is served fine (clamped by |D| inside
+    // the engine, capacity hints bounded).
+    let response = client.request("POST", "/knn", Some(r#"{"query":[1,2],"k":4294967295}"#));
+    assert_eq!(response.status, 200, "{}", response.body);
+    let served = wire::decode_result(&response.json()).unwrap();
+    assert_eq!(served, reference.knn(&[1, 2], u32::MAX as usize));
+    server.shutdown();
+}
+
+#[test]
+fn idle_connections_are_closed_after_the_idle_timeout() {
+    let net = NetConfig {
+        idle_timeout: Duration::from_millis(300),
+        ..NetConfig::default()
+    };
+    let (server, addr) = start_server_with(flat_index(13), fast_config(), net);
+    let stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Send nothing: the server must hang up on its own (EOF), freeing
+    // the connection worker for clients that actually talk.
+    let mut probe = [0u8; 1];
+    let t0 = Instant::now();
+    let n = (&stream)
+        .read(&mut probe)
+        .expect("clean EOF, not a timeout");
+    assert_eq!(n, 0, "expected EOF from the idle hangup");
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "idle hangup took too long"
+    );
+    // The server is still fully alive for the next client.
+    let mut client = Client::connect(&addr);
+    assert_eq!(client.request("GET", "/healthz", None).status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn timeout_far_in_the_future_serves_normally() {
+    let (server, addr) = start_server(flat_index(11), fast_config());
+    let reference = flat_index(11);
+    let db = test_db(11);
+    let query: Vec<Json> = db
+        .set(6)
+        .iter()
+        .map(|&t| Json::from(u64::from(t)))
+        .collect();
+    let body = Json::Obj(vec![
+        ("query".to_string(), Json::Arr(query)),
+        ("k".to_string(), Json::from(5u64)),
+        ("timeout_ms".to_string(), Json::from(60_000u64)),
+    ]);
+    let mut client = Client::connect(&addr);
+    let response = client.request("POST", "/knn", Some(&body.to_string()));
+    assert_eq!(response.status, 200, "{}", response.body);
+    let served = wire::decode_result(&response.json()).unwrap();
+    assert_eq!(served, reference.knn(db.set(6), 5));
+    server.shutdown();
+}

@@ -1,0 +1,98 @@
+//! A raw-`TcpStream` client for a running `les3-serve` instance — the
+//! whole wire protocol (`docs/PROTOCOL.md`) exercised with nothing but
+//! `std::net`, to show there is no client-library magic: it is plain
+//! HTTP/1.1 + JSON.
+//!
+//! Start a server, then run the client:
+//!
+//! ```text
+//! cargo run --release -p les3-net --bin les3-serve -- --port 7878 &
+//! cargo run --release --example http_client            # default 127.0.0.1:7878
+//! cargo run --release --example http_client -- 127.0.0.1:9000
+//! ```
+//!
+//! One keep-alive connection issues `GET /healthz`, a `POST /knn`, a
+//! `POST /range` with a `timeout_ms`, and a `GET /stats`, printing each
+//! response. Exits non-zero if the server is unreachable.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let mut stream = match TcpStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("http_client: cannot connect to {addr}: {e}");
+            eprintln!("start a server first:");
+            eprintln!("  cargo run --release -p les3-net --bin les3-serve -- --port 7878");
+            std::process::exit(1);
+        }
+    };
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set read timeout");
+    println!("connected to http://{addr} (one keep-alive connection)\n");
+
+    let exchanges: &[(&str, &str, Option<&str>)] = &[
+        ("GET", "/healthz", None),
+        ("POST", "/knn", Some(r#"{"query":[1,2,3],"k":5}"#)),
+        (
+            "POST",
+            "/range",
+            Some(r#"{"query":[1,2,3],"delta":0.4,"timeout_ms":250}"#),
+        ),
+        ("GET", "/stats", None),
+    ];
+    let mut leftover: Vec<u8> = Vec::new();
+    for &(method, path, body) in exchanges {
+        let body = body.unwrap_or("");
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        if !body.is_empty() {
+            println!("> {method} {path}   {body}");
+        } else {
+            println!("> {method} {path}");
+        }
+        stream.write_all(request.as_bytes()).expect("send request");
+        let (status, response_body) = read_response(&mut stream, &mut leftover);
+        println!("< {status}\n< {response_body}\n");
+    }
+}
+
+/// Reads one `Content-Length`-delimited HTTP response, keeping bytes
+/// past it (there are none here, but correctness is cheap).
+fn read_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> (String, String) {
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(i) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break i + 4;
+        }
+        let n = stream.read(&mut chunk).expect("read response");
+        assert!(n > 0, "server closed the connection early");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+    let status = head.lines().next().unwrap_or("").to_string();
+    let content_length: usize = head
+        .lines()
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
+        })
+        .expect("response carries Content-Length");
+    while buf.len() < head_end + content_length {
+        let n = stream.read(&mut chunk).expect("read response body");
+        assert!(n > 0, "server closed mid-body");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let body = String::from_utf8_lossy(&buf[head_end..head_end + content_length]).to_string();
+    buf.drain(..head_end + content_length);
+    (status, body)
+}

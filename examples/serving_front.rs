@@ -4,6 +4,13 @@
 //! request-queue step on top of `sharded_service`'s synchronous batch
 //! calls.
 //!
+//! This example drives the front **in-process**; the production path
+//! puts the network layer (`crates/net`) in front of the very same
+//! `ServeFront`, where these semantics become protocol behavior —
+//! `Overloaded` → `503` + `Retry-After`, deadlines → `504`, client
+//! disconnect → cancellation. Run `les3-serve` and see
+//! `docs/PROTOCOL.md` / `examples/http_client.rs` for that view.
+//!
 //! Run with: `cargo run --release --example serving_front`
 //!
 //! # Usage sketch

@@ -10,6 +10,9 @@
 //! and during verification, and cancellable tickets) — see
 //! `examples/serving_front.rs`, which wraps this same sharded index in a
 //! `ServeFront` instead of looping over explicit `knn_batch` calls.
+//! One step further sits the network layer (`crates/net`): `les3-serve
+//! --shards N` serves this same sharded engine over HTTP with identical
+//! bit-for-bit results — see `docs/PROTOCOL.md`.
 //!
 //! Run with: `cargo run --release --example sharded_service`
 //! (`RAYON_NUM_THREADS=4` forces multi-worker execution on small hosts.)

@@ -12,6 +12,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`core`] | `les3-core` | TGM/HTGM indexes, kNN & range search, updates, disk variant |
+//! | [`net`] | `les3-net` | HTTP/1.1 + JSON serving layer and the `les3-serve` binary |
 //! | [`partition`] | `les3-partition` | PTR representations, GPO objectives, PAR-C/D/A/G, L2P cascade |
 //! | [`data`] | `les3-data` | set databases, generators, Table-2 dataset emulators |
 //! | [`nn`] | `les3-nn` | MLP + Adam + Siamese training (replaces PyTorch) |
@@ -54,6 +55,7 @@ pub use les3_bitmap as bitmap;
 pub use les3_bptree as bptree;
 pub use les3_core as core;
 pub use les3_data as data;
+pub use les3_net as net;
 pub use les3_nn as nn;
 pub use les3_partition as partition;
 pub use les3_rtree as rtree;
@@ -72,6 +74,7 @@ pub mod prelude {
     pub use les3_data::realistic::DatasetSpec;
     pub use les3_data::zipfian::ZipfianGenerator;
     pub use les3_data::{DatasetStats, SetDatabase, SetId, TokenId};
+    pub use les3_net::{HttpServer, NetConfig};
     pub use les3_partition::l2p::{L2p, L2pConfig, L2pResult};
     pub use les3_partition::rep::{Ptr, PtrHalf, RepMatrix, SetRepresentation};
     pub use les3_partition::{ParA, ParC, ParD, ParG};
