@@ -63,12 +63,18 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], DeserializeError> {
-        if self.pos + n > self.buf.len() {
+        if n > self.buf.len() - self.pos {
             return Err(DeserializeError::Truncated);
         }
         let out = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(out)
+    }
+
+    /// Bytes left in the buffer — the budget any declared count must fit
+    /// in before we allocate for it.
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
 
     fn u8(&mut self) -> Result<u8, DeserializeError> {
@@ -144,6 +150,12 @@ impl Bitmap {
             return Err(DeserializeError::BadMagic);
         }
         let n_chunks = r.u32()? as usize;
+        // Every chunk costs at least its 8-byte header: a count the
+        // remaining bytes cannot possibly satisfy is rejected before any
+        // allocation (adversarial buffers must not over-allocate).
+        if n_chunks > r.remaining() / 8 {
+            return Err(DeserializeError::Truncated);
+        }
         let mut bm = Bitmap::new();
         let mut prev_high: Option<u16> = None;
         for _ in 0..n_chunks {
@@ -159,6 +171,15 @@ impl Bitmap {
             let card = r.u32()? as usize;
             let container = match kind {
                 0 => {
+                    // A chunk spans 2^16 values, and each costs 2 bytes:
+                    // bound the declared cardinality by both before the
+                    // allocation sees it.
+                    if card > 1 << 16 {
+                        return Err(DeserializeError::CorruptPayload);
+                    }
+                    if card * 2 > r.remaining() {
+                        return Err(DeserializeError::Truncated);
+                    }
                     let mut values = Vec::with_capacity(card);
                     for _ in 0..card {
                         values.push(r.u16()?);
@@ -185,6 +206,15 @@ impl Bitmap {
                     Container::Bits(bits)
                 }
                 2 => {
+                    // Non-adjacent runs fit at most 2^15 per chunk, each
+                    // encoded in 4 bytes; reject impossible counts before
+                    // the value vector starts growing.
+                    if card > 1 << 15 {
+                        return Err(DeserializeError::CorruptPayload);
+                    }
+                    if card * 4 > r.remaining() {
+                        return Err(DeserializeError::Truncated);
+                    }
                     let mut values = Vec::new();
                     let mut prev_end: Option<u16> = None;
                     for _ in 0..card {
@@ -261,6 +291,52 @@ mod tests {
         assert_eq!(
             Bitmap::deserialize(&bytes),
             Err(DeserializeError::CorruptPayload)
+        );
+    }
+
+    #[test]
+    fn huge_declared_counts_fail_fast_without_allocating() {
+        // An adversarial header claiming u32::MAX chunks in an 8-byte
+        // buffer must be rejected up front (no chunk-count allocation).
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&super::MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            Bitmap::deserialize(&bytes),
+            Err(DeserializeError::Truncated)
+        );
+
+        // One chunk whose array container declares u32::MAX values: the
+        // cardinality must be bounds-checked before `Vec::with_capacity`.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&super::MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes()); // high
+        bytes.push(0); // array container
+        bytes.push(0); // reserved
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // cardinality
+        assert_eq!(
+            Bitmap::deserialize(&bytes),
+            Err(DeserializeError::CorruptPayload)
+        );
+
+        // Same for a runs container with an absurd run count.
+        let n = bytes.len();
+        bytes[n - 6] = 2; // container kind byte → runs
+        assert_eq!(
+            Bitmap::deserialize(&bytes),
+            Err(DeserializeError::CorruptPayload)
+        );
+
+        // A large-but-representable count still exceeding the buffer is
+        // caught by the byte-budget check.
+        let card = 60_000u32;
+        let n = bytes.len();
+        bytes[n - 6] = 0; // back to array
+        bytes[n - 4..].copy_from_slice(&card.to_le_bytes());
+        assert_eq!(
+            Bitmap::deserialize(&bytes),
+            Err(DeserializeError::Truncated)
         );
     }
 

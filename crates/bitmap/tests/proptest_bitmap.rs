@@ -93,6 +93,36 @@ proptest! {
     }
 
     #[test]
+    fn deserialize_survives_mutations_of_valid_buffers(
+        values in prop::collection::btree_set(value_strategy(), 0..1500),
+        mutations in prop::collection::vec((any::<u16>(), any::<u8>()), 1..8),
+        truncate_to in any::<u16>(),
+        optimize in any::<bool>(),
+    ) {
+        // Start from a structurally valid buffer and damage it: flip
+        // bytes, truncate. Every outcome must be a clean Err or a bitmap
+        // that is itself serializable — never a panic, never unbounded
+        // allocation.
+        let mut bm = Bitmap::from_iter(values.iter().copied());
+        if optimize {
+            bm.run_optimize();
+        }
+        let mut bytes = bm.serialize();
+        for &(pos, val) in &mutations {
+            let n = bytes.len();
+            if n > 0 {
+                bytes[pos as usize % n] ^= val;
+            }
+        }
+        bytes.truncate((truncate_to as usize).min(bytes.len()).max(8));
+        if let Ok(parsed) = Bitmap::deserialize(&bytes) {
+            // Whatever survived must be internally consistent.
+            let reserialized = parsed.serialize();
+            prop_assert_eq!(Bitmap::deserialize(&reserialized).unwrap(), parsed);
+        }
+    }
+
+    #[test]
     fn dense_ranges_survive_optimization(start in 0u32..100_000, len in 1u32..20_000) {
         let mut bm = Bitmap::from_iter(start..start + len);
         bm.run_optimize();

@@ -174,11 +174,13 @@ pub(crate) struct WorkerPool<W: Send + 'static> {
 /// workers show up.
 pub(crate) trait PoolJob<W>: Send + Sync + 'static {
     /// Claims and runs tasks until none are left to claim, then returns.
-    /// Implementations must not let panics escape — convert them into
-    /// per-task error results ([`crate::serve`] does); the pool treats an
-    /// escaped panic as a defect, rebuilds the worker's state and keeps
-    /// the worker alive.
-    fn run(&self, state: &mut W);
+    /// `worker` is the stable index of the executing pool thread
+    /// (`0..workers`) — jobs use it to write into per-worker accumulators
+    /// without a shared lock. Implementations must not let panics
+    /// escape — convert them into per-task error results
+    /// ([`crate::serve`] does); the pool treats an escaped panic as a
+    /// defect, rebuilds the worker's state and keeps the worker alive.
+    fn run(&self, worker: usize, state: &mut W);
 
     /// Whether every task has been claimed (the pool then pops the job;
     /// claimed-but-still-running tasks finish on their claimants).
@@ -230,7 +232,7 @@ impl<W: Send + 'static> WorkerPool<W> {
                 let make_state = Arc::clone(&make_state);
                 std::thread::Builder::new()
                     .name(format!("{name}-{i}"))
-                    .spawn(move || pool_worker_loop(&shared, &*make_state))
+                    .spawn(move || pool_worker_loop(i, &shared, &*make_state))
                     .expect("spawn pool worker")
             })
             .collect();
@@ -261,7 +263,11 @@ impl<W: Send + 'static> Drop for WorkerPool<W> {
     }
 }
 
-fn pool_worker_loop<W: Send + 'static>(shared: &PoolShared<W>, make_state: &dyn Fn() -> W) {
+fn pool_worker_loop<W: Send + 'static>(
+    worker: usize,
+    shared: &PoolShared<W>,
+    make_state: &dyn Fn() -> W,
+) {
     let mut state = make_state();
     loop {
         let job = {
@@ -287,7 +293,7 @@ fn pool_worker_loop<W: Send + 'static>(shared: &PoolShared<W>, make_state: &dyn 
         // Jobs catch per-request panics themselves; this outer catch is
         // the backstop that keeps a defective job from killing the
         // worker thread (and with it the pool's capacity).
-        if catch_unwind(AssertUnwindSafe(|| job.run(&mut state))).is_err() {
+        if catch_unwind(AssertUnwindSafe(|| job.run(worker, &mut state))).is_err() {
             state = make_state();
         }
     }
@@ -834,7 +840,7 @@ mod tests {
             state_total: AtomicUsize,
         }
         impl PoolJob<usize> for CountJob {
-            fn run(&self, state: &mut usize) {
+            fn run(&self, _worker: usize, state: &mut usize) {
                 loop {
                     let t = self.next.fetch_add(1, Ordering::Relaxed);
                     if t >= self.n_tasks {

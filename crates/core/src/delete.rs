@@ -64,6 +64,53 @@ impl DeletionLog {
         }
     }
 
+    /// Rebuilds the log a saved index would carry: `tombstones` are the
+    /// ids already deleted, so only live sets contribute reference
+    /// counts — bit-for-bit the state an in-memory log reaches after the
+    /// same deletions (each delete removes exactly the deleted set's
+    /// token counts).
+    pub(crate) fn build_with_tombstones(
+        db: &les3_data::SetDatabase,
+        partitioning: &crate::Partitioning,
+        tombstones: &[SetId],
+    ) -> Self {
+        let mut deleted = vec![false; db.len()];
+        for &id in tombstones {
+            deleted[id as usize] = true;
+        }
+        let mut counts: HashMap<(u32, TokenId), u32> = HashMap::new();
+        for (id, set) in db.iter() {
+            if deleted[id as usize] {
+                continue;
+            }
+            let g = partitioning.group_of(id);
+            let mut prev = None;
+            for &t in set {
+                if prev == Some(t) {
+                    continue;
+                }
+                prev = Some(t);
+                *counts.entry((g, t)).or_insert(0) += 1;
+            }
+        }
+        let live = db.len() - tombstones.len();
+        Self {
+            counts,
+            deleted,
+            live,
+        }
+    }
+
+    /// The tombstoned set ids, ascending (what persistence writes out).
+    pub fn deleted_ids(&self) -> Vec<SetId> {
+        self.deleted
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d)
+            .map(|(id, _)| id as SetId)
+            .collect()
+    }
+
     /// Whether `id` has been deleted.
     pub fn is_deleted(&self, id: SetId) -> bool {
         self.deleted.get(id as usize).copied().unwrap_or(false)

@@ -66,6 +66,27 @@ impl<S: Similarity> Les3Index<S> {
         }
     }
 
+    /// Reassembles an index from parts recovered off disk. The caller
+    /// (the persist layer) has already validated that the partitioning
+    /// covers the database and that the TGM columns and verification
+    /// order were produced from the same snapshot.
+    pub(crate) fn from_parts(
+        db: SetDatabase,
+        partitioning: Partitioning,
+        tgm: Tgm,
+        sim: S,
+        verify: VerifyOrder,
+    ) -> Self {
+        debug_assert_eq!(db.len(), partitioning.n_sets());
+        Self {
+            db,
+            partitioning,
+            tgm,
+            sim,
+            verify,
+        }
+    }
+
     /// The underlying database.
     pub fn db(&self) -> &SetDatabase {
         &self.db
@@ -404,6 +425,25 @@ impl VerifyOrder {
                 // Members arrive in ascending id order; the (length, id)
                 // tuple sort keeps ids ascending within equal lengths.
                 pairs.sort_unstable();
+                std::sync::RwLock::new(GroupOrder {
+                    ids: pairs.iter().map(|&(_, id)| id).collect(),
+                    lens: pairs.iter().map(|&(len, _)| len).collect(),
+                    tail: Vec::new(),
+                })
+            })
+            .collect();
+        Self { groups }
+    }
+
+    /// Rebuilds the order from per-group `(length, id)` runs already
+    /// sorted ascending (the persisted form): entry `i` serves the
+    /// caller's group id `i`. The persist layer validates sortedness
+    /// before calling.
+    pub(crate) fn from_sorted_runs(runs: Vec<Vec<(u32, SetId)>>) -> Self {
+        let groups = runs
+            .into_iter()
+            .map(|pairs| {
+                debug_assert!(pairs.windows(2).all(|w| w[0] < w[1]));
                 std::sync::RwLock::new(GroupOrder {
                     ids: pairs.iter().map(|&(_, id)| id).collect(),
                     lens: pairs.iter().map(|&(len, _)| len).collect(),

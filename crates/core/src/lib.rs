@@ -79,6 +79,7 @@ pub mod disk;
 pub mod htgm;
 pub mod index;
 pub mod partitioning;
+pub mod persist;
 pub mod scratch;
 pub mod serve;
 pub mod shard;
@@ -93,6 +94,7 @@ pub use disk::DiskLes3;
 pub use htgm::{HierarchicalPartitioning, Htgm};
 pub use index::{Les3Index, SearchResult};
 pub use partitioning::Partitioning;
+pub use persist::{DurableIndex, DurableOptions, FsyncPolicy, PersistError, PersistentBackend};
 pub use scratch::{QueryScratch, ShardedScratch, WorkerScratch};
 pub use serve::{
     OnFull, ServeBackend, ServeConfig, ServeError, ServeFront, ServeResult, SubmitOpts, Ticket,

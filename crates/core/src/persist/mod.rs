@@ -1,0 +1,675 @@
+//! The durable index: checksummed immutable segments, a write-ahead log
+//! for post-save mutations, and crash recovery that is exact by
+//! construction.
+//!
+//! A [`DurableIndex`] wraps either index backend ([`Les3Index`] or
+//! [`ShardedLes3Index`]) and a directory:
+//!
+//! * `segment` — the immutable snapshot (see [`segment`](self) block
+//!   format docs in `segment.rs`): database, partitioning assignment,
+//!   the exact TGM token columns (reusing `Bitmap::serialize`),
+//!   length-sorted member runs, shard layout and tombstones, all in
+//!   CRC32-checksummed length-prefixed blocks, written to a tmp file,
+//!   fsynced and renamed into place;
+//! * `wal-<epoch>` — checksummed mutation records appended **before**
+//!   each in-memory insert/delete and replayed on open. A truncated or
+//!   corrupt *tail* record is the clean end of the log (a torn final
+//!   write); a corrupt *interior* record is a hard, descriptive error.
+//!
+//! Recovery is bit-for-bit: the segment stores the exact column bits
+//! and verification runs of the live index, and WAL replay routes
+//! through the same deterministic [`insert`](crate::Les3Index::insert)
+//! / [`DeletionLog`] code paths the live index used, so a reopened
+//! index answers every kNN/range query with identical hits *and*
+//! [`SearchStats`](crate::SearchStats) to one that never crashed.
+//!
+//! ```
+//! use les3_core::persist::DurableIndex;
+//! use les3_core::sim::Jaccard;
+//! use les3_core::{Les3Index, Partitioning};
+//! use les3_data::SetDatabase;
+//!
+//! let dir = std::env::temp_dir().join(format!("les3-doc-{}", std::process::id()));
+//! let db = SetDatabase::from_sets(vec![vec![0u32, 1, 2], vec![0, 1, 3], vec![7, 8]]);
+//! let index = Les3Index::build(db, Partitioning::round_robin(3, 2), Jaccard);
+//! let mut durable = DurableIndex::create(&dir, index).unwrap();
+//! durable.insert(&mut [0, 1, 2, 9]).unwrap(); // WAL-logged
+//! drop(durable);
+//! let reopened = DurableIndex::<Les3Index<Jaccard>>::open(&dir, Jaccard).unwrap();
+//! assert_eq!(reopened.backend().db().len(), 4);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+pub mod io;
+mod segment;
+mod wal;
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use les3_bitmap::Bitmap;
+use les3_data::{SetDatabase, SetId, TokenId};
+
+use crate::delete::DeletionLog;
+use crate::index::{Les3Index, VerifyOrder};
+use crate::partitioning::Partitioning;
+use crate::shard::{Shard, ShardedLes3Index};
+use crate::sim::Similarity;
+use crate::tgm::Tgm;
+
+use io::{PersistIo, RealIo, WriteSync};
+pub use segment::SegmentMeta;
+use wal::WalRecord;
+
+/// Errors of the persistence layer.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An underlying I/O error (includes injected faults).
+    Io(std::io::Error),
+    /// The segment magic number does not match.
+    BadMagic,
+    /// The segment was written by an unknown format version.
+    UnsupportedVersion(u32),
+    /// A segment section violates its invariants.
+    Corrupt {
+        /// Which section (META, ASSIGN, SETS, TGM, RUNS, SHARDS, TOMBS,
+        /// block, END) failed validation.
+        section: &'static str,
+        /// What exactly was wrong.
+        detail: String,
+    },
+    /// A WAL record before the tail is damaged.
+    WalCorrupt {
+        /// Byte offset of the damaged record.
+        offset: u64,
+        /// What exactly was wrong.
+        detail: String,
+    },
+    /// The opened segment does not match the requested backend (wrong
+    /// similarity measure or flat/sharded kind).
+    Mismatch {
+        /// What the caller asked for.
+        expected: String,
+        /// What the segment holds.
+        found: String,
+    },
+    /// A previous append failed; the WAL may hold a torn record, so
+    /// further mutations are refused until [`DurableIndex::checkpoint`]
+    /// re-establishes a clean log.
+    Poisoned,
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::BadMagic => write!(f, "not a LES3 segment (bad magic)"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(f, "unsupported segment format version {v}")
+            }
+            PersistError::Corrupt { section, detail } => {
+                write!(f, "corrupt segment ({section}): {detail}")
+            }
+            PersistError::WalCorrupt { offset, detail } => {
+                write!(f, "corrupt wal record at offset {offset}: {detail}")
+            }
+            PersistError::Mismatch { expected, found } => {
+                write!(f, "segment mismatch: expected {expected}, found {found}")
+            }
+            PersistError::Poisoned => {
+                write!(
+                    f,
+                    "wal writer poisoned by a failed append; checkpoint to recover"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// When WAL appends reach stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// Fsync after every appended record (default): a crash loses at
+    /// most the record being written.
+    #[default]
+    Always,
+    /// Never fsync the WAL explicitly; the OS flushes when it pleases.
+    /// Faster, but a crash may lose a suffix of acknowledged mutations
+    /// (recovery still yields a consistent prefix state).
+    Never,
+}
+
+/// Tunables for a [`DurableIndex`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DurableOptions {
+    /// WAL durability; segment writes always fsync.
+    pub fsync: FsyncPolicy,
+}
+
+/// Pre-validated segment contents handed to
+/// [`PersistentBackend::assemble`]. Constructed only by this module
+/// (the fields stay private), which is what lets `assemble` trust them.
+pub struct LoadedParts<S: Similarity> {
+    sim: S,
+    db: SetDatabase,
+    partitioning: Partitioning,
+    /// Global token columns, indexed by token id, length = universe.
+    columns: Vec<Bitmap>,
+    /// Per-group `(distinct length, id)` runs, ascending.
+    runs: Vec<Vec<(u32, SetId)>>,
+    /// Present iff the segment is sharded.
+    shard_of_group: Option<Vec<u32>>,
+    n_shards: u32,
+}
+
+/// An index backend that can be saved to and reassembled from a
+/// segment. Implemented by [`Les3Index`] and [`ShardedLes3Index`];
+/// not implementable outside the crate ([`LoadedParts`] cannot be
+/// constructed elsewhere).
+pub trait PersistentBackend: Sized {
+    /// The similarity measure type.
+    type Sim: Similarity;
+
+    /// "flat" or "sharded" — for mismatch error messages.
+    fn kind_name() -> &'static str;
+
+    /// The similarity measure.
+    fn sim(&self) -> Self::Sim;
+    /// The underlying database.
+    fn db(&self) -> &SetDatabase;
+    /// The partitioning in use.
+    fn partitioning(&self) -> &Partitioning;
+    /// Global group id → shard, or `None` for a flat index.
+    fn shard_layout(&self) -> Option<&[u32]>;
+    /// Number of shards (0 for a flat index; may exceed the largest
+    /// value in [`PersistentBackend::shard_layout`] when trailing
+    /// shards are empty).
+    fn n_shards(&self) -> u32;
+    /// The global TGM column of token `t` (empty if the token appears
+    /// nowhere). Saving walks tokens one at a time so no second copy of
+    /// the matrix is ever resident.
+    fn global_column(&self, t: TokenId) -> Bitmap;
+    /// Inserts a set (the backend's deterministic §6 placement rule).
+    fn insert_set(&mut self, tokens: &mut [TokenId]) -> (SetId, u32);
+    /// Routes a deletion through the log to this backend's TGM.
+    fn delete_set(log: &mut DeletionLog, backend: &mut Self, id: SetId) -> bool;
+    /// Registers an insert in the log.
+    fn note_insert(log: &mut DeletionLog, backend: &Self, id: SetId);
+    /// Reassembles the backend from validated segment parts.
+    fn assemble(parts: LoadedParts<Self::Sim>) -> Result<Self, PersistError>;
+}
+
+impl<S: Similarity> PersistentBackend for Les3Index<S> {
+    type Sim = S;
+
+    fn kind_name() -> &'static str {
+        "flat"
+    }
+
+    fn sim(&self) -> S {
+        Les3Index::sim(self)
+    }
+
+    fn db(&self) -> &SetDatabase {
+        Les3Index::db(self)
+    }
+
+    fn partitioning(&self) -> &Partitioning {
+        Les3Index::partitioning(self)
+    }
+
+    fn shard_layout(&self) -> Option<&[u32]> {
+        None
+    }
+
+    fn n_shards(&self) -> u32 {
+        0
+    }
+
+    fn global_column(&self, t: TokenId) -> Bitmap {
+        self.tgm()
+            .columns()
+            .get(t as usize)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    fn insert_set(&mut self, tokens: &mut [TokenId]) -> (SetId, u32) {
+        self.insert(tokens)
+    }
+
+    fn delete_set(log: &mut DeletionLog, backend: &mut Self, id: SetId) -> bool {
+        log.delete(backend, id)
+    }
+
+    fn note_insert(log: &mut DeletionLog, backend: &Self, id: SetId) {
+        log.note_insert(backend, id);
+    }
+
+    fn assemble(parts: LoadedParts<S>) -> Result<Self, PersistError> {
+        if parts.shard_of_group.is_some() {
+            return Err(PersistError::Mismatch {
+                expected: "flat".into(),
+                found: "sharded".into(),
+            });
+        }
+        let n_groups = parts.partitioning.n_groups();
+        let tgm = Tgm::from_columns(n_groups, parts.columns);
+        let verify = VerifyOrder::from_sorted_runs(parts.runs);
+        Ok(Les3Index::from_parts(
+            parts.db,
+            parts.partitioning,
+            tgm,
+            parts.sim,
+            verify,
+        ))
+    }
+}
+
+impl<S: Similarity> PersistentBackend for ShardedLes3Index<S> {
+    type Sim = S;
+
+    fn kind_name() -> &'static str {
+        "sharded"
+    }
+
+    fn sim(&self) -> S {
+        ShardedLes3Index::sim(self)
+    }
+
+    fn db(&self) -> &SetDatabase {
+        ShardedLes3Index::db(self)
+    }
+
+    fn partitioning(&self) -> &Partitioning {
+        ShardedLes3Index::partitioning(self)
+    }
+
+    fn shard_layout(&self) -> Option<&[u32]> {
+        Some(&self.shard_of_group)
+    }
+
+    fn n_shards(&self) -> u32 {
+        ShardedLes3Index::n_shards(self) as u32
+    }
+
+    fn global_column(&self, t: TokenId) -> Bitmap {
+        // The global column is the union of the shard columns with
+        // local group ids mapped back to global ones (a shard's column
+        // is exactly the global column restricted to its groups).
+        let mut out = Bitmap::new();
+        for shard in &self.shards {
+            if let Some(col) = shard.tgm.columns().get(t as usize) {
+                for l in col.iter() {
+                    out.insert(shard.groups[l as usize]);
+                }
+            }
+        }
+        out
+    }
+
+    fn insert_set(&mut self, tokens: &mut [TokenId]) -> (SetId, u32) {
+        self.insert(tokens)
+    }
+
+    fn delete_set(log: &mut DeletionLog, backend: &mut Self, id: SetId) -> bool {
+        log.delete_sharded(backend, id)
+    }
+
+    fn note_insert(log: &mut DeletionLog, backend: &Self, id: SetId) {
+        log.note_insert_sharded(backend, id);
+    }
+
+    fn assemble(parts: LoadedParts<S>) -> Result<Self, PersistError> {
+        let Some(shard_of_group) = parts.shard_of_group else {
+            return Err(PersistError::Mismatch {
+                expected: "sharded".into(),
+                found: "flat".into(),
+            });
+        };
+        let n_shards = parts.n_shards as usize;
+        let n_groups = parts.partitioning.n_groups();
+        let universe = parts.db.universe_size() as usize;
+        let mut groups_per: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
+        let mut local_of_group = vec![0u32; n_groups];
+        for (g, &s) in shard_of_group.iter().enumerate() {
+            local_of_group[g] = groups_per[s as usize].len() as u32;
+            groups_per[s as usize].push(g as u32);
+        }
+        // Scatter each global column back into per-shard local columns —
+        // the exact inverse of `global_column`.
+        let mut cols: Vec<Vec<Bitmap>> = (0..n_shards)
+            .map(|_| vec![Bitmap::new(); universe])
+            .collect();
+        let mut runs_of: Vec<Vec<Vec<(u32, SetId)>>> = vec![Vec::new(); n_shards];
+        for (t, col) in parts.columns.iter().enumerate() {
+            for g in col.iter() {
+                let s = shard_of_group[g as usize] as usize;
+                cols[s][t].insert(local_of_group[g as usize]);
+            }
+        }
+        for (g, run) in parts.runs.into_iter().enumerate() {
+            runs_of[shard_of_group[g] as usize].push(run);
+        }
+        let shards: Vec<Shard> = groups_per
+            .into_iter()
+            .zip(cols)
+            .zip(runs_of)
+            .map(|((groups, c), runs)| Shard {
+                tgm: Tgm::from_columns(groups.len(), c),
+                verify: VerifyOrder::from_sorted_runs(runs),
+                groups,
+            })
+            .collect();
+        Ok(ShardedLes3Index {
+            db: parts.db,
+            partitioning: parts.partitioning,
+            sim: parts.sim,
+            shards,
+            shard_of_group,
+            local_of_group,
+        })
+    }
+}
+
+/// A crash-safe index: an in-memory backend kept in lockstep with an
+/// on-disk segment plus write-ahead log. See the module docs for the
+/// file layout and the recovery contract.
+pub struct DurableIndex<B: PersistentBackend> {
+    backend: B,
+    log: DeletionLog,
+    dir: PathBuf,
+    epoch: u64,
+    /// `None` after a failed append (poisoned) until the next
+    /// checkpoint.
+    wal: Option<Box<dyn WriteSync>>,
+    io: Arc<dyn PersistIo>,
+    opts: DurableOptions,
+}
+
+fn segment_path(dir: &Path) -> PathBuf {
+    dir.join("segment")
+}
+
+fn wal_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("wal-{epoch}"))
+}
+
+/// Writes a full checkpoint of `backend` + `tombstones` into `dir` as
+/// `new_epoch`: segment to a tmp file, fsync, rename over `segment`,
+/// directory fsync, then a fresh empty `wal-<new_epoch>` and
+/// best-effort removal of stale WALs. Every prefix of this sequence
+/// leaves the directory recoverable (old segment + old WAL until the
+/// rename; new segment with an empty-or-absent WAL after it).
+fn write_checkpoint<B: PersistentBackend>(
+    io: &dyn PersistIo,
+    dir: &Path,
+    backend: &B,
+    tombstones: &[SetId],
+    new_epoch: u64,
+) -> Result<Box<dyn WriteSync>, PersistError> {
+    let tmp = dir.join("segment.tmp");
+    segment::write_segment(io, &tmp, backend, tombstones, new_epoch)?;
+    io.rename(&tmp, &segment_path(dir))?;
+    io.sync_dir(dir)?;
+    let mut wal = io.create(&wal_path(dir, new_epoch))?;
+    wal.sync()?;
+    io.sync_dir(dir)?;
+    // Stale WALs (superseded epochs) are dead weight: remove what we
+    // can, ignore what we cannot — open() skips them by name anyway.
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(epoch) = name
+                .strip_prefix("wal-")
+                .and_then(|e| e.parse::<u64>().ok())
+            {
+                if epoch != new_epoch {
+                    io.remove_file(&entry.path()).ok();
+                }
+            }
+        }
+    }
+    Ok(wal)
+}
+
+/// Saves a standalone snapshot of `backend` (+ tombstones, if the
+/// caller maintains a [`DeletionLog`]) into `dir`, advancing the epoch
+/// past any segment already there. This is the zero-copy, read-only
+/// save the serving layer's `POST /snapshot` uses: it borrows the
+/// backend, so queries keep running while it streams.
+pub fn save_index<B: PersistentBackend>(
+    backend: &B,
+    tombstones: &[SetId],
+    dir: &Path,
+) -> Result<(), PersistError> {
+    std::fs::create_dir_all(dir)?;
+    let new_epoch = match segment::read_meta(&segment_path(dir)) {
+        Ok(meta) => meta.epoch + 1,
+        Err(PersistError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => 0,
+        // A corrupt or foreign segment is not silently overwritten.
+        Err(e) => return Err(e),
+    };
+    write_checkpoint(&RealIo, dir, backend, tombstones, new_epoch)?;
+    Ok(())
+}
+
+/// Reads the META header of the segment in `dir` — enough to decide
+/// which backend type and similarity measure to open it with.
+pub fn read_meta(dir: &Path) -> Result<SegmentMeta, PersistError> {
+    segment::read_meta(&segment_path(dir))
+}
+
+impl<B: PersistentBackend> DurableIndex<B> {
+    /// Saves `backend` into `dir` (created if needed) as epoch 0 and
+    /// returns the durable wrapper. Fails if `dir` already holds a
+    /// segment — open that instead.
+    pub fn create(dir: impl Into<PathBuf>, backend: B) -> Result<Self, PersistError> {
+        Self::create_with(dir, backend, Arc::new(RealIo), DurableOptions::default())
+    }
+
+    /// [`DurableIndex::create`] with injectable I/O and options (the
+    /// fault-injection harness passes a
+    /// [`FaultyIo`](io::FaultyIo) here).
+    pub fn create_with(
+        dir: impl Into<PathBuf>,
+        backend: B,
+        io: Arc<dyn PersistIo>,
+        opts: DurableOptions,
+    ) -> Result<Self, PersistError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        if segment_path(&dir).exists() {
+            return Err(PersistError::Mismatch {
+                expected: "an empty directory".into(),
+                found: "an existing segment".into(),
+            });
+        }
+        let log = DeletionLog::build_with_tombstones(backend.db(), backend.partitioning(), &[]);
+        let wal = write_checkpoint(io.as_ref(), &dir, &backend, &[], 0)?;
+        Ok(Self {
+            backend,
+            log,
+            dir,
+            epoch: 0,
+            wal: Some(wal),
+            io,
+            opts,
+        })
+    }
+
+    /// Opens the index saved in `dir`: reads and validates the segment,
+    /// reassembles the backend, then replays the WAL tail through the
+    /// same deterministic mutation paths the live index used. `sim`
+    /// must match the measure the segment was saved with.
+    pub fn open(dir: impl Into<PathBuf>, sim: B::Sim) -> Result<Self, PersistError> {
+        Self::open_with(dir, sim, Arc::new(RealIo), DurableOptions::default())
+    }
+
+    /// [`DurableIndex::open`] with injectable I/O and options.
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        sim: B::Sim,
+        io: Arc<dyn PersistIo>,
+        opts: DurableOptions,
+    ) -> Result<Self, PersistError> {
+        let dir = dir.into();
+        let raw = segment::read_segment(&segment_path(&dir))?;
+        if raw.sim_name != sim.name() {
+            return Err(PersistError::Mismatch {
+                expected: format!("similarity {:?}", sim.name()),
+                found: format!("similarity {:?}", raw.sim_name),
+            });
+        }
+        let expects_shards = raw.n_shards > 0;
+        if expects_shards != (B::kind_name() == "sharded") {
+            return Err(PersistError::Mismatch {
+                expected: format!("a {} index", B::kind_name()),
+                found: format!(
+                    "a {} segment",
+                    if expects_shards { "sharded" } else { "flat" }
+                ),
+            });
+        }
+        let epoch = raw.epoch;
+        let tombstones = raw.tombstones;
+        let mut backend = B::assemble(LoadedParts {
+            sim,
+            db: raw.db,
+            partitioning: raw.partitioning,
+            columns: raw.columns,
+            runs: raw.runs,
+            shard_of_group: raw.shard_of_group,
+            n_shards: raw.n_shards,
+        })?;
+        let mut log =
+            DeletionLog::build_with_tombstones(backend.db(), backend.partitioning(), &tombstones);
+
+        // Replay the WAL tail. A missing file means a crash hit between
+        // the segment rename and the fresh WAL creation — an empty log.
+        let records = match std::fs::read(wal_path(&dir, epoch)) {
+            Ok(bytes) => wal::parse_wal(&bytes)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        for record in records {
+            match record {
+                WalRecord::Insert(mut tokens) => {
+                    let (id, _) = backend.insert_set(&mut tokens);
+                    B::note_insert(&mut log, &backend, id);
+                }
+                WalRecord::Delete(id) => {
+                    B::delete_set(&mut log, &mut backend, id);
+                }
+            }
+        }
+
+        let wal = io.open_append(&wal_path(&dir, epoch))?;
+        Ok(Self {
+            backend,
+            log,
+            dir,
+            epoch,
+            wal: Some(wal),
+            io,
+            opts,
+        })
+    }
+
+    /// The in-memory backend (query through this).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The deletion log (filter hits through
+    /// [`DeletionLog::filter_hits`]).
+    pub fn log(&self) -> &DeletionLog {
+        &self.log
+    }
+
+    /// The current checkpoint epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether a failed append has poisoned the WAL writer.
+    pub fn is_poisoned(&self) -> bool {
+        self.wal.is_none()
+    }
+
+    /// Consumes the wrapper, yielding the backend and deletion log
+    /// (serving wants the bare backend).
+    pub fn into_backend(self) -> (B, DeletionLog) {
+        (self.backend, self.log)
+    }
+
+    fn append(&mut self, record: &WalRecord) -> Result<(), PersistError> {
+        let Some(wal) = self.wal.as_mut() else {
+            return Err(PersistError::Poisoned);
+        };
+        let bytes = record.encode();
+        let result = wal.write_all(&bytes).and_then(|()| match self.opts.fsync {
+            FsyncPolicy::Always => wal.sync(),
+            FsyncPolicy::Never => Ok(()),
+        });
+        if let Err(e) = result {
+            // The record may be torn on disk. Recovery handles that
+            // (torn tail = clean end), but appending *more* records
+            // after a torn one would corrupt the interior — poison the
+            // writer until a checkpoint starts a fresh log.
+            self.wal = None;
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
+    /// Inserts a set: WAL first (per the configured
+    /// [`FsyncPolicy`]), then the in-memory backend. On error the
+    /// in-memory index is untouched and the writer is poisoned.
+    pub fn insert(&mut self, tokens: &mut [TokenId]) -> Result<(SetId, u32), PersistError> {
+        self.append(&WalRecord::Insert(tokens.to_vec()))?;
+        let (id, g) = self.backend.insert_set(tokens);
+        B::note_insert(&mut self.log, &self.backend, id);
+        Ok((id, g))
+    }
+
+    /// Tombstones a set: WAL first, then the in-memory log + TGM.
+    /// Returns `Ok(false)` for unknown or already-deleted ids (the
+    /// no-op is still logged and replays as a no-op).
+    pub fn delete(&mut self, id: SetId) -> Result<bool, PersistError> {
+        self.append(&WalRecord::Delete(id))?;
+        Ok(B::delete_set(&mut self.log, &mut self.backend, id))
+    }
+
+    /// Folds the WAL into a fresh segment at `epoch + 1` and starts an
+    /// empty log. Also the way out of a poisoned WAL writer.
+    pub fn checkpoint(&mut self) -> Result<(), PersistError> {
+        let tombstones = self.log.deleted_ids();
+        let wal = write_checkpoint(
+            self.io.as_ref(),
+            &self.dir,
+            &self.backend,
+            &tombstones,
+            self.epoch + 1,
+        )?;
+        self.epoch += 1;
+        self.wal = Some(wal);
+        Ok(())
+    }
+}

@@ -1,0 +1,734 @@
+//! The immutable segment format: a versioned sequence of checksummed,
+//! length-prefixed blocks.
+//!
+//! ```text
+//! u32  magic "LS3S"
+//! u32  format version (currently 1)
+//! per block:
+//!   u32  kind
+//!   u32  payload length
+//!   u32  CRC32 of the payload
+//!   payload
+//! ```
+//!
+//! Block kinds, in file order:
+//!
+//! | kind | section | payload |
+//! |------|---------|---------|
+//! | 1 | META    | epoch u64, n_shards u32 (0 = flat), universe u32, n_sets u64, n_groups u64, sim name (u32 len + bytes) |
+//! | 2 | ASSIGN  | u32 count, count × u32 group-of-set, in set-id order |
+//! | 3 | SETS    | u32 count, count × (u32 len, len × u32 sorted tokens) |
+//! | 4 | TGM     | u32 count, count × (u32 token, u32 nbytes, `Bitmap::serialize` bytes), tokens ascending |
+//! | 5 | RUNS    | u32 count, count × (u32 group, u32 n, n × (u32 len, u32 id)), groups ascending |
+//! | 6 | SHARDS  | u32 count, count × u32 shard-of-group (sharded only) |
+//! | 7 | TOMBS   | u32 count, count × u32 deleted set ids, ascending |
+//! | 0 | END     | u64 number of preceding blocks |
+//!
+//! Multi-entry sections (ASSIGN/SETS/TGM/RUNS) may span several blocks;
+//! blocks are flushed near [`BLOCK_BUDGET`] bytes so saving streams
+//! entry by entry and never materializes the index a second time. The
+//! END block must be last and count every preceding block — a segment
+//! truncated at a block boundary is detected by its absence, and a
+//! segment truncated or corrupted mid-block by the length prefix or the
+//! CRC. All integers are little-endian.
+
+use les3_bitmap::Bitmap;
+use les3_data::{SetDatabase, SetId, TokenId};
+
+use super::io::{crc32, PersistIo, WriteSync};
+use super::{PersistError, PersistentBackend};
+use crate::partitioning::Partitioning;
+use crate::sim::{distinct_len, Similarity};
+
+pub(crate) const MAGIC: u32 = 0x4c53_3353; // "LS3S"
+pub(crate) const VERSION: u32 = 1;
+
+/// Flush threshold for multi-entry blocks. One entry may exceed it (a
+/// huge set or column gets its own oversized block); the reader caps
+/// block length at [`MAX_BLOCK`] instead.
+const BLOCK_BUDGET: usize = 64 << 10;
+
+/// Upper bound a reader will believe for one block's payload length.
+const MAX_BLOCK: u32 = 64 << 20;
+
+pub(crate) const KIND_END: u32 = 0;
+pub(crate) const KIND_META: u32 = 1;
+pub(crate) const KIND_ASSIGN: u32 = 2;
+pub(crate) const KIND_SETS: u32 = 3;
+pub(crate) const KIND_TGM: u32 = 4;
+pub(crate) const KIND_RUNS: u32 = 5;
+pub(crate) const KIND_SHARDS: u32 = 6;
+pub(crate) const KIND_TOMBS: u32 = 7;
+
+fn corrupt(section: &'static str, detail: impl Into<String>) -> PersistError {
+    PersistError::Corrupt {
+        section,
+        detail: detail.into(),
+    }
+}
+
+/// Streams checksummed blocks to a [`WriteSync`] sink.
+struct BlockWriter {
+    out: Box<dyn WriteSync>,
+    n_blocks: u64,
+}
+
+impl BlockWriter {
+    fn new(mut out: Box<dyn WriteSync>) -> Result<Self, PersistError> {
+        out.write_all(&MAGIC.to_le_bytes())?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        Ok(Self { out, n_blocks: 0 })
+    }
+
+    fn write_block(&mut self, kind: u32, payload: &[u8]) -> Result<(), PersistError> {
+        self.out.write_all(&kind.to_le_bytes())?;
+        self.out.write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.out.write_all(&crc32(payload).to_le_bytes())?;
+        self.out.write_all(payload)?;
+        self.n_blocks += 1;
+        Ok(())
+    }
+
+    /// Writes the END block and fsyncs the file.
+    fn finish(mut self) -> Result<(), PersistError> {
+        let payload = self.n_blocks.to_le_bytes();
+        self.write_block(KIND_END, &payload)?;
+        self.out.sync()?;
+        Ok(())
+    }
+}
+
+/// Accumulates entries of one section and flushes a block whenever the
+/// buffer passes the budget. The entry count is patched into the first
+/// four payload bytes at flush time.
+struct SectionWriter<'a> {
+    writer: &'a mut BlockWriter,
+    kind: u32,
+    buf: Vec<u8>,
+    entries: u32,
+}
+
+impl<'a> SectionWriter<'a> {
+    fn new(writer: &'a mut BlockWriter, kind: u32) -> Self {
+        Self {
+            writer,
+            kind,
+            buf: vec![0, 0, 0, 0],
+            entries: 0,
+        }
+    }
+
+    fn entry(&mut self, write: impl FnOnce(&mut Vec<u8>)) -> Result<(), PersistError> {
+        write(&mut self.buf);
+        self.entries += 1;
+        if self.buf.len() >= BLOCK_BUDGET {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), PersistError> {
+        if self.entries == 0 {
+            return Ok(());
+        }
+        self.buf[..4].copy_from_slice(&self.entries.to_le_bytes());
+        self.writer.write_block(self.kind, &self.buf)?;
+        self.buf.clear();
+        self.buf.extend_from_slice(&[0, 0, 0, 0]);
+        self.entries = 0;
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<(), PersistError> {
+        self.flush()
+    }
+}
+
+/// Writes a complete segment for `backend` + `tombstones` to `path`
+/// (typically a tmp name the caller renames into place). Streams: at no
+/// point is more than one block (plus one token column) resident.
+pub(crate) fn write_segment<B: PersistentBackend>(
+    io: &dyn PersistIo,
+    path: &std::path::Path,
+    backend: &B,
+    tombstones: &[SetId],
+    epoch: u64,
+) -> Result<(), PersistError> {
+    let db = backend.db();
+    let partitioning = backend.partitioning();
+    let shard_of_group = backend.shard_layout().map(<[u32]>::to_vec);
+    let n_shards = backend.n_shards();
+
+    let mut w = BlockWriter::new(io.create(path)?)?;
+
+    let mut meta = Vec::new();
+    meta.extend_from_slice(&epoch.to_le_bytes());
+    meta.extend_from_slice(&n_shards.to_le_bytes());
+    meta.extend_from_slice(&db.universe_size().to_le_bytes());
+    meta.extend_from_slice(&(db.len() as u64).to_le_bytes());
+    meta.extend_from_slice(&(partitioning.n_groups() as u64).to_le_bytes());
+    let name = backend.sim().name();
+    meta.extend_from_slice(&(name.len() as u32).to_le_bytes());
+    meta.extend_from_slice(name.as_bytes());
+    w.write_block(KIND_META, &meta)?;
+
+    let mut sec = SectionWriter::new(&mut w, KIND_ASSIGN);
+    for &g in partitioning.assignment() {
+        sec.entry(|buf| buf.extend_from_slice(&g.to_le_bytes()))?;
+    }
+    sec.finish()?;
+
+    let mut sec = SectionWriter::new(&mut w, KIND_SETS);
+    for (_, set) in db.iter() {
+        sec.entry(|buf| {
+            buf.extend_from_slice(&(set.len() as u32).to_le_bytes());
+            for &t in set {
+                buf.extend_from_slice(&t.to_le_bytes());
+            }
+        })?;
+    }
+    sec.finish()?;
+
+    let mut sec = SectionWriter::new(&mut w, KIND_TGM);
+    for t in 0..db.universe_size() {
+        let col = backend.global_column(t);
+        if col.is_empty() {
+            continue;
+        }
+        let bytes = col.serialize();
+        sec.entry(|buf| {
+            buf.extend_from_slice(&t.to_le_bytes());
+            buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&bytes);
+        })?;
+    }
+    sec.finish()?;
+
+    let mut sec = SectionWriter::new(&mut w, KIND_RUNS);
+    let mut pairs: Vec<(u32, SetId)> = Vec::new();
+    for g in 0..partitioning.n_groups() as u32 {
+        pairs.clear();
+        pairs.extend(
+            partitioning
+                .members(g)
+                .iter()
+                .map(|&id| (distinct_len(db.set(id)) as u32, id)),
+        );
+        // The live verification order is exactly the members sorted by
+        // (distinct length, id) once any lazy insert tail is merged.
+        pairs.sort_unstable();
+        sec.entry(|buf| {
+            buf.extend_from_slice(&g.to_le_bytes());
+            buf.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+            for &(len, id) in &pairs {
+                buf.extend_from_slice(&len.to_le_bytes());
+                buf.extend_from_slice(&id.to_le_bytes());
+            }
+        })?;
+    }
+    sec.finish()?;
+
+    if let Some(sog) = &shard_of_group {
+        let mut payload = Vec::with_capacity(4 + 4 * sog.len());
+        payload.extend_from_slice(&(sog.len() as u32).to_le_bytes());
+        for &s in sog {
+            payload.extend_from_slice(&s.to_le_bytes());
+        }
+        w.write_block(KIND_SHARDS, &payload)?;
+    }
+
+    let mut payload = Vec::with_capacity(4 + 4 * tombstones.len());
+    payload.extend_from_slice(&(tombstones.len() as u32).to_le_bytes());
+    for &id in tombstones {
+        payload.extend_from_slice(&id.to_le_bytes());
+    }
+    w.write_block(KIND_TOMBS, &payload)?;
+
+    w.finish()
+}
+
+/// Everything a segment holds, parsed and cross-validated, ready for
+/// [`PersistentBackend::assemble`].
+pub(crate) struct RawSegment {
+    pub(crate) epoch: u64,
+    pub(crate) sim_name: String,
+    /// 0 = flat.
+    pub(crate) n_shards: u32,
+    pub(crate) db: SetDatabase,
+    pub(crate) partitioning: Partitioning,
+    /// Global token columns, indexed by token id, length = universe.
+    pub(crate) columns: Vec<Bitmap>,
+    /// Per-group `(distinct length, id)` pairs, ascending.
+    pub(crate) runs: Vec<Vec<(u32, SetId)>>,
+    pub(crate) shard_of_group: Option<Vec<u32>>,
+    pub(crate) tombstones: Vec<SetId>,
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        if n > self.buf.len() - self.pos {
+            return Err(corrupt(self.section, "payload shorter than declared"));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Partially parsed meta header.
+#[derive(Debug, Clone)]
+pub struct SegmentMeta {
+    /// Checkpoint epoch; the live WAL is `wal-<epoch>`.
+    pub epoch: u64,
+    /// Similarity measure name the index was saved with.
+    pub sim_name: String,
+    /// Number of shards; 0 means a flat index.
+    pub n_shards: u32,
+    /// Token universe size.
+    pub universe: u32,
+    /// Number of sets (live + tombstoned).
+    pub n_sets: u64,
+    /// Number of partitioning groups.
+    pub n_groups: u64,
+}
+
+fn parse_meta(payload: &[u8]) -> Result<SegmentMeta, PersistError> {
+    let mut r = Reader {
+        buf: payload,
+        pos: 0,
+        section: "META",
+    };
+    let epoch = r.u64()?;
+    let n_shards = r.u32()?;
+    let universe = r.u32()?;
+    let n_sets = r.u64()?;
+    let n_groups = r.u64()?;
+    let name_len = r.u32()? as usize;
+    if name_len > r.remaining() {
+        return Err(corrupt("META", "similarity name overruns payload"));
+    }
+    let sim_name = String::from_utf8(r.take(name_len)?.to_vec())
+        .map_err(|_| corrupt("META", "similarity name is not UTF-8"))?;
+    if !r.done() {
+        return Err(corrupt("META", "trailing bytes"));
+    }
+    if n_sets > u32::MAX as u64 || n_groups > u32::MAX as u64 {
+        return Err(corrupt("META", "set or group count exceeds u32"));
+    }
+    Ok(SegmentMeta {
+        epoch,
+        sim_name,
+        n_shards,
+        universe,
+        n_sets,
+        n_groups,
+    })
+}
+
+/// Iterates the validated `(kind, payload)` blocks of a segment file,
+/// checking magic, version, per-block CRC and the END count.
+fn for_each_block(
+    bytes: &[u8],
+    mut f: impl FnMut(u32, &[u8]) -> Result<(), PersistError>,
+) -> Result<(), PersistError> {
+    if bytes.len() < 8 {
+        return Err(corrupt("header", "file shorter than the 8-byte header"));
+    }
+    if u32::from_le_bytes(bytes[0..4].try_into().unwrap()) != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    let mut pos = 8usize;
+    let mut n_blocks = 0u64;
+    let mut saw_end = false;
+    while pos < bytes.len() {
+        if saw_end {
+            return Err(corrupt("END", "trailing bytes after the END block"));
+        }
+        if bytes.len() - pos < 12 {
+            return Err(corrupt("block", "truncated block header"));
+        }
+        let kind = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let len = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().unwrap());
+        if len > MAX_BLOCK {
+            return Err(corrupt("block", format!("block length {len} exceeds cap")));
+        }
+        pos += 12;
+        if len as usize > bytes.len() - pos {
+            return Err(corrupt("block", "payload overruns the file"));
+        }
+        let payload = &bytes[pos..pos + len as usize];
+        pos += len as usize;
+        if crc32(payload) != crc {
+            return Err(corrupt(
+                "block",
+                format!("CRC mismatch in block kind {kind}"),
+            ));
+        }
+        if kind == KIND_END {
+            let mut r = Reader {
+                buf: payload,
+                pos: 0,
+                section: "END",
+            };
+            let declared = r.u64()?;
+            if !r.done() {
+                return Err(corrupt("END", "trailing bytes"));
+            }
+            if declared != n_blocks {
+                return Err(corrupt(
+                    "END",
+                    format!("block count mismatch: declared {declared}, found {n_blocks}"),
+                ));
+            }
+            saw_end = true;
+            continue;
+        }
+        n_blocks += 1;
+        f(kind, payload)?;
+    }
+    if !saw_end {
+        return Err(corrupt("END", "segment ends without an END block"));
+    }
+    Ok(())
+}
+
+/// Reads and validates only the META header of a segment file.
+pub(crate) fn read_meta(path: &std::path::Path) -> Result<SegmentMeta, PersistError> {
+    let bytes = std::fs::read(path)?;
+    let mut meta: Option<SegmentMeta> = None;
+    for_each_block(&bytes, |kind, payload| {
+        if kind == KIND_META && meta.is_none() {
+            meta = Some(parse_meta(payload)?);
+        }
+        Ok(())
+    })?;
+    meta.ok_or_else(|| corrupt("META", "segment has no META block"))
+}
+
+/// Reads, checksums and cross-validates a whole segment file.
+pub(crate) fn read_segment(path: &std::path::Path) -> Result<RawSegment, PersistError> {
+    let bytes = std::fs::read(path)?;
+
+    let mut meta: Option<SegmentMeta> = None;
+    let mut assignment: Vec<u32> = Vec::new();
+    let mut sets: Vec<Vec<TokenId>> = Vec::new();
+    let mut columns: Vec<(TokenId, Bitmap)> = Vec::new();
+    let mut runs: Vec<(u32, Vec<(u32, SetId)>)> = Vec::new();
+    let mut shard_of_group: Option<Vec<u32>> = None;
+    let mut tombstones: Option<Vec<SetId>> = None;
+
+    for_each_block(&bytes, |kind, payload| {
+        if kind != KIND_META && meta.is_none() {
+            return Err(corrupt("META", "first block is not META"));
+        }
+        match kind {
+            KIND_META => {
+                if meta.is_some() {
+                    return Err(corrupt("META", "duplicate META block"));
+                }
+                meta = Some(parse_meta(payload)?);
+            }
+            KIND_ASSIGN => {
+                let mut r = Reader {
+                    buf: payload,
+                    pos: 0,
+                    section: "ASSIGN",
+                };
+                let n = r.u32()? as usize;
+                if n > r.remaining() / 4 {
+                    return Err(corrupt("ASSIGN", "entry count exceeds payload"));
+                }
+                for _ in 0..n {
+                    assignment.push(r.u32()?);
+                }
+                if !r.done() {
+                    return Err(corrupt("ASSIGN", "trailing bytes"));
+                }
+            }
+            KIND_SETS => {
+                let mut r = Reader {
+                    buf: payload,
+                    pos: 0,
+                    section: "SETS",
+                };
+                let n = r.u32()? as usize;
+                for _ in 0..n {
+                    let len = r.u32()? as usize;
+                    if len > r.remaining() / 4 {
+                        return Err(corrupt("SETS", "set length exceeds payload"));
+                    }
+                    let mut tokens = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        tokens.push(r.u32()?);
+                    }
+                    if tokens.windows(2).any(|w| w[0] > w[1]) {
+                        return Err(corrupt("SETS", "set tokens are not sorted"));
+                    }
+                    sets.push(tokens);
+                }
+                if !r.done() {
+                    return Err(corrupt("SETS", "trailing bytes"));
+                }
+            }
+            KIND_TGM => {
+                let mut r = Reader {
+                    buf: payload,
+                    pos: 0,
+                    section: "TGM",
+                };
+                let n = r.u32()? as usize;
+                for _ in 0..n {
+                    let token = r.u32()?;
+                    if let Some(&(prev, _)) = columns.last() {
+                        if token <= prev {
+                            return Err(corrupt("TGM", "token columns out of order"));
+                        }
+                    }
+                    let nbytes = r.u32()? as usize;
+                    let col = Bitmap::deserialize(r.take(nbytes)?)
+                        .map_err(|e| corrupt("TGM", format!("column {token}: {e}")))?;
+                    if col.is_empty() {
+                        return Err(corrupt("TGM", format!("column {token} is empty")));
+                    }
+                    columns.push((token, col));
+                }
+                if !r.done() {
+                    return Err(corrupt("TGM", "trailing bytes"));
+                }
+            }
+            KIND_RUNS => {
+                let mut r = Reader {
+                    buf: payload,
+                    pos: 0,
+                    section: "RUNS",
+                };
+                let n = r.u32()? as usize;
+                for _ in 0..n {
+                    let g = r.u32()?;
+                    if g as usize != runs.len() {
+                        return Err(corrupt("RUNS", "groups out of order or missing"));
+                    }
+                    let members = r.u32()? as usize;
+                    if members > r.remaining() / 8 {
+                        return Err(corrupt("RUNS", "member count exceeds payload"));
+                    }
+                    let mut pairs = Vec::with_capacity(members);
+                    for _ in 0..members {
+                        let len = r.u32()?;
+                        let id = r.u32()?;
+                        pairs.push((len, id));
+                    }
+                    if pairs.windows(2).any(|w| w[0] >= w[1]) {
+                        return Err(corrupt(
+                            "RUNS",
+                            format!("group {g} pairs not strictly (length, id) sorted"),
+                        ));
+                    }
+                    runs.push((g, pairs));
+                }
+                if !r.done() {
+                    return Err(corrupt("RUNS", "trailing bytes"));
+                }
+            }
+            KIND_SHARDS => {
+                if shard_of_group.is_some() {
+                    return Err(corrupt("SHARDS", "duplicate SHARDS block"));
+                }
+                let mut r = Reader {
+                    buf: payload,
+                    pos: 0,
+                    section: "SHARDS",
+                };
+                let n = r.u32()? as usize;
+                if n > r.remaining() / 4 {
+                    return Err(corrupt("SHARDS", "entry count exceeds payload"));
+                }
+                let mut sog = Vec::with_capacity(n);
+                for _ in 0..n {
+                    sog.push(r.u32()?);
+                }
+                if !r.done() {
+                    return Err(corrupt("SHARDS", "trailing bytes"));
+                }
+                shard_of_group = Some(sog);
+            }
+            KIND_TOMBS => {
+                if tombstones.is_some() {
+                    return Err(corrupt("TOMBS", "duplicate TOMBS block"));
+                }
+                let mut r = Reader {
+                    buf: payload,
+                    pos: 0,
+                    section: "TOMBS",
+                };
+                let n = r.u32()? as usize;
+                if n > r.remaining() / 4 {
+                    return Err(corrupt("TOMBS", "entry count exceeds payload"));
+                }
+                let mut ids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ids.push(r.u32()?);
+                }
+                if !r.done() {
+                    return Err(corrupt("TOMBS", "trailing bytes"));
+                }
+                if ids.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(corrupt("TOMBS", "tombstones not strictly ascending"));
+                }
+                tombstones = Some(ids);
+            }
+            other => {
+                return Err(corrupt("block", format!("unknown block kind {other}")));
+            }
+        }
+        Ok(())
+    })?;
+
+    let meta = meta.ok_or_else(|| corrupt("META", "segment has no META block"))?;
+    let tombstones = tombstones.ok_or_else(|| corrupt("TOMBS", "segment has no TOMBS block"))?;
+
+    // Cross-section validation: every count, id and bit must agree with
+    // META before any structure is built from them.
+    let n_sets = meta.n_sets as usize;
+    let n_groups = meta.n_groups as usize;
+    if assignment.len() != n_sets {
+        return Err(corrupt(
+            "ASSIGN",
+            format!("{} entries for {n_sets} sets", assignment.len()),
+        ));
+    }
+    if let Some(&bad) = assignment.iter().find(|&&g| g as usize >= n_groups) {
+        return Err(corrupt("ASSIGN", format!("group {bad} out of range")));
+    }
+    if sets.len() != n_sets {
+        return Err(corrupt(
+            "SETS",
+            format!("{} sets declared, {n_sets} expected", sets.len()),
+        ));
+    }
+    let mut db = SetDatabase::new(meta.universe);
+    for tokens in &sets {
+        if tokens.last().is_some_and(|&t| t >= meta.universe) {
+            return Err(corrupt("SETS", "token id outside the declared universe"));
+        }
+        db.push_sorted(tokens);
+    }
+    // Out-of-range groups were rejected above, so this cannot panic
+    // (with zero groups, any assigned set already failed that check).
+    let partitioning = Partitioning::from_assignment(assignment, n_groups);
+
+    if runs.len() != n_groups {
+        return Err(corrupt(
+            "RUNS",
+            format!("{} groups present, {n_groups} expected", runs.len()),
+        ));
+    }
+    let runs: Vec<Vec<(u32, SetId)>> = runs.into_iter().map(|(_, pairs)| pairs).collect();
+    for (g, pairs) in runs.iter().enumerate() {
+        let members = partitioning.members(g as u32);
+        if pairs.len() != members.len() {
+            return Err(corrupt(
+                "RUNS",
+                format!(
+                    "group {g} lists {} of {} members",
+                    pairs.len(),
+                    members.len()
+                ),
+            ));
+        }
+        for &(len, id) in pairs {
+            if id as usize >= n_sets {
+                return Err(corrupt("RUNS", format!("member id {id} out of range")));
+            }
+            if partitioning.group_of(id) as usize != g {
+                return Err(corrupt(
+                    "RUNS",
+                    format!("member {id} listed under group {g} but assigned elsewhere"),
+                ));
+            }
+            if len as usize != distinct_len(db.set(id)) {
+                return Err(corrupt(
+                    "RUNS",
+                    format!("member {id} length {len} disagrees with its set"),
+                ));
+            }
+        }
+    }
+
+    let mut full_columns = vec![Bitmap::new(); meta.universe as usize];
+    for (token, col) in columns {
+        if token >= meta.universe {
+            return Err(corrupt(
+                "TGM",
+                format!("token {token} outside the universe"),
+            ));
+        }
+        if col.max().is_some_and(|g| g as usize >= n_groups) {
+            return Err(corrupt(
+                "TGM",
+                format!("column {token} sets a bit beyond the groups"),
+            ));
+        }
+        full_columns[token as usize] = col;
+    }
+
+    if let Some(sog) = &shard_of_group {
+        if meta.n_shards == 0 {
+            return Err(corrupt("SHARDS", "SHARDS block in a flat segment"));
+        }
+        if sog.len() != n_groups {
+            return Err(corrupt(
+                "SHARDS",
+                format!("{} entries for {n_groups} groups", sog.len()),
+            ));
+        }
+        if let Some(&bad) = sog.iter().find(|&&s| s >= meta.n_shards) {
+            return Err(corrupt("SHARDS", format!("shard {bad} out of range")));
+        }
+    } else if meta.n_shards > 0 {
+        return Err(corrupt("SHARDS", "sharded segment lacks a SHARDS block"));
+    }
+
+    if tombstones.last().is_some_and(|&id| id as usize >= n_sets) {
+        return Err(corrupt("TOMBS", "tombstone id out of range"));
+    }
+
+    Ok(RawSegment {
+        epoch: meta.epoch,
+        sim_name: meta.sim_name,
+        n_shards: meta.n_shards,
+        db,
+        partitioning,
+        columns: full_columns,
+        runs,
+        shard_of_group,
+        tombstones,
+    })
+}

@@ -1,0 +1,213 @@
+//! The write-ahead log: checksummed, length-prefixed mutation records
+//! appended after the last checkpoint.
+//!
+//! ```text
+//! per record:
+//!   u32  payload length
+//!   u32  CRC32 of the payload
+//!   payload:
+//!     u8 1 (insert), u32 n, n × u32 token   — tokens as given, unsorted
+//!     u8 2 (delete), u32 set id
+//! ```
+//!
+//! Replay semantics (the crash contract): a record whose declared extent
+//! reaches or passes the end of the file, or whose checksum fails while
+//! it is the file's final record, is a **torn tail** — the clean end of
+//! the log, exactly what a crash mid-append leaves behind. A checksum
+//! failure or malformed payload with further bytes after it is an
+//! **interior** corruption: a hard, descriptive error, because silently
+//! resuming past it could replay mutations out of order and break
+//! exactness.
+
+use les3_data::{SetId, TokenId};
+
+use super::io::crc32;
+use super::PersistError;
+
+/// Cap any one record's declared payload (a set with ~4M tokens).
+const MAX_RECORD: u32 = 16 << 20;
+
+const KIND_INSERT: u8 = 1;
+const KIND_DELETE: u8 = 2;
+
+/// One logged mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum WalRecord {
+    /// Tokens exactly as the caller passed them (the insert path sorts).
+    Insert(Vec<TokenId>),
+    Delete(SetId),
+}
+
+impl WalRecord {
+    /// Serializes the record, framing included.
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        match self {
+            WalRecord::Insert(tokens) => {
+                payload.push(KIND_INSERT);
+                payload.extend_from_slice(&(tokens.len() as u32).to_le_bytes());
+                for &t in tokens {
+                    payload.extend_from_slice(&t.to_le_bytes());
+                }
+            }
+            WalRecord::Delete(id) => {
+                payload.push(KIND_DELETE);
+                payload.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+        let mut out = Vec::with_capacity(8 + payload.len());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+}
+
+fn interior(offset: usize, detail: impl Into<String>) -> PersistError {
+    PersistError::WalCorrupt {
+        offset: offset as u64,
+        detail: detail.into(),
+    }
+}
+
+/// Parses a WAL image into its records, applying the torn-tail rule.
+pub(crate) fn parse_wal(bytes: &[u8]) -> Result<Vec<WalRecord>, PersistError> {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if bytes.len() - pos < 8 {
+            // A header torn mid-write: clean end of log.
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        let end = pos + 8 + len as usize;
+        if end > bytes.len() {
+            // The declared extent leaves the file (a torn length field
+            // reads as garbage): no complete record can follow, so this
+            // is the tail.
+            break;
+        }
+        if len > MAX_RECORD {
+            // The file really does hold this many bytes, but no writer
+            // ever frames a record this large: the length field itself
+            // is corrupt, with live bytes after it.
+            return Err(interior(
+                pos,
+                format!("record length {len} exceeds the cap"),
+            ));
+        }
+        let payload = &bytes[pos + 8..end];
+        if crc32(payload) != crc {
+            if end == bytes.len() {
+                // Corrupt final record: torn tail.
+                break;
+            }
+            return Err(interior(pos, "checksum mismatch with records after it"));
+        }
+        records.push(parse_payload(payload).map_err(|d| interior(pos, d))?);
+        pos = end;
+    }
+    Ok(records)
+}
+
+fn parse_payload(payload: &[u8]) -> Result<WalRecord, String> {
+    match payload.first() {
+        Some(&KIND_INSERT) => {
+            if payload.len() < 5 {
+                return Err("insert record shorter than its header".into());
+            }
+            let n = u32::from_le_bytes(payload[1..5].try_into().unwrap()) as usize;
+            let rest = &payload[5..];
+            if rest.len() != n * 4 {
+                return Err(format!(
+                    "insert record declares {n} tokens but carries {} bytes",
+                    rest.len()
+                ));
+            }
+            Ok(WalRecord::Insert(
+                rest.chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            ))
+        }
+        Some(&KIND_DELETE) => {
+            if payload.len() != 5 {
+                return Err("delete record has the wrong size".into());
+            }
+            Ok(WalRecord::Delete(u32::from_le_bytes(
+                payload[1..5].try_into().unwrap(),
+            )))
+        }
+        Some(&k) => Err(format!("unknown record kind {k}")),
+        None => Err("empty record".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WalRecord::Insert(vec![5, 2, 9]).encode());
+        bytes.extend_from_slice(&WalRecord::Delete(7).encode());
+        bytes.extend_from_slice(&WalRecord::Insert(vec![1]).encode());
+        bytes
+    }
+
+    #[test]
+    fn round_trips_records() {
+        let records = parse_wal(&sample()).unwrap();
+        assert_eq!(
+            records,
+            vec![
+                WalRecord::Insert(vec![5, 2, 9]),
+                WalRecord::Delete(7),
+                WalRecord::Insert(vec![1]),
+            ]
+        );
+        assert!(parse_wal(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn every_truncation_is_a_clean_prefix() {
+        let bytes = sample();
+        for cut in 0..bytes.len() {
+            let records = parse_wal(&bytes[..cut]).expect("truncation is never an error");
+            assert!(records.len() <= 3);
+            // The parsed prefix must be an exact prefix of the full log.
+            let full = parse_wal(&bytes).unwrap();
+            assert_eq!(records[..], full[..records.len()]);
+        }
+    }
+
+    #[test]
+    fn corrupt_final_record_is_a_clean_end() {
+        let mut bytes = sample();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xff; // damage the last record's payload
+        let records = parse_wal(&bytes).unwrap();
+        assert_eq!(records.len(), 2, "the damaged tail record is dropped");
+    }
+
+    #[test]
+    fn corrupt_interior_record_is_a_hard_error() {
+        let mut bytes = sample();
+        // Damage the first record's payload (well before the tail).
+        bytes[9] ^= 0xff;
+        let err = parse_wal(&bytes).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("offset 0"), "descriptive error, got: {msg}");
+    }
+
+    #[test]
+    fn absurd_length_field_reads_as_torn_tail() {
+        let mut bytes = WalRecord::Delete(1).encode();
+        let mut torn = WalRecord::Delete(2).encode();
+        torn[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&torn);
+        let records = parse_wal(&bytes).unwrap();
+        assert_eq!(records, vec![WalRecord::Delete(1)]);
+    }
+}

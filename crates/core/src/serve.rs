@@ -356,6 +356,12 @@ impl<S: Similarity> ServeBackend for ShardedLes3Index<S> {
     }
 }
 
+/// Pads a per-worker accumulator to its own cache line so two workers
+/// completing requests never write-share a line (false sharing would put
+/// the contention right back).
+#[repr(align(64))]
+struct CacheAligned<T>(T);
+
 /// State shared by the front, its dispatcher, its batch jobs and every
 /// outstanding request: the bounded admission queue and the aggregate
 /// serving counters.
@@ -369,25 +375,50 @@ struct FrontShared {
     in_flight: Mutex<usize>,
     /// Signalled on every release (a completion freeing capacity).
     freed: Condvar,
-    /// Lifetime aggregate: work counters summed over every executed
-    /// query (partial work of interrupted ones included) plus the
-    /// `shed` / `expired` / `cancelled` rejection counts.
-    agg: Mutex<SearchStats>,
+    /// Counters recorded off the worker path: admission shedding
+    /// (producer threads) and batch-close shedding (the dispatcher).
+    /// Cold — at most one uncontended lock per *rejected* request.
+    front_agg: Mutex<SearchStats>,
+    /// Per-worker lifetime accumulators: every completed or interrupted
+    /// query folds its stats into its executing worker's own slot, so
+    /// the per-request hot path never touches a shared lock (the old
+    /// single `agg` mutex serialized every completion across workers).
+    /// [`ServeFront::stats`] sums them on demand.
+    worker_aggs: Vec<CacheAligned<Mutex<SearchStats>>>,
 }
 
 impl FrontShared {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, workers: usize) -> Self {
         Self {
             capacity: capacity.max(1),
             in_flight: Mutex::new(0),
             freed: Condvar::new(),
-            agg: Mutex::new(SearchStats::default()),
+            front_agg: Mutex::new(SearchStats::default()),
+            worker_aggs: (0..workers.max(1))
+                .map(|_| CacheAligned(Mutex::new(SearchStats::default())))
+                .collect(),
         }
     }
 
-    /// Folds an update into the aggregate counters.
+    /// Folds an update into the front-path (rejection) counters.
     fn note(&self, f: impl FnOnce(&mut SearchStats)) {
-        f(&mut lock_unpoisoned(&self.agg));
+        f(&mut lock_unpoisoned(&self.front_agg));
+    }
+
+    /// Folds an update into `worker`'s private accumulator — each pool
+    /// thread has its own, so this lock is never contended.
+    fn note_worker(&self, worker: usize, f: impl FnOnce(&mut SearchStats)) {
+        f(&mut lock_unpoisoned(&self.worker_aggs[worker].0));
+    }
+
+    /// Sums the front-path counters and every worker accumulator into
+    /// one lifetime snapshot.
+    fn aggregate(&self) -> SearchStats {
+        let mut out = *lock_unpoisoned(&self.front_agg);
+        for slot in &self.worker_aggs {
+            out.accumulate(&lock_unpoisoned(&slot.0));
+        }
+        out
     }
 
     /// Takes one unit of queue capacity, or reports why it cannot.
@@ -637,12 +668,13 @@ struct BatchJob<B: ServeBackend> {
 }
 
 impl<B: ServeBackend> BatchJob<B> {
-    fn serve_one(&self, req: &Request, scratch: &mut B::Scratch) {
+    fn serve_one(&self, worker: usize, req: &Request, scratch: &mut B::Scratch) {
         let ctl = QueryCtl::new(req.deadline, Some(&req.slot.cancelled));
         // Dead on arrival (expired or cancelled while queued): skip the
         // query entirely — zero stats, zero CPU.
         if let Some(reason) = ctl.interrupted() {
             self.finish_interrupted(
+                worker,
                 req,
                 Interrupted {
                     reason,
@@ -659,10 +691,11 @@ impl<B: ServeBackend> BatchJob<B> {
         }));
         match outcome {
             Ok(Ok(result)) => {
-                self.shared.note(|agg| agg.accumulate(&result.stats));
+                self.shared
+                    .note_worker(worker, |agg| agg.accumulate(&result.stats));
                 req.slot.put(Ok(result));
             }
-            Ok(Err(interrupted)) => self.finish_interrupted(req, interrupted),
+            Ok(Err(interrupted)) => self.finish_interrupted(worker, req, interrupted),
             Err(payload) => {
                 // The panicked query may have left scratch invariants
                 // violated mid-update; rebuild before the next request.
@@ -676,9 +709,9 @@ impl<B: ServeBackend> BatchJob<B> {
     }
 
     /// Completes an interrupted request, folding its partial work and
-    /// its rejection count into the aggregate.
-    fn finish_interrupted(&self, req: &Request, interrupted: Interrupted) {
-        self.shared.note(|agg| {
+    /// its rejection count into the executing worker's accumulator.
+    fn finish_interrupted(&self, worker: usize, req: &Request, interrupted: Interrupted) {
+        self.shared.note_worker(worker, |agg| {
             agg.accumulate(&interrupted.stats);
             match interrupted.reason {
                 InterruptReason::Expired => agg.expired += 1,
@@ -694,7 +727,7 @@ impl<B: ServeBackend> BatchJob<B> {
 }
 
 impl<B: ServeBackend> PoolJob<B::Scratch> for BatchJob<B> {
-    fn run(&self, scratch: &mut B::Scratch) {
+    fn run(&self, worker: usize, scratch: &mut B::Scratch) {
         loop {
             let start = self.next.fetch_add(TASK_QUERIES, Ordering::Relaxed);
             if start >= self.requests.len() {
@@ -702,7 +735,7 @@ impl<B: ServeBackend> PoolJob<B::Scratch> for BatchJob<B> {
             }
             let end = (start + TASK_QUERIES).min(self.requests.len());
             for req in &self.requests[start..end] {
-                self.serve_one(req, scratch);
+                self.serve_one(worker, req, scratch);
             }
         }
     }
@@ -750,7 +783,10 @@ impl<B: ServeBackend> ServeFront<B> {
             max_batch: config.max_batch.max(1),
             ..config
         };
-        let shared = Arc::new(FrontShared::new(config.queue_capacity));
+        let shared = Arc::new(FrontShared::new(
+            config.queue_capacity,
+            config.effective_workers(),
+        ));
         let pool = WorkerPool::new(
             config.effective_workers(),
             "les3-serve",
@@ -783,9 +819,11 @@ impl<B: ServeBackend> ServeFront<B> {
     /// Lifetime aggregate counters: per-query work summed over every
     /// executed request (interrupted ones contribute their partial
     /// work), plus `shed` (overload rejections), `expired` (deadline
-    /// misses) and `cancelled` (dropped/cancelled tickets).
+    /// misses) and `cancelled` (dropped/cancelled tickets). Summed on
+    /// demand from per-worker accumulators — completing a request only
+    /// ever touches its own worker's slot, not a global lock.
     pub fn stats(&self) -> SearchStats {
-        *lock_unpoisoned(&self.shared.agg)
+        self.shared.aggregate()
     }
 
     /// Accepted-but-unfinished requests right now — never exceeds
@@ -1008,6 +1046,25 @@ mod tests {
             assert_eq!(front.knn(&q, 5).unwrap(), index.knn(&q, 5));
             assert_eq!(front.range(&q, 0.4).unwrap(), index.range(&q, 0.4));
         }
+    }
+
+    /// Work counters must survive the per-worker split: stats recorded
+    /// by different pool threads sum to exactly the direct-call totals.
+    #[test]
+    fn stats_aggregate_across_workers() {
+        let (front, index) = front_and_index();
+        let mut expected = SearchStats::default();
+        let tickets: Vec<Ticket> = (0..40u32)
+            .map(|qid| {
+                let q = index.db().set(qid * 3).to_vec();
+                expected.accumulate(&index.knn(&q, 4).stats);
+                front.submit_knn(q, 4)
+            })
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        assert_eq!(front.stats(), expected);
     }
 
     #[test]

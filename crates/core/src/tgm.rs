@@ -60,6 +60,12 @@ impl Tgm {
         self.n_groups
     }
 
+    /// The raw token columns (persistence reads them out one at a time
+    /// so saving streams instead of materializing a second copy).
+    pub(crate) fn columns(&self) -> &[Bitmap] {
+        &self.token_groups
+    }
+
     /// Number of token columns currently allocated.
     pub fn n_tokens(&self) -> usize {
         self.token_groups.len()

@@ -1,0 +1,258 @@
+//! Property tests for the durable index: build → interleaved
+//! insert/delete → checkpoint (folding part of the history into the
+//! segment) → more mutations (left in the WAL tail) → reopen, and the
+//! reopened index must be indistinguishable — hits *and*
+//! [`SearchStats`](les3_core::SearchStats), raw and tombstone-filtered —
+//! from the live index that never touched the disk. Both backends, all
+//! four similarity measures. Plus: random corruption of the segment
+//! bytes must surface as a descriptive error, never a panic.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use les3_core::persist::{save_index, DurableIndex, PersistentBackend};
+use les3_core::{
+    Cosine, DeletionLog, Dice, Jaccard, Les3Index, OverlapCoefficient, Partitioning, SearchResult,
+    ShardPolicy, ShardedLes3Index, Similarity,
+};
+use les3_data::SetDatabase;
+use proptest::prelude::*;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "les3-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The query surface shared by both backends, for generic round-trip
+/// checks ([`PersistentBackend`] deliberately has no query methods).
+trait TestBackend: PersistentBackend {
+    fn knn_q(&self, q: &[u32], k: usize) -> SearchResult;
+    fn range_q(&self, q: &[u32], delta: f64) -> SearchResult;
+    fn build_log(&self) -> DeletionLog;
+}
+
+impl<S: Similarity> TestBackend for Les3Index<S> {
+    fn knn_q(&self, q: &[u32], k: usize) -> SearchResult {
+        self.knn(q, k)
+    }
+    fn range_q(&self, q: &[u32], delta: f64) -> SearchResult {
+        self.range(q, delta)
+    }
+    fn build_log(&self) -> DeletionLog {
+        DeletionLog::build(self)
+    }
+}
+
+impl<S: Similarity> TestBackend for ShardedLes3Index<S> {
+    fn knn_q(&self, q: &[u32], k: usize) -> SearchResult {
+        self.knn(q, k)
+    }
+    fn range_q(&self, q: &[u32], delta: f64) -> SearchResult {
+        self.range(q, delta)
+    }
+    fn build_log(&self) -> DeletionLog {
+        DeletionLog::build_sharded(self)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<u32>),
+    Delete(u32),
+}
+
+fn db_strategy() -> impl Strategy<Value = SetDatabase> {
+    prop::collection::vec(prop::collection::btree_set(0u32..80, 1..20), 2..40).prop_map(|sets| {
+        SetDatabase::from_sets(sets.into_iter().map(|s| s.into_iter().collect::<Vec<_>>()))
+    })
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            prop::collection::btree_set(0u32..110, 1..15)
+                .prop_map(|s| Op::Insert(s.into_iter().collect())),
+            (0u32..1000).prop_map(Op::Delete),
+        ],
+        0..12,
+    )
+}
+
+/// Applies `ops` to a live backend + log and to a [`DurableIndex`] over
+/// an identical copy, checkpointing halfway, then reopens from disk and
+/// demands bit-for-bit equality on structure and on every query.
+fn check_roundtrip<B: TestBackend>(
+    mut live: B,
+    copy: B,
+    ops: &[Op],
+    queries: &[Vec<u32>],
+    k: usize,
+    delta: f64,
+    tag: &str,
+) {
+    let dir = fresh_dir(tag);
+    let mut live_log = live.build_log();
+    let mut durable = DurableIndex::create(&dir, copy).unwrap();
+    let halfway = ops.len() / 2;
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Insert(tokens) => {
+                let (live_id, live_g) = live.insert_set(&mut tokens.clone());
+                B::note_insert(&mut live_log, &live, live_id);
+                let placed = durable.insert(&mut tokens.clone()).unwrap();
+                assert_eq!(placed, (live_id, live_g), "insert placement diverged");
+            }
+            Op::Delete(pick) => {
+                let id = pick % live.db().len() as u32;
+                let live_ok = B::delete_set(&mut live_log, &mut live, id);
+                assert_eq!(durable.delete(id).unwrap(), live_ok, "delete diverged");
+            }
+        }
+        if i + 1 == halfway {
+            // Fold the first half into a fresh segment; the second half
+            // stays in the WAL and must replay on open.
+            durable.checkpoint().unwrap();
+        }
+    }
+    let expected_epoch = durable.epoch();
+    let sim = live.sim();
+    drop(durable);
+
+    let reopened = DurableIndex::<B>::open(&dir, sim).unwrap();
+    assert_eq!(reopened.epoch(), expected_epoch);
+    assert_eq!(reopened.backend().db(), live.db(), "database diverged");
+    assert_eq!(
+        reopened.log().deleted_ids(),
+        live_log.deleted_ids(),
+        "tombstones diverged"
+    );
+    for q in queries {
+        let mut a = reopened.backend().knn_q(q, k);
+        let mut b = live.knn_q(q, k);
+        assert_eq!(a.hits, b.hits, "kNN hits diverged after reload");
+        assert_eq!(a.stats, b.stats, "kNN stats diverged after reload");
+        reopened.log().filter_hits(&mut a.hits);
+        live_log.filter_hits(&mut b.hits);
+        assert_eq!(a.hits, b.hits, "filtered kNN diverged after reload");
+        let mut a = reopened.backend().range_q(q, delta);
+        let mut b = live.range_q(q, delta);
+        assert_eq!(a.hits, b.hits, "range hits diverged after reload");
+        assert_eq!(a.stats, b.stats, "range stats diverged after reload");
+        reopened.log().filter_hits(&mut a.hits);
+        live_log.filter_hits(&mut b.hits);
+        assert_eq!(a.hits, b.hits, "filtered range diverged after reload");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_measure<S: Similarity>(
+    db: &SetDatabase,
+    part: &Partitioning,
+    sim: S,
+    n_shards: usize,
+    ops: &[Op],
+    queries: &[Vec<u32>],
+    k: usize,
+    delta: f64,
+) {
+    check_roundtrip(
+        Les3Index::build(db.clone(), part.clone(), sim),
+        Les3Index::build(db.clone(), part.clone(), sim),
+        ops,
+        queries,
+        k,
+        delta,
+        "rt-flat",
+    );
+    let build = || {
+        ShardedLes3Index::build(
+            db.clone(),
+            part.clone(),
+            sim,
+            n_shards,
+            ShardPolicy::Contiguous,
+        )
+    };
+    check_roundtrip(build(), build(), ops, queries, k, delta, "rt-shard");
+}
+
+fn pseudo_partitioning(n_sets: usize, n_groups: usize, seed: u64) -> Partitioning {
+    let assignment: Vec<u32> = (0..n_sets)
+        .map(|i| {
+            let mut h = seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            h ^= h >> 33;
+            (h % n_groups as u64) as u32
+        })
+        .collect();
+    Partitioning::from_assignment(assignment, n_groups)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn reopened_index_is_bit_for_bit_the_live_one(
+        db in db_strategy(),
+        ops in ops_strategy(),
+        query in prop::collection::btree_set(0u32..110, 1..12),
+        k in 1usize..8,
+        delta in 0.05f64..1.0,
+        n_groups in 1usize..8,
+        n_shards in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let part = pseudo_partitioning(db.len(), n_groups, seed);
+        let mut queries: Vec<Vec<u32>> = vec![query.into_iter().collect()];
+        queries.push(db.set(0).to_vec());
+        queries.push(db.set((db.len() / 2) as u32).to_vec());
+        check_measure(&db, &part, Jaccard, n_shards, &ops, &queries, k, delta);
+        check_measure(&db, &part, Dice, n_shards, &ops, &queries, k, delta);
+        check_measure(&db, &part, Cosine, n_shards, &ops, &queries, k, delta);
+        check_measure(&db, &part, OverlapCoefficient, n_shards, &ops, &queries, k, delta);
+    }
+
+    #[test]
+    fn corrupted_segments_error_and_never_panic(
+        db in db_strategy(),
+        n_groups in 1usize..6,
+        seed in 0u64..500,
+        flips in prop::collection::vec((any::<u16>(), 1u8..=255), 1..12),
+        truncate_to in any::<u16>(),
+    ) {
+        let part = pseudo_partitioning(db.len(), n_groups, seed);
+        let index = Les3Index::build(db.clone(), part, Jaccard);
+        let dir = fresh_dir("rt-corrupt");
+        save_index(&index, &[], &dir).unwrap();
+        let segment = dir.join("segment");
+        let good = std::fs::read(&segment).unwrap();
+
+        // Random byte flips: open must reject the file with a real error.
+        let mut bad = good.clone();
+        for &(pos, mask) in &flips {
+            let p = pos as usize % bad.len();
+            bad[p] ^= mask;
+        }
+        if bad != good {
+            std::fs::write(&segment, &bad).unwrap();
+            let err = DurableIndex::<Les3Index<Jaccard>>::open(&dir, Jaccard)
+                .err()
+                .expect("corrupt segment must not open");
+            prop_assert!(!err.to_string().is_empty());
+        }
+
+        // Truncation: the END block is gone, so open must reject too.
+        let cut = (truncate_to as usize) % good.len();
+        std::fs::write(&segment, &good[..cut]).unwrap();
+        prop_assert!(DurableIndex::<Les3Index<Jaccard>>::open(&dir, Jaccard).is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -13,21 +13,30 @@
 //! of the flat one; the wire behavior is identical — the sharded engine
 //! is bit-for-bit equivalent.
 //!
+//! Persistence (`docs/PERSISTENCE.md`): `--save-index DIR` writes a
+//! durable checkpoint at startup and enables `POST /snapshot` to rewrite
+//! it on demand without pausing queries; `--load-index DIR` skips the
+//! build entirely and serves the checkpointed index (flat or sharded is
+//! read from the segment itself).
+//!
 //! With `--port 0` the OS picks an ephemeral port; the chosen address is
 //! printed as `listening on http://…` (CI's smoke test parses that
 //! line). See `docs/PROTOCOL.md` for the wire protocol.
 
+use std::path::Path;
 use std::process::exit;
 use std::sync::Arc;
 use std::time::Duration;
 
+use les3_core::persist::{read_meta, save_index};
 use les3_core::sim::Jaccard;
 use les3_core::{
-    Les3Index, Partitioning, ServeBackend, ServeConfig, ServeFront, ShardPolicy, ShardedLes3Index,
+    DurableIndex, Les3Index, Partitioning, PersistentBackend, ServeBackend, ServeConfig,
+    ServeFront, ShardPolicy, ShardedLes3Index,
 };
 use les3_data::zipfian::ZipfianGenerator;
 use les3_data::SetDatabase;
-use les3_net::{HttpServer, NetConfig};
+use les3_net::{HttpServer, NetConfig, SnapshotError, SnapshotFn};
 
 const USAGE: &str = "\
 les3-serve — serve a LES3 index over HTTP
@@ -58,6 +67,12 @@ Dataset (synthetic unless --load):
     --seed N               generator seed      [default: 42]
     --load FILE            read sets from FILE (one per line, integer token ids)
 
+Persistence (docs/PERSISTENCE.md):
+    --save-index DIR       checkpoint the index to DIR at startup and let
+                           POST /snapshot rewrite it while serving
+    --load-index DIR       serve the index checkpointed in DIR instead of
+                           building one (replaces --load/--sets/--shards/--groups)
+
     -h, --help             print this help
 ";
 
@@ -77,6 +92,8 @@ struct Args {
     alpha: f64,
     seed: u64,
     load: Option<String>,
+    save_index: Option<String>,
+    load_index: Option<String>,
 }
 
 impl Default for Args {
@@ -97,6 +114,8 @@ impl Default for Args {
             alpha: 1.1,
             seed: 42,
             load: None,
+            save_index: None,
+            load_index: None,
         }
     }
 }
@@ -141,6 +160,8 @@ fn parse_args() -> Args {
             "--alpha" => args.alpha = parse(value(&mut it, "--alpha"), "--alpha"),
             "--seed" => args.seed = parse(value(&mut it, "--seed"), "--seed"),
             "--load" => args.load = Some(value(&mut it, "--load")),
+            "--save-index" => args.save_index = Some(value(&mut it, "--save-index")),
+            "--load-index" => args.load_index = Some(value(&mut it, "--load-index")),
             "-h" | "--help" => {
                 print!("{USAGE}");
                 exit(0)
@@ -151,45 +172,152 @@ fn parse_args() -> Args {
     args
 }
 
+/// Longest accepted dataset line: a 1 MiB line is ~130 k tokens, far
+/// past any plausible set, and almost certainly a binary or wrongly
+/// concatenated file — reject it with the line number instead of
+/// grinding through it.
+const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Parses the `--load` text format (one set per line, whitespace-
+/// separated integer token ids; blank lines and `#` comments skipped)
+/// into a database, or a one-line description of exactly what is wrong
+/// and where.
+fn parse_database(text: &str) -> Result<SetDatabase, String> {
+    let mut sets: Vec<Vec<u32>> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.len() > MAX_LINE_BYTES {
+            return Err(format!(
+                "line {}: {} bytes on one line (limit {MAX_LINE_BYTES}); is this really \
+                 a one-set-per-line text file?",
+                idx + 1,
+                line.len()
+            ));
+        }
+        let mut set = Vec::new();
+        for tok in line.split_whitespace() {
+            let id: u32 = tok
+                .parse()
+                .map_err(|_| format!("line {}: bad token id {tok:?}", idx + 1))?;
+            set.push(id);
+        }
+        sets.push(set);
+    }
+    if sets.is_empty() {
+        return Err("no sets (every line is blank or a comment)".to_string());
+    }
+    Ok(SetDatabase::from_sets(sets))
+}
+
 fn load_database(path: &str) -> SetDatabase {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| die(&format!("cannot read {path:?}: {e}")));
-    let sets: Vec<Vec<u32>> = text
-        .lines()
-        .map(str::trim)
-        .filter(|line| !line.is_empty() && !line.starts_with('#'))
-        .map(|line| {
-            line.split_whitespace()
-                .map(|tok| {
-                    tok.parse()
-                        .unwrap_or_else(|_| die(&format!("bad token id {tok:?} in {path:?}")))
-                })
-                .collect()
-        })
-        .collect();
-    if sets.is_empty() {
-        die(&format!("{path:?} contains no sets"));
-    }
-    SetDatabase::from_sets(sets)
+    parse_database(&text).unwrap_or_else(|e| die(&format!("{path:?}: {e}")))
 }
 
 /// Binds the HTTP server over `front` and blocks forever.
-fn run<B: ServeBackend>(front: ServeFront<B>, args: &Args) -> ! {
+fn run<B: ServeBackend>(front: ServeFront<B>, args: &Args, snapshot: Option<SnapshotFn>) -> ! {
     let net = NetConfig {
         conn_workers: args.conn_workers.max(1),
         ..NetConfig::default()
     };
-    let server = HttpServer::bind(Arc::new(front), (args.host.as_str(), args.port), net)
-        .unwrap_or_else(|e| die(&format!("cannot bind {}:{}: {e}", args.host, args.port)));
+    let snapshot_enabled = snapshot.is_some();
+    let server = HttpServer::bind_with_snapshot(
+        Arc::new(front),
+        (args.host.as_str(), args.port),
+        net,
+        snapshot,
+    )
+    .unwrap_or_else(|e| die(&format!("cannot bind {}:{}: {e}", args.host, args.port)));
     println!("listening on http://{}", server.local_addr());
-    println!("endpoints: POST /knn, POST /range, GET /stats, GET /healthz (docs/PROTOCOL.md)");
+    let snap = if snapshot_enabled {
+        ", POST /snapshot"
+    } else {
+        ""
+    };
+    println!(
+        "endpoints: POST /knn, POST /range{snap}, GET /stats, GET /healthz (docs/PROTOCOL.md)"
+    );
     loop {
         std::thread::park();
     }
 }
 
+/// Wraps `backend` in a serving front, wiring `POST /snapshot` to
+/// re-checkpoint it into `--save-index`'s directory, and serves forever.
+/// The initial checkpoint (for a freshly built index) happens here too,
+/// so the directory is durable before the first query is accepted.
+fn serve_index<B>(backend: B, tombstones: Vec<u32>, config: ServeConfig, args: &Args) -> !
+where
+    B: ServeBackend + PersistentBackend,
+{
+    let backend = Arc::new(backend);
+    if let Some(dir) = &args.save_index {
+        // A fresh startup checkpoint — unless we are serving straight
+        // out of this very directory, which is already durable.
+        if args.load_index.as_deref() != Some(dir.as_str()) {
+            save_index(&*backend, &tombstones, Path::new(dir))
+                .unwrap_or_else(|e| die(&format!("cannot save index to {dir:?}: {e}")));
+            println!("saved index to {dir:?}");
+        }
+    }
+    let snapshot: Option<SnapshotFn> = args.save_index.clone().map(|dir| {
+        let backend = Arc::clone(&backend);
+        Box::new(move || {
+            save_index(&*backend, &tombstones, Path::new(&dir))
+                .map(|()| dir.clone())
+                .map_err(|e| SnapshotError::Failed(e.to_string()))
+        }) as SnapshotFn
+    });
+    run(ServeFront::from_arc(backend, config), args, snapshot)
+}
+
 fn main() {
     let args = parse_args();
+    let config = ServeConfig {
+        max_batch: args.max_batch.max(1),
+        max_wait: Duration::from_millis(args.max_wait_ms),
+        workers: args.workers,
+        queue_capacity: if args.queue_capacity == 0 {
+            usize::MAX
+        } else {
+            args.queue_capacity
+        },
+    };
+
+    if let Some(dir) = args.load_index.clone() {
+        // Serve a checkpointed index; the segment itself says whether it
+        // is flat or sharded, and the tombstones come with it.
+        if args.load.is_some() {
+            die("--load-index and --load are mutually exclusive");
+        }
+        let dir_path = Path::new(&dir);
+        let meta = read_meta(dir_path)
+            .unwrap_or_else(|e| die(&format!("cannot load index from {dir:?}: {e}")));
+        println!(
+            "loading {dir:?}: epoch {}, {} sets, {} groups, {} shard(s), sim {:?}",
+            meta.epoch,
+            meta.n_sets,
+            meta.n_groups,
+            meta.n_shards.max(1),
+            meta.sim_name,
+        );
+        if meta.n_shards > 0 {
+            let durable = DurableIndex::<ShardedLes3Index<Jaccard>>::open(dir_path, Jaccard)
+                .unwrap_or_else(|e| die(&format!("cannot load index from {dir:?}: {e}")));
+            let (backend, log) = durable.into_backend();
+            serve_index(backend, log.deleted_ids(), config, &args)
+        } else {
+            let durable = DurableIndex::<Les3Index<Jaccard>>::open(dir_path, Jaccard)
+                .unwrap_or_else(|e| die(&format!("cannot load index from {dir:?}: {e}")));
+            let (backend, log) = durable.into_backend();
+            serve_index(backend, log.deleted_ids(), config, &args)
+        }
+    }
+
     let db = match &args.load {
         Some(path) => {
             let db = load_database(path);
@@ -209,16 +337,6 @@ fn main() {
         .unwrap_or_else(|| (n_sets / 80).max(16))
         .clamp(1, n_sets.max(1));
     let partitioning = Partitioning::round_robin(n_sets, n_groups);
-    let config = ServeConfig {
-        max_batch: args.max_batch.max(1),
-        max_wait: Duration::from_millis(args.max_wait_ms),
-        workers: args.workers,
-        queue_capacity: if args.queue_capacity == 0 {
-            usize::MAX
-        } else {
-            args.queue_capacity
-        },
-    };
     println!(
         "index: {} groups, {} shard(s); front: max_batch={} max_wait={}ms workers={} queue_capacity={}",
         n_groups,
@@ -236,9 +354,51 @@ fn main() {
             args.shards,
             ShardPolicy::Contiguous,
         );
-        run(ServeFront::new(index, config), &args)
+        serve_index(index, Vec::new(), config, &args)
     } else {
         let index = Les3Index::build(db, partitioning, Jaccard);
-        run(ServeFront::new(index, config), &args)
+        serve_index(index, Vec::new(), config, &args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_database_accepts_comments_and_blank_lines() {
+        let db = parse_database("# header\n\n0 1 2\n  3 4  \n# trailer\n").unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.set(0), &[0, 1, 2]);
+        assert_eq!(db.set(1), &[3, 4]);
+    }
+
+    #[test]
+    fn parse_database_reports_the_offending_line() {
+        let err = parse_database("0 1\n2 x 3\n4\n").unwrap_err();
+        assert!(err.contains("line 2"), "error must locate the line: {err}");
+        assert!(err.contains("\"x\""), "error must quote the token: {err}");
+        // A negative id is not a u32 either.
+        let err = parse_database("0\n\n\n7 -3\n").unwrap_err();
+        assert!(
+            err.contains("line 4"),
+            "line numbers count raw lines: {err}"
+        );
+    }
+
+    #[test]
+    fn parse_database_rejects_empty_input() {
+        for text in ["", "\n\n", "# only comments\n#\n"] {
+            let err = parse_database(text).unwrap_err();
+            assert!(err.contains("no sets"), "got: {err}");
+        }
+    }
+
+    #[test]
+    fn parse_database_rejects_absurd_lines() {
+        let huge = "7 ".repeat(MAX_LINE_BYTES / 2 + 1);
+        let err = parse_database(&huge).unwrap_err();
+        assert!(err.contains("line 1"), "got: {err}");
+        assert!(err.contains("limit"), "got: {err}");
     }
 }

@@ -45,4 +45,4 @@ pub mod json;
 pub mod server;
 pub mod wire;
 
-pub use server::{HttpServer, NetConfig};
+pub use server::{HttpServer, NetConfig, SnapshotError, SnapshotFn};

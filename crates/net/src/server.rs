@@ -36,6 +36,14 @@
 //! | schema violation | `400` |
 //! | unknown path / wrong method | `404` / `405` |
 //!
+//! Servers started with [`HttpServer::bind_with_snapshot`] additionally
+//! answer `POST /snapshot`, mirroring the overload mapping:
+//! [`SnapshotError::Busy`] → `503` + `Retry-After` (a snapshot is
+//! already being written), [`SnapshotError::Failed`] → `500` with the
+//! I/O error text. The snapshot callback runs on the connection worker
+//! thread and reads the index through its shared reference, so queries
+//! keep serving while the segment is written.
+//!
 //! The full operator-facing reference, with `curl` examples, lives in
 //! `docs/PROTOCOL.md`.
 
@@ -94,6 +102,55 @@ impl Default for NetConfig {
     }
 }
 
+/// Why a `POST /snapshot` request could not produce a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Another snapshot is still being written; the client should retry
+    /// after a backoff (mapped to `503` + `Retry-After`, like
+    /// [`ServeError::Overloaded`] on the query path).
+    Busy,
+    /// The snapshot was attempted and failed — the message carries the
+    /// underlying persistence error (mapped to `500`).
+    Failed(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Busy => write!(f, "a snapshot is already in progress"),
+            SnapshotError::Failed(msg) => write!(f, "snapshot failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// The callback behind `POST /snapshot`: writes a durable snapshot and
+/// returns the path it landed at. It runs on a connection worker thread
+/// while query traffic continues; implementations only need shared
+/// access to the index (e.g. `les3_core::persist::save_index` over an
+/// `Arc`'d backend).
+pub type SnapshotFn = Box<dyn Fn() -> Result<String, SnapshotError> + Send + Sync>;
+
+/// The snapshot callback plus its single-writer guard: concurrent
+/// `POST /snapshot` requests must not race two writers over the same
+/// `segment.tmp`, so only one runs and the rest get [`SnapshotError::Busy`].
+struct SnapshotHook {
+    busy: AtomicBool,
+    run: SnapshotFn,
+}
+
+impl SnapshotHook {
+    fn snapshot(&self) -> Result<String, SnapshotError> {
+        if self.busy.swap(true, Ordering::AcqRel) {
+            return Err(SnapshotError::Busy);
+        }
+        let result = (self.run)();
+        self.busy.store(false, Ordering::Release);
+        result
+    }
+}
+
 /// Read-timeout slice for connection sockets: how often a blocked read
 /// wakes to check the shutdown flag.
 const READ_POLL: Duration = Duration::from_millis(250);
@@ -136,6 +193,26 @@ impl HttpServer {
         addr: A,
         config: NetConfig,
     ) -> std::io::Result<HttpServer> {
+        Self::bind_with_snapshot(front, addr, config, None)
+    }
+
+    /// Like [`HttpServer::bind`], but also enables `POST /snapshot`:
+    /// each request invokes `snapshot` (at most one at a time — a second
+    /// concurrent request is answered `503` without running it) and maps
+    /// its outcome to HTTP per the module table. Pass `None` to serve
+    /// without a snapshot endpoint (`POST /snapshot` then answers `404`).
+    pub fn bind_with_snapshot<B: ServeBackend, A: ToSocketAddrs>(
+        front: Arc<ServeFront<B>>,
+        addr: A,
+        config: NetConfig,
+        snapshot: Option<SnapshotFn>,
+    ) -> std::io::Result<HttpServer> {
+        let snapshot = snapshot.map(|run| {
+            Arc::new(SnapshotHook {
+                busy: AtomicBool::new(false),
+                run,
+            })
+        });
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -146,9 +223,12 @@ impl HttpServer {
             let rx = Arc::clone(&rx);
             let front = Arc::clone(&front);
             let shutdown = Arc::clone(&shutdown);
+            let snapshot = snapshot.clone();
             let worker = std::thread::Builder::new()
                 .name(format!("les3-net-conn-{i}"))
-                .spawn(move || connection_worker(&rx, &front, &shutdown, config))
+                .spawn(move || {
+                    connection_worker(&rx, &front, &shutdown, config, snapshot.as_deref())
+                })
                 .expect("spawn connection worker");
             workers.push(worker);
         }
@@ -221,6 +301,7 @@ fn connection_worker<B: ServeBackend>(
     front: &ServeFront<B>,
     shutdown: &AtomicBool,
     config: NetConfig,
+    snapshot: Option<&SnapshotHook>,
 ) {
     loop {
         // Take the lock only to receive: handling must not serialize.
@@ -229,7 +310,7 @@ fn connection_worker<B: ServeBackend>(
             guard.recv()
         };
         match stream {
-            Ok(stream) => handle_connection(stream, front, shutdown, config),
+            Ok(stream) => handle_connection(stream, front, shutdown, config, snapshot),
             Err(_) => return, // accept thread gone: shutting down
         }
     }
@@ -252,6 +333,7 @@ fn handle_connection<B: ServeBackend>(
     front: &ServeFront<B>,
     shutdown: &AtomicBool,
     config: NetConfig,
+    snapshot: Option<&SnapshotHook>,
 ) {
     if stream.set_read_timeout(Some(READ_POLL)).is_err() {
         return;
@@ -269,7 +351,15 @@ fn handle_connection<B: ServeBackend>(
             }
             ReadOutcome::Request(head, body) => {
                 let keep_alive = head.keep_alive() && !shutdown.load(Ordering::Acquire);
-                if !respond(&mut stream, front, &head, &body, keep_alive, config) {
+                if !respond(
+                    &mut stream,
+                    front,
+                    &head,
+                    &body,
+                    keep_alive,
+                    config,
+                    snapshot,
+                ) {
                     return;
                 }
                 if !keep_alive {
@@ -363,6 +453,7 @@ fn is_timeout(e: &std::io::Error) -> bool {
 
 /// Routes one request and writes its response. Returns `false` when the
 /// connection must close (write failure or client gone).
+#[allow(clippy::too_many_arguments)]
 fn respond<B: ServeBackend>(
     stream: &mut TcpStream,
     front: &ServeFront<B>,
@@ -370,6 +461,7 @@ fn respond<B: ServeBackend>(
     body: &[u8],
     keep_alive: bool,
     config: NetConfig,
+    snapshot: Option<&SnapshotHook>,
 ) -> bool {
     let (status, response_body, extra): (u16, String, Vec<(&str, String)>) =
         match (head.method.as_str(), head.path.as_str()) {
@@ -401,12 +493,50 @@ fn respond<B: ServeBackend>(
                     vec![],
                 ),
             },
+            ("POST", "/snapshot") => match snapshot {
+                None => (
+                    404,
+                    wire::encode_error(
+                        "not_found",
+                        "snapshotting is not enabled (start les3-serve with --save-index)",
+                        None,
+                    )
+                    .to_string(),
+                    vec![],
+                ),
+                Some(hook) => match hook.snapshot() {
+                    Ok(path) => (
+                        200,
+                        Json::Obj(vec![
+                            ("ok".into(), true.into()),
+                            ("path".into(), path.as_str().into()),
+                        ])
+                        .to_string(),
+                        vec![],
+                    ),
+                    Err(SnapshotError::Busy) => (
+                        503,
+                        wire::encode_error(
+                            "snapshot_busy",
+                            "a snapshot is already being written; retry after a backoff",
+                            None,
+                        )
+                        .to_string(),
+                        vec![("Retry-After", retry_after_secs(config).to_string())],
+                    ),
+                    Err(SnapshotError::Failed(msg)) => (
+                        500,
+                        wire::encode_error("snapshot_failed", &msg, None).to_string(),
+                        vec![],
+                    ),
+                },
+            },
             (_, "/healthz" | "/stats") => (
                 405,
                 wire::encode_error("method_not_allowed", "use GET", None).to_string(),
                 vec![("Allow", "GET".to_string())],
             ),
-            (_, "/knn" | "/range") => (
+            (_, "/knn" | "/range" | "/snapshot") => (
                 405,
                 wire::encode_error("method_not_allowed", "use POST", None).to_string(),
                 vec![("Allow", "POST".to_string())],
@@ -415,7 +545,7 @@ fn respond<B: ServeBackend>(
                 404,
                 wire::encode_error(
                     "not_found",
-                    "unknown path (expected /knn, /range, /stats or /healthz)",
+                    "unknown path (expected /knn, /range, /snapshot, /stats or /healthz)",
                     None,
                 )
                 .to_string(),

@@ -539,3 +539,113 @@ fn timeout_far_in_the_future_serves_normally() {
     assert_eq!(served, reference.knn(db.set(6), 5));
     server.shutdown();
 }
+
+// ------------------------------------------------------------- snapshots
+
+#[test]
+fn snapshot_endpoint_writes_a_reloadable_index() {
+    use les3_core::persist::{save_index, DurableIndex};
+
+    let dir = std::env::temp_dir().join(format!("les3-snap-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let index = Arc::new(flat_index(9));
+    let front = Arc::new(ServeFront::from_arc(Arc::clone(&index), fast_config()));
+    let snap_index = Arc::clone(&index);
+    let snap_dir = dir.clone();
+    let hook: les3_net::SnapshotFn = Box::new(move || {
+        save_index(&*snap_index, &[], &snap_dir)
+            .map(|()| snap_dir.display().to_string())
+            .map_err(|e| les3_net::SnapshotError::Failed(e.to_string()))
+    });
+    let server =
+        HttpServer::bind_with_snapshot(front, "127.0.0.1:0", NetConfig::default(), Some(hook))
+            .expect("bind");
+    let mut client = Client::connect(&server.local_addr().to_string());
+    let response = client.request("POST", "/snapshot", None);
+    assert_eq!(response.status, 200, "{}", response.body);
+    assert_eq!(
+        response.json().get("ok").and_then(Json::as_bool),
+        Some(true)
+    );
+
+    // What landed on disk is a complete durable index answering like the
+    // one being served.
+    let reopened = DurableIndex::<Les3Index<Jaccard>>::open(&dir, Jaccard).expect("reopen");
+    let q = index.db().set(7).to_vec();
+    assert_eq!(reopened.backend().knn(&q, 5), index.knn(&q, 5));
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_in_flight_returns_busy_but_queries_keep_serving() {
+    use std::sync::mpsc;
+
+    let index = Arc::new(flat_index(13));
+    let front = Arc::new(ServeFront::from_arc(Arc::clone(&index), fast_config()));
+    let (entered_tx, entered_rx) = mpsc::channel::<()>();
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    let release_rx = std::sync::Mutex::new(release_rx);
+    let hook: les3_net::SnapshotFn = Box::new(move || {
+        entered_tx.send(()).ok();
+        release_rx.lock().unwrap().recv().ok();
+        Ok("held".to_string())
+    });
+    let server =
+        HttpServer::bind_with_snapshot(front, "127.0.0.1:0", NetConfig::default(), Some(hook))
+            .expect("bind");
+    let addr = server.local_addr().to_string();
+
+    // Park a snapshot inside the hook...
+    let held_addr = addr.clone();
+    let held = std::thread::spawn(move || {
+        let mut client = Client::connect(&held_addr);
+        client.request("POST", "/snapshot", None).status
+    });
+    entered_rx
+        .recv()
+        .expect("the snapshot hook must be entered");
+
+    // ...queries still flow while it is being written...
+    let q = index.db().set(3).to_vec();
+    let mut query_client = Client::connect(&addr);
+    let response = query_client.knn(&q, 4);
+    assert_eq!(response.status, 200, "{}", response.body);
+    assert_eq!(
+        wire::decode_result(&response.json()).unwrap(),
+        index.knn(&q, 4)
+    );
+
+    // ...and a concurrent second snapshot is refused, with a backoff.
+    let mut busy_client = Client::connect(&addr);
+    let busy = busy_client.request("POST", "/snapshot", None);
+    assert_eq!(busy.status, 503, "{}", busy.body);
+    assert!(busy.header("retry-after").is_some());
+
+    release_tx.send(()).unwrap();
+    assert_eq!(held.join().unwrap(), 200);
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_failure_and_absence_map_to_500_404_405() {
+    let front = Arc::new(ServeFront::new(flat_index(5), fast_config()));
+    let hook: les3_net::SnapshotFn =
+        Box::new(|| Err(les3_net::SnapshotError::Failed("disk on fire".to_string())));
+    let server =
+        HttpServer::bind_with_snapshot(front, "127.0.0.1:0", NetConfig::default(), Some(hook))
+            .expect("bind");
+    let mut client = Client::connect(&server.local_addr().to_string());
+    let response = client.request("POST", "/snapshot", None);
+    assert_eq!(response.status, 500, "{}", response.body);
+    assert!(response.body.contains("disk on fire"), "{}", response.body);
+    server.shutdown();
+
+    // A server without a snapshot hook: the path exists in the router
+    // (405 for the wrong method) but POST answers 404.
+    let (server, addr) = start_server(flat_index(5), fast_config());
+    let mut client = Client::connect(&addr);
+    assert_eq!(client.request("POST", "/snapshot", None).status, 404);
+    assert_eq!(client.request("GET", "/snapshot", None).status, 405);
+    server.shutdown();
+}

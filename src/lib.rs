@@ -65,8 +65,9 @@ pub use les3_storage as storage;
 pub mod prelude {
     pub use les3_baselines::{BruteForce, DualTrans, InvIdx, ScalarTrans, SetSimSearch};
     pub use les3_core::{
-        normalize_query, Cosine, DeletionLog, Dice, DiskLes3, HierarchicalPartitioning, Htgm,
-        InterruptReason, Interrupted, Jaccard, Les3Index, OnFull, OverlapCoefficient, Partitioning,
+        normalize_query, Cosine, DeletionLog, Dice, DiskLes3, DurableIndex, DurableOptions,
+        FsyncPolicy, HierarchicalPartitioning, Htgm, InterruptReason, Interrupted, Jaccard,
+        Les3Index, OnFull, OverlapCoefficient, Partitioning, PersistError, PersistentBackend,
         QueryCtl, QueryScratch, SearchResult, SearchStats, ServeBackend, ServeConfig, ServeError,
         ServeFront, ServeResult, ShardPolicy, ShardedLes3Index, ShardedScratch, Similarity,
         SubmitOpts, Tgm, Ticket, WorkerScratch,
@@ -74,7 +75,7 @@ pub mod prelude {
     pub use les3_data::realistic::DatasetSpec;
     pub use les3_data::zipfian::ZipfianGenerator;
     pub use les3_data::{DatasetStats, SetDatabase, SetId, TokenId};
-    pub use les3_net::{HttpServer, NetConfig};
+    pub use les3_net::{HttpServer, NetConfig, SnapshotError, SnapshotFn};
     pub use les3_partition::l2p::{L2p, L2pConfig, L2pResult};
     pub use les3_partition::rep::{Ptr, PtrHalf, RepMatrix, SetRepresentation};
     pub use les3_partition::{ParA, ParC, ParD, ParG};
