@@ -62,6 +62,9 @@ pub trait PersistIo: Send + Sync {
     fn create(&self, path: &Path) -> io::Result<Box<dyn WriteSync>>;
     /// Opens a file for appending, creating it if absent.
     fn open_append(&self, path: &Path) -> io::Result<Box<dyn WriteSync>>;
+    /// Truncates an existing file to `len` bytes and fsyncs it (open()
+    /// clips a torn WAL tail this way before appending again).
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
     /// Atomically renames `from` over `to`.
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
     /// Fsyncs a directory so a prior rename/create/unlink is durable.
@@ -83,6 +86,12 @@ impl PersistIo for RealIo {
         Ok(Box::new(
             OpenOptions::new().append(true).create(true).open(path)?,
         ))
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)?;
+        f.sync_all()
     }
 
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
@@ -138,6 +147,13 @@ impl FaultBudget {
         self.consumed.load(Ordering::Relaxed)
     }
 
+    /// Resets the remaining budget to `n` (`consumed` keeps counting).
+    /// Tests use this to model a *transient* I/O failure: exhaust the
+    /// budget mid-operation, then refill and prove the writer recovers.
+    pub fn refill(&self, n: u64) {
+        self.remaining.store(n as i64, Ordering::Relaxed);
+    }
+
     /// Tries to spend `n` units; on failure returns how many of them were
     /// still affordable (the torn-write prefix length).
     fn spend(&self, n: u64) -> Result<(), u64> {
@@ -185,6 +201,11 @@ impl PersistIo for FaultyIo {
             inner: OpenOptions::new().append(true).create(true).open(path)?,
             budget: Arc::clone(&self.budget),
         }))
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        self.budget.spend(1).map_err(|_| injected_fault())?;
+        RealIo.truncate(path, len)
     }
 
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {

@@ -93,9 +93,10 @@ pub enum PersistError {
         /// What the segment holds.
         found: String,
     },
-    /// A previous append failed; the WAL may hold a torn record, so
-    /// further mutations are refused until [`DurableIndex::checkpoint`]
-    /// re-establishes a clean log.
+    /// A previous append or checkpoint failed; the WAL may hold a torn
+    /// record (or the on-disk epoch may have advanced past the writer),
+    /// so further mutations are refused until
+    /// [`DurableIndex::checkpoint`] re-establishes a clean log.
     Poisoned,
 }
 
@@ -119,7 +120,7 @@ impl std::fmt::Display for PersistError {
             PersistError::Poisoned => {
                 write!(
                     f,
-                    "wal writer poisoned by a failed append; checkpoint to recover"
+                    "wal writer poisoned by a failed append or checkpoint; checkpoint to recover"
                 )
             }
         }
@@ -395,8 +396,8 @@ pub struct DurableIndex<B: PersistentBackend> {
     log: DeletionLog,
     dir: PathBuf,
     epoch: u64,
-    /// `None` after a failed append (poisoned) until the next
-    /// checkpoint.
+    /// `None` after a failed append or checkpoint (poisoned) until the
+    /// next successful checkpoint.
     wal: Option<Box<dyn WriteSync>>,
     io: Arc<dyn PersistIo>,
     opts: DurableOptions,
@@ -563,8 +564,21 @@ impl<B: PersistentBackend> DurableIndex<B> {
 
         // Replay the WAL tail. A missing file means a crash hit between
         // the segment rename and the fresh WAL creation — an empty log.
-        let records = match std::fs::read(wal_path(&dir, epoch)) {
-            Ok(bytes) => wal::parse_wal(&bytes)?,
+        let wal_file = wal_path(&dir, epoch);
+        let records = match std::fs::read(&wal_file) {
+            Ok(bytes) => {
+                let parsed = wal::parse_wal(&bytes)?;
+                // A torn tail is a clean end of the log for *replay*,
+                // but it must not stay in the file: an append after the
+                // garbage would read back on the next open as interior
+                // corruption (hard error) or, worse, merge into the
+                // tear and silently drop the acknowledged record. Clip
+                // the file to the clean prefix before appending.
+                if parsed.clean_len < bytes.len() as u64 {
+                    io.truncate(&wal_file, parsed.clean_len)?;
+                }
+                parsed.records
+            }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
             Err(e) => return Err(e.into()),
         };
@@ -580,7 +594,7 @@ impl<B: PersistentBackend> DurableIndex<B> {
             }
         }
 
-        let wal = io.open_append(&wal_path(&dir, epoch))?;
+        let wal = io.open_append(&wal_file)?;
         Ok(Self {
             backend,
             log,
@@ -608,7 +622,8 @@ impl<B: PersistentBackend> DurableIndex<B> {
         self.epoch
     }
 
-    /// Whether a failed append has poisoned the WAL writer.
+    /// Whether a failed append or checkpoint has poisoned the WAL
+    /// writer.
     pub fn is_poisoned(&self) -> bool {
         self.wal.is_none()
     }
@@ -659,8 +674,15 @@ impl<B: PersistentBackend> DurableIndex<B> {
 
     /// Folds the WAL into a fresh segment at `epoch + 1` and starts an
     /// empty log. Also the way out of a poisoned WAL writer.
+    ///
+    /// A *failed* checkpoint poisons the writer: the failure may have
+    /// hit after the segment rename, in which case the on-disk epoch has
+    /// already advanced and anything appended to the superseded
+    /// `wal-<epoch>` would be invisible to the next [`DurableIndex::open`].
+    /// Mutations are refused until a later `checkpoint` succeeds.
     pub fn checkpoint(&mut self) -> Result<(), PersistError> {
         let tombstones = self.log.deleted_ids();
+        self.wal = None;
         let wal = write_checkpoint(
             self.io.as_ref(),
             &self.dir,

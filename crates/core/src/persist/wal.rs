@@ -70,8 +70,21 @@ fn interior(offset: usize, detail: impl Into<String>) -> PersistError {
     }
 }
 
+/// The outcome of [`parse_wal`]: the replayable records plus where the
+/// clean prefix ends. Torn tail bytes past `clean_len` must be clipped
+/// (`File::set_len`) before the log is appended to again — a new record
+/// written after them would read back as interior corruption (hard
+/// error) or merge into the tear and be silently dropped.
+#[derive(Debug)]
+pub(crate) struct ParsedWal {
+    pub records: Vec<WalRecord>,
+    /// Byte length of the parsed prefix; `bytes[..clean_len]` holds
+    /// exactly `records`, anything after it is a torn tail.
+    pub clean_len: u64,
+}
+
 /// Parses a WAL image into its records, applying the torn-tail rule.
-pub(crate) fn parse_wal(bytes: &[u8]) -> Result<Vec<WalRecord>, PersistError> {
+pub(crate) fn parse_wal(bytes: &[u8]) -> Result<ParsedWal, PersistError> {
     let mut records = Vec::new();
     let mut pos = 0usize;
     while pos < bytes.len() {
@@ -108,7 +121,10 @@ pub(crate) fn parse_wal(bytes: &[u8]) -> Result<Vec<WalRecord>, PersistError> {
         records.push(parse_payload(payload).map_err(|d| interior(pos, d))?);
         pos = end;
     }
-    Ok(records)
+    Ok(ParsedWal {
+        records,
+        clean_len: pos as u64,
+    })
 }
 
 fn parse_payload(payload: &[u8]) -> Result<WalRecord, String> {
@@ -158,27 +174,36 @@ mod tests {
 
     #[test]
     fn round_trips_records() {
-        let records = parse_wal(&sample()).unwrap();
+        let parsed = parse_wal(&sample()).unwrap();
         assert_eq!(
-            records,
+            parsed.records,
             vec![
                 WalRecord::Insert(vec![5, 2, 9]),
                 WalRecord::Delete(7),
                 WalRecord::Insert(vec![1]),
             ]
         );
-        assert!(parse_wal(&[]).unwrap().is_empty());
+        assert_eq!(parsed.clean_len, sample().len() as u64);
+        let empty = parse_wal(&[]).unwrap();
+        assert!(empty.records.is_empty());
+        assert_eq!(empty.clean_len, 0);
     }
 
     #[test]
     fn every_truncation_is_a_clean_prefix() {
         let bytes = sample();
         for cut in 0..bytes.len() {
-            let records = parse_wal(&bytes[..cut]).expect("truncation is never an error");
-            assert!(records.len() <= 3);
+            let parsed = parse_wal(&bytes[..cut]).expect("truncation is never an error");
+            assert!(parsed.records.len() <= 3);
             // The parsed prefix must be an exact prefix of the full log.
             let full = parse_wal(&bytes).unwrap();
-            assert_eq!(records[..], full[..records.len()]);
+            assert_eq!(parsed.records[..], full.records[..parsed.records.len()]);
+            // And clean_len must point at the end of that prefix: the
+            // torn bytes after it, reparsed alone, yield nothing more.
+            assert!(parsed.clean_len as usize <= cut);
+            let reparsed = parse_wal(&bytes[..parsed.clean_len as usize]).unwrap();
+            assert_eq!(reparsed.records, parsed.records);
+            assert_eq!(reparsed.clean_len, parsed.clean_len);
         }
     }
 
@@ -187,8 +212,17 @@ mod tests {
         let mut bytes = sample();
         let n = bytes.len();
         bytes[n - 1] ^= 0xff; // damage the last record's payload
-        let records = parse_wal(&bytes).unwrap();
-        assert_eq!(records.len(), 2, "the damaged tail record is dropped");
+        let parsed = parse_wal(&bytes).unwrap();
+        assert_eq!(
+            parsed.records.len(),
+            2,
+            "the damaged tail record is dropped"
+        );
+        assert_eq!(
+            parsed.clean_len,
+            (WalRecord::Insert(vec![5, 2, 9]).encode().len() + WalRecord::Delete(7).encode().len())
+                as u64
+        );
     }
 
     #[test]
@@ -203,11 +237,13 @@ mod tests {
 
     #[test]
     fn absurd_length_field_reads_as_torn_tail() {
-        let mut bytes = WalRecord::Delete(1).encode();
+        let first = WalRecord::Delete(1).encode();
+        let mut bytes = first.clone();
         let mut torn = WalRecord::Delete(2).encode();
         torn[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
         bytes.extend_from_slice(&torn);
-        let records = parse_wal(&bytes).unwrap();
-        assert_eq!(records, vec![WalRecord::Delete(1)]);
+        let parsed = parse_wal(&bytes).unwrap();
+        assert_eq!(parsed.records, vec![WalRecord::Delete(1)]);
+        assert_eq!(parsed.clean_len, first.len() as u64);
     }
 }

@@ -270,6 +270,162 @@ fn sharded_index_recovers_from_a_crash_at_every_byte() {
     );
 }
 
+fn flat_make() -> Les3Index<Jaccard> {
+    Les3Index::build(
+        base_db(),
+        Partitioning::round_robin(base_db().len(), 3),
+        Jaccard,
+    )
+}
+
+/// The state a survivor must reach after recovery (with or without the
+/// crashed first insert) plus the follow-up mutations applied to it.
+fn flat_reference(with_first: bool) -> Signature {
+    type B = Les3Index<Jaccard>;
+    let mut backend = flat_make();
+    let mut log = backend.build_log();
+    if with_first {
+        let (id, _) = backend.insert_set(&mut [1, 2, 21]);
+        B::note_insert(&mut log, &backend, id);
+    }
+    let (id, _) = backend.insert_set(&mut [8, 9, 23]);
+    B::note_insert(&mut log, &backend, id);
+    B::delete_set(&mut log, &mut backend, 3);
+    signature(&backend, &log)
+}
+
+/// Crashing mid-append leaves a torn WAL tail. Recovery must not just
+/// replay past it — it must *clip* it, so that mutations acknowledged
+/// after the reopen land on a clean log and survive the next reopen
+/// (instead of reading back as interior corruption, or being silently
+/// swallowed by the tear).
+#[test]
+fn mutations_after_a_torn_append_survive_the_next_reopen() {
+    type B = Les3Index<Jaccard>;
+    let root = std::env::temp_dir().join(format!("les3-torn-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    let pristine = root.join("pristine");
+    drop(DurableIndex::create(&pristine, flat_make()).unwrap());
+
+    // Count the I/O events of an uncrashed open + one insert.
+    let scratch = root.join("count");
+    copy_dir(&pristine, &scratch);
+    let budget = FaultBudget::unlimited();
+    {
+        let io = Arc::new(FaultyIo::new(Arc::clone(&budget)));
+        let mut durable =
+            DurableIndex::<B>::open_with(&scratch, Jaccard, io, DurableOptions::default()).unwrap();
+        durable.insert(&mut [1, 2, 21]).unwrap();
+    }
+    let total = budget.consumed();
+
+    for k in 0..total {
+        let dir = root.join(format!("t{k}"));
+        copy_dir(&pristine, &dir);
+        {
+            let io = Arc::new(FaultyIo::new(FaultBudget::with_limit(k)));
+            if let Ok(mut durable) =
+                DurableIndex::<B>::open_with(&dir, Jaccard, io, DurableOptions::default())
+            {
+                let _ = durable.insert(&mut [1, 2, 21]);
+            }
+        }
+        // First reopen: recovery clips whatever the crash tore.
+        let mut durable = DurableIndex::<B>::open(&dir, Jaccard)
+            .unwrap_or_else(|e| panic!("crash at k={k} broke the first reopen: {e}"));
+        let with_first = durable.backend().db().len() == base_db().len() + 1;
+        // Mutations acknowledged on the recovered log...
+        durable.insert(&mut [8, 9, 23]).unwrap();
+        durable.delete(3).unwrap();
+        drop(durable);
+        // ...must be exactly what the next reopen replays.
+        let reopened = DurableIndex::<B>::open(&dir, Jaccard)
+            .unwrap_or_else(|e| panic!("crash at k={k} broke the second reopen: {e}"));
+        assert_eq!(
+            signature(reopened.backend(), reopened.log()),
+            flat_reference(with_first),
+            "crash at k={k} (first insert recovered: {with_first})"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// A checkpoint that fails partway (a transient I/O fault, not a crash)
+/// may have already renamed the new segment into place; appending to the
+/// superseded WAL afterwards would be silently invisible to the next
+/// open. The writer must poison itself, refuse mutations, and recover
+/// through — and only through — a later successful checkpoint.
+#[test]
+fn failed_checkpoint_poisons_the_writer_until_one_succeeds() {
+    type B = Les3Index<Jaccard>;
+    let root = std::env::temp_dir().join(format!("les3-ckpt-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    let pristine = root.join("pristine");
+    drop(DurableIndex::create(&pristine, flat_make()).unwrap());
+
+    // Count the events of open + insert (the prefix to survive) and of
+    // the checkpoint after them (the fault surface to sweep).
+    let scratch = root.join("count");
+    copy_dir(&pristine, &scratch);
+    let budget = FaultBudget::unlimited();
+    let before_ckpt = {
+        let io = Arc::new(FaultyIo::new(Arc::clone(&budget)));
+        let mut durable =
+            DurableIndex::<B>::open_with(&scratch, Jaccard, io, DurableOptions::default()).unwrap();
+        durable.insert(&mut [1, 2, 21]).unwrap();
+        let before = budget.consumed();
+        durable.checkpoint().unwrap();
+        before
+    };
+    let total = budget.consumed();
+    assert!(total > before_ckpt, "the checkpoint must cost I/O events");
+
+    for k in before_ckpt..total {
+        let dir = root.join(format!("c{k}"));
+        copy_dir(&pristine, &dir);
+        let budget = FaultBudget::with_limit(k);
+        let io = Arc::new(FaultyIo::new(Arc::clone(&budget)));
+        let mut durable =
+            DurableIndex::<B>::open_with(&dir, Jaccard, io, DurableOptions::default()).unwrap();
+        durable.insert(&mut [1, 2, 21]).unwrap();
+        match durable.checkpoint() {
+            // The injected fault may land on the best-effort stale-WAL
+            // removal, which checkpoint deliberately ignores.
+            Ok(()) => assert!(!durable.is_poisoned(), "k={k}"),
+            Err(_) => {
+                assert!(durable.is_poisoned(), "k={k}");
+                assert!(
+                    matches!(durable.insert(&mut [8, 9, 23]), Err(PersistError::Poisoned)),
+                    "k={k}: a poisoned writer must refuse inserts"
+                );
+                assert!(
+                    matches!(durable.delete(3), Err(PersistError::Poisoned)),
+                    "k={k}: a poisoned writer must refuse deletes"
+                );
+            }
+        }
+        // The transient fault clears; a checkpoint un-poisons the writer.
+        budget.refill(i64::MAX as u64);
+        durable
+            .checkpoint()
+            .unwrap_or_else(|e| panic!("checkpoint retry at k={k} failed: {e}"));
+        assert!(!durable.is_poisoned());
+        durable.insert(&mut [8, 9, 23]).unwrap();
+        durable.delete(3).unwrap();
+        drop(durable);
+        let reopened = DurableIndex::<B>::open(&dir, Jaccard)
+            .unwrap_or_else(|e| panic!("reopen after k={k} failed: {e}"));
+        assert_eq!(
+            signature(reopened.backend(), reopened.log()),
+            flat_reference(true),
+            "crash at k={k}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
 /// Every single-byte flip and every truncation of a segment file must be
 /// rejected with a descriptive error — the deterministic complement of
 /// the random sweep in `persist_roundtrip.rs`.

@@ -42,7 +42,9 @@
 //! already being written), [`SnapshotError::Failed`] → `500` with the
 //! I/O error text. The snapshot callback runs on the connection worker
 //! thread and reads the index through its shared reference, so queries
-//! keep serving while the segment is written.
+//! keep serving while the segment is written. A panicking callback is
+//! caught and answered as a `500` like any other failure — the worker
+//! thread survives and the single-writer guard is released either way.
 //!
 //! The full operator-facing reference, with `curl` examples, lives in
 //! `docs/PROTOCOL.md`.
@@ -145,9 +147,36 @@ impl SnapshotHook {
         if self.busy.swap(true, Ordering::AcqRel) {
             return Err(SnapshotError::Busy);
         }
-        let result = (self.run)();
-        self.busy.store(false, Ordering::Release);
-        result
+        // Clear `busy` however the callback exits — if a panic left the
+        // flag set, every later `POST /snapshot` would be a 503 forever.
+        struct Clear<'a>(&'a AtomicBool);
+        impl Drop for Clear<'_> {
+            fn drop(&mut self) {
+                self.0.store(false, Ordering::Release);
+            }
+        }
+        let _clear = Clear(&self.busy);
+        // And contain the panic itself: it maps to `Failed` (a 500) like
+        // any other snapshot error instead of unwinding through — and
+        // killing — the connection worker thread.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (self.run)())).unwrap_or_else(
+            |payload| {
+                Err(SnapshotError::Failed(format!(
+                    "snapshot callback panicked: {}",
+                    panic_text(payload.as_ref())
+                )))
+            },
+        )
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

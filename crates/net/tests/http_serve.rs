@@ -649,3 +649,39 @@ fn snapshot_failure_and_absence_map_to_500_404_405() {
     assert_eq!(client.request("GET", "/snapshot", None).status, 405);
     server.shutdown();
 }
+
+#[test]
+fn snapshot_panic_maps_to_500_and_releases_the_busy_guard() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let front = Arc::new(ServeFront::new(flat_index(5), fast_config()));
+    let panicked = Arc::new(AtomicBool::new(false));
+    let hook_panicked = Arc::clone(&panicked);
+    let hook: les3_net::SnapshotFn = Box::new(move || {
+        if !hook_panicked.swap(true, Ordering::AcqRel) {
+            panic!("segment writer exploded");
+        }
+        Ok("recovered".to_string())
+    });
+    let server =
+        HttpServer::bind_with_snapshot(front, "127.0.0.1:0", NetConfig::default(), Some(hook))
+            .expect("bind");
+    let addr = server.local_addr().to_string();
+
+    // The panicking attempt is a 500, not a dead worker or a hung 503.
+    let mut client = Client::connect(&addr);
+    let response = client.request("POST", "/snapshot", None);
+    assert_eq!(response.status, 500, "{}", response.body);
+    assert!(
+        response.body.contains("segment writer exploded"),
+        "{}",
+        response.body
+    );
+
+    // The busy guard was released: the next snapshot runs and succeeds
+    // (a leaked flag would make this a 503 forever).
+    let retry = client.request("POST", "/snapshot", None);
+    assert_eq!(retry.status, 200, "{}", retry.body);
+    assert!(retry.body.contains("recovered"), "{}", retry.body);
+    server.shutdown();
+}
