@@ -12,6 +12,13 @@
 //! (per-shard scratch pools + the coalescing executor keep it at parity
 //! while enabling scale-out); with more cores the (shard × query-chunk)
 //! task grid spreads both filter and verify work.
+//!
+//! Two worker sweeps follow the policy grid: an **inter-query** sweep
+//! (the batch split across 1/2/4/8 workers, one query per worker) and
+//! an **intra-query** sweep (each query answered alone with 1/2/4/8
+//! verification workers through the speculate-and-replay engine) —
+//! every configuration is asserted bit-for-bit against the flat
+//! sequential baseline before its timing is recorded.
 
 use les3_bench::{bench_queries, bench_sets, header, per_query_us, time, workload};
 use les3_core::{Jaccard, Les3Index, Partitioning, ShardPolicy, ShardedLes3Index};
@@ -96,6 +103,100 @@ fn main() {
                 flat_us / us
             );
         }
+    }
+
+    // ---- Worker sweeps -----------------------------------------------
+    // Inter-query: the whole batch split across W workers, one query per
+    // worker at a time. Intra-query: every query answered alone with W
+    // verification workers (the speculate-and-replay engine). On a
+    // single-core host both are parity checks; with cores they bracket
+    // the two ways a query mix can spend the same pool.
+    println!("\ninter-query worker sweep (flat batch, intra pinned to 1)");
+    for workers in [1usize, 2, 4, 8] {
+        let _ = flat.knn_batch_on(workers, 1, &queries, K);
+        let mut t = std::time::Duration::MAX;
+        for _ in 0..3 {
+            let (res, one) = time(|| flat.knn_batch_on(workers, 1, &queries, K));
+            for (g, e) in res.iter().zip(&expected) {
+                assert_eq!(g.hits, e.hits, "inter-sweep results diverged");
+                assert_eq!(g.stats, e.stats, "inter-sweep stats diverged");
+            }
+            t = t.min(one);
+        }
+        let us = per_query_us(t, queries.len());
+        println!(
+            "{:<26} {:>10.1} {:>12.0} {:>8.2}x",
+            format!("flat inter x{workers}"),
+            us,
+            1e6 / us,
+            flat_us / us
+        );
+        let _ = write!(
+            rows,
+            ",\n  {{\"config\": \"flat-inter-w{workers}\", \"us_per_query\": {us:.2}, \"qps\": {:.0}, \"speedup_vs_flat\": {:.3}}}",
+            1e6 / us,
+            flat_us / us
+        );
+    }
+
+    println!("\nintra-query worker sweep (one query at a time)");
+    let sharded4 = ShardedLes3Index::build(
+        db.clone(),
+        part.clone(),
+        Jaccard,
+        4,
+        ShardPolicy::Contiguous,
+    );
+    let mut scratch = les3_core::ShardedScratch::new();
+    for workers in [1usize, 2, 4, 8] {
+        let (res, t) = time(|| {
+            queries
+                .iter()
+                .map(|q| flat.knn_par(q, K, workers))
+                .collect::<Vec<_>>()
+        });
+        for (g, e) in res.iter().zip(&expected) {
+            assert_eq!(g.hits, e.hits, "intra-sweep results diverged");
+            assert_eq!(g.stats, e.stats, "intra-sweep stats diverged");
+        }
+        let us = per_query_us(t, queries.len());
+        let (sres, st) = time(|| {
+            queries
+                .iter()
+                .map(|q| {
+                    sharded4
+                        .knn_ctl_on(workers, q, K, &mut scratch, &les3_core::QueryCtl::NONE)
+                        .unwrap()
+                })
+                .collect::<Vec<_>>()
+        });
+        for (g, e) in sres.iter().zip(&expected) {
+            assert_eq!(g.hits, e.hits, "sharded intra-sweep results diverged");
+            assert_eq!(g.stats, e.stats, "sharded intra-sweep stats diverged");
+        }
+        let sus = per_query_us(st, queries.len());
+        println!(
+            "{:<26} {:>10.1} {:>12.0} {:>8.2}x",
+            format!("flat intra x{workers}"),
+            us,
+            1e6 / us,
+            flat_us / us
+        );
+        println!(
+            "{:<26} {:>10.1} {:>12.0} {:>8.2}x",
+            format!("Contiguous x4 intra x{workers}"),
+            sus,
+            1e6 / sus,
+            flat_us / sus
+        );
+        let _ = write!(
+            rows,
+            ",\n  {{\"config\": \"flat-intra-w{workers}\", \"us_per_query\": {us:.2}, \"qps\": {:.0}, \"speedup_vs_flat\": {:.3}}},\n  {{\"config\": \"sharded4-intra-w{workers}\", \"us_per_query\": {sus:.2}, \"qps\": {:.0}, \"speedup_vs_flat\": {:.3}}}",
+            1e6 / us,
+            flat_us / us,
+            1e6 / sus,
+            flat_us / sus
+        );
     }
 
     let json = format!(

@@ -156,6 +156,40 @@ fn main() {
         }
     }
 
+    // ---- Intra-query worker sweep -------------------------------------
+    // One request per batch (max_batch = 1) with the intra-query budget
+    // pinned: the regime where a lone large query must fan its
+    // verification across the pool instead of occupying one worker while
+    // the rest idle. Single-core hosts measure parity; the engine's
+    // speculate-and-replay contract keeps results bit-for-bit identical
+    // at every width.
+    println!("\nintra-query sweep (max_batch = 1, pinned intra workers)");
+    for intra in [1usize, 2, 4, 8] {
+        let config = ServeConfig {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            intra_workers: intra,
+            ..ServeConfig::default()
+        };
+        let front = ServeFront::from_arc(Arc::clone(&index), config);
+        let _ = front.knn(&queries[0], K);
+        let m = drive(&queries, |_, q| {
+            let res = front.knn(q, K).expect("serve failed");
+            assert!(res.hits.len() <= K);
+        });
+        let label = format!("batch=1 intra={intra}");
+        println!(
+            "{:<30} {:>10.0} {:>10.0} {:>10.0}",
+            label, m.qps, m.p50_us, m.p99_us
+        );
+        let _ = write!(
+            rows,
+            ",\n  {{\"config\": \"intra{intra}\", \"qps\": {:.0}, \
+             \"p50_us\": {:.0}, \"p99_us\": {:.0}}}",
+            m.qps, m.p50_us, m.p99_us
+        );
+    }
+
     // ---- Open-loop overload sweep -------------------------------------
     // Offer load at multiples of the measured direct capacity against a
     // bounded queue with per-request deadlines; count what the admission

@@ -58,8 +58,9 @@ use les3_data::TokenId;
 
 use crate::ctl::QueryCtl;
 use crate::index::{sort_hits, Les3Index, SearchResult};
+use crate::par;
 use crate::scratch::{QueryScratch, ShardedScratch};
-use crate::shard::{ShardFilter, ShardedLes3Index};
+use crate::shard::{merge_filter_streams, MergedGroups, ShardFilter, ShardedLes3Index};
 use crate::sim::{distinct_len, normalize_query, Similarity};
 use crate::stats::SearchStats;
 
@@ -121,27 +122,20 @@ pub(crate) fn run_coalesced<W>(
             }
         }
     } else {
+        // One looping claimant per worker — the rayon shim's
+        // scoped-worker idiom (`run_workers`), never a spawn per task.
         let next = AtomicUsize::new(0);
-        rayon::scope(|scope| {
-            for _ in 0..workers.min(n_tasks) {
-                let next = &next;
-                let run = &run;
-                let make_state = &make_state;
-                let record = &record;
-                scope.spawn(move |_| {
-                    let mut state = make_state();
-                    loop {
-                        let t = next.fetch_add(1, Ordering::Relaxed);
-                        if t >= n_tasks {
-                            break;
-                        }
-                        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(t, &mut state)))
-                        {
-                            record(payload);
-                            state = make_state();
-                        }
-                    }
-                });
+        rayon::run_workers(workers.min(n_tasks), |_w| {
+            let mut state = make_state();
+            loop {
+                let t = next.fetch_add(1, Ordering::Relaxed);
+                if t >= n_tasks {
+                    break;
+                }
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(t, &mut state))) {
+                    record(payload);
+                    state = make_state();
+                }
             }
         });
     }
@@ -315,6 +309,19 @@ fn auto_workers(n: usize) -> usize {
         .max(1)
 }
 
+/// Splits the machine's thread budget between the inter-query axis
+/// (workers claiming query-chunks) and the intra-query axis (workers
+/// inside one query's verification, `par.rs`). Large batches take
+/// the whole budget on the inter axis (`intra = 1`, per-query overhead
+/// zero); a batch with fewer chunks than cores folds the leftover
+/// `budget / inter` into each query so one oversized query cannot leave
+/// the other cores idle.
+fn split_budget(n: usize) -> (usize, usize) {
+    let budget = rayon::current_num_threads();
+    let inter = auto_workers(n);
+    (inter, (budget / inter).max(1))
+}
+
 /// Splits `slots` into per-task output cells the executor's workers can
 /// claim: each task locks exactly its own cell once, so the mutexes are
 /// uncontended and exist only to satisfy the aliasing rules.
@@ -326,8 +333,23 @@ impl<S: Similarity> Les3Index<S> {
     /// Answers many range queries in parallel. Returns one result per
     /// query, in input order.
     pub fn range_batch(&self, queries: &[Vec<TokenId>], delta: f64) -> Vec<SearchResult> {
-        self.run_batch(queries, |index, query, scratch| {
-            index.range_with(query, delta, scratch)
+        let (inter, intra) = split_budget(queries.len());
+        self.range_batch_on(inter, intra, queries, delta)
+    }
+
+    /// [`Les3Index::range_batch`] with pinned inter-/intra-query worker
+    /// counts (the equivalence tests and bench sweeps pin both axes).
+    pub fn range_batch_on(
+        &self,
+        workers: usize,
+        intra: usize,
+        queries: &[Vec<TokenId>],
+        delta: f64,
+    ) -> Vec<SearchResult> {
+        self.run_batch_on(workers, intra, queries, |index, query, scratch, intra| {
+            index
+                .range_ctl_on(intra, query, delta, scratch, &QueryCtl::NONE)
+                .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"))
         })
     }
 
@@ -335,27 +357,39 @@ impl<S: Similarity> Les3Index<S> {
     /// query, in input order; results equal per-query
     /// [`Les3Index::knn`].
     pub fn knn_batch(&self, queries: &[Vec<TokenId>], k: usize) -> Vec<SearchResult> {
-        self.run_batch(queries, |index, query, scratch| {
-            index.knn_with(query, k, scratch)
+        let (inter, intra) = split_budget(queries.len());
+        self.knn_batch_on(inter, intra, queries, k)
+    }
+
+    /// [`Les3Index::knn_batch`] with pinned inter-/intra-query worker
+    /// counts.
+    pub fn knn_batch_on(
+        &self,
+        workers: usize,
+        intra: usize,
+        queries: &[Vec<TokenId>],
+        k: usize,
+    ) -> Vec<SearchResult> {
+        self.run_batch_on(workers, intra, queries, |index, query, scratch, intra| {
+            index
+                .knn_ctl_on(intra, query, k, scratch, &QueryCtl::NONE)
+                .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"))
         })
     }
 
-    /// Coalescing parallel executor shared by the batch entry points.
-    fn run_batch(
-        &self,
-        queries: &[Vec<TokenId>],
-        run_one: impl Fn(&Self, &[TokenId], &mut QueryScratch) -> SearchResult + Sync,
-    ) -> Vec<SearchResult> {
-        self.run_batch_on(auto_workers(queries.len()), queries, run_one)
-    }
-
-    /// [`Les3Index::run_batch`] with an explicit worker count (tests force
-    /// the multi-worker path regardless of the host's core count).
+    /// Coalescing parallel executor shared by the batch entry points:
+    /// `workers` claim query-chunks (inter-query axis) and each query
+    /// runs with `intra` intra-query workers — `run_one` receives the
+    /// intra width and is expected to pass it to `knn_ctl_on` /
+    /// `range_ctl_on`. An undersized batch (fewer chunks than cores)
+    /// therefore still saturates the machine: the leftover budget folds
+    /// into each query instead of idling.
     fn run_batch_on(
         &self,
         workers: usize,
+        intra: usize,
         queries: &[Vec<TokenId>],
-        run_one: impl Fn(&Self, &[TokenId], &mut QueryScratch) -> SearchResult + Sync,
+        run_one: impl Fn(&Self, &[TokenId], &mut QueryScratch, usize) -> SearchResult + Sync,
     ) -> Vec<SearchResult> {
         let n = queries.len();
         if n == 0 {
@@ -366,7 +400,7 @@ impl<S: Similarity> Les3Index<S> {
         run_coalesced(workers, cells.len(), QueryScratch::new, |t, scratch| {
             let mut out = lock_unpoisoned(&cells[t]);
             for (q, slot) in queries[t * TASK_QUERIES..].iter().zip(out.iter_mut()) {
-                *slot = Some(run_one(self, q, scratch));
+                *slot = Some(run_one(self, q, scratch, intra));
             }
         });
         drop(cells);
@@ -401,8 +435,11 @@ impl<S: Similarity> ShardedLes3Index<S> {
         self.knn_batch_on(self.sharded_workers(queries.len()), queries, k)
     }
 
-    /// [`ShardedLes3Index::knn_batch`] with an explicit worker count.
-    pub(crate) fn knn_batch_on(
+    /// [`ShardedLes3Index::knn_batch`] with an explicit worker budget.
+    /// `workers` is the *total* parallel width: the filter grid uses all
+    /// of it, and the merge phase splits it between query-chunks and
+    /// intra-query verification workers (`knn_wave`'s intra split).
+    pub fn knn_batch_on(
         &self,
         workers: usize,
         queries: &[Vec<TokenId>],
@@ -448,6 +485,13 @@ impl<S: Similarity> ShardedLes3Index<S> {
 
     /// One wave of the sharded kNN batch: phase A fills the (shard ×
     /// chunk) filter grid, phase B merges per query.
+    ///
+    /// Phase B's parallel axis is query-chunks — but an undersized wave
+    /// (fewer chunks than workers) would strand the surplus, so the
+    /// leftover budget becomes the **intra-query split**: each merge
+    /// task runs its queries through the speculate-and-replay engine
+    /// (`par.rs`) over the materialized cross-shard bound stream,
+    /// which is bit-for-bit the cursor-wise [`ShardedLes3Index::merge_knn`].
     fn knn_wave(&self, workers: usize, queries: &[&[TokenId]], k: usize) -> Vec<SearchResult> {
         let n = queries.len();
         let n_shards = self.n_shards();
@@ -457,14 +501,15 @@ impl<S: Similarity> ShardedLes3Index<S> {
         let partials = self.run_filter_phase(workers, queries, n_chunks);
         // Phase B — per-chunk merge tasks: the cross-shard descent is
         // sequential per query (the shared top-k is the point), so the
-        // parallel axis is queries.
+        // parallel axes are queries × intra-query workers.
+        let intra = (workers / workers.min(n_chunks)).max(1);
         let mut slots: Vec<Option<SearchResult>> = (0..n).map(|_| None).collect();
         let cells = task_cells(&mut slots, TASK_QUERIES);
         run_coalesced(
             workers,
             n_chunks,
-            || vec![0usize; n_shards],
-            |c, cursors| {
+            || (vec![0usize; n_shards], Vec::new()),
+            |c, (cursors, merged)| {
                 let mut out = lock_unpoisoned(&cells[c]);
                 for (i, (q, slot)) in queries[c * TASK_QUERIES..]
                     .iter()
@@ -475,9 +520,21 @@ impl<S: Similarity> ShardedLes3Index<S> {
                     for s in 0..n_shards {
                         stats.columns_checked += partials[s * n_chunks + c][i].cols as usize;
                     }
-                    cursors.iter_mut().for_each(|cur| *cur = 0);
-                    let top = self
-                        .merge_knn(
+                    let top = if intra > 1 {
+                        merge_filter_streams(
+                            (0..n_shards).map(|s| &partials[s * n_chunks + c][i]),
+                            merged,
+                        );
+                        let groups = MergedGroups {
+                            index: self,
+                            merged,
+                            query: q,
+                            q_len: distinct_len(q),
+                        };
+                        par::knn_descend(&groups, k, intra, &mut stats, &QueryCtl::NONE)
+                    } else {
+                        cursors.iter_mut().for_each(|cur| *cur = 0);
+                        self.merge_knn(
                             q,
                             k,
                             distinct_len(q),
@@ -486,7 +543,8 @@ impl<S: Similarity> ShardedLes3Index<S> {
                             &mut stats,
                             &QueryCtl::NONE,
                         )
-                        .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"));
+                    }
+                    .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"));
                     *slot = Some(SearchResult {
                         hits: top.into_sorted(),
                         stats,
@@ -509,8 +567,11 @@ impl<S: Similarity> ShardedLes3Index<S> {
         self.range_batch_on(self.sharded_workers(queries.len()), queries, delta)
     }
 
-    /// [`ShardedLes3Index::range_batch`] with an explicit worker count.
-    pub(crate) fn range_batch_on(
+    /// [`ShardedLes3Index::range_batch`] with an explicit worker budget.
+    /// Range verification needs no cross-shard state, so the (shard ×
+    /// chunk) grid itself is the intra-query split: one query's shards
+    /// verify on different workers.
+    pub fn range_batch_on(
         &self,
         workers: usize,
         queries: &[Vec<TokenId>],
@@ -689,21 +750,21 @@ mod tests {
         let queries: Vec<Vec<TokenId>> = (0..100u32)
             .map(|i| index.db().set(i * 3 % 400).to_vec())
             .collect();
-        for workers in [2usize, 4, 7] {
-            let batch = index.run_batch_on(workers, &queries, |ix, q, scratch| {
-                ix.knn_with(q, 5, scratch)
-            });
+        for (workers, intra) in [(2usize, 1usize), (4, 2), (7, 1)] {
+            let batch = index.knn_batch_on(workers, intra, &queries, 5);
             assert_eq!(batch.len(), queries.len());
             for (q, b) in queries.iter().zip(&batch) {
                 let single = index.knn(q, 5);
-                assert_eq!(b.hits, single.hits, "workers {workers}");
-                assert_eq!(b.stats, single.stats, "workers {workers}");
+                assert_eq!(b.hits, single.hits, "workers {workers} intra {intra}");
+                assert_eq!(b.stats, single.stats, "workers {workers} intra {intra}");
             }
-            let batch = index.run_batch_on(workers, &queries, |ix, q, scratch| {
-                ix.range_with(q, 0.5, scratch)
-            });
+            let batch = index.range_batch_on(workers, intra, &queries, 0.5);
             for (q, b) in queries.iter().zip(&batch) {
-                assert_eq!(b.hits, index.range(q, 0.5).hits, "workers {workers}");
+                assert_eq!(
+                    b.hits,
+                    index.range(q, 0.5).hits,
+                    "workers {workers} intra {intra}"
+                );
             }
         }
     }
@@ -752,6 +813,17 @@ mod tests {
                 assert_eq!(k0[i].hits, single.hits, "k=0 workers {workers} q {i}");
                 assert_eq!(k0[i].stats, single.stats, "k=0 workers {workers} q {i}");
             }
+        }
+        // An undersized batch against a big budget: 10 queries = 2
+        // chunks, 8 workers → the merge phase runs with intra = 4
+        // through the speculate-and-replay engine. Results (and stats)
+        // must not move.
+        let small = &queries[..10];
+        let knn = sharded.knn_batch_on(8, small, 6);
+        for (i, q) in small.iter().enumerate() {
+            let single = sharded.knn(q, 6);
+            assert_eq!(knn[i].hits, single.hits, "intra-split q {i}");
+            assert_eq!(knn[i].stats, single.stats, "intra-split q {i}");
         }
     }
 
@@ -816,7 +888,7 @@ mod tests {
             .map(|i| index.db().set(i % 400).to_vec())
             .collect();
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            index.run_batch_on(3, &queries, |ix, q, scratch| {
+            index.run_batch_on(3, 1, &queries, |ix, q, scratch, _intra| {
                 assert!(q != index.db().set(13), "query 13 is poisoned");
                 ix.knn_with(q, 3, scratch)
             })

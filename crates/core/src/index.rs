@@ -21,9 +21,10 @@
 use les3_data::{SetDatabase, SetId, TokenId};
 
 use crate::ctl::{Interrupted, QueryCtl};
+use crate::par::{self, ParGroups};
 use crate::partitioning::Partitioning;
 use crate::scratch::QueryScratch;
-use crate::sim::{distinct_len, normalize_query, Similarity, ThresholdedEval};
+use crate::sim::{distinct_len, normalize_query, Similarity};
 use crate::stats::SearchStats;
 use crate::tgm::Tgm;
 
@@ -226,8 +227,33 @@ impl<S: Similarity> Les3Index<S> {
     /// [`SearchStats`] when the deadline passes or the cancellation
     /// token fires. With [`QueryCtl::NONE`] this is exactly `knn_with`
     /// (the polls are free and can never fire).
+    ///
+    /// Worker count is chosen automatically (sequential below a group
+    /// count worth fanning out); [`Les3Index::knn_ctl_on`] pins it.
     pub fn knn_ctl(
         &self,
+        query: &[TokenId],
+        k: usize,
+        scratch: &mut QueryScratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<SearchResult, Interrupted> {
+        self.knn_ctl_on(
+            par::auto_intra_workers(self.tgm.n_groups()),
+            query,
+            k,
+            scratch,
+            ctl,
+        )
+    }
+
+    /// Exact kNN with an explicit intra-query worker count: `workers <=
+    /// 1` runs the plain sequential descent; more run the speculate +
+    /// deterministic-replay engine (`par.rs` module docs), whose
+    /// result — hits *and* stats — is bit-for-bit that of the
+    /// sequential path at any worker count.
+    pub fn knn_ctl_on(
+        &self,
+        workers: usize,
         query: &[TokenId],
         k: usize,
         scratch: &mut QueryScratch,
@@ -250,48 +276,26 @@ impl<S: Similarity> Les3Index<S> {
         if let Some(reason) = ctl.interrupted() {
             return Err(Interrupted { reason, stats });
         }
-        let q_len = distinct_len(query);
-        let mut top = TopK::new(k);
-        for i in 0..scratch.bounds.len() {
-            let (g, ub) = scratch.bounds[i];
-            if top.is_full() && ub <= top.kth() {
-                // Bounds are in descending order: everything after is
-                // pruned too.
-                stats.groups_pruned += scratch.bounds.len() - i;
-                break;
-            }
-            // Group boundary: an in-flight query stops here rather than
-            // after the whole descent.
-            if let Some(reason) = ctl.interrupted() {
-                return Err(Interrupted { reason, stats });
-            }
-            stats.groups_verified += 1;
-            self.verify
-                .with_window(self.sim, g, q_len, top.kth(), |ids, skipped| {
-                    stats.size_skipped += skipped;
-                    for &id in ids {
-                        stats.candidates += 1;
-                        stats.sims_computed += 1;
-                        // The threshold tightens as the heap fills, member
-                        // by member.
-                        match self
-                            .sim
-                            .eval_with_threshold(query, self.db.set(id), top.kth())
-                        {
-                            ThresholdedEval::Hit(s) => top.offer(id, s),
-                            ThresholdedEval::Rejected { early } => {
-                                if early {
-                                    stats.early_exits += 1;
-                                }
-                            }
-                        }
-                    }
-                });
+        let groups = FlatGroups {
+            index: self,
+            bounds: &scratch.bounds,
+            query,
+            q_len: distinct_len(query),
+        };
+        match par::knn_descend(&groups, k, workers, &mut stats, ctl) {
+            Ok(top) => Ok(SearchResult {
+                hits: top.into_sorted(),
+                stats,
+            }),
+            Err(reason) => Err(Interrupted { reason, stats }),
         }
-        Ok(SearchResult {
-            hits: top.into_sorted(),
-            stats,
-        })
+    }
+
+    /// [`Les3Index::knn`] with a pinned intra-query worker count (the
+    /// equivalence tests and benches sweep this).
+    pub fn knn_par(&self, query: &[TokenId], k: usize, workers: usize) -> SearchResult {
+        self.knn_ctl_on(workers, query, k, &mut QueryScratch::new(), &QueryCtl::NONE)
+            .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"))
     }
 
     /// Exact range search (Definition 2.2): all sets with
@@ -312,9 +316,32 @@ impl<S: Similarity> Les3Index<S> {
     }
 
     /// [`Les3Index::range_with`] under cooperative interruption; see
-    /// [`Les3Index::knn_ctl`] for the polling points.
+    /// [`Les3Index::knn_ctl`] for the polling points. Worker count is
+    /// chosen automatically; [`Les3Index::range_ctl_on`] pins it.
     pub fn range_ctl(
         &self,
+        query: &[TokenId],
+        delta: f64,
+        scratch: &mut QueryScratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<SearchResult, Interrupted> {
+        self.range_ctl_on(
+            par::auto_intra_workers(self.tgm.n_groups()),
+            query,
+            delta,
+            scratch,
+            ctl,
+        )
+    }
+
+    /// Exact range search with an explicit intra-query worker count.
+    /// Range verification is order-independent (fixed threshold `δ`,
+    /// hits canonically sorted at the end), so workers simply split the
+    /// surviving prefix of the bound stream — bit-for-bit identical to
+    /// the sequential path at any worker count.
+    pub fn range_ctl_on(
+        &self,
+        workers: usize,
         query: &[TokenId],
         delta: f64,
         scratch: &mut QueryScratch,
@@ -326,37 +353,72 @@ impl<S: Similarity> Les3Index<S> {
         if let Some(reason) = ctl.interrupted() {
             return Err(Interrupted { reason, stats });
         }
-        let q_len = distinct_len(query);
+        let groups = FlatGroups {
+            index: self,
+            bounds: &scratch.bounds,
+            query,
+            q_len: distinct_len(query),
+        };
         let mut hits: Vec<(SetId, f64)> = Vec::new();
-        for i in 0..scratch.bounds.len() {
-            let (g, ub) = scratch.bounds[i];
-            if ub < delta {
-                stats.groups_pruned += scratch.bounds.len() - i;
-                break;
-            }
-            if let Some(reason) = ctl.interrupted() {
-                return Err(Interrupted { reason, stats });
-            }
-            stats.groups_verified += 1;
-            self.verify
-                .with_window(self.sim, g, q_len, delta, |ids, skipped| {
-                    stats.size_skipped += skipped;
-                    for &id in ids {
-                        stats.candidates += 1;
-                        stats.sims_computed += 1;
-                        match self.sim.eval_with_threshold(query, self.db.set(id), delta) {
-                            ThresholdedEval::Hit(s) => hits.push((id, s)),
-                            ThresholdedEval::Rejected { early } => {
-                                if early {
-                                    stats.early_exits += 1;
-                                }
-                            }
-                        }
-                    }
-                });
+        if let Err(reason) = par::range_scan(&groups, delta, workers, &mut hits, &mut stats, ctl) {
+            return Err(Interrupted { reason, stats });
         }
         sort_hits(&mut hits);
         Ok(SearchResult { hits, stats })
+    }
+
+    /// [`Les3Index::range`] with a pinned intra-query worker count.
+    pub fn range_par(&self, query: &[TokenId], delta: f64, workers: usize) -> SearchResult {
+        self.range_ctl_on(
+            workers,
+            query,
+            delta,
+            &mut QueryScratch::new(),
+            &QueryCtl::NONE,
+        )
+        .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"))
+    }
+}
+
+/// The flat index's bound stream for the intra-query engine: eager
+/// per-group bounds from the bucketed selection, already in
+/// verification order.
+struct FlatGroups<'a, S: Similarity> {
+    index: &'a Les3Index<S>,
+    bounds: &'a [(u32, f64)],
+    query: &'a [TokenId],
+    q_len: usize,
+}
+
+impl<S: Similarity> ParGroups for FlatGroups<'_, S> {
+    type S = S;
+
+    fn n_groups(&self) -> usize {
+        self.bounds.len()
+    }
+
+    fn ub(&self, i: usize) -> f64 {
+        self.bounds[i].1
+    }
+
+    fn locate(&self, i: usize) -> (&VerifyOrder, u32) {
+        (&self.index.verify, self.bounds[i].0)
+    }
+
+    fn sim(&self) -> S {
+        self.index.sim
+    }
+
+    fn db(&self) -> &SetDatabase {
+        &self.index.db
+    }
+
+    fn query(&self) -> &[TokenId] {
+        self.query
+    }
+
+    fn q_len(&self) -> usize {
+        self.q_len
     }
 }
 

@@ -78,6 +78,7 @@ pub mod delete;
 pub mod disk;
 pub mod htgm;
 pub mod index;
+pub(crate) mod par;
 pub mod partitioning;
 pub mod persist;
 pub mod scratch;

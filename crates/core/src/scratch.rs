@@ -51,6 +51,11 @@ pub struct ShardedScratch {
     pub(crate) filters: Vec<crate::shard::ShardFilter>,
     /// Per-shard cursor into `filters` during the cross-shard descent.
     pub(crate) cursors: Vec<usize>,
+    /// The materialized `(shard, bound)` merge of all per-shard filter
+    /// streams, in global verification order — built only by the
+    /// intra-query parallel path (the sequential descent merges
+    /// cursor-wise without materializing).
+    pub(crate) merged: Vec<(u32, crate::shard::ShardBound)>,
 }
 
 impl ShardedScratch {

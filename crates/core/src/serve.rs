@@ -33,8 +33,13 @@
 //!    ([`QueryScratch`] for a flat backend, [`ShardedScratch`] for a
 //!    sharded one) for the pool's whole lifetime — steady-state serving
 //!    allocates nothing per batch — and claim fixed-size task chunks
-//!    exactly like the synchronous coalescing executor. Every request
-//!    runs under a [`QueryCtl`]: the deadline and cancellation token
+//!    exactly like the synchronous coalescing executor. Each batch also
+//!    carries an **intra-query worker budget**
+//!    ([`ServeConfig::intra_workers`]): under light load a lone large
+//!    request fans its verification across the idle pool width through
+//!    the speculate-and-replay engine instead of occupying one worker
+//!    while the rest sleep — with results still bit-for-bit sequential.
+//!    Every request runs under a [`QueryCtl`]: the deadline and cancellation token
 //!    are polled between the phase-A filter and verification and at
 //!    every group boundary, so a request that expires or is cancelled
 //!    *mid-flight* stops consuming CPU at the next boundary instead of
@@ -85,6 +90,7 @@
 //!         max_wait: Duration::from_secs(1), // batch stays open 1 s
 //!         workers: 1,
 //!         queue_capacity: 2, // at most 2 accepted-but-unfinished requests
+//!         intra_workers: 0,  // adapt intra-query fan-out to batch size
 //!     },
 //! );
 //! // Two submissions fill the bounded queue; while the dispatcher holds
@@ -167,6 +173,14 @@ pub struct ServeConfig {
     /// ones block until capacity frees. The default (`usize::MAX`) is
     /// effectively unbounded.
     pub queue_capacity: usize,
+    /// Intra-query workers per request ([`crate::Les3Index::knn_ctl_on`]'s
+    /// worker count). `0` (the default) adapts per batch: a full batch
+    /// runs each query sequentially (the batch itself is the
+    /// parallelism), while a lone large request under light load fans
+    /// its verification across the idle pool width instead of occupying
+    /// one worker while the others sleep. Any other value pins the
+    /// count for every request.
+    pub intra_workers: usize,
 }
 
 impl Default for ServeConfig {
@@ -176,6 +190,7 @@ impl Default for ServeConfig {
             max_wait: Duration::from_micros(500),
             workers: 0,
             queue_capacity: usize::MAX,
+            intra_workers: 0,
         }
     }
 }
@@ -267,35 +282,47 @@ pub trait ServeBackend: Send + Sync + 'static {
     /// lifetime and reused across every batch it executes.
     type Scratch: WorkerScratch;
 
-    /// Answers one kNN request under cooperative interruption (must
-    /// equal the backend's public `knn` bit for bit — stats included —
-    /// whenever it completes).
+    /// Answers one kNN request under cooperative interruption with
+    /// `intra` intra-query workers (must equal the backend's public
+    /// `knn` bit for bit — stats included — whenever it completes, at
+    /// any worker count).
     fn serve_knn_ctl(
         &self,
+        intra: usize,
         query: &[TokenId],
         k: usize,
         scratch: &mut Self::Scratch,
         ctl: &QueryCtl<'_>,
     ) -> Result<SearchResult, Interrupted>;
 
-    /// Answers one range request under cooperative interruption (must
-    /// equal the backend's public `range` bit for bit whenever it
-    /// completes).
+    /// Answers one range request under cooperative interruption with
+    /// `intra` intra-query workers (must equal the backend's public
+    /// `range` bit for bit whenever it completes, at any worker count).
     fn serve_range_ctl(
         &self,
+        intra: usize,
         query: &[TokenId],
         delta: f64,
         scratch: &mut Self::Scratch,
         ctl: &QueryCtl<'_>,
     ) -> Result<SearchResult, Interrupted>;
 
-    /// Uninterruptible kNN (convenience over [`QueryCtl::NONE`]).
+    /// Largest useful intra-query worker count for this backend: the
+    /// front clamps its *adaptive* split to this, so lone requests
+    /// against a small index skip the parallel engine entirely. An
+    /// explicit [`ServeConfig::intra_workers`] bypasses the cap.
+    fn intra_cap(&self) -> usize {
+        1
+    }
+
+    /// Uninterruptible sequential kNN (convenience over
+    /// [`QueryCtl::NONE`]).
     fn serve_knn(&self, query: &[TokenId], k: usize, scratch: &mut Self::Scratch) -> SearchResult {
-        self.serve_knn_ctl(query, k, scratch, &QueryCtl::NONE)
+        self.serve_knn_ctl(1, query, k, scratch, &QueryCtl::NONE)
             .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"))
     }
 
-    /// Uninterruptible range search (convenience over
+    /// Uninterruptible sequential range search (convenience over
     /// [`QueryCtl::NONE`]).
     fn serve_range(
         &self,
@@ -303,7 +330,7 @@ pub trait ServeBackend: Send + Sync + 'static {
         delta: f64,
         scratch: &mut Self::Scratch,
     ) -> SearchResult {
-        self.serve_range_ctl(query, delta, scratch, &QueryCtl::NONE)
+        self.serve_range_ctl(1, query, delta, scratch, &QueryCtl::NONE)
             .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"))
     }
 }
@@ -313,22 +340,28 @@ impl<S: Similarity> ServeBackend for Les3Index<S> {
 
     fn serve_knn_ctl(
         &self,
+        intra: usize,
         query: &[TokenId],
         k: usize,
         scratch: &mut QueryScratch,
         ctl: &QueryCtl<'_>,
     ) -> Result<SearchResult, Interrupted> {
-        self.knn_ctl(query, k, scratch, ctl)
+        self.knn_ctl_on(intra, query, k, scratch, ctl)
     }
 
     fn serve_range_ctl(
         &self,
+        intra: usize,
         query: &[TokenId],
         delta: f64,
         scratch: &mut QueryScratch,
         ctl: &QueryCtl<'_>,
     ) -> Result<SearchResult, Interrupted> {
-        self.range_ctl(query, delta, scratch, ctl)
+        self.range_ctl_on(intra, query, delta, scratch, ctl)
+    }
+
+    fn intra_cap(&self) -> usize {
+        crate::par::serve_intra_cap(self.tgm().n_groups())
     }
 }
 
@@ -337,22 +370,28 @@ impl<S: Similarity> ServeBackend for ShardedLes3Index<S> {
 
     fn serve_knn_ctl(
         &self,
+        intra: usize,
         query: &[TokenId],
         k: usize,
         scratch: &mut ShardedScratch,
         ctl: &QueryCtl<'_>,
     ) -> Result<SearchResult, Interrupted> {
-        self.knn_ctl(query, k, scratch, ctl)
+        self.knn_ctl_on(intra, query, k, scratch, ctl)
     }
 
     fn serve_range_ctl(
         &self,
+        intra: usize,
         query: &[TokenId],
         delta: f64,
         scratch: &mut ShardedScratch,
         ctl: &QueryCtl<'_>,
     ) -> Result<SearchResult, Interrupted> {
-        self.range_ctl(query, delta, scratch, ctl)
+        self.range_ctl_on(intra, query, delta, scratch, ctl)
+    }
+
+    fn intra_cap(&self) -> usize {
+        crate::par::serve_intra_cap(self.partitioning().n_groups())
     }
 }
 
@@ -665,6 +704,10 @@ struct BatchJob<B: ServeBackend> {
     shared: Arc<FrontShared>,
     requests: Vec<Request>,
     next: AtomicUsize,
+    /// Intra-query workers per request, fixed at dispatch (the batch's
+    /// size is known then): a full batch gets `1`, a lone oversized
+    /// request gets the pool width — see [`ServeConfig::intra_workers`].
+    intra: usize,
 }
 
 impl<B: ServeBackend> BatchJob<B> {
@@ -684,10 +727,12 @@ impl<B: ServeBackend> BatchJob<B> {
             return;
         }
         let outcome = catch_unwind(AssertUnwindSafe(|| match req.kind {
-            QueryKind::Knn(k) => self.backend.serve_knn_ctl(&req.query, k, scratch, &ctl),
+            QueryKind::Knn(k) => self
+                .backend
+                .serve_knn_ctl(self.intra, &req.query, k, scratch, &ctl),
             QueryKind::Range(delta) => self
                 .backend
-                .serve_range_ctl(&req.query, delta, scratch, &ctl),
+                .serve_range_ctl(self.intra, &req.query, delta, scratch, &ctl),
         }));
         match outcome {
             Ok(Ok(result)) => {
@@ -982,16 +1027,21 @@ fn dispatcher_loop<B: ServeBackend>(
         }
         // Batch-close shedding: requests that died while queued —
         // deadline passed, ticket cancelled — never reach a worker.
+        // Counts fold locally and post once per batch: this thread is
+        // the serving front's single dispatcher, so a lock per shed
+        // request would make mass expiry (the overload regime, exactly
+        // when the dispatcher must keep up) its bottleneck.
         let now = Instant::now();
+        let (mut shed_cancelled, mut shed_expired) = (0usize, 0usize);
         requests.retain(|request| {
             if request.slot.cancelled.load(Ordering::Acquire) {
-                shared.note(|agg| agg.cancelled += 1);
+                shed_cancelled += 1;
                 request
                     .slot
                     .put(Err(ServeError::Cancelled(SearchStats::default())));
                 false
             } else if request.deadline.is_some_and(|d| now >= d) {
-                shared.note(|agg| agg.expired += 1);
+                shed_expired += 1;
                 request
                     .slot
                     .put(Err(ServeError::DeadlineExceeded(SearchStats::default())));
@@ -1000,9 +1050,26 @@ fn dispatcher_loop<B: ServeBackend>(
                 true
             }
         });
+        if shed_cancelled + shed_expired > 0 {
+            shared.note(|agg| {
+                agg.cancelled += shed_cancelled;
+                agg.expired += shed_expired;
+            });
+        }
         if requests.is_empty() {
             continue;
         }
+        // The intra-query split is decided per batch, now that its size
+        // is known: an explicit setting pins it; the adaptive default
+        // gives each request the workers the batch leaves idle, clamped
+        // to what the index size can use.
+        let intra = if config.intra_workers > 0 {
+            config.intra_workers
+        } else {
+            (config.effective_workers() / requests.len())
+                .max(1)
+                .min(backend.intra_cap())
+        };
         // Hand the batch to the pool and immediately go back to
         // collecting: batches pipeline, the queue never stalls on
         // execution.
@@ -1011,6 +1078,7 @@ fn dispatcher_loop<B: ServeBackend>(
             shared: Arc::clone(&shared),
             requests,
             next: AtomicUsize::new(0),
+            intra,
         }));
     }
 }

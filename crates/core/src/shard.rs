@@ -66,11 +66,16 @@
 //! assert_eq!(sharded.range(&[0, 1, 2], 0.5), flat.range(&[0, 1, 2], 0.5));
 //! ```
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use les3_bitmap::Bitmap;
 use les3_data::{SetDatabase, SetId, TokenId};
 
+use crate::batch::lock_unpoisoned;
 use crate::ctl::{InterruptReason, Interrupted, QueryCtl};
 use crate::index::{sort_hits, SearchResult, TopK, VerifyOrder};
+use crate::par::{self, ParGroups};
 use crate::partitioning::Partitioning;
 use crate::scratch::{QueryScratch, ShardedScratch};
 use crate::sim::{distinct_len, normalize_query, Similarity, ThresholdedEval};
@@ -448,8 +453,35 @@ impl<S: Similarity> ShardedLes3Index<S> {
     /// polls `ctl` after the per-shard filter passes (between phase A
     /// and verification) and at every step of the cross-shard merge.
     /// With [`QueryCtl::NONE`] this is exactly `knn_with`.
+    ///
+    /// Worker count is chosen automatically;
+    /// [`ShardedLes3Index::knn_ctl_on`] pins it.
     pub fn knn_ctl(
         &self,
+        query: &[TokenId],
+        k: usize,
+        scratch: &mut ShardedScratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<SearchResult, Interrupted> {
+        self.knn_ctl_on(
+            par::auto_intra_workers(self.partitioning.n_groups()),
+            query,
+            k,
+            scratch,
+            ctl,
+        )
+    }
+
+    /// Exact kNN with an explicit intra-query worker count. `workers <=
+    /// 1` is the sequential cursor-wise cross-shard descent; more
+    /// workers run phase A (per-shard filters) fanned out over the
+    /// shards, then materialize the merged bound stream — provably the
+    /// same `(r desc, global id asc)` sequence the cursor merge
+    /// consumes — and descend it with the speculate + replay engine
+    /// (`par.rs`). Bit-for-bit identical either way.
+    pub fn knn_ctl_on(
+        &self,
+        workers: usize,
         query: &[TokenId],
         k: usize,
         scratch: &mut ShardedScratch,
@@ -471,23 +503,98 @@ impl<S: Similarity> ShardedLes3Index<S> {
             per_shard,
             filters,
             cursors,
+            merged,
         } = scratch;
-        for s in 0..self.shards.len() {
-            self.filter_shard(s, query, q_len, &mut per_shard[s], &mut filters[s]);
-            stats.columns_checked += filters[s].cols as usize;
+        if workers <= 1 {
+            for s in 0..self.shards.len() {
+                self.filter_shard(s, query, q_len, &mut per_shard[s], &mut filters[s]);
+                stats.columns_checked += filters[s].cols as usize;
+            }
+            // Phase boundary: verification must not start for an expired
+            // or cancelled query.
+            if let Some(reason) = ctl.interrupted() {
+                return Err(Interrupted { reason, stats });
+            }
+            let filters: &[ShardFilter] = filters;
+            return match self.merge_knn(query, k, q_len, |s| &filters[s], cursors, &mut stats, ctl)
+            {
+                Ok(top) => Ok(SearchResult {
+                    hits: top.into_sorted(),
+                    stats,
+                }),
+                Err(reason) => Err(Interrupted { reason, stats }),
+            };
         }
-        // Phase boundary: verification must not start for an expired or
-        // cancelled query.
+        self.filter_all(workers, query, q_len, per_shard, filters, &mut stats);
         if let Some(reason) = ctl.interrupted() {
             return Err(Interrupted { reason, stats });
         }
-        let filters: &[ShardFilter] = filters;
-        match self.merge_knn(query, k, q_len, |s| &filters[s], cursors, &mut stats, ctl) {
+        merge_filter_streams(&filters[..self.shards.len()], merged);
+        let groups = MergedGroups {
+            index: self,
+            merged,
+            query,
+            q_len,
+        };
+        match par::knn_descend(&groups, k, workers, &mut stats, ctl) {
             Ok(top) => Ok(SearchResult {
                 hits: top.into_sorted(),
                 stats,
             }),
             Err(reason) => Err(Interrupted { reason, stats }),
+        }
+    }
+
+    /// [`ShardedLes3Index::knn`] with a pinned intra-query worker count.
+    pub fn knn_par(&self, query: &[TokenId], k: usize, workers: usize) -> SearchResult {
+        self.knn_ctl_on(
+            workers,
+            query,
+            k,
+            &mut ShardedScratch::new(),
+            &QueryCtl::NONE,
+        )
+        .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"))
+    }
+
+    /// Phase A fanned out: shards are claimed from an atomic cursor by
+    /// `min(workers, n_shards)` scoped workers (each shard's filter
+    /// state is its own, so the per-shard mutexes are uncontended —
+    /// they exist to move the `&mut` pairs across threads).
+    /// `columns_checked` is summed afterwards, order-independently.
+    fn filter_all(
+        &self,
+        workers: usize,
+        query: &[TokenId],
+        q_len: usize,
+        per_shard: &mut [QueryScratch],
+        filters: &mut [ShardFilter],
+        stats: &mut SearchStats,
+    ) {
+        let n = self.shards.len();
+        if workers <= 1 || n <= 1 {
+            for s in 0..n {
+                self.filter_shard(s, query, q_len, &mut per_shard[s], &mut filters[s]);
+            }
+        } else {
+            let tasks: Vec<Mutex<(&mut QueryScratch, &mut ShardFilter)>> = per_shard
+                .iter_mut()
+                .zip(filters.iter_mut())
+                .map(Mutex::new)
+                .collect();
+            let next = AtomicUsize::new(0);
+            rayon::run_workers(workers.min(n), |_w| loop {
+                let s = next.fetch_add(1, Ordering::Relaxed);
+                if s >= n {
+                    break;
+                }
+                let mut cell = lock_unpoisoned(&tasks[s]);
+                let (scr, fil) = &mut *cell;
+                self.filter_shard(s, query, q_len, scr, fil);
+            });
+        }
+        for f in filters.iter().take(n) {
+            stats.columns_checked += f.cols as usize;
         }
     }
 
@@ -510,9 +617,34 @@ impl<S: Similarity> ShardedLes3Index<S> {
 
     /// [`ShardedLes3Index::range_with`] under cooperative interruption:
     /// polls `ctl` between each shard's filter pass and its
-    /// verification, and at every group boundary inside it.
+    /// verification, and at every group boundary inside it. Worker
+    /// count is chosen automatically;
+    /// [`ShardedLes3Index::range_ctl_on`] pins it.
     pub fn range_ctl(
         &self,
+        query: &[TokenId],
+        delta: f64,
+        scratch: &mut ShardedScratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<SearchResult, Interrupted> {
+        self.range_ctl_on(
+            par::auto_intra_workers(self.partitioning.n_groups()),
+            query,
+            delta,
+            scratch,
+            ctl,
+        )
+    }
+
+    /// Exact range search with an explicit intra-query worker count.
+    /// The parallel path fans the per-shard filters out, then splits
+    /// the merged surviving groups across workers — per-shard pruning
+    /// and merged-stream pruning cut exactly the same set of groups
+    /// (a group survives iff `UB ≥ δ`, shard-independently), and all
+    /// counters are additive, so results are bit-for-bit sequential.
+    pub fn range_ctl_on(
+        &self,
+        workers: usize,
         query: &[TokenId],
         delta: f64,
         scratch: &mut ShardedScratch,
@@ -524,22 +656,120 @@ impl<S: Similarity> ShardedLes3Index<S> {
         let q_len = distinct_len(query);
         let mut hits: Vec<(SetId, f64)> = Vec::new();
         let ShardedScratch {
-            per_shard, filters, ..
+            per_shard,
+            filters,
+            merged,
+            ..
         } = scratch;
-        for s in 0..self.shards.len() {
-            self.filter_shard(s, query, q_len, &mut per_shard[s], &mut filters[s]);
-            stats.columns_checked += filters[s].cols as usize;
-            if let Some(reason) = ctl.interrupted() {
-                return Err(Interrupted { reason, stats });
+        if workers <= 1 {
+            for s in 0..self.shards.len() {
+                self.filter_shard(s, query, q_len, &mut per_shard[s], &mut filters[s]);
+                stats.columns_checked += filters[s].cols as usize;
+                if let Some(reason) = ctl.interrupted() {
+                    return Err(Interrupted { reason, stats });
+                }
+                if let Err(reason) =
+                    self.range_shard(s, query, delta, &filters[s], &mut hits, &mut stats, ctl)
+                {
+                    return Err(Interrupted { reason, stats });
+                }
             }
-            if let Err(reason) =
-                self.range_shard(s, query, delta, &filters[s], &mut hits, &mut stats, ctl)
-            {
-                return Err(Interrupted { reason, stats });
-            }
+            sort_hits(&mut hits);
+            return Ok(SearchResult { hits, stats });
+        }
+        self.filter_all(workers, query, q_len, per_shard, filters, &mut stats);
+        if let Some(reason) = ctl.interrupted() {
+            return Err(Interrupted { reason, stats });
+        }
+        merge_filter_streams(&filters[..self.shards.len()], merged);
+        let groups = MergedGroups {
+            index: self,
+            merged,
+            query,
+            q_len,
+        };
+        if let Err(reason) = par::range_scan(&groups, delta, workers, &mut hits, &mut stats, ctl) {
+            return Err(Interrupted { reason, stats });
         }
         sort_hits(&mut hits);
         Ok(SearchResult { hits, stats })
+    }
+
+    /// [`ShardedLes3Index::range`] with a pinned intra-query worker
+    /// count.
+    pub fn range_par(&self, query: &[TokenId], delta: f64, workers: usize) -> SearchResult {
+        self.range_ctl_on(
+            workers,
+            query,
+            delta,
+            &mut ShardedScratch::new(),
+            &QueryCtl::NONE,
+        )
+        .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"))
+    }
+}
+
+/// Materializes the `(r desc, global group id asc)` merge of per-shard
+/// filter streams — the exact sequence the cursor-wise
+/// [`ShardedLes3Index::merge_knn`] consumes front by front, and (because
+/// each shard's stream comes from the one shared
+/// [`crate::index::bucketed_descending`]) the exact flat verification
+/// order. Each shard's stream is already sorted, so this is a k-way
+/// merge flattened into one sort; `(r, group)` is unique per group, so
+/// the order is total and `sort_unstable` deterministic.
+pub(crate) fn merge_filter_streams<'a>(
+    filters: impl IntoIterator<Item = &'a ShardFilter>,
+    out: &mut Vec<(u32, ShardBound)>,
+) {
+    out.clear();
+    for (s, f) in filters.into_iter().enumerate() {
+        out.extend(f.bounds.iter().map(|&b| (s as u32, b)));
+    }
+    out.sort_unstable_by(|a, b| b.1.r.cmp(&a.1.r).then(a.1.group.cmp(&b.1.group)));
+}
+
+/// The sharded index's merged bound stream for the intra-query engine:
+/// bounds derived lazily from `r` (identical arithmetic to both the
+/// flat index's eager bounds and the cursor merge's front bounds).
+pub(crate) struct MergedGroups<'a, S: Similarity> {
+    pub(crate) index: &'a ShardedLes3Index<S>,
+    pub(crate) merged: &'a [(u32, ShardBound)],
+    pub(crate) query: &'a [TokenId],
+    pub(crate) q_len: usize,
+}
+
+impl<S: Similarity> ParGroups for MergedGroups<'_, S> {
+    type S = S;
+
+    fn n_groups(&self) -> usize {
+        self.merged.len()
+    }
+
+    fn ub(&self, i: usize) -> f64 {
+        self.index
+            .sim
+            .ub_from_overlap(self.q_len, self.merged[i].1.r as usize)
+    }
+
+    fn locate(&self, i: usize) -> (&VerifyOrder, u32) {
+        let (s, b) = self.merged[i];
+        (&self.index.shards[s as usize].verify, b.local)
+    }
+
+    fn sim(&self) -> S {
+        self.index.sim
+    }
+
+    fn db(&self) -> &SetDatabase {
+        &self.index.db
+    }
+
+    fn query(&self) -> &[TokenId] {
+        self.query
+    }
+
+    fn q_len(&self) -> usize {
+        self.q_len
     }
 }
 

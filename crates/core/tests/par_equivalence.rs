@@ -1,0 +1,364 @@
+//! Property tests for intra-query parallelism: a kNN or range query
+//! answered by the speculate-and-replay engine (`par.rs`) at any worker
+//! count must be indistinguishable — hits *and* every [`SearchStats`]
+//! counter, bit for bit — from the sequential descent. This is the
+//! contract that lets the serving front fan a lone large query across
+//! idle workers without changing a single observable byte.
+//!
+//! Also covers cooperative cancellation mid-verification: tripping the
+//! [`QueryCtl`] flag while several workers are speculating must stop
+//! *every* worker at its next group boundary, not just the committer.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use les3_core::{
+    Cosine, DeletionLog, Dice, InterruptReason, Jaccard, Les3Index, OverlapCoefficient,
+    Partitioning, QueryCtl, QueryScratch, ShardPolicy, ShardedLes3Index, ShardedScratch,
+    Similarity, ThresholdedEval,
+};
+use les3_data::{SetDatabase, TokenId};
+use proptest::prelude::*;
+
+/// Worker counts the sweeps pin: an even split, an odd one that leaves
+/// a remainder against every group count, and the sequential baseline
+/// is always computed with 1.
+const WORKER_COUNTS: [usize; 3] = [2, 4, 7];
+
+fn db_strategy() -> impl Strategy<Value = SetDatabase> {
+    prop::collection::vec(prop::collection::btree_set(0u32..100, 1..25), 2..60).prop_map(|sets| {
+        SetDatabase::from_sets(sets.into_iter().map(|s| s.into_iter().collect::<Vec<_>>()))
+    })
+}
+
+fn pseudo_partitioning(n_sets: usize, n_groups: usize, seed: u64) -> Partitioning {
+    let assignment: Vec<u32> = (0..n_sets)
+        .map(|i| {
+            let mut h = seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            h ^= h >> 33;
+            (h % n_groups as u64) as u32
+        })
+        .collect();
+    Partitioning::from_assignment(assignment, n_groups)
+}
+
+/// Asserts that every pinned worker count reproduces the sequential
+/// result exactly, on both the flat and the sharded index.
+fn check_parallel_configs<S: Similarity>(
+    db: &SetDatabase,
+    part: &Partitioning,
+    sim: S,
+    query: &[TokenId],
+    k: usize,
+    delta: f64,
+) {
+    let flat = Les3Index::build(db.clone(), part.clone(), sim);
+    let seq_knn = flat.knn_par(query, k, 1);
+    let seq_range = flat.range_par(query, delta, 1);
+    let sharded = ShardedLes3Index::build(db.clone(), part.clone(), sim, 3, ShardPolicy::Hash);
+    let mut scratch = ShardedScratch::new();
+    for workers in WORKER_COUNTS {
+        let got = flat.knn_par(query, k, workers);
+        assert_eq!(
+            got.hits,
+            seq_knn.hits,
+            "knn hits {} w={workers}",
+            sim.name()
+        );
+        assert_eq!(
+            got.stats,
+            seq_knn.stats,
+            "knn stats {} w={workers}",
+            sim.name()
+        );
+        let got = flat.range_par(query, delta, workers);
+        assert_eq!(
+            got.hits,
+            seq_range.hits,
+            "range hits {} w={workers}",
+            sim.name()
+        );
+        assert_eq!(
+            got.stats,
+            seq_range.stats,
+            "range stats {} w={workers}",
+            sim.name()
+        );
+        let got = sharded
+            .knn_ctl_on(workers, query, k, &mut scratch, &QueryCtl::NONE)
+            .unwrap();
+        assert_eq!(
+            got.hits,
+            seq_knn.hits,
+            "sharded knn hits {} w={workers}",
+            sim.name()
+        );
+        assert_eq!(
+            got.stats,
+            seq_knn.stats,
+            "sharded knn stats {} w={workers}",
+            sim.name()
+        );
+        let got = sharded
+            .range_ctl_on(workers, query, delta, &mut scratch, &QueryCtl::NONE)
+            .unwrap();
+        assert_eq!(
+            got.hits,
+            seq_range.hits,
+            "sharded range hits {} w={workers}",
+            sim.name()
+        );
+        assert_eq!(
+            got.stats,
+            seq_range.stats,
+            "sharded range stats {} w={workers}",
+            sim.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn parallel_queries_equal_sequential_for_all_measures(
+        db in db_strategy(),
+        query in prop::collection::btree_set(0u32..110, 1..15),
+        k in 1usize..12,
+        delta in 0.0f64..1.05,
+        n_groups in 1usize..11,
+        seed in 0u64..500,
+    ) {
+        let query: Vec<u32> = query.into_iter().collect();
+        let part = pseudo_partitioning(db.len(), n_groups, seed);
+        check_parallel_configs(&db, &part, Jaccard, &query, k, delta);
+        check_parallel_configs(&db, &part, Dice, &query, k, delta);
+        check_parallel_configs(&db, &part, Cosine, &query, k, delta);
+        check_parallel_configs(&db, &part, OverlapCoefficient, &query, k, delta);
+    }
+
+    #[test]
+    fn parallel_stays_equal_under_interleaved_inserts_and_deletes(
+        db in db_strategy(),
+        inserts in prop::collection::vec(prop::collection::btree_set(0u32..140, 1..20), 1..10),
+        delete_picks in prop::collection::vec(0u32..1000, 1..8),
+        k in 1usize..6,
+        delta in 0.1f64..1.0,
+        n_groups in 1usize..7,
+        seed in 0u64..500,
+    ) {
+        let part = pseudo_partitioning(db.len(), n_groups, seed);
+        let mut flat = Les3Index::build(db.clone(), part.clone(), Jaccard);
+        let mut log = DeletionLog::build(&flat);
+        let mut deletes = delete_picks.iter();
+        // Mutate, then re-check the parallel/sequential contract after
+        // every insert+delete pair: the engine must replay the updated
+        // verification order, not a stale snapshot of it.
+        for s in &inserts {
+            let mut tokens: Vec<u32> = s.iter().copied().collect();
+            let (id, _) = flat.insert(&mut tokens);
+            log.note_insert(&flat, id);
+            if let Some(&pick) = deletes.next() {
+                let victim = pick % flat.db().len() as u32;
+                log.delete(&mut flat, victim);
+            }
+            let q = flat.db().set((flat.db().len() - 1) as u32).to_vec();
+            let seq_knn = flat.knn_par(&q, k, 1);
+            let seq_range = flat.range_par(&q, delta, 1);
+            for workers in WORKER_COUNTS {
+                let got = flat.knn_par(&q, k, workers);
+                prop_assert_eq!(&got.hits, &seq_knn.hits, "post-update knn w={}", workers);
+                prop_assert_eq!(got.stats, seq_knn.stats, "post-update knn stats w={}", workers);
+                let mut a = got.hits;
+                let mut b = seq_knn.hits.clone();
+                log.filter_hits(&mut a);
+                log.filter_hits(&mut b);
+                prop_assert_eq!(a, b, "post-update filtered knn w={}", workers);
+                let got = flat.range_par(&q, delta, workers);
+                prop_assert_eq!(&got.hits, &seq_range.hits, "post-update range w={}", workers);
+                prop_assert_eq!(got.stats, seq_range.stats,
+                    "post-update range stats w={}", workers);
+            }
+        }
+    }
+}
+
+/// A database of single-token singleton sets, one group per set: every
+/// group holds exactly one candidate, so the engine performs at most
+/// one similarity evaluation per group and the eval counter below maps
+/// one-to-one onto group boundaries.
+fn singleton_fixture(n: usize) -> (SetDatabase, Partitioning) {
+    let db = SetDatabase::from_sets((0..n as u32).map(|i| vec![i]));
+    let part = Partitioning::from_assignment((0..n as u32).collect(), n);
+    (db, part)
+}
+
+/// Mid-flight cancellation must reach *all* parallel verification
+/// workers: after the flag trips during the `TRIP_AT`-th evaluation,
+/// each of the `workers` concurrent evaluators may finish at most the
+/// one evaluation it has already begun (or just claimed) before its
+/// next group-boundary poll observes the shared abort — so the total
+/// evaluation count is bounded by `TRIP_AT + workers`, far below the
+/// `G` evaluations a full run performs.
+#[test]
+fn cancellation_stops_all_knn_workers_mid_flight() {
+    static EVALS: AtomicUsize = AtomicUsize::new(0);
+    static CANCEL: AtomicBool = AtomicBool::new(false);
+    const TRIP_AT: usize = 24;
+    const G: usize = 64;
+
+    #[derive(Clone, Copy)]
+    struct TrippingSim;
+    impl Similarity for TrippingSim {
+        fn name(&self) -> &'static str {
+            "tripping-jaccard"
+        }
+        fn from_overlap(&self, overlap: usize, a_len: usize, b_len: usize) -> f64 {
+            Jaccard.from_overlap(overlap, a_len, b_len)
+        }
+        fn ub_from_overlap(&self, q_len: usize, r: usize) -> f64 {
+            Jaccard.ub_from_overlap(q_len, r)
+        }
+        fn eval_with_threshold(&self, a: &[TokenId], b: &[TokenId], t: f64) -> ThresholdedEval {
+            if EVALS.fetch_add(1, Ordering::SeqCst) + 1 == TRIP_AT {
+                CANCEL.store(true, Ordering::SeqCst);
+            }
+            Jaccard.eval_with_threshold(a, b, t)
+        }
+    }
+
+    let (db, part) = singleton_fixture(G);
+    let index = Les3Index::build(db, part, TrippingSim);
+    for workers in WORKER_COUNTS {
+        EVALS.store(0, Ordering::SeqCst);
+        CANCEL.store(false, Ordering::SeqCst);
+        // k = G keeps the top-k threshold at -inf for the whole query:
+        // every group's single candidate is evaluated, none is pruned,
+        // so an uncancelled run would perform exactly G evaluations.
+        let ctl = QueryCtl::new(None, Some(&CANCEL));
+        let err = index
+            .knn_ctl_on(workers, &[0], G, &mut QueryScratch::new(), &ctl)
+            .expect_err("tripped flag must interrupt the query");
+        assert_eq!(err.reason, InterruptReason::Cancelled, "w={workers}");
+        let evals = EVALS.load(Ordering::SeqCst);
+        assert!(
+            evals >= TRIP_AT,
+            "flag trips at eval {TRIP_AT}, saw {evals}"
+        );
+        assert!(
+            evals <= TRIP_AT + workers,
+            "w={workers}: {evals} evaluations after cancelling at {TRIP_AT} — \
+             some worker ran past its group boundary"
+        );
+        assert!(
+            err.stats.groups_verified < G,
+            "w={workers}: all {G} groups committed despite cancellation"
+        );
+    }
+}
+
+/// The range-scan analogue: δ = 0 admits every group, the committer
+/// reuses every speculative record (the threshold is the constant δ),
+/// and cancellation must still stop all workers within one group each.
+#[test]
+fn cancellation_stops_all_range_workers_mid_flight() {
+    static EVALS: AtomicUsize = AtomicUsize::new(0);
+    static CANCEL: AtomicBool = AtomicBool::new(false);
+    const TRIP_AT: usize = 24;
+    const G: usize = 64;
+
+    #[derive(Clone, Copy)]
+    struct TrippingSim;
+    impl Similarity for TrippingSim {
+        fn name(&self) -> &'static str {
+            "tripping-jaccard"
+        }
+        fn from_overlap(&self, overlap: usize, a_len: usize, b_len: usize) -> f64 {
+            Jaccard.from_overlap(overlap, a_len, b_len)
+        }
+        fn ub_from_overlap(&self, q_len: usize, r: usize) -> f64 {
+            Jaccard.ub_from_overlap(q_len, r)
+        }
+        fn eval_with_threshold(&self, a: &[TokenId], b: &[TokenId], t: f64) -> ThresholdedEval {
+            if EVALS.fetch_add(1, Ordering::SeqCst) + 1 == TRIP_AT {
+                CANCEL.store(true, Ordering::SeqCst);
+            }
+            Jaccard.eval_with_threshold(a, b, t)
+        }
+    }
+
+    let (db, part) = singleton_fixture(G);
+    let index = Les3Index::build(db, part, TrippingSim);
+    for workers in WORKER_COUNTS {
+        EVALS.store(0, Ordering::SeqCst);
+        CANCEL.store(false, Ordering::SeqCst);
+        let ctl = QueryCtl::new(None, Some(&CANCEL));
+        let err = index
+            .range_ctl_on(workers, &[0], 0.0, &mut QueryScratch::new(), &ctl)
+            .expect_err("tripped flag must interrupt the query");
+        assert_eq!(err.reason, InterruptReason::Cancelled, "w={workers}");
+        let evals = EVALS.load(Ordering::SeqCst);
+        assert!(
+            evals >= TRIP_AT,
+            "flag trips at eval {TRIP_AT}, saw {evals}"
+        );
+        assert!(
+            evals <= TRIP_AT + workers,
+            "w={workers}: {evals} evaluations after cancelling at {TRIP_AT} — \
+             some worker ran past its group boundary"
+        );
+    }
+}
+
+/// Deterministic spot check on an index large enough for the automatic
+/// worker heuristic to engage (≥ 128 groups) and for the speculation
+/// lookahead window to wrap several times.
+#[test]
+fn parallel_matches_sequential_on_larger_index() {
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let sets: Vec<Vec<u32>> = (0..400)
+        .map(|_| {
+            let len = 3 + (next() % 20) as usize;
+            let mut s: Vec<u32> = (0..len).map(|_| (next() % 300) as u32).collect();
+            s.sort_unstable();
+            s.dedup();
+            s
+        })
+        .collect();
+    let db = SetDatabase::from_sets(sets);
+    let part = pseudo_partitioning(db.len(), 160, 7);
+    let flat = Les3Index::build(db.clone(), part.clone(), Jaccard);
+    let sharded = ShardedLes3Index::build(db, part, Jaccard, 4, ShardPolicy::Contiguous);
+    let mut scratch = ShardedScratch::new();
+    for q in [
+        vec![1u32, 5, 9, 42, 77, 120],
+        vec![0u32],
+        vec![200u32, 201, 202, 203],
+    ] {
+        let seq_knn = flat.knn_par(&q, 10, 1);
+        let seq_range = flat.range_par(&q, 0.3, 1);
+        // `knn` picks its own worker count (auto heuristic or the
+        // LES3_TEST_WORKERS override): still bit-for-bit sequential.
+        let auto = flat.knn(&q, 10);
+        assert_eq!(auto.hits, seq_knn.hits);
+        assert_eq!(auto.stats, seq_knn.stats);
+        for workers in [2usize, 4, 8] {
+            let got = flat.knn_par(&q, 10, workers);
+            assert_eq!(got.hits, seq_knn.hits, "knn w={workers}");
+            assert_eq!(got.stats, seq_knn.stats, "knn stats w={workers}");
+            let got = flat.range_par(&q, 0.3, workers);
+            assert_eq!(got.hits, seq_range.hits, "range w={workers}");
+            assert_eq!(got.stats, seq_range.stats, "range stats w={workers}");
+            let got = sharded
+                .knn_ctl_on(workers, &q, 10, &mut scratch, &QueryCtl::NONE)
+                .unwrap();
+            assert_eq!(got.hits, seq_knn.hits, "sharded knn w={workers}");
+            assert_eq!(got.stats, seq_knn.stats, "sharded knn stats w={workers}");
+        }
+    }
+}

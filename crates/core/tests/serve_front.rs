@@ -291,6 +291,7 @@ fn gated_front<const ID: usize>(queue_capacity: usize) -> ServeFront<Les3Index<G
             max_wait: Duration::ZERO,
             workers: 1,
             queue_capacity,
+            intra_workers: 0,
         },
     )
 }
@@ -460,6 +461,7 @@ proptest! {
             max_wait: Duration::from_micros(wait_us),
             workers,
             queue_capacity: 1,
+            intra_workers: 0,
         });
         let queries: Vec<Vec<TokenId>> = (0..n_requests as u32)
             .map(|i| index.db().set((i * 13 + seed as u32) % 150).to_vec())

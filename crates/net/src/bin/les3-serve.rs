@@ -54,6 +54,8 @@ Serving front (admission control):
     --max-batch N          close a batch at N requests [default: 64]
     --max-wait-ms MS       ...or MS after its first request [default: 1]
     --queue-capacity N     accepted-but-unfinished cap; 0 = unbounded [default: 1024]
+    --intra-workers N      intra-query workers per request; 0 = adapt to
+                           batch size (lone large queries fan out) [default: 0]
 
 Index:
     --shards N             shard the group axis N ways; 0 = flat index [default: 0]
@@ -84,6 +86,7 @@ struct Args {
     max_batch: usize,
     max_wait_ms: u64,
     queue_capacity: usize,
+    intra_workers: usize,
     shards: usize,
     groups: Option<usize>,
     sets: usize,
@@ -106,6 +109,7 @@ impl Default for Args {
             max_batch: 64,
             max_wait_ms: 1,
             queue_capacity: 1024,
+            intra_workers: 0,
             shards: 0,
             groups: None,
             sets: 10_000,
@@ -151,6 +155,9 @@ fn parse_args() -> Args {
             }
             "--queue-capacity" => {
                 args.queue_capacity = parse(value(&mut it, "--queue-capacity"), "--queue-capacity")
+            }
+            "--intra-workers" => {
+                args.intra_workers = parse(value(&mut it, "--intra-workers"), "--intra-workers")
             }
             "--shards" => args.shards = parse(value(&mut it, "--shards"), "--shards"),
             "--groups" => args.groups = Some(parse(value(&mut it, "--groups"), "--groups")),
@@ -286,6 +293,7 @@ fn main() {
         } else {
             args.queue_capacity
         },
+        intra_workers: args.intra_workers,
     };
 
     if let Some(dir) = args.load_index.clone() {

@@ -55,6 +55,7 @@ fn fast_config() -> ServeConfig {
         max_wait: Duration::from_micros(300),
         workers: 2,
         queue_capacity: usize::MAX,
+        intra_workers: 0,
     }
 }
 
@@ -266,6 +267,7 @@ fn overload_maps_to_503_with_retry_after() {
         max_wait: Duration::from_millis(700),
         workers: 1,
         queue_capacity: 1,
+        intra_workers: 0,
     };
     let (server, addr) = start_server(flat_index(5), config);
     let db = test_db(5);
@@ -353,6 +355,7 @@ fn client_disconnect_cancels_the_query() {
         max_wait: Duration::from_millis(400),
         workers: 1,
         queue_capacity: usize::MAX,
+        intra_workers: 0,
     };
     let (server, addr) = start_server(flat_index(7), config);
     let db = test_db(7);

@@ -7,6 +7,36 @@
 //! work-stealing pool: every `spawn` is one OS thread. Callers therefore
 //! spawn one task per *worker* (chunked), not one per item, which is how
 //! the batch query paths in `les3-core` use it.
+//!
+//! # The scoped-worker idiom
+//!
+//! Because a `spawn` costs a thread, fan-out code must not spawn per
+//! shard, per chunk, or per group. The shape that works is: spawn
+//! exactly `workers` loops, and have each loop *claim* items from a
+//! shared atomic cursor until the work runs dry. [`run_workers`]
+//! packages that shape — it runs `f(0) .. f(workers-1)` concurrently
+//! (worker 0 on the calling thread, so `workers == 1` costs nothing)
+//! and returns when all of them have. Item claiming stays with the
+//! caller, e.g.:
+//!
+//! ```
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//! let next = AtomicUsize::new(0);
+//! let done = AtomicUsize::new(0);
+//! rayon::run_workers(4, |_w| loop {
+//!     let item = next.fetch_add(1, Ordering::Relaxed);
+//!     if item >= 100 {
+//!         break;
+//!     }
+//!     done.fetch_add(1, Ordering::Relaxed); // process `item`
+//! });
+//! assert_eq!(done.load(Ordering::Relaxed), 100);
+//! ```
+//!
+//! If the real rayon is ever swapped back in (see the workspace
+//! manifest), keep this helper as a thin adapter — it has no
+//! counterpart in rayon's API but is trivially expressible with
+//! `scope` + `spawn`, which is exactly what it does here.
 
 /// Number of worker threads a parallel section should target.
 pub fn current_num_threads() -> usize {
@@ -54,6 +84,30 @@ where
         let wrapper = Scope { inner: s };
         f(&wrapper)
     })
+}
+
+/// Runs `f(w)` for `w ∈ 0..workers` concurrently — one OS thread per
+/// worker, with worker 0 on the calling thread — and returns when every
+/// worker has. `workers <= 1` runs `f(0)` inline with no thread spawned.
+///
+/// This is the scoped-worker idiom (see the module docs): callers pass a
+/// worker *loop* that claims items from a shared cursor, never a
+/// per-item closure.
+pub fn run_workers<F>(workers: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if workers <= 1 {
+        f(0);
+        return;
+    }
+    std::thread::scope(|s| {
+        for w in 1..workers {
+            let f = &f;
+            s.spawn(move || f(w));
+        }
+        f(0);
+    });
 }
 
 /// Runs two closures, potentially in parallel, returning both results.
@@ -106,6 +160,31 @@ mod tests {
             }
         });
         assert_eq!(out, (0..64).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn run_workers_covers_all_items_at_any_width() {
+        for workers in [1usize, 2, 3, 8] {
+            let next = AtomicUsize::new(0);
+            let sum = AtomicUsize::new(0);
+            run_workers(workers, |_w| loop {
+                let item = next.fetch_add(1, Ordering::Relaxed);
+                if item >= 50 {
+                    break;
+                }
+                sum.fetch_add(item, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), (0..50).sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn run_workers_single_runs_on_caller_thread() {
+        let caller = std::thread::current().id();
+        run_workers(1, |w| {
+            assert_eq!(w, 0);
+            assert_eq!(std::thread::current().id(), caller);
+        });
     }
 
     #[test]

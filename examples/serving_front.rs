@@ -21,6 +21,7 @@
 //!     max_wait: Duration::from_micros(500),   // …or 500µs after its first one
 //!     workers: 0,                             // 0 = one worker per core
 //!     queue_capacity: 256,                    // accepted-but-unfinished cap
+//!     intra_workers: 0,                       // adapt intra-query fan-out
 //! });
 //! // Share &front across connection threads:
 //! let hits = front.knn(&query, 10)?;          // blocking (backpressure on full)
@@ -169,6 +170,7 @@ fn main() {
             max_wait: Duration::from_secs(1),
             workers: 1,
             queue_capacity: 2,
+            intra_workers: 0,
         },
     );
     let q = db.set(42).to_vec();
