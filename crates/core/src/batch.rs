@@ -50,9 +50,9 @@
 //! assert_eq!(batch[1], index.knn(&queries[1], 2));
 //! ```
 
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use les3_data::TokenId;
 
@@ -128,6 +128,9 @@ pub(crate) fn run_coalesced<W>(
         rayon::run_workers(workers.min(n_tasks), |_w| {
             let mut state = make_state();
             loop {
+                // relaxed: unique-ticket handout; task results flow
+                // through per-task cells under their own locks (or the
+                // panic record mutex), ordered by the join barrier.
                 let t = next.fetch_add(1, Ordering::Relaxed);
                 if t >= n_tasks {
                     break;
@@ -161,7 +164,7 @@ pub(crate) fn run_coalesced<W>(
 /// submitted job completes) before the threads are joined.
 pub(crate) struct WorkerPool<W: Send + 'static> {
     shared: Arc<PoolShared<W>>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    handles: Vec<crate::sync::thread::JoinHandle<()>>,
 }
 
 /// A unit of pool work: a batch that hands out tasks to however many
@@ -224,7 +227,7 @@ impl<W: Send + 'static> WorkerPool<W> {
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 let make_state = Arc::clone(&make_state);
-                std::thread::Builder::new()
+                crate::sync::thread::Builder::new()
                     .name(format!("{name}-{i}"))
                     .spawn(move || pool_worker_loop(i, &shared, &*make_state))
                     .expect("spawn pool worker")

@@ -26,7 +26,7 @@
 //! future network layer) can report exactly how much CPU the abandoned
 //! query consumed.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use crate::stats::SearchStats;

@@ -86,8 +86,21 @@ pub mod serve;
 pub mod shard;
 pub mod sim;
 pub mod stats;
+pub mod sync;
 pub mod tgm;
 pub mod update;
+
+/// Internal protocol pieces re-exported for the exhaustive concurrency
+/// models in `tests/model_check.rs` (see `docs/CONCURRENCY.md`). Not
+/// public API: shapes and names may change without notice.
+#[doc(hidden)]
+pub mod model_support {
+    pub use crate::par::{
+        decode_f64, encode_f64, SharedKth, CLAIMED as SLOT_CLAIMED, DONE as SLOT_DONE,
+        OPEN as SLOT_OPEN, TAKEN as SLOT_TAKEN,
+    };
+    pub use crate::serve::FrontShared;
+}
 
 pub use ctl::{InterruptReason, Interrupted, QueryCtl};
 pub use delete::DeletionLog;

@@ -76,9 +76,9 @@
 //! group is pruned the panic vanishes — also exactly like the
 //! sequential loop, which would never have touched it.
 
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use crate::sync::{Condvar, Mutex, OnceLock};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
 
 use les3_data::{SetDatabase, SetId, TokenId};
 
@@ -145,7 +145,7 @@ pub(crate) fn serve_intra_cap(n_groups: usize) -> usize {
 /// Maps `f64` to `u64` preserving `total_cmp` order: flip all bits of
 /// negatives, flip only the sign bit of non-negatives. `fetch_max` on
 /// the encoding is then a monotone max on the float.
-fn encode_f64(x: f64) -> u64 {
+pub fn encode_f64(x: f64) -> u64 {
     let bits = x.to_bits();
     if bits >> 63 == 1 {
         !bits
@@ -154,27 +154,33 @@ fn encode_f64(x: f64) -> u64 {
     }
 }
 
-fn decode_f64(e: u64) -> f64 {
+pub fn decode_f64(e: u64) -> f64 {
     f64::from_bits(if e >> 63 == 1 { e ^ (1 << 63) } else { !e })
 }
 
 /// The running k-th similarity, shared lock-free with every
 /// speculation worker. Written only by the commit thread (with true
 /// committed thresholds), read by workers as their snapshot `t_snap`.
-struct SharedKth(AtomicU64);
+pub struct SharedKth(AtomicU64);
 
 impl SharedKth {
-    fn new() -> Self {
+    pub fn new() -> Self {
         Self(AtomicU64::new(encode_f64(f64::NEG_INFINITY)))
     }
 
-    fn get(&self) -> f64 {
+    pub fn get(&self) -> f64 {
         decode_f64(self.0.load(Ordering::Acquire))
     }
 
     /// Monotone max-CAS: the bound only ever rises.
-    fn raise(&self, x: f64) {
+    pub fn raise(&self, x: f64) {
         self.0.fetch_max(encode_f64(x), Ordering::AcqRel);
+    }
+}
+
+impl Default for SharedKth {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -292,10 +298,10 @@ fn speculate_group<G: ParGroups>(g: &G, i: usize, t_snap: f64) -> GroupRecord {
 /// speculating) → `DONE` (record published), or `OPEN` → `TAKEN` (the
 /// committer got there first). The committer also moves `DONE` →
 /// `TAKEN` when consuming a record.
-const OPEN: u8 = 0;
-const CLAIMED: u8 = 1;
-const DONE: u8 = 2;
-const TAKEN: u8 = 3;
+pub const OPEN: u8 = 0;
+pub const CLAIMED: u8 = 1;
+pub const DONE: u8 = 2;
+pub const TAKEN: u8 = 3;
 
 struct SpecSlot {
     state: AtomicU8,
@@ -363,6 +369,9 @@ fn spec_worker<G: ParGroups>(
             coord.raise_abort();
             return;
         }
+        // relaxed: the cursor only hands out unique indices (RMW
+        // atomicity); everything a claimed index touches is published
+        // through the slot CAS or the committed mutex, never the cursor.
         let i = coord.next.fetch_add(1, Ordering::Relaxed);
         if i >= n {
             return;
@@ -443,6 +452,10 @@ fn knn_commit<G: ParGroups>(
                 }
                 Err(_) => {
                     // DONE: consume the record.
+                    // relaxed: DONE→TAKEN is committer-private (no other
+                    // thread writes a DONE slot), and the record itself
+                    // travels under the rec mutex plus the worker's DONE
+                    // Release edge — nothing is published through TAKEN.
                     slot.state.store(TAKEN, Ordering::Relaxed);
                     break lock_unpoisoned(&slot.rec).take();
                 }
@@ -628,6 +641,9 @@ pub(crate) fn range_scan<G: ParGroups>(
                 lock_unpoisoned(&reason_cell).get_or_insert(reason);
                 return;
             }
+            // relaxed: unique-ticket handout only; every result flows
+            // through the per-worker Mutex<Local> cells, which the
+            // joining `run_workers` barrier orders with the reader.
             let i = next.fetch_add(1, Ordering::Relaxed);
             if i >= stop {
                 return;

@@ -9,17 +9,17 @@
 //! out. Iterating the budget over every event boundary simulates a crash
 //! at every byte of the save/append path.
 
+use crate::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use crate::sync::Arc;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::Arc;
 
 /// CRC-32 (IEEE 802.3, polynomial `0xEDB88320`), table-driven. Matches
 /// the ubiquitous zlib/`crc32fast` checksum so segments are inspectable
 /// with standard tools.
 pub fn crc32(bytes: &[u8]) -> u32 {
-    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    static TABLE: crate::sync::OnceLock<[u32; 256]> = crate::sync::OnceLock::new();
     let table = TABLE.get_or_init(|| {
         let mut table = [0u32; 256];
         for (i, slot) in table.iter_mut().enumerate() {
@@ -144,6 +144,8 @@ impl FaultBudget {
 
     /// Total units consumed so far.
     pub fn consumed(&self) -> u64 {
+        // relaxed: monotonic test-telemetry counter; readers only need
+        // an eventually-consistent total, never cross-thread ordering.
         self.consumed.load(Ordering::Relaxed)
     }
 
@@ -151,14 +153,20 @@ impl FaultBudget {
     /// Tests use this to model a *transient* I/O failure: exhaust the
     /// budget mid-operation, then refill and prove the writer recovers.
     pub fn refill(&self, n: u64) {
+        // relaxed: the budget is a fault-injection knob, not a
+        // synchronization point — tests refill from the same thread
+        // that drives the writer, so program order already suffices.
         self.remaining.store(n as i64, Ordering::Relaxed);
     }
 
     /// Tries to spend `n` units; on failure returns how many of them were
     /// still affordable (the torn-write prefix length).
     fn spend(&self, n: u64) -> Result<(), u64> {
+        // relaxed: both counters are independent tallies; the return
+        // value is derived from the RMW's own atomic result, and no
+        // other memory is published through either counter.
         self.consumed.fetch_add(n, Ordering::Relaxed);
-        let before = self.remaining.fetch_sub(n as i64, Ordering::Relaxed);
+        let before = self.remaining.fetch_sub(n as i64, Ordering::Relaxed); // relaxed: ditto
         if before >= n as i64 {
             Ok(())
         } else {

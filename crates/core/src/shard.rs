@@ -66,8 +66,8 @@
 //! assert_eq!(sharded.range(&[0, 1, 2], 0.5), flat.range(&[0, 1, 2], 0.5));
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::Mutex;
 
 use les3_bitmap::Bitmap;
 use les3_data::{SetDatabase, SetId, TokenId};
@@ -584,6 +584,9 @@ impl<S: Similarity> ShardedLes3Index<S> {
                 .collect();
             let next = AtomicUsize::new(0);
             rayon::run_workers(workers.min(n), |_w| loop {
+                // relaxed: unique-ticket handout; each claimed shard's
+                // results travel through its own Mutex cell, ordered by
+                // the `run_workers` join barrier.
                 let s = next.fetch_add(1, Ordering::Relaxed);
                 if s >= n {
                     break;

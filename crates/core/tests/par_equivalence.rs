@@ -8,6 +8,11 @@
 //! Also covers cooperative cancellation mid-verification: tripping the
 //! [`QueryCtl`] flag while several workers are speculating must stop
 //! *every* worker at its next group boundary, not just the committer.
+//!
+//! Compiled out under the `model` feature: these are real-thread stress
+//! tests, and loom-instrumented primitives only work inside a
+//! `loom::model` run (`model_check.rs` is the model-build suite).
+#![cfg(not(feature = "model"))]
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 

@@ -440,9 +440,9 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number token is ASCII by construction");
-        // The token alphabet excludes the letters of "inf"/"NaN", so the
-        // f64 parser only accepts genuine numeric spellings here.
+            .expect("number token is ASCII by construction"); // lint: allow(no-unwrap) infallible
+                                                              // The token alphabet excludes the letters of "inf"/"NaN", so the
+                                                              // f64 parser only accepts genuine numeric spellings here.
         match text.parse::<f64>() {
             Ok(n) if n.is_finite() => Ok(Json::Num(n)),
             _ => {

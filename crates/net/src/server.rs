@@ -258,7 +258,7 @@ impl HttpServer {
                 .spawn(move || {
                     connection_worker(&rx, &front, &shutdown, config, snapshot.as_deref())
                 })
-                .expect("spawn connection worker");
+                .expect("spawn connection worker"); // lint: allow(no-unwrap) startup is fail-fast
             workers.push(worker);
         }
         let accept_shutdown = Arc::clone(&shutdown);
@@ -282,7 +282,7 @@ impl HttpServer {
                     }
                 }
             })
-            .expect("spawn accept thread");
+            .expect("spawn accept thread"); // lint: allow(no-unwrap) startup is fail-fast
         Ok(HttpServer {
             local_addr,
             shutdown,

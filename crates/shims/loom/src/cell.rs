@@ -1,0 +1,107 @@
+//! Race-detected non-atomic data. `Data<T>` is the model stand-in for
+//! plain memory published through atomics: every access is checked
+//! against the happens-before relation the declared orderings actually
+//! establish (FastTrack-style: last-write epoch plus a read set). An
+//! access that is not ordered after a concurrent conflicting access
+//! fails the model with a "data race" report — this is the mechanism by
+//! which an under-strength `Ordering` annotation becomes a test failure.
+
+use std::cell::UnsafeCell;
+use std::sync::Mutex as StdMutex;
+
+use crate::rt;
+
+#[derive(Default)]
+struct Meta {
+    /// (tid, tick) of the most recent write.
+    last_write: Option<(usize, u32)>,
+    /// One (tid, tick) entry per thread that read since the last write.
+    reads: Vec<(usize, u32)>,
+}
+
+pub struct Data<T> {
+    value: UnsafeCell<T>,
+    meta: StdMutex<Meta>,
+}
+
+// Safety: every access is serialized by the cooperative scheduler, and
+// conflicting unordered accesses abort the execution before touching
+// the cell a second time.
+unsafe impl<T: Send> Send for Data<T> {}
+unsafe impl<T: Send> Sync for Data<T> {}
+
+fn happens_before(access: (usize, u32), clock: &rt::VClock) -> bool {
+    clock.get(access.0) >= access.1
+}
+
+impl<T> Data<T> {
+    pub fn new(value: T) -> Self {
+        Data {
+            value: UnsafeCell::new(value),
+            meta: StdMutex::new(Meta::default()),
+        }
+    }
+
+    fn access(&self, write: bool) {
+        let (rt, me) = rt::current();
+        rt.schedule_point(me);
+        rt.with_clock(me, |ex| {
+            let mut meta = self.meta.lock().unwrap_or_else(|e| e.into_inner());
+            let clock = ex.threads[me].clock.clone();
+            let racing_write = meta
+                .last_write
+                .filter(|&w| !happens_before(w, &clock))
+                .map(|w| w.0);
+            let racing_read = if write {
+                meta.reads
+                    .iter()
+                    .find(|&&r| !happens_before(r, &clock))
+                    .map(|r| r.0)
+            } else {
+                None
+            };
+            if let Some(other) = racing_write.or(racing_read) {
+                let kind = if write { "write" } else { "read" };
+                drop(meta);
+                let msg = format!(
+                    "data race: {kind} by t{me} is unordered with a \
+                     conflicting access by t{other} — the declared atomic \
+                     orderings do not establish the happens-before edge \
+                     this execution relies on"
+                );
+                rt.fail(ex, msg);
+            }
+            let tick = clock.get(me);
+            if write {
+                meta.last_write = Some((me, tick));
+                meta.reads.clear();
+            } else if let Some(entry) = meta.reads.iter_mut().find(|r| r.0 == me) {
+                entry.1 = tick;
+            } else {
+                meta.reads.push((me, tick));
+            }
+        });
+    }
+
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        self.access(false);
+        // Safety: the access check above aborts racing executions.
+        unsafe { f(&*self.value.get()) }
+    }
+
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        self.access(true);
+        // Safety: as above; the scheduler runs one thread at a time.
+        unsafe { f(&mut *self.value.get()) }
+    }
+
+    pub fn write(&self, value: T) {
+        self.with_mut(|slot| *slot = value);
+    }
+}
+
+impl<T: Copy> Data<T> {
+    pub fn read(&self) -> T {
+        self.with(|v| *v)
+    }
+}

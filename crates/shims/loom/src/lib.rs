@@ -1,0 +1,32 @@
+//! A vendored, dependency-free loom-style concurrency model checker.
+//!
+//! The build environment has no registry access, so — like the `rand`,
+//! `proptest`, and `rayon` shims next door — this crate reimplements the
+//! subset of the real `loom` API that the workspace uses, on top of a
+//! cooperative scheduler:
+//!
+//! * every visible operation (atomic access, mutex lock/unlock, condvar
+//!   wait/notify, spawn/join/yield) is a *scheduling point*;
+//! * exactly one model thread runs at a time, chosen by a depth-first
+//!   explorer that enumerates every schedule a configurable preemption
+//!   bound admits — re-running the closure once per schedule;
+//! * values are sequentially consistent, but every access additionally
+//!   maintains vector clocks keyed on the *declared* memory orderings, so
+//!   a `Relaxed`/`Acquire`/`Release` annotation weaker than what an
+//!   execution relies on surfaces as a detected data race on the
+//!   non-atomic data it was supposed to publish (see [`cell::Data`]);
+//! * exploration budgets (steps per execution, executions per model)
+//!   panic when exceeded — the checker never truncates silently.
+//!
+//! Entry points: [`model`] for the default configuration, [`Builder`] to
+//! tune bounds, and [`Builder::check_result`] when a test *expects* the
+//! model to fail (used to prove the checker catches injected bugs).
+
+mod model_impl;
+mod rt;
+
+pub mod cell;
+pub mod sync;
+pub mod thread;
+
+pub use model_impl::{model, Builder, Failure, Report};

@@ -1,0 +1,231 @@
+//! The depth-first explorer: run the closure once per schedule, advance
+//! the deepest decision with an untried alternative, stop when the tree
+//! is exhausted (or a budget trips — loudly, never silently).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::rt::{self, Config, Runtime, Status, Teardown};
+use crate::thread::panic_message;
+
+#[derive(Clone, Copy)]
+pub struct Builder {
+    /// Maximum number of *voluntary* context switches away from a
+    /// still-runnable thread per execution (forced switches are free).
+    /// `None` removes the bound (full exhaustive exploration).
+    pub preemption_bound: Option<usize>,
+    /// Scheduling points allowed in a single execution before the model
+    /// is declared divergent.
+    pub max_steps: u64,
+    /// Executions allowed before exploration is declared too large.
+    pub max_executions: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: Some(2),
+            max_steps: 20_000,
+            max_executions: 1_000_000,
+        }
+    }
+}
+
+/// Exploration statistics for a model that passed.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Number of schedules explored to completion.
+    pub executions: u64,
+    /// Deepest decision trace seen.
+    pub max_depth: usize,
+}
+
+/// A failed execution: what went wrong and the schedule that did it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    pub executions: u64,
+    pub message: String,
+    pub trace: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (execution #{}, schedule: {})",
+            self.message, self.executions, self.trace
+        )
+    }
+}
+
+/// Check `f` under the default bounds, panicking on any failure.
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f)
+}
+
+impl Builder {
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        match self.check_result(f) {
+            Ok(report) => report,
+            Err(failure) => panic!("loom model failed: {failure}"),
+        }
+    }
+
+    /// Like [`Builder::check`] but returns the failure instead of
+    /// panicking — for tests that assert an injected bug is caught.
+    pub fn check_result<F>(&self, f: F) -> Result<Report, Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let mut preset: Vec<u32> = Vec::new();
+        let mut executions = 0u64;
+        let mut max_depth = 0usize;
+        loop {
+            executions += 1;
+            if executions > self.max_executions {
+                panic!(
+                    "model exploration exceeded {} executions without \
+                     finishing; shrink the model or raise \
+                     Builder::max_executions — refusing to truncate the \
+                     schedule space silently",
+                    self.max_executions
+                );
+            }
+            let cfg = Config {
+                preemption_bound: self.preemption_bound,
+                max_steps: self.max_steps,
+            };
+            let rt = Arc::new(Runtime::new(cfg, std::mem::take(&mut preset)));
+            run_one(&rt, Arc::clone(&f));
+            let (failure, trace) = {
+                let mut ex = rt.ex();
+                let mut failure = ex.failure.take();
+                if failure.is_none() {
+                    failure = ex.threads.iter_mut().enumerate().find_map(|(tid, t)| {
+                        t.unconsumed_panic
+                            .take()
+                            .map(|m| format!("model thread t{tid} panicked: {m}"))
+                    });
+                }
+                (failure, ex.trace.clone())
+            };
+            max_depth = max_depth.max(trace.len());
+            if let Some(message) = failure {
+                return Err(Failure {
+                    executions,
+                    message,
+                    trace: format_trace(&trace),
+                });
+            }
+            match next_preset(&trace) {
+                Some(next) => preset = next,
+                None => {
+                    return Ok(Report {
+                        executions,
+                        max_depth,
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// Advance the deepest decision that still has an untried alternative;
+/// `None` when the whole tree has been explored.
+fn next_preset(trace: &[(u32, u32, &'static str)]) -> Option<Vec<u32>> {
+    let mut choices: Vec<(u32, u32)> = trace.iter().map(|&(n, c, _)| (n, c)).collect();
+    while let Some((n, c)) = choices.pop() {
+        if c + 1 < n {
+            choices.push((n, c + 1));
+            return Some(choices.into_iter().map(|(_, c)| c).collect());
+        }
+    }
+    None
+}
+
+fn format_trace(trace: &[(u32, u32, &'static str)]) -> String {
+    const SHOWN: usize = 64;
+    let mut parts: Vec<String> = trace
+        .iter()
+        .take(SHOWN)
+        .map(|&(n, c, kind)| {
+            if n == 1 {
+                ".".to_string()
+            } else {
+                format!("{kind}:{c}/{n}")
+            }
+        })
+        .collect();
+    if trace.len() > SHOWN {
+        parts.push(format!("… +{} more", trace.len() - SHOWN));
+    }
+    parts.join(" ")
+}
+
+/// Run a single execution of the model closure to completion (or
+/// failure), then join every OS thread it spawned.
+fn run_one(rt: &Arc<Runtime>, f: Arc<dyn Fn() + Send + Sync>) {
+    rt.register_root();
+    let rt2 = Arc::clone(rt);
+    let root = std::thread::Builder::new()
+        .name("model-t0".to_string())
+        .spawn(move || {
+            rt::set_current(Arc::clone(&rt2), 0);
+            let result = catch_unwind(AssertUnwindSafe(|| f()));
+            match result {
+                Ok(()) => {
+                    let _ = catch_unwind(AssertUnwindSafe(|| rt2.finish_thread(0, None)));
+                }
+                Err(payload) if payload.downcast_ref::<Teardown>().is_some() => {}
+                Err(payload) => {
+                    let msg = panic_message(payload.as_ref());
+                    let _ = catch_unwind(AssertUnwindSafe(|| rt2.finish_thread(0, Some(msg))));
+                }
+            }
+            rt::clear_current();
+        })
+        .expect("spawn OS thread for model root");
+    rt.os_handles
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(root);
+
+    // Wait for the execution to complete or fail, then reap OS threads.
+    // Every push happens-before its parent OS thread exits, so once the
+    // list drains empty after joining, no further handles can appear.
+    {
+        let mut ex = rt.ex();
+        while !(ex.done || ex.failure.is_some()) {
+            ex = rt.cv.wait(ex).unwrap_or_else(|e| e.into_inner());
+        }
+        if ex.failure.is_some() {
+            // Release any thread still parked in a wait loop.
+            for t in ex.threads.iter_mut() {
+                if t.status != Status::Finished {
+                    t.status = Status::Runnable;
+                }
+            }
+            rt.cv.notify_all();
+        }
+    }
+    loop {
+        let handle = rt
+            .os_handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop();
+        match handle {
+            Some(h) => {
+                let _ = h.join();
+            }
+            None => break,
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! The cooperative runtime: one OS thread per model thread, a baton held
+//! by exactly one at a time, and a recorded decision trace that the
+//! explorer in `model_impl` replays and advances depth-first.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+pub(crate) const MAX_THREADS: usize = 8;
+
+/// Panic payload used to tear the remaining model threads down once an
+/// execution has failed. Recognised (and swallowed) by the OS-thread
+/// wrappers in `thread.rs` and by the controller.
+pub(crate) struct Teardown;
+
+/// Vector clock: one logical-time component per model thread.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    fn ensure(&mut self, len: usize) {
+        if self.0.len() < len {
+            self.0.resize(len, 0);
+        }
+    }
+
+    pub fn bump(&mut self, tid: usize) {
+        self.ensure(tid + 1);
+        self.0[tid] += 1;
+    }
+
+    pub fn join(&mut self, other: &VClock) {
+        self.ensure(other.0.len());
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            if *mine < *theirs {
+                *mine = *theirs;
+            }
+        }
+    }
+
+    pub fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Blocked {
+    /// Waiting for the mutex at this address to be released.
+    Lock(usize),
+    /// Parked on the condvar at this address.
+    CvWait(usize),
+    /// Waiting for this model thread to finish.
+    Join(usize),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Status {
+    Runnable,
+    Blocked(Blocked),
+    Finished,
+}
+
+pub(crate) struct ThreadState {
+    pub status: Status,
+    pub clock: VClock,
+    pub name: Option<String>,
+    /// Message of an uncaught panic not yet consumed by a `join`. Left
+    /// unconsumed at execution end, it fails the model.
+    pub unconsumed_panic: Option<String>,
+}
+
+pub(crate) struct Exec {
+    pub threads: Vec<ThreadState>,
+    pub active: usize,
+    pub steps: u64,
+    pub preemptions: usize,
+    /// Choices to replay from the previous execution (DFS prefix).
+    pub preset: Vec<u32>,
+    pub cursor: usize,
+    /// Every decision taken this execution: (options, chosen, kind).
+    pub trace: Vec<(u32, u32, &'static str)>,
+    pub failure: Option<String>,
+    pub done: bool,
+}
+
+#[derive(Clone, Copy)]
+pub(crate) struct Config {
+    pub preemption_bound: Option<usize>,
+    pub max_steps: u64,
+}
+
+pub(crate) struct Runtime {
+    pub cfg: Config,
+    pub ex: StdMutex<Exec>,
+    pub cv: StdCondvar,
+    pub os_handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Runtime>, usize)>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn set_current(rt: Arc<Runtime>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((rt, tid)));
+}
+
+pub(crate) fn clear_current() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+pub(crate) fn current() -> (Arc<Runtime>, usize) {
+    try_current().expect(
+        "loom model operation performed outside a model run \
+         (wrap the test body in loom::model)",
+    )
+}
+
+pub(crate) fn try_current() -> Option<(Arc<Runtime>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+impl Runtime {
+    pub fn new(cfg: Config, preset: Vec<u32>) -> Self {
+        Runtime {
+            cfg,
+            ex: StdMutex::new(Exec {
+                threads: Vec::new(),
+                active: 0,
+                steps: 0,
+                preemptions: 0,
+                preset,
+                cursor: 0,
+                trace: Vec::new(),
+                failure: None,
+                done: false,
+            }),
+            cv: StdCondvar::new(),
+            os_handles: StdMutex::new(Vec::new()),
+        }
+    }
+
+    /// Lock the execution state, tolerating poison: a Teardown panic may
+    /// unwind while the lock is held, and the remaining threads still
+    /// need to observe the failure flag.
+    pub fn ex(&self) -> StdMutexGuard<'_, Exec> {
+        self.ex.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Record the execution as failed and unwind the calling thread.
+    pub fn fail(&self, ex: &mut Exec, msg: String) -> ! {
+        if ex.failure.is_none() {
+            ex.failure = Some(msg);
+        }
+        self.cv.notify_all();
+        std::panic::panic_any(Teardown);
+    }
+
+    /// Replay or record one branch-point decision with `n` options.
+    pub fn choose(&self, ex: &mut Exec, n: usize, kind: &'static str) -> usize {
+        debug_assert!(n >= 1);
+        let c = if ex.cursor < ex.preset.len() {
+            ex.preset[ex.cursor] as usize
+        } else {
+            0
+        };
+        ex.cursor += 1;
+        if c >= n {
+            let msg = format!(
+                "schedule replay diverged at decision {} ({kind}): \
+                 replaying choice {c} of {n} options — the model closure \
+                 must be deterministic (no wall-clock time or OS randomness)",
+                ex.cursor - 1
+            );
+            self.fail(ex, msg);
+        }
+        ex.trace.push((n as u32, c as u32, kind));
+        c
+    }
+
+    /// A plain scheduling point: give the explorer a chance to switch.
+    pub fn schedule_point(&self, me: usize) {
+        self.transition(me, None);
+    }
+
+    /// Scheduling point that first moves the calling thread into
+    /// `status` (used for blocking). Returns once the calling thread is
+    /// runnable and holds the baton again.
+    pub fn transition(&self, me: usize, status: Option<Status>) {
+        let mut ex = self.ex();
+        if ex.failure.is_some() {
+            drop(ex);
+            std::panic::panic_any(Teardown);
+        }
+        ex.steps += 1;
+        if ex.steps > self.cfg.max_steps {
+            let msg = format!(
+                "step budget exceeded ({} scheduling points in one \
+                 execution): the model likely contains an unbounded spin \
+                 loop; shrink the model or raise Builder::max_steps",
+                self.cfg.max_steps
+            );
+            self.fail(&mut ex, msg);
+        }
+        if let Some(s) = status {
+            ex.threads[me].status = s;
+        }
+        self.pick_next(&mut ex, me);
+        while !(ex.active == me && ex.threads[me].status == Status::Runnable) {
+            if ex.failure.is_some() || ex.done {
+                drop(ex);
+                std::panic::panic_any(Teardown);
+            }
+            ex = self.cv.wait(ex).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Choose the next thread to hold the baton. Honors the preemption
+    /// bound: once `preemptions` hits the bound, a still-runnable thread
+    /// keeps running (forced switches remain free).
+    pub fn pick_next(&self, ex: &mut Exec, me: usize) {
+        let runnable: Vec<usize> = ex
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if ex.threads.iter().all(|t| t.status == Status::Finished) {
+                ex.done = true;
+                self.cv.notify_all();
+                return;
+            }
+            let states: Vec<String> = ex
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let name = t.name.as_deref().unwrap_or("");
+                    format!(
+                        "t{i}{}{name}: {:?}",
+                        if name.is_empty() { "" } else { " " },
+                        t.status
+                    )
+                })
+                .collect();
+            let msg = format!("deadlock: no runnable thread [{}]", states.join(", "));
+            self.fail(ex, msg);
+        }
+        let me_runnable = ex.threads[me].status == Status::Runnable;
+        let at_bound = self
+            .cfg
+            .preemption_bound
+            .is_some_and(|b| ex.preemptions >= b);
+        let candidates: Vec<usize> = if me_runnable && at_bound {
+            vec![me]
+        } else {
+            runnable
+        };
+        let idx = self.choose(ex, candidates.len(), "sched");
+        let next = candidates[idx];
+        if me_runnable && next != me {
+            ex.preemptions += 1;
+        }
+        ex.active = next;
+        self.cv.notify_all();
+    }
+
+    /// Register a new model thread spawned by `parent`. Returns its tid.
+    pub fn register_thread(&self, parent: usize, name: Option<String>) -> usize {
+        let mut ex = self.ex();
+        let tid = ex.threads.len();
+        if tid >= MAX_THREADS {
+            let msg = format!("model spawned more than {MAX_THREADS} threads");
+            self.fail(&mut ex, msg);
+        }
+        let mut clock = ex.threads[parent].clock.clone();
+        clock.bump(tid);
+        ex.threads.push(ThreadState {
+            status: Status::Runnable,
+            clock,
+            name,
+            unconsumed_panic: None,
+        });
+        ex.threads[parent].clock.bump(parent);
+        tid
+    }
+
+    /// Register the root model thread (tid 0) before the execution runs.
+    pub fn register_root(&self) {
+        let mut ex = self.ex();
+        debug_assert!(ex.threads.is_empty());
+        let mut clock = VClock::default();
+        clock.bump(0);
+        ex.threads.push(ThreadState {
+            status: Status::Runnable,
+            clock,
+            name: Some("main".to_string()),
+            unconsumed_panic: None,
+        });
+        ex.active = 0;
+    }
+
+    /// Park the calling OS thread until its model thread first gets the
+    /// baton. Unwinds with `Teardown` if the execution fails first.
+    pub fn wait_until_scheduled(&self, tid: usize) {
+        let mut ex = self.ex();
+        while !(ex.active == tid && ex.threads[tid].status == Status::Runnable) {
+            if ex.failure.is_some() || ex.done {
+                drop(ex);
+                std::panic::panic_any(Teardown);
+            }
+            ex = self.cv.wait(ex).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Mark `me` finished, wake its joiners, and hand the baton on.
+    pub fn finish_thread(&self, me: usize, panic_msg: Option<String>) {
+        let mut ex = self.ex();
+        if ex.failure.is_some() {
+            return;
+        }
+        ex.threads[me].status = Status::Finished;
+        ex.threads[me].unconsumed_panic = panic_msg;
+        for t in ex.threads.iter_mut() {
+            if t.status == Status::Blocked(Blocked::Join(me)) {
+                t.status = Status::Runnable;
+            }
+        }
+        self.pick_next(&mut ex, me);
+    }
+
+    /// Run `f` with exclusive access to the calling thread's vector
+    /// clock (bumped afterwards) — the shared building block for every
+    /// instrumented memory operation.
+    pub fn with_clock<R>(&self, me: usize, f: impl FnOnce(&mut Exec) -> R) -> R {
+        let mut ex = self.ex();
+        let r = f(&mut ex);
+        ex.threads[me].clock.bump(me);
+        r
+    }
+}

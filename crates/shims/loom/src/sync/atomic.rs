@@ -1,0 +1,214 @@
+//! Instrumented atomics. Values behave sequentially consistently (every
+//! load observes the latest store), but each location also carries a
+//! *synchronization clock* maintained strictly according to the declared
+//! orderings:
+//!
+//! * `store(Release)` publishes the writer's vector clock into the
+//!   location; `store(Relaxed)` **clears** it (a relaxed store starts a
+//!   new, synchronization-free value — deliberately strict so that an
+//!   under-annotated publish is caught);
+//! * `load(Acquire)` joins the location's clock into the reader;
+//!   `load(Relaxed)` learns nothing;
+//! * read-modify-writes join the location clock into the thread when
+//!   acquire-side, join the thread clock into the location when
+//!   release-side, and never clear it (release-sequence continuation).
+//!
+//! An annotation weaker than an execution relies on therefore fails to
+//! establish the happens-before edge, and the dependent non-atomic
+//! access (modeled with [`crate::cell::Data`]) reports a data race.
+
+use std::sync::Mutex as StdMutex;
+
+pub use std::sync::atomic::Ordering;
+
+use crate::rt::{self, VClock};
+
+struct Inner<T> {
+    value: T,
+    sync: VClock,
+}
+
+fn acquire_side(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn release_side(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+macro_rules! atomic_common {
+    ($name:ident, $ty:ty) => {
+        pub struct $name {
+            inner: StdMutex<Inner<$ty>>,
+        }
+
+        impl $name {
+            pub fn new(value: $ty) -> Self {
+                Self {
+                    inner: StdMutex::new(Inner {
+                        value,
+                        sync: VClock::default(),
+                    }),
+                }
+            }
+
+            fn op<R>(&self, f: impl FnOnce(&mut Inner<$ty>, &mut VClock) -> R) -> R {
+                let (rt, me) = rt::current();
+                rt.schedule_point(me);
+                rt.with_clock(me, |ex| {
+                    let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+                    f(&mut inner, &mut ex.threads[me].clock)
+                })
+            }
+
+            pub fn load(&self, ord: Ordering) -> $ty {
+                assert!(
+                    !release_side(ord),
+                    "invalid ordering for atomic load: {ord:?}"
+                );
+                self.op(|inner, clk| {
+                    if acquire_side(ord) {
+                        clk.join(&inner.sync);
+                    }
+                    inner.value
+                })
+            }
+
+            pub fn store(&self, value: $ty, ord: Ordering) {
+                assert!(
+                    !acquire_side(ord) || ord == Ordering::SeqCst,
+                    "invalid ordering for atomic store: {ord:?}"
+                );
+                self.op(|inner, clk| {
+                    if release_side(ord) {
+                        inner.sync = clk.clone();
+                    } else {
+                        inner.sync.clear();
+                    }
+                    inner.value = value;
+                })
+            }
+
+            fn rmw(&self, ord: Ordering, f: impl FnOnce($ty) -> $ty) -> $ty {
+                self.op(|inner, clk| {
+                    if acquire_side(ord) {
+                        clk.join(&inner.sync);
+                    }
+                    let prev = inner.value;
+                    inner.value = f(prev);
+                    if release_side(ord) {
+                        let snapshot = clk.clone();
+                        inner.sync.join(&snapshot);
+                    }
+                    prev
+                })
+            }
+
+            pub fn swap(&self, value: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |_| value)
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.op(|inner, clk| {
+                    let prev = inner.value;
+                    if prev == current {
+                        if acquire_side(success) {
+                            clk.join(&inner.sync);
+                        }
+                        inner.value = new;
+                        if release_side(success) {
+                            let snapshot = clk.clone();
+                            inner.sync.join(&snapshot);
+                        }
+                        Ok(prev)
+                    } else {
+                        if acquire_side(failure) {
+                            clk.join(&inner.sync);
+                        }
+                        Err(prev)
+                    }
+                })
+            }
+
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                // The model never fails spuriously.
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            pub fn into_inner(self) -> $ty {
+                self.inner
+                    .into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .value
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str(concat!("model::", stringify!($name)))
+            }
+        }
+    };
+}
+
+macro_rules! atomic_int {
+    ($name:ident, $ty:ty) => {
+        atomic_common!($name, $ty);
+
+        impl $name {
+            pub fn fetch_add(&self, value: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |prev| prev.wrapping_add(value))
+            }
+
+            pub fn fetch_sub(&self, value: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |prev| prev.wrapping_sub(value))
+            }
+
+            pub fn fetch_max(&self, value: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |prev| prev.max(value))
+            }
+
+            pub fn fetch_min(&self, value: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |prev| prev.min(value))
+            }
+
+            pub fn fetch_or(&self, value: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |prev| prev | value)
+            }
+
+            pub fn fetch_and(&self, value: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |prev| prev & value)
+            }
+        }
+    };
+}
+
+atomic_int!(AtomicU8, u8);
+atomic_int!(AtomicU32, u32);
+atomic_int!(AtomicU64, u64);
+atomic_int!(AtomicUsize, usize);
+atomic_int!(AtomicI64, i64);
+
+atomic_common!(AtomicBool, bool);
+
+impl AtomicBool {
+    pub fn fetch_or(&self, value: bool, ord: Ordering) -> bool {
+        self.rmw(ord, |prev| prev | value)
+    }
+
+    pub fn fetch_and(&self, value: bool, ord: Ordering) -> bool {
+        self.rmw(ord, |prev| prev & value)
+    }
+}

@@ -1,0 +1,9 @@
+//! Model replacements for `std::sync` — the API subset the workspace
+//! uses: atomics, `Mutex`/`Condvar`, and an `Arc` re-export (plain
+//! `std::sync::Arc` is already deterministic and needs no modeling).
+
+pub mod atomic;
+mod mutex;
+
+pub use mutex::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+pub use std::sync::Arc;

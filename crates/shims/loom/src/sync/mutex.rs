@@ -1,0 +1,216 @@
+//! Model `Mutex` and `Condvar`. Blocking is modeled exactly: a thread
+//! that cannot take the lock (or is parked on a condvar) leaves the
+//! runnable set, and an execution in which nothing runnable remains is
+//! reported as a deadlock — which is how lost-wakeup bugs surface.
+
+use std::cell::UnsafeCell;
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
+use std::sync::{LockResult, Mutex as StdMutex};
+
+use crate::rt::{self, Blocked, Exec, Status};
+
+struct MState {
+    locked: bool,
+    clock: rt::VClock,
+}
+
+pub struct Mutex<T: ?Sized> {
+    state: StdMutex<MState>,
+    data: UnsafeCell<T>,
+}
+
+// Safety: the model scheduler guarantees at most one thread holds the
+// lock (and thus touches `data`) at a time, mirroring std::sync::Mutex.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex {
+            state: StdMutex::new(MState {
+                locked: false,
+                clock: rt::VClock::default(),
+            }),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.data.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn addr(&self) -> usize {
+        std::ptr::addr_of!(self.state) as usize
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        Ok(self.data.get_mut())
+    }
+
+    /// The model never poisons: a panicking holder still releases the
+    /// lock (mirroring `lock_unpoisoned`'s treatment in the workspace).
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let (rt, me) = rt::current();
+        rt.schedule_point(me);
+        loop {
+            let acquired = rt.with_clock(me, |ex| {
+                let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                if s.locked {
+                    false
+                } else {
+                    s.locked = true;
+                    let published = s.clock.clone();
+                    ex.threads[me].clock.join(&published);
+                    true
+                }
+            });
+            if acquired {
+                return Ok(MutexGuard { lock: self });
+            }
+            rt.transition(me, Some(Status::Blocked(Blocked::Lock(self.addr()))));
+        }
+    }
+
+    /// Release the lock on behalf of `me` and wake lock waiters.
+    /// Callers already hold the execution lock via `with_clock`.
+    fn release(&self, ex: &mut Exec, me: usize) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert!(s.locked, "release of an unlocked model mutex");
+        s.locked = false;
+        let holder = ex.threads[me].clock.clone();
+        s.clock.join(&holder);
+        let addr = self.addr();
+        for t in ex.threads.iter_mut() {
+            if t.status == Status::Blocked(Blocked::Lock(addr)) {
+                t.status = Status::Runnable;
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // Safety: the scheduler admits one holder at a time.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: as above, and the guard is borrowed uniquely.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let Some((rt, me)) = rt::try_current() else {
+            return;
+        };
+        // During an unwind (user panic or model teardown) the release
+        // must still happen — without a scheduling point, so that a
+        // second panic can never start inside a destructor.
+        if !std::thread::panicking() {
+            rt.schedule_point(me);
+        }
+        rt.with_clock(me, |ex| self.lock.release(ex, me));
+    }
+}
+
+pub struct WaitTimeoutResult(pub(crate) bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+#[derive(Default)]
+pub struct Condvar {
+    /// Identity only — waiters are tracked in the runtime, keyed on the
+    /// address of this field.
+    id: StdMutex<()>,
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        Condvar::default()
+    }
+
+    fn addr(&self) -> usize {
+        std::ptr::addr_of!(self.id) as usize
+    }
+
+    pub fn wait<'a, T: ?Sized>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let (rt, me) = rt::current();
+        // The call is a visible operation: another thread may run here,
+        // *before* we park — with the mutex still held, which is exactly
+        // the window where an unguarded notify is lost.
+        rt.schedule_point(me);
+        let guard = ManuallyDrop::new(guard);
+        let lock = guard.lock;
+        // Atomically (one runtime step): release the mutex, wake its
+        // waiters, and park on the condvar.
+        rt.with_clock(me, |ex| {
+            lock.release(ex, me);
+            ex.threads[me].status = Status::Blocked(Blocked::CvWait(self.addr()));
+        });
+        rt.transition(me, None);
+        lock.lock()
+    }
+
+    pub fn wait_timeout<'a, T: ?Sized>(
+        &self,
+        _guard: MutexGuard<'a, T>,
+        _dur: std::time::Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        // Wall-clock time has no model semantics; model tests exercise
+        // the untimed wait paths and mirror timeout decisions explicitly.
+        panic!("Condvar::wait_timeout is not supported under the loom model");
+    }
+
+    /// Wakes exactly one waiter, chosen nondeterministically — every
+    /// choice of waiter is explored, which is what lets the checker find
+    /// single-wakeup starvation bugs that `notify_all` would mask.
+    pub fn notify_one(&self) {
+        let (rt, me) = rt::current();
+        rt.schedule_point(me);
+        rt.with_clock(me, |ex| {
+            let addr = self.addr();
+            let waiters: Vec<usize> = ex
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status == Status::Blocked(Blocked::CvWait(addr)))
+                .map(|(i, _)| i)
+                .collect();
+            if waiters.is_empty() {
+                return;
+            }
+            let idx = rt.choose(ex, waiters.len(), "notify_one");
+            ex.threads[waiters[idx]].status = Status::Runnable;
+        });
+    }
+
+    pub fn notify_all(&self) {
+        let (rt, me) = rt::current();
+        rt.schedule_point(me);
+        rt.with_clock(me, |ex| {
+            let addr = self.addr();
+            for t in ex.threads.iter_mut() {
+                if t.status == Status::Blocked(Blocked::CvWait(addr)) {
+                    t.status = Status::Runnable;
+                }
+            }
+        });
+    }
+}

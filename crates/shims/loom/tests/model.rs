@@ -1,0 +1,301 @@
+//! Self-tests for the model checker: it must both *pass* correct
+//! protocols after exhaustive exploration and *fail* seeded bugs
+//! (lost update, missing release/acquire edge, lost wakeup, deadlock).
+
+use std::sync::Arc;
+
+use loom::cell::Data;
+use loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use loom::sync::{Condvar, Mutex};
+use loom::{model, thread, Builder};
+
+/// Two unsynchronized read-modify-write-by-hand increments: some
+/// schedule must lose an update, and the checker must find it.
+#[test]
+fn finds_lost_update() {
+    let failure = Builder::default()
+        .check_result(|| {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let c2 = Arc::clone(&counter);
+            let t = thread::spawn(move || {
+                let v = c2.load(Ordering::Relaxed);
+                c2.store(v + 1, Ordering::Relaxed);
+            });
+            let v = counter.load(Ordering::Relaxed);
+            counter.store(v + 1, Ordering::Relaxed);
+            t.join().unwrap();
+            assert_eq!(counter.load(Ordering::Relaxed), 2, "lost update");
+        })
+        .expect_err("the interleaved load/store schedule must be explored");
+    assert!(failure.message.contains("lost update"), "{failure}");
+}
+
+/// The same counter implemented with fetch_add is correct in every
+/// schedule, and exploration must visit more than one schedule.
+#[test]
+fn passes_fetch_add_counter() {
+    let report = model(|| {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        let t = thread::spawn(move || {
+            c2.fetch_add(1, Ordering::Relaxed);
+        });
+        counter.fetch_add(1, Ordering::Relaxed);
+        t.join().unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    });
+    assert!(
+        report.executions > 1,
+        "expected >1 schedules, got {report:?}"
+    );
+}
+
+fn publication(store: Ordering, load: Ordering) -> Result<loom::Report, loom::Failure> {
+    Builder::default().check_result(move || {
+        let data = Arc::new(Data::new(0u32));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d2.write(42);
+            f2.store(true, store);
+        });
+        if flag.load(load) {
+            assert_eq!(data.read(), 42);
+        }
+        t.join().unwrap();
+    })
+}
+
+/// Release/Acquire publication is race-free in every schedule.
+#[test]
+fn passes_release_acquire_publication() {
+    publication(Ordering::Release, Ordering::Acquire).unwrap();
+}
+
+/// Demote the store to Relaxed and the reader's access to the published
+/// data is a detected race: the annotation is weaker than the execution
+/// relies on.
+#[test]
+fn fails_relaxed_publication_store() {
+    let failure =
+        publication(Ordering::Relaxed, Ordering::Acquire).expect_err("relaxed publish must race");
+    assert!(failure.message.contains("data race"), "{failure}");
+}
+
+/// Demote the load instead: same detection, from the acquire side.
+#[test]
+fn fails_relaxed_publication_load() {
+    let failure =
+        publication(Ordering::Release, Ordering::Relaxed).expect_err("relaxed consume must race");
+    assert!(failure.message.contains("data race"), "{failure}");
+}
+
+/// A guarded condvar handshake (flag set under the mutex) is correct.
+#[test]
+fn passes_locked_condvar_handshake() {
+    model(|| {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&state);
+        let t = thread::spawn(move || {
+            let (lock, cv) = &*s2;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        });
+        {
+            let (lock, cv) = &*state;
+            let mut ready = lock.lock().unwrap();
+            while !*ready {
+                ready = cv.wait(ready).unwrap();
+            }
+        }
+        t.join().unwrap();
+    });
+}
+
+/// Set the flag *without* taking the mutex and the notify can fire in
+/// the window between the waiter's check and its park — a lost wakeup,
+/// observed by the checker as a deadlock.
+#[test]
+fn finds_lost_wakeup_when_flag_set_outside_lock() {
+    let failure = Builder::default()
+        .check_result(|| {
+            let state = Arc::new((Mutex::new(()), Condvar::new()));
+            let flag = Arc::new(AtomicBool::new(false));
+            let (s2, f2) = (Arc::clone(&state), Arc::clone(&flag));
+            let t = thread::spawn(move || {
+                let (_lock, cv) = &*s2;
+                f2.store(true, Ordering::Release);
+                cv.notify_all();
+            });
+            {
+                let (lock, cv) = &*state;
+                let mut guard = lock.lock().unwrap();
+                while !flag.load(Ordering::Acquire) {
+                    guard = cv.wait(guard).unwrap();
+                }
+                drop(guard);
+            }
+            t.join().unwrap();
+        })
+        .expect_err("the unguarded store/notify must lose a wakeup");
+    assert!(failure.message.contains("deadlock"), "{failure}");
+}
+
+/// notify_one explores *which* waiter wakes: with one waiter that will
+/// abandon (and not re-notify) and one that insists, some schedule
+/// starves the insister. This is the bug class behind the admission-gate
+/// fix in les3-core.
+#[test]
+fn finds_notify_one_starvation_with_abandoning_waiter() {
+    let failure = Builder::default()
+        .check_result(|| {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            // Waiter A: abandons after any wakeup without re-notifying.
+            let s2 = Arc::clone(&state);
+            let a = thread::spawn(move || {
+                let (lock, cv) = &*s2;
+                let guard = lock.lock().unwrap();
+                if !*guard {
+                    let _guard = cv.wait(guard).unwrap();
+                    // Abandon: return without consuming or re-notifying.
+                }
+            });
+            // Waiter B: must eventually see the flag.
+            let s3 = Arc::clone(&state);
+            let b = thread::spawn(move || {
+                let (lock, cv) = &*s3;
+                let mut guard = lock.lock().unwrap();
+                while !*guard {
+                    guard = cv.wait(guard).unwrap();
+                }
+            });
+            // Producer: sets the flag once and notifies one waiter.
+            {
+                let (lock, cv) = &*state;
+                *lock.lock().unwrap() = true;
+                cv.notify_one();
+            }
+            a.join().unwrap();
+            b.join().unwrap();
+        })
+        .expect_err("waking the abandoning waiter must starve the other");
+    assert!(failure.message.contains("deadlock"), "{failure}");
+}
+
+/// Mutual exclusion: two critical sections may never overlap, and data
+/// protected by the mutex is race-free without any atomics.
+#[test]
+fn passes_mutex_mutual_exclusion() {
+    model(|| {
+        let total = Arc::new(Mutex::new(0u32));
+        let t2 = Arc::clone(&total);
+        let t = thread::spawn(move || {
+            *t2.lock().unwrap() += 1;
+        });
+        *total.lock().unwrap() += 1;
+        t.join().unwrap();
+        assert_eq!(*total.lock().unwrap(), 2);
+    });
+}
+
+/// Self-deadlock (relocking a held mutex) is reported, not hung.
+#[test]
+fn finds_self_deadlock() {
+    let failure = Builder::default()
+        .check_result(|| {
+            let m = Mutex::new(());
+            let _g1 = m.lock().unwrap();
+            let _g2 = m.lock().unwrap();
+        })
+        .expect_err("relocking a held model mutex must deadlock");
+    assert!(failure.message.contains("deadlock"), "{failure}");
+}
+
+/// A panic in a spawned model thread that the test consumes via join()
+/// is not a model failure; an unconsumed one is.
+#[test]
+fn join_consumes_deliberate_panics() {
+    model(|| {
+        let t = thread::spawn(|| panic!("injected"));
+        let err = t.join().expect_err("the thread panicked");
+        assert_eq!(err.downcast_ref::<&str>(), Some(&"injected"));
+    });
+
+    let failure = Builder::default()
+        .check_result(|| {
+            let _t = thread::spawn(|| panic!("forgotten"));
+            // Never joined: the panic must surface as a model failure.
+        })
+        .expect_err("an unjoined panic must fail the model");
+    assert!(failure.message.contains("forgotten"), "{failure}");
+}
+
+/// scope() borrows stack state, joins implicitly, and propagates child
+/// panics like std::thread::scope.
+#[test]
+fn scope_joins_and_borrows() {
+    let report = model(|| {
+        let counter = AtomicUsize::new(0);
+        thread::scope(|s| {
+            s.spawn(|| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+            s.spawn(|| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    });
+    assert!(report.executions > 1, "{report:?}");
+}
+
+/// The preemption bound caps voluntary switches: with bound 0 the two
+/// threads cannot interleave mid-increment, so the racy counter is
+/// (unsoundly, by design of the bound) reported clean — while bound 2
+/// finds the race. Verifies the bound actually prunes.
+#[test]
+fn preemption_bound_prunes_schedules() {
+    let racy = || {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        let t = thread::spawn(move || {
+            let v = c2.load(Ordering::Relaxed);
+            c2.store(v + 1, Ordering::Relaxed);
+        });
+        let v = counter.load(Ordering::Relaxed);
+        counter.store(v + 1, Ordering::Relaxed);
+        t.join().unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    };
+    let bound0 = Builder {
+        preemption_bound: Some(0),
+        ..Builder::default()
+    };
+    let r0 = bound0.check_result(racy);
+    let bound2 = Builder {
+        preemption_bound: Some(2),
+        ..Builder::default()
+    };
+    let r2 = bound2.check_result(racy);
+    assert!(r0.is_ok(), "bound 0 admits no mid-section preemption");
+    assert!(r2.is_err(), "bound 2 must find the lost update");
+}
+
+/// Exploration must terminate and report the full schedule count for a
+/// small fixed model — the exhaustiveness contract.
+#[test]
+fn reports_exhaustive_exploration() {
+    let report = model(|| {
+        let a = Arc::new(AtomicUsize::new(0));
+        let a2 = Arc::clone(&a);
+        let t = thread::spawn(move || {
+            a2.store(1, Ordering::Release);
+        });
+        let _ = a.load(Ordering::Acquire);
+        t.join().unwrap();
+    });
+    // One store vs one load under preemption bound 2: both orders of the
+    // two memory operations must appear among the explored schedules.
+    assert!(report.executions >= 2, "{report:?}");
+    assert!(report.max_depth >= 4, "{report:?}");
+}
