@@ -533,6 +533,7 @@ impl<S: Similarity> ShardedLes3Index<S> {
                             merged,
                             query: q,
                             q_len: distinct_len(q),
+                            filter: None,
                         };
                         par::knn_descend(&groups, k, intra, &mut stats, &QueryCtl::NONE)
                     } else {
@@ -542,6 +543,7 @@ impl<S: Similarity> ShardedLes3Index<S> {
                             k,
                             distinct_len(q),
                             |s| &partials[s * n_chunks + c][i],
+                            None,
                             cursors,
                             &mut stats,
                             &QueryCtl::NONE,
@@ -627,8 +629,17 @@ impl<S: Similarity> ShardedLes3Index<S> {
                     let mut hits = Vec::new();
                     self.filter_shard(s, q, q_len, scratch, filter);
                     stats.columns_checked += filter.cols as usize;
-                    self.range_shard(s, q, delta, filter, &mut hits, &mut stats, &QueryCtl::NONE)
-                        .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"));
+                    self.range_shard(
+                        s,
+                        q,
+                        delta,
+                        filter,
+                        None,
+                        &mut hits,
+                        &mut stats,
+                        &QueryCtl::NONE,
+                    )
+                    .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"));
                     out.push((hits, stats));
                 }
                 *lock_unpoisoned(&cells[t]) = out;

@@ -21,6 +21,7 @@
 use les3_data::{SetDatabase, SetId, TokenId};
 
 use crate::ctl::{Interrupted, QueryCtl};
+use crate::metadata::FilterCandidates;
 use crate::par::{self, ParGroups};
 use crate::partitioning::Partitioning;
 use crate::scratch::QueryScratch;
@@ -166,6 +167,43 @@ impl<S: Similarity> Les3Index<S> {
         });
     }
 
+    /// The restricted phase A of a filtered query: overlap counts only
+    /// for `cand.groups` (via the masked counting kernels of
+    /// [`Tgm::group_overlaps_restricted_into`]), then the same bucketed
+    /// descending selection over the candidate list. `scratch.bounds`
+    /// holds *global* group ids afterwards, in `(r descending, id
+    /// ascending)` order — exactly the order the unrestricted pass would
+    /// produce for these groups, since candidate positions ascend with
+    /// global ids.
+    fn group_upper_bounds_sorted_restricted(
+        &self,
+        query: &[TokenId],
+        cand: &FilterCandidates,
+        stats: &mut SearchStats,
+        scratch: &mut QueryScratch,
+    ) {
+        let q_len = distinct_len(query);
+        let touched = self.tgm.group_overlaps_restricted_into(
+            query,
+            &cand.groups,
+            &mut scratch.mask,
+            &mut scratch.restricted,
+            &mut scratch.restricted_out,
+        );
+        stats.columns_checked += touched as usize;
+        scratch.bounds.clear();
+        scratch.bounds.resize(cand.groups.len(), (0, 0.0));
+        let (bounds, sim, groups) = (&mut scratch.bounds, self.sim, &cand.groups);
+        bucketed_descending(
+            &scratch.restricted_out,
+            q_len,
+            &mut scratch.offsets,
+            |pos, i, r| {
+                bounds[pos] = (groups[i as usize], sim.ub_from_overlap(q_len, r as usize));
+            },
+        );
+    }
+
     /// Allocating wrapper around [`Les3Index::group_upper_bounds_with`].
     pub fn group_upper_bounds(
         &self,
@@ -281,6 +319,7 @@ impl<S: Similarity> Les3Index<S> {
             bounds: &scratch.bounds,
             query,
             q_len: distinct_len(query),
+            filter: None,
         };
         match par::knn_descend(&groups, k, workers, &mut stats, ctl) {
             Ok(top) => Ok(SearchResult {
@@ -296,6 +335,88 @@ impl<S: Similarity> Les3Index<S> {
     pub fn knn_par(&self, query: &[TokenId], k: usize, workers: usize) -> SearchResult {
         self.knn_ctl_on(workers, query, k, &mut QueryScratch::new(), &QueryCtl::NONE)
             .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"))
+    }
+
+    /// Exact kNN over the matching subset of a filtered query: the k
+    /// most similar sets among those `cand` marks as matching. Same
+    /// verification machinery as [`Les3Index::knn_ctl_on`] — only the
+    /// candidate groups of the restricted phase A are descended, and
+    /// non-matching members are skipped inside the (unchanged) windows —
+    /// so hits *and* stats are bit-for-bit stable across worker counts
+    /// and sharding.
+    pub fn knn_filtered_ctl_on(
+        &self,
+        workers: usize,
+        query: &[TokenId],
+        k: usize,
+        cand: &FilterCandidates,
+        scratch: &mut QueryScratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<SearchResult, Interrupted> {
+        let mut stats = SearchStats::default();
+        if k == 0 || self.db.is_empty() || cand.groups.is_empty() {
+            return Ok(SearchResult {
+                hits: Vec::new(),
+                stats,
+            });
+        }
+        let query = &*normalize_query(query);
+        self.group_upper_bounds_sorted_restricted(query, cand, &mut stats, scratch);
+        if let Some(reason) = ctl.interrupted() {
+            return Err(Interrupted { reason, stats });
+        }
+        let groups = FlatGroups {
+            index: self,
+            bounds: &scratch.bounds,
+            query,
+            q_len: distinct_len(query),
+            filter: Some(&cand.sets),
+        };
+        match par::knn_descend(&groups, k, workers, &mut stats, ctl) {
+            Ok(top) => Ok(SearchResult {
+                hits: top.into_sorted(),
+                stats,
+            }),
+            Err(reason) => Err(Interrupted { reason, stats }),
+        }
+    }
+
+    /// Allocating convenience around [`Les3Index::knn_filtered_ctl_on`]
+    /// with automatic worker choice.
+    pub fn knn_filtered(
+        &self,
+        query: &[TokenId],
+        k: usize,
+        cand: &FilterCandidates,
+    ) -> SearchResult {
+        self.knn_filtered_ctl_on(
+            par::auto_intra_workers(cand.groups.len()),
+            query,
+            k,
+            cand,
+            &mut QueryScratch::new(),
+            &QueryCtl::NONE,
+        )
+        .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"))
+    }
+
+    /// [`Les3Index::knn_filtered`] with a pinned worker count.
+    pub fn knn_filtered_par(
+        &self,
+        query: &[TokenId],
+        k: usize,
+        cand: &FilterCandidates,
+        workers: usize,
+    ) -> SearchResult {
+        self.knn_filtered_ctl_on(
+            workers,
+            query,
+            k,
+            cand,
+            &mut QueryScratch::new(),
+            &QueryCtl::NONE,
+        )
+        .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"))
     }
 
     /// Exact range search (Definition 2.2): all sets with
@@ -358,6 +479,7 @@ impl<S: Similarity> Les3Index<S> {
             bounds: &scratch.bounds,
             query,
             q_len: distinct_len(query),
+            filter: None,
         };
         let mut hits: Vec<(SetId, f64)> = Vec::new();
         if let Err(reason) = par::range_scan(&groups, delta, workers, &mut hits, &mut stats, ctl) {
@@ -378,6 +500,83 @@ impl<S: Similarity> Les3Index<S> {
         )
         .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"))
     }
+
+    /// Exact range search over the matching subset of a filtered query;
+    /// see [`Les3Index::knn_filtered_ctl_on`] for the mechanics.
+    pub fn range_filtered_ctl_on(
+        &self,
+        workers: usize,
+        query: &[TokenId],
+        delta: f64,
+        cand: &FilterCandidates,
+        scratch: &mut QueryScratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<SearchResult, Interrupted> {
+        let mut stats = SearchStats::default();
+        if cand.groups.is_empty() {
+            return Ok(SearchResult {
+                hits: Vec::new(),
+                stats,
+            });
+        }
+        let query = &*normalize_query(query);
+        self.group_upper_bounds_sorted_restricted(query, cand, &mut stats, scratch);
+        if let Some(reason) = ctl.interrupted() {
+            return Err(Interrupted { reason, stats });
+        }
+        let groups = FlatGroups {
+            index: self,
+            bounds: &scratch.bounds,
+            query,
+            q_len: distinct_len(query),
+            filter: Some(&cand.sets),
+        };
+        let mut hits: Vec<(SetId, f64)> = Vec::new();
+        if let Err(reason) = par::range_scan(&groups, delta, workers, &mut hits, &mut stats, ctl) {
+            return Err(Interrupted { reason, stats });
+        }
+        sort_hits(&mut hits);
+        Ok(SearchResult { hits, stats })
+    }
+
+    /// Allocating convenience around
+    /// [`Les3Index::range_filtered_ctl_on`] with automatic worker
+    /// choice.
+    pub fn range_filtered(
+        &self,
+        query: &[TokenId],
+        delta: f64,
+        cand: &FilterCandidates,
+    ) -> SearchResult {
+        self.range_filtered_ctl_on(
+            par::auto_intra_workers(cand.groups.len()),
+            query,
+            delta,
+            cand,
+            &mut QueryScratch::new(),
+            &QueryCtl::NONE,
+        )
+        .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"))
+    }
+
+    /// [`Les3Index::range_filtered`] with a pinned worker count.
+    pub fn range_filtered_par(
+        &self,
+        query: &[TokenId],
+        delta: f64,
+        cand: &FilterCandidates,
+        workers: usize,
+    ) -> SearchResult {
+        self.range_filtered_ctl_on(
+            workers,
+            query,
+            delta,
+            cand,
+            &mut QueryScratch::new(),
+            &QueryCtl::NONE,
+        )
+        .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"))
+    }
 }
 
 /// The flat index's bound stream for the intra-query engine: eager
@@ -388,6 +587,8 @@ struct FlatGroups<'a, S: Similarity> {
     bounds: &'a [(u32, f64)],
     query: &'a [TokenId],
     q_len: usize,
+    /// Per-set match mask of a filtered query.
+    filter: Option<&'a les3_bitmap::DenseBitSet>,
 }
 
 impl<S: Similarity> ParGroups for FlatGroups<'_, S> {
@@ -419,6 +620,10 @@ impl<S: Similarity> ParGroups for FlatGroups<'_, S> {
 
     fn q_len(&self) -> usize {
         self.q_len
+    }
+
+    fn set_filter(&self) -> Option<&les3_bitmap::DenseBitSet> {
+        self.filter
     }
 }
 

@@ -78,6 +78,8 @@ pub mod delete;
 pub mod disk;
 pub mod htgm;
 pub mod index;
+pub mod metadata;
+pub mod namespace;
 pub(crate) mod par;
 pub mod partitioning;
 pub mod persist;
@@ -107,6 +109,8 @@ pub use delete::DeletionLog;
 pub use disk::DiskLes3;
 pub use htgm::{HierarchicalPartitioning, Htgm};
 pub use index::{Les3Index, SearchResult};
+pub use metadata::{Filter, FilterCandidates, Filters, MetaError, MetadataIndex};
+pub use namespace::{Namespace, NamespaceError, NamespaceInfo, NamespaceSpec, Namespaces};
 pub use partitioning::Partitioning;
 pub use persist::{DurableIndex, DurableOptions, FsyncPolicy, PersistError, PersistentBackend};
 pub use scratch::{QueryScratch, ShardedScratch, WorkerScratch};

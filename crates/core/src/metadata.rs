@@ -1,0 +1,704 @@
+//! Set attributes and filtered-search candidates (extension beyond the
+//! paper).
+//!
+//! Production corpora rarely query a whole collection: requests carry
+//! facet predicates ("lang = en AND tier IN {gold, silver}") that
+//! restrict the candidate set *before* similarity search. LES3's
+//! filter-and-verify pipeline absorbs such predicates without a new
+//! verification code path: a predicate evaluates to a bitmap of matching
+//! set ids, the groups containing at least one match become the
+//! candidate groups of a *restricted* phase A
+//! ([`crate::Tgm::group_overlaps_restricted_into`], which runs the
+//! masked counting kernels), and the per-set mask rides into the
+//! existing verification loops where non-matching members are skipped
+//! before any similarity arithmetic. Everything downstream — bucketed
+//! ordering, length windows, early abandoning, the intra-query engine,
+//! [`crate::QueryCtl`] — is the unfiltered machinery unchanged, so the
+//! filtered result is exact by the same Theorem 3.1 argument applied to
+//! the matching subset.
+//!
+//! The attribute store is a classic posting-list index: each distinct
+//! `(key, value)` pair is interned to a dense id whose [`Bitmap`] lists
+//! the sets carrying it. Predicates ([`Filter`]) are And/Or trees over
+//! `Eq` and `In` leaves; evaluation is pure bitmap algebra.
+
+use std::collections::HashMap;
+
+use les3_bitmap::{Bitmap, DenseBitSet};
+use les3_data::SetId;
+
+use crate::partitioning::Partitioning;
+
+/// Hard caps on decoded predicate shape: a hostile request must not be
+/// able to demand unbounded recursion or memory. Shared by the JSON
+/// decoder in `les3-net`.
+pub const MAX_FILTER_DEPTH: usize = 16;
+/// Maximum total nodes (internal + leaves + `In` values) in one filter.
+pub const MAX_FILTER_NODES: usize = 1024;
+/// Maximum byte length of one attribute key or value.
+pub const MAX_ATTR_STR: usize = 4096;
+/// Maximum attributes on one set.
+pub const MAX_ATTRS_PER_SET: usize = 256;
+
+/// A predicate over set attributes.
+///
+/// Leaves match sets carrying an exact `(key, value)` pair; `In` is the
+/// disjunction of its values under one key. `And`/`Or` combine
+/// arbitrarily. An empty `And` matches every set; an empty `Or` matches
+/// none (the usual identities).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Filter {
+    /// Sets where attribute `key` equals `value`.
+    Eq { key: String, value: String },
+    /// Sets where attribute `key` equals any of `values`.
+    In { key: String, values: Vec<String> },
+    /// Every child matches (empty: all sets).
+    And(Vec<Filter>),
+    /// At least one child matches (empty: no sets).
+    Or(Vec<Filter>),
+}
+
+impl Filter {
+    /// Total node count (self + descendants + `In` values) — the
+    /// quantity [`MAX_FILTER_NODES`] caps.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Filter::Eq { .. } => 1,
+            Filter::In { values, .. } => 1 + values.len(),
+            Filter::And(children) | Filter::Or(children) => {
+                1 + children.iter().map(Filter::node_count).sum::<usize>()
+            }
+        }
+    }
+
+    /// Maximum nesting depth (a leaf is depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Filter::Eq { .. } | Filter::In { .. } => 1,
+            Filter::And(children) | Filter::Or(children) => {
+                1 + children.iter().map(Filter::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Checks the structural caps ([`MAX_FILTER_DEPTH`],
+    /// [`MAX_FILTER_NODES`], [`MAX_ATTR_STR`]): decoded-from-the-wire
+    /// filters must pass before evaluation.
+    pub fn check_caps(&self) -> Result<(), MetaError> {
+        if self.depth() > MAX_FILTER_DEPTH {
+            return Err(MetaError::new("filter nests too deep"));
+        }
+        if self.node_count() > MAX_FILTER_NODES {
+            return Err(MetaError::new("filter has too many nodes"));
+        }
+        fn strings_ok(f: &Filter) -> bool {
+            match f {
+                Filter::Eq { key, value } => {
+                    key.len() <= MAX_ATTR_STR && value.len() <= MAX_ATTR_STR
+                }
+                Filter::In { key, values } => {
+                    key.len() <= MAX_ATTR_STR && values.iter().all(|v| v.len() <= MAX_ATTR_STR)
+                }
+                Filter::And(children) | Filter::Or(children) => children.iter().all(strings_ok),
+            }
+        }
+        if !strings_ok(self) {
+            return Err(MetaError::new("filter string exceeds MAX_ATTR_STR"));
+        }
+        Ok(())
+    }
+}
+
+/// A top-level conjunction of filters — the request-facing shape: an
+/// empty list means "no predicate" and routes to the unfiltered hot
+/// path, a non-empty one evaluates as `And`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Filters(pub Vec<Filter>);
+
+impl Filters {
+    /// No predicate: matches everything via the unfiltered path.
+    pub fn none() -> Self {
+        Self(Vec::new())
+    }
+
+    /// Whether the unfiltered hot path should serve this request.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Decode/validation error for attribute payloads and filters. Always
+/// an error value, never a panic: both the wire and the persist layer
+/// feed this type untrusted bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetaError {
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl MetaError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for MetaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "metadata: {}", self.message)
+    }
+}
+
+impl std::error::Error for MetaError {}
+
+/// Posting-bitmap index over per-set key/value attributes.
+///
+/// Every distinct `(key, value)` pair is interned to a dense pair id;
+/// `postings[pair]` lists the set ids carrying it. The per-set view
+/// (`attrs_of`) is kept alongside so the index round-trips through the
+/// persist layer and sets can be re-described on delete/debug paths.
+/// One entry of `attrs_of` per set, pushed in id order — sets without
+/// attributes carry an empty list.
+#[derive(Debug, Clone, Default)]
+pub struct MetadataIndex {
+    /// Interned `(key, value)` pairs; position = pair id.
+    pairs: Vec<(String, String)>,
+    /// `(key, value)` → pair id.
+    lookup: HashMap<(String, String), u32>,
+    /// Pair id → matching set ids.
+    postings: Vec<Bitmap>,
+    /// Set id → sorted pair ids.
+    attrs_of: Vec<Vec<u32>>,
+}
+
+impl MetadataIndex {
+    /// An empty index (no sets tracked).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of sets tracked (one `push` per set, in id order).
+    pub fn n_sets(&self) -> usize {
+        self.attrs_of.len()
+    }
+
+    /// Number of distinct `(key, value)` pairs seen.
+    pub fn n_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no set carries any attribute (an all-default index; the
+    /// persist layer skips the metadata block entirely for these).
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty() && self.attrs_of.iter().all(Vec::is_empty)
+    }
+
+    /// Registers the next set (id `n_sets()`) with its attributes.
+    /// Duplicate pairs collapse. Returns the id the attributes were
+    /// recorded under.
+    pub fn push(&mut self, attrs: &[(String, String)]) -> SetId {
+        let id = self.attrs_of.len() as SetId;
+        let mut pair_ids: Vec<u32> = attrs.iter().map(|kv| self.intern(kv)).collect();
+        pair_ids.sort_unstable();
+        pair_ids.dedup();
+        for &p in &pair_ids {
+            self.postings[p as usize].insert(id);
+        }
+        self.attrs_of.push(pair_ids);
+        id
+    }
+
+    /// Registers `count` attribute-less sets at once (bulk loads where
+    /// no set carries attributes).
+    pub fn push_empty(&mut self, count: usize) {
+        for _ in 0..count {
+            self.attrs_of.push(Vec::new());
+        }
+    }
+
+    /// The attributes of set `id` (empty for unknown ids).
+    pub fn attrs(&self, id: SetId) -> Vec<(String, String)> {
+        self.attrs_of
+            .get(id as usize)
+            .map(|pair_ids| {
+                pair_ids
+                    .iter()
+                    .map(|&p| self.pairs[p as usize].clone())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn intern(&mut self, kv: &(String, String)) -> u32 {
+        if let Some(&p) = self.lookup.get(kv) {
+            return p;
+        }
+        let p = self.pairs.len() as u32;
+        self.pairs.push(kv.clone());
+        self.lookup.insert(kv.clone(), p);
+        self.postings.push(Bitmap::new());
+        p
+    }
+
+    /// Evaluates a predicate to the bitmap of matching set ids — pure
+    /// bitmap algebra over the postings. `And([])` matches all tracked
+    /// sets, `Or([])` none.
+    pub fn eval(&self, filter: &Filter) -> Bitmap {
+        match filter {
+            Filter::Eq { key, value } => self
+                .lookup
+                .get(&(key.clone(), value.clone()))
+                .map(|&p| self.postings[p as usize].clone())
+                .unwrap_or_default(),
+            Filter::In { key, values } => {
+                let mut acc = Bitmap::new();
+                for v in values {
+                    if let Some(&p) = self.lookup.get(&(key.clone(), v.clone())) {
+                        acc.union_with(&self.postings[p as usize]);
+                    }
+                }
+                acc
+            }
+            Filter::And(children) => match children.split_first() {
+                None => self.all(),
+                Some((first, rest)) => {
+                    let mut acc = self.eval(first);
+                    for c in rest {
+                        if acc.is_empty() {
+                            break;
+                        }
+                        acc = acc.intersect(&self.eval(c));
+                    }
+                    acc
+                }
+            },
+            Filter::Or(children) => {
+                let mut acc = Bitmap::new();
+                for c in children {
+                    acc.union_with(&self.eval(c));
+                }
+                acc
+            }
+        }
+    }
+
+    /// Every tracked set id.
+    fn all(&self) -> Bitmap {
+        let ids: Vec<u32> = (0..self.attrs_of.len() as u32).collect();
+        Bitmap::from_sorted(&ids)
+    }
+
+    /// Evaluates a top-level conjunction to filtered-search candidates
+    /// against `partitioning`. `None` when the conjunction is empty —
+    /// the caller should serve the unfiltered hot path.
+    pub fn candidates(
+        &self,
+        filters: &Filters,
+        partitioning: &Partitioning,
+    ) -> Option<FilterCandidates> {
+        if filters.is_empty() {
+            return None;
+        }
+        let matching = self.eval(&Filter::And(filters.0.clone()));
+        Some(FilterCandidates::build(&matching, partitioning))
+    }
+
+    // -- persistence ---------------------------------------------------
+
+    /// Serializes the index: interned pair table, then per-set sorted
+    /// pair-id lists. Little-endian `u32` lengths throughout; decoded
+    /// back by [`MetadataIndex::decode`].
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.pairs.len() as u32).to_le_bytes());
+        for (k, v) in &self.pairs {
+            out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            out.extend_from_slice(k.as_bytes());
+            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            out.extend_from_slice(v.as_bytes());
+        }
+        out.extend_from_slice(&(self.attrs_of.len() as u32).to_le_bytes());
+        for pair_ids in &self.attrs_of {
+            out.extend_from_slice(&(pair_ids.len() as u32).to_le_bytes());
+            for &p in pair_ids {
+                out.extend_from_slice(&p.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes [`MetadataIndex::encode`] output, rebuilding the postings
+    /// and the lookup table. Total: every malformed input — truncation,
+    /// overlong lengths, invalid UTF-8, duplicate pairs, out-of-range or
+    /// unsorted pair ids — is an error, never a panic.
+    pub fn decode(bytes: &[u8]) -> Result<Self, MetaError> {
+        let mut cur = Cursor { bytes, at: 0 };
+        let n_pairs = cur.u32()? as usize;
+        // Each pair costs ≥ 8 bytes: reject fantasy counts before
+        // allocating.
+        if n_pairs > bytes.len() / 8 + 1 {
+            return Err(MetaError::new("pair count exceeds payload"));
+        }
+        let mut pairs = Vec::with_capacity(n_pairs);
+        let mut lookup = HashMap::with_capacity(n_pairs);
+        for p in 0..n_pairs {
+            let k = cur.string()?;
+            let v = cur.string()?;
+            let kv = (k, v);
+            if lookup.insert(kv.clone(), p as u32).is_some() {
+                return Err(MetaError::new("duplicate interned pair"));
+            }
+            pairs.push(kv);
+        }
+        let n_sets = cur.u32()? as usize;
+        if n_sets > bytes.len() / 4 + 1 {
+            return Err(MetaError::new("set count exceeds payload"));
+        }
+        let mut postings = vec![Bitmap::new(); n_pairs];
+        let mut attrs_of = Vec::with_capacity(n_sets);
+        for id in 0..n_sets as u32 {
+            let n_attrs = cur.u32()? as usize;
+            if n_attrs > MAX_ATTRS_PER_SET {
+                return Err(MetaError::new("set carries too many attributes"));
+            }
+            let mut pair_ids = Vec::with_capacity(n_attrs);
+            let mut prev: Option<u32> = None;
+            for _ in 0..n_attrs {
+                let p = cur.u32()?;
+                if (p as usize) >= n_pairs {
+                    return Err(MetaError::new("pair id out of range"));
+                }
+                if prev.is_some_and(|q| q >= p) {
+                    return Err(MetaError::new("pair ids not strictly ascending"));
+                }
+                prev = Some(p);
+                postings[p as usize].insert(id);
+                pair_ids.push(p);
+            }
+            attrs_of.push(pair_ids);
+        }
+        if cur.at != bytes.len() {
+            return Err(MetaError::new("trailing bytes after metadata payload"));
+        }
+        Ok(Self {
+            pairs,
+            lookup,
+            postings,
+            attrs_of,
+        })
+    }
+}
+
+/// Bounds-checked little-endian reader for [`MetadataIndex::decode`].
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Cursor<'_> {
+    fn u32(&mut self) -> Result<u32, MetaError> {
+        let end = self
+            .at
+            .checked_add(4)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| MetaError::new("truncated u32"))?;
+        let mut buf = [0u8; 4];
+        buf.copy_from_slice(&self.bytes[self.at..end]);
+        self.at = end;
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    fn string(&mut self) -> Result<String, MetaError> {
+        let len = self.u32()? as usize;
+        if len > MAX_ATTR_STR {
+            return Err(MetaError::new("string exceeds MAX_ATTR_STR"));
+        }
+        let end = self
+            .at
+            .checked_add(len)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| MetaError::new("truncated string"))?;
+        let s = std::str::from_utf8(&self.bytes[self.at..end])
+            .map_err(|_| MetaError::new("invalid UTF-8"))?
+            .to_owned();
+        self.at = end;
+        Ok(s)
+    }
+}
+
+/// The precomputed inputs of one filtered query: the per-set match mask
+/// (skips non-matching members inside verification windows) and the
+/// distinct groups containing at least one matching set (the restricted
+/// phase-A candidate list, global ids ascending).
+#[derive(Debug, Clone, Default)]
+pub struct FilterCandidates {
+    /// Matching set ids as a dense mask (capacity = number of sets).
+    pub(crate) sets: DenseBitSet,
+    /// Distinct global group ids with ≥ 1 matching member, ascending.
+    pub(crate) groups: Vec<u32>,
+    /// Number of matching sets.
+    pub(crate) n_matching: usize,
+}
+
+impl FilterCandidates {
+    /// Derives the candidate structure from a matching-set bitmap.
+    pub fn build(matching: &Bitmap, partitioning: &Partitioning) -> Self {
+        let n_sets = partitioning.n_sets();
+        let mut sets = DenseBitSet::new();
+        sets.reset(n_sets);
+        let mut group_hit = vec![false; partitioning.n_groups()];
+        let mut n_matching = 0usize;
+        for id in matching.iter() {
+            if (id as usize) >= n_sets {
+                continue;
+            }
+            sets.insert(id);
+            group_hit[partitioning.group_of(id) as usize] = true;
+            n_matching += 1;
+        }
+        let groups = group_hit
+            .iter()
+            .enumerate()
+            .filter(|&(_, &hit)| hit)
+            .map(|(g, _)| g as u32)
+            .collect();
+        Self {
+            sets,
+            groups,
+            n_matching,
+        }
+    }
+
+    /// Number of matching sets.
+    pub fn n_matching(&self) -> usize {
+        self.n_matching
+    }
+
+    /// Number of candidate groups.
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether `id` matches the predicate.
+    pub fn matches(&self, id: SetId) -> bool {
+        self.sets.contains(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn kv(k: &str, v: &str) -> (String, String) {
+        (k.to_owned(), v.to_owned())
+    }
+
+    fn sample() -> MetadataIndex {
+        let mut meta = MetadataIndex::new();
+        meta.push(&[kv("lang", "en"), kv("tier", "gold")]); // 0
+        meta.push(&[kv("lang", "de"), kv("tier", "gold")]); // 1
+        meta.push(&[kv("lang", "en")]); // 2
+        meta.push(&[]); // 3
+        meta.push(&[kv("lang", "fr"), kv("tier", "silver")]); // 4
+        meta
+    }
+
+    #[test]
+    fn eq_and_in_match_postings() {
+        let meta = sample();
+        let en = meta.eval(&Filter::Eq {
+            key: "lang".into(),
+            value: "en".into(),
+        });
+        assert_eq!(en.to_vec(), vec![0, 2]);
+        let some = meta.eval(&Filter::In {
+            key: "lang".into(),
+            values: vec!["de".into(), "fr".into(), "zz".into()],
+        });
+        assert_eq!(some.to_vec(), vec![1, 4]);
+        let missing = meta.eval(&Filter::Eq {
+            key: "nope".into(),
+            value: "x".into(),
+        });
+        assert!(missing.is_empty());
+    }
+
+    #[test]
+    fn and_or_identities() {
+        let meta = sample();
+        assert_eq!(
+            meta.eval(&Filter::And(vec![])).to_vec(),
+            vec![0, 1, 2, 3, 4]
+        );
+        assert!(meta.eval(&Filter::Or(vec![])).is_empty());
+        let gold_en = Filter::And(vec![
+            Filter::Eq {
+                key: "tier".into(),
+                value: "gold".into(),
+            },
+            Filter::Eq {
+                key: "lang".into(),
+                value: "en".into(),
+            },
+        ]);
+        assert_eq!(meta.eval(&gold_en).to_vec(), vec![0]);
+        let either = Filter::Or(vec![
+            Filter::Eq {
+                key: "lang".into(),
+                value: "fr".into(),
+            },
+            Filter::Eq {
+                key: "lang".into(),
+                value: "de".into(),
+            },
+        ]);
+        assert_eq!(meta.eval(&either).to_vec(), vec![1, 4]);
+    }
+
+    #[test]
+    fn duplicate_attrs_collapse_and_roundtrip() {
+        let mut meta = MetadataIndex::new();
+        meta.push(&[kv("a", "1"), kv("a", "1"), kv("b", "2")]);
+        assert_eq!(meta.attrs(0), vec![kv("a", "1"), kv("b", "2")]);
+        let decoded = MetadataIndex::decode(&meta.encode()).expect("roundtrip");
+        assert_eq!(decoded.attrs(0), meta.attrs(0));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_preserves_eval() {
+        let meta = sample();
+        let decoded = MetadataIndex::decode(&meta.encode()).expect("roundtrip");
+        assert_eq!(decoded.n_sets(), meta.n_sets());
+        assert_eq!(decoded.n_pairs(), meta.n_pairs());
+        for f in [
+            Filter::Eq {
+                key: "lang".into(),
+                value: "en".into(),
+            },
+            Filter::And(vec![]),
+            Filter::Or(vec![Filter::Eq {
+                key: "tier".into(),
+                value: "silver".into(),
+            }]),
+        ] {
+            assert_eq!(decoded.eval(&f).to_vec(), meta.eval(&f).to_vec());
+        }
+        for id in 0..meta.n_sets() as u32 {
+            assert_eq!(decoded.attrs(id), meta.attrs(id));
+        }
+    }
+
+    #[test]
+    fn decode_never_panics_on_mutated_payloads() {
+        // The flip/truncate-every-byte sweep: decode must return (Ok or
+        // Err) on every mutation, and Ok only for payloads that are
+        // genuinely valid re-encodings.
+        let good = sample().encode();
+        for cut in 0..good.len() {
+            let _ = MetadataIndex::decode(&good[..cut]);
+        }
+        for i in 0..good.len() {
+            for flip in [0x01u8, 0x80, 0xff] {
+                let mut bad = good.clone();
+                bad[i] ^= flip;
+                if let Ok(decoded) = MetadataIndex::decode(&bad) {
+                    assert_eq!(decoded.encode(), bad, "accepted payload must re-encode");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_structural_corruption() {
+        // Out-of-range pair id.
+        let mut meta = MetadataIndex::new();
+        meta.push(&[kv("k", "v")]);
+        let mut bytes = meta.encode();
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&7u32.to_le_bytes());
+        assert!(MetadataIndex::decode(&bytes).is_err());
+        // Fantasy pair count.
+        let mut bytes = meta.encode();
+        bytes[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(MetadataIndex::decode(&bytes).is_err());
+        // Trailing garbage.
+        let mut bytes = meta.encode();
+        bytes.push(0);
+        assert!(MetadataIndex::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn candidates_split_sets_and_groups() {
+        let meta = sample();
+        let part = Partitioning::from_assignment(vec![0, 0, 1, 1, 2], 4);
+        let cand = meta
+            .candidates(
+                &Filters(vec![Filter::Eq {
+                    key: "lang".into(),
+                    value: "en".into(),
+                }]),
+                &part,
+            )
+            .expect("non-empty conjunction");
+        assert_eq!(cand.n_matching(), 2);
+        assert_eq!(cand.groups, vec![0, 1]);
+        assert!(cand.matches(0) && cand.matches(2));
+        assert!(!cand.matches(1) && !cand.matches(3) && !cand.matches(4));
+        assert!(meta.candidates(&Filters::none(), &part).is_none());
+    }
+
+    #[test]
+    fn filter_caps_are_enforced() {
+        let mut deep = Filter::Eq {
+            key: "k".into(),
+            value: "v".into(),
+        };
+        for _ in 0..MAX_FILTER_DEPTH {
+            deep = Filter::And(vec![deep]);
+        }
+        assert!(deep.check_caps().is_err());
+        let wide = Filter::In {
+            key: "k".into(),
+            values: (0..MAX_FILTER_NODES).map(|i| i.to_string()).collect(),
+        };
+        assert!(wide.check_caps().is_err());
+        let long = Filter::Eq {
+            key: "k".repeat(MAX_ATTR_STR + 1),
+            value: "v".into(),
+        };
+        assert!(long.check_caps().is_err());
+        let fine = Filter::And(vec![Filter::Eq {
+            key: "k".into(),
+            value: "v".into(),
+        }]);
+        assert!(fine.check_caps().is_ok());
+    }
+
+    #[test]
+    fn random_roundtrips_agree_with_model() {
+        let mut rng = StdRng::seed_from_u64(0xA77);
+        for _ in 0..50 {
+            let mut meta = MetadataIndex::new();
+            let n = rng.gen_range(0usize..40);
+            for _ in 0..n {
+                let n_attrs = rng.gen_range(0usize..5);
+                let attrs: Vec<(String, String)> = (0..n_attrs)
+                    .map(|_| {
+                        (
+                            format!("k{}", rng.gen_range(0..4)),
+                            format!("v{}", rng.gen_range(0..6)),
+                        )
+                    })
+                    .collect();
+                meta.push(&attrs);
+            }
+            let decoded = MetadataIndex::decode(&meta.encode()).expect("roundtrip");
+            for id in 0..meta.n_sets() as u32 {
+                assert_eq!(decoded.attrs(id), meta.attrs(id));
+            }
+        }
+    }
+}

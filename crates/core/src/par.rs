@@ -206,6 +206,13 @@ pub(crate) trait ParGroups: Sync {
     fn query(&self) -> &[TokenId];
     /// Distinct token count of the query.
     fn q_len(&self) -> usize;
+    /// Per-set match mask of a filtered query (`None`: every member is
+    /// a candidate). Query-constant, so window contents filtered by it
+    /// stay a pure function of the threshold — the replay soundness
+    /// argument (module docs) is unchanged.
+    fn set_filter(&self) -> Option<&les3_bitmap::DenseBitSet> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -239,18 +246,26 @@ fn commit_group<G: ParGroups>(
 ) {
     let sim = g.sim();
     let (verify, local) = g.locate(i);
+    let filter = g.set_filter();
     let t_entry = top.kth();
     let usable = rec.filter(|r| r.t_snap == t_entry);
     verify.with_window(sim, local, g.q_len(), t_entry, |ids, skipped| {
         stats.size_skipped += skipped;
-        for (j, &id) in ids.iter().enumerate() {
+        let mut j = 0usize;
+        for &id in ids.iter() {
+            // Filtered query: non-matching members are skipped before
+            // any accounting, identically here and in speculation, so
+            // record slot `j` is the j-th *matching* candidate.
+            if filter.is_some_and(|m| !m.contains(id)) {
+                continue;
+            }
             stats.candidates += 1;
             stats.sims_computed += 1;
             let t = top.kth();
             // Same group, same threshold ⇒ same window (a pure function
             // of the threshold), so record slot `j` is candidate `j`.
             if let Some(rec) = usable.filter(|r| t == r.t_snap) {
-                debug_assert_eq!(rec.outcomes.len(), ids.len());
+                debug_assert!(j < rec.outcomes.len());
                 match rec.outcomes[j] {
                     Outcome::Hit(s) => top.offer(id, s),
                     Outcome::RejectedEarly => stats.early_exits += 1,
@@ -266,6 +281,7 @@ fn commit_group<G: ParGroups>(
                     }
                 }
             }
+            j += 1;
         }
     });
 }
@@ -274,10 +290,16 @@ fn commit_group<G: ParGroups>(
 fn speculate_group<G: ParGroups>(g: &G, i: usize, t_snap: f64) -> GroupRecord {
     let sim = g.sim();
     let (verify, local) = g.locate(i);
+    let filter = g.set_filter();
     let mut outcomes = Vec::new();
     verify.with_window(sim, local, g.q_len(), t_snap, |ids, _skipped| {
         outcomes.reserve_exact(ids.len());
         for &id in ids {
+            // Mirror the committer's skip exactly: one record slot per
+            // matching candidate.
+            if filter.is_some_and(|m| !m.contains(id)) {
+                continue;
+            }
             outcomes.push(
                 match sim.eval_with_threshold(g.query(), g.db().set(id), t_snap) {
                     ThresholdedEval::Hit(s) => Outcome::Hit(s),
@@ -554,10 +576,14 @@ fn range_group<G: ParGroups>(
 ) {
     let sim = g.sim();
     let (verify, local) = g.locate(i);
+    let filter = g.set_filter();
     stats.groups_verified += 1;
     verify.with_window(sim, local, g.q_len(), delta, |ids, skipped| {
         stats.size_skipped += skipped;
         for &id in ids {
+            if filter.is_some_and(|m| !m.contains(id)) {
+                continue;
+            }
             stats.candidates += 1;
             stats.sims_computed += 1;
             match sim.eval_with_threshold(g.query(), g.db().set(id), delta) {

@@ -52,6 +52,7 @@ use les3_data::{SetDatabase, SetId, TokenId};
 
 use crate::delete::DeletionLog;
 use crate::index::{Les3Index, VerifyOrder};
+use crate::metadata::MetadataIndex;
 use crate::partitioning::Partitioning;
 use crate::shard::{Shard, ShardedLes3Index};
 use crate::sim::Similarity;
@@ -411,6 +412,9 @@ impl<S: Similarity> PersistentBackend for ShardedLes3Index<S> {
 pub struct DurableIndex<B: PersistentBackend> {
     backend: B,
     log: DeletionLog,
+    /// Attribute metadata, id-aligned with `backend.db()` (attribute-free
+    /// sets hold empty entries).
+    meta: MetadataIndex,
     dir: PathBuf,
     epoch: u64,
     /// `None` after a failed append or checkpoint (poisoned) until the
@@ -439,10 +443,11 @@ fn write_checkpoint<B: PersistentBackend>(
     dir: &Path,
     backend: &B,
     tombstones: &[SetId],
+    metadata: &MetadataIndex,
     new_epoch: u64,
 ) -> Result<Box<dyn WriteSync>, PersistError> {
     let tmp = dir.join("segment.tmp");
-    segment::write_segment(io, &tmp, backend, tombstones, new_epoch)?;
+    segment::write_segment(io, &tmp, backend, tombstones, metadata, new_epoch)?;
     io.rename(&tmp, &segment_path(dir))?;
     io.sync_dir(dir)?;
     let mut wal = io.create(&wal_path(dir, new_epoch))?;
@@ -477,6 +482,18 @@ pub fn save_index<B: PersistentBackend>(
     tombstones: &[SetId],
     dir: &Path,
 ) -> Result<(), PersistError> {
+    save_index_with_meta(backend, tombstones, &MetadataIndex::new(), dir)
+}
+
+/// [`save_index`] for backends that carry attribute metadata (the
+/// namespace layer): the segment gains a METADATA block whenever any
+/// set has attributes.
+pub fn save_index_with_meta<B: PersistentBackend>(
+    backend: &B,
+    tombstones: &[SetId],
+    metadata: &MetadataIndex,
+    dir: &Path,
+) -> Result<(), PersistError> {
     std::fs::create_dir_all(dir)?;
     let new_epoch = match segment::read_meta(&segment_path(dir)) {
         Ok(meta) => meta.epoch + 1,
@@ -484,7 +501,7 @@ pub fn save_index<B: PersistentBackend>(
         // A corrupt or foreign segment is not silently overwritten.
         Err(e) => return Err(e),
     };
-    write_checkpoint(&RealIo, dir, backend, tombstones, new_epoch)?;
+    write_checkpoint(&RealIo, dir, backend, tombstones, metadata, new_epoch)?;
     Ok(())
 }
 
@@ -520,10 +537,13 @@ impl<B: PersistentBackend> DurableIndex<B> {
             });
         }
         let log = DeletionLog::build_with_tombstones(backend.db(), backend.partitioning(), &[]);
-        let wal = write_checkpoint(io.as_ref(), &dir, &backend, &[], 0)?;
+        let mut meta = MetadataIndex::new();
+        meta.push_empty(backend.db().len());
+        let wal = write_checkpoint(io.as_ref(), &dir, &backend, &[], &meta, 0)?;
         Ok(Self {
             backend,
             log,
+            meta,
             dir,
             epoch: 0,
             wal: Some(wal),
@@ -567,6 +587,7 @@ impl<B: PersistentBackend> DurableIndex<B> {
         }
         let epoch = raw.epoch;
         let tombstones = raw.tombstones;
+        let mut meta = raw.metadata.unwrap_or_default();
         let mut backend = B::assemble(LoadedParts {
             sim,
             db: raw.db,
@@ -578,6 +599,11 @@ impl<B: PersistentBackend> DurableIndex<B> {
         })?;
         let mut log =
             DeletionLog::build_with_tombstones(backend.db(), backend.partitioning(), &tombstones);
+        // Segments without a METADATA block (attribute-free or written
+        // before metadata existed) mean "no set has attributes".
+        if meta.n_sets() < backend.db().len() {
+            meta.push_empty(backend.db().len() - meta.n_sets());
+        }
 
         // Replay the WAL tail. A missing file means a crash hit between
         // the segment rename and the fresh WAL creation — an empty log.
@@ -604,9 +630,16 @@ impl<B: PersistentBackend> DurableIndex<B> {
                 WalRecord::Insert(mut tokens) => {
                     let (id, _) = backend.insert_set(&mut tokens);
                     B::note_insert(&mut log, &backend, id);
+                    meta.push_empty(1);
                 }
                 WalRecord::Delete(id) => {
                     B::delete_set(&mut log, &mut backend, id);
+                }
+                WalRecord::InsertAttrs(mut tokens, attrs) => {
+                    let (id, _) = backend.insert_set(&mut tokens);
+                    B::note_insert(&mut log, &backend, id);
+                    let meta_id = meta.push(&attrs);
+                    debug_assert_eq!(meta_id, id);
                 }
             }
         }
@@ -615,6 +648,7 @@ impl<B: PersistentBackend> DurableIndex<B> {
         Ok(Self {
             backend,
             log,
+            meta,
             dir,
             epoch,
             wal: Some(wal),
@@ -645,10 +679,21 @@ impl<B: PersistentBackend> DurableIndex<B> {
         self.wal.is_none()
     }
 
+    /// The attribute metadata, id-aligned with the backend's database.
+    pub fn meta(&self) -> &MetadataIndex {
+        &self.meta
+    }
+
     /// Consumes the wrapper, yielding the backend and deletion log
     /// (serving wants the bare backend).
     pub fn into_backend(self) -> (B, DeletionLog) {
         (self.backend, self.log)
+    }
+
+    /// [`DurableIndex::into_backend`] plus the attribute metadata (the
+    /// namespace layer wants all three).
+    pub fn into_parts(self) -> (B, DeletionLog, MetadataIndex) {
+        (self.backend, self.log, self.meta)
     }
 
     fn append(&mut self, record: &WalRecord) -> Result<(), PersistError> {
@@ -678,6 +723,22 @@ impl<B: PersistentBackend> DurableIndex<B> {
         self.append(&WalRecord::Insert(tokens.to_vec()))?;
         let (id, g) = self.backend.insert_set(tokens);
         B::note_insert(&mut self.log, &self.backend, id);
+        self.meta.push_empty(1);
+        Ok((id, g))
+    }
+
+    /// [`DurableIndex::insert`] carrying the set's key/value attributes
+    /// (WAL-logged with them, so replay restores the metadata too).
+    pub fn insert_with_attrs(
+        &mut self,
+        tokens: &mut [TokenId],
+        attrs: &[(String, String)],
+    ) -> Result<(SetId, u32), PersistError> {
+        self.append(&WalRecord::InsertAttrs(tokens.to_vec(), attrs.to_vec()))?;
+        let (id, g) = self.backend.insert_set(tokens);
+        B::note_insert(&mut self.log, &self.backend, id);
+        let meta_id = self.meta.push(attrs);
+        debug_assert_eq!(meta_id, id);
         Ok((id, g))
     }
 
@@ -705,6 +766,7 @@ impl<B: PersistentBackend> DurableIndex<B> {
             &self.dir,
             &self.backend,
             &tombstones,
+            &self.meta,
             self.epoch + 1,
         )?;
         self.epoch += 1;

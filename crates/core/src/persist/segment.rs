@@ -37,6 +37,7 @@ use les3_data::{SetDatabase, SetId, TokenId};
 
 use super::io::{crc32, PersistIo, WriteSync};
 use super::{PersistError, PersistentBackend};
+use crate::metadata::MetadataIndex;
 use crate::partitioning::Partitioning;
 use crate::sim::{distinct_len, Similarity};
 
@@ -59,6 +60,7 @@ pub(crate) const KIND_TGM: u32 = 4;
 pub(crate) const KIND_RUNS: u32 = 5;
 pub(crate) const KIND_SHARDS: u32 = 6;
 pub(crate) const KIND_TOMBS: u32 = 7;
+pub(crate) const KIND_METADATA: u32 = 8;
 
 fn corrupt(section: &'static str, detail: impl Into<String>) -> PersistError {
     PersistError::Corrupt {
@@ -152,6 +154,7 @@ pub(crate) fn write_segment<B: PersistentBackend>(
     path: &std::path::Path,
     backend: &B,
     tombstones: &[SetId],
+    metadata: &MetadataIndex,
     epoch: u64,
 ) -> Result<(), PersistError> {
     let db = backend.db();
@@ -244,6 +247,13 @@ pub(crate) fn write_segment<B: PersistentBackend>(
     }
     w.write_block(KIND_TOMBS, &payload)?;
 
+    // Segments predating attribute metadata carry no METADATA block, and
+    // neither do attribute-free indexes — readers treat its absence as
+    // "every set has no attributes", keeping old segments loadable.
+    if !metadata.is_empty() {
+        w.write_block(KIND_METADATA, &metadata.encode())?;
+    }
+
     w.finish()
 }
 
@@ -262,6 +272,9 @@ pub(crate) struct RawSegment {
     pub(crate) runs: Vec<Vec<(u32, SetId)>>,
     pub(crate) shard_of_group: Option<Vec<u32>>,
     pub(crate) tombstones: Vec<SetId>,
+    /// Attribute metadata; `None` when the segment has no METADATA block
+    /// (attribute-free index or a pre-metadata segment).
+    pub(crate) metadata: Option<MetadataIndex>,
 }
 
 struct Reader<'a> {
@@ -443,6 +456,7 @@ pub(crate) fn read_segment(path: &std::path::Path) -> Result<RawSegment, Persist
     let mut runs: Vec<(u32, Vec<(u32, SetId)>)> = Vec::new();
     let mut shard_of_group: Option<Vec<u32>> = None;
     let mut tombstones: Option<Vec<SetId>> = None;
+    let mut metadata: Option<MetadataIndex> = None;
 
     for_each_block(&bytes, |kind, payload| {
         if kind != KIND_META && meta.is_none() {
@@ -604,6 +618,15 @@ pub(crate) fn read_segment(path: &std::path::Path) -> Result<RawSegment, Persist
                 }
                 tombstones = Some(ids);
             }
+            KIND_METADATA => {
+                if metadata.is_some() {
+                    return Err(corrupt("METADATA", "duplicate METADATA block"));
+                }
+                metadata = Some(
+                    MetadataIndex::decode(payload)
+                        .map_err(|e| corrupt("METADATA", e.to_string()))?,
+                );
+            }
             other => {
                 return Err(corrupt("block", format!("unknown block kind {other}")));
             }
@@ -720,6 +743,15 @@ pub(crate) fn read_segment(path: &std::path::Path) -> Result<RawSegment, Persist
         return Err(corrupt("TOMBS", "tombstone id out of range"));
     }
 
+    if let Some(m) = &metadata {
+        if m.n_sets() != n_sets {
+            return Err(corrupt(
+                "METADATA",
+                format!("metadata covers {} of {n_sets} sets", m.n_sets()),
+            ));
+        }
+    }
+
     Ok(RawSegment {
         epoch: meta.epoch,
         sim_name: meta.sim_name,
@@ -730,5 +762,6 @@ pub(crate) fn read_segment(path: &std::path::Path) -> Result<RawSegment, Persist
         runs,
         shard_of_group,
         tombstones,
+        metadata,
     })
 }

@@ -8,6 +8,8 @@
 //!   payload:
 //!     u8 1 (insert), u32 n, n × u32 token   — tokens as given, unsorted
 //!     u8 2 (delete), u32 set id
+//!     u8 3 (insert with attributes), u32 n, n × u32 token,
+//!          u32 m, m × (u32 key len, key bytes, u32 value len, value bytes)
 //! ```
 //!
 //! Replay semantics (the crash contract): a record whose declared extent
@@ -29,6 +31,7 @@ const MAX_RECORD: u32 = 16 << 20;
 
 const KIND_INSERT: u8 = 1;
 const KIND_DELETE: u8 = 2;
+const KIND_INSERT_ATTRS: u8 = 3;
 
 /// One logged mutation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +39,8 @@ pub(crate) enum WalRecord {
     /// Tokens exactly as the caller passed them (the insert path sorts).
     Insert(Vec<TokenId>),
     Delete(SetId),
+    /// An insert carrying the set's key/value attributes.
+    InsertAttrs(Vec<TokenId>, Vec<(String, String)>),
 }
 
 impl WalRecord {
@@ -53,6 +58,20 @@ impl WalRecord {
             WalRecord::Delete(id) => {
                 payload.push(KIND_DELETE);
                 payload.extend_from_slice(&id.to_le_bytes());
+            }
+            WalRecord::InsertAttrs(tokens, attrs) => {
+                payload.push(KIND_INSERT_ATTRS);
+                payload.extend_from_slice(&(tokens.len() as u32).to_le_bytes());
+                for &t in tokens {
+                    payload.extend_from_slice(&t.to_le_bytes());
+                }
+                payload.extend_from_slice(&(attrs.len() as u32).to_le_bytes());
+                for (k, v) in attrs {
+                    payload.extend_from_slice(&(k.len() as u32).to_le_bytes());
+                    payload.extend_from_slice(k.as_bytes());
+                    payload.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                    payload.extend_from_slice(v.as_bytes());
+                }
             }
         }
         let mut out = Vec::with_capacity(8 + payload.len());
@@ -151,6 +170,61 @@ fn parse_payload(payload: &[u8]) -> Result<WalRecord, String> {
             }
             Ok(WalRecord::Delete(super::le_u32(&payload[1..5])))
         }
+        Some(&KIND_INSERT_ATTRS) => {
+            if payload.len() < 5 {
+                return Err("insert-attrs record shorter than its header".into());
+            }
+            let n = super::le_u32(&payload[1..5]) as usize;
+            let mut pos = 5usize;
+            // n is bounded by MAX_RECORD/4 because the framed payload was
+            // already length-checked, so this multiply cannot overflow.
+            if payload.len() - pos < n * 4 {
+                return Err(format!(
+                    "insert-attrs record declares {n} tokens but is too short"
+                ));
+            }
+            let tokens: Vec<TokenId> = payload[pos..pos + n * 4]
+                .chunks_exact(4)
+                .map(super::le_u32)
+                .collect();
+            pos += n * 4;
+            if payload.len() - pos < 4 {
+                return Err("insert-attrs record truncated before attribute count".into());
+            }
+            let m = super::le_u32(&payload[pos..pos + 4]) as usize;
+            pos += 4;
+            let mut attrs = Vec::with_capacity(m.min(1024));
+            for i in 0..m {
+                let mut read_str = |what: &str| -> Result<String, String> {
+                    if payload.len() - pos < 4 {
+                        return Err(format!(
+                            "insert-attrs record truncated before attribute {i} {what} length"
+                        ));
+                    }
+                    let len = super::le_u32(&payload[pos..pos + 4]) as usize;
+                    pos += 4;
+                    if payload.len() - pos < len {
+                        return Err(format!(
+                            "attribute {i} {what} declares {len} bytes past the record end"
+                        ));
+                    }
+                    let s = std::str::from_utf8(&payload[pos..pos + len])
+                        .map_err(|_| format!("attribute {i} {what} is not valid UTF-8"))?;
+                    pos += len;
+                    Ok(s.to_string())
+                };
+                let k = read_str("key")?;
+                let v = read_str("value")?;
+                attrs.push((k, v));
+            }
+            if pos != payload.len() {
+                return Err(format!(
+                    "insert-attrs record has {} trailing bytes",
+                    payload.len() - pos
+                ));
+            }
+            Ok(WalRecord::InsertAttrs(tokens, attrs))
+        }
         Some(&k) => Err(format!("unknown record kind {k}")),
         None => Err("empty record".into()),
     }
@@ -160,10 +234,21 @@ fn parse_payload(payload: &[u8]) -> Result<WalRecord, String> {
 mod tests {
     use super::*;
 
+    fn attrs_record() -> WalRecord {
+        WalRecord::InsertAttrs(
+            vec![3, 1, 4],
+            vec![
+                ("color".to_string(), "red".to_string()),
+                ("size".to_string(), String::new()),
+            ],
+        )
+    }
+
     fn sample() -> Vec<u8> {
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&WalRecord::Insert(vec![5, 2, 9]).encode());
         bytes.extend_from_slice(&WalRecord::Delete(7).encode());
+        bytes.extend_from_slice(&attrs_record().encode());
         bytes.extend_from_slice(&WalRecord::Insert(vec![1]).encode());
         bytes
     }
@@ -176,6 +261,7 @@ mod tests {
             vec![
                 WalRecord::Insert(vec![5, 2, 9]),
                 WalRecord::Delete(7),
+                attrs_record(),
                 WalRecord::Insert(vec![1]),
             ]
         );
@@ -190,7 +276,7 @@ mod tests {
         let bytes = sample();
         for cut in 0..bytes.len() {
             let parsed = parse_wal(&bytes[..cut]).expect("truncation is never an error");
-            assert!(parsed.records.len() <= 3);
+            assert!(parsed.records.len() <= 4);
             // The parsed prefix must be an exact prefix of the full log.
             let full = parse_wal(&bytes).unwrap();
             assert_eq!(parsed.records[..], full.records[..parsed.records.len()]);
@@ -211,14 +297,45 @@ mod tests {
         let parsed = parse_wal(&bytes).unwrap();
         assert_eq!(
             parsed.records.len(),
-            2,
+            3,
             "the damaged tail record is dropped"
         );
         assert_eq!(
             parsed.clean_len,
-            (WalRecord::Insert(vec![5, 2, 9]).encode().len() + WalRecord::Delete(7).encode().len())
-                as u64
+            (WalRecord::Insert(vec![5, 2, 9]).encode().len()
+                + WalRecord::Delete(7).encode().len()
+                + attrs_record().encode().len()) as u64
         );
+    }
+
+    #[test]
+    fn malformed_attrs_payload_is_an_error_not_a_panic() {
+        // Rewrite the attribute count to a fantasy value; the CRC is
+        // recomputed so the damage is semantic, not a checksum failure —
+        // and a record follows, so this is interior corruption.
+        let rec = attrs_record().encode();
+        let count_at = 8 + 1 + 4 + 3 * 4; // frame + kind + n + tokens
+        let mut payload = rec[8..].to_vec();
+        payload[count_at - 8..count_at - 8 + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&WalRecord::Delete(1).encode());
+        let err = parse_wal(&bytes).unwrap_err();
+        assert!(err.to_string().contains("offset 0"), "got: {err}");
+
+        // Non-UTF-8 attribute bytes are likewise rejected.
+        let mut payload = attrs_record().encode()[8..].to_vec();
+        let key_at = 1 + 4 + 3 * 4 + 4 + 4; // kind + n + tokens + m + klen
+        payload[key_at] = 0xff;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&WalRecord::Delete(1).encode());
+        let err = parse_wal(&bytes).unwrap_err();
+        assert!(err.to_string().contains("UTF-8"), "got: {err}");
     }
 
     #[test]

@@ -56,6 +56,8 @@ pub struct ShardedScratch {
     /// intra-query parallel path (the sequential descent merges
     /// cursor-wise without materializing).
     pub(crate) merged: Vec<(u32, crate::shard::ShardBound)>,
+    /// Per-shard local candidate-group lists of a filtered query.
+    pub(crate) cand_locals: Vec<Vec<u32>>,
 }
 
 impl ShardedScratch {

@@ -146,6 +146,8 @@ use les3_data::TokenId;
 use crate::batch::{lock_unpoisoned, PoolHandle, PoolJob, WorkerPool, TASK_QUERIES};
 use crate::ctl::{InterruptReason, Interrupted, QueryCtl};
 use crate::index::{Les3Index, SearchResult};
+use crate::metadata::Filters;
+use crate::namespace::{Namespace, Namespaces};
 use crate::scratch::{QueryScratch, ShardedScratch, WorkerScratch};
 use crate::shard::ShardedLes3Index;
 use crate::sim::Similarity;
@@ -224,6 +226,11 @@ pub enum ServeError {
     /// [`cancel`](Ticket::cancel)-ed. Carries the partial
     /// [`SearchStats`], as for `DeadlineExceeded`.
     Cancelled(SearchStats),
+    /// The request named a namespace the registry does not know (or one
+    /// already dropped at submit time). Namespace resolution happens at
+    /// submission: a namespace dropped *after* admission still answers,
+    /// against the retained handle.
+    UnknownNamespace(String),
     /// The query panicked inside a worker. Only this request failed; the
     /// pool and every other in-flight request are unaffected. Carries
     /// the panic message.
@@ -239,6 +246,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Overloaded => write!(f, "request shed: serving queue is full"),
             ServeError::DeadlineExceeded(_) => write!(f, "request deadline exceeded"),
             ServeError::Cancelled(_) => write!(f, "request cancelled"),
+            ServeError::UnknownNamespace(name) => write!(f, "unknown namespace: {name}"),
             ServeError::QueryPanicked(msg) => write!(f, "query panicked in worker: {msg}"),
             ServeError::Disconnected => write!(f, "serving front is shut down"),
         }
@@ -701,9 +709,18 @@ enum QueryKind {
     Range(f64),
 }
 
+/// Where a request executes: the front's own backend (the default
+/// route), or a named namespace resolved at submit time, carrying its
+/// decoded attribute filters.
+enum Target {
+    Backend,
+    Ns(Arc<Namespace>, Filters),
+}
+
 struct Request {
     query: Vec<TokenId>,
     kind: QueryKind,
+    target: Target,
     deadline: Option<Instant>,
     slot: Arc<Slot>,
 }
@@ -739,21 +756,37 @@ impl<B: ServeBackend> BatchJob<B> {
             );
             return;
         }
-        let outcome = catch_unwind(AssertUnwindSafe(|| match req.kind {
-            QueryKind::Knn(k) => self
+        let outcome = catch_unwind(AssertUnwindSafe(|| match (&req.target, &req.kind) {
+            (Target::Backend, QueryKind::Knn(k)) => self
                 .backend
-                .serve_knn_ctl(self.intra, &req.query, k, scratch, &ctl),
-            QueryKind::Range(delta) => self
+                .serve_knn_ctl(self.intra, &req.query, *k, scratch, &ctl),
+            (Target::Backend, QueryKind::Range(delta)) => self
                 .backend
-                .serve_range_ctl(self.intra, &req.query, delta, scratch, &ctl),
+                .serve_range_ctl(self.intra, &req.query, *delta, scratch, &ctl),
+            (Target::Ns(ns, filters), QueryKind::Knn(k)) => {
+                ns.knn(&req.query, *k, filters, self.intra, &ctl)
+            }
+            (Target::Ns(ns, filters), QueryKind::Range(delta)) => {
+                ns.range(&req.query, *delta, filters, self.intra, &ctl)
+            }
         }));
         match outcome {
             Ok(Ok(result)) => {
-                self.shared
-                    .note_worker(worker, |agg| agg.accumulate(&result.stats));
+                // Namespace queries are accounted in their namespace's
+                // own aggregate (inside `Namespace::knn`/`range`);
+                // recording them here too would double-count in the
+                // global sum `stats() = default route + Σ namespaces`.
+                if matches!(req.target, Target::Backend) {
+                    self.shared
+                        .note_worker(worker, |agg| agg.accumulate(&result.stats));
+                }
                 req.slot.put(Ok(result));
             }
-            Ok(Err(interrupted)) => self.finish_interrupted(worker, req, interrupted),
+            Ok(Err(interrupted)) => match &req.target {
+                // Already noted in the namespace aggregate mid-flight.
+                Target::Ns(..) => req.slot.put(Err(interrupt_error(interrupted))),
+                Target::Backend => self.finish_interrupted(worker, req, interrupted),
+            },
             Err(payload) => {
                 // The panicked query may have left scratch invariants
                 // violated mid-update; rebuild before the next request.
@@ -767,20 +800,24 @@ impl<B: ServeBackend> BatchJob<B> {
     }
 
     /// Completes an interrupted request, folding its partial work and
-    /// its rejection count into the executing worker's accumulator.
+    /// its rejection count into the executing worker's accumulator —
+    /// or, for a namespace-routed request, into that namespace's
+    /// aggregate, keeping the global stats identity intact. (A
+    /// namespace query interrupted *mid-flight* was already noted by
+    /// `Namespace::knn`/`range`; this path only sees ones dead on
+    /// arrival, which never reach the namespace.)
     fn finish_interrupted(&self, worker: usize, req: &Request, interrupted: Interrupted) {
-        self.shared.note_worker(worker, |agg| {
-            agg.accumulate(&interrupted.stats);
-            match interrupted.reason {
-                InterruptReason::Expired => agg.expired += 1,
-                InterruptReason::Cancelled => agg.cancelled += 1,
-            }
-        });
-        let err = match interrupted.reason {
-            InterruptReason::Expired => ServeError::DeadlineExceeded(interrupted.stats),
-            InterruptReason::Cancelled => ServeError::Cancelled(interrupted.stats),
-        };
-        req.slot.put(Err(err));
+        match &req.target {
+            Target::Backend => self.shared.note_worker(worker, |agg| {
+                agg.accumulate(&interrupted.stats);
+                match interrupted.reason {
+                    InterruptReason::Expired => agg.expired += 1,
+                    InterruptReason::Cancelled => agg.cancelled += 1,
+                }
+            }),
+            Target::Ns(ns, _) => ns.note_interrupted(&interrupted),
+        }
+        req.slot.put(Err(interrupt_error(interrupted)));
     }
 }
 
@@ -809,6 +846,13 @@ impl<B: ServeBackend> PoolJob<B::Scratch> for BatchJob<B> {
     }
 }
 
+fn interrupt_error(interrupted: Interrupted) -> ServeError {
+    match interrupted.reason {
+        InterruptReason::Expired => ServeError::DeadlineExceeded(interrupted.stats),
+        InterruptReason::Cancelled => ServeError::Cancelled(interrupted.stats),
+    }
+}
+
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         (*s).to_string()
@@ -825,6 +869,9 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 pub struct ServeFront<B: ServeBackend> {
     backend: Arc<B>,
     shared: Arc<FrontShared>,
+    /// Named secondary indexes served through the same admission queue
+    /// and worker pool as the default route; see [`Namespaces`].
+    namespaces: Arc<Namespaces>,
     /// `Some` until drop; dropping it disconnects the dispatcher.
     tx: Option<Sender<Request>>,
     dispatcher: Option<crate::sync::thread::JoinHandle<()>>,
@@ -869,6 +916,7 @@ impl<B: ServeBackend> ServeFront<B> {
         Self {
             backend,
             shared,
+            namespaces: Arc::new(Namespaces::new()),
             tx: Some(tx),
             dispatcher: Some(dispatcher),
             pool: Some(pool),
@@ -880,13 +928,36 @@ impl<B: ServeBackend> ServeFront<B> {
         &self.backend
     }
 
+    /// The namespace registry served alongside the default route:
+    /// create, drop and list named indexes here; query them through
+    /// [`ServeFront::submit_ns_knn`] / [`ServeFront::submit_ns_range`]
+    /// (or directly on the [`Namespace`] handle, which is accounted the
+    /// same way).
+    pub fn namespaces(&self) -> &Namespaces {
+        &self.namespaces
+    }
+
     /// Lifetime aggregate counters: per-query work summed over every
     /// executed request (interrupted ones contribute their partial
     /// work), plus `shed` (overload rejections), `expired` (deadline
     /// misses) and `cancelled` (dropped/cancelled tickets). Summed on
     /// demand from per-worker accumulators — completing a request only
     /// ever touches its own worker's slot, not a global lock.
+    ///
+    /// The aggregate is exactly the default route's counters plus
+    /// [`Namespaces::total_stats`] (which itself folds dropped
+    /// namespaces in), so `stats() == default_route_stats() + Σ
+    /// namespace stats` holds at every quiescent instant —
+    /// `stats_identity_holds` in the unit tests asserts it.
     pub fn stats(&self) -> SearchStats {
+        let mut agg = self.shared.aggregate();
+        agg.accumulate(&self.namespaces.total_stats());
+        agg
+    }
+
+    /// The default route's share of [`ServeFront::stats`]: every request
+    /// served against the front's own backend, namespaces excluded.
+    pub fn default_route_stats(&self) -> SearchStats {
         self.shared.aggregate()
     }
 
@@ -900,7 +971,12 @@ impl<B: ServeBackend> ServeFront<B> {
     /// resolves to exactly [`knn`](crate::Les3Index::knn)'s result for
     /// the same arguments, or to an admission outcome.
     pub fn submit_knn(&self, query: Vec<TokenId>, k: usize) -> Ticket {
-        self.submit(query, QueryKind::Knn(k), SubmitOpts::default())
+        self.submit(
+            query,
+            QueryKind::Knn(k),
+            Target::Backend,
+            SubmitOpts::default(),
+        )
     }
 
     /// Enqueues a range request (shedding on a full queue); the
@@ -908,18 +984,74 @@ impl<B: ServeBackend> ServeFront<B> {
     /// [`range`](crate::Les3Index::range)'s result for the same
     /// arguments, or to an admission outcome.
     pub fn submit_range(&self, query: Vec<TokenId>, delta: f64) -> Ticket {
-        self.submit(query, QueryKind::Range(delta), SubmitOpts::default())
+        self.submit(
+            query,
+            QueryKind::Range(delta),
+            Target::Backend,
+            SubmitOpts::default(),
+        )
     }
 
     /// [`ServeFront::submit_knn`] with explicit [`SubmitOpts`]
     /// (deadline, full-queue behavior).
     pub fn submit_knn_opts(&self, query: Vec<TokenId>, k: usize, opts: SubmitOpts) -> Ticket {
-        self.submit(query, QueryKind::Knn(k), opts)
+        self.submit(query, QueryKind::Knn(k), Target::Backend, opts)
     }
 
     /// [`ServeFront::submit_range`] with explicit [`SubmitOpts`].
     pub fn submit_range_opts(&self, query: Vec<TokenId>, delta: f64, opts: SubmitOpts) -> Ticket {
-        self.submit(query, QueryKind::Range(delta), opts)
+        self.submit(query, QueryKind::Range(delta), Target::Backend, opts)
+    }
+
+    /// Enqueues a kNN request against namespace `ns`, optionally
+    /// attribute-filtered ([`Filters::none`] runs the unfiltered hot
+    /// path). The namespace is resolved *now*: an unknown name resolves
+    /// the ticket immediately to [`ServeError::UnknownNamespace`]
+    /// without consuming queue capacity, while a namespace dropped
+    /// after admission still answers, against the retained handle.
+    pub fn submit_ns_knn(
+        &self,
+        ns: &str,
+        query: Vec<TokenId>,
+        k: usize,
+        filters: Filters,
+        opts: SubmitOpts,
+    ) -> Ticket {
+        match self.namespaces.get(ns) {
+            Some(handle) => {
+                self.submit(query, QueryKind::Knn(k), Target::Ns(handle, filters), opts)
+            }
+            None => Ticket {
+                slot: Arc::new(Slot::resolved(Err(ServeError::UnknownNamespace(
+                    ns.to_string(),
+                )))),
+            },
+        }
+    }
+
+    /// Enqueues a range request against namespace `ns`; resolution and
+    /// filter semantics as for [`ServeFront::submit_ns_knn`].
+    pub fn submit_ns_range(
+        &self,
+        ns: &str,
+        query: Vec<TokenId>,
+        delta: f64,
+        filters: Filters,
+        opts: SubmitOpts,
+    ) -> Ticket {
+        match self.namespaces.get(ns) {
+            Some(handle) => self.submit(
+                query,
+                QueryKind::Range(delta),
+                Target::Ns(handle, filters),
+                opts,
+            ),
+            None => Ticket {
+                slot: Arc::new(Slot::resolved(Err(ServeError::UnknownNamespace(
+                    ns.to_string(),
+                )))),
+            },
+        }
     }
 
     /// Blocking-admission variant of [`ServeFront::submit_knn`]: on a
@@ -961,7 +1093,13 @@ impl<B: ServeBackend> ServeFront<B> {
         self.submit_range_wait(query.to_vec(), delta).wait()
     }
 
-    fn submit(&self, query: Vec<TokenId>, kind: QueryKind, opts: SubmitOpts) -> Ticket {
+    fn submit(
+        &self,
+        query: Vec<TokenId>,
+        kind: QueryKind,
+        target: Target,
+        opts: SubmitOpts,
+    ) -> Ticket {
         if let Err(err) = self.shared.admit(opts.on_full, opts.deadline) {
             self.shared.note(|agg| match err {
                 ServeError::Overloaded => agg.shed += 1,
@@ -979,6 +1117,7 @@ impl<B: ServeBackend> ServeFront<B> {
         let request = Request {
             query,
             kind,
+            target,
             deadline: opts.deadline,
             slot,
         };
@@ -1152,6 +1291,69 @@ mod tests {
             t.wait().unwrap();
         }
         assert_eq!(front.stats(), expected);
+    }
+
+    /// The published identity: [`ServeFront::stats`] is exactly the
+    /// default route's aggregate plus [`Namespaces::total_stats`], and
+    /// the sum is invariant under dropping a namespace (the retired
+    /// aggregate keeps its counters).
+    #[test]
+    fn stats_identity_holds() {
+        use crate::namespace::NamespaceSpec;
+
+        let (front, index) = front_and_index();
+        let q = index.db().set(5).to_vec();
+        front.knn(&q, 4).unwrap();
+        for (name, base) in [("tenant-a", 100u32), ("tenant-b", 500)] {
+            let sets = (0..20).map(|i| vec![base + i, base + i + 1, 3]).collect();
+            front
+                .namespaces()
+                .create(
+                    name,
+                    NamespaceSpec {
+                        sets,
+                        ..NamespaceSpec::default()
+                    },
+                )
+                .unwrap();
+        }
+        for _ in 0..3 {
+            front
+                .submit_ns_knn(
+                    "tenant-a",
+                    vec![100, 101, 3],
+                    5,
+                    Filters::none(),
+                    SubmitOpts::default(),
+                )
+                .wait()
+                .unwrap();
+            front
+                .submit_ns_range(
+                    "tenant-b",
+                    vec![500, 501],
+                    0.1,
+                    Filters::none(),
+                    SubmitOpts::default(),
+                )
+                .wait()
+                .unwrap();
+        }
+        // An unknown namespace resolves before admission and leaves
+        // every aggregate untouched.
+        let ghost = front
+            .submit_ns_knn("ghost", vec![1], 2, Filters::none(), SubmitOpts::default())
+            .wait();
+        assert!(matches!(ghost, Err(ServeError::UnknownNamespace(_))));
+
+        let mut expected = front.default_route_stats();
+        expected.accumulate(&front.namespaces().total_stats());
+        assert_eq!(front.stats(), expected);
+        assert_ne!(front.stats(), front.default_route_stats());
+
+        let before = front.stats();
+        assert!(front.namespaces().remove("tenant-a"));
+        assert_eq!(front.stats(), before);
     }
 
     #[test]

@@ -69,12 +69,13 @@
 use crate::sync::atomic::{AtomicUsize, Ordering};
 use crate::sync::Mutex;
 
-use les3_bitmap::Bitmap;
+use les3_bitmap::{Bitmap, DenseBitSet};
 use les3_data::{SetDatabase, SetId, TokenId};
 
 use crate::batch::lock_unpoisoned;
 use crate::ctl::{InterruptReason, Interrupted, QueryCtl};
 use crate::index::{sort_hits, SearchResult, TopK, VerifyOrder};
+use crate::metadata::FilterCandidates;
 use crate::par::{self, ParGroups};
 use crate::partitioning::Partitioning;
 use crate::scratch::{QueryScratch, ShardedScratch};
@@ -305,6 +306,62 @@ impl<S: Similarity> ShardedLes3Index<S> {
         );
     }
 
+    /// [`ShardedLes3Index::filter_shard`] restricted to a filtered
+    /// query's candidate groups: `locals` holds the shard-local ids of
+    /// the shard's candidates, ascending (global candidates ascend, and
+    /// local ids ascend with global within a shard), so the emitted
+    /// `(r desc, local asc)` order is again `(r desc, global asc)`.
+    pub(crate) fn filter_shard_restricted(
+        &self,
+        s: usize,
+        query: &[TokenId],
+        q_len: usize,
+        locals: &[u32],
+        scratch: &mut QueryScratch,
+        out: &mut ShardFilter,
+    ) {
+        let shard = &self.shards[s];
+        out.cols = shard.tgm.group_overlaps_restricted_into(
+            query,
+            locals,
+            &mut scratch.mask,
+            &mut scratch.restricted,
+            &mut scratch.restricted_out,
+        );
+        out.bounds.clear();
+        out.bounds.resize(locals.len(), ShardBound::default());
+        let bounds = &mut out.bounds;
+        crate::index::bucketed_descending(
+            &scratch.restricted_out,
+            q_len,
+            &mut scratch.offsets,
+            |pos, i, r| {
+                let l = locals[i as usize];
+                bounds[pos] = ShardBound {
+                    group: shard.groups[l as usize],
+                    local: l,
+                    r,
+                };
+            },
+        );
+    }
+
+    /// Splits a filtered query's global candidate groups into per-shard
+    /// local candidate lists (ascending within each shard), reusing the
+    /// scratch buffers.
+    fn split_candidates(&self, cand: &FilterCandidates, locals: &mut Vec<Vec<u32>>) {
+        if locals.len() < self.shards.len() {
+            locals.resize_with(self.shards.len(), Vec::new);
+        }
+        for l in locals.iter_mut() {
+            l.clear();
+        }
+        for &g in &cand.groups {
+            let s = self.shard_of_group[g as usize] as usize;
+            locals[s].push(self.local_of_group[g as usize]);
+        }
+    }
+
     /// The cross-shard best-first descent over pre-computed shard filter
     /// outputs, sharing one global top-k. `filter_of(s)` yields shard
     /// `s`'s [`ShardFilter`]; `cursors` must hold one zeroed cursor per
@@ -318,6 +375,7 @@ impl<S: Similarity> ShardedLes3Index<S> {
         k: usize,
         q_len: usize,
         filter_of: impl Fn(usize) -> &'a ShardFilter,
+        set_filter: Option<&DenseBitSet>,
         cursors: &mut [usize],
         stats: &mut SearchStats,
         ctl: &QueryCtl<'_>,
@@ -364,6 +422,12 @@ impl<S: Similarity> ShardedLes3Index<S> {
                 .with_window(self.sim, b.local, q_len, top.kth(), |ids, skipped| {
                     stats.size_skipped += skipped;
                     for &id in ids {
+                        // Filtered query: skip non-matching members
+                        // before any accounting (same rule as the
+                        // flat/parallel engines).
+                        if set_filter.is_some_and(|m| !m.contains(id)) {
+                            continue;
+                        }
                         stats.candidates += 1;
                         stats.sims_computed += 1;
                         match self
@@ -394,6 +458,7 @@ impl<S: Similarity> ShardedLes3Index<S> {
         query: &[TokenId],
         delta: f64,
         filter: &ShardFilter,
+        set_filter: Option<&DenseBitSet>,
         hits: &mut Vec<(SetId, f64)>,
         stats: &mut SearchStats,
         ctl: &QueryCtl<'_>,
@@ -414,6 +479,9 @@ impl<S: Similarity> ShardedLes3Index<S> {
                 .with_window(self.sim, b.local, q_len, delta, |ids, skipped| {
                     stats.size_skipped += skipped;
                     for &id in ids {
+                        if set_filter.is_some_and(|m| !m.contains(id)) {
+                            continue;
+                        }
                         stats.candidates += 1;
                         stats.sims_computed += 1;
                         match self.sim.eval_with_threshold(query, self.db.set(id), delta) {
@@ -504,6 +572,7 @@ impl<S: Similarity> ShardedLes3Index<S> {
             filters,
             cursors,
             merged,
+            ..
         } = scratch;
         if workers <= 1 {
             for s in 0..self.shards.len() {
@@ -516,8 +585,16 @@ impl<S: Similarity> ShardedLes3Index<S> {
                 return Err(Interrupted { reason, stats });
             }
             let filters: &[ShardFilter] = filters;
-            return match self.merge_knn(query, k, q_len, |s| &filters[s], cursors, &mut stats, ctl)
-            {
+            return match self.merge_knn(
+                query,
+                k,
+                q_len,
+                |s| &filters[s],
+                None,
+                cursors,
+                &mut stats,
+                ctl,
+            ) {
                 Ok(top) => Ok(SearchResult {
                     hits: top.into_sorted(),
                     stats,
@@ -535,6 +612,7 @@ impl<S: Similarity> ShardedLes3Index<S> {
             merged,
             query,
             q_len,
+            filter: None,
         };
         match par::knn_descend(&groups, k, workers, &mut stats, ctl) {
             Ok(top) => Ok(SearchResult {
@@ -671,9 +749,16 @@ impl<S: Similarity> ShardedLes3Index<S> {
                 if let Some(reason) = ctl.interrupted() {
                     return Err(Interrupted { reason, stats });
                 }
-                if let Err(reason) =
-                    self.range_shard(s, query, delta, &filters[s], &mut hits, &mut stats, ctl)
-                {
+                if let Err(reason) = self.range_shard(
+                    s,
+                    query,
+                    delta,
+                    &filters[s],
+                    None,
+                    &mut hits,
+                    &mut stats,
+                    ctl,
+                ) {
                     return Err(Interrupted { reason, stats });
                 }
             }
@@ -690,6 +775,7 @@ impl<S: Similarity> ShardedLes3Index<S> {
             merged,
             query,
             q_len,
+            filter: None,
         };
         if let Err(reason) = par::range_scan(&groups, delta, workers, &mut hits, &mut stats, ctl) {
             return Err(Interrupted { reason, stats });
@@ -705,6 +791,237 @@ impl<S: Similarity> ShardedLes3Index<S> {
             workers,
             query,
             delta,
+            &mut ShardedScratch::new(),
+            &QueryCtl::NONE,
+        )
+        .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"))
+    }
+
+    /// Exact kNN over the matching subset of a filtered query — the
+    /// sharded twin of [`crate::Les3Index::knn_filtered_ctl_on`],
+    /// bit-for-bit identical to it (hits and stats) on the same
+    /// database and partitioning. Phase A runs the restricted kernels
+    /// per shard over the shard's slice of the candidate groups; the
+    /// per-set mask rides into the unchanged merge/verify machinery.
+    pub fn knn_filtered_ctl_on(
+        &self,
+        workers: usize,
+        query: &[TokenId],
+        k: usize,
+        cand: &FilterCandidates,
+        scratch: &mut ShardedScratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<SearchResult, Interrupted> {
+        let mut stats = SearchStats::default();
+        if k == 0 || self.db.is_empty() || cand.groups.is_empty() {
+            return Ok(SearchResult {
+                hits: Vec::new(),
+                stats,
+            });
+        }
+        let query = &*normalize_query(query);
+        scratch.ensure(self.shards.len());
+        self.split_candidates(cand, &mut scratch.cand_locals);
+        let q_len = distinct_len(query);
+        let ShardedScratch {
+            per_shard,
+            filters,
+            cursors,
+            merged,
+            cand_locals,
+        } = scratch;
+        // Restricted phase A is proportional to the candidate count, so
+        // it always runs sequentially per shard; only verification fans
+        // out.
+        for s in 0..self.shards.len() {
+            self.filter_shard_restricted(
+                s,
+                query,
+                q_len,
+                &cand_locals[s],
+                &mut per_shard[s],
+                &mut filters[s],
+            );
+            stats.columns_checked += filters[s].cols as usize;
+        }
+        if let Some(reason) = ctl.interrupted() {
+            return Err(Interrupted { reason, stats });
+        }
+        if workers <= 1 {
+            let filters: &[ShardFilter] = filters;
+            return match self.merge_knn(
+                query,
+                k,
+                q_len,
+                |s| &filters[s],
+                Some(&cand.sets),
+                cursors,
+                &mut stats,
+                ctl,
+            ) {
+                Ok(top) => Ok(SearchResult {
+                    hits: top.into_sorted(),
+                    stats,
+                }),
+                Err(reason) => Err(Interrupted { reason, stats }),
+            };
+        }
+        merge_filter_streams(&filters[..self.shards.len()], merged);
+        let groups = MergedGroups {
+            index: self,
+            merged,
+            query,
+            q_len,
+            filter: Some(&cand.sets),
+        };
+        match par::knn_descend(&groups, k, workers, &mut stats, ctl) {
+            Ok(top) => Ok(SearchResult {
+                hits: top.into_sorted(),
+                stats,
+            }),
+            Err(reason) => Err(Interrupted { reason, stats }),
+        }
+    }
+
+    /// Allocating convenience around
+    /// [`ShardedLes3Index::knn_filtered_ctl_on`] with automatic worker
+    /// choice.
+    pub fn knn_filtered(
+        &self,
+        query: &[TokenId],
+        k: usize,
+        cand: &FilterCandidates,
+    ) -> SearchResult {
+        self.knn_filtered_par(query, k, cand, par::auto_intra_workers(cand.groups.len()))
+    }
+
+    /// [`ShardedLes3Index::knn_filtered`] with a pinned worker count.
+    pub fn knn_filtered_par(
+        &self,
+        query: &[TokenId],
+        k: usize,
+        cand: &FilterCandidates,
+        workers: usize,
+    ) -> SearchResult {
+        self.knn_filtered_ctl_on(
+            workers,
+            query,
+            k,
+            cand,
+            &mut ShardedScratch::new(),
+            &QueryCtl::NONE,
+        )
+        .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"))
+    }
+
+    /// Exact range search over the matching subset of a filtered query;
+    /// the sharded twin of
+    /// [`crate::Les3Index::range_filtered_ctl_on`].
+    pub fn range_filtered_ctl_on(
+        &self,
+        workers: usize,
+        query: &[TokenId],
+        delta: f64,
+        cand: &FilterCandidates,
+        scratch: &mut ShardedScratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<SearchResult, Interrupted> {
+        let mut stats = SearchStats::default();
+        if cand.groups.is_empty() {
+            return Ok(SearchResult {
+                hits: Vec::new(),
+                stats,
+            });
+        }
+        let query = &*normalize_query(query);
+        scratch.ensure(self.shards.len());
+        self.split_candidates(cand, &mut scratch.cand_locals);
+        let q_len = distinct_len(query);
+        let mut hits: Vec<(SetId, f64)> = Vec::new();
+        let ShardedScratch {
+            per_shard,
+            filters,
+            merged,
+            cand_locals,
+            ..
+        } = scratch;
+        for s in 0..self.shards.len() {
+            self.filter_shard_restricted(
+                s,
+                query,
+                q_len,
+                &cand_locals[s],
+                &mut per_shard[s],
+                &mut filters[s],
+            );
+            stats.columns_checked += filters[s].cols as usize;
+        }
+        if let Some(reason) = ctl.interrupted() {
+            return Err(Interrupted { reason, stats });
+        }
+        if workers <= 1 {
+            for (s, filter) in filters.iter().enumerate().take(self.shards.len()) {
+                if let Err(reason) = self.range_shard(
+                    s,
+                    query,
+                    delta,
+                    filter,
+                    Some(&cand.sets),
+                    &mut hits,
+                    &mut stats,
+                    ctl,
+                ) {
+                    return Err(Interrupted { reason, stats });
+                }
+            }
+            sort_hits(&mut hits);
+            return Ok(SearchResult { hits, stats });
+        }
+        merge_filter_streams(&filters[..self.shards.len()], merged);
+        let groups = MergedGroups {
+            index: self,
+            merged,
+            query,
+            q_len,
+            filter: Some(&cand.sets),
+        };
+        if let Err(reason) = par::range_scan(&groups, delta, workers, &mut hits, &mut stats, ctl) {
+            return Err(Interrupted { reason, stats });
+        }
+        sort_hits(&mut hits);
+        Ok(SearchResult { hits, stats })
+    }
+
+    /// Allocating convenience around
+    /// [`ShardedLes3Index::range_filtered_ctl_on`] with automatic
+    /// worker choice.
+    pub fn range_filtered(
+        &self,
+        query: &[TokenId],
+        delta: f64,
+        cand: &FilterCandidates,
+    ) -> SearchResult {
+        self.range_filtered_par(
+            query,
+            delta,
+            cand,
+            par::auto_intra_workers(cand.groups.len()),
+        )
+    }
+
+    /// [`ShardedLes3Index::range_filtered`] with a pinned worker count.
+    pub fn range_filtered_par(
+        &self,
+        query: &[TokenId],
+        delta: f64,
+        cand: &FilterCandidates,
+        workers: usize,
+    ) -> SearchResult {
+        self.range_filtered_ctl_on(
+            workers,
+            query,
+            delta,
+            cand,
             &mut ShardedScratch::new(),
             &QueryCtl::NONE,
         )
@@ -739,6 +1056,8 @@ pub(crate) struct MergedGroups<'a, S: Similarity> {
     pub(crate) merged: &'a [(u32, ShardBound)],
     pub(crate) query: &'a [TokenId],
     pub(crate) q_len: usize,
+    /// Per-set match mask of a filtered query.
+    pub(crate) filter: Option<&'a DenseBitSet>,
 }
 
 impl<S: Similarity> ParGroups for MergedGroups<'_, S> {
@@ -773,6 +1092,10 @@ impl<S: Similarity> ParGroups for MergedGroups<'_, S> {
 
     fn q_len(&self) -> usize {
         self.q_len
+    }
+
+    fn set_filter(&self) -> Option<&DenseBitSet> {
+        self.filter
     }
 }
 

@@ -12,34 +12,60 @@
 use std::path::Path;
 use std::sync::Arc;
 
+use les3_core::metadata::{Filter, Filters};
 use les3_core::persist::io::{FaultBudget, FaultyIo};
-use les3_core::persist::{save_index, DurableIndex, DurableOptions, PersistentBackend};
+use les3_core::persist::{save_index_with_meta, DurableIndex, DurableOptions, PersistentBackend};
 use les3_core::{
-    DeletionLog, Jaccard, Les3Index, Partitioning, PersistError, SearchResult, ShardPolicy,
-    ShardedLes3Index,
+    DeletionLog, Jaccard, Les3Index, MetadataIndex, Partitioning, PersistError, SearchResult,
+    ShardPolicy, ShardedLes3Index,
 };
 use les3_data::SetDatabase;
 
 #[derive(Debug, Clone)]
 enum Op {
     Insert(Vec<u32>),
+    /// Insert with attached attributes: one `InsertAttrs` WAL record
+    /// instead of a plain `Insert`, so the sweep kills the attribute
+    /// payload at every byte too.
+    InsertAttrs(Vec<u32>, Vec<(&'static str, &'static str)>),
     Delete(u32),
     Checkpoint,
 }
 
 /// The mutation schedule under fault injection. Each mutation changes
 /// `(db len, tombstones)`, so every prefix state has a distinct
-/// signature and recovery can be matched to exactly one prefix.
+/// signature and recovery can be matched to exactly one prefix. The
+/// first `InsertAttrs` lands before the first checkpoint, so the
+/// checkpoint segments carry a METADATA block whose write path the
+/// sweep also kills everywhere.
 fn schedule() -> Vec<Op> {
     vec![
         Op::Insert(vec![1, 2, 21]),
+        Op::InsertAttrs(vec![4, 5, 24], vec![("color", "red"), ("kind", "widget")]),
         Op::Delete(2),
         Op::Checkpoint,
         Op::Insert(vec![5, 6, 7, 22]),
         Op::Delete(0),
         Op::Checkpoint,
+        Op::InsertAttrs(vec![0, 2, 25], vec![("color", "red")]),
         Op::Insert(vec![8, 9, 23]),
     ]
+}
+
+/// The filter every signature answers under: matches exactly the
+/// `color=red` sets the schedule attaches attributes to.
+fn red_filter() -> Filters {
+    Filters(vec![Filter::Eq {
+        key: "color".to_string(),
+        value: "red".to_string(),
+    }])
+}
+
+fn owned_attrs(attrs: &[(&str, &str)]) -> Vec<(String, String)> {
+    attrs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
 }
 
 fn base_db() -> SetDatabase {
@@ -66,21 +92,25 @@ fn queries() -> Vec<Vec<u32>> {
     ]
 }
 
-/// Per-query answers: raw kNN, raw range, and tombstone-filtered kNN.
-type QueryAnswers = (SearchResult, SearchResult, Vec<(u32, f64)>);
+/// Per-query answers: raw kNN, raw range, tombstone-filtered kNN, and
+/// attribute-filtered kNN (the `color=red` predicate).
+type QueryAnswers = (SearchResult, SearchResult, Vec<(u32, f64)>, SearchResult);
 
-/// What "the same index" means: structure plus raw and filtered answers
-/// for a fixed query set.
+/// What "the same index" means: structure, the full attribute table,
+/// plus raw / tombstone-filtered / attribute-filtered answers for a
+/// fixed query set.
 #[derive(Debug, PartialEq)]
 struct Signature {
     n_sets: usize,
     tombstones: Vec<u32>,
+    attrs: Vec<Vec<(String, String)>>,
     answers: Vec<QueryAnswers>,
 }
 
 trait CrashBackend: PersistentBackend {
     fn knn_q(&self, q: &[u32], k: usize) -> SearchResult;
     fn range_q(&self, q: &[u32], delta: f64) -> SearchResult;
+    fn attr_knn_q(&self, q: &[u32], k: usize, meta: &MetadataIndex) -> SearchResult;
     fn build_log(&self) -> DeletionLog;
 }
 
@@ -90,6 +120,12 @@ impl CrashBackend for Les3Index<Jaccard> {
     }
     fn range_q(&self, q: &[u32], delta: f64) -> SearchResult {
         self.range(q, delta)
+    }
+    fn attr_knn_q(&self, q: &[u32], k: usize, meta: &MetadataIndex) -> SearchResult {
+        let cand = meta
+            .candidates(&red_filter(), self.partitioning())
+            .expect("non-empty filter list");
+        self.knn_filtered_par(q, k, &cand, 1)
     }
     fn build_log(&self) -> DeletionLog {
         DeletionLog::build(self)
@@ -103,12 +139,18 @@ impl CrashBackend for ShardedLes3Index<Jaccard> {
     fn range_q(&self, q: &[u32], delta: f64) -> SearchResult {
         self.range(q, delta)
     }
+    fn attr_knn_q(&self, q: &[u32], k: usize, meta: &MetadataIndex) -> SearchResult {
+        let cand = meta
+            .candidates(&red_filter(), self.partitioning())
+            .expect("non-empty filter list");
+        self.knn_filtered_par(q, k, &cand, 1)
+    }
     fn build_log(&self) -> DeletionLog {
         DeletionLog::build_sharded(self)
     }
 }
 
-fn signature<B: CrashBackend>(backend: &B, log: &DeletionLog) -> Signature {
+fn signature<B: CrashBackend>(backend: &B, log: &DeletionLog, meta: &MetadataIndex) -> Signature {
     let answers = queries()
         .iter()
         .map(|q| {
@@ -116,12 +158,14 @@ fn signature<B: CrashBackend>(backend: &B, log: &DeletionLog) -> Signature {
             let range = backend.range_q(q, 0.3);
             let mut filtered = knn.hits.clone();
             log.filter_hits(&mut filtered);
-            (knn, range, filtered)
+            let attr_knn = backend.attr_knn_q(q, 4, meta);
+            (knn, range, filtered, attr_knn)
         })
         .collect();
     Signature {
         n_sets: backend.db().len(),
         tombstones: log.deleted_ids(),
+        attrs: (0..meta.n_sets() as u32).map(|id| meta.attrs(id)).collect(),
         answers,
     }
 }
@@ -132,19 +176,27 @@ fn reference_states<B: CrashBackend>(make: impl Fn() -> B) -> Vec<Signature> {
     let mut refs = Vec::new();
     let mut backend = make();
     let mut log = backend.build_log();
-    refs.push(signature(&backend, &log));
+    let mut meta = MetadataIndex::new();
+    meta.push_empty(backend.db().len());
+    refs.push(signature(&backend, &log, &meta));
     for op in schedule() {
         match op {
             Op::Insert(tokens) => {
                 let (id, _) = backend.insert_set(&mut tokens.clone());
                 B::note_insert(&mut log, &backend, id);
+                meta.push_empty(1);
+            }
+            Op::InsertAttrs(tokens, attrs) => {
+                let (id, _) = backend.insert_set(&mut tokens.clone());
+                B::note_insert(&mut log, &backend, id);
+                meta.push(&owned_attrs(&attrs));
             }
             Op::Delete(id) => {
                 B::delete_set(&mut log, &mut backend, id);
             }
             Op::Checkpoint => continue,
         }
-        refs.push(signature(&backend, &log));
+        refs.push(signature(&backend, &log, &meta));
     }
     refs
 }
@@ -174,6 +226,12 @@ fn run_schedule<B: CrashBackend>(
     for op in schedule() {
         let (result, mutation) = match op {
             Op::Insert(tokens) => (durable.insert(&mut tokens.clone()).map(|_| ()), true),
+            Op::InsertAttrs(tokens, attrs) => (
+                durable
+                    .insert_with_attrs(&mut tokens.clone(), &owned_attrs(&attrs))
+                    .map(|_| ()),
+                true,
+            ),
             Op::Delete(id) => (durable.delete(id).map(|_| ()), true),
             Op::Checkpoint => (durable.checkpoint(), false),
         };
@@ -205,7 +263,7 @@ fn crash_everywhere<B: CrashBackend>(make: impl Fn() -> B, tag: &str) {
     let budget = FaultBudget::unlimited();
     let (applied, _, err) = run_schedule::<B>(&scratch, sim, Arc::clone(&budget));
     assert!(err.is_none(), "unlimited budget must not fail: {err:?}");
-    assert_eq!(applied, 5);
+    assert_eq!(applied, 7);
     let total = budget.consumed();
     assert!(total > 1000, "expected a rich fault surface, got {total}");
 
@@ -221,7 +279,7 @@ fn crash_everywhere<B: CrashBackend>(make: impl Fn() -> B, tag: &str) {
 
         let reopened = DurableIndex::<B>::open(&dir, sim)
             .unwrap_or_else(|e| panic!("crash at k={k} broke recovery: {e}"));
-        let got = signature(reopened.backend(), reopened.log());
+        let got = signature(reopened.backend(), reopened.log(), reopened.meta());
         let matched = refs.iter().position(|r| *r == got).unwrap_or_else(|| {
             panic!(
                 "crash at k={k} (applied {applied}, err {err:?}) recovered to a state \
@@ -284,14 +342,18 @@ fn flat_reference(with_first: bool) -> Signature {
     type B = Les3Index<Jaccard>;
     let mut backend = flat_make();
     let mut log = backend.build_log();
+    let mut meta = MetadataIndex::new();
+    meta.push_empty(backend.db().len());
     if with_first {
         let (id, _) = backend.insert_set(&mut [1, 2, 21]);
         B::note_insert(&mut log, &backend, id);
+        meta.push_empty(1);
     }
     let (id, _) = backend.insert_set(&mut [8, 9, 23]);
     B::note_insert(&mut log, &backend, id);
+    meta.push_empty(1);
     B::delete_set(&mut log, &mut backend, 3);
-    signature(&backend, &log)
+    signature(&backend, &log, &meta)
 }
 
 /// Crashing mid-append leaves a torn WAL tail. Recovery must not just
@@ -342,7 +404,7 @@ fn mutations_after_a_torn_append_survive_the_next_reopen() {
         let reopened = DurableIndex::<B>::open(&dir, Jaccard)
             .unwrap_or_else(|e| panic!("crash at k={k} broke the second reopen: {e}"));
         assert_eq!(
-            signature(reopened.backend(), reopened.log()),
+            signature(reopened.backend(), reopened.log(), reopened.meta()),
             flat_reference(with_first),
             "crash at k={k} (first insert recovered: {with_first})"
         );
@@ -417,7 +479,7 @@ fn failed_checkpoint_poisons_the_writer_until_one_succeeds() {
         let reopened = DurableIndex::<B>::open(&dir, Jaccard)
             .unwrap_or_else(|e| panic!("reopen after k={k} failed: {e}"));
         assert_eq!(
-            signature(reopened.backend(), reopened.log()),
+            signature(reopened.backend(), reopened.log(), reopened.meta()),
             flat_reference(true),
             "crash at k={k}"
         );
@@ -428,7 +490,9 @@ fn failed_checkpoint_poisons_the_writer_until_one_succeeds() {
 
 /// Every single-byte flip and every truncation of a segment file must be
 /// rejected with a descriptive error — the deterministic complement of
-/// the random sweep in `persist_roundtrip.rs`.
+/// the random sweep in `persist_roundtrip.rs`. The saved segment carries
+/// a METADATA block (interned tokens, postings, per-set attribute
+/// lists), so the sweep covers every byte of the attribute encoding too.
 #[test]
 fn every_byte_flip_and_truncation_is_rejected() {
     let dir = std::env::temp_dir().join(format!("les3-flip-{}", std::process::id()));
@@ -438,7 +502,15 @@ fn every_byte_flip_and_truncation_is_rejected() {
         Partitioning::round_robin(base_db().len(), 3),
         Jaccard,
     );
-    save_index(&index, &[3], &dir).unwrap();
+    let mut meta = MetadataIndex::new();
+    for id in 0..index.db().len() {
+        if id % 3 == 0 {
+            meta.push(&owned_attrs(&[("color", "red"), ("kind", "widget")]));
+        } else {
+            meta.push_empty(1);
+        }
+    }
+    save_index_with_meta(&index, &[3], &meta, &dir).unwrap();
     let segment = dir.join("segment");
     let good = std::fs::read(&segment).unwrap();
 

@@ -4,16 +4,20 @@
 //! reopened index must be indistinguishable — hits *and*
 //! [`SearchStats`](les3_core::SearchStats), raw and tombstone-filtered —
 //! from the live index that never touched the disk. Both backends, all
-//! four similarity measures. Plus: random corruption of the segment
-//! bytes must surface as a descriptive error, never a panic.
+//! four similarity measures. Inserts may carry attributes (the
+//! `InsertAttrs` WAL record / segment METADATA block); the reopened
+//! attribute table and attribute-filtered answers must round-trip too.
+//! Plus: random corruption of the segment bytes — including the
+//! METADATA block — must surface as a descriptive error, never a panic.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use les3_core::persist::{save_index, DurableIndex, PersistentBackend};
+use les3_core::metadata::{Filter, Filters};
+use les3_core::persist::{save_index_with_meta, DurableIndex, PersistentBackend};
 use les3_core::{
-    Cosine, DeletionLog, Dice, Jaccard, Les3Index, OverlapCoefficient, Partitioning, SearchResult,
-    ShardPolicy, ShardedLes3Index, Similarity,
+    Cosine, DeletionLog, Dice, Jaccard, Les3Index, MetadataIndex, OverlapCoefficient, Partitioning,
+    SearchResult, ShardPolicy, ShardedLes3Index, Similarity,
 };
 use les3_data::SetDatabase;
 use proptest::prelude::*;
@@ -35,7 +39,17 @@ fn fresh_dir(tag: &str) -> PathBuf {
 trait TestBackend: PersistentBackend {
     fn knn_q(&self, q: &[u32], k: usize) -> SearchResult;
     fn range_q(&self, q: &[u32], delta: f64) -> SearchResult;
+    fn attr_knn_q(&self, q: &[u32], k: usize, meta: &MetadataIndex) -> SearchResult;
     fn build_log(&self) -> DeletionLog;
+}
+
+/// The fixed attribute predicate every round-trip answers under (only
+/// `InsertAttrs` ops with `code % 3 == 0` match it).
+fn gold_filter() -> Filters {
+    Filters(vec![Filter::Eq {
+        key: "tier".to_string(),
+        value: "gold".to_string(),
+    }])
 }
 
 impl<S: Similarity> TestBackend for Les3Index<S> {
@@ -44,6 +58,12 @@ impl<S: Similarity> TestBackend for Les3Index<S> {
     }
     fn range_q(&self, q: &[u32], delta: f64) -> SearchResult {
         self.range(q, delta)
+    }
+    fn attr_knn_q(&self, q: &[u32], k: usize, meta: &MetadataIndex) -> SearchResult {
+        let cand = meta
+            .candidates(&gold_filter(), self.partitioning())
+            .expect("non-empty filter list");
+        self.knn_filtered_par(q, k, &cand, 1)
     }
     fn build_log(&self) -> DeletionLog {
         DeletionLog::build(self)
@@ -57,6 +77,12 @@ impl<S: Similarity> TestBackend for ShardedLes3Index<S> {
     fn range_q(&self, q: &[u32], delta: f64) -> SearchResult {
         self.range(q, delta)
     }
+    fn attr_knn_q(&self, q: &[u32], k: usize, meta: &MetadataIndex) -> SearchResult {
+        let cand = meta
+            .candidates(&gold_filter(), self.partitioning())
+            .expect("non-empty filter list");
+        self.knn_filtered_par(q, k, &cand, 1)
+    }
     fn build_log(&self) -> DeletionLog {
         DeletionLog::build_sharded(self)
     }
@@ -65,7 +91,19 @@ impl<S: Similarity> TestBackend for ShardedLes3Index<S> {
 #[derive(Debug, Clone)]
 enum Op {
     Insert(Vec<u32>),
+    /// Insert with attributes derived from `code` (see [`attrs_for`]):
+    /// an `InsertAttrs` WAL record on the durable side.
+    InsertAttrs(Vec<u32>, u8),
     Delete(u32),
+}
+
+fn attrs_for(code: u8) -> Vec<(String, String)> {
+    let tier = ["gold", "silver", "bronze"][code as usize % 3];
+    let mut attrs = vec![("tier".to_string(), tier.to_string())];
+    if code.is_multiple_of(2) {
+        attrs.push(("region".to_string(), format!("r{}", code % 5)));
+    }
+    attrs
 }
 
 fn db_strategy() -> impl Strategy<Value = SetDatabase> {
@@ -79,6 +117,10 @@ fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
         prop_oneof![
             prop::collection::btree_set(0u32..110, 1..15)
                 .prop_map(|s| Op::Insert(s.into_iter().collect())),
+            prop::collection::btree_set(0u32..110, 1..15).prop_map(|s| {
+                let code = s.len() as u8 ^ s.iter().next().copied().unwrap_or(0) as u8;
+                Op::InsertAttrs(s.into_iter().collect(), code)
+            }),
             (0u32..1000).prop_map(Op::Delete),
         ],
         0..12,
@@ -99,6 +141,8 @@ fn check_roundtrip<B: TestBackend>(
 ) {
     let dir = fresh_dir(tag);
     let mut live_log = live.build_log();
+    let mut live_meta = MetadataIndex::new();
+    live_meta.push_empty(live.db().len());
     let mut durable = DurableIndex::create(&dir, copy).unwrap();
     let halfway = ops.len() / 2;
     for (i, op) in ops.iter().enumerate() {
@@ -106,7 +150,18 @@ fn check_roundtrip<B: TestBackend>(
             Op::Insert(tokens) => {
                 let (live_id, live_g) = live.insert_set(&mut tokens.clone());
                 B::note_insert(&mut live_log, &live, live_id);
+                live_meta.push_empty(1);
                 let placed = durable.insert(&mut tokens.clone()).unwrap();
+                assert_eq!(placed, (live_id, live_g), "insert placement diverged");
+            }
+            Op::InsertAttrs(tokens, code) => {
+                let (live_id, live_g) = live.insert_set(&mut tokens.clone());
+                B::note_insert(&mut live_log, &live, live_id);
+                let attrs = attrs_for(*code);
+                live_meta.push(&attrs);
+                let placed = durable
+                    .insert_with_attrs(&mut tokens.clone(), &attrs)
+                    .unwrap();
                 assert_eq!(placed, (live_id, live_g), "insert placement diverged");
             }
             Op::Delete(pick) => {
@@ -133,6 +188,18 @@ fn check_roundtrip<B: TestBackend>(
         live_log.deleted_ids(),
         "tombstones diverged"
     );
+    assert_eq!(
+        reopened.meta().n_sets(),
+        live_meta.n_sets(),
+        "metadata size diverged"
+    );
+    for id in 0..live_meta.n_sets() as u32 {
+        assert_eq!(
+            reopened.meta().attrs(id),
+            live_meta.attrs(id),
+            "attributes diverged at set {id}"
+        );
+    }
     for q in queries {
         let mut a = reopened.backend().knn_q(q, k);
         let mut b = live.knn_q(q, k);
@@ -141,6 +208,16 @@ fn check_roundtrip<B: TestBackend>(
         reopened.log().filter_hits(&mut a.hits);
         live_log.filter_hits(&mut b.hits);
         assert_eq!(a.hits, b.hits, "filtered kNN diverged after reload");
+        let a = reopened.backend().attr_knn_q(q, k, reopened.meta());
+        let b = live.attr_knn_q(q, k, &live_meta);
+        assert_eq!(
+            a.hits, b.hits,
+            "attribute-filtered kNN diverged after reload"
+        );
+        assert_eq!(
+            a.stats, b.stats,
+            "attribute-filtered kNN stats diverged after reload"
+        );
         let mut a = reopened.backend().range_q(q, delta);
         let mut b = live.range_q(q, delta);
         assert_eq!(a.hits, b.hits, "range hits diverged after reload");
@@ -230,7 +307,17 @@ proptest! {
         let part = pseudo_partitioning(db.len(), n_groups, seed);
         let index = Les3Index::build(db.clone(), part, Jaccard);
         let dir = fresh_dir("rt-corrupt");
-        save_index(&index, &[], &dir).unwrap();
+        // Attributes on a third of the corpus put a METADATA block in the
+        // segment, so the corruption sweep reaches its bytes too.
+        let mut meta = MetadataIndex::new();
+        for id in 0..index.db().len() {
+            if id % 3 == 0 {
+                meta.push(&attrs_for(id as u8));
+            } else {
+                meta.push_empty(1);
+            }
+        }
+        save_index_with_meta(&index, &[], &meta, &dir).unwrap();
         let segment = dir.join("segment");
         let good = std::fs::read(&segment).unwrap();
 

@@ -31,8 +31,8 @@ use std::time::Duration;
 use les3_core::persist::{read_meta, save_index};
 use les3_core::sim::Jaccard;
 use les3_core::{
-    DurableIndex, Les3Index, Partitioning, PersistentBackend, ServeBackend, ServeConfig,
-    ServeFront, ShardPolicy, ShardedLes3Index,
+    DurableIndex, Les3Index, NamespaceSpec, Partitioning, PersistentBackend, ServeBackend,
+    ServeConfig, ServeFront, ShardPolicy, ShardedLes3Index,
 };
 use les3_data::zipfian::ZipfianGenerator;
 use les3_data::SetDatabase;
@@ -69,6 +69,11 @@ Dataset (synthetic unless --load):
     --seed N               generator seed      [default: 42]
     --load FILE            read sets from FILE (one per line, integer token ids)
 
+Namespaces (docs/PROTOCOL.md, the /ns routes):
+    --ns NAME=FILE         also serve FILE (same text format) as namespace
+                           NAME; repeatable. Namespaces created over HTTP
+                           (PUT /ns/{name}) work without this flag.
+
 Persistence (docs/PERSISTENCE.md):
     --save-index DIR       checkpoint the index to DIR at startup and let
                            POST /snapshot rewrite it while serving
@@ -95,6 +100,7 @@ struct Args {
     alpha: f64,
     seed: u64,
     load: Option<String>,
+    namespaces: Vec<(String, String)>,
     save_index: Option<String>,
     load_index: Option<String>,
 }
@@ -118,6 +124,7 @@ impl Default for Args {
             alpha: 1.1,
             seed: 42,
             load: None,
+            namespaces: Vec::new(),
             save_index: None,
             load_index: None,
         }
@@ -167,6 +174,13 @@ fn parse_args() -> Args {
             "--alpha" => args.alpha = parse(value(&mut it, "--alpha"), "--alpha"),
             "--seed" => args.seed = parse(value(&mut it, "--seed"), "--seed"),
             "--load" => args.load = Some(value(&mut it, "--load")),
+            "--ns" => {
+                let raw = value(&mut it, "--ns");
+                let Some((name, file)) = raw.split_once('=') else {
+                    die(&format!("--ns wants NAME=FILE, got {raw:?}"));
+                };
+                args.namespaces.push((name.to_string(), file.to_string()));
+            }
             "--save-index" => args.save_index = Some(value(&mut it, "--save-index")),
             "--load-index" => args.load_index = Some(value(&mut it, "--load-index")),
             "-h" | "--help" => {
@@ -226,19 +240,15 @@ fn load_database(path: &str) -> SetDatabase {
 }
 
 /// Binds the HTTP server over `front` and blocks forever.
-fn run<B: ServeBackend>(front: ServeFront<B>, args: &Args, snapshot: Option<SnapshotFn>) -> ! {
+fn run<B: ServeBackend>(front: Arc<ServeFront<B>>, args: &Args, snapshot: Option<SnapshotFn>) -> ! {
     let net = NetConfig {
         conn_workers: args.conn_workers.max(1),
         ..NetConfig::default()
     };
     let snapshot_enabled = snapshot.is_some();
-    let server = HttpServer::bind_with_snapshot(
-        Arc::new(front),
-        (args.host.as_str(), args.port),
-        net,
-        snapshot,
-    )
-    .unwrap_or_else(|e| die(&format!("cannot bind {}:{}: {e}", args.host, args.port)));
+    let server =
+        HttpServer::bind_with_snapshot(front, (args.host.as_str(), args.port), net, snapshot)
+            .unwrap_or_else(|e| die(&format!("cannot bind {}:{}: {e}", args.host, args.port)));
     println!("listening on http://{}", server.local_addr());
     let snap = if snapshot_enabled {
         ", POST /snapshot"
@@ -246,22 +256,59 @@ fn run<B: ServeBackend>(front: ServeFront<B>, args: &Args, snapshot: Option<Snap
         ""
     };
     println!(
-        "endpoints: POST /knn, POST /range{snap}, GET /stats, GET /healthz (docs/PROTOCOL.md)"
+        "endpoints: POST /knn, POST /range{snap}, GET /stats, GET /healthz, /ns/... \
+         (docs/PROTOCOL.md)"
     );
     loop {
         std::thread::park();
     }
 }
 
+/// Creates the `--ns NAME=FILE` namespaces on `front` (flat engines,
+/// default grouping — finer control is a `PUT /ns/{name}` away).
+fn preload_namespaces<B: ServeBackend>(front: &ServeFront<B>, args: &Args) {
+    for (name, file) in &args.namespaces {
+        let db = load_database(file);
+        let sets = (0..db.len()).map(|i| db.set(i as u32).to_vec()).collect();
+        let spec = NamespaceSpec {
+            sets,
+            ..NamespaceSpec::default()
+        };
+        let ns = front
+            .namespaces()
+            .create(name, spec)
+            .unwrap_or_else(|e| die(&format!("--ns {name}={file}: {e}")));
+        println!(
+            "namespace {name:?}: {} sets from {file:?}",
+            ns.info().n_sets
+        );
+    }
+}
+
 /// Wraps `backend` in a serving front, wiring `POST /snapshot` to
-/// re-checkpoint it into `--save-index`'s directory, and serves forever.
-/// The initial checkpoint (for a freshly built index) happens here too,
-/// so the directory is durable before the first query is accepted.
+/// re-checkpoint it (and every namespace, under `DIR/ns/{name}`) into
+/// `--save-index`'s directory, and serves forever. The initial
+/// checkpoint (for a freshly built index) happens here too, so the
+/// directory is durable before the first query is accepted.
 fn serve_index<B>(backend: B, tombstones: Vec<u32>, config: ServeConfig, args: &Args) -> !
 where
     B: ServeBackend + PersistentBackend,
 {
     let backend = Arc::new(backend);
+    let front = Arc::new(ServeFront::from_arc(Arc::clone(&backend), config));
+    if let Some(dir) = &args.load_index {
+        let ns_root = Path::new(dir).join("ns");
+        if ns_root.is_dir() {
+            let n = front
+                .namespaces()
+                .load_all(&ns_root)
+                .unwrap_or_else(|e| die(&format!("cannot load namespaces from {ns_root:?}: {e}")));
+            if n > 0 {
+                println!("loaded {n} namespace(s) from {ns_root:?}");
+            }
+        }
+    }
+    preload_namespaces(&front, args);
     if let Some(dir) = &args.save_index {
         // A fresh startup checkpoint — unless we are serving straight
         // out of this very directory, which is already durable.
@@ -270,16 +317,27 @@ where
                 .unwrap_or_else(|e| die(&format!("cannot save index to {dir:?}: {e}")));
             println!("saved index to {dir:?}");
         }
+        // Namespaces always get a startup checkpoint: `--ns` may have
+        // added some that the (possibly reused) directory lacks.
+        front
+            .namespaces()
+            .save_all(&Path::new(dir).join("ns"))
+            .unwrap_or_else(|e| die(&format!("cannot save namespaces to {dir:?}: {e}")));
     }
     let snapshot: Option<SnapshotFn> = args.save_index.clone().map(|dir| {
         let backend = Arc::clone(&backend);
+        let front = Arc::clone(&front);
         Box::new(move || {
             save_index(&*backend, &tombstones, Path::new(&dir))
-                .map(|()| dir.clone())
-                .map_err(|e| SnapshotError::Failed(e.to_string()))
+                .map_err(|e| SnapshotError::Failed(e.to_string()))?;
+            front
+                .namespaces()
+                .save_all(&Path::new(&dir).join("ns"))
+                .map_err(|e| SnapshotError::Failed(e.to_string()))?;
+            Ok(dir.clone())
         }) as SnapshotFn
     });
-    run(ServeFront::from_arc(backend, config), args, snapshot)
+    run(front, args, snapshot)
 }
 
 fn main() {

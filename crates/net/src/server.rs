@@ -31,10 +31,15 @@
 //! | [`ServeError::Overloaded`] | `503` + `Retry-After` (no partial stats — the query never ran) |
 //! | [`ServeError::DeadlineExceeded`] | `504` + partial `stats` |
 //! | [`ServeError::Cancelled`] | `499` + partial `stats` (normally unobservable: the client is gone) |
+//! | [`ServeError::UnknownNamespace`] | `404` (the `/ns/{name}` routes) |
 //! | [`ServeError::QueryPanicked`] | `500` |
 //! | [`ServeError::Disconnected`] | `503` (front shutting down) |
 //! | schema violation | `400` |
 //! | unknown path / wrong method | `404` / `405` |
+//!
+//! The `/ns` family (multi-tenant namespaces with attribute-filtered
+//! search) is routed by its own dispatch table; lifecycle errors map
+//! `Unknown → 404`, `AlreadyExists → 409`, `Invalid → 400`.
 //!
 //! Servers started with [`HttpServer::bind_with_snapshot`] additionally
 //! answer `POST /snapshot`, mirroring the overload mapping:
@@ -57,7 +62,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use les3_core::{OnFull, ServeBackend, ServeError, ServeFront, SubmitOpts, Ticket};
+use les3_core::{NamespaceError, OnFull, ServeBackend, ServeError, ServeFront, SubmitOpts, Ticket};
 
 use crate::http::{
     find_head_end, parse_head, response_bytes, HttpRejection, RequestHead, MAX_HEAD_BYTES,
@@ -492,6 +497,9 @@ fn respond<B: ServeBackend>(
     config: NetConfig,
     snapshot: Option<&SnapshotHook>,
 ) -> bool {
+    if head.path == "/ns" || head.path.starts_with("/ns/") {
+        return respond_ns(stream, front, head, body, keep_alive, config);
+    }
     let (status, response_body, extra): (u16, String, Vec<(&str, String)>) =
         match (head.method.as_str(), head.path.as_str()) {
             ("GET", "/healthz") => (
@@ -507,7 +515,8 @@ fn respond<B: ServeBackend>(
                 (200, body.to_string(), vec![])
             }
             ("POST", "/knn") => match wire::decode_knn(body) {
-                Ok(query) => return serve_query(stream, front, query, keep_alive, config),
+                Ok(query) if !query.filters.is_empty() => filter_not_supported(),
+                Ok(query) => return serve_query(stream, front, query, None, keep_alive, config),
                 Err(e) => (
                     400,
                     wire::encode_error("bad_request", &e.0, None).to_string(),
@@ -515,7 +524,8 @@ fn respond<B: ServeBackend>(
                 ),
             },
             ("POST", "/range") => match wire::decode_range(body) {
-                Ok(query) => return serve_query(stream, front, query, keep_alive, config),
+                Ok(query) if !query.filters.is_empty() => filter_not_supported(),
+                Ok(query) => return serve_query(stream, front, query, None, keep_alive, config),
                 Err(e) => (
                     400,
                     wire::encode_error("bad_request", &e.0, None).to_string(),
@@ -574,7 +584,205 @@ fn respond<B: ServeBackend>(
                 404,
                 wire::encode_error(
                     "not_found",
-                    "unknown path (expected /knn, /range, /snapshot, /stats or /healthz)",
+                    "unknown path (expected /knn, /range, /snapshot, /stats, /healthz or /ns/...)",
+                    None,
+                )
+                .to_string(),
+                vec![],
+            ),
+        };
+    stream
+        .write_all(&response_bytes(status, &response_body, &extra, keep_alive))
+        .is_ok()
+}
+
+/// The `400` for a `"filter"` on the default routes, which serve the
+/// attribute-less primary index.
+fn filter_not_supported() -> (u16, String, Vec<(&'static str, String)>) {
+    (
+        400,
+        wire::encode_error(
+            "bad_request",
+            "\"filter\" is only supported on /ns/{name}/knn and /ns/{name}/range",
+            None,
+        )
+        .to_string(),
+        vec![],
+    )
+}
+
+/// Maps a [`NamespaceError`] from a lifecycle/mutation call to its HTTP
+/// response: unknown name → `404`, create collision → `409`, anything
+/// the caller got wrong → `400`, persistence trouble → `500`.
+fn ns_error_response(e: &NamespaceError) -> (u16, String, Vec<(&'static str, String)>) {
+    let (status, code) = match e {
+        NamespaceError::Unknown(_) => (404, "unknown_namespace"),
+        NamespaceError::AlreadyExists(_) => (409, "already_exists"),
+        NamespaceError::Invalid(_) => (400, "bad_request"),
+        NamespaceError::Persist(_) => (500, "internal"),
+    };
+    (
+        status,
+        wire::encode_error(code, &e.to_string(), None).to_string(),
+        vec![],
+    )
+}
+
+/// Routes the `/ns` namespace API (see the endpoint table in
+/// `docs/PROTOCOL.md`):
+///
+/// ```text
+/// GET    /ns                    list namespaces
+/// PUT    /ns/{name}             create (body: spec; empty = defaults)
+/// GET    /ns/{name}             describe
+/// DELETE /ns/{name}             drop
+/// GET    /ns/{name}/stats       per-namespace aggregate stats
+/// POST   /ns/{name}/knn         query (body may carry "filter")
+/// POST   /ns/{name}/range       query (body may carry "filter")
+/// POST   /ns/{name}/insert      add one set (+ optional attrs)
+/// POST   /ns/{name}/delete      tombstone one set
+/// ```
+///
+/// Queries go through the same admission-controlled front as the
+/// default routes ([`ServeFront::submit_ns_knn`]), so namespace traffic
+/// shares the queue, deadlines and disconnect cancellation. Mutations
+/// and lifecycle calls are handled inline on the connection worker —
+/// they take the namespace's write lock, not a queue slot.
+fn respond_ns<B: ServeBackend>(
+    stream: &mut TcpStream,
+    front: &ServeFront<B>,
+    head: &RequestHead,
+    body: &[u8],
+    keep_alive: bool,
+    config: NetConfig,
+) -> bool {
+    let rest = head.path.strip_prefix("/ns").unwrap_or("");
+    let (name, action) = match rest.strip_prefix('/') {
+        None => ("", None), // bare "/ns"
+        Some(rest) => match rest.split_once('/') {
+            None => (rest, None),
+            Some((name, action)) => (name, Some(action)),
+        },
+    };
+    let bad_request = |e: &wire::SchemaError| {
+        (
+            400,
+            wire::encode_error("bad_request", &e.0, None).to_string(),
+            vec![],
+        )
+    };
+    let namespaces = front.namespaces();
+    let (status, response_body, extra): (u16, String, Vec<(&str, String)>) =
+        match (head.method.as_str(), name, action) {
+            ("GET", "", None) => {
+                let list = namespaces.list().iter().map(wire::encode_ns_info).collect();
+                (
+                    200,
+                    Json::Obj(vec![("namespaces".into(), Json::Arr(list))]).to_string(),
+                    vec![],
+                )
+            }
+            (_, "", None) => (
+                405,
+                wire::encode_error("method_not_allowed", "use GET", None).to_string(),
+                vec![("Allow", "GET".to_string())],
+            ),
+            ("PUT", name, None) => match wire::decode_ns_spec(body) {
+                Ok(spec) => match namespaces.create(name, spec) {
+                    Ok(ns) => (200, wire::encode_ns_info(&ns.info()).to_string(), vec![]),
+                    Err(e) => ns_error_response(&e),
+                },
+                Err(e) => bad_request(&e),
+            },
+            ("DELETE", name, None) => {
+                if namespaces.remove(name) {
+                    (
+                        200,
+                        Json::Obj(vec![("ok".into(), true.into())]).to_string(),
+                        vec![],
+                    )
+                } else {
+                    ns_error_response(&NamespaceError::Unknown(name.to_string()))
+                }
+            }
+            ("GET", name, None) => match namespaces.get(name) {
+                Some(ns) => (200, wire::encode_ns_info(&ns.info()).to_string(), vec![]),
+                None => ns_error_response(&NamespaceError::Unknown(name.to_string())),
+            },
+            ("GET", name, Some("stats")) => match namespaces.get(name) {
+                Some(ns) => (
+                    200,
+                    Json::Obj(vec![
+                        ("name".into(), name.into()),
+                        ("stats".into(), wire::encode_stats(&ns.stats())),
+                    ])
+                    .to_string(),
+                    vec![],
+                ),
+                None => ns_error_response(&NamespaceError::Unknown(name.to_string())),
+            },
+            ("POST", name, Some("knn")) => match wire::decode_knn(body) {
+                Ok(query) => {
+                    return serve_query(stream, front, query, Some(name), keep_alive, config)
+                }
+                Err(e) => bad_request(&e),
+            },
+            ("POST", name, Some("range")) => match wire::decode_range(body) {
+                Ok(query) => {
+                    return serve_query(stream, front, query, Some(name), keep_alive, config)
+                }
+                Err(e) => bad_request(&e),
+            },
+            ("POST", name, Some("insert")) => match wire::decode_ns_insert(body) {
+                Ok((mut tokens, attrs)) => match namespaces.get(name) {
+                    Some(ns) => match ns.insert(&mut tokens, &attrs) {
+                        Ok((id, group)) => (
+                            200,
+                            Json::Obj(vec![
+                                ("id".into(), u64::from(id).into()),
+                                ("group".into(), u64::from(group).into()),
+                            ])
+                            .to_string(),
+                            vec![],
+                        ),
+                        Err(e) => ns_error_response(&e),
+                    },
+                    None => ns_error_response(&NamespaceError::Unknown(name.to_string())),
+                },
+                Err(e) => bad_request(&e),
+            },
+            ("POST", name, Some("delete")) => match wire::decode_ns_delete(body) {
+                Ok(id) => match namespaces.get(name) {
+                    Some(ns) => (
+                        200,
+                        Json::Obj(vec![("deleted".into(), ns.delete(id).into())]).to_string(),
+                        vec![],
+                    ),
+                    None => ns_error_response(&NamespaceError::Unknown(name.to_string())),
+                },
+                Err(e) => bad_request(&e),
+            },
+            (_, _, None) => (
+                405,
+                wire::encode_error("method_not_allowed", "use PUT, GET or DELETE", None)
+                    .to_string(),
+                vec![("Allow", "PUT, GET, DELETE".to_string())],
+            ),
+            (_, _, Some("stats")) => (
+                405,
+                wire::encode_error("method_not_allowed", "use GET", None).to_string(),
+                vec![("Allow", "GET".to_string())],
+            ),
+            (_, _, Some("knn" | "range" | "insert" | "delete")) => (
+                405,
+                wire::encode_error("method_not_allowed", "use POST", None).to_string(),
+                vec![("Allow", "POST".to_string())],
+            ),
+            _ => (
+                404,
+                wire::encode_error(
+                    "not_found",
+                    "unknown namespace path (expected /ns/{name}[/knn|range|insert|delete|stats])",
                     None,
                 )
                 .to_string(),
@@ -588,11 +796,13 @@ fn respond<B: ServeBackend>(
 
 /// Submits a decoded query to the front and streams its outcome back,
 /// probing the socket for client disconnect while the query is in
-/// flight.
+/// flight. `ns` routes through the named namespace (with the query's
+/// decoded filter); `None` is the default backend.
 fn serve_query<B: ServeBackend>(
     stream: &mut TcpStream,
     front: &ServeFront<B>,
     query: wire::ApiQuery,
+    ns: Option<&str>,
     keep_alive: bool,
     config: NetConfig,
 ) -> bool {
@@ -603,9 +813,15 @@ fn serve_query<B: ServeBackend>(
         deadline,
         on_full: OnFull::Shed,
     };
-    let mut ticket: Ticket = match query.param {
-        QueryParam::Knn(k) => front.submit_knn_opts(query.query, k, opts),
-        QueryParam::Range(delta) => front.submit_range_opts(query.query, delta, opts),
+    let mut ticket: Ticket = match (ns, query.param) {
+        (None, QueryParam::Knn(k)) => front.submit_knn_opts(query.query, k, opts),
+        (None, QueryParam::Range(delta)) => front.submit_range_opts(query.query, delta, opts),
+        (Some(name), QueryParam::Knn(k)) => {
+            front.submit_ns_knn(name, query.query, k, query.filters, opts)
+        }
+        (Some(name), QueryParam::Range(delta)) => {
+            front.submit_ns_range(name, query.query, delta, query.filters, opts)
+        }
     };
     let outcome = loop {
         match ticket.wait_for(config.probe_interval) {
@@ -651,6 +867,16 @@ fn serve_query<B: ServeBackend>(
             // conventional "client closed request" status.
             499,
             wire::encode_error("cancelled", "the request was cancelled", Some(&stats)).to_string(),
+            vec![],
+        ),
+        Err(ServeError::UnknownNamespace(name)) => (
+            404,
+            wire::encode_error(
+                "unknown_namespace",
+                &format!("unknown namespace {name:?}"),
+                None,
+            )
+            .to_string(),
             vec![],
         ),
         Err(ServeError::QueryPanicked(msg)) => (

@@ -22,7 +22,8 @@
 //! assert_eq!(decoded, result); // similarities identical to the last bit
 //! ```
 
-use les3_core::{SearchResult, SearchStats};
+use les3_core::metadata::{MAX_ATTRS_PER_SET, MAX_ATTR_STR, MAX_FILTER_DEPTH};
+use les3_core::{Filter, Filters, NamespaceInfo, NamespaceSpec, SearchResult, SearchStats};
 use les3_data::TokenId;
 
 use crate::json::Json;
@@ -38,6 +39,10 @@ pub struct ApiQuery {
     /// Optional per-request timeout; maps to a [`les3_core::SubmitOpts`]
     /// deadline.
     pub timeout_ms: Option<u64>,
+    /// The optional `"filter"` field (namespace routes only; empty means
+    /// unfiltered). The default `/knn`/`/range` routes reject a
+    /// non-empty value — there is no metadata to filter on.
+    pub filters: Filters,
 }
 
 /// The query-type-specific parameter.
@@ -62,30 +67,33 @@ impl std::fmt::Display for SchemaError {
 
 impl std::error::Error for SchemaError {}
 
-fn parse_common(body: &[u8]) -> Result<(Json, Vec<TokenId>, Option<u64>), SchemaError> {
-    let text = std::str::from_utf8(body)
-        .map_err(|_| SchemaError("body is not valid UTF-8".to_string()))?;
-    let value = Json::parse(text).map_err(|e| SchemaError(format!("invalid JSON: {e}")))?;
-    if !matches!(value, Json::Obj(_)) {
-        return Err(SchemaError("body must be a JSON object".to_string()));
-    }
-    let query = value
-        .get("query")
-        .ok_or_else(|| SchemaError("missing required field \"query\"".to_string()))?
+/// Decodes an array of token ids (`field` names it in error messages).
+fn decode_tokens(value: &Json, field: &str) -> Result<Vec<TokenId>, SchemaError> {
+    value
         .as_arr()
-        .ok_or_else(|| SchemaError("\"query\" must be an array of token ids".to_string()))?
+        .ok_or_else(|| SchemaError(format!("{field:?} must be an array of token ids")))?
         .iter()
         .map(|t| {
             t.as_u64()
                 .filter(|&t| t <= u64::from(u32::MAX))
                 .map(|t| t as TokenId)
                 .ok_or_else(|| {
-                    SchemaError(
-                        "\"query\" elements must be integer token ids in 0..2^32".to_string(),
-                    )
+                    SchemaError(format!(
+                        "{field:?} elements must be integer token ids in 0..2^32"
+                    ))
                 })
         })
-        .collect::<Result<Vec<_>, _>>()?;
+        .collect()
+}
+
+fn parse_common(body: &[u8]) -> Result<(Json, Vec<TokenId>, Option<u64>), SchemaError> {
+    let value = parse_object(body)?;
+    let query = decode_tokens(
+        value
+            .get("query")
+            .ok_or_else(|| SchemaError("missing required field \"query\"".to_string()))?,
+        "query",
+    )?;
     let timeout_ms = match value.get("timeout_ms") {
         None | Some(Json::Null) => None,
         Some(t) => Some(t.as_u64().ok_or_else(|| {
@@ -93,6 +101,18 @@ fn parse_common(body: &[u8]) -> Result<(Json, Vec<TokenId>, Option<u64>), Schema
         })?),
     };
     Ok((value, query, timeout_ms))
+}
+
+/// Parses `body` as UTF-8 JSON and requires the top level to be an
+/// object — the common first step of every request decoder.
+fn parse_object(body: &[u8]) -> Result<Json, SchemaError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| SchemaError("body is not valid UTF-8".to_string()))?;
+    let value = Json::parse(text).map_err(|e| SchemaError(format!("invalid JSON: {e}")))?;
+    if !matches!(value, Json::Obj(_)) {
+        return Err(SchemaError("body must be a JSON object".to_string()));
+    }
+    Ok(value)
 }
 
 /// Decodes a `POST /knn` body: `{"query":[...],"k":N,"timeout_ms"?:MS}`.
@@ -121,6 +141,7 @@ pub fn decode_knn(body: &[u8]) -> Result<ApiQuery, SchemaError> {
         query,
         param: QueryParam::Knn(k as usize),
         timeout_ms,
+        filters: decode_filters_field(&value)?,
     })
 }
 
@@ -146,7 +167,292 @@ pub fn decode_range(body: &[u8]) -> Result<ApiQuery, SchemaError> {
         query,
         param: QueryParam::Range(delta),
         timeout_ms,
+        filters: decode_filters_field(&value)?,
     })
+}
+
+/// Decodes a body's optional `"filter"` field: absent or `null` means
+/// no predicate; an object is one [`Filter`]; an array is a top-level
+/// conjunction. Structural caps ([`MAX_FILTER_DEPTH`],
+/// [`les3_core::metadata::MAX_FILTER_NODES`], [`MAX_ATTR_STR`]) are
+/// enforced here, so a hostile filter is a `400`, never deep recursion
+/// or unbounded work downstream.
+fn decode_filters_field(value: &Json) -> Result<Filters, SchemaError> {
+    match value.get("filter") {
+        None | Some(Json::Null) => Ok(Filters::none()),
+        Some(f) => decode_filters(f),
+    }
+}
+
+/// Decodes the `"filter"` value itself (see [`decode_filter`] for the
+/// node grammar). Exposed for tests and clients.
+pub fn decode_filters(value: &Json) -> Result<Filters, SchemaError> {
+    let filters = match value.as_arr() {
+        Some(items) => items
+            .iter()
+            .map(|f| decode_filter_node(f, 1))
+            .collect::<Result<Vec<_>, _>>()?,
+        None => vec![decode_filter_node(value, 1)?],
+    };
+    for f in &filters {
+        f.check_caps()
+            .map_err(|e| SchemaError(format!("\"filter\" rejected: {e}")))?;
+    }
+    Ok(Filters(filters))
+}
+
+/// Decodes one filter node:
+///
+/// ```json
+/// {"eq":   {"key": K, "value": V}}
+/// {"in":   {"key": K, "values": [V, ...]}}
+/// {"and":  [filter, ...]}
+/// {"or":   [filter, ...]}
+/// ```
+///
+/// ```
+/// use les3_core::Filter;
+/// use les3_net::{json::Json, wire::decode_filter};
+///
+/// let f = decode_filter(&Json::parse(
+///     r#"{"and":[{"eq":{"key":"tier","value":"gold"}},
+///                {"in":{"key":"region","values":["eu","us"]}}]}"#).unwrap()).unwrap();
+/// assert!(matches!(f, Filter::And(ref c) if c.len() == 2));
+/// assert!(decode_filter(&Json::parse(r#"{"like":{"key":"a"}}"#).unwrap()).is_err());
+/// ```
+pub fn decode_filter(value: &Json) -> Result<Filter, SchemaError> {
+    let f = decode_filter_node(value, 1)?;
+    f.check_caps()
+        .map_err(|e| SchemaError(format!("\"filter\" rejected: {e}")))?;
+    Ok(f)
+}
+
+/// Requires a string field of a filter operand, capped at
+/// [`MAX_ATTR_STR`] so the cap violation is reported at the exact field.
+fn filter_str(value: &Json, op: &str, field: &str) -> Result<String, SchemaError> {
+    let s = value
+        .get(field)
+        .and_then(Json::as_str)
+        .ok_or_else(|| SchemaError(format!("filter {op:?} needs a string field {field:?}")))?;
+    if s.len() > MAX_ATTR_STR {
+        return Err(SchemaError(format!(
+            "filter {op:?} field {field:?} exceeds {MAX_ATTR_STR} bytes"
+        )));
+    }
+    Ok(s.to_string())
+}
+
+fn decode_filter_node(value: &Json, depth: usize) -> Result<Filter, SchemaError> {
+    // Depth-check before descending: the recursion itself must not be
+    // driven past the cap by a hostile body.
+    if depth > MAX_FILTER_DEPTH {
+        return Err(SchemaError(format!(
+            "filter nests deeper than {MAX_FILTER_DEPTH}"
+        )));
+    }
+    let Json::Obj(members) = value else {
+        return Err(SchemaError(
+            "each filter must be an object with exactly one of \"eq\", \"in\", \"and\", \"or\""
+                .to_string(),
+        ));
+    };
+    let [(op, arg)] = members.as_slice() else {
+        return Err(SchemaError(format!(
+            "a filter object must have exactly one operator key, found {}",
+            members.len()
+        )));
+    };
+    match op.as_str() {
+        "eq" => Ok(Filter::Eq {
+            key: filter_str(arg, "eq", "key")?,
+            value: filter_str(arg, "eq", "value")?,
+        }),
+        "in" => {
+            let key = filter_str(arg, "in", "key")?;
+            let values = arg
+                .get("values")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| {
+                    SchemaError("filter \"in\" needs an array field \"values\"".to_string())
+                })?
+                .iter()
+                .map(|v| {
+                    let s = v.as_str().ok_or_else(|| {
+                        SchemaError("filter \"in\" values must be strings".to_string())
+                    })?;
+                    if s.len() > MAX_ATTR_STR {
+                        return Err(SchemaError(format!(
+                            "filter \"in\" value exceeds {MAX_ATTR_STR} bytes"
+                        )));
+                    }
+                    Ok(s.to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Filter::In { key, values })
+        }
+        "and" | "or" => {
+            let children = arg
+                .as_arr()
+                .ok_or_else(|| {
+                    SchemaError(format!("filter {op:?} needs an array of child filters"))
+                })?
+                .iter()
+                .map(|c| decode_filter_node(c, depth + 1))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(if op == "and" {
+                Filter::And(children)
+            } else {
+                Filter::Or(children)
+            })
+        }
+        other => Err(SchemaError(format!(
+            "unknown filter operator {other:?} (expected \"eq\", \"in\", \"and\" or \"or\")"
+        ))),
+    }
+}
+
+/// Decodes an `"attrs"` object (`{"key":"value",...}`) into the
+/// attribute list the core API takes, enforcing the metadata caps.
+fn decode_attrs(value: &Json) -> Result<Vec<(String, String)>, SchemaError> {
+    let Json::Obj(members) = value else {
+        return Err(SchemaError(
+            "\"attrs\" must be an object of string values".to_string(),
+        ));
+    };
+    if members.len() > MAX_ATTRS_PER_SET {
+        return Err(SchemaError(format!(
+            "{} attributes on one set exceeds the cap of {MAX_ATTRS_PER_SET}",
+            members.len()
+        )));
+    }
+    members
+        .iter()
+        .map(|(k, v)| {
+            let v = v
+                .as_str()
+                .ok_or_else(|| SchemaError("\"attrs\" values must be strings".to_string()))?;
+            if k.len() > MAX_ATTR_STR || v.len() > MAX_ATTR_STR {
+                return Err(SchemaError(format!(
+                    "attribute key/value exceeds {MAX_ATTR_STR} bytes"
+                )));
+            }
+            Ok((k.clone(), v.to_string()))
+        })
+        .collect()
+}
+
+/// Decodes a `PUT /ns/{name}` body into a [`NamespaceSpec`]. An empty
+/// body (or `{}`) is a default spec: flat engine, Jaccard, `⌈√n⌉`
+/// groups. `"sets"` is the initial corpus, `"attrs"` an optional
+/// parallel array of attribute objects.
+///
+/// ```
+/// use les3_net::wire::decode_ns_spec;
+///
+/// let spec = decode_ns_spec(br#"{"n_shards":2,"sets":[[1,2],[3]],
+///                                "attrs":[{"tier":"gold"},{}]}"#).unwrap();
+/// assert_eq!(spec.n_shards, 2);
+/// assert_eq!(spec.sets.len(), 2);
+/// assert_eq!(spec.attrs[0], vec![("tier".to_string(), "gold".to_string())]);
+/// assert!(decode_ns_spec(br#"{"sets":[[1]],"attrs":[{},{}]}"#).is_err()); // length mismatch
+/// ```
+pub fn decode_ns_spec(body: &[u8]) -> Result<NamespaceSpec, SchemaError> {
+    if body.is_empty() {
+        return Ok(NamespaceSpec::default());
+    }
+    let value = parse_object(body)?;
+    let mut spec = NamespaceSpec::default();
+    if let Some(sim) = value.get("sim") {
+        spec.sim = sim
+            .as_str()
+            .ok_or_else(|| SchemaError("\"sim\" must be a string".to_string()))?
+            .to_string();
+    }
+    for (field, slot) in [
+        ("n_groups", &mut spec.n_groups),
+        ("n_shards", &mut spec.n_shards),
+    ] {
+        if let Some(n) = value.get(field) {
+            *slot = n
+                .as_u64()
+                .filter(|&n| n <= u64::from(u32::MAX))
+                .ok_or_else(|| SchemaError(format!("{field:?} must be an integer in 0..2^32")))?
+                as usize;
+        }
+    }
+    if let Some(sets) = value.get("sets") {
+        spec.sets = sets
+            .as_arr()
+            .ok_or_else(|| SchemaError("\"sets\" must be an array of token-id arrays".to_string()))?
+            .iter()
+            .map(|s| decode_tokens(s, "sets"))
+            .collect::<Result<Vec<_>, _>>()?;
+    }
+    if let Some(attrs) = value.get("attrs") {
+        spec.attrs = attrs
+            .as_arr()
+            .ok_or_else(|| {
+                SchemaError("\"attrs\" must be an array of attribute objects".to_string())
+            })?
+            .iter()
+            .map(decode_attrs)
+            .collect::<Result<Vec<_>, _>>()?;
+        if spec.attrs.len() != spec.sets.len() {
+            return Err(SchemaError(format!(
+                "\"attrs\" has {} entries but \"sets\" has {}",
+                spec.attrs.len(),
+                spec.sets.len()
+            )));
+        }
+    }
+    Ok(spec)
+}
+
+/// A decoded `POST /ns/{name}/insert` body: the set's tokens plus its
+/// attribute pairs.
+pub type NsInsertBody = (Vec<TokenId>, Vec<(String, String)>);
+
+/// Decodes a `POST /ns/{name}/insert` body:
+/// `{"tokens":[...],"attrs"?:{"key":"value",...}}`.
+pub fn decode_ns_insert(body: &[u8]) -> Result<NsInsertBody, SchemaError> {
+    let value = parse_object(body)?;
+    let tokens = decode_tokens(
+        value
+            .get("tokens")
+            .ok_or_else(|| SchemaError("missing required field \"tokens\"".to_string()))?,
+        "tokens",
+    )?;
+    let attrs = match value.get("attrs") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(a) => decode_attrs(a)?,
+    };
+    Ok((tokens, attrs))
+}
+
+/// Decodes a `POST /ns/{name}/delete` body: `{"id":N}`.
+pub fn decode_ns_delete(body: &[u8]) -> Result<u32, SchemaError> {
+    let value = parse_object(body)?;
+    let id = value
+        .get("id")
+        .ok_or_else(|| SchemaError("missing required field \"id\"".to_string()))?
+        .as_u64()
+        .filter(|&id| id <= u64::from(u32::MAX))
+        .ok_or_else(|| SchemaError("\"id\" must be an integer set id in 0..2^32".to_string()))?;
+    Ok(id as u32)
+}
+
+/// Encodes a [`NamespaceInfo`] as the `GET /ns/{name}` (and `GET /ns`
+/// element) body. Field names mirror the struct one for one.
+pub fn encode_ns_info(info: &NamespaceInfo) -> Json {
+    Json::Obj(vec![
+        ("name".into(), info.name.as_str().into()),
+        ("kind".into(), info.kind.into()),
+        ("sim".into(), info.sim.into()),
+        ("n_sets".into(), info.n_sets.into()),
+        ("live_sets".into(), info.live_sets.into()),
+        ("n_groups".into(), info.n_groups.into()),
+        ("n_shards".into(), info.n_shards.into()),
+    ])
 }
 
 /// Encodes a [`SearchStats`] as the `stats` object every response body

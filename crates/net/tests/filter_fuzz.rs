@@ -1,0 +1,266 @@
+//! Adversarial decode battery for the `"filter"` wire schema.
+//!
+//! The filter decoder faces fully untrusted bytes, so the contract is:
+//! **an error value or a correct `Filter`, never a panic, never a
+//! cap-violating tree**. Three attack surfaces are swept:
+//!
+//! 1. **Round trip** — randomly generated in-cap filter trees encode to
+//!    their documented JSON form and decode back structurally equal.
+//! 2. **Mutation** — every single-byte flip and every truncation of a
+//!    valid filter body still decodes to `Ok` or `Err(SchemaError)`,
+//!    never a panic; whatever decodes `Ok` passes `check_caps`.
+//! 3. **Caps** — trees nudged just past `MAX_FILTER_DEPTH` /
+//!    `MAX_FILTER_NODES` / `MAX_ATTR_STR` are rejected while their
+//!    at-the-cap siblings are accepted.
+
+use les3_core::metadata::{MAX_ATTR_STR, MAX_FILTER_DEPTH, MAX_FILTER_NODES};
+use les3_core::Filter;
+use les3_net::json::Json;
+use les3_net::wire::{decode_filter, decode_filters, decode_knn};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Encodes `filter` in the documented wire grammar (the test's own
+/// encoder — independent of the decoder under test).
+fn encode_filter(filter: &Filter) -> Json {
+    fn obj(op: &str, arg: Json) -> Json {
+        Json::Obj(vec![(op.to_string(), arg)])
+    }
+    match filter {
+        Filter::Eq { key, value } => obj(
+            "eq",
+            Json::Obj(vec![
+                ("key".into(), key.as_str().into()),
+                ("value".into(), value.as_str().into()),
+            ]),
+        ),
+        Filter::In { key, values } => obj(
+            "in",
+            Json::Obj(vec![
+                ("key".into(), key.as_str().into()),
+                (
+                    "values".into(),
+                    Json::Arr(values.iter().map(|v| v.as_str().into()).collect()),
+                ),
+            ]),
+        ),
+        Filter::And(children) => obj(
+            "and",
+            Json::Arr(children.iter().map(encode_filter).collect()),
+        ),
+        Filter::Or(children) => obj(
+            "or",
+            Json::Arr(children.iter().map(encode_filter).collect()),
+        ),
+    }
+}
+
+/// A random filter tree honouring every cap: depth ≤ `max_depth`,
+/// strings well under `MAX_ATTR_STR`, node count kept small by the
+/// branching bound.
+fn random_filter(rng: &mut StdRng, max_depth: usize) -> Filter {
+    let key = format!("k{}", rng.gen_range(0..5u32));
+    let value = format!("v{}", rng.gen_range(0..7u32));
+    let leaf = rng.gen_range(0..2u32) == 0;
+    if max_depth <= 1 || leaf {
+        if rng.gen_bool(0.5) {
+            Filter::Eq { key, value }
+        } else {
+            let n = rng.gen_range(0..4usize);
+            Filter::In {
+                key,
+                values: (0..n).map(|i| format!("v{i}")).collect(),
+            }
+        }
+    } else {
+        let n = rng.gen_range(0..3usize);
+        let children = (0..n).map(|_| random_filter(rng, max_depth - 1)).collect();
+        if rng.gen_bool(0.5) {
+            Filter::And(children)
+        } else {
+            Filter::Or(children)
+        }
+    }
+}
+
+proptest! {
+    /// Encode → decode is the identity on every in-cap tree, both as a
+    /// bare filter and as the `"filter"` field of a full query body.
+    #[test]
+    fn round_trips_random_trees(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let filter = random_filter(&mut rng, 1 + (seed as usize % MAX_FILTER_DEPTH));
+        let encoded = encode_filter(&filter).to_string();
+        let back = decode_filter(&Json::parse(&encoded).unwrap()).unwrap();
+        prop_assert_eq!(&back, &filter);
+
+        let body = format!(r#"{{"query":[1,2,3],"k":4,"filter":{encoded}}}"#);
+        let q = decode_knn(body.as_bytes()).unwrap();
+        prop_assert_eq!(q.filters.0.len(), 1);
+        prop_assert_eq!(&q.filters.0[0], &filter);
+    }
+
+    /// Every single-byte flip of a valid body decodes without panicking,
+    /// and anything that still decodes obeys the caps.
+    #[test]
+    fn survives_every_byte_flip(seed in 0u64..60) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF1F7);
+        let filter = random_filter(&mut rng, 4);
+        let body = format!(
+            r#"{{"query":[1,2],"k":3,"filter":{}}}"#,
+            encode_filter(&filter)
+        );
+        let bytes = body.as_bytes();
+        for i in 0..bytes.len() {
+            for flip in [0x01u8, 0x20, 0x80, 0xFF] {
+                let mut mutated = bytes.to_vec();
+                mutated[i] ^= flip;
+                if let Ok(q) = decode_knn(&mutated) {
+                    for f in &q.filters.0 {
+                        prop_assert!(f.check_caps().is_ok(), "decoded a cap-violating filter");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every truncation of a valid body is an error or a valid decode —
+    /// never a panic (torn requests are routine on real sockets).
+    #[test]
+    fn survives_every_truncation(seed in 0u64..60) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7A11);
+        let filter = random_filter(&mut rng, 4);
+        let body = format!(
+            r#"{{"query":[9],"k":1,"filter":{}}}"#,
+            encode_filter(&filter)
+        );
+        let bytes = body.as_bytes();
+        for len in 0..bytes.len() {
+            prop_assert!(
+                decode_knn(&bytes[..len]).is_err(),
+                "a strict prefix of a JSON object must not parse (len {len})"
+            );
+        }
+    }
+
+    /// Arbitrary garbage bytes never panic the decoder.
+    #[test]
+    fn survives_garbage(bytes in prop::collection::vec(proptest::prelude::any::<u8>(), 0..64)) {
+        let _ = decode_knn(&bytes);
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            if let Ok(json) = Json::parse(text) {
+                let _ = decode_filters(&json);
+            }
+        }
+    }
+}
+
+#[test]
+fn depth_cap_is_exact() {
+    // A linear and-chain: depth d has d nodes.
+    fn chain(depth: usize) -> Filter {
+        if depth == 1 {
+            Filter::Eq {
+                key: "k".into(),
+                value: "v".into(),
+            }
+        } else {
+            Filter::And(vec![chain(depth - 1)])
+        }
+    }
+    let at_cap = encode_filter(&chain(MAX_FILTER_DEPTH)).to_string();
+    assert!(decode_filter(&Json::parse(&at_cap).unwrap()).is_ok());
+    let over = encode_filter(&chain(MAX_FILTER_DEPTH + 1)).to_string();
+    let err = decode_filter(&Json::parse(&over).unwrap()).unwrap_err();
+    assert!(err.0.contains("deep"), "got: {err}");
+    // Far past the cap: the decoder's own recursion must stop early, so
+    // a pathological nesting can't blow the stack before check_caps.
+    let deep = format!(
+        "{}{}{}",
+        r#"{"and":["#.repeat(4000),
+        r#"{"eq":{"key":"k","value":"v"}}"#,
+        "]}".repeat(4000)
+    );
+    assert!(decode_filter(&Json::parse(&deep).unwrap_or(Json::Null)).is_err());
+}
+
+#[test]
+fn node_cap_is_exact() {
+    // `In` counts 1 + len(values): pick values so the total hits the cap.
+    let values: Vec<String> = (0..MAX_FILTER_NODES - 1).map(|i| format!("v{i}")).collect();
+    let at_cap = Filter::In {
+        key: "k".into(),
+        values,
+    };
+    assert_eq!(at_cap.node_count(), MAX_FILTER_NODES);
+    let encoded = encode_filter(&at_cap).to_string();
+    assert!(decode_filter(&Json::parse(&encoded).unwrap()).is_ok());
+
+    let values: Vec<String> = (0..MAX_FILTER_NODES).map(|i| format!("v{i}")).collect();
+    let over = encode_filter(&Filter::In {
+        key: "k".into(),
+        values,
+    })
+    .to_string();
+    let err = decode_filter(&Json::parse(&over).unwrap()).unwrap_err();
+    assert!(err.0.contains("nodes"), "got: {err}");
+}
+
+#[test]
+fn string_cap_applies_to_every_field() {
+    let long = "x".repeat(MAX_ATTR_STR + 1);
+    for body in [
+        format!(r#"{{"eq":{{"key":"{long}","value":"v"}}}}"#),
+        format!(r#"{{"eq":{{"key":"k","value":"{long}"}}}}"#),
+        format!(r#"{{"in":{{"key":"{long}","values":[]}}}}"#),
+        format!(r#"{{"in":{{"key":"k","values":["{long}"]}}}}"#),
+    ] {
+        let err = decode_filter(&Json::parse(&body).unwrap()).unwrap_err();
+        assert!(err.0.contains("exceeds"), "got: {err}");
+    }
+    let ok = format!(
+        r#"{{"eq":{{"key":"k","value":"{}"}}}}"#,
+        "x".repeat(MAX_ATTR_STR)
+    );
+    assert!(decode_filter(&Json::parse(&ok).unwrap()).is_ok());
+}
+
+#[test]
+fn malformed_shapes_are_errors_with_location() {
+    for (body, needle) in [
+        (r#"[1,2]"#, "object"),
+        (r#"{}"#, "exactly one"),
+        (r#"{"eq":{"key":"k","value":"v"},"or":[]}"#, "exactly one"),
+        (r#"{"like":{"key":"k"}}"#, "unknown filter operator"),
+        (r#"{"eq":{"key":"k"}}"#, "\"value\""),
+        (r#"{"eq":{"key":7,"value":"v"}}"#, "string"),
+        (r#"{"in":{"key":"k"}}"#, "\"values\""),
+        (r#"{"in":{"key":"k","values":[3]}}"#, "strings"),
+        (r#"{"and":{"key":"k"}}"#, "array"),
+        (r#"{"or":"all"}"#, "array"),
+    ] {
+        let err = decode_filter(&Json::parse(body).unwrap()).unwrap_err();
+        assert!(
+            err.0.contains(needle),
+            "body {body} should mention {needle:?}, got: {err}"
+        );
+    }
+}
+
+#[test]
+fn filters_field_accepts_object_array_and_null() {
+    let one =
+        decode_knn(br#"{"query":[1],"k":2,"filter":{"eq":{"key":"a","value":"b"}}}"#).unwrap();
+    assert_eq!(one.filters.0.len(), 1);
+    let many = decode_knn(
+        br#"{"query":[1],"k":2,
+             "filter":[{"eq":{"key":"a","value":"b"}},{"or":[]}]}"#,
+    )
+    .unwrap();
+    assert_eq!(many.filters.0.len(), 2);
+    let none = decode_knn(br#"{"query":[1],"k":2,"filter":null}"#).unwrap();
+    assert!(none.filters.is_empty());
+    let absent = decode_knn(br#"{"query":[1],"k":2}"#).unwrap();
+    assert!(absent.filters.is_empty());
+}

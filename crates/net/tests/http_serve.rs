@@ -688,3 +688,478 @@ fn snapshot_panic_maps_to_500_and_releases_the_busy_guard() {
     assert!(retry.body.contains("recovered"), "{}", retry.body);
     server.shutdown();
 }
+
+// ------------------------------------------------------------ namespaces
+
+use les3_core::{Filter, Filters, NamespaceSpec};
+
+/// Builds the JSON body for a `PUT /ns/{name}` creating a small corpus
+/// with a `"tier"` attribute on every even set.
+fn ns_create_body(sets: &[Vec<u32>]) -> String {
+    let sets_json: Vec<Json> = sets
+        .iter()
+        .map(|s| Json::Arr(s.iter().map(|&t| Json::from(u64::from(t))).collect()))
+        .collect();
+    let attrs: Vec<Json> = (0..sets.len())
+        .map(|i| {
+            if i % 2 == 0 {
+                Json::Obj(vec![("tier".to_string(), Json::from("gold"))])
+            } else {
+                Json::Obj(vec![("tier".to_string(), Json::from("bronze"))])
+            }
+        })
+        .collect();
+    Json::Obj(vec![
+        ("sets".to_string(), Json::Arr(sets_json)),
+        ("attrs".to_string(), Json::Arr(attrs)),
+    ])
+    .to_string()
+}
+
+/// The same corpus as a core-side [`NamespaceSpec`], for reference
+/// answers computed without the network in the way.
+fn ns_reference_spec(sets: &[Vec<u32>]) -> NamespaceSpec {
+    NamespaceSpec {
+        sets: sets.to_vec(),
+        attrs: (0..sets.len())
+            .map(|i| {
+                let tier = if i % 2 == 0 { "gold" } else { "bronze" };
+                vec![("tier".to_string(), tier.to_string())]
+            })
+            .collect(),
+        ..NamespaceSpec::default()
+    }
+}
+
+fn gold_filter_json() -> &'static str {
+    r#"{"eq":{"key":"tier","value":"gold"}}"#
+}
+
+fn ns_knn_body(query: &[u32], k: usize, filter: Option<&str>) -> String {
+    let q: Vec<Json> = query.iter().map(|&t| Json::from(u64::from(t))).collect();
+    let mut body = format!(r#"{{"query":{},"k":{k}"#, Json::Arr(q));
+    if let Some(f) = filter {
+        body.push_str(&format!(r#","filter":{f}"#));
+    }
+    body.push('}');
+    body
+}
+
+fn corpus(seed: u64, n: usize) -> Vec<Vec<u32>> {
+    let db = ZipfianGenerator::new(n, 90, 5.0, 1.1).generate(seed);
+    (0..db.len() as u32).map(|i| db.set(i).to_vec()).collect()
+}
+
+#[test]
+fn namespace_lifecycle_round_trip() {
+    let (server, addr) = start_server(flat_index(21), fast_config());
+    let mut client = Client::connect(&addr);
+    let sets = corpus(21, 60);
+
+    // Create, and read the info back.
+    let response = client.request("PUT", "/ns/tenant-a", Some(&ns_create_body(&sets)));
+    assert_eq!(response.status, 200, "{}", response.body);
+    let info = response.json();
+    assert_eq!(info.get("name").and_then(Json::as_str), Some("tenant-a"));
+    assert_eq!(info.get("n_sets").and_then(Json::as_u64), Some(60));
+    assert_eq!(info.get("kind").and_then(Json::as_str), Some("flat"));
+
+    let listed = client.request("GET", "/ns", None);
+    assert_eq!(listed.status, 200);
+    let names: Vec<&str> = listed
+        .json()
+        .get("namespaces")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|i| i.get("name").and_then(Json::as_str).unwrap().to_string())
+        .map(|s| Box::leak(s.into_boxed_str()) as &str)
+        .collect();
+    assert_eq!(names, vec!["tenant-a"]);
+
+    // Unfiltered and filtered queries match a direct core-side
+    // namespace built from the same spec (worker-count invariance is
+    // part of the engine contract, so `workers = 1` is a fair
+    // reference).
+    let reference = les3_core::Namespaces::new();
+    let ref_ns = reference
+        .create("tenant-a", ns_reference_spec(&sets))
+        .unwrap();
+    let ctl_budget = les3_core::QueryCtl::NONE;
+    for (qid, k) in [(0u32, 5usize), (7, 3), (19, 8)] {
+        let query = &sets[qid as usize];
+        let response = client.request(
+            "POST",
+            "/ns/tenant-a/knn",
+            Some(&ns_knn_body(query, k, None)),
+        );
+        assert_eq!(response.status, 200, "{}", response.body);
+        let served = wire::decode_result(&response.json()).unwrap();
+        let direct = ref_ns
+            .knn(query, k, &Filters::none(), 1, &ctl_budget)
+            .unwrap();
+        assert_eq!(served.hits, direct.hits, "unfiltered qid {qid}");
+
+        let response = client.request(
+            "POST",
+            "/ns/tenant-a/knn",
+            Some(&ns_knn_body(query, k, Some(gold_filter_json()))),
+        );
+        assert_eq!(response.status, 200, "{}", response.body);
+        let served = wire::decode_result(&response.json()).unwrap();
+        let gold = Filters(vec![Filter::Eq {
+            key: "tier".to_string(),
+            value: "gold".to_string(),
+        }]);
+        let direct = ref_ns.knn(query, k, &gold, 1, &ctl_budget).unwrap();
+        assert_eq!(served.hits, direct.hits, "filtered qid {qid}");
+        // Every filtered hit really is a gold set (even ids).
+        for (id, _) in &served.hits {
+            assert_eq!(id % 2, 0, "filter must only surface gold sets, got {id}");
+        }
+    }
+
+    // Insert a new gold set over HTTP; it becomes visible to a filtered
+    // query for its own tokens.
+    let response = client.request(
+        "POST",
+        "/ns/tenant-a/insert",
+        Some(r#"{"tokens":[400,401,402],"attrs":{"tier":"gold"}}"#),
+    );
+    assert_eq!(response.status, 200, "{}", response.body);
+    let new_id = response.json().get("id").and_then(Json::as_u64).unwrap();
+    assert_eq!(new_id, 60);
+    let response = client.request(
+        "POST",
+        "/ns/tenant-a/knn",
+        Some(&ns_knn_body(&[400, 401, 402], 1, Some(gold_filter_json()))),
+    );
+    let served = wire::decode_result(&response.json()).unwrap();
+    assert_eq!(served.hits.first().map(|h| h.0), Some(60));
+    assert_eq!(served.hits.first().map(|h| h.1), Some(1.0));
+
+    // Tombstone it again; the filtered query no longer finds it.
+    let response = client.request("POST", "/ns/tenant-a/delete", Some(r#"{"id":60}"#));
+    assert_eq!(response.status, 200, "{}", response.body);
+    assert_eq!(
+        response.json().get("deleted").and_then(Json::as_bool),
+        Some(true)
+    );
+    let response = client.request(
+        "POST",
+        "/ns/tenant-a/knn",
+        Some(&ns_knn_body(&[400, 401, 402], 1, Some(gold_filter_json()))),
+    );
+    let served = wire::decode_result(&response.json()).unwrap();
+    assert_ne!(served.hits.first().map(|h| h.0), Some(60));
+
+    // Per-namespace stats moved.
+    let response = client.request("GET", "/ns/tenant-a/stats", None);
+    assert_eq!(response.status, 200);
+    let ns_stats = wire::decode_stats(response.json().get("stats").unwrap()).unwrap();
+    assert!(ns_stats.candidates > 0);
+
+    // Drop; every namespace route answers 404 afterwards.
+    let response = client.request("DELETE", "/ns/tenant-a", None);
+    assert_eq!(response.status, 200, "{}", response.body);
+    for (method, path, body) in [
+        ("GET", "/ns/tenant-a", None),
+        ("GET", "/ns/tenant-a/stats", None),
+        ("POST", "/ns/tenant-a/knn", Some(ns_knn_body(&[1], 1, None))),
+        (
+            "POST",
+            "/ns/tenant-a/insert",
+            Some(r#"{"tokens":[1]}"#.to_string()),
+        ),
+        (
+            "POST",
+            "/ns/tenant-a/delete",
+            Some(r#"{"id":0}"#.to_string()),
+        ),
+        ("DELETE", "/ns/tenant-a", None),
+    ] {
+        let response = client.request(method, path, body.as_deref());
+        assert_eq!(response.status, 404, "{method} {path}: {}", response.body);
+        assert_eq!(
+            response.json().get("error").and_then(Json::as_str),
+            Some("unknown_namespace"),
+            "{method} {path}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn cross_namespace_isolation_same_ids_different_corpora() {
+    let (server, addr) = start_server(flat_index(22), fast_config());
+    let mut client = Client::connect(&addr);
+    let corpus_a = corpus(100, 40);
+    let corpus_b = corpus(200, 40); // same id space 0..40, different sets
+    assert_ne!(corpus_a, corpus_b);
+    for (name, sets) in [("tenant-a", &corpus_a), ("tenant-b", &corpus_b)] {
+        let response = client.request("PUT", &format!("/ns/{name}"), Some(&ns_create_body(sets)));
+        assert_eq!(response.status, 200, "{}", response.body);
+    }
+
+    // The same query against each namespace answers from that
+    // namespace's corpus alone, matching its own direct reference.
+    let reference = les3_core::Namespaces::new();
+    let ctl = les3_core::QueryCtl::NONE;
+    for (name, sets) in [("tenant-a", &corpus_a), ("tenant-b", &corpus_b)] {
+        let ref_ns = reference.create(name, ns_reference_spec(sets)).unwrap();
+        for qid in [0usize, 11, 33] {
+            let query = &corpus_a[qid]; // deliberately always from corpus A
+            let response = client.request(
+                "POST",
+                &format!("/ns/{name}/knn"),
+                Some(&ns_knn_body(query, 6, Some(gold_filter_json()))),
+            );
+            assert_eq!(response.status, 200, "{}", response.body);
+            let served = wire::decode_result(&response.json()).unwrap();
+            let gold = Filters(vec![Filter::Eq {
+                key: "tier".to_string(),
+                value: "gold".to_string(),
+            }]);
+            let direct = ref_ns.knn(query, 6, &gold, 1, &ctl).unwrap();
+            assert_eq!(served.hits, direct.hits, "{name} qid {qid}");
+        }
+    }
+
+    // Deleting set 5 in A does not delete it in B.
+    let response = client.request("POST", "/ns/tenant-a/delete", Some(r#"{"id":5}"#));
+    assert_eq!(
+        response.json().get("deleted").and_then(Json::as_bool),
+        Some(true)
+    );
+    let b_info = client.request("GET", "/ns/tenant-b", None);
+    assert_eq!(
+        b_info.json().get("live_sets").and_then(Json::as_u64),
+        Some(40),
+        "tenant-b must be untouched by tenant-a's delete"
+    );
+    let a_info = client.request("GET", "/ns/tenant-a", None);
+    assert_eq!(
+        a_info.json().get("live_sets").and_then(Json::as_u64),
+        Some(39)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn global_stats_cover_namespace_traffic() {
+    let (server, addr) = start_server(flat_index(23), fast_config());
+    let mut client = Client::connect(&addr);
+    let sets = corpus(23, 30);
+    client.request("PUT", "/ns/only", Some(&ns_create_body(&sets)));
+
+    // Namespace-only traffic: the global aggregate must equal the
+    // namespace's own aggregate (the default route served nothing).
+    for qid in [0usize, 3, 9] {
+        let response = client.request(
+            "POST",
+            "/ns/only/knn",
+            Some(&ns_knn_body(&sets[qid], 4, Some(gold_filter_json()))),
+        );
+        assert_eq!(response.status, 200, "{}", response.body);
+    }
+    let global = {
+        let response = client.request("GET", "/stats", None);
+        wire::decode_stats(response.json().get("stats").unwrap()).unwrap()
+    };
+    let ns = {
+        let response = client.request("GET", "/ns/only/stats", None);
+        wire::decode_stats(response.json().get("stats").unwrap()).unwrap()
+    };
+    assert!(ns.candidates > 0, "namespace queries did run");
+    assert_eq!(
+        global, ns,
+        "global aggregate = default route (0) + namespace"
+    );
+
+    // One default-route query on top: the global aggregate strictly
+    // exceeds the (unchanged) namespace aggregate.
+    let db = test_db(23);
+    assert_eq!(client.knn(db.set(2), 3).status, 200);
+    let global_after = {
+        let response = client.request("GET", "/stats", None);
+        wire::decode_stats(response.json().get("stats").unwrap()).unwrap()
+    };
+    let ns_after = {
+        let response = client.request("GET", "/ns/only/stats", None);
+        wire::decode_stats(response.json().get("stats").unwrap()).unwrap()
+    };
+    assert_eq!(ns_after, ns, "default traffic must not touch ns stats");
+    assert!(
+        global_after.candidates > ns.candidates,
+        "global must now include the default-route query"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn racing_create_drop_vs_in_flight_queries_never_panics() {
+    let (server, addr) = start_server(flat_index(24), fast_config());
+    let sets = corpus(24, 25);
+    let create_body = ns_create_body(&sets);
+    let stop = std::sync::atomic::AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        // Churner: create and drop the same namespace in a tight loop.
+        scope.spawn(|| {
+            let mut client = Client::connect(&addr);
+            for _ in 0..40 {
+                let r = client.request("PUT", "/ns/flapping", Some(&create_body));
+                assert!(
+                    r.status == 200 || r.status == 409,
+                    "create: {} {}",
+                    r.status,
+                    r.body
+                );
+                let r = client.request("DELETE", "/ns/flapping", None);
+                assert!(
+                    r.status == 200 || r.status == 404,
+                    "drop: {} {}",
+                    r.status,
+                    r.body
+                );
+            }
+            stop.store(true, std::sync::atomic::Ordering::Release);
+        });
+        // Queriers: hammer the flapping namespace; every answer is a
+        // clean 200 (resolved before a drop) or 404 (after), and the
+        // served hits of any 200 are internally consistent.
+        for t in 0..3u32 {
+            let (addr, sets, stop) = (&addr, &sets, &stop);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut seen_ok = 0u32;
+                let mut seen_missing = 0u32;
+                for i in 0..60u32 {
+                    let q = &sets[((t * 7 + i) % 25) as usize];
+                    let filter = if i % 2 == 0 {
+                        Some(gold_filter_json())
+                    } else {
+                        None
+                    };
+                    let r = client.request(
+                        "POST",
+                        "/ns/flapping/knn",
+                        Some(&ns_knn_body(q, 4, filter)),
+                    );
+                    match r.status {
+                        200 => {
+                            seen_ok += 1;
+                            let served = wire::decode_result(&r.json()).unwrap();
+                            assert!(served.hits.len() <= 4);
+                        }
+                        404 => {
+                            seen_missing += 1;
+                            assert_eq!(
+                                r.json().get("error").and_then(Json::as_str),
+                                Some("unknown_namespace"),
+                                "{}",
+                                r.body
+                            );
+                        }
+                        other => panic!("unexpected status {other}: {}", r.body),
+                    }
+                    if stop.load(std::sync::atomic::Ordering::Acquire) {
+                        break;
+                    }
+                }
+                // Not asserting exact counts (racy by design), just that
+                // the loop really exercised both paths across the run.
+                let _ = (seen_ok, seen_missing);
+            });
+        }
+    });
+
+    // The server survived and still serves.
+    let mut client = Client::connect(&addr);
+    assert_eq!(client.request("GET", "/healthz", None).status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn namespace_routes_404_400_405_sweep() {
+    let (server, addr) = start_server(flat_index(25), fast_config());
+    let mut client = Client::connect(&addr);
+
+    // Unknown namespace: queries 404 through the ticket path.
+    let r = client.request(
+        "POST",
+        "/ns/ghost/knn",
+        Some(&ns_knn_body(&[1, 2], 3, None)),
+    );
+    assert_eq!(r.status, 404, "{}", r.body);
+    assert_eq!(
+        r.json().get("error").and_then(Json::as_str),
+        Some("unknown_namespace")
+    );
+
+    // Invalid names and specs → 400; duplicate create → 409.
+    let r = client.request("PUT", "/ns/bad%20name", Some("{}"));
+    assert_eq!(r.status, 400, "{}", r.body);
+    let long = "x".repeat(65);
+    let r = client.request("PUT", &format!("/ns/{long}"), Some("{}"));
+    assert_eq!(r.status, 400, "{}", r.body);
+    let r = client.request("PUT", "/ns/ok-name", Some(r#"{"sim":"cosine-nope"}"#));
+    assert_eq!(r.status, 400, "{}", r.body);
+    assert_eq!(client.request("PUT", "/ns/dup", Some("{}")).status, 200);
+    let r = client.request("PUT", "/ns/dup", Some("{}"));
+    assert_eq!(r.status, 409, "{}", r.body);
+    assert_eq!(
+        r.json().get("error").and_then(Json::as_str),
+        Some("already_exists")
+    );
+
+    // Malformed bodies → 400 with the schema message.
+    for (path, body) in [
+        ("/ns/dup/knn", r#"{"k":3}"#),
+        ("/ns/dup/knn", r#"{"query":[1],"k":3,"filter":{"like":{}}}"#),
+        (
+            "/ns/dup/knn",
+            r#"{"query":[1],"k":3,"filter":{"eq":{"key":"a"}}}"#,
+        ),
+        ("/ns/dup/insert", r#"{"attrs":{}}"#),
+        ("/ns/dup/insert", r#"{"tokens":[1],"attrs":{"k":7}}"#),
+        ("/ns/dup/delete", r#"{"id":-1}"#),
+        ("/ns/dup/delete", r#"{}"#),
+    ] {
+        let r = client.request("POST", path, Some(body));
+        assert_eq!(r.status, 400, "{path} {body}: {}", r.body);
+        assert_eq!(
+            r.json().get("error").and_then(Json::as_str),
+            Some("bad_request"),
+            "{path} {body}"
+        );
+    }
+
+    // A filter on the default routes is a 400, not silent misbehavior.
+    let r = client.request(
+        "POST",
+        "/knn",
+        Some(r#"{"query":[1],"k":3,"filter":{"eq":{"key":"a","value":"b"}}}"#),
+    );
+    assert_eq!(r.status, 400, "{}", r.body);
+    assert!(r.body.contains("/ns/"), "{}", r.body);
+
+    // Wrong methods.
+    let r = client.request("POST", "/ns", None);
+    assert_eq!(r.status, 405);
+    assert_eq!(r.header("allow"), Some("GET"));
+    let r = client.request("POST", "/ns/dup", None);
+    assert_eq!(r.status, 405);
+    assert_eq!(r.header("allow"), Some("PUT, GET, DELETE"));
+    let r = client.request("GET", "/ns/dup/knn", None);
+    assert_eq!(r.status, 405);
+    assert_eq!(r.header("allow"), Some("POST"));
+    let r = client.request("POST", "/ns/dup/stats", None);
+    assert_eq!(r.status, 405);
+    assert_eq!(r.header("allow"), Some("GET"));
+
+    // Unknown sub-paths.
+    assert_eq!(client.request("POST", "/ns/dup/upsert", None).status, 404);
+    assert_eq!(client.request("GET", "/ns/dup/a/b", None).status, 404);
+    server.shutdown();
+}
