@@ -1,0 +1,473 @@
+//! The approximate tier: a MinHash banded-signature sidecar with exact
+//! fallback.
+//!
+//! LES3 is exact by construction; this module adds an *opt-in* knob
+//! that trades bounded recall for speed without touching the exact
+//! machinery:
+//!
+//! * **Prefilter** — a classic MinHash LSH candidate filter (b bands ×
+//!   r rows; a set is a candidate iff it collides with the query in at
+//!   least one band). The candidate set becomes a per-set bitmap that
+//!   is intersected into the group mask *before* phase A — exactly how
+//!   [`crate::metadata`] attribute filters already compose — so the
+//!   masked kernels, `TopK`, `QueryCtl` and the intra-parallel engine
+//!   are reused unchanged, and every surviving candidate is re-verified
+//!   with the **exact** similarity. Misses are only ever *omissions*:
+//!   a true neighbour whose signature never collides. The probability a
+//!   set with true similarity `s` survives is `1 − (1 − s^r)^b`, which
+//!   is also the per-hit recall estimate the tier reports.
+//! * **Anytime** — reuses the [`QueryCtl`](crate::QueryCtl) deadline
+//!   machinery, but commits the current top-k with a coverage-based
+//!   recall estimate instead of surfacing
+//!   [`ServeError::DeadlineExceeded`](crate::ServeError::DeadlineExceeded).
+//!   Hits are always exact similarities; only completeness is traded.
+//! * **Exact** — the default; byte-for-byte the existing engine.
+//!
+//! Signatures are deterministic (seeded splitmix64 row hashes, no
+//! runtime randomness), so a rebuilt or reloaded index answers
+//! identically; they persist as an optional segment block (see
+//! `persist/segment.rs`). Deletions need no sidecar maintenance: the
+//! engines are tombstone-only, and a stale signature can only produce a
+//! superset candidate that downstream verification discards.
+
+use les3_data::{SetId, TokenId};
+
+/// How a query trades recall for speed. The default is [`Exact`]
+/// everywhere — approximation is strictly opt-in per query.
+///
+/// [`Exact`]: ApproxPolicy::Exact
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ApproxPolicy {
+    /// The exact engine, byte-for-byte (hits *and* stats).
+    #[default]
+    Exact,
+    /// MinHash LSH candidate prefilter: only sets colliding with the
+    /// query in at least one of the first `bands` bands survive into
+    /// phase A. `bands == 0` means "all built bands"; `rows == 0`
+    /// saturates the filter (every set collides), which routes the
+    /// query through the unfiltered exact path. Both are clamped to
+    /// the sidecar's built parameters.
+    Prefilter {
+        /// Query-time band count (≤ built bands; 0 = all).
+        bands: u32,
+        /// Query-time rows per band (≤ built rows; 0 = saturate).
+        rows: u32,
+    },
+    /// Run the exact engine but, on deadline expiry, commit the current
+    /// top-k (or the range hits gathered so far) with a coverage-based
+    /// recall estimate instead of failing with `DeadlineExceeded`.
+    Anytime,
+}
+
+impl ApproxPolicy {
+    /// Whether this policy commits partial results on deadline expiry.
+    pub fn is_anytime(self) -> bool {
+        matches!(self, ApproxPolicy::Anytime)
+    }
+}
+
+/// The approximation verdict riding alongside a
+/// [`SearchResult`](crate::SearchResult): whether any recall was
+/// (potentially) given up, and the tier's estimate of it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxInfo {
+    /// `true` iff the answer may be missing admissible results. Exact
+    /// queries — including prefilter queries whose candidate set
+    /// saturated, and anytime queries that finished in time — report
+    /// `false`.
+    pub approx: bool,
+    /// Estimated recall in `[0, 1]`. Prefilter: mean per-hit inclusion
+    /// probability `1 − (1 − s^r)^b` over the returned hits (0 when no
+    /// hits survive). Anytime: the fraction of candidate groups either
+    /// verified or provably pruned before the deadline. Exact: 1.
+    pub recall_est: f64,
+}
+
+impl ApproxInfo {
+    /// The exact verdict: nothing given up.
+    pub const EXACT: ApproxInfo = ApproxInfo {
+        approx: false,
+        recall_est: 1.0,
+    };
+}
+
+/// Build-time MinHash parameters: `bands × rows` seeded row hashes per
+/// set. Query-time policies may use any prefix of the bands and rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApproxParams {
+    /// Number of signature bands (`b`). Must be ≥ 1.
+    pub bands: u32,
+    /// Rows (hashes) per band (`r`). Must be ≥ 1.
+    pub rows: u32,
+    /// Seed for the deterministic row-hash family.
+    pub seed: u64,
+}
+
+impl Default for ApproxParams {
+    fn default() -> Self {
+        Self {
+            bands: 16,
+            rows: 2,
+            seed: 0x1e53_c0de,
+        }
+    }
+}
+
+/// Hard cap on `bands × rows` a decoder will believe (64 KiB of
+/// signature per set is already far past useful).
+const MAX_WIDTH: u64 = 8192;
+
+/// The 64-bit finalizer of splitmix64 — the deterministic mixing
+/// function behind every row hash.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The MinHash signature sidecar: a dense `n_sets × (bands·rows)`
+/// matrix of row minima, appended to on insert and scanned at query
+/// time for band collisions. Everything is derived deterministically
+/// from [`ApproxParams`], so rebuild, save→load and WAL replay all
+/// produce bit-identical signatures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinHashIndex {
+    params: ApproxParams,
+    /// Per-row hash seeds, `bands·rows` of them, derived from
+    /// `params.seed`.
+    row_seeds: Vec<u64>,
+    /// Row-major signature matrix: set `id`'s row is
+    /// `sigs[id·width .. (id+1)·width]`, band `b` occupying columns
+    /// `b·rows .. (b+1)·rows`.
+    sigs: Vec<u64>,
+    n_sets: usize,
+}
+
+impl MinHashIndex {
+    /// An empty sidecar. Panics on degenerate parameters (`bands` or
+    /// `rows` of 0, or a width beyond the decoder cap).
+    pub fn new(params: ApproxParams) -> Self {
+        assert!(params.bands >= 1, "need at least one band");
+        assert!(params.rows >= 1, "need at least one row per band");
+        let width = params.bands as u64 * params.rows as u64;
+        assert!(width <= MAX_WIDTH, "signature width {width} exceeds cap");
+        let row_seeds = (0..width)
+            .map(|i| splitmix64(params.seed ^ splitmix64(i + 1)))
+            .collect();
+        Self {
+            params,
+            row_seeds,
+            sigs: Vec::new(),
+            n_sets: 0,
+        }
+    }
+
+    /// Builds the sidecar over every set of `db`, in id order.
+    pub fn build(db: &les3_data::SetDatabase, params: ApproxParams) -> Self {
+        let mut out = Self::new(params);
+        out.sigs.reserve(db.len() * out.width());
+        for (_, set) in db.iter() {
+            out.push(set);
+        }
+        out
+    }
+
+    /// The build-time parameters.
+    pub fn params(&self) -> ApproxParams {
+        self.params
+    }
+
+    /// Number of signed sets.
+    pub fn n_sets(&self) -> usize {
+        self.n_sets
+    }
+
+    /// Signature width (`bands·rows`) in u64 rows.
+    fn width(&self) -> usize {
+        (self.params.bands * self.params.rows) as usize
+    }
+
+    /// Set `id`'s signature row.
+    pub fn signature(&self, id: SetId) -> &[u64] {
+        let w = self.width();
+        &self.sigs[id as usize * w..(id as usize + 1) * w]
+    }
+
+    /// Appends the next set's signature (ids are assigned densely, in
+    /// insertion order — the same contract as the database).
+    pub fn push(&mut self, set: &[TokenId]) {
+        let start = self.sigs.len();
+        self.sigs.resize(start + self.width(), u64::MAX);
+        Self::sign_into(&self.row_seeds, set, &mut self.sigs[start..]);
+        self.n_sets += 1;
+    }
+
+    /// Writes the signature of `set` into `out` (one slot per row
+    /// seed). The empty set keeps the `u64::MAX` sentinel everywhere.
+    fn sign_into(row_seeds: &[u64], set: &[TokenId], out: &mut [u64]) {
+        for (slot, &seed) in out.iter_mut().zip(row_seeds) {
+            let mut min = u64::MAX;
+            for &t in set {
+                let h = splitmix64(seed ^ (t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                min = min.min(h);
+            }
+            *slot = min;
+        }
+    }
+
+    /// Clamps a query-time policy to the built parameters: `bands == 0`
+    /// means all built bands, `rows` caps at the built rows (0 is kept:
+    /// it saturates the filter).
+    pub fn effective(&self, bands: u32, rows: u32) -> (u32, u32) {
+        let b = if bands == 0 {
+            self.params.bands
+        } else {
+            bands.min(self.params.bands)
+        };
+        (b, rows.min(self.params.rows))
+    }
+
+    /// The LSH candidates of `query` under the first `bands` bands with
+    /// `rows` rows each (both pre-clamped via
+    /// [`MinHashIndex::effective`] by callers): every set id whose
+    /// signature collides with the query's in at least one band,
+    /// ascending. `rows == 0` makes every band key the empty fold, so
+    /// every set collides — the saturated filter.
+    pub fn candidates(&self, query: &[TokenId], bands: u32, rows: u32) -> Vec<SetId> {
+        let (bands, rows) = self.effective(bands, rows);
+        let width = self.width();
+        let built_rows = self.params.rows as usize;
+        let mut qsig = vec![u64::MAX; width];
+        Self::sign_into(&self.row_seeds, query, &mut qsig);
+        let qkeys: Vec<u64> = (0..bands as usize)
+            .map(|b| band_key(&qsig[b * built_rows..], rows as usize, b))
+            .collect();
+        let mut out = Vec::new();
+        for id in 0..self.n_sets {
+            let row = &self.sigs[id * width..(id + 1) * width];
+            let hit = (0..bands as usize)
+                .any(|b| band_key(&row[b * built_rows..], rows as usize, b) == qkeys[b]);
+            if hit {
+                out.push(id as SetId);
+            }
+        }
+        out
+    }
+
+    /// Probability a set with true similarity `sim` survives the
+    /// `bands × rows` filter: `1 − (1 − sim^rows)^bands`. `rows == 0`
+    /// (the saturated filter) includes everything.
+    pub fn inclusion_prob(sim: f64, bands: u32, rows: u32) -> f64 {
+        if rows == 0 {
+            return 1.0;
+        }
+        let s = sim.clamp(0.0, 1.0);
+        1.0 - (1.0 - s.powi(rows as i32)).powi(bands as i32)
+    }
+
+    /// The prefilter tier's recall estimate for a finished result: the
+    /// mean inclusion probability of the returned hits (their
+    /// similarities are exact, so each term is the true survival
+    /// probability of a set *at that similarity*). No hits → 0.
+    pub fn recall_estimate(hits: &[(SetId, f64)], bands: u32, rows: u32) -> f64 {
+        if hits.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = hits
+            .iter()
+            .map(|&(_, s)| Self::inclusion_prob(s, bands, rows))
+            .sum();
+        (sum / hits.len() as f64).clamp(0.0, 1.0)
+    }
+
+    /// Serializes the sidecar: params, set count, then the raw
+    /// signature matrix. The row seeds are derived, not stored.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + self.sigs.len() * 8);
+        out.extend_from_slice(&self.params.bands.to_le_bytes());
+        out.extend_from_slice(&self.params.rows.to_le_bytes());
+        out.extend_from_slice(&self.params.seed.to_le_bytes());
+        out.extend_from_slice(&(self.n_sets as u64).to_le_bytes());
+        for &s in &self.sigs {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a sidecar serialized by [`MinHashIndex::encode`],
+    /// validating every count before any allocation is sized from it.
+    /// Errors are descriptive strings (the persistence layer wraps them
+    /// in [`PersistError::Corrupt`](crate::PersistError::Corrupt));
+    /// this function never panics on malformed input.
+    pub fn decode(payload: &[u8]) -> Result<Self, String> {
+        if payload.len() < 24 {
+            return Err(format!(
+                "sidecar header needs 24 bytes, payload has {}",
+                payload.len()
+            ));
+        }
+        let bands = u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]);
+        let rows = u32::from_le_bytes([payload[4], payload[5], payload[6], payload[7]]);
+        let mut b8 = [0u8; 8];
+        b8.copy_from_slice(&payload[8..16]);
+        let seed = u64::from_le_bytes(b8);
+        b8.copy_from_slice(&payload[16..24]);
+        let n_sets = u64::from_le_bytes(b8);
+        if bands == 0 || rows == 0 {
+            return Err(format!("degenerate sidecar shape {bands}x{rows}"));
+        }
+        let width = bands as u64 * rows as u64;
+        if width > MAX_WIDTH {
+            return Err(format!("signature width {width} exceeds cap {MAX_WIDTH}"));
+        }
+        let body = &payload[24..];
+        let expected = n_sets
+            .checked_mul(width)
+            .and_then(|w| w.checked_mul(8))
+            .ok_or_else(|| "signature matrix size overflows".to_string())?;
+        if body.len() as u64 != expected {
+            return Err(format!(
+                "signature matrix holds {} bytes, {expected} expected for {n_sets} sets of width {width}",
+                body.len()
+            ));
+        }
+        let mut out = Self::new(ApproxParams { bands, rows, seed });
+        out.sigs = body
+            .chunks_exact(8)
+            .map(|c| {
+                let mut a = [0u8; 8];
+                a.copy_from_slice(c);
+                u64::from_le_bytes(a)
+            })
+            .collect();
+        out.n_sets = n_sets as usize;
+        Ok(out)
+    }
+}
+
+/// The anytime tier's recall estimate: the fraction of the candidate
+/// groups a query either verified or provably pruned before it was
+/// interrupted. Verified groups contribute their hits exactly; pruned
+/// groups are *known* to hold nothing better than the partial k-th, so
+/// both count as covered.
+pub(crate) fn coverage(stats: &crate::stats::SearchStats, n_groups: usize) -> f64 {
+    if n_groups == 0 {
+        return 1.0;
+    }
+    ((stats.groups_verified + stats.groups_pruned) as f64 / n_groups as f64).clamp(0.0, 1.0)
+}
+
+/// Folds the first `rows` values of a band's signature slice into one
+/// comparable key. `rows == 0` folds nothing: every key is the band
+/// salt, so everything collides (the saturated filter).
+fn band_key(band_sig: &[u64], rows: usize, band: usize) -> u64 {
+    let mut acc = band as u64;
+    for &v in &band_sig[..rows] {
+        acc = splitmix64(acc ^ v);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use les3_data::SetDatabase;
+
+    fn tiny_db() -> SetDatabase {
+        SetDatabase::from_sets(vec![
+            vec![0u32, 1, 2, 3],
+            vec![0, 1, 2, 4],
+            vec![10, 11, 12],
+            vec![20, 21],
+            vec![],
+        ])
+    }
+
+    #[test]
+    fn signatures_are_deterministic_and_order_insensitive() {
+        let params = ApproxParams::default();
+        let a = MinHashIndex::build(&tiny_db(), params);
+        let b = MinHashIndex::build(&tiny_db(), params);
+        assert_eq!(a, b);
+        // Incremental push equals bulk build.
+        let mut inc = MinHashIndex::new(params);
+        for (_, set) in tiny_db().iter() {
+            inc.push(set);
+        }
+        assert_eq!(a, inc);
+    }
+
+    #[test]
+    fn identical_sets_share_signatures_and_collide() {
+        let db = SetDatabase::from_sets(vec![vec![5u32, 6, 7], vec![5, 6, 7]]);
+        let mh = MinHashIndex::build(&db, ApproxParams::default());
+        assert_eq!(mh.signature(0), mh.signature(1));
+        let cands = mh.candidates(&[5, 6, 7], 0, u32::MAX);
+        assert_eq!(cands, vec![0, 1], "an exact duplicate always collides");
+    }
+
+    #[test]
+    fn zero_rows_saturates_to_every_set() {
+        let db = tiny_db();
+        let mh = MinHashIndex::build(&db, ApproxParams::default());
+        let cands = mh.candidates(&[999], 0, 0);
+        assert_eq!(cands.len(), db.len(), "rows = 0 must match every set");
+    }
+
+    #[test]
+    fn effective_clamps_to_built_shape() {
+        let mh = MinHashIndex::new(ApproxParams {
+            bands: 8,
+            rows: 2,
+            seed: 1,
+        });
+        assert_eq!(mh.effective(0, u32::MAX), (8, 2));
+        assert_eq!(mh.effective(3, 1), (3, 1));
+        assert_eq!(mh.effective(100, 0), (8, 0));
+    }
+
+    #[test]
+    fn inclusion_probability_matches_the_banding_formula() {
+        let p = MinHashIndex::inclusion_prob(0.5, 4, 2);
+        let expected = 1.0 - (1.0 - 0.5f64.powi(2)).powi(4);
+        assert!((p - expected).abs() < 1e-12);
+        assert_eq!(MinHashIndex::inclusion_prob(0.3, 4, 0), 1.0);
+        assert_eq!(MinHashIndex::inclusion_prob(1.0, 1, 1), 1.0);
+        assert_eq!(MinHashIndex::inclusion_prob(0.0, 9, 3), 0.0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_bit_for_bit() {
+        let mh = MinHashIndex::build(
+            &tiny_db(),
+            ApproxParams {
+                bands: 3,
+                rows: 2,
+                seed: 42,
+            },
+        );
+        let decoded = MinHashIndex::decode(&mh.encode()).expect("roundtrip");
+        assert_eq!(mh, decoded);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_payloads_without_panicking() {
+        let good = MinHashIndex::build(&tiny_db(), ApproxParams::default()).encode();
+        // Truncations at every prefix length.
+        for cut in 0..good.len().min(64) {
+            assert!(MinHashIndex::decode(&good[..cut]).is_err() || cut == good.len());
+        }
+        // A length-field lie.
+        let mut bad = good.clone();
+        bad[16] ^= 0xff; // n_sets
+        assert!(MinHashIndex::decode(&bad).is_err());
+        // Degenerate shape.
+        let mut bad = good.clone();
+        bad[0] = 0;
+        bad[1] = 0;
+        bad[2] = 0;
+        bad[3] = 0;
+        assert!(MinHashIndex::decode(&bad).is_err());
+    }
+}

@@ -20,7 +20,8 @@
 
 use les3_data::{SetDatabase, SetId, TokenId};
 
-use crate::ctl::{Interrupted, QueryCtl};
+use crate::approx::{ApproxInfo, ApproxParams, ApproxPolicy, MinHashIndex};
+use crate::ctl::{InterruptReason, Interrupted, QueryCtl};
 use crate::metadata::FilterCandidates;
 use crate::par::{self, ParGroups};
 use crate::partitioning::Partitioning;
@@ -47,6 +48,10 @@ pub struct Les3Index<S: Similarity> {
     sim: S,
     /// Length-sorted member order per group (the verify-step scan order).
     verify: VerifyOrder,
+    /// The opt-in MinHash sidecar of the approximate tier (`None` until
+    /// [`Les3Index::enable_approx`]); kept id-aligned with `db` by the
+    /// insert path.
+    approx: Option<MinHashIndex>,
 }
 
 impl<S: Similarity> Les3Index<S> {
@@ -65,6 +70,7 @@ impl<S: Similarity> Les3Index<S> {
             tgm,
             sim,
             verify,
+            approx: None,
         }
     }
 
@@ -86,7 +92,26 @@ impl<S: Similarity> Les3Index<S> {
             tgm,
             sim,
             verify,
+            approx: None,
         }
+    }
+
+    /// Builds the MinHash sidecar that backs
+    /// [`ApproxPolicy::Prefilter`] queries. Until this is called (or a
+    /// segment with a signature block is loaded), prefilter queries
+    /// fall back to the exact path.
+    pub fn enable_approx(&mut self, params: ApproxParams) {
+        self.approx = Some(MinHashIndex::build(&self.db, params));
+    }
+
+    /// The MinHash sidecar, if the approximate tier is enabled.
+    pub fn approx_sidecar(&self) -> Option<&MinHashIndex> {
+        self.approx.as_ref()
+    }
+
+    /// Installs a sidecar recovered off disk (persist layer).
+    pub(crate) fn set_approx(&mut self, approx: Option<MinHashIndex>) {
+        self.approx = approx;
     }
 
     /// The underlying database.
@@ -114,6 +139,10 @@ impl<S: Similarity> Les3Index<S> {
     pub(crate) fn note_new_member(&mut self, g: u32, id: SetId) {
         let len = distinct_len(self.db.set(id)) as u32;
         self.verify.push(g, len, id);
+        if let Some(mh) = &mut self.approx {
+            debug_assert_eq!(mh.n_sets() as u32, id, "sidecar out of sync with db");
+            mh.push(self.db.set(id));
+        }
     }
 
     /// The similarity measure.
@@ -326,7 +355,7 @@ impl<S: Similarity> Les3Index<S> {
                 hits: top.into_sorted(),
                 stats,
             }),
-            Err(reason) => Err(Interrupted { reason, stats }),
+            Err((reason, _)) => Err(Interrupted { reason, stats }),
         }
     }
 
@@ -377,7 +406,7 @@ impl<S: Similarity> Les3Index<S> {
                 hits: top.into_sorted(),
                 stats,
             }),
-            Err(reason) => Err(Interrupted { reason, stats }),
+            Err((reason, _)) => Err(Interrupted { reason, stats }),
         }
     }
 
@@ -576,6 +605,252 @@ impl<S: Similarity> Les3Index<S> {
             &QueryCtl::NONE,
         )
         .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"))
+    }
+
+    /// kNN under an [`ApproxPolicy`]: dispatches to the exact engine,
+    /// the MinHash prefilter, or the anytime descent, and reports the
+    /// approximation verdict alongside the result.
+    ///
+    /// * [`ApproxPolicy::Exact`] is byte-for-byte
+    ///   [`Les3Index::knn_ctl_on`] (hits *and* stats).
+    /// * [`ApproxPolicy::Prefilter`] turns the LSH candidates into a
+    ///   [`FilterCandidates`] mask intersected before phase A — the
+    ///   same composition point as attribute filters — then re-verifies
+    ///   survivors exactly through
+    ///   [`Les3Index::knn_filtered_ctl_on`]. A saturated candidate set
+    ///   (every set collides, e.g. `rows == 0`) and a missing sidecar
+    ///   both route through the *unfiltered* exact path, so those
+    ///   configurations stay bit-for-bit identical to `knn_ctl_on`.
+    /// * [`ApproxPolicy::Anytime`] is [`Les3Index::knn_anytime_ctl_on`].
+    pub fn knn_approx_ctl_on(
+        &self,
+        workers: usize,
+        query: &[TokenId],
+        k: usize,
+        policy: ApproxPolicy,
+        scratch: &mut QueryScratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<(SearchResult, ApproxInfo), Interrupted> {
+        match policy {
+            ApproxPolicy::Exact => self
+                .knn_ctl_on(workers, query, k, scratch, ctl)
+                .map(|r| (r, ApproxInfo::EXACT)),
+            ApproxPolicy::Anytime => self.knn_anytime_ctl_on(workers, query, k, scratch, ctl),
+            ApproxPolicy::Prefilter { bands, rows } => {
+                let Some(cand) = self.prefilter_candidates(query, bands, rows) else {
+                    return self
+                        .knn_ctl_on(workers, query, k, scratch, ctl)
+                        .map(|r| (r, ApproxInfo::EXACT));
+                };
+                let result = self.knn_filtered_ctl_on(workers, query, k, &cand, scratch, ctl)?;
+                let info = self.prefilter_info(&result.hits, bands, rows);
+                Ok((result, info))
+            }
+        }
+    }
+
+    /// Range search under an [`ApproxPolicy`]; the range twin of
+    /// [`Les3Index::knn_approx_ctl_on`].
+    pub fn range_approx_ctl_on(
+        &self,
+        workers: usize,
+        query: &[TokenId],
+        delta: f64,
+        policy: ApproxPolicy,
+        scratch: &mut QueryScratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<(SearchResult, ApproxInfo), Interrupted> {
+        match policy {
+            ApproxPolicy::Exact => self
+                .range_ctl_on(workers, query, delta, scratch, ctl)
+                .map(|r| (r, ApproxInfo::EXACT)),
+            ApproxPolicy::Anytime => self.range_anytime_ctl_on(workers, query, delta, scratch, ctl),
+            ApproxPolicy::Prefilter { bands, rows } => {
+                let Some(cand) = self.prefilter_candidates(query, bands, rows) else {
+                    return self
+                        .range_ctl_on(workers, query, delta, scratch, ctl)
+                        .map(|r| (r, ApproxInfo::EXACT));
+                };
+                let result =
+                    self.range_filtered_ctl_on(workers, query, delta, &cand, scratch, ctl)?;
+                let info = self.prefilter_info(&result.hits, bands, rows);
+                Ok((result, info))
+            }
+        }
+    }
+
+    /// The LSH candidate mask of a prefilter query, or `None` when the
+    /// query must take the unfiltered exact path instead: no sidecar
+    /// built, or a saturated candidate set (only a full candidate set
+    /// reproduces the exact engine's stats bit-for-bit — the restricted
+    /// kernels count differently).
+    fn prefilter_candidates(
+        &self,
+        query: &[TokenId],
+        bands: u32,
+        rows: u32,
+    ) -> Option<FilterCandidates> {
+        let mh = self.approx.as_ref()?;
+        let (bands, rows) = mh.effective(bands, rows);
+        let ids = mh.candidates(query, bands, rows);
+        if ids.len() >= self.db.len() {
+            return None;
+        }
+        Some(FilterCandidates::build(
+            &les3_bitmap::Bitmap::from_sorted(&ids),
+            &self.partitioning,
+        ))
+    }
+
+    /// The prefilter verdict for a finished result (clamped effective
+    /// parameters feed the banding formula).
+    fn prefilter_info(&self, hits: &[(SetId, f64)], bands: u32, rows: u32) -> ApproxInfo {
+        let (bands, rows) = match &self.approx {
+            Some(mh) => mh.effective(bands, rows),
+            None => (bands, rows),
+        };
+        ApproxInfo {
+            approx: true,
+            recall_est: MinHashIndex::recall_estimate(hits, bands, rows),
+        }
+    }
+
+    /// Anytime kNN: runs the exact descent, but when the deadline
+    /// expires mid-flight it **commits** the partial top-k gathered so
+    /// far — every hit carries its exact similarity; only completeness
+    /// is traded — with a coverage-based recall estimate, instead of
+    /// failing. Completing before the deadline yields the exact answer
+    /// (`approx: false`, estimate 1). Cancellation still interrupts:
+    /// a cancelled caller wants no answer at all.
+    pub fn knn_anytime_ctl_on(
+        &self,
+        workers: usize,
+        query: &[TokenId],
+        k: usize,
+        scratch: &mut QueryScratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<(SearchResult, ApproxInfo), Interrupted> {
+        let mut stats = SearchStats::default();
+        if k == 0 || self.db.is_empty() {
+            return Ok((
+                SearchResult {
+                    hits: Vec::new(),
+                    stats,
+                },
+                ApproxInfo::EXACT,
+            ));
+        }
+        let query = &*normalize_query(query);
+        self.group_upper_bounds_sorted(query, &mut stats, scratch);
+        if let Some(reason) = ctl.interrupted() {
+            return anytime_phase_a_interrupt(reason, stats);
+        }
+        let n_considered = scratch.bounds.len();
+        let groups = FlatGroups {
+            index: self,
+            bounds: &scratch.bounds,
+            query,
+            q_len: distinct_len(query),
+            filter: None,
+        };
+        match par::knn_descend(&groups, k, workers, &mut stats, ctl) {
+            Ok(top) => Ok((
+                SearchResult {
+                    hits: top.into_sorted(),
+                    stats,
+                },
+                ApproxInfo::EXACT,
+            )),
+            Err((InterruptReason::Cancelled, _)) => Err(Interrupted {
+                reason: InterruptReason::Cancelled,
+                stats,
+            }),
+            Err((InterruptReason::Expired, top)) => {
+                let recall_est = crate::approx::coverage(&stats, n_considered);
+                Ok((
+                    SearchResult {
+                        hits: top.into_sorted(),
+                        stats,
+                    },
+                    ApproxInfo {
+                        approx: true,
+                        recall_est,
+                    },
+                ))
+            }
+        }
+    }
+
+    /// Anytime range search: the hits gathered before the deadline are
+    /// all true hits (`sim ≥ δ`, exact similarities), so expiry commits
+    /// them with a coverage estimate. See
+    /// [`Les3Index::knn_anytime_ctl_on`].
+    pub fn range_anytime_ctl_on(
+        &self,
+        workers: usize,
+        query: &[TokenId],
+        delta: f64,
+        scratch: &mut QueryScratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<(SearchResult, ApproxInfo), Interrupted> {
+        let mut stats = SearchStats::default();
+        let query = &*normalize_query(query);
+        self.group_upper_bounds_sorted(query, &mut stats, scratch);
+        if let Some(reason) = ctl.interrupted() {
+            return anytime_phase_a_interrupt(reason, stats);
+        }
+        let n_considered = scratch.bounds.len();
+        let groups = FlatGroups {
+            index: self,
+            bounds: &scratch.bounds,
+            query,
+            q_len: distinct_len(query),
+            filter: None,
+        };
+        let mut hits: Vec<(SetId, f64)> = Vec::new();
+        match par::range_scan(&groups, delta, workers, &mut hits, &mut stats, ctl) {
+            Ok(()) => {
+                sort_hits(&mut hits);
+                Ok((SearchResult { hits, stats }, ApproxInfo::EXACT))
+            }
+            Err(InterruptReason::Cancelled) => Err(Interrupted {
+                reason: InterruptReason::Cancelled,
+                stats,
+            }),
+            Err(InterruptReason::Expired) => {
+                sort_hits(&mut hits);
+                let recall_est = crate::approx::coverage(&stats, n_considered);
+                Ok((
+                    SearchResult { hits, stats },
+                    ApproxInfo {
+                        approx: true,
+                        recall_est,
+                    },
+                ))
+            }
+        }
+    }
+}
+
+/// The anytime tier's phase-A interruption rule, shared by the flat and
+/// sharded engines: expiry before any verification commits an empty
+/// partial answer (coverage 0); cancellation interrupts outright.
+pub(crate) fn anytime_phase_a_interrupt(
+    reason: InterruptReason,
+    stats: SearchStats,
+) -> Result<(SearchResult, ApproxInfo), Interrupted> {
+    match reason {
+        InterruptReason::Cancelled => Err(Interrupted { reason, stats }),
+        InterruptReason::Expired => Ok((
+            SearchResult {
+                hits: Vec::new(),
+                stats,
+            },
+            ApproxInfo {
+                approx: true,
+                recall_est: 0.0,
+            },
+        )),
     }
 }
 

@@ -72,6 +72,7 @@
 //! assert_eq!(res.hits[0].0, 0); // exact match first
 //! ```
 
+pub mod approx;
 pub mod batch;
 pub mod ctl;
 pub mod delete;
@@ -104,6 +105,7 @@ pub mod model_support {
     pub use crate::serve::FrontShared;
 }
 
+pub use approx::{ApproxInfo, ApproxParams, ApproxPolicy, MinHashIndex};
 pub use ctl::{InterruptReason, Interrupted, QueryCtl};
 pub use delete::DeletionLog;
 pub use disk::DiskLes3;

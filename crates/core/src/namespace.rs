@@ -52,6 +52,7 @@ use crate::sync::{Arc, Mutex};
 
 use les3_data::{SetDatabase, SetId, TokenId};
 
+use crate::approx::{ApproxInfo, ApproxPolicy};
 use crate::batch::lock_unpoisoned;
 use crate::ctl::{InterruptReason, Interrupted, QueryCtl};
 use crate::delete::DeletionLog;
@@ -193,25 +194,57 @@ fn validate_name(name: &str) -> Result<(), NamespaceError> {
 trait NsEngine: PersistentBackend + Send + Sync + 'static {
     type Scratch: WorkerScratch;
 
+    #[allow(clippy::too_many_arguments)]
     fn ns_knn(
         &self,
         workers: usize,
         query: &[TokenId],
         k: usize,
+        mode: ApproxPolicy,
         cand: Option<&FilterCandidates>,
         scratch: &mut Self::Scratch,
         ctl: &QueryCtl<'_>,
-    ) -> Result<SearchResult, Interrupted>;
+    ) -> Result<(SearchResult, ApproxInfo), Interrupted>;
 
+    #[allow(clippy::too_many_arguments)]
     fn ns_range(
         &self,
         workers: usize,
         query: &[TokenId],
         delta: f64,
+        mode: ApproxPolicy,
         cand: Option<&FilterCandidates>,
         scratch: &mut Self::Scratch,
         ctl: &QueryCtl<'_>,
-    ) -> Result<SearchResult, Interrupted>;
+    ) -> Result<(SearchResult, ApproxInfo), Interrupted>;
+}
+
+/// Finishes an attribute-filtered namespace query, which runs the exact
+/// restricted engine whatever the mode: namespace engines build no
+/// MinHash sidecar ([`ApproxPolicy::Prefilter`] falls back to exact, as
+/// it does on any sidecar-less index), and the restricted descent keeps
+/// no committable partial heap — so a filtered *anytime* query that
+/// expires degrades to an **empty committed answer** (recall estimate
+/// 0, partial work still in the stats) instead of an error, preserving
+/// the anytime never-expires contract.
+fn finish_filtered(
+    out: Result<SearchResult, Interrupted>,
+    mode: ApproxPolicy,
+) -> Result<(SearchResult, ApproxInfo), Interrupted> {
+    match out {
+        Ok(res) => Ok((res, ApproxInfo::EXACT)),
+        Err(i) if mode.is_anytime() && i.reason == InterruptReason::Expired => Ok((
+            SearchResult {
+                hits: Vec::new(),
+                stats: i.stats,
+            },
+            ApproxInfo {
+                approx: true,
+                recall_est: 0.0,
+            },
+        )),
+        Err(i) => Err(i),
+    }
 }
 
 /// Resolves the auto worker count (`0`) against the groups a query will
@@ -233,14 +266,17 @@ impl<S: Similarity> NsEngine for Les3Index<S> {
         workers: usize,
         query: &[TokenId],
         k: usize,
+        mode: ApproxPolicy,
         cand: Option<&FilterCandidates>,
         scratch: &mut Self::Scratch,
         ctl: &QueryCtl<'_>,
-    ) -> Result<SearchResult, Interrupted> {
+    ) -> Result<(SearchResult, ApproxInfo), Interrupted> {
         let w = resolve_workers(workers, self.partitioning().n_groups(), cand);
         match cand {
-            None => self.knn_ctl_on(w, query, k, scratch, ctl),
-            Some(c) => self.knn_filtered_ctl_on(w, query, k, c, scratch, ctl),
+            None => self.knn_approx_ctl_on(w, query, k, mode, scratch, ctl),
+            Some(c) => {
+                finish_filtered(self.knn_filtered_ctl_on(w, query, k, c, scratch, ctl), mode)
+            }
         }
     }
 
@@ -249,14 +285,18 @@ impl<S: Similarity> NsEngine for Les3Index<S> {
         workers: usize,
         query: &[TokenId],
         delta: f64,
+        mode: ApproxPolicy,
         cand: Option<&FilterCandidates>,
         scratch: &mut Self::Scratch,
         ctl: &QueryCtl<'_>,
-    ) -> Result<SearchResult, Interrupted> {
+    ) -> Result<(SearchResult, ApproxInfo), Interrupted> {
         let w = resolve_workers(workers, self.partitioning().n_groups(), cand);
         match cand {
-            None => self.range_ctl_on(w, query, delta, scratch, ctl),
-            Some(c) => self.range_filtered_ctl_on(w, query, delta, c, scratch, ctl),
+            None => self.range_approx_ctl_on(w, query, delta, mode, scratch, ctl),
+            Some(c) => finish_filtered(
+                self.range_filtered_ctl_on(w, query, delta, c, scratch, ctl),
+                mode,
+            ),
         }
     }
 }
@@ -269,14 +309,17 @@ impl<S: Similarity> NsEngine for ShardedLes3Index<S> {
         workers: usize,
         query: &[TokenId],
         k: usize,
+        mode: ApproxPolicy,
         cand: Option<&FilterCandidates>,
         scratch: &mut Self::Scratch,
         ctl: &QueryCtl<'_>,
-    ) -> Result<SearchResult, Interrupted> {
+    ) -> Result<(SearchResult, ApproxInfo), Interrupted> {
         let w = resolve_workers(workers, self.partitioning().n_groups(), cand);
         match cand {
-            None => self.knn_ctl_on(w, query, k, scratch, ctl),
-            Some(c) => self.knn_filtered_ctl_on(w, query, k, c, scratch, ctl),
+            None => self.knn_approx_ctl_on(w, query, k, mode, scratch, ctl),
+            Some(c) => {
+                finish_filtered(self.knn_filtered_ctl_on(w, query, k, c, scratch, ctl), mode)
+            }
         }
     }
 
@@ -285,14 +328,18 @@ impl<S: Similarity> NsEngine for ShardedLes3Index<S> {
         workers: usize,
         query: &[TokenId],
         delta: f64,
+        mode: ApproxPolicy,
         cand: Option<&FilterCandidates>,
         scratch: &mut Self::Scratch,
         ctl: &QueryCtl<'_>,
-    ) -> Result<SearchResult, Interrupted> {
+    ) -> Result<(SearchResult, ApproxInfo), Interrupted> {
         let w = resolve_workers(workers, self.partitioning().n_groups(), cand);
         match cand {
-            None => self.range_ctl_on(w, query, delta, scratch, ctl),
-            Some(c) => self.range_filtered_ctl_on(w, query, delta, c, scratch, ctl),
+            None => self.range_approx_ctl_on(w, query, delta, mode, scratch, ctl),
+            Some(c) => finish_filtered(
+                self.range_filtered_ctl_on(w, query, delta, c, scratch, ctl),
+                mode,
+            ),
         }
     }
 }
@@ -305,18 +352,20 @@ trait NsBackend: Send + Sync {
         query: &[TokenId],
         k: usize,
         filters: &Filters,
+        mode: ApproxPolicy,
         workers: usize,
         ctl: &QueryCtl<'_>,
-    ) -> Result<SearchResult, Interrupted>;
+    ) -> Result<(SearchResult, ApproxInfo), Interrupted>;
 
     fn range(
         &self,
         query: &[TokenId],
         delta: f64,
         filters: &Filters,
+        mode: ApproxPolicy,
         workers: usize,
         ctl: &QueryCtl<'_>,
-    ) -> Result<SearchResult, Interrupted>;
+    ) -> Result<(SearchResult, ApproxInfo), Interrupted>;
 
     fn insert(&mut self, tokens: &mut [TokenId], attrs: &[(String, String)]) -> (SetId, u32);
     fn delete(&mut self, id: SetId) -> bool;
@@ -365,24 +414,32 @@ impl<E: NsEngine> NsBackend for NsIndex<E> {
         query: &[TokenId],
         k: usize,
         filters: &Filters,
+        mode: ApproxPolicy,
         workers: usize,
         ctl: &QueryCtl<'_>,
-    ) -> Result<SearchResult, Interrupted> {
+    ) -> Result<(SearchResult, ApproxInfo), Interrupted> {
         let cand = self.meta.candidates(filters, self.engine.partitioning());
         // Over-fetch past every tombstone: at most `deleted` hits can be
         // filtered out below, so `k + deleted` guarantees k live answers
-        // whenever they exist.
+        // whenever they exist. Partial (anytime) results pass through
+        // the same tombstone filter and truncation.
         let deleted = self.engine.db().len() - self.deletes.live_count();
         let fetch = k.saturating_add(deleted);
         let mut scratch = self.take_scratch();
-        let out = self
-            .engine
-            .ns_knn(workers, query, fetch, cand.as_ref(), &mut scratch, ctl);
+        let out = self.engine.ns_knn(
+            workers,
+            query,
+            fetch,
+            mode,
+            cand.as_ref(),
+            &mut scratch,
+            ctl,
+        );
         self.put_scratch(scratch);
-        let mut res = out?;
+        let (mut res, info) = out?;
         self.deletes.filter_hits(&mut res.hits);
         res.hits.truncate(k);
-        Ok(res)
+        Ok((res, info))
     }
 
     fn range(
@@ -390,18 +447,25 @@ impl<E: NsEngine> NsBackend for NsIndex<E> {
         query: &[TokenId],
         delta: f64,
         filters: &Filters,
+        mode: ApproxPolicy,
         workers: usize,
         ctl: &QueryCtl<'_>,
-    ) -> Result<SearchResult, Interrupted> {
+    ) -> Result<(SearchResult, ApproxInfo), Interrupted> {
         let cand = self.meta.candidates(filters, self.engine.partitioning());
         let mut scratch = self.take_scratch();
-        let out = self
-            .engine
-            .ns_range(workers, query, delta, cand.as_ref(), &mut scratch, ctl);
+        let out = self.engine.ns_range(
+            workers,
+            query,
+            delta,
+            mode,
+            cand.as_ref(),
+            &mut scratch,
+            ctl,
+        );
         self.put_scratch(scratch);
-        let mut res = out?;
+        let (mut res, info) = out?;
         self.deletes.filter_hits(&mut res.hits);
-        Ok(res)
+        Ok((res, info))
     }
 
     fn insert(&mut self, tokens: &mut [TokenId], attrs: &[(String, String)]) -> (SetId, u32) {
@@ -472,9 +536,8 @@ impl Namespace {
         workers: usize,
         ctl: &QueryCtl<'_>,
     ) -> Result<SearchResult, Interrupted> {
-        let out = self.read_inner().knn(query, k, filters, workers, ctl);
-        self.note(&out);
-        out
+        self.knn_approx(query, k, filters, ApproxPolicy::Exact, workers, ctl)
+            .map(|(res, _)| res)
     }
 
     /// Exact range search over this namespace, optionally filtered.
@@ -486,8 +549,46 @@ impl Namespace {
         workers: usize,
         ctl: &QueryCtl<'_>,
     ) -> Result<SearchResult, Interrupted> {
-        let out = self.read_inner().range(query, delta, filters, workers, ctl);
-        self.note(&out);
+        self.range_approx(query, delta, filters, ApproxPolicy::Exact, workers, ctl)
+            .map(|(res, _)| res)
+    }
+
+    /// kNN under an [`ApproxPolicy`]. [`ApproxPolicy::Exact`] is
+    /// [`Namespace::knn`]; [`ApproxPolicy::Prefilter`] falls back to
+    /// exact (namespace engines build no MinHash sidecar);
+    /// [`ApproxPolicy::Anytime`] commits the partial top-k on deadline
+    /// expiry — still tombstone-filtered and truncated to `k` — with a
+    /// coverage-based recall estimate. Committed anytime answers count
+    /// as served queries in the namespace aggregate, not as `expired`.
+    pub fn knn_approx(
+        &self,
+        query: &[TokenId],
+        k: usize,
+        filters: &Filters,
+        mode: ApproxPolicy,
+        workers: usize,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<(SearchResult, ApproxInfo), Interrupted> {
+        let out = self.read_inner().knn(query, k, filters, mode, workers, ctl);
+        self.note_approx(&out);
+        out
+    }
+
+    /// Range search under an [`ApproxPolicy`]; semantics as for
+    /// [`Namespace::knn_approx`].
+    pub fn range_approx(
+        &self,
+        query: &[TokenId],
+        delta: f64,
+        filters: &Filters,
+        mode: ApproxPolicy,
+        workers: usize,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<(SearchResult, ApproxInfo), Interrupted> {
+        let out = self
+            .read_inner()
+            .range(query, delta, filters, mode, workers, ctl);
+        self.note_approx(&out);
         out
     }
 
@@ -506,6 +607,23 @@ impl Namespace {
         let mut agg = lock_unpoisoned(&self.agg);
         match out {
             Ok(res) => agg.accumulate(&res.stats),
+            Err(interrupted) => {
+                agg.accumulate(&interrupted.stats);
+                match interrupted.reason {
+                    InterruptReason::Expired => agg.expired += 1,
+                    InterruptReason::Cancelled => agg.cancelled += 1,
+                }
+            }
+        }
+    }
+
+    /// [`Namespace::note`] for the approx-aware entry points: a
+    /// committed (possibly partial) answer counts as a served query,
+    /// never as `expired`.
+    fn note_approx(&self, out: &Result<(SearchResult, ApproxInfo), Interrupted>) {
+        let mut agg = lock_unpoisoned(&self.agg);
+        match out {
+            Ok((res, _)) => agg.accumulate(&res.stats),
             Err(interrupted) => {
                 agg.accumulate(&interrupted.stats);
                 match interrupted.reason {

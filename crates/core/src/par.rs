@@ -446,7 +446,7 @@ fn knn_commit<G: ParGroups>(
     slots: &[SpecSlot],
     stats: &mut SearchStats,
     ctl: &QueryCtl<'_>,
-) -> Result<TopK, InterruptReason> {
+) -> Result<TopK, (InterruptReason, TopK)> {
     let n = slots.len();
     let mut top = TopK::new(k);
     for (i, slot) in slots.iter().enumerate() {
@@ -455,7 +455,9 @@ fn knn_commit<G: ParGroups>(
             break;
         }
         if let Some(reason) = ctl.interrupted() {
-            return Err(reason);
+            // The partial heap rides along: anytime callers commit it,
+            // exact callers drop it.
+            return Err((reason, top));
         }
         stats.groups_verified += 1;
         let rec = loop {
@@ -501,7 +503,7 @@ fn knn_seq<G: ParGroups>(
     k: usize,
     stats: &mut SearchStats,
     ctl: &QueryCtl<'_>,
-) -> Result<TopK, InterruptReason> {
+) -> Result<TopK, (InterruptReason, TopK)> {
     let n = g.n_groups();
     let mut top = TopK::new(k);
     for i in 0..n {
@@ -510,7 +512,7 @@ fn knn_seq<G: ParGroups>(
             break;
         }
         if let Some(reason) = ctl.interrupted() {
-            return Err(reason);
+            return Err((reason, top));
         }
         stats.groups_verified += 1;
         commit_group(g, i, None, &mut top, stats);
@@ -520,14 +522,18 @@ fn knn_seq<G: ParGroups>(
 
 /// Parallel-capable kNN descent over a bound stream. `workers <= 1`
 /// runs the plain sequential loop; more workers speculate ahead of the
-/// sequential commit, bit-for-bit identically either way.
+/// sequential commit, bit-for-bit identically either way. An
+/// interrupted descent returns the reason *with* the partial top-k
+/// committed so far — only groups the sequential loop would have fully
+/// committed are in it, so the partial heap is exact on everything it
+/// holds (the anytime tier's contract).
 pub(crate) fn knn_descend<G: ParGroups>(
     g: &G,
     k: usize,
     workers: usize,
     stats: &mut SearchStats,
     ctl: &QueryCtl<'_>,
-) -> Result<TopK, InterruptReason> {
+) -> Result<TopK, (InterruptReason, TopK)> {
     let n = g.n_groups();
     // One speculator per group beyond the committer is the most that
     // can ever be useful.

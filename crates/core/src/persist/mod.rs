@@ -50,6 +50,7 @@ use std::path::{Path, PathBuf};
 use les3_bitmap::Bitmap;
 use les3_data::{SetDatabase, SetId, TokenId};
 
+use crate::approx::MinHashIndex;
 use crate::delete::DeletionLog;
 use crate::index::{Les3Index, VerifyOrder};
 use crate::metadata::MetadataIndex;
@@ -194,6 +195,9 @@ pub struct LoadedParts<S: Similarity> {
     /// Present iff the segment is sharded.
     shard_of_group: Option<Vec<u32>>,
     n_shards: u32,
+    /// The MinHash sidecar, present iff the segment carries a SIG
+    /// block (the approximate tier was enabled when it was saved).
+    approx: Option<MinHashIndex>,
 }
 
 /// An index backend that can be saved to and reassembled from a
@@ -223,6 +227,10 @@ pub trait PersistentBackend: Sized {
     /// nowhere). Saving walks tokens one at a time so no second copy of
     /// the matrix is ever resident.
     fn global_column(&self, t: TokenId) -> Bitmap;
+    /// The MinHash sidecar of the approximate tier, if enabled (saved
+    /// as an optional SIG block; inserts replayed from the WAL keep it
+    /// in sync through [`PersistentBackend::insert_set`]).
+    fn approx_sidecar(&self) -> Option<&MinHashIndex>;
     /// Inserts a set (the backend's deterministic §6 placement rule).
     fn insert_set(&mut self, tokens: &mut [TokenId]) -> (SetId, u32);
     /// Routes a deletion through the log to this backend's TGM.
@@ -268,6 +276,10 @@ impl<S: Similarity> PersistentBackend for Les3Index<S> {
             .unwrap_or_default()
     }
 
+    fn approx_sidecar(&self) -> Option<&MinHashIndex> {
+        Les3Index::approx_sidecar(self)
+    }
+
     fn insert_set(&mut self, tokens: &mut [TokenId]) -> (SetId, u32) {
         self.insert(tokens)
     }
@@ -290,13 +302,9 @@ impl<S: Similarity> PersistentBackend for Les3Index<S> {
         let n_groups = parts.partitioning.n_groups();
         let tgm = Tgm::from_columns(n_groups, parts.columns);
         let verify = VerifyOrder::from_sorted_runs(parts.runs);
-        Ok(Les3Index::from_parts(
-            parts.db,
-            parts.partitioning,
-            tgm,
-            parts.sim,
-            verify,
-        ))
+        let mut index = Les3Index::from_parts(parts.db, parts.partitioning, tgm, parts.sim, verify);
+        index.set_approx(parts.approx);
+        Ok(index)
     }
 }
 
@@ -340,6 +348,10 @@ impl<S: Similarity> PersistentBackend for ShardedLes3Index<S> {
             }
         }
         out
+    }
+
+    fn approx_sidecar(&self) -> Option<&MinHashIndex> {
+        ShardedLes3Index::approx_sidecar(self)
     }
 
     fn insert_set(&mut self, tokens: &mut [TokenId]) -> (SetId, u32) {
@@ -402,6 +414,7 @@ impl<S: Similarity> PersistentBackend for ShardedLes3Index<S> {
             shards,
             shard_of_group,
             local_of_group,
+            approx: parts.approx,
         })
     }
 }
@@ -596,6 +609,7 @@ impl<B: PersistentBackend> DurableIndex<B> {
             runs: raw.runs,
             shard_of_group: raw.shard_of_group,
             n_shards: raw.n_shards,
+            approx: raw.approx,
         })?;
         let mut log =
             DeletionLog::build_with_tombstones(backend.db(), backend.partitioning(), &tombstones);

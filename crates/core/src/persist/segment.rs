@@ -22,6 +22,8 @@
 //! | 5 | RUNS    | u32 count, count × (u32 group, u32 n, n × (u32 len, u32 id)), groups ascending |
 //! | 6 | SHARDS  | u32 count, count × u32 shard-of-group (sharded only) |
 //! | 7 | TOMBS   | u32 count, count × u32 deleted set ids, ascending |
+//! | 8 | METADATA | `MetadataIndex::encode` bytes (only when attributes exist) |
+//! | 9 | SIG     | `MinHashIndex::encode` bytes (only when the approximate tier is enabled) |
 //! | 0 | END     | u64 number of preceding blocks |
 //!
 //! Multi-entry sections (ASSIGN/SETS/TGM/RUNS) may span several blocks;
@@ -37,6 +39,7 @@ use les3_data::{SetDatabase, SetId, TokenId};
 
 use super::io::{crc32, PersistIo, WriteSync};
 use super::{PersistError, PersistentBackend};
+use crate::approx::MinHashIndex;
 use crate::metadata::MetadataIndex;
 use crate::partitioning::Partitioning;
 use crate::sim::{distinct_len, Similarity};
@@ -61,6 +64,7 @@ pub(crate) const KIND_RUNS: u32 = 5;
 pub(crate) const KIND_SHARDS: u32 = 6;
 pub(crate) const KIND_TOMBS: u32 = 7;
 pub(crate) const KIND_METADATA: u32 = 8;
+pub(crate) const KIND_SIG: u32 = 9;
 
 fn corrupt(section: &'static str, detail: impl Into<String>) -> PersistError {
     PersistError::Corrupt {
@@ -254,6 +258,14 @@ pub(crate) fn write_segment<B: PersistentBackend>(
         w.write_block(KIND_METADATA, &metadata.encode())?;
     }
 
+    // The MinHash sidecar of the approximate tier travels as an
+    // optional SIG block; absence means the tier was never enabled and
+    // the reopened index answers only exact queries until
+    // `enable_approx` rebuilds it.
+    if let Some(mh) = backend.approx_sidecar() {
+        w.write_block(KIND_SIG, &mh.encode())?;
+    }
+
     w.finish()
 }
 
@@ -275,6 +287,9 @@ pub(crate) struct RawSegment {
     /// Attribute metadata; `None` when the segment has no METADATA block
     /// (attribute-free index or a pre-metadata segment).
     pub(crate) metadata: Option<MetadataIndex>,
+    /// The MinHash sidecar; `None` when the segment has no SIG block
+    /// (the approximate tier was not enabled at save time).
+    pub(crate) approx: Option<MinHashIndex>,
 }
 
 struct Reader<'a> {
@@ -457,6 +472,7 @@ pub(crate) fn read_segment(path: &std::path::Path) -> Result<RawSegment, Persist
     let mut shard_of_group: Option<Vec<u32>> = None;
     let mut tombstones: Option<Vec<SetId>> = None;
     let mut metadata: Option<MetadataIndex> = None;
+    let mut approx: Option<MinHashIndex> = None;
 
     for_each_block(&bytes, |kind, payload| {
         if kind != KIND_META && meta.is_none() {
@@ -627,6 +643,12 @@ pub(crate) fn read_segment(path: &std::path::Path) -> Result<RawSegment, Persist
                         .map_err(|e| corrupt("METADATA", e.to_string()))?,
                 );
             }
+            KIND_SIG => {
+                if approx.is_some() {
+                    return Err(corrupt("SIG", "duplicate SIG block"));
+                }
+                approx = Some(MinHashIndex::decode(payload).map_err(|e| corrupt("SIG", e))?);
+            }
             other => {
                 return Err(corrupt("block", format!("unknown block kind {other}")));
             }
@@ -752,6 +774,15 @@ pub(crate) fn read_segment(path: &std::path::Path) -> Result<RawSegment, Persist
         }
     }
 
+    if let Some(mh) = &approx {
+        if mh.n_sets() != n_sets {
+            return Err(corrupt(
+                "SIG",
+                format!("signatures cover {} of {n_sets} sets", mh.n_sets()),
+            ));
+        }
+    }
+
     Ok(RawSegment {
         epoch: meta.epoch,
         sim_name: meta.sim_name,
@@ -763,5 +794,6 @@ pub(crate) fn read_segment(path: &std::path::Path) -> Result<RawSegment, Persist
         shard_of_group,
         tombstones,
         metadata,
+        approx,
     })
 }

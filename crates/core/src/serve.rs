@@ -65,7 +65,13 @@
 //! | [`ServeError::Cancelled`] | its [`Ticket`] was dropped or [`cancel`](Ticket::cancel)-ed (carries the partial [`SearchStats`]) |
 //!
 //! ([`ServeError::QueryPanicked`] — see *Panic isolation* below — is the
-//! defect path, not an admission outcome.) [`ServeFront::stats`] returns
+//! defect path, not an admission outcome.) One modifier: under
+//! [`ApproxPolicy::Anytime`](crate::ApproxPolicy) (see
+//! [`SubmitOpts::mode`]) the deadline row changes meaning — expiry
+//! *commits* the partial answer as `Ok` (with an approximation verdict
+//! readable through [`Ticket::wait_full`]) instead of rejecting, so an
+//! anytime request only ever fails with `Overloaded` or `Cancelled`.
+//! [`ServeFront::stats`] returns
 //! an aggregate [`SearchStats`] over the front's
 //! lifetime: the work counters sum every query executed (including the
 //! partial work of interrupted ones) and the new `shed` / `expired` /
@@ -143,6 +149,7 @@ use std::time::{Duration, Instant};
 
 use les3_data::TokenId;
 
+use crate::approx::{ApproxInfo, ApproxPolicy};
 use crate::batch::{lock_unpoisoned, PoolHandle, PoolJob, WorkerPool, TASK_QUERIES};
 use crate::ctl::{InterruptReason, Interrupted, QueryCtl};
 use crate::index::{Les3Index, SearchResult};
@@ -281,6 +288,15 @@ pub struct SubmitOpts {
     pub deadline: Option<Instant>,
     /// Full-queue behavior; see [`OnFull`].
     pub on_full: OnFull,
+    /// Approximation policy (default [`ApproxPolicy::Exact`]). Under
+    /// [`ApproxPolicy::Anytime`] the deadline changes meaning: instead
+    /// of rejecting with [`ServeError::DeadlineExceeded`], expiry
+    /// **commits** the partial answer gathered so far (exact
+    /// similarities, coverage-based recall estimate) — so an anytime
+    /// request is never shed for a passed deadline, at submit, at batch
+    /// close, or mid-flight. Read the verdict with
+    /// [`Ticket::wait_full`].
+    pub mode: ApproxPolicy,
 }
 
 /// An index the serving front can execute batches against: the two
@@ -314,6 +330,31 @@ pub trait ServeBackend: Send + Sync + 'static {
         scratch: &mut Self::Scratch,
         ctl: &QueryCtl<'_>,
     ) -> Result<SearchResult, Interrupted>;
+
+    /// [`ServeBackend::serve_knn_ctl`] under an [`ApproxPolicy`]:
+    /// [`ApproxPolicy::Exact`] must be bit-for-bit `serve_knn_ctl`
+    /// (with [`ApproxInfo::EXACT`]); the other modes report their
+    /// approximation verdict alongside the result.
+    fn serve_approx_knn_ctl(
+        &self,
+        intra: usize,
+        query: &[TokenId],
+        k: usize,
+        mode: ApproxPolicy,
+        scratch: &mut Self::Scratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<(SearchResult, ApproxInfo), Interrupted>;
+
+    /// [`ServeBackend::serve_range_ctl`] under an [`ApproxPolicy`].
+    fn serve_approx_range_ctl(
+        &self,
+        intra: usize,
+        query: &[TokenId],
+        delta: f64,
+        mode: ApproxPolicy,
+        scratch: &mut Self::Scratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<(SearchResult, ApproxInfo), Interrupted>;
 
     /// Largest useful intra-query worker count for this backend: the
     /// front clamps its *adaptive* split to this, so lone requests
@@ -368,6 +409,30 @@ impl<S: Similarity> ServeBackend for Les3Index<S> {
         self.range_ctl_on(intra, query, delta, scratch, ctl)
     }
 
+    fn serve_approx_knn_ctl(
+        &self,
+        intra: usize,
+        query: &[TokenId],
+        k: usize,
+        mode: ApproxPolicy,
+        scratch: &mut QueryScratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<(SearchResult, ApproxInfo), Interrupted> {
+        self.knn_approx_ctl_on(intra, query, k, mode, scratch, ctl)
+    }
+
+    fn serve_approx_range_ctl(
+        &self,
+        intra: usize,
+        query: &[TokenId],
+        delta: f64,
+        mode: ApproxPolicy,
+        scratch: &mut QueryScratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<(SearchResult, ApproxInfo), Interrupted> {
+        self.range_approx_ctl_on(intra, query, delta, mode, scratch, ctl)
+    }
+
     fn intra_cap(&self) -> usize {
         crate::par::serve_intra_cap(self.tgm().n_groups())
     }
@@ -396,6 +461,30 @@ impl<S: Similarity> ServeBackend for ShardedLes3Index<S> {
         ctl: &QueryCtl<'_>,
     ) -> Result<SearchResult, Interrupted> {
         self.range_ctl_on(intra, query, delta, scratch, ctl)
+    }
+
+    fn serve_approx_knn_ctl(
+        &self,
+        intra: usize,
+        query: &[TokenId],
+        k: usize,
+        mode: ApproxPolicy,
+        scratch: &mut ShardedScratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<(SearchResult, ApproxInfo), Interrupted> {
+        self.knn_approx_ctl_on(intra, query, k, mode, scratch, ctl)
+    }
+
+    fn serve_approx_range_ctl(
+        &self,
+        intra: usize,
+        query: &[TokenId],
+        delta: f64,
+        mode: ApproxPolicy,
+        scratch: &mut ShardedScratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<(SearchResult, ApproxInfo), Interrupted> {
+        self.range_approx_ctl_on(intra, query, delta, mode, scratch, ctl)
     }
 
     fn intra_cap(&self) -> usize {
@@ -542,6 +631,11 @@ struct Slot {
     /// drop, polled by the dispatcher at batch close and by workers at
     /// every phase/group boundary.
     cancelled: AtomicBool,
+    /// The approximation verdict of a completed request, written (under
+    /// its own lock) strictly before [`Slot::put`] publishes the
+    /// result, so any waiter that observed the result reads it
+    /// consistently. `None` (never written) means exact.
+    info: Mutex<Option<ApproxInfo>>,
     /// `Some` for admitted requests: completing the slot releases their
     /// unit of the bounded queue's capacity.
     front: Option<Arc<FrontShared>>,
@@ -554,6 +648,7 @@ impl Slot {
             cell: Mutex::new(None),
             done: Condvar::new(),
             cancelled: AtomicBool::new(false),
+            info: Mutex::new(None),
             front: Some(front),
         }
     }
@@ -564,8 +659,20 @@ impl Slot {
             cell: Mutex::new(Some(value)),
             done: Condvar::new(),
             cancelled: AtomicBool::new(false),
+            info: Mutex::new(None),
             front: None,
         }
+    }
+
+    /// Records the approximation verdict; must be called before
+    /// [`Slot::put`] (waiters read it only after seeing the result).
+    fn set_info(&self, info: ApproxInfo) {
+        *lock_unpoisoned(&self.info) = Some(info);
+    }
+
+    /// The recorded verdict, [`ApproxInfo::EXACT`] if none was written.
+    fn info(&self) -> ApproxInfo {
+        lock_unpoisoned(&self.info).unwrap_or(ApproxInfo::EXACT)
     }
 
     fn put(&self, value: ServeResult) {
@@ -679,6 +786,35 @@ impl Ticket {
         }
     }
 
+    /// [`Ticket::wait`] plus the approximation verdict: `approx` is
+    /// `false` (estimate 1) for every exact answer — including anytime
+    /// requests that finished in time — and `true` with a recall
+    /// estimate for prefiltered or deadline-committed partial ones.
+    pub fn wait_full(self) -> Result<(SearchResult, ApproxInfo), ServeError> {
+        let result = self.slot.wait();
+        let info = self.slot.info();
+        result.map(|r| (r, info))
+    }
+
+    /// [`Ticket::wait_for`]'s probing twin for [`Ticket::wait_full`]:
+    /// `Ok` with the result + verdict when the request completed in
+    /// time, `Err` handing the live ticket back otherwise.
+    pub fn wait_for_full(
+        self,
+        timeout: Duration,
+    ) -> Result<Result<(SearchResult, ApproxInfo), ServeError>, Ticket> {
+        let Some(deadline) = Instant::now().checked_add(timeout) else {
+            return Ok(self.wait_full());
+        };
+        match self.slot.wait_until(deadline) {
+            Some(result) => {
+                let info = self.slot.info();
+                Ok(result.map(|r| (r, info)))
+            }
+            None => Err(self),
+        }
+    }
+
     /// Whether the request has already completed — a subsequent
     /// [`Ticket::wait`] returns without blocking.
     pub fn is_done(&self) -> bool {
@@ -722,6 +858,7 @@ struct Request {
     kind: QueryKind,
     target: Target,
     deadline: Option<Instant>,
+    mode: ApproxPolicy,
     slot: Arc<Slot>,
 }
 
@@ -744,42 +881,50 @@ impl<B: ServeBackend> BatchJob<B> {
     fn serve_one(&self, worker: usize, req: &Request, scratch: &mut B::Scratch) {
         let ctl = QueryCtl::new(req.deadline, Some(&req.slot.cancelled));
         // Dead on arrival (expired or cancelled while queued): skip the
-        // query entirely — zero stats, zero CPU.
+        // query entirely — zero stats, zero CPU. Exception: an expired
+        // *anytime* request still runs — its contract converts expiry
+        // into a committed partial answer, never a rejection (only
+        // cancellation skips it).
         if let Some(reason) = ctl.interrupted() {
-            self.finish_interrupted(
-                worker,
-                req,
-                Interrupted {
-                    reason,
-                    stats: SearchStats::default(),
-                },
-            );
-            return;
+            if !(req.mode.is_anytime() && reason == InterruptReason::Expired) {
+                self.finish_interrupted(
+                    worker,
+                    req,
+                    Interrupted {
+                        reason,
+                        stats: SearchStats::default(),
+                    },
+                );
+                return;
+            }
         }
         let outcome = catch_unwind(AssertUnwindSafe(|| match (&req.target, &req.kind) {
             (Target::Backend, QueryKind::Knn(k)) => self
                 .backend
-                .serve_knn_ctl(self.intra, &req.query, *k, scratch, &ctl),
+                .serve_approx_knn_ctl(self.intra, &req.query, *k, req.mode, scratch, &ctl),
             (Target::Backend, QueryKind::Range(delta)) => self
                 .backend
-                .serve_range_ctl(self.intra, &req.query, *delta, scratch, &ctl),
+                .serve_approx_range_ctl(self.intra, &req.query, *delta, req.mode, scratch, &ctl),
             (Target::Ns(ns, filters), QueryKind::Knn(k)) => {
-                ns.knn(&req.query, *k, filters, self.intra, &ctl)
+                ns.knn_approx(&req.query, *k, filters, req.mode, self.intra, &ctl)
             }
             (Target::Ns(ns, filters), QueryKind::Range(delta)) => {
-                ns.range(&req.query, *delta, filters, self.intra, &ctl)
+                ns.range_approx(&req.query, *delta, filters, req.mode, self.intra, &ctl)
             }
         }));
         match outcome {
-            Ok(Ok(result)) => {
+            Ok(Ok((result, info))) => {
                 // Namespace queries are accounted in their namespace's
-                // own aggregate (inside `Namespace::knn`/`range`);
-                // recording them here too would double-count in the
-                // global sum `stats() = default route + Σ namespaces`.
+                // own aggregate (inside `Namespace::knn_approx`/
+                // `range_approx`); recording them here too would
+                // double-count in the global sum `stats() = default
+                // route + Σ namespaces`. A deadline-committed anytime
+                // answer lands here as a served query, not `expired`.
                 if matches!(req.target, Target::Backend) {
                     self.shared
                         .note_worker(worker, |agg| agg.accumulate(&result.stats));
                 }
+                req.slot.set_info(info);
                 req.slot.put(Ok(result));
             }
             Ok(Err(interrupted)) => match &req.target {
@@ -1100,7 +1245,16 @@ impl<B: ServeBackend> ServeFront<B> {
         target: Target,
         opts: SubmitOpts,
     ) -> Ticket {
-        if let Err(err) = self.shared.admit(opts.on_full, opts.deadline) {
+        // An anytime request is never deadline-rejected at admission —
+        // expiry commits a partial answer instead — so its deadline is
+        // withheld from the admission gate (it still bounds the query's
+        // execution through the worker's `QueryCtl`).
+        let admit_deadline = if opts.mode.is_anytime() {
+            None
+        } else {
+            opts.deadline
+        };
+        if let Err(err) = self.shared.admit(opts.on_full, admit_deadline) {
             self.shared.note(|agg| match err {
                 ServeError::Overloaded => agg.shed += 1,
                 ServeError::DeadlineExceeded(_) => agg.expired += 1,
@@ -1119,6 +1273,7 @@ impl<B: ServeBackend> ServeFront<B> {
             kind,
             target,
             deadline: opts.deadline,
+            mode: opts.mode,
             slot,
         };
         let tx = self.tx.as_ref().expect("sender lives until drop");
@@ -1198,7 +1353,7 @@ fn dispatcher_loop<B: ServeBackend>(
                     .slot
                     .put(Err(ServeError::Cancelled(SearchStats::default())));
                 false
-            } else if request.deadline.is_some_and(|d| now >= d) {
+            } else if request.deadline.is_some_and(|d| now >= d) && !request.mode.is_anytime() {
                 shed_expired += 1;
                 request
                     .slot

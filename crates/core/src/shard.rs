@@ -72,9 +72,10 @@ use crate::sync::Mutex;
 use les3_bitmap::{Bitmap, DenseBitSet};
 use les3_data::{SetDatabase, SetId, TokenId};
 
+use crate::approx::{ApproxInfo, ApproxParams, ApproxPolicy, MinHashIndex};
 use crate::batch::lock_unpoisoned;
 use crate::ctl::{InterruptReason, Interrupted, QueryCtl};
-use crate::index::{sort_hits, SearchResult, TopK, VerifyOrder};
+use crate::index::{anytime_phase_a_interrupt, sort_hits, SearchResult, TopK, VerifyOrder};
 use crate::metadata::FilterCandidates;
 use crate::par::{self, ParGroups};
 use crate::partitioning::Partitioning;
@@ -181,6 +182,10 @@ pub struct ShardedLes3Index<S: Similarity> {
     pub(crate) shard_of_group: Vec<u32>,
     /// Global group id → shard-local group id.
     pub(crate) local_of_group: Vec<u32>,
+    /// The opt-in MinHash sidecar of the approximate tier. Sets are
+    /// global, so one sidecar serves every shard (candidates become a
+    /// per-set mask split across shards like any filtered query).
+    pub(crate) approx: Option<MinHashIndex>,
 }
 
 impl<S: Similarity> ShardedLes3Index<S> {
@@ -236,6 +241,7 @@ impl<S: Similarity> ShardedLes3Index<S> {
             shards,
             shard_of_group,
             local_of_group,
+            approx: None,
         }
     }
 
@@ -267,6 +273,18 @@ impl<S: Similarity> ShardedLes3Index<S> {
     /// Total index size across all shard matrices (Figure-11 quantity).
     pub fn index_size_in_bytes(&self) -> usize {
         self.shards.iter().map(|s| s.tgm.size_in_bytes()).sum()
+    }
+
+    /// Builds the MinHash sidecar that backs
+    /// [`ApproxPolicy::Prefilter`] queries; the sharded twin of
+    /// [`crate::Les3Index::enable_approx`].
+    pub fn enable_approx(&mut self, params: ApproxParams) {
+        self.approx = Some(MinHashIndex::build(&self.db, params));
+    }
+
+    /// The MinHash sidecar, if the approximate tier is enabled.
+    pub fn approx_sidecar(&self) -> Option<&MinHashIndex> {
+        self.approx.as_ref()
     }
 
     /// Runs shard `s`'s filter pass for `query`: word-parallel overlap
@@ -379,7 +397,7 @@ impl<S: Similarity> ShardedLes3Index<S> {
         cursors: &mut [usize],
         stats: &mut SearchStats,
         ctl: &QueryCtl<'_>,
-    ) -> Result<TopK, InterruptReason> {
+    ) -> Result<TopK, (InterruptReason, TopK)> {
         let n_shards = cursors.len();
         let mut top = TopK::new(k);
         loop {
@@ -410,9 +428,10 @@ impl<S: Similarity> ShardedLes3Index<S> {
                 break;
             }
             // Group boundary: stop before the next verification, not
-            // after the whole descent.
+            // after the whole descent. The partial heap rides along for
+            // the anytime tier (exact callers drop it).
             if let Some(reason) = ctl.interrupted() {
-                return Err(reason);
+                return Err((reason, top));
             }
             cursors[s] += 1;
             stats.groups_verified += 1;
@@ -599,7 +618,7 @@ impl<S: Similarity> ShardedLes3Index<S> {
                     hits: top.into_sorted(),
                     stats,
                 }),
-                Err(reason) => Err(Interrupted { reason, stats }),
+                Err((reason, _)) => Err(Interrupted { reason, stats }),
             };
         }
         self.filter_all(workers, query, q_len, per_shard, filters, &mut stats);
@@ -619,7 +638,7 @@ impl<S: Similarity> ShardedLes3Index<S> {
                 hits: top.into_sorted(),
                 stats,
             }),
-            Err(reason) => Err(Interrupted { reason, stats }),
+            Err((reason, _)) => Err(Interrupted { reason, stats }),
         }
     }
 
@@ -863,7 +882,7 @@ impl<S: Similarity> ShardedLes3Index<S> {
                     hits: top.into_sorted(),
                     stats,
                 }),
-                Err(reason) => Err(Interrupted { reason, stats }),
+                Err((reason, _)) => Err(Interrupted { reason, stats }),
             };
         }
         merge_filter_streams(&filters[..self.shards.len()], merged);
@@ -879,7 +898,7 @@ impl<S: Similarity> ShardedLes3Index<S> {
                 hits: top.into_sorted(),
                 stats,
             }),
-            Err(reason) => Err(Interrupted { reason, stats }),
+            Err((reason, _)) => Err(Interrupted { reason, stats }),
         }
     }
 
@@ -1026,6 +1045,321 @@ impl<S: Similarity> ShardedLes3Index<S> {
             &QueryCtl::NONE,
         )
         .unwrap_or_else(|_| unreachable!("QueryCtl::NONE never interrupts"))
+    }
+
+    /// kNN under an [`ApproxPolicy`]; the sharded twin of
+    /// [`crate::Les3Index::knn_approx_ctl_on`] — same dispatch, same
+    /// fallback rules (a missing sidecar or a saturated candidate set
+    /// routes through the unfiltered exact path, keeping those
+    /// configurations bit-for-bit identical to
+    /// [`ShardedLes3Index::knn_ctl_on`]).
+    pub fn knn_approx_ctl_on(
+        &self,
+        workers: usize,
+        query: &[TokenId],
+        k: usize,
+        policy: ApproxPolicy,
+        scratch: &mut ShardedScratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<(SearchResult, ApproxInfo), Interrupted> {
+        match policy {
+            ApproxPolicy::Exact => self
+                .knn_ctl_on(workers, query, k, scratch, ctl)
+                .map(|r| (r, ApproxInfo::EXACT)),
+            ApproxPolicy::Anytime => self.knn_anytime_ctl_on(workers, query, k, scratch, ctl),
+            ApproxPolicy::Prefilter { bands, rows } => {
+                let Some(cand) = self.prefilter_candidates(query, bands, rows) else {
+                    return self
+                        .knn_ctl_on(workers, query, k, scratch, ctl)
+                        .map(|r| (r, ApproxInfo::EXACT));
+                };
+                let result = self.knn_filtered_ctl_on(workers, query, k, &cand, scratch, ctl)?;
+                let info = self.prefilter_info(&result.hits, bands, rows);
+                Ok((result, info))
+            }
+        }
+    }
+
+    /// Range search under an [`ApproxPolicy`]; the range twin of
+    /// [`ShardedLes3Index::knn_approx_ctl_on`].
+    pub fn range_approx_ctl_on(
+        &self,
+        workers: usize,
+        query: &[TokenId],
+        delta: f64,
+        policy: ApproxPolicy,
+        scratch: &mut ShardedScratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<(SearchResult, ApproxInfo), Interrupted> {
+        match policy {
+            ApproxPolicy::Exact => self
+                .range_ctl_on(workers, query, delta, scratch, ctl)
+                .map(|r| (r, ApproxInfo::EXACT)),
+            ApproxPolicy::Anytime => self.range_anytime_ctl_on(workers, query, delta, scratch, ctl),
+            ApproxPolicy::Prefilter { bands, rows } => {
+                let Some(cand) = self.prefilter_candidates(query, bands, rows) else {
+                    return self
+                        .range_ctl_on(workers, query, delta, scratch, ctl)
+                        .map(|r| (r, ApproxInfo::EXACT));
+                };
+                let result =
+                    self.range_filtered_ctl_on(workers, query, delta, &cand, scratch, ctl)?;
+                let info = self.prefilter_info(&result.hits, bands, rows);
+                Ok((result, info))
+            }
+        }
+    }
+
+    /// The LSH candidate mask of a prefilter query, or `None` for the
+    /// unfiltered exact path — same rules as
+    /// [`crate::Les3Index::knn_approx_ctl_on`]'s helper (no sidecar, or
+    /// a saturated candidate set).
+    fn prefilter_candidates(
+        &self,
+        query: &[TokenId],
+        bands: u32,
+        rows: u32,
+    ) -> Option<FilterCandidates> {
+        let mh = self.approx.as_ref()?;
+        let (bands, rows) = mh.effective(bands, rows);
+        let ids = mh.candidates(query, bands, rows);
+        if ids.len() >= self.db.len() {
+            return None;
+        }
+        Some(FilterCandidates::build(
+            &Bitmap::from_sorted(&ids),
+            &self.partitioning,
+        ))
+    }
+
+    /// The prefilter verdict for a finished result (clamped effective
+    /// parameters feed the banding formula).
+    fn prefilter_info(&self, hits: &[(SetId, f64)], bands: u32, rows: u32) -> ApproxInfo {
+        let (bands, rows) = match &self.approx {
+            Some(mh) => mh.effective(bands, rows),
+            None => (bands, rows),
+        };
+        ApproxInfo {
+            approx: true,
+            recall_est: MinHashIndex::recall_estimate(hits, bands, rows),
+        }
+    }
+
+    /// Anytime kNN across shards: the exact cross-shard descent, but a
+    /// deadline expiry mid-merge **commits** the partial top-k (exact
+    /// similarities, coverage-based recall estimate) instead of
+    /// failing. See [`crate::Les3Index::knn_anytime_ctl_on`].
+    pub fn knn_anytime_ctl_on(
+        &self,
+        workers: usize,
+        query: &[TokenId],
+        k: usize,
+        scratch: &mut ShardedScratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<(SearchResult, ApproxInfo), Interrupted> {
+        let mut stats = SearchStats::default();
+        if k == 0 || self.db.is_empty() {
+            return Ok((
+                SearchResult {
+                    hits: Vec::new(),
+                    stats,
+                },
+                ApproxInfo::EXACT,
+            ));
+        }
+        let query = &*normalize_query(query);
+        scratch.ensure(self.shards.len());
+        let q_len = distinct_len(query);
+        // Every group surfaces in exactly one shard's filter output, so
+        // the coverage denominator is the global group count.
+        let n_considered = self.partitioning.n_groups();
+        let ShardedScratch {
+            per_shard,
+            filters,
+            cursors,
+            merged,
+            ..
+        } = scratch;
+        if workers <= 1 {
+            for s in 0..self.shards.len() {
+                self.filter_shard(s, query, q_len, &mut per_shard[s], &mut filters[s]);
+                stats.columns_checked += filters[s].cols as usize;
+            }
+            if let Some(reason) = ctl.interrupted() {
+                return anytime_phase_a_interrupt(reason, stats);
+            }
+            let filters: &[ShardFilter] = filters;
+            return match self.merge_knn(
+                query,
+                k,
+                q_len,
+                |s| &filters[s],
+                None,
+                cursors,
+                &mut stats,
+                ctl,
+            ) {
+                Ok(top) => Ok((
+                    SearchResult {
+                        hits: top.into_sorted(),
+                        stats,
+                    },
+                    ApproxInfo::EXACT,
+                )),
+                Err((InterruptReason::Cancelled, _)) => Err(Interrupted {
+                    reason: InterruptReason::Cancelled,
+                    stats,
+                }),
+                Err((InterruptReason::Expired, top)) => {
+                    let recall_est = crate::approx::coverage(&stats, n_considered);
+                    Ok((
+                        SearchResult {
+                            hits: top.into_sorted(),
+                            stats,
+                        },
+                        ApproxInfo {
+                            approx: true,
+                            recall_est,
+                        },
+                    ))
+                }
+            };
+        }
+        self.filter_all(workers, query, q_len, per_shard, filters, &mut stats);
+        if let Some(reason) = ctl.interrupted() {
+            return anytime_phase_a_interrupt(reason, stats);
+        }
+        merge_filter_streams(&filters[..self.shards.len()], merged);
+        let groups = MergedGroups {
+            index: self,
+            merged,
+            query,
+            q_len,
+            filter: None,
+        };
+        match par::knn_descend(&groups, k, workers, &mut stats, ctl) {
+            Ok(top) => Ok((
+                SearchResult {
+                    hits: top.into_sorted(),
+                    stats,
+                },
+                ApproxInfo::EXACT,
+            )),
+            Err((InterruptReason::Cancelled, _)) => Err(Interrupted {
+                reason: InterruptReason::Cancelled,
+                stats,
+            }),
+            Err((InterruptReason::Expired, top)) => {
+                let recall_est = crate::approx::coverage(&stats, n_considered);
+                Ok((
+                    SearchResult {
+                        hits: top.into_sorted(),
+                        stats,
+                    },
+                    ApproxInfo {
+                        approx: true,
+                        recall_est,
+                    },
+                ))
+            }
+        }
+    }
+
+    /// Anytime range search across shards: partial hits gathered before
+    /// the deadline are all true hits with exact similarities, so
+    /// expiry commits them. See
+    /// [`crate::Les3Index::range_anytime_ctl_on`].
+    pub fn range_anytime_ctl_on(
+        &self,
+        workers: usize,
+        query: &[TokenId],
+        delta: f64,
+        scratch: &mut ShardedScratch,
+        ctl: &QueryCtl<'_>,
+    ) -> Result<(SearchResult, ApproxInfo), Interrupted> {
+        let mut stats = SearchStats::default();
+        let query = &*normalize_query(query);
+        scratch.ensure(self.shards.len());
+        let q_len = distinct_len(query);
+        let n_considered = self.partitioning.n_groups();
+        let mut hits: Vec<(SetId, f64)> = Vec::new();
+        let ShardedScratch {
+            per_shard,
+            filters,
+            merged,
+            ..
+        } = scratch;
+        if workers <= 1 {
+            // The sequential path interleaves filter and verify per
+            // shard, so earlier shards' hits are already in `hits` when
+            // a later shard expires — they commit with the partial
+            // answer.
+            for s in 0..self.shards.len() {
+                self.filter_shard(s, query, q_len, &mut per_shard[s], &mut filters[s]);
+                stats.columns_checked += filters[s].cols as usize;
+                if let Some(reason) = ctl.interrupted() {
+                    return anytime_range_commit(reason, hits, stats, n_considered);
+                }
+                if let Err(reason) = self.range_shard(
+                    s,
+                    query,
+                    delta,
+                    &filters[s],
+                    None,
+                    &mut hits,
+                    &mut stats,
+                    ctl,
+                ) {
+                    return anytime_range_commit(reason, hits, stats, n_considered);
+                }
+            }
+            sort_hits(&mut hits);
+            return Ok((SearchResult { hits, stats }, ApproxInfo::EXACT));
+        }
+        self.filter_all(workers, query, q_len, per_shard, filters, &mut stats);
+        if let Some(reason) = ctl.interrupted() {
+            return anytime_phase_a_interrupt(reason, stats);
+        }
+        merge_filter_streams(&filters[..self.shards.len()], merged);
+        let groups = MergedGroups {
+            index: self,
+            merged,
+            query,
+            q_len,
+            filter: None,
+        };
+        match par::range_scan(&groups, delta, workers, &mut hits, &mut stats, ctl) {
+            Ok(()) => {
+                sort_hits(&mut hits);
+                Ok((SearchResult { hits, stats }, ApproxInfo::EXACT))
+            }
+            Err(reason) => anytime_range_commit(reason, hits, stats, n_considered),
+        }
+    }
+}
+
+/// Commits an anytime range query's partial hits on expiry (every hit
+/// gathered so far is a true hit carrying its exact similarity);
+/// cancellation interrupts outright.
+fn anytime_range_commit(
+    reason: InterruptReason,
+    mut hits: Vec<(SetId, f64)>,
+    stats: SearchStats,
+    n_considered: usize,
+) -> Result<(SearchResult, ApproxInfo), Interrupted> {
+    match reason {
+        InterruptReason::Cancelled => Err(Interrupted { reason, stats }),
+        InterruptReason::Expired => {
+            sort_hits(&mut hits);
+            let recall_est = crate::approx::coverage(&stats, n_considered);
+            Ok((
+                SearchResult { hits, stats },
+                ApproxInfo {
+                    approx: true,
+                    recall_est,
+                },
+            ))
+        }
     }
 }
 

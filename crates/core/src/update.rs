@@ -84,6 +84,10 @@ impl<S: Similarity> ShardedLes3Index<S> {
         }
         let len = distinct_len(self.db.set(id)) as u32;
         shard.verify.push(l, len, id);
+        if let Some(mh) = &mut self.approx {
+            debug_assert_eq!(mh.n_sets() as u32, id, "sidecar out of sync with db");
+            mh.push(self.db.set(id));
+        }
         (id, g)
     }
 }

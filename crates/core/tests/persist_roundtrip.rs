@@ -16,8 +16,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use les3_core::metadata::{Filter, Filters};
 use les3_core::persist::{save_index_with_meta, DurableIndex, PersistentBackend};
 use les3_core::{
-    Cosine, DeletionLog, Dice, Jaccard, Les3Index, MetadataIndex, OverlapCoefficient, Partitioning,
-    SearchResult, ShardPolicy, ShardedLes3Index, Similarity,
+    ApproxParams, ApproxPolicy, Cosine, DeletionLog, Dice, Jaccard, Les3Index, MetadataIndex,
+    MinHashIndex, OverlapCoefficient, Partitioning, QueryCtl, QueryScratch, SearchResult,
+    ShardPolicy, ShardedLes3Index, ShardedScratch, Similarity,
 };
 use les3_data::SetDatabase;
 use proptest::prelude::*;
@@ -41,7 +42,15 @@ trait TestBackend: PersistentBackend {
     fn range_q(&self, q: &[u32], delta: f64) -> SearchResult;
     fn attr_knn_q(&self, q: &[u32], k: usize, meta: &MetadataIndex) -> SearchResult;
     fn build_log(&self) -> DeletionLog;
+    fn enable_sidecar(&mut self, params: ApproxParams);
+    fn sidecar(&self) -> Option<&MinHashIndex>;
+    fn prefilter_knn_q(&self, q: &[u32], k: usize) -> (SearchResult, les3_core::ApproxInfo);
 }
+
+/// A prefilter shape that exercises the sidecar without saturating on
+/// these tiny corpora: one row per band keeps per-set inclusion odds
+/// well under 1 for most pairs.
+const SIDECAR_POLICY: ApproxPolicy = ApproxPolicy::Prefilter { bands: 0, rows: 1 };
 
 /// The fixed attribute predicate every round-trip answers under (only
 /// `InsertAttrs` ops with `code % 3 == 0` match it).
@@ -68,6 +77,17 @@ impl<S: Similarity> TestBackend for Les3Index<S> {
     fn build_log(&self) -> DeletionLog {
         DeletionLog::build(self)
     }
+    fn enable_sidecar(&mut self, params: ApproxParams) {
+        self.enable_approx(params);
+    }
+    fn sidecar(&self) -> Option<&MinHashIndex> {
+        self.approx_sidecar()
+    }
+    fn prefilter_knn_q(&self, q: &[u32], k: usize) -> (SearchResult, les3_core::ApproxInfo) {
+        let mut scratch = QueryScratch::new();
+        self.knn_approx_ctl_on(1, q, k, SIDECAR_POLICY, &mut scratch, &QueryCtl::NONE)
+            .expect("QueryCtl::NONE never interrupts")
+    }
 }
 
 impl<S: Similarity> TestBackend for ShardedLes3Index<S> {
@@ -85,6 +105,17 @@ impl<S: Similarity> TestBackend for ShardedLes3Index<S> {
     }
     fn build_log(&self) -> DeletionLog {
         DeletionLog::build_sharded(self)
+    }
+    fn enable_sidecar(&mut self, params: ApproxParams) {
+        self.enable_approx(params);
+    }
+    fn sidecar(&self) -> Option<&MinHashIndex> {
+        self.approx_sidecar()
+    }
+    fn prefilter_knn_q(&self, q: &[u32], k: usize) -> (SearchResult, les3_core::ApproxInfo) {
+        let mut scratch = ShardedScratch::new();
+        self.knn_approx_ctl_on(1, q, k, SIDECAR_POLICY, &mut scratch, &QueryCtl::NONE)
+            .expect("QueryCtl::NONE never interrupts")
     }
 }
 
@@ -261,6 +292,74 @@ fn check_measure<S: Similarity>(
     check_roundtrip(build(), build(), ops, queries, k, delta, "rt-shard");
 }
 
+/// Like [`check_roundtrip`], with the MinHash sidecar enabled: the
+/// reopened signatures must be bit-for-bit the live ones (the SIG
+/// segment block plus WAL replay reproduce every incremental push),
+/// both must equal a cold rebuild over the final database, and
+/// prefiltered queries must answer identically after reload.
+fn check_sidecar_roundtrip<B: TestBackend>(
+    mut live: B,
+    mut copy: B,
+    ops: &[Op],
+    queries: &[Vec<u32>],
+    k: usize,
+    params: ApproxParams,
+    tag: &str,
+) {
+    live.enable_sidecar(params);
+    copy.enable_sidecar(params);
+    let dir = fresh_dir(tag);
+    let mut live_log = live.build_log();
+    let mut durable = DurableIndex::create(&dir, copy).unwrap();
+    let halfway = ops.len() / 2;
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Insert(tokens) | Op::InsertAttrs(tokens, _) => {
+                let (live_id, _) = live.insert_set(&mut tokens.clone());
+                B::note_insert(&mut live_log, &live, live_id);
+                durable.insert(&mut tokens.clone()).unwrap();
+            }
+            Op::Delete(pick) => {
+                let id = pick % live.db().len() as u32;
+                let live_ok = B::delete_set(&mut live_log, &mut live, id);
+                assert_eq!(durable.delete(id).unwrap(), live_ok, "delete diverged");
+            }
+        }
+        if i + 1 == halfway {
+            durable.checkpoint().unwrap();
+        }
+    }
+    let sim = live.sim();
+    drop(durable);
+
+    let reopened = DurableIndex::<B>::open(&dir, sim).unwrap();
+    let live_sig = live.sidecar().expect("sidecar enabled on the live index");
+    assert_eq!(
+        reopened.backend().sidecar(),
+        Some(live_sig),
+        "sidecar diverged after reload"
+    );
+    // Incremental pushes must land exactly where a cold rebuild over the
+    // final corpus does (deletes are logical, so tombstoned sets keep
+    // their signatures and the rebuild sees them too).
+    assert_eq!(
+        &MinHashIndex::build(live.db(), params),
+        live_sig,
+        "incremental sidecar diverged from a cold rebuild"
+    );
+    for q in queries {
+        let (a, ai) = reopened.backend().prefilter_knn_q(q, k);
+        let (b, bi) = live.prefilter_knn_q(q, k);
+        assert_eq!(a.hits, b.hits, "prefiltered kNN hits diverged after reload");
+        assert_eq!(
+            a.stats, b.stats,
+            "prefiltered kNN stats diverged after reload"
+        );
+        assert_eq!(ai, bi, "prefilter verdict diverged after reload");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 fn pseudo_partitioning(n_sets: usize, n_groups: usize, seed: u64) -> Partitioning {
     let assignment: Vec<u32> = (0..n_sets)
         .map(|i| {
@@ -294,6 +393,44 @@ proptest! {
         check_measure(&db, &part, Dice, n_shards, &ops, &queries, k, delta);
         check_measure(&db, &part, Cosine, n_shards, &ops, &queries, k, delta);
         check_measure(&db, &part, OverlapCoefficient, n_shards, &ops, &queries, k, delta);
+    }
+
+    #[test]
+    fn sidecar_signatures_roundtrip_bit_for_bit(
+        db in db_strategy(),
+        ops in ops_strategy(),
+        query in prop::collection::btree_set(0u32..110, 1..12),
+        k in 1usize..8,
+        n_groups in 1usize..8,
+        n_shards in 1usize..4,
+        seed in 0u64..500,
+        bands in 1u32..5,
+        rows in 1u32..4,
+    ) {
+        let part = pseudo_partitioning(db.len(), n_groups, seed);
+        let params = ApproxParams { bands, rows, seed: seed ^ 0x51_67 };
+        let mut queries: Vec<Vec<u32>> = vec![query.into_iter().collect()];
+        queries.push(db.set(0).to_vec());
+        queries.push(db.set((db.len() / 2) as u32).to_vec());
+        check_sidecar_roundtrip(
+            Les3Index::build(db.clone(), part.clone(), Jaccard),
+            Les3Index::build(db.clone(), part.clone(), Jaccard),
+            &ops,
+            &queries,
+            k,
+            params,
+            "rt-sig-flat",
+        );
+        let build = || {
+            ShardedLes3Index::build(
+                db.clone(),
+                part.clone(),
+                Jaccard,
+                n_shards,
+                ShardPolicy::Contiguous,
+            )
+        };
+        check_sidecar_roundtrip(build(), build(), &ops, &queries, k, params, "rt-sig-shard");
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::time::{Duration, Instant};
 
 use les3_core::serve::{OnFull, ServeConfig, ServeError, ServeFront, SubmitOpts, Ticket};
 use les3_core::sim::Jaccard;
+use les3_core::{ApproxInfo, ApproxPolicy};
 use les3_core::{
     Les3Index, Partitioning, SearchResult, SearchStats, ServeBackend, ShardPolicy,
     ShardedLes3Index, Similarity,
@@ -255,7 +256,8 @@ fn lone_request_completes_on_the_deadline_not_the_batch() {
 #[derive(Debug, Clone, Copy, Default)]
 struct GatedSim<const ID: usize>(Jaccard);
 
-static GATES: [AtomicBool; 3] = [
+static GATES: [AtomicBool; 4] = [
+    AtomicBool::new(false),
     AtomicBool::new(false),
     AtomicBool::new(false),
     AtomicBool::new(false),
@@ -386,6 +388,128 @@ fn cancelled_and_dropped_tickets_skip_queued_work() {
     assert_eq!(front.stats().cancelled, 2);
 }
 
+/// Anytime admission: a request whose deadline has already passed is
+/// **served** — a committed (possibly empty) partial answer with a
+/// recall estimate in `[0, 1]` — where the exact path 504s. Committed
+/// anytime answers count as served, never as expired.
+#[test]
+fn anytime_expired_deadline_commits_partial_instead_of_504() {
+    let db = ZipfianGenerator::new(150, 100, 5.0, 1.1).generate(9);
+    let index = Les3Index::build(db, Partitioning::round_robin(150, 6), Jaccard);
+    let front = ServeFront::new(
+        index,
+        ServeConfig {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let q = front.backend().db().set(5).to_vec();
+    let expired = Instant::now()
+        .checked_sub(Duration::from_millis(1))
+        .unwrap_or_else(Instant::now);
+    std::thread::sleep(Duration::from_millis(2)); // strictly past either way
+
+    let t = front.submit_knn_opts(
+        q.clone(),
+        4,
+        SubmitOpts {
+            deadline: Some(expired),
+            mode: ApproxPolicy::Anytime,
+            ..Default::default()
+        },
+    );
+    let (result, info) = t.wait_full().expect("anytime must commit, not expire");
+    assert!(
+        (0.0..=1.0).contains(&info.recall_est),
+        "recall_est {} outside [0, 1]",
+        info.recall_est
+    );
+    // Whatever was committed is exact: every hit carries the direct
+    // call's similarity for that id.
+    let full = front.backend().knn(&q, front.backend().db().len());
+    for &(id, sim) in &result.hits {
+        let want = full
+            .hits
+            .iter()
+            .find(|&&(fid, _)| fid == id)
+            .expect("committed hit must be a real set");
+        assert_eq!(sim.to_bits(), want.1.to_bits(), "hit {id} not exact");
+    }
+    let t = front.submit_range_opts(
+        q.clone(),
+        0.3,
+        SubmitOpts {
+            deadline: Some(expired),
+            mode: ApproxPolicy::Anytime,
+            ..Default::default()
+        },
+    );
+    assert!(
+        t.wait_full().is_ok(),
+        "anytime range must commit, not expire"
+    );
+    assert_eq!(
+        front.stats().expired,
+        0,
+        "committed anytime answers are served, not expired"
+    );
+
+    // A generous deadline completes exactly: exact verdict, exact bits.
+    let t = front.submit_knn_opts(
+        q.clone(),
+        4,
+        SubmitOpts {
+            deadline: Some(Instant::now() + Duration::from_secs(60)),
+            mode: ApproxPolicy::Anytime,
+            ..Default::default()
+        },
+    );
+    let (result, info) = t.wait_full().expect("in-time anytime completes");
+    assert_eq!(info, ApproxInfo::EXACT);
+    assert_eq!(result, front.backend().knn(&q, 4));
+
+    // The exact path with the same expired deadline still 504s.
+    let t = front.submit_knn_opts(
+        q,
+        4,
+        SubmitOpts {
+            deadline: Some(expired),
+            ..Default::default()
+        },
+    );
+    assert!(matches!(t.wait(), Err(ServeError::DeadlineExceeded(_))));
+    assert_eq!(front.stats().expired, 1);
+}
+
+/// Cancellation outranks the anytime commitment: a cancelled in-flight
+/// anytime request resolves to `Cancelled` — a cancelled caller wants
+/// no answer at all, so nothing is committed for it.
+#[test]
+fn cancellation_mid_anytime_interrupts_instead_of_committing() {
+    let front = gated_front::<3>(usize::MAX);
+    let q = front.backend().db().set(9).to_vec();
+    let t = front.submit_knn_opts(
+        q,
+        4,
+        SubmitOpts {
+            deadline: Some(Instant::now() + Duration::from_secs(60)),
+            mode: ApproxPolicy::Anytime,
+            ..Default::default()
+        },
+    );
+    // Let the worker pick the query up and block in the gated filter,
+    // then cancel it mid-flight.
+    std::thread::sleep(Duration::from_millis(100));
+    t.cancel();
+    GATES[3].store(true, Ordering::Release);
+    match t.wait() {
+        Err(ServeError::Cancelled(_)) => {}
+        other => panic!("cancelled anytime request must not commit: {other:?}"),
+    }
+}
+
 /// A deliberately slow measure (no gate — just drag) for the overload
 /// proptest: every filter-bound evaluation costs ~30 µs, so queries
 /// take long enough that a capacity-1 queue actually overloads.
@@ -476,6 +600,7 @@ proptest! {
                     _ => Some(Instant::now() + Duration::from_secs(60)),
                 },
                 on_full: if i % 2 == 0 { OnFull::Shed } else { OnFull::Wait },
+                ..Default::default()
             };
             let t = front.submit_knn_opts(q.clone(), 3, opts);
             if i % 5 == 4 {

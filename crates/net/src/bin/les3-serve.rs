@@ -31,8 +31,8 @@ use std::time::Duration;
 use les3_core::persist::{read_meta, save_index};
 use les3_core::sim::Jaccard;
 use les3_core::{
-    DurableIndex, Les3Index, NamespaceSpec, Partitioning, PersistentBackend, ServeBackend,
-    ServeConfig, ServeFront, ShardPolicy, ShardedLes3Index,
+    ApproxParams, DurableIndex, Les3Index, NamespaceSpec, Partitioning, PersistentBackend,
+    ServeBackend, ServeConfig, ServeFront, ShardPolicy, ShardedLes3Index,
 };
 use les3_data::zipfian::ZipfianGenerator;
 use les3_data::SetDatabase;
@@ -60,6 +60,9 @@ Serving front (admission control):
 Index:
     --shards N             shard the group axis N ways; 0 = flat index [default: 0]
     --groups N             partitioning groups [default: max(16, sets/80)]
+    --approx BxR           build a MinHash sidecar (B bands x R rows, each >= 1)
+                           backing \"mode\":\"prefilter\" queries (docs/APPROX.md);
+                           without it, prefilter requests answer exactly
 
 Dataset (synthetic unless --load):
     --sets N               number of sets      [default: 10000]
@@ -94,6 +97,7 @@ struct Args {
     intra_workers: usize,
     shards: usize,
     groups: Option<usize>,
+    approx: Option<ApproxParams>,
     sets: usize,
     universe: u32,
     avg_size: f64,
@@ -118,6 +122,7 @@ impl Default for Args {
             intra_workers: 0,
             shards: 0,
             groups: None,
+            approx: None,
             sets: 10_000,
             universe: 2_000,
             avg_size: 12.0,
@@ -168,6 +173,24 @@ fn parse_args() -> Args {
             }
             "--shards" => args.shards = parse(value(&mut it, "--shards"), "--shards"),
             "--groups" => args.groups = Some(parse(value(&mut it, "--groups"), "--groups")),
+            "--approx" => {
+                let raw = value(&mut it, "--approx");
+                let Some((b, r)) = raw.split_once(['x', 'X']) else {
+                    die(&format!(
+                        "--approx wants BANDSxROWS (e.g. 16x2), got {raw:?}"
+                    ));
+                };
+                let bands: u32 = parse(b.to_string(), "--approx");
+                let rows: u32 = parse(r.to_string(), "--approx");
+                if bands == 0 || rows == 0 {
+                    die(&format!("--approx needs bands and rows >= 1, got {raw:?}"));
+                }
+                args.approx = Some(ApproxParams {
+                    bands,
+                    rows,
+                    ..ApproxParams::default()
+                });
+            }
             "--sets" => args.sets = parse(value(&mut it, "--sets"), "--sets"),
             "--universe" => args.universe = parse(value(&mut it, "--universe"), "--universe"),
             "--avg-size" => args.avg_size = parse(value(&mut it, "--avg-size"), "--avg-size"),
@@ -374,12 +397,18 @@ fn main() {
         if meta.n_shards > 0 {
             let durable = DurableIndex::<ShardedLes3Index<Jaccard>>::open(dir_path, Jaccard)
                 .unwrap_or_else(|e| die(&format!("cannot load index from {dir:?}: {e}")));
-            let (backend, log) = durable.into_backend();
+            let (mut backend, log) = durable.into_backend();
+            if let Some(params) = args.approx {
+                backend.enable_approx(params);
+            }
             serve_index(backend, log.deleted_ids(), config, &args)
         } else {
             let durable = DurableIndex::<Les3Index<Jaccard>>::open(dir_path, Jaccard)
                 .unwrap_or_else(|e| die(&format!("cannot load index from {dir:?}: {e}")));
-            let (backend, log) = durable.into_backend();
+            let (mut backend, log) = durable.into_backend();
+            if let Some(params) = args.approx {
+                backend.enable_approx(params);
+            }
             serve_index(backend, log.deleted_ids(), config, &args)
         }
     }
@@ -413,16 +442,22 @@ fn main() {
         args.queue_capacity,
     );
     if args.shards >= 1 {
-        let index = ShardedLes3Index::build(
+        let mut index = ShardedLes3Index::build(
             db,
             partitioning,
             Jaccard,
             args.shards,
             ShardPolicy::Contiguous,
         );
+        if let Some(params) = args.approx {
+            index.enable_approx(params);
+        }
         serve_index(index, Vec::new(), config, &args)
     } else {
-        let index = Les3Index::build(db, partitioning, Jaccard);
+        let mut index = Les3Index::build(db, partitioning, Jaccard);
+        if let Some(params) = args.approx {
+            index.enable_approx(params);
+        }
         serve_index(index, Vec::new(), config, &args)
     }
 }

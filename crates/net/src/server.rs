@@ -10,13 +10,13 @@
 //!                                             │  decode body (wire.rs)
 //!                                             ▼
 //!                                        ServeFront::submit_*_opts
-//!                                             │  Ticket::wait_for probe loop
+//!                                             │  Ticket::wait_for_full probe loop
 //!                                             ▼
 //!                                        HTTP response (status mapping below)
 //! ```
 //!
 //! Each admitted request becomes one [`Ticket`]; the connection worker
-//! alternates short [`Ticket::wait_for`] waits with a **connection
+//! alternates short [`Ticket::wait_for_full`] waits with a **connection
 //! probe** (a non-blocking `peek`), so a client that disconnects
 //! mid-query gets its
 //! ticket dropped — which cancels the request, stopping queued work
@@ -27,7 +27,7 @@
 //!
 //! | serving outcome | HTTP response |
 //! |---|---|
-//! | `Ok(SearchResult)` | `200` + `{"hits":..., "stats":...}` |
+//! | `Ok(SearchResult)` | `200` + `{"hits":..., "stats":...}` (+ `"approx"`, `"recall_est"` when the request asked for a non-exact `"mode"`) |
 //! | [`ServeError::Overloaded`] | `503` + `Retry-After` (no partial stats — the query never ran) |
 //! | [`ServeError::DeadlineExceeded`] | `504` + partial `stats` |
 //! | [`ServeError::Cancelled`] | `499` + partial `stats` (normally unobservable: the client is gone) |
@@ -62,7 +62,9 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use les3_core::{NamespaceError, OnFull, ServeBackend, ServeError, ServeFront, SubmitOpts, Ticket};
+use les3_core::{
+    ApproxPolicy, NamespaceError, OnFull, ServeBackend, ServeError, ServeFront, SubmitOpts, Ticket,
+};
 
 use crate::http::{
     find_head_end, parse_head, response_bytes, HttpRejection, RequestHead, MAX_HEAD_BYTES,
@@ -809,9 +811,14 @@ fn serve_query<B: ServeBackend>(
     let deadline = query
         .timeout_ms
         .and_then(|ms| Instant::now().checked_add(Duration::from_millis(ms)));
+    // Non-exact requests carry the verdict ("approx"/"recall_est") in
+    // their 200 envelope; exact responses stay byte-identical to the
+    // pre-approx schema.
+    let verdict_fields = query.mode != ApproxPolicy::Exact;
     let opts = SubmitOpts {
         deadline,
         on_full: OnFull::Shed,
+        mode: query.mode,
     };
     let mut ticket: Ticket = match (ns, query.param) {
         (None, QueryParam::Knn(k)) => front.submit_knn_opts(query.query, k, opts),
@@ -824,7 +831,7 @@ fn serve_query<B: ServeBackend>(
         }
     };
     let outcome = loop {
-        match ticket.wait_for(config.probe_interval) {
+        match ticket.wait_for_full(config.probe_interval) {
             Ok(outcome) => break outcome,
             Err(live) => {
                 if peer_gone(stream) {
@@ -840,7 +847,14 @@ fn serve_query<B: ServeBackend>(
         }
     };
     let (status, body, extra): (u16, String, Vec<(&str, String)>) = match outcome {
-        Ok(result) => (200, wire::encode_result(&result).to_string(), vec![]),
+        Ok((result, info)) => {
+            let body = if verdict_fields {
+                wire::encode_result_approx(&result, &info)
+            } else {
+                wire::encode_result(&result)
+            };
+            (200, body.to_string(), vec![])
+        }
         Err(ServeError::Overloaded) => (
             503,
             wire::encode_error(

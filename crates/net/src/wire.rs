@@ -23,7 +23,10 @@
 //! ```
 
 use les3_core::metadata::{MAX_ATTRS_PER_SET, MAX_ATTR_STR, MAX_FILTER_DEPTH};
-use les3_core::{Filter, Filters, NamespaceInfo, NamespaceSpec, SearchResult, SearchStats};
+use les3_core::{
+    ApproxInfo, ApproxPolicy, Filter, Filters, NamespaceInfo, NamespaceSpec, SearchResult,
+    SearchStats,
+};
 use les3_data::TokenId;
 
 use crate::json::Json;
@@ -43,6 +46,11 @@ pub struct ApiQuery {
     /// unfiltered). The default `/knn`/`/range` routes reject a
     /// non-empty value — there is no metadata to filter on.
     pub filters: Filters,
+    /// The optional `"mode"` field (`"exact"`, `"prefilter"`,
+    /// `"anytime"`); absent means exact. Prefilter reads the optional
+    /// `"bands"`/`"rows"` sibling integers (omitted → the sidecar's
+    /// built shape).
+    pub mode: ApproxPolicy,
 }
 
 /// The query-type-specific parameter.
@@ -103,6 +111,47 @@ fn parse_common(body: &[u8]) -> Result<(Json, Vec<TokenId>, Option<u64>), Schema
     Ok((value, query, timeout_ms))
 }
 
+/// Decodes a body's optional `"mode"` field into an [`ApproxPolicy`].
+/// Absent or `null` means [`ApproxPolicy::Exact`]. `"prefilter"` reads
+/// the optional sibling integers `"bands"` (0 or omitted → all built
+/// bands) and `"rows"` (omitted → the sidecar's built rows; an explicit
+/// 0 saturates the filter, which routes through the exact path).
+fn decode_mode_field(value: &Json) -> Result<ApproxPolicy, SchemaError> {
+    let mode = match value.get("mode") {
+        None | Some(Json::Null) => return Ok(ApproxPolicy::Exact),
+        Some(m) => m
+            .as_str()
+            .ok_or_else(|| SchemaError("\"mode\" must be a string".to_string()))?,
+    };
+    match mode {
+        "exact" => Ok(ApproxPolicy::Exact),
+        "anytime" => Ok(ApproxPolicy::Anytime),
+        "prefilter" => {
+            let knob = |field: &str, default: u32| -> Result<u32, SchemaError> {
+                match value.get(field) {
+                    None | Some(Json::Null) => Ok(default),
+                    Some(n) => n
+                        .as_u64()
+                        .filter(|&n| n <= u64::from(u32::MAX))
+                        .map(|n| n as u32)
+                        .ok_or_else(|| {
+                            SchemaError(format!("{field:?} must be an integer in 0..2^32"))
+                        }),
+                }
+            };
+            Ok(ApproxPolicy::Prefilter {
+                bands: knob("bands", 0)?,
+                // u32::MAX clamps to the sidecar's built rows; an
+                // explicit 0 is kept (it saturates the filter).
+                rows: knob("rows", u32::MAX)?,
+            })
+        }
+        other => Err(SchemaError(format!(
+            "unknown mode {other:?} (expected \"exact\", \"prefilter\" or \"anytime\")"
+        ))),
+    }
+}
+
 /// Parses `body` as UTF-8 JSON and requires the top level to be an
 /// object — the common first step of every request decoder.
 fn parse_object(body: &[u8]) -> Result<Json, SchemaError> {
@@ -142,6 +191,7 @@ pub fn decode_knn(body: &[u8]) -> Result<ApiQuery, SchemaError> {
         param: QueryParam::Knn(k as usize),
         timeout_ms,
         filters: decode_filters_field(&value)?,
+        mode: decode_mode_field(&value)?,
     })
 }
 
@@ -168,6 +218,7 @@ pub fn decode_range(body: &[u8]) -> Result<ApiQuery, SchemaError> {
         param: QueryParam::Range(delta),
         timeout_ms,
         filters: decode_filters_field(&value)?,
+        mode: decode_mode_field(&value)?,
     })
 }
 
@@ -513,6 +564,31 @@ pub fn encode_result(result: &SearchResult) -> Json {
         ("hits".into(), Json::Arr(hits)),
         ("stats".into(), encode_stats(&result.stats)),
     ])
+}
+
+/// [`encode_result`] plus the approximation verdict: the envelope gains
+/// `"approx"` and `"recall_est"`. Served only to requests that asked
+/// for a non-exact `"mode"` — exact responses stay byte-identical to
+/// what they were before the approximate tier existed.
+pub fn encode_result_approx(result: &SearchResult, info: &ApproxInfo) -> Json {
+    let Json::Obj(mut members) = encode_result(result) else {
+        unreachable!("encode_result always returns an object");
+    };
+    members.push(("approx".into(), Json::Bool(info.approx)));
+    members.push(("recall_est".into(), Json::from(info.recall_est)));
+    Json::Obj(members)
+}
+
+/// Decodes the `"approx"`/`"recall_est"` pair out of a `200` body, if
+/// present ([`encode_result_approx`]'s inverse; exact responses carry
+/// neither field and decode to `None`).
+pub fn decode_approx(value: &Json) -> Option<ApproxInfo> {
+    let approx = match value.get("approx")? {
+        Json::Bool(b) => *b,
+        _ => return None,
+    };
+    let recall_est = value.get("recall_est")?.as_f64()?;
+    Some(ApproxInfo { approx, recall_est })
 }
 
 /// Decodes a `200` body back into a [`SearchResult`]

@@ -346,6 +346,122 @@ fn expired_timeout_maps_to_504_with_stats() {
     server.shutdown();
 }
 
+/// The anytime tier over the wire: `"mode":"anytime"` with
+/// `timeout_ms: 0` answers `200` with a committed partial result and
+/// the `"approx"`/`"recall_est"` envelope fields, where the exact path
+/// (no `"mode"`) still maps the same deadline to `504`.
+#[test]
+fn anytime_mode_commits_with_200_where_exact_504s() {
+    let (server, addr) = start_server(flat_index(6), fast_config());
+    let db = test_db(6);
+    let query: Vec<Json> = db
+        .set(1)
+        .iter()
+        .map(|&t| Json::from(u64::from(t)))
+        .collect();
+    let body = Json::Obj(vec![
+        ("query".to_string(), Json::Arr(query.clone())),
+        ("k".to_string(), Json::from(4u64)),
+        ("timeout_ms".to_string(), Json::from(0u64)),
+        ("mode".to_string(), Json::from("anytime")),
+    ]);
+    let mut client = Client::connect(&addr);
+    let response = client.request("POST", "/knn", Some(&body.to_string()));
+    assert_eq!(response.status, 200, "{}", response.body);
+    let json = response.json();
+    let result = wire::decode_result(&json).expect("200 body decodes");
+    let info = wire::decode_approx(&json).expect("anytime carries the verdict fields");
+    assert!(
+        (0.0..=1.0).contains(&info.recall_est),
+        "recall_est {} outside [0, 1]",
+        info.recall_est
+    );
+    // Whatever was committed is exact for those ids.
+    let flat = flat_index(6);
+    let full = flat.knn(db.set(1), db.len());
+    for &(id, sim) in &result.hits {
+        let want = full.hits.iter().find(|&&(fid, _)| fid == id).unwrap();
+        assert_eq!(sim.to_bits(), want.1.to_bits(), "hit {id} not exact");
+    }
+    assert_eq!(
+        stats_field(&addr, "expired"),
+        0,
+        "a committed anytime answer is served, not expired"
+    );
+
+    // The exact path with the same deadline still expires.
+    let body = Json::Obj(vec![
+        ("query".to_string(), Json::Arr(query)),
+        ("k".to_string(), Json::from(4u64)),
+        ("timeout_ms".to_string(), Json::from(0u64)),
+    ]);
+    let response = client.request("POST", "/knn", Some(&body.to_string()));
+    assert_eq!(response.status, 504, "{}", response.body);
+    assert!(
+        response.json().get("approx").is_none(),
+        "504 has no verdict"
+    );
+    server.shutdown();
+}
+
+/// The prefilter tier over the wire, against a sidecar-enabled index:
+/// `200` with `"approx": true`, a probability `"recall_est"`, and only
+/// exact similarities; an unknown `"mode"` is a schema error; exact
+/// responses carry no verdict fields (byte-compat with old clients).
+#[test]
+fn prefilter_mode_reports_verdict_and_exact_bits() {
+    let mut index = flat_index(8);
+    index.enable_approx(les3_core::ApproxParams::default());
+    let reference = index.clone();
+    let (server, addr) = start_server(index, fast_config());
+    let db = test_db(8);
+    let mut client = Client::connect(&addr);
+
+    let query: Vec<Json> = db
+        .set(3)
+        .iter()
+        .map(|&t| Json::from(u64::from(t)))
+        .collect();
+    let body = Json::Obj(vec![
+        ("query".to_string(), Json::Arr(query.clone())),
+        ("k".to_string(), Json::from(5u64)),
+        ("mode".to_string(), Json::from("prefilter")),
+        ("bands".to_string(), Json::from(4u64)),
+        ("rows".to_string(), Json::from(2u64)),
+    ]);
+    let response = client.request("POST", "/knn", Some(&body.to_string()));
+    assert_eq!(response.status, 200, "{}", response.body);
+    let json = response.json();
+    let result = wire::decode_result(&json).expect("200 body decodes");
+    let info = wire::decode_approx(&json).expect("prefilter carries the verdict fields");
+    assert!((0.0..=1.0).contains(&info.recall_est));
+    let full = reference.knn(db.set(3), db.len());
+    for &(id, sim) in &result.hits {
+        let want = full.hits.iter().find(|&&(fid, _)| fid == id).unwrap();
+        assert_eq!(sim.to_bits(), want.1.to_bits(), "hit {id} not exact");
+    }
+
+    // No "mode" → the envelope stays exactly the pre-approx schema.
+    let body = Json::Obj(vec![
+        ("query".to_string(), Json::Arr(query.clone())),
+        ("k".to_string(), Json::from(5u64)),
+    ]);
+    let response = client.request("POST", "/knn", Some(&body.to_string()));
+    assert_eq!(response.status, 200);
+    assert!(response.json().get("approx").is_none());
+    assert!(response.json().get("recall_est").is_none());
+
+    // An unknown mode is a schema violation.
+    let body = Json::Obj(vec![
+        ("query".to_string(), Json::Arr(query)),
+        ("k".to_string(), Json::from(5u64)),
+        ("mode".to_string(), Json::from("psychic")),
+    ]);
+    let response = client.request("POST", "/knn", Some(&body.to_string()));
+    assert_eq!(response.status, 400, "{}", response.body);
+    server.shutdown();
+}
+
 #[test]
 fn client_disconnect_cancels_the_query() {
     // A long batching window keeps the request queued; the client

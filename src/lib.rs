@@ -65,12 +65,12 @@ pub use les3_storage as storage;
 pub mod prelude {
     pub use les3_baselines::{BruteForce, DualTrans, InvIdx, ScalarTrans, SetSimSearch};
     pub use les3_core::{
-        normalize_query, Cosine, DeletionLog, Dice, DiskLes3, DurableIndex, DurableOptions,
-        FsyncPolicy, HierarchicalPartitioning, Htgm, InterruptReason, Interrupted, Jaccard,
-        Les3Index, OnFull, OverlapCoefficient, Partitioning, PersistError, PersistentBackend,
-        QueryCtl, QueryScratch, SearchResult, SearchStats, ServeBackend, ServeConfig, ServeError,
-        ServeFront, ServeResult, ShardPolicy, ShardedLes3Index, ShardedScratch, Similarity,
-        SubmitOpts, Tgm, Ticket, WorkerScratch,
+        normalize_query, ApproxInfo, ApproxParams, ApproxPolicy, Cosine, DeletionLog, Dice,
+        DiskLes3, DurableIndex, DurableOptions, FsyncPolicy, HierarchicalPartitioning, Htgm,
+        InterruptReason, Interrupted, Jaccard, Les3Index, MinHashIndex, OnFull, OverlapCoefficient,
+        Partitioning, PersistError, PersistentBackend, QueryCtl, QueryScratch, SearchResult,
+        SearchStats, ServeBackend, ServeConfig, ServeError, ServeFront, ServeResult, ShardPolicy,
+        ShardedLes3Index, ShardedScratch, Similarity, SubmitOpts, Tgm, Ticket, WorkerScratch,
     };
     pub use les3_data::realistic::DatasetSpec;
     pub use les3_data::zipfian::ZipfianGenerator;
